@@ -1,0 +1,86 @@
+"""Ablation — different relational engine implementations (paper §5).
+
+The paper's future work: *"we will investigate the performance of different
+implementations of relational databases in order to gain a deeper
+understanding of why filter expressions seem to perform better at query
+engine level in most cases."*
+
+The virtual cost model makes that investigation a parameter sweep: the
+per-row cost of evaluating string pattern filters inside the RDBMS
+(``rdb_string_filter_eval``) is what differs between implementations.  This
+bench replays Q1's filter-placement decision under several hypothetical
+engines, from one with very cheap pattern matching to one much slower than
+the default calibration, and reports where the engine-vs-source crossover
+sits for each.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import format_table
+from repro.datasets import BENCHMARK_QUERIES
+from repro.network.costmodel import DEFAULT_COST_MODEL
+
+from .conftest import emit
+
+#: Hypothetical RDBMS implementations: per-row LIKE-scan cost in seconds.
+ENGINE_PROFILES = {
+    "fast-like-engine": 2.0e-6,   # pattern matching nearly free
+    "default (MySQL-ish)": DEFAULT_COST_MODEL.rdb_string_filter_eval,
+    "slow-like-engine": 120.0e-6,  # interpreted pattern matching
+}
+
+ENGINE_SIDE = PlanPolicy.physical_design_unaware()
+SOURCE_SIDE = PlanPolicy.filters_at_source()
+
+
+def test_cost_model_ablation(benchmark, lake, results_dir):
+    query = BENCHMARK_QUERIES["Q1"]
+    networks = (NetworkSetting.no_delay(), NetworkSetting.gamma1(), NetworkSetting.gamma2())
+    rows = []
+    winners = {}
+    for profile_name, like_cost in ENGINE_PROFILES.items():
+        cost_model = DEFAULT_COST_MODEL.with_overrides(rdb_string_filter_eval=like_cost)
+        for network in networks:
+            engine_run = FederatedEngine(
+                lake, policy=ENGINE_SIDE, network=network, cost_model=cost_model
+            ).run(query.text, seed=7)[1]
+            source_run = FederatedEngine(
+                lake, policy=SOURCE_SIDE, network=network, cost_model=cost_model
+            ).run(query.text, seed=7)[1]
+            winner = (
+                "engine" if engine_run.execution_time < source_run.execution_time else "source"
+            )
+            winners[(profile_name, network.name)] = winner
+            rows.append(
+                [
+                    profile_name,
+                    network.name,
+                    f"{engine_run.execution_time:.4f}",
+                    f"{source_run.execution_time:.4f}",
+                    winner,
+                ]
+            )
+
+    table = format_table(
+        ["RDB implementation", "Network", "Engine-side (s)", "Source-side (s)", "Winner"],
+        rows,
+    )
+    emit(results_dir, "ablation_cost_model.txt", table)
+
+    # A fast-LIKE RDBMS never loses by filtering at the source: Heuristic 2
+    # would simply be wrong for it, as the paper suspects.
+    assert winners[("fast-like-engine", "Gamma 1")] == "source"
+    assert winners[("fast-like-engine", "Gamma 2")] == "source"
+    # The default calibration reproduces the paper's observation.
+    assert winners[("default (MySQL-ish)", "No Delay")] == "engine"
+    assert winners[("default (MySQL-ish)", "Gamma 2")] == "source"
+    # A slow-LIKE RDBMS pushes the crossover further out.
+    assert winners[("slow-like-engine", "No Delay")] == "engine"
+    assert winners[("slow-like-engine", "Gamma 1")] == "engine"
+
+    benchmark(
+        lambda: FederatedEngine(
+            lake, policy=SOURCE_SIDE, network=NetworkSetting.no_delay()
+        ).run(query.text, seed=7)
+    )

@@ -1,0 +1,133 @@
+"""Ablation — ANAPSID join operators: symmetric hash vs dependent join.
+
+Ontario inherits ANAPSID's physical operators.  This ablation compares the
+non-blocking symmetric hash join (agjoin) with the dependent (bound) join,
+which pushes the outer side's bindings into the inner relational service as
+an IN restriction (answered via the inner index).
+
+Expected shape: the dependent join wins when the outer side is selective
+(few distinct join values -> tiny restricted transfers); with a
+non-selective outer whose values repeat across blocks it transfers *more*
+(duplicate fetches) and the symmetric hash join wins.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import format_table, same_answers
+from repro.core import JoinStrategy
+from repro.datasets.queries import PREFIXES
+
+from .conftest import emit
+
+#: Outer: genes of a single disease (selective) joined to the large TCGA
+#: expression table; the filter placement is engine-side for both policies
+#: so the join operator is the only variable.
+SELECTIVE_OUTER_QUERY = PREFIXES + """
+SELECT ?gene ?expr ?value WHERE {
+  ?gene a diseasome:Gene ;
+        diseasome:geneSymbol ?symbol ;
+        diseasome:associatedDisease <http://lslod.repro/diseasome/resource/Disease/5> .
+  ?expr a tcga:GeneExpression ;
+        tcga:geneSymbol ?symbol ;
+        tcga:expressionValue ?value .
+}
+"""
+
+#: Outer: every gene (non-selective, symbols repeat across blocks).
+BROAD_OUTER_QUERY = PREFIXES + """
+SELECT ?gene ?expr ?value WHERE {
+  ?gene a diseasome:Gene ;
+        diseasome:geneSymbol ?symbol .
+  ?expr a tcga:GeneExpression ;
+        tcga:geneSymbol ?symbol ;
+        tcga:expressionValue ?value .
+}
+"""
+
+SYMMETRIC = PlanPolicy.physical_design_unaware()
+DEPENDENT = PlanPolicy.physical_design_unaware().with_(
+    name="Dependent-Join", join_strategy=JoinStrategy.DEPENDENT
+)
+
+
+def _run(lake, query, policy, network):
+    engine = FederatedEngine(lake, policy=policy, network=network)
+    return engine.run(query, seed=7)
+
+
+def test_join_operator_ablation(benchmark, lake, results_dir):
+    network = NetworkSetting.gamma2()
+    rows = []
+    outcomes = {}
+    for label, query in (
+        ("selective outer", SELECTIVE_OUTER_QUERY),
+        ("broad outer", BROAD_OUTER_QUERY),
+    ):
+        shj_answers, shj_stats = _run(lake, query, SYMMETRIC, network)
+        dep_answers, dep_stats = _run(lake, query, DEPENDENT, network)
+        assert same_answers(shj_answers, dep_answers), label
+        winner = "dependent" if dep_stats.execution_time < shj_stats.execution_time else "symmetric"
+        outcomes[label] = winner
+        rows.append(
+            [
+                label,
+                len(shj_answers),
+                f"{shj_stats.execution_time:.4f}",
+                f"{dep_stats.execution_time:.4f}",
+                shj_stats.messages,
+                dep_stats.messages,
+                winner,
+            ]
+        )
+
+    table = format_table(
+        [
+            "Workload",
+            "Answers",
+            "SymmetricHash (s)",
+            "Dependent (s)",
+            "SHJ msgs",
+            "Dep msgs",
+            "Winner",
+        ],
+        rows,
+    )
+    emit(results_dir, "ablation_join_operators.txt", table)
+
+    assert outcomes["selective outer"] == "dependent"
+    assert outcomes["broad outer"] == "symmetric"
+
+    benchmark(lambda: _run(lake, SELECTIVE_OUTER_QUERY, DEPENDENT, network))
+
+
+def test_dependent_join_plan_shape(lake):
+    engine = FederatedEngine(lake, policy=DEPENDENT)
+    explained = engine.explain(SELECTIVE_OUTER_QUERY)
+    assert "DependentJoin" in explained
+
+
+def test_block_size_sweep(benchmark, lake, results_dir):
+    """Smaller blocks issue more requests; bigger blocks batch better."""
+    network = NetworkSetting.gamma2()
+    rows = []
+    requests_seen = []
+    for block_size in (5, 20, 50, 200):
+        policy = DEPENDENT.with_(dependent_block_size=block_size)
+        engine = FederatedEngine(lake, policy=policy, network=network)
+        __, stats = engine.run(SELECTIVE_OUTER_QUERY, seed=7)
+        requests = sum(s.requests for s in stats.source_stats.values())
+        requests_seen.append(requests)
+        rows.append([block_size, f"{stats.execution_time:.4f}", stats.messages, requests])
+    emit(
+        results_dir,
+        "ablation_dependent_block_size.txt",
+        format_table(["Block size", "Time (s)", "Messages", "Requests"], rows),
+    )
+    assert requests_seen == sorted(requests_seen, reverse=True)
+
+    benchmark(
+        lambda: FederatedEngine(
+            lake, policy=DEPENDENT.with_(dependent_block_size=20), network=network
+        ).run(SELECTIVE_OUTER_QUERY, seed=7)
+    )

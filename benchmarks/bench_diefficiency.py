@@ -1,0 +1,70 @@
+"""Diefficiency — continuous answer production (dief@t, time-to-first).
+
+ANAPSID/MULDER/Ontario evaluate engines not only on completion time but on
+*how continuously* they produce answers.  This bench reports time to first
+answer and dief@t (area under the answer trace — higher is better) for the
+grid queries, confirming that the physical-design-aware plans are not just
+faster overall but also more diefficient.
+"""
+
+import pytest
+
+from repro import NetworkSetting, PlanPolicy
+from repro.benchmark import Configuration, dief_at_t, format_table, run_query
+from repro.datasets import BENCHMARK_QUERIES
+
+from .conftest import emit
+
+POLICIES = (PlanPolicy.physical_design_unaware(), PlanPolicy.physical_design_aware())
+QUERIES = ("Q1", "Q2", "Q3", "Q5")
+
+
+def test_diefficiency(benchmark, lake, results_dir):
+    network = NetworkSetting.gamma2()
+    rows = []
+    for query_name in QUERIES:
+        query = BENCHMARK_QUERIES[query_name]
+        results = {
+            policy.name: run_query(lake, query, Configuration(policy, network), seed=7)
+            for policy in POLICIES
+        }
+        # Compare over the shared horizon (the faster plan's completion).
+        horizon = min(result.execution_time for result in results.values())
+        row = [query_name]
+        diefs = {}
+        for policy in POLICIES:
+            result = results[policy.name]
+            diefs[policy.name] = dief_at_t(result.trace, horizon)
+            ttfa = result.time_to_first_answer
+            row.extend(
+                [
+                    f"{ttfa:.4f}" if ttfa is not None else "-",
+                    f"{diefs[policy.name]:.2f}",
+                ]
+            )
+        rows.append(row)
+        # Aware must produce answers at least as continuously (except Q1,
+        # where the aware plan deliberately trades fast-network latency).
+        if query_name != "Q1":
+            assert (
+                diefs["Physical-Design-Aware"] >= diefs["Physical-Design-Unaware"]
+            ), query_name
+            assert (
+                results["Physical-Design-Aware"].time_to_first_answer
+                <= results["Physical-Design-Unaware"].time_to_first_answer
+            ), query_name
+
+    table = format_table(
+        ["Query", "TTFA unaware (s)", "dief@t unaware", "TTFA aware (s)", "dief@t aware"],
+        rows,
+    )
+    emit(results_dir, "diefficiency.txt", table)
+
+    benchmark(
+        lambda: run_query(
+            lake,
+            BENCHMARK_QUERIES["Q2"],
+            Configuration(POLICIES[1], network),
+            seed=7,
+        )
+    )

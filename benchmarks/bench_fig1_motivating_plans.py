@@ -1,0 +1,56 @@
+"""Figure 1 — the motivating example.
+
+The paper's Figure 1 shows two query execution plans for the same query:
+(b) a physical-design-unaware QEP performing every operation at the engine,
+and (c) a physical-design-aware QEP pushing the Diseasome gene-disease join
+into the source while the non-indexed species filter stays at the engine.
+
+This bench regenerates both plans, asserts their structural properties, and
+times plan generation.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.datasets import MOTIVATING_EXAMPLE
+
+from .conftest import emit
+
+
+def test_fig1_motivating_plans(benchmark, lake, results_dir):
+    unaware_engine = FederatedEngine(
+        lake, policy=PlanPolicy.physical_design_unaware(), network=NetworkSetting.no_delay()
+    )
+    aware_engine = FederatedEngine(
+        lake, policy=PlanPolicy.physical_design_aware(), network=NetworkSetting.no_delay()
+    )
+
+    unaware_plan = unaware_engine.plan(MOTIVATING_EXAMPLE.text)
+    aware_plan = aware_engine.plan(MOTIVATING_EXAMPLE.text)
+
+    unaware_text = unaware_plan.explain()
+    aware_text = aware_plan.explain()
+
+    # Figure 1b: joins at the engine, one service per star.
+    assert unaware_text.count("SymmetricHashJoin") == 2
+    assert unaware_text.count("Service[") == 3
+    # Figure 1c: the Diseasome join is pushed down (one merged SQL service)...
+    assert aware_text.count("Service[") == 2
+    assert "JOIN disease" in aware_text
+    # ...and the species filter stays at the engine: the attribute is not
+    # indexed (15% rule), in both plans.
+    assert "engine-filter" in aware_text
+    assert "no index" in aware_text
+
+    emit(
+        results_dir,
+        "fig1_motivating_plans.txt",
+        "--- Physical-Design-Unaware QEP (Fig. 1b) ---\n"
+        + unaware_text
+        + "\n\n--- Physical-Design-Aware QEP (Fig. 1c) ---\n"
+        + aware_text,
+    )
+
+    benchmark.extra_info["unaware_services"] = unaware_text.count("Service[")
+    benchmark.extra_info["aware_services"] = aware_text.count("Service[")
+    benchmark(lambda: aware_engine.plan(MOTIVATING_EXAMPLE.text))

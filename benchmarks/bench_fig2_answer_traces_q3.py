@@ -1,0 +1,83 @@
+"""Figure 2 — answer traces for Q3.
+
+The paper's Figure 2 shows the generation of answers over time for Q3 under
+no delay and the three gamma-distributed delays, for (a) the
+physical-design-unaware QEP, (b) the aware QEP, and (c) both together.
+The headline findings: the aware QEP dominates at every network setting and
+slow networks hurt the unaware QEP more.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import TracePlot, dief_at_t, run_query, Configuration
+from repro.datasets import BENCHMARK_QUERIES
+
+from .conftest import emit
+
+Q3 = BENCHMARK_QUERIES["Q3"]
+POLICIES = (PlanPolicy.physical_design_unaware(), PlanPolicy.physical_design_aware())
+NETWORKS = NetworkSetting.all_settings()
+
+
+def _collect(lake):
+    results = {}
+    for policy in POLICIES:
+        for network in NETWORKS:
+            results[(policy.name, network.name)] = run_query(
+                lake, Q3, Configuration(policy, network), seed=7
+            )
+    return results
+
+
+def test_fig2_answer_traces_q3(benchmark, lake, results_dir):
+    results = _collect(lake)
+
+    sections = []
+    # (a) unaware and (b) aware: one plot per policy across the four delays.
+    for policy in POLICIES:
+        plot = TracePlot(f"Q3 answer traces — {policy.name} (all network settings)")
+        for network in NETWORKS:
+            result = results[(policy.name, network.name)]
+            plot.add(network.name, result.trace)
+        sections.append(plot.render_ascii(width=76, height=16))
+    # (c) both QEPs compared at the slowest network.
+    both = TracePlot("Q3 answer traces — both QEP types (Gamma 3)")
+    for policy in POLICIES:
+        both.add(policy.name, results[(policy.name, "Gamma 3")].trace)
+    sections.append(both.render_ascii(width=76, height=16))
+
+    csv_lines = ["policy,network,time,answers"]
+    for (policy_name, network_name), result in results.items():
+        for when, count in result.trace:
+            csv_lines.append(f"{policy_name},{network_name},{when:.6f},{count}")
+
+    emit(results_dir, "fig2_answer_traces_q3.txt", "\n\n".join(sections))
+    (results_dir / "fig2_answer_traces_q3.csv").write_text("\n".join(csv_lines) + "\n")
+
+    # Findings (shape assertions):
+    for network in NETWORKS:
+        aware = results[("Physical-Design-Aware", network.name)]
+        unaware = results[("Physical-Design-Unaware", network.name)]
+        assert aware.answers == unaware.answers, "answer completeness must match"
+        assert aware.execution_time < unaware.execution_time, network.name
+        # the aware plan is also more diefficient (produces answers earlier)
+        horizon = min(aware.execution_time, unaware.execution_time)
+        assert dief_at_t(aware.trace, horizon) >= dief_at_t(unaware.trace, horizon)
+
+    unaware_penalty = (
+        results[("Physical-Design-Unaware", "Gamma 3")].execution_time
+        - results[("Physical-Design-Unaware", "No Delay")].execution_time
+    )
+    aware_penalty = (
+        results[("Physical-Design-Aware", "Gamma 3")].execution_time
+        - results[("Physical-Design-Aware", "No Delay")].execution_time
+    )
+    assert unaware_penalty > aware_penalty, "delays must hurt the unaware QEP more"
+
+    benchmark.extra_info["answers"] = results[("Physical-Design-Aware", "No Delay")].answers
+    benchmark(
+        lambda: run_query(
+            lake, Q3, Configuration(POLICIES[1], NETWORKS[3]), seed=7
+        )
+    )

@@ -1,0 +1,77 @@
+"""Heuristic 1 — pushing down joins (the paper's Q2 finding).
+
+"Forcing Ontario to send the optimized SQL query for Q2 approx. halves the
+execution time compared to the physical-design-unaware QEP."  This bench
+compares the merged (H1) plan against the unaware plan for Q2 across all
+network settings and checks the >= 2x speedup the paper reports.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import Configuration, format_table, run_query
+from repro.datasets import BENCHMARK_QUERIES
+
+from .conftest import emit
+
+Q2 = BENCHMARK_QUERIES["Q2"]
+
+
+def test_h1_join_pushdown_q2(benchmark, lake, results_dir):
+    rows = []
+    speedups = {}
+    for network in NetworkSetting.all_settings():
+        unaware = run_query(
+            lake, Q2, Configuration(PlanPolicy.physical_design_unaware(), network), seed=7
+        )
+        aware = run_query(
+            lake, Q2, Configuration(PlanPolicy.physical_design_aware(), network), seed=7
+        )
+        speedup = unaware.execution_time / aware.execution_time
+        speedups[network.name] = speedup
+        rows.append(
+            [
+                network.name,
+                f"{unaware.execution_time:.4f}",
+                f"{aware.execution_time:.4f}",
+                f"{speedup:.2f}x",
+                unaware.messages,
+                aware.messages,
+            ]
+        )
+        assert aware.answers == unaware.answers
+
+    table = format_table(
+        ["Network", "Unaware (s)", "Aware/H1 (s)", "Speedup", "Msgs unaware", "Msgs aware"],
+        rows,
+    )
+    emit(results_dir, "h1_join_pushdown_q2.txt", table)
+
+    # The paper's claim: the optimized SQL approx. halves execution time.
+    # Our substitution yields at least that factor at every setting.
+    assert all(speedup >= 2.0 for speedup in speedups.values()), speedups
+
+    plan = FederatedEngine(
+        lake, policy=PlanPolicy.physical_design_aware(), network=NetworkSetting.no_delay()
+    ).plan(Q2.text)
+    assert any(decision.merged for decision in plan.merge_decisions)
+
+    benchmark.extra_info["speedup_no_delay"] = round(speedups["No Delay"], 2)
+    benchmark(
+        lambda: run_query(
+            lake,
+            Q2,
+            Configuration(PlanPolicy.physical_design_aware(), NetworkSetting.no_delay()),
+            seed=7,
+        )
+    )
+
+
+def test_h1_merged_sql_is_single_request(lake, results_dir):
+    """H1 turns two source requests into one."""
+    unaware = FederatedEngine(lake, policy=PlanPolicy.physical_design_unaware())
+    aware = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware())
+    __, unaware_stats = unaware.run(Q2.text, seed=7)
+    __, aware_stats = aware.run(Q2.text, seed=7)
+    assert unaware_stats.source("diseasome").requests == 2
+    assert aware_stats.source("diseasome").requests == 1

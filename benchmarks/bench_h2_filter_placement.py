@@ -1,0 +1,107 @@
+"""Heuristic 2 — pushing up instantiations (the paper's Q1 vs Q3 tension).
+
+The paper: "the results of Q1 support our experience and suggest to follow
+Heuristic 2.  On the other hand, the results of Q3 suggest otherwise."
+
+This bench runs Q1 and Q3 under three filter-placement policies — always at
+the engine, pushed when indexed (the experiment's aware plans), and the
+literal Heuristic 2 (indexed AND slow network) — across all networks, and
+asserts both halves of the paper's observation.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import Configuration, format_table, run_query
+from repro.core import FilterPlacement
+from repro.datasets import BENCHMARK_QUERIES
+
+from .conftest import emit
+
+POLICIES = {
+    "engine": PlanPolicy.physical_design_unaware(),
+    "pushdown": PlanPolicy.physical_design_aware(),
+    "heuristic2": PlanPolicy.heuristic2(),
+}
+
+
+def _sweep(lake, query):
+    results = {}
+    for label, policy in POLICIES.items():
+        for network in NetworkSetting.all_settings():
+            results[(label, network.name)] = run_query(
+                lake, query, Configuration(policy, network), seed=7
+            )
+    return results
+
+
+def _render(results):
+    rows = []
+    for network in NetworkSetting.all_settings():
+        row = [network.name]
+        for label in POLICIES:
+            row.append(f"{results[(label, network.name)].execution_time:.4f}")
+        rows.append(row)
+    return format_table(["Network"] + [f"{label} (s)" for label in POLICIES], rows)
+
+
+def test_h2_q1_supports_heuristic(benchmark, lake, results_dir):
+    """Q1: infix string filter over an *indexed* attribute.  Pushing it down
+    costs an RDB string scan; on fast networks the engine-side filter wins."""
+    results = _sweep(lake, BENCHMARK_QUERIES["Q1"])
+    emit(results_dir, "h2_q1_filter_placement.txt", _render(results))
+
+    for fast in ("No Delay", "Gamma 1"):
+        assert (
+            results[("engine", fast)].execution_time
+            < results[("pushdown", fast)].execution_time
+        ), fast
+    # On the slow network the reduced intermediate result wins.
+    assert (
+        results[("pushdown", "Gamma 3")].execution_time
+        < results[("engine", "Gamma 3")].execution_time
+    )
+    # Heuristic 2 picks the right side at both extremes.
+    assert results[("heuristic2", "No Delay")].execution_time == pytest.approx(
+        results[("engine", "No Delay")].execution_time, rel=0.2
+    )
+    h2_slow = results[("heuristic2", "Gamma 3")].execution_time
+    assert h2_slow <= results[("engine", "Gamma 3")].execution_time
+
+    benchmark(
+        lambda: run_query(
+            lake,
+            BENCHMARK_QUERIES["Q1"],
+            Configuration(POLICIES["heuristic2"], NetworkSetting.no_delay()),
+            seed=7,
+        )
+    )
+
+
+def test_h2_q3_contradicts_heuristic(benchmark, lake, results_dir):
+    """Q3: selective equality filter over an indexed attribute.  Pushing it
+    down wins at *every* network setting — contradicting Heuristic 2, which
+    would keep it at the engine on fast networks."""
+    results = _sweep(lake, BENCHMARK_QUERIES["Q3"])
+    emit(results_dir, "h2_q3_filter_placement.txt", _render(results))
+
+    for network in NetworkSetting.all_settings():
+        assert (
+            results[("pushdown", network.name)].execution_time
+            < results[("engine", network.name)].execution_time
+        ), network.name
+    # The literal Heuristic 2 loses to the pushdown policy on fast networks
+    # for Q3 (it keeps the filter at the engine there) — the contradiction.
+    assert (
+        results[("heuristic2", "No Delay")].execution_time
+        > results[("pushdown", "No Delay")].execution_time
+    )
+
+    benchmark(
+        lambda: run_query(
+            lake,
+            BENCHMARK_QUERIES["Q3"],
+            Configuration(POLICIES["pushdown"], NetworkSetting.no_delay()),
+            seed=7,
+        )
+    )

@@ -1,0 +1,76 @@
+"""Network impact — delays hurt physical-design-unaware QEPs more.
+
+The paper's analysis: "the impact of network delays is higher in the case
+of physical-design-unaware query execution plans."  This bench quantifies
+the absolute and relative penalties per query and policy.
+"""
+
+import pytest
+
+from repro import NetworkSetting, PlanPolicy
+from repro.benchmark import Configuration, format_table, run_query
+from repro.datasets import BENCHMARK_QUERIES
+
+from .conftest import emit
+
+POLICIES = (PlanPolicy.physical_design_unaware(), PlanPolicy.physical_design_aware())
+#: Queries with heuristic opportunities (Q4's plans coincide by design).
+QUERIES = ("Q1", "Q2", "Q3", "Q5")
+
+
+def test_network_impact(benchmark, lake, results_dir):
+    rows = []
+    penalties = {}
+    for query_name in QUERIES:
+        query = BENCHMARK_QUERIES[query_name]
+        for policy in POLICIES:
+            base = run_query(
+                lake, query, Configuration(policy, NetworkSetting.no_delay()), seed=7
+            )
+            slow = run_query(
+                lake, query, Configuration(policy, NetworkSetting.gamma3()), seed=7
+            )
+            penalty = slow.execution_time - base.execution_time
+            penalties[(query_name, policy.name)] = penalty
+            rows.append(
+                [
+                    query_name,
+                    policy.name,
+                    f"{base.execution_time:.4f}",
+                    f"{slow.execution_time:.4f}",
+                    f"{penalty:.4f}",
+                    slow.messages,
+                ]
+            )
+
+    table = format_table(
+        ["Query", "Policy", "No Delay (s)", "Gamma 3 (s)", "Penalty (s)", "Messages"],
+        rows,
+    )
+    emit(results_dir, "network_impact.txt", table)
+
+    # The headline finding, per query:
+    for query_name in ("Q2", "Q3", "Q5"):
+        unaware_penalty = penalties[(query_name, "Physical-Design-Unaware")]
+        aware_penalty = penalties[(query_name, "Physical-Design-Aware")]
+        assert unaware_penalty > aware_penalty, query_name
+
+    benchmark(
+        lambda: run_query(
+            lake,
+            BENCHMARK_QUERIES["Q2"],
+            Configuration(POLICIES[0], NetworkSetting.gamma3()),
+            seed=7,
+        )
+    )
+
+
+def test_penalty_tracks_messages(lake, results_dir):
+    """The per-message delay model implies penalty ~ messages x mean latency."""
+    query = BENCHMARK_QUERIES["Q2"]
+    for policy in POLICIES:
+        base = run_query(lake, query, Configuration(policy, NetworkSetting.no_delay()), seed=7)
+        slow = run_query(lake, query, Configuration(policy, NetworkSetting.gamma3()), seed=7)
+        penalty = slow.execution_time - base.execution_time
+        expected = slow.messages * NetworkSetting.gamma3().mean_latency
+        assert penalty == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,56 @@
+"""Scale sensitivity — the reproduced shapes are stable across data sizes.
+
+A reproduction claim is only credible if the qualitative findings survive
+changing the data-set scale.  This bench re-runs the key comparisons at
+several scales and asserts the *directions* (who wins) stay put while the
+effect grows with data size where it should (Q2's absolute gap).
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import format_table
+from repro.datasets import BENCHMARK_QUERIES, build_lslod_lake
+
+from .conftest import emit
+
+SCALES = (0.05, 0.1, 0.2)
+
+AWARE = PlanPolicy.physical_design_aware()
+UNAWARE = PlanPolicy.physical_design_unaware()
+
+
+def _speedup(lake, query_name, network):
+    query = BENCHMARK_QUERIES[query_name]
+    __, unaware = FederatedEngine(lake, policy=UNAWARE, network=network).run(
+        query.text, seed=7
+    )
+    __, aware = FederatedEngine(lake, policy=AWARE, network=network).run(query.text, seed=7)
+    return unaware.execution_time / aware.execution_time, unaware, aware
+
+
+def test_shapes_stable_across_scales(benchmark, results_dir):
+    network = NetworkSetting.gamma2()
+    rows = []
+    q2_gaps = []
+    for scale in SCALES:
+        lake = build_lslod_lake(scale=scale, seed=42)
+        row = [f"{scale:.2f}"]
+        for query_name in ("Q1", "Q2", "Q3", "Q5"):
+            speedup, unaware, aware = _speedup(lake, query_name, network)
+            row.append(f"{speedup:.2f}x")
+            if query_name == "Q2":
+                q2_gaps.append(unaware.execution_time - aware.execution_time)
+            if query_name in ("Q2", "Q3", "Q5"):
+                assert speedup > 1.0, (scale, query_name)
+        rows.append(row)
+
+    table = format_table(
+        ["Scale", "Q1 speedup", "Q2 speedup", "Q3 speedup", "Q5 speedup"], rows
+    )
+    emit(results_dir, "scale_sensitivity.txt", table)
+
+    # Absolute savings grow with data size.
+    assert q2_gaps == sorted(q2_gaps)
+
+    benchmark(lambda: build_lslod_lake(scale=0.05, seed=42))

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+The benchmarks reproduce the paper's figures/tables on a deterministic
+synthetic lake.  Results (tables, traces) are printed to stdout (run with
+``-s`` to watch) and written under ``benchmarks/results/``.
+
+Environment knobs:
+    REPRO_BENCH_SCALE   data-set scale factor (default 0.25)
+    REPRO_BENCH_SEED    generation seed (default 42)
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import build_lslod_lake
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_LAKE = None
+
+
+@pytest.fixture(scope="session")
+def lake():
+    """The benchmark lake, built once per session (read-only)."""
+    global _LAKE
+    if _LAKE is None:
+        _LAKE = build_lslod_lake(scale=SCALE, seed=SEED)
+    return _LAKE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Print a result artifact and persist it under benchmarks/results/."""
+    print()
+    print(f"===== {name} =====")
+    print(text)
+    (results_dir / name).write_text(text + "\n")

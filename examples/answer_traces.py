@@ -1,0 +1,41 @@
+"""Answer traces for Q3 across the network grid (the paper's Figure 2).
+
+Run:  python examples/answer_traces.py
+"""
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import TracePlot
+from repro.datasets import BENCHMARK_QUERIES, build_lslod_lake
+
+
+def main() -> None:
+    lake = build_lslod_lake(scale=0.1, seed=42)
+    query = BENCHMARK_QUERIES["Q3"]
+    print(f"Q3: {query.rationale}\n")
+
+    policies = (
+        PlanPolicy.physical_design_unaware(),
+        PlanPolicy.physical_design_aware(),
+    )
+
+    # Figure 2a/2b: each policy across the four network settings.
+    for policy in policies:
+        plot = TracePlot(f"Q3 — {policy.name} across network settings")
+        for network in NetworkSetting.all_settings():
+            engine = FederatedEngine(lake, policy=policy, network=network)
+            __, stats = engine.run(query.text, seed=7)
+            plot.add(network.name, stats.trace)
+        print(plot.render_ascii(width=72, height=14))
+        print()
+
+    # Figure 2c: both QEP types at the slowest network.
+    plot = TracePlot("Q3 — both QEP types (Gamma 3)")
+    for policy in policies:
+        engine = FederatedEngine(lake, policy=policy, network=NetworkSetting.gamma3())
+        __, stats = engine.run(query.text, seed=7)
+        plot.add(policy.name, stats.trace)
+    print(plot.render_ascii(width=72, height=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduce the paper's full experiment grid on a small lake.
+
+Eight configurations (2 QEP types x 4 network settings) over the five
+benchmark queries, printing execution-time, speedup and network-impact
+tables.
+
+Run:  python examples/experiment_grid.py
+"""
+
+from repro.benchmark import grid_table, network_impact_table, run_grid, speedup_table
+from repro.datasets import BENCHMARK_QUERIES, GRID_QUERIES, build_lslod_lake
+
+
+def main() -> None:
+    print("building the lake (scale=0.1) ...")
+    lake = build_lslod_lake(scale=0.1, seed=42)
+    queries = [BENCHMARK_QUERIES[name] for name in GRID_QUERIES]
+    print("running the 8-configuration grid over Q1-Q5 ...\n")
+    grid = run_grid(lake, queries, seed=7)
+
+    print("Execution time (virtual seconds):")
+    print(grid_table(grid, metric="execution_time"))
+    print()
+    print("Speedup of the physical-design-aware QEPs:")
+    print(speedup_table(grid, "Physical-Design-Unaware", "Physical-Design-Aware"))
+    print()
+    print("Slowdown per network relative to No Delay:")
+    print(network_impact_table(grid))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""A guided tour of the paper's two heuristics and their trade-offs.
+
+Walks Q1 (Heuristic 2's supporting case), Q3 (its contradiction) and Q2
+(Heuristic 1) through every filter-placement policy and network setting,
+printing the decision log the planner produces.
+
+Run:  python examples/heuristics_tour.py
+"""
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import format_table
+from repro.datasets import BENCHMARK_QUERIES, build_lslod_lake
+
+
+def show_decisions(lake, query, policy, network) -> None:
+    engine = FederatedEngine(lake, policy=policy, network=network)
+    plan = engine.plan(query.text)
+    print(f"[{policy.name} / {network.name}]")
+    for decision in plan.merge_decisions:
+        verdict = "merged" if decision.merged else "kept separate"
+        print(f"  H1: {decision.star_a}+{decision.star_b} {verdict} — {decision.reason}")
+    for source_id, decision in plan.filter_decisions:
+        print(f"  H2 [{source_id}]: {decision.describe()}")
+
+
+def sweep(lake, query) -> str:
+    rows = []
+    for network in NetworkSetting.all_settings():
+        row = [network.name]
+        for policy in (
+            PlanPolicy.physical_design_unaware(),
+            PlanPolicy.physical_design_aware(),
+            PlanPolicy.heuristic2(),
+        ):
+            engine = FederatedEngine(lake, policy=policy, network=network)
+            __, stats = engine.run(query.text, seed=7)
+            row.append(f"{stats.execution_time:.4f}")
+        rows.append(row)
+    return format_table(["Network", "Unaware (s)", "Aware (s)", "Heuristic2 (s)"], rows)
+
+
+def main() -> None:
+    lake = build_lslod_lake(scale=0.1, seed=42)
+
+    for name in ("Q2", "Q1", "Q3"):
+        query = BENCHMARK_QUERIES[name]
+        print("=" * 72)
+        print(f"{name}: {query.rationale}")
+        print("=" * 72)
+        show_decisions(
+            lake, query, PlanPolicy.physical_design_aware(), NetworkSetting.no_delay()
+        )
+        show_decisions(lake, query, PlanPolicy.heuristic2(), NetworkSetting.gamma3())
+        print()
+        print(sweep(lake, query))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable
+installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+toolchains that have wheel) fall back to the legacy ``setup.py develop``
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Reproduction of *"Optimizing Federated Queries Based on the Physical
+Design of a Data Lake"* (Rohde & Vidal, EDBT 2020 workshops).
+
+The package implements the full system stack the paper builds on:
+
+* :mod:`repro.rdf` — RDF terms, triple store, N-Triples, RDF-MTs;
+* :mod:`repro.sparql` — a SPARQL SELECT subset (parser + evaluator);
+* :mod:`repro.relational` — an in-process SQL engine with indexes,
+  statistics and a cost-based planner (the paper's MySQL stand-in);
+* :mod:`repro.mapping` — RDF↔relational mappings, 3NF normalization and
+  SPARQL-to-SQL translation;
+* :mod:`repro.network` — virtual clocks, the paper's gamma delay models
+  and the virtual-time cost model;
+* :mod:`repro.federation` — source wrappers and ANAPSID-style adaptive
+  operators;
+* :mod:`repro.core` — **the paper's contribution**: star-shaped
+  decomposition, RDF-MT source selection and the physical-design-aware
+  plan generator with Heuristics 1 and 2;
+* :mod:`repro.datalake` — the Semantic Data Lake container;
+* :mod:`repro.datasets` — synthetic LSLOD data sets and the benchmark
+  queries Q1–Q5;
+* :mod:`repro.benchmark` — the experiment harness reproducing the paper's
+  figures and result grids.
+
+Quickstart::
+
+    from repro import FederatedEngine, PlanPolicy, NetworkSetting
+    from repro.datasets import build_lslod_lake, BENCHMARK_QUERIES
+
+    lake = build_lslod_lake(seed=42)
+    engine = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware(),
+                             network=NetworkSetting.gamma2())
+    answers, stats = engine.run(BENCHMARK_QUERIES["Q3"].text, seed=1)
+    print(stats.execution_time, stats.trace[:5])
+"""
+
+from .core.engine import FederatedEngine, ResultStream
+from .core.planner import FederatedPlan
+from .core.policy import DecompositionKind, FilterPlacement, PlanPolicy
+from .datalake.lake import SemanticDataLake
+from .exceptions import (
+    CatalogError,
+    ExecutionError,
+    ExpressionError,
+    IntegrityError,
+    NTriplesParseError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    SchemaError,
+    SourceSelectionError,
+    SPARQLParseError,
+    SQLParseError,
+    TranslationError,
+    WrapperError,
+)
+from .network.clock import RealClock, VirtualClock
+from .network.costmodel import CostModel, DEFAULT_COST_MODEL
+from .network.delays import GammaDelay, NetworkSetting, NoDelay
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CatalogError",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DecompositionKind",
+    "ExecutionError",
+    "ExpressionError",
+    "FederatedEngine",
+    "FederatedPlan",
+    "FilterPlacement",
+    "GammaDelay",
+    "IntegrityError",
+    "NTriplesParseError",
+    "NetworkSetting",
+    "NoDelay",
+    "ParseError",
+    "PlanPolicy",
+    "PlanningError",
+    "RealClock",
+    "ReproError",
+    "ResultStream",
+    "SPARQLParseError",
+    "SQLParseError",
+    "SchemaError",
+    "SemanticDataLake",
+    "SourceSelectionError",
+    "TranslationError",
+    "VirtualClock",
+    "WrapperError",
+    "__version__",
+]

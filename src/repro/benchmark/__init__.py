@@ -1,0 +1,59 @@
+"""Benchmark harness: the paper's experiment grid, traces and reporting."""
+
+from .metrics import (
+    answer_set,
+    answers_at,
+    completeness,
+    dief_at_k,
+    dief_at_t,
+    same_answers,
+    solution_key,
+    time_to_first_answer,
+    total_answers,
+)
+from .report import (
+    describe_result,
+    format_table,
+    grid_table,
+    network_impact_table,
+    speedup_table,
+    to_csv,
+    to_json,
+)
+from .runner import (
+    Configuration,
+    GridResults,
+    RunResult,
+    experiment_grid,
+    run_grid,
+    run_query,
+)
+from .traces import TracePlot, TraceSeries, downsample
+
+__all__ = [
+    "Configuration",
+    "GridResults",
+    "RunResult",
+    "TracePlot",
+    "TraceSeries",
+    "answer_set",
+    "answers_at",
+    "completeness",
+    "describe_result",
+    "dief_at_k",
+    "dief_at_t",
+    "downsample",
+    "experiment_grid",
+    "format_table",
+    "grid_table",
+    "network_impact_table",
+    "run_grid",
+    "run_query",
+    "same_answers",
+    "solution_key",
+    "speedup_table",
+    "time_to_first_answer",
+    "to_csv",
+    "to_json",
+    "total_answers",
+]

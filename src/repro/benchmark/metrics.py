@@ -1,0 +1,79 @@
+"""Metrics over execution results.
+
+Besides total execution time the streaming-query literature (ANAPSID,
+MULDER, Ontario) reports *diefficiency*: how continuously answers are
+produced.  ``dief@t`` is the area under the answer trace up to time *t* —
+larger is better.  Completeness compares produced answers against a
+reference answer set.
+"""
+
+from __future__ import annotations
+
+from ..federation.answers import Solution
+
+Trace = list[tuple[float, int]]
+
+
+def time_to_first_answer(trace: Trace) -> float | None:
+    """Timestamp of the first answer, or None when no answer arrived."""
+    return trace[0][0] if trace else None
+
+
+def total_answers(trace: Trace) -> int:
+    return trace[-1][1] if trace else 0
+
+
+def answers_at(trace: Trace, timestamp: float) -> int:
+    """Answers produced up to *timestamp* (inclusive)."""
+    produced = 0
+    for when, count in trace:
+        if when <= timestamp:
+            produced = count
+        else:
+            break
+    return produced
+
+
+def dief_at_t(trace: Trace, t: float) -> float:
+    """Area under the answer trace in [0, t] (dief@t; higher = better)."""
+    area = 0.0
+    previous_time = 0.0
+    previous_count = 0
+    for when, count in trace:
+        if when > t:
+            break
+        area += previous_count * (when - previous_time)
+        previous_time, previous_count = when, count
+    area += previous_count * max(0.0, t - previous_time)
+    return area
+
+
+def dief_at_k(trace: Trace, k: int) -> float | None:
+    """Time needed to produce the first *k* answers (dief@k); None if fewer."""
+    for when, count in trace:
+        if count >= k:
+            return when
+    return None
+
+
+def solution_key(solution: Solution) -> tuple:
+    """A hashable canonical key of one solution mapping."""
+    return tuple(sorted((name, term.n3()) for name, term in solution.items()))
+
+
+def answer_set(solutions: list[Solution]) -> set[tuple]:
+    return {solution_key(solution) for solution in solutions}
+
+
+def completeness(produced: list[Solution], reference: list[Solution]) -> float:
+    """Fraction of the reference answer set present in *produced*."""
+    reference_set = answer_set(reference)
+    if not reference_set:
+        return 1.0
+    produced_set = answer_set(produced)
+    return len(produced_set & reference_set) / len(reference_set)
+
+
+def same_answers(left: list[Solution], right: list[Solution]) -> bool:
+    """True when both executions produced the same answer *sets*."""
+    return answer_set(left) == answer_set(right)

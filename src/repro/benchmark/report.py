@@ -1,0 +1,124 @@
+"""Rendering of experiment results: text tables, CSV and JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .runner import GridResults, RunResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for position, value in enumerate(row):
+            columns[position].append(str(value))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(value).ljust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def grid_table(grid: GridResults, metric: str = "execution_time") -> str:
+    """The paper's results table: queries x (policy, network) cells."""
+    networks = grid.networks()
+    policies = grid.policies()
+    headers = ["Query"] + [
+        f"{policy.split('-')[-1]}/{network}" for policy in policies for network in networks
+    ]
+    rows = []
+    for query in grid.queries():
+        row: list[object] = [query]
+        for policy in policies:
+            for network in networks:
+                result = grid.lookup(query, policy, network)
+                value = getattr(result, metric)
+                if isinstance(value, float):
+                    row.append(f"{value:.4f}")
+                else:
+                    row.append(value)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def speedup_table(grid: GridResults, slow_policy: str, fast_policy: str) -> str:
+    """Speedup of *fast_policy* over *slow_policy* per query and network."""
+    networks = grid.networks()
+    headers = ["Query"] + networks
+    rows = []
+    for query in grid.queries():
+        row: list[object] = [query]
+        for network in networks:
+            row.append(f"{grid.speedup(query, network, slow_policy, fast_policy):.2f}x")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def network_impact_table(grid: GridResults, baseline: str = "No Delay") -> str:
+    """Slowdown per network relative to *baseline*, per policy and query.
+
+    Reproduces the finding that "the impact of network delays is higher in
+    the case of physical-design-unaware query execution plans".
+    """
+    networks = [network for network in grid.networks() if network != baseline]
+    headers = ["Query", "Policy"] + [f"{network} vs {baseline}" for network in networks]
+    rows = []
+    for query in grid.queries():
+        for policy in grid.policies():
+            row: list[object] = [query, policy]
+            for network in networks:
+                row.append(f"{grid.slowdown(query, policy, baseline, network):.2f}x")
+            rows.append(row)
+    return format_table(headers, rows)
+
+
+def to_csv(grid: GridResults) -> str:
+    lines = [
+        "query,policy,network,answers,execution_time,time_to_first_answer,messages,engine_cost"
+    ]
+    for result in grid.results:
+        ttfa = "" if result.time_to_first_answer is None else f"{result.time_to_first_answer:.6f}"
+        lines.append(
+            f"{result.query},{result.policy},{result.network},{result.answers},"
+            f"{result.execution_time:.6f},{ttfa},{result.messages},{result.engine_cost:.6f}"
+        )
+    return "\n".join(lines)
+
+
+def to_json(grid: GridResults, include_traces: bool = False) -> str:
+    payload = []
+    for result in grid.results:
+        entry = {
+            "query": result.query,
+            "policy": result.policy,
+            "network": result.network,
+            "answers": result.answers,
+            "execution_time": result.execution_time,
+            "time_to_first_answer": result.time_to_first_answer,
+            "messages": result.messages,
+            "engine_cost": result.engine_cost,
+        }
+        if include_traces:
+            entry["trace"] = result.trace
+        payload.append(entry)
+    return json.dumps(payload, indent=2)
+
+
+def describe_result(result: RunResult) -> str:
+    ttfa = (
+        f"{result.time_to_first_answer:.4f}s"
+        if result.time_to_first_answer is not None
+        else "-"
+    )
+    return (
+        f"{result.query} [{result.policy} / {result.network}]: "
+        f"{result.answers} answers in {result.execution_time:.4f}s "
+        f"(first at {ttfa}, {result.messages} messages)"
+    )

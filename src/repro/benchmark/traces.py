@@ -1,0 +1,97 @@
+"""Answer traces — the material of the paper's Figure 2.
+
+An answer trace is the list of (timestamp, answers-so-far) pairs recorded
+while a query streams.  This module renders traces as ASCII plots (the
+repository is terminal-first) and exports them as CSV series for external
+plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Trace = list[tuple[float, int]]
+
+
+@dataclass
+class TraceSeries:
+    """One labelled answer trace."""
+
+    label: str
+    trace: Trace
+
+    @property
+    def final_time(self) -> float:
+        return self.trace[-1][0] if self.trace else 0.0
+
+    @property
+    def final_count(self) -> int:
+        return self.trace[-1][1] if self.trace else 0
+
+    def count_at(self, timestamp: float) -> int:
+        produced = 0
+        for when, count in self.trace:
+            if when <= timestamp:
+                produced = count
+            else:
+                break
+        return produced
+
+
+@dataclass
+class TracePlot:
+    """A collection of answer traces plotted on a shared time axis."""
+
+    title: str
+    series: list[TraceSeries] = field(default_factory=list)
+
+    def add(self, label: str, trace: Trace) -> None:
+        self.series.append(TraceSeries(label, list(trace)))
+
+    def render_ascii(self, width: int = 72, height: int = 18) -> str:
+        """Render the traces as an ASCII chart (answers over seconds)."""
+        if not self.series or all(not s.trace for s in self.series):
+            return f"{self.title}\n(no answers)"
+        max_time = max(s.final_time for s in self.series) or 1e-9
+        max_count = max(s.final_count for s in self.series) or 1
+        markers = "*o+x#@%&"
+        canvas = [[" "] * width for __ in range(height)]
+        for index, series in enumerate(self.series):
+            marker = markers[index % len(markers)]
+            for when, count in series.trace:
+                column = min(width - 1, int(when / max_time * (width - 1)))
+                row = min(height - 1, int(count / max_count * (height - 1)))
+                canvas[height - 1 - row][column] = marker
+        lines = [self.title]
+        axis_label = f"{max_count} answers"
+        lines.append(axis_label)
+        for row in canvas:
+            lines.append("|" + "".join(row))
+        lines.append("+" + "-" * width)
+        lines.append(f" 0{' ' * (width - 12)}{max_time:.3f}s")
+        for index, series in enumerate(self.series):
+            marker = markers[index % len(markers)]
+            lines.append(
+                f"  [{marker}] {series.label}: {series.final_count} answers "
+                f"in {series.final_time:.3f}s"
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Long-format CSV: label,time,answers."""
+        lines = ["label,time,answers"]
+        for series in self.series:
+            for when, count in series.trace:
+                lines.append(f"{series.label},{when:.6f},{count}")
+        return "\n".join(lines)
+
+
+def downsample(trace: Trace, points: int = 200) -> Trace:
+    """Thin a long trace to at most *points* entries (keeping endpoints)."""
+    if len(trace) <= points:
+        return list(trace)
+    step = len(trace) / points
+    sampled = [trace[int(index * step)] for index in range(points)]
+    if sampled[-1] != trace[-1]:
+        sampled.append(trace[-1])
+    return sampled

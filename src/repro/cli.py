@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Usage (see ``python -m repro --help``)::
+
+    python -m repro describe                      # lake + physical design
+    python -m repro query Q2 --policy aware --network gamma2 --explain
+    python -m repro query "PREFIX ..." --policy unaware
+    python -m repro grid --queries Q1,Q2,Q3 --format csv
+    python -m repro trace Q3 --policies aware,unaware --networks gamma3
+
+Queries may be given as benchmark names (Q1-Q5, Fig1), inline SPARQL text,
+or ``@path/to/query.rq``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .benchmark import (
+    Configuration,
+    TracePlot,
+    grid_table,
+    network_impact_table,
+    run_grid,
+    speedup_table,
+    to_csv,
+    to_json,
+)
+from .core.engine import FederatedEngine
+from .core.policy import JoinStrategy, PlanPolicy
+from .datasets import BENCHMARK_QUERIES, GRID_QUERIES, build_lslod_lake
+from .network.delays import NetworkSetting
+
+POLICIES = {
+    "aware": PlanPolicy.physical_design_aware,
+    "unaware": PlanPolicy.physical_design_unaware,
+    "heuristic2": PlanPolicy.heuristic2,
+    "source": PlanPolicy.filters_at_source,
+    "triple": PlanPolicy.triple_wise,
+    "dependent": PlanPolicy.dependent_join,
+}
+
+NETWORKS = {
+    "nodelay": NetworkSetting.no_delay,
+    "gamma1": NetworkSetting.gamma1,
+    "gamma2": NetworkSetting.gamma2,
+    "gamma3": NetworkSetting.gamma3,
+}
+
+
+def _resolve_query(text: str) -> str:
+    if text in BENCHMARK_QUERIES:
+        return BENCHMARK_QUERIES[text].text
+    if text.startswith("@"):
+        with open(text[1:], encoding="utf-8") as handle:
+            return handle.read()
+    return text
+
+
+def _build_lake(args: argparse.Namespace):
+    return build_lslod_lake(scale=args.scale, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.1, help="data-set scale factor")
+    parser.add_argument("--seed", type=int, default=42, help="data generation seed")
+    parser.add_argument(
+        "--run-seed", type=int, default=7, help="delay-sampling seed for executions"
+    )
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    lake = _build_lake(args)
+    print(lake.describe())
+    print()
+    print("Physical design:")
+    print(lake.physical_catalog.describe())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    lake = _build_lake(args)
+    policy = POLICIES[args.policy]()
+    network = NETWORKS[args.network]()
+    engine = FederatedEngine(lake, policy=policy, network=network)
+    query_text = _resolve_query(args.query)
+    if args.explain:
+        print(engine.explain(query_text))
+        print()
+    if args.profile:
+        answers, stats, report = engine.profile(query_text, seed=args.run_seed)
+        print(report.render())
+        print()
+    else:
+        answers, stats = engine.run(query_text, seed=args.run_seed)
+    shown = answers[: args.limit] if args.limit is not None else answers
+    for answer in shown:
+        rendered = ", ".join(f"?{name}={term.n3()}" for name, term in sorted(answer.items()))
+        print(rendered)
+    if args.limit is not None and len(answers) > args.limit:
+        print(f"... ({len(answers) - args.limit} more)")
+    ttfa = f"{stats.time_to_first_answer:.4f}s" if stats.time_to_first_answer else "-"
+    print(
+        f"\n{len(answers)} answers | {stats.execution_time:.4f} virtual s | "
+        f"first at {ttfa} | {stats.messages} messages"
+    )
+    return 0
+
+
+def cmd_grid(args: argparse.Namespace) -> int:
+    lake = _build_lake(args)
+    names = args.queries.split(",") if args.queries else list(GRID_QUERIES)
+    unknown = [name for name in names if name not in BENCHMARK_QUERIES]
+    if unknown:
+        print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    queries = [BENCHMARK_QUERIES[name] for name in names]
+    grid = run_grid(lake, queries, seed=args.run_seed)
+    if args.format == "csv":
+        print(to_csv(grid))
+    elif args.format == "json":
+        print(to_json(grid))
+    else:
+        print("Execution time (virtual seconds):")
+        print(grid_table(grid))
+        print()
+        print("Speedup of aware over unaware:")
+        print(speedup_table(grid, "Physical-Design-Unaware", "Physical-Design-Aware"))
+        print()
+        print("Network impact (slowdown vs No Delay):")
+        print(network_impact_table(grid))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    lake = _build_lake(args)
+    query_text = _resolve_query(args.query)
+    title = args.query if args.query in BENCHMARK_QUERIES else "query"
+    plot = TracePlot(f"Answer traces — {title}")
+    for policy_name in args.policies.split(","):
+        if policy_name not in POLICIES:
+            print(f"unknown policy {policy_name!r}", file=sys.stderr)
+            return 2
+        for network_name in args.networks.split(","):
+            if network_name not in NETWORKS:
+                print(f"unknown network {network_name!r}", file=sys.stderr)
+                return 2
+            engine = FederatedEngine(
+                lake,
+                policy=POLICIES[policy_name](),
+                network=NETWORKS[network_name](),
+            )
+            __, stats = engine.run(query_text, seed=args.run_seed)
+            plot.add(f"{policy_name}/{network_name}", stats.trace)
+    print(plot.render_ascii(width=args.width, height=args.height))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimizing Federated Queries Based on the "
+            "Physical Design of a Data Lake' (Rohde & Vidal, EDBT 2020)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="show the lake and its physical design")
+    _add_common(describe)
+    describe.set_defaults(func=cmd_describe)
+
+    query = sub.add_parser("query", help="plan/execute a SPARQL query")
+    _add_common(query)
+    query.add_argument("query", help="benchmark name (Q1-Q5, Fig1), SPARQL text or @file")
+    query.add_argument("--policy", choices=sorted(POLICIES), default="aware")
+    query.add_argument("--network", choices=sorted(NETWORKS), default="nodelay")
+    query.add_argument("--explain", action="store_true", help="print the plan first")
+    query.add_argument(
+        "--profile", action="store_true", help="per-operator EXPLAIN ANALYZE output"
+    )
+    query.add_argument("--limit", type=int, default=20, help="answers to print")
+    query.set_defaults(func=cmd_query)
+
+    grid = sub.add_parser("grid", help="run the 8-configuration experiment grid")
+    _add_common(grid)
+    grid.add_argument("--queries", help="comma-separated benchmark names (default Q1-Q5)")
+    grid.add_argument("--format", choices=("table", "csv", "json"), default="table")
+    grid.set_defaults(func=cmd_grid)
+
+    trace = sub.add_parser("trace", help="plot answer traces (Figure 2 style)")
+    _add_common(trace)
+    trace.add_argument("query", help="benchmark name, SPARQL text or @file")
+    trace.add_argument("--policies", default="unaware,aware")
+    trace.add_argument("--networks", default="gamma3")
+    trace.add_argument("--width", type=int, default=72)
+    trace.add_argument("--height", type=int, default=14)
+    trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""The physical-design catalog.
+
+The catalog is the knowledge base the paper's heuristics consult: which
+attributes of which relational source are indexed (including primary keys),
+and which columns are primary keys.  It is harvested from the sources'
+databases, the way Ontario's source descriptions would be enriched with
+physical metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..relational.database import Database
+
+
+@dataclass
+class SourcePhysicalDesign:
+    """Physical facts of one relational source."""
+
+    source_id: str
+    #: (table, column) pairs that are the leading column of some index.
+    indexed_columns: set[tuple[str, str]] = field(default_factory=set)
+    #: (table, column) pairs that are single-column primary keys.
+    primary_keys: set[tuple[str, str]] = field(default_factory=set)
+    #: table -> number of rows (for join-order estimation).
+    table_rows: dict[str, int] = field(default_factory=dict)
+
+    def is_indexed(self, table: str, column: str) -> bool:
+        return (table, column) in self.indexed_columns
+
+    def is_primary_key(self, table: str, column: str) -> bool:
+        return (table, column) in self.primary_keys
+
+
+class PhysicalDesignCatalog:
+    """Physical design facts for every relational source of a lake."""
+
+    def __init__(self):
+        self._sources: dict[str, SourcePhysicalDesign] = {}
+
+    def register_database(self, source_id: str, database: Database) -> SourcePhysicalDesign:
+        """Harvest indexes / PKs / row counts from *database*."""
+        design = SourcePhysicalDesign(source_id=source_id)
+        for table_name in database.table_names:
+            storage = database.table(table_name)
+            design.table_rows[table_name] = len(storage)
+            for definition in storage.indexes.values():
+                if definition.columns:
+                    design.indexed_columns.add((table_name, definition.columns[0]))
+            if len(storage.schema.primary_key) == 1:
+                design.primary_keys.add((table_name, storage.schema.primary_key[0]))
+        self._sources[source_id] = design
+        return design
+
+    def refresh(self, source_id: str, database: Database) -> None:
+        """Re-harvest after indexes were added or dropped."""
+        self.register_database(source_id, database)
+
+    def source(self, source_id: str) -> SourcePhysicalDesign | None:
+        return self._sources.get(source_id)
+
+    def is_indexed(self, source_id: str, table: str, column: str) -> bool:
+        """The heuristics' central question: is this attribute indexed?"""
+        design = self._sources.get(source_id)
+        return design is not None and design.is_indexed(table, column)
+
+    def is_primary_key(self, source_id: str, table: str, column: str) -> bool:
+        design = self._sources.get(source_id)
+        return design is not None and design.is_primary_key(table, column)
+
+    def table_rows(self, source_id: str, table: str) -> int:
+        design = self._sources.get(source_id)
+        if design is None:
+            return 0
+        return design.table_rows.get(table, 0)
+
+    def describe(self) -> str:
+        lines = []
+        for source_id in sorted(self._sources):
+            design = self._sources[source_id]
+            lines.append(f"source {source_id}:")
+            for table, column in sorted(design.indexed_columns):
+                marker = " (pk)" if design.is_primary_key(table, column) else ""
+                lines.append(f"  index on {table}.{column}{marker}")
+        return "\n".join(lines)

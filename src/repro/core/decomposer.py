@@ -1,0 +1,220 @@
+"""Star-shaped decomposition of SPARQL queries.
+
+Following the paper (and Vidal et al. [22] / ANAPSID / MULDER), a SPARQL
+basic graph pattern is partitioned into **star-shaped sub-queries (SSQs)**:
+maximal groups of triple patterns sharing the same subject.  SSQs are the
+planning unit — each is answered by one source wrapper — and the paper's
+Heuristic 1 merges SSQs that live on the same relational endpoint.
+
+A *triple-wise* decomposition (one sub-query per triple pattern, FedX-style)
+is also provided for the decomposition ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import PlanningError
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import IRI, PatternTerm, Variable
+from ..sparql.algebra import Filter, GroupGraphPattern, SelectQuery, TriplePattern
+
+
+@dataclass
+class StarSubquery:
+    """A star-shaped sub-query: triple patterns sharing one subject.
+
+    Attributes:
+        subject: the shared subject (variable or ground term).
+        patterns: the star's triple patterns.
+        filters: FILTER constraints whose variables all belong to this star.
+    """
+
+    subject: PatternTerm
+    patterns: list[TriplePattern] = field(default_factory=list)
+    filters: list[Filter] = field(default_factory=list)
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        return result
+
+    def variable_names(self) -> set[str]:
+        return {variable.name for variable in self.variables()}
+
+    def predicates(self) -> set[IRI]:
+        """Ground predicates of the star (used for source selection)."""
+        return {
+            pattern.predicate
+            for pattern in self.patterns
+            if isinstance(pattern.predicate, IRI)
+        }
+
+    def type_constraint(self) -> IRI | None:
+        """The ``rdf:type`` object when the star declares its class."""
+        for pattern in self.patterns:
+            if pattern.predicate == RDF_TYPE and isinstance(pattern.object, IRI):
+                return pattern.object
+        return None
+
+    def join_variables(self, other: "StarSubquery") -> set[str]:
+        """Variable names shared with *other* (the star-join attributes)."""
+        return self.variable_names() & other.variable_names()
+
+    @property
+    def subject_name(self) -> str:
+        if isinstance(self.subject, Variable):
+            return f"?{self.subject.name}"
+        return self.subject.n3()
+
+    def describe(self) -> str:
+        parts = [f"SSQ(subject={self.subject_name}, {len(self.patterns)} patterns"]
+        if self.filters:
+            parts.append(f", {len(self.filters)} filters")
+        parts.append(")")
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+@dataclass
+class Decomposition:
+    """The result of decomposing a query's WHERE clause.
+
+    Attributes:
+        subqueries: the star-shaped (or triple-wise) sub-queries.
+        residual_filters: filters spanning several sub-queries; these must be
+            evaluated at the engine after the joins.
+        optional_groups: decompositions of OPTIONAL groups, left-joined to
+            the main part at the engine.
+        union_branches: decompositions of top-level UNION branches; when
+            set, ``subqueries`` is empty and the branches are planned
+            independently and unioned.
+    """
+
+    subqueries: list[StarSubquery]
+    residual_filters: list[Filter] = field(default_factory=list)
+    optional_groups: list["Decomposition"] = field(default_factory=list)
+    union_branches: list["Decomposition"] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.subqueries)
+
+    def describe(self) -> str:
+        if self.union_branches:
+            lines = [f"Decomposition: UNION of {len(self.union_branches)} branches"]
+            for branch in self.union_branches:
+                lines.extend("  " + line for line in branch.describe().splitlines())
+            return "\n".join(lines)
+        lines = [f"Decomposition: {len(self.subqueries)} sub-queries"]
+        lines.extend("  " + subquery.describe() for subquery in self.subqueries)
+        for filter_ in self.residual_filters:
+            lines.append(f"  residual {filter_.n3()}")
+        for optional in self.optional_groups:
+            lines.append("  OPTIONAL:")
+            lines.extend("    " + line for line in optional.describe().splitlines())
+        return "\n".join(lines)
+
+
+def _supported_group(group: GroupGraphPattern, allow_extensions: bool = True) -> None:
+    if not allow_extensions and not group.is_basic():
+        raise PlanningError(
+            "nested OPTIONAL/UNION groups are not supported by the federated planner"
+        )
+    if not group.patterns and not group.unions:
+        raise PlanningError("cannot decompose an empty graph pattern")
+    for pattern in group.all_triple_patterns():
+        if isinstance(pattern.predicate, Variable):
+            raise PlanningError(
+                f"variable predicates are not supported in federated queries: {pattern.n3()}"
+            )
+
+
+def _assign_filters(
+    stars: list[StarSubquery], filters: list[Filter]
+) -> list[Filter]:
+    """Attach each filter to the single star covering its variables;
+    return the filters that span stars (residuals)."""
+    residual: list[Filter] = []
+    for filter_ in filters:
+        names = {variable.name for variable in filter_.variables()}
+        owners = [star for star in stars if names <= star.variable_names()]
+        if owners:
+            owners[0].filters.append(filter_)
+        else:
+            residual.append(filter_)
+    return residual
+
+
+def decompose_star_shaped(query: SelectQuery | GroupGraphPattern) -> Decomposition:
+    """Decompose into maximal subject-sharing stars (Ontario's default).
+
+    One level of OPTIONAL groups and one top-level UNION are supported:
+    OPTIONAL bodies are decomposed recursively and left-joined at the
+    engine; a WHERE that is a pure UNION of groups yields one decomposition
+    per branch.
+    """
+    group = query.where if isinstance(query, SelectQuery) else query
+    _supported_group(group)
+
+    if group.unions:
+        if len(group.unions) > 1 or group.patterns or group.optionals:
+            raise PlanningError(
+                "UNION is supported only as the entire WHERE clause "
+                "(one UNION of basic groups)"
+            )
+        branches = [decompose_star_shaped(branch) for branch in group.unions[0]]
+        return Decomposition(subqueries=[], union_branches=branches)
+
+    by_subject: dict[PatternTerm, StarSubquery] = {}
+    order: list[PatternTerm] = []
+    for pattern in group.patterns:
+        if pattern.subject not in by_subject:
+            by_subject[pattern.subject] = StarSubquery(subject=pattern.subject)
+            order.append(pattern.subject)
+        by_subject[pattern.subject].patterns.append(pattern)
+    stars = [by_subject[subject] for subject in order]
+    residual = _assign_filters(stars, group.filters)
+    optional_groups = []
+    for optional in group.optionals:
+        _supported_group(optional, allow_extensions=False)
+        optional_groups.append(decompose_star_shaped(optional))
+    return Decomposition(
+        subqueries=stars,
+        residual_filters=residual,
+        optional_groups=optional_groups,
+    )
+
+
+def decompose_triple_wise(query: SelectQuery | GroupGraphPattern) -> Decomposition:
+    """One sub-query per triple pattern (the ablation decomposition)."""
+    group = query.where if isinstance(query, SelectQuery) else query
+    _supported_group(group, allow_extensions=False)
+    stars = [
+        StarSubquery(subject=pattern.subject, patterns=[pattern])
+        for pattern in group.patterns
+    ]
+    residual = _assign_filters(stars, group.filters)
+    return Decomposition(subqueries=stars, residual_filters=residual)
+
+
+def validate_decomposition(group: GroupGraphPattern, decomposition: Decomposition) -> bool:
+    """Soundness check: the union of sub-query patterns equals the BGP and
+    every filter is placed exactly once."""
+    original = sorted(pattern.n3() for pattern in group.patterns)
+    decomposed = sorted(
+        pattern.n3()
+        for subquery in decomposition.subqueries
+        for pattern in subquery.patterns
+    )
+    if original != decomposed:
+        return False
+    original_filters = sorted(filter_.n3() for filter_ in group.filters)
+    placed = sorted(
+        filter_.n3()
+        for subquery in decomposition.subqueries
+        for filter_ in subquery.filters
+    ) + sorted(filter_.n3() for filter_ in decomposition.residual_filters)
+    return original_filters == sorted(placed)

@@ -1,0 +1,153 @@
+"""The federated query engine facade (our Ontario).
+
+:class:`FederatedEngine` receives SPARQL queries, plans them under a
+:class:`~repro.core.policy.PlanPolicy` and a network setting, and streams
+answers through the ANAPSID-style operators while a shared clock accumulates
+the virtual execution timeline.  Every produced answer is timestamped,
+yielding the answer traces of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TYPE_CHECKING
+
+from ..federation.answers import ExecutionStats, RunContext, Solution
+from ..network.clock import Clock
+from ..network.costmodel import CostModel, DEFAULT_COST_MODEL
+from ..network.delays import NetworkSetting
+from ..sparql.algebra import SelectQuery
+from .planner import FederatedPlan, FederatedPlanner
+from .policy import PlanPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> datalake cycle
+    from ..datalake.lake import SemanticDataLake
+
+
+class ResultStream:
+    """A streamed query result.
+
+    Iterate to pull answers (driving the virtual clock); ``stats`` is
+    complete once the stream is exhausted.  :meth:`collect` pulls everything
+    and returns the answer list.
+    """
+
+    def __init__(self, plan: FederatedPlan, context: RunContext):
+        self.plan = plan
+        self.context = context
+        self._iterator = self._run()
+        self._exhausted = False
+
+    def _run(self) -> Iterator[Solution]:
+        stats = self.context.stats
+        for solution in self.plan.root.execute(self.context):
+            stats.record_answer(self.context.now())
+            yield solution
+        stats.execution_time = self.context.now()
+        self._exhausted = True
+
+    def __iter__(self) -> Iterator[Solution]:
+        return self._iterator
+
+    def __next__(self) -> Solution:
+        return next(self._iterator)
+
+    def collect(self) -> list[Solution]:
+        return list(self._iterator)
+
+    @property
+    def stats(self) -> ExecutionStats:
+        return self.context.stats
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+
+class FederatedEngine:
+    """SPARQL query engine over a Semantic Data Lake.
+
+    Example:
+        >>> engine = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware(),
+        ...                          network=NetworkSetting.gamma2())
+        >>> result = engine.execute(query_text, seed=1)
+        >>> answers = result.collect()
+        >>> result.stats.execution_time    # virtual seconds
+    """
+
+    def __init__(
+        self,
+        lake: SemanticDataLake,
+        policy: PlanPolicy | None = None,
+        network: NetworkSetting | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.lake = lake
+        self.policy = policy or PlanPolicy.physical_design_aware()
+        self.network = network or NetworkSetting.no_delay()
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+
+    def planner(self) -> FederatedPlanner:
+        return FederatedPlanner(self.lake, self.policy, self.network)
+
+    def plan(self, query: SelectQuery | str) -> FederatedPlan:
+        """Plan without executing (EXPLAIN)."""
+        return self.planner().plan(query)
+
+    def explain(self, query: SelectQuery | str) -> str:
+        return self.plan(query).explain()
+
+    def execute(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+        clock: Clock | None = None,
+    ) -> ResultStream:
+        """Plan and execute *query*, returning a streamed result.
+
+        Args:
+            query: SPARQL text or a parsed query.
+            seed: seed for the delay-sampling RNG (determinism).
+            clock: override the default fresh virtual clock (e.g. a
+                :class:`~repro.network.clock.RealClock` for live demos).
+        """
+        plan = self.plan(query)
+        context = RunContext(
+            network=self.network,
+            cost_model=self.cost_model,
+            clock=clock,
+            seed=seed,
+        )
+        return ResultStream(plan, context)
+
+    def run(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+    ) -> tuple[list[Solution], ExecutionStats]:
+        """Execute to completion; returns (answers, stats)."""
+        stream = self.execute(query, seed=seed)
+        answers = stream.collect()
+        return answers, stream.stats
+
+    def profile(self, query: SelectQuery | str, seed: int | None = None):
+        """EXPLAIN ANALYZE: execute with per-operator instrumentation.
+
+        Returns (answers, stats, report) where *report* is a
+        :class:`~repro.core.profiler.ProfileReport`.
+        """
+        from .profiler import profile_plan
+
+        plan = self.plan(query)
+        context = RunContext(
+            network=self.network, cost_model=self.cost_model, seed=seed
+        )
+        answers, report = profile_plan(plan, context)
+        return answers, context.stats, report
+
+    def with_policy(self, policy: PlanPolicy) -> "FederatedEngine":
+        """A sibling engine differing only in policy."""
+        return FederatedEngine(self.lake, policy, self.network, self.cost_model)
+
+    def with_network(self, network: NetworkSetting) -> "FederatedEngine":
+        """A sibling engine differing only in network setting."""
+        return FederatedEngine(self.lake, self.policy, network, self.cost_model)

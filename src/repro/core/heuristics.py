@@ -1,0 +1,285 @@
+"""The paper's source-specific heuristics.
+
+**Heuristic 1 (pushing down joins).**  Given two star-shaped sub-queries
+over the same RDB endpoint, combine them into one sub-query if the join
+attribute is indexed (and the number of relational tables involved stays
+reasonable).
+
+**Heuristic 2 (pushing up instantiations).**  Given a star-shaped sub-query
+over a relational database, perform filters at the query-engine level
+unless there is an index on the filtered attribute and the network speed is
+low.  The experiment's aware plans additionally support the "use indexes
+whenever possible" placement (push down whenever the attribute is indexed,
+regardless of network) — the variant Figure 2 evaluates.
+
+Both heuristics return decision records so plans can explain themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import TranslationError
+from ..mapping.rml import ClassMapping
+from ..mapping.translator import (
+    can_translate_filter,
+    filter_columns,
+    stars_variable_columns,
+    translate_stars,
+)
+from ..network.delays import NetworkSetting
+from ..sparql.algebra import Filter
+from .catalog import PhysicalDesignCatalog
+from .decomposer import StarSubquery
+from .policy import FilterPlacement, PlanPolicy
+from .source_selection import SelectedStar, SourceCandidate
+
+StarWithMapping = tuple[StarSubquery, ClassMapping]
+
+
+# ---------------------------------------------------------------------------
+# Heuristic 1 — pushing down joins
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MergeDecision:
+    """Why two stars were (not) merged."""
+
+    star_a: str
+    star_b: str
+    merged: bool
+    reason: str
+
+
+@dataclass
+class MergeGroup:
+    """A maximal set of stars shipped as one sub-query to one source."""
+
+    source_id: str
+    candidates: list[SourceCandidate]
+    selections: list[SelectedStar]
+
+    @property
+    def stars(self) -> list[StarSubquery]:
+        return [selection.star for selection in self.selections]
+
+    def stars_with_mappings(self) -> list[StarWithMapping]:
+        return [
+            (selection.star, candidate.class_mapping)
+            for selection, candidate in zip(self.selections, self.candidates)
+        ]
+
+
+def _mergeable(
+    group: MergeGroup,
+    selection: SelectedStar,
+    candidate: SourceCandidate,
+    catalog: PhysicalDesignCatalog,
+    policy: PlanPolicy,
+) -> tuple[bool, str]:
+    """Check Heuristic 1's conditions for adding *selection* to *group*."""
+    source_id = group.source_id
+    shared_with: list[tuple[SelectedStar, SourceCandidate, set[str]]] = []
+    for existing, existing_candidate in zip(group.selections, group.candidates):
+        shared = existing.star.join_variables(selection.star)
+        if shared:
+            shared_with.append((existing, existing_candidate, shared))
+    if not shared_with:
+        return False, "no shared join variable with the group"
+
+    try:
+        new_columns = stars_variable_columns([(selection.star, candidate.class_mapping)])
+    except TranslationError as exc:
+        return False, f"star not translatable: {exc}"
+
+    table_count = {candidate.class_mapping.table}
+    for existing, existing_candidate in zip(group.selections, group.candidates):
+        table_count.add(existing_candidate.class_mapping.table)
+    if len(table_count) + _satellite_tables(group, candidate, selection) > policy.max_merged_tables:
+        return False, (
+            f"merged sub-query would involve more than "
+            f"{policy.max_merged_tables} relational tables"
+        )
+
+    for existing, existing_candidate, shared in shared_with:
+        try:
+            existing_columns = stars_variable_columns(
+                [(existing.star, existing_candidate.class_mapping)]
+            )
+        except TranslationError as exc:
+            return False, f"existing star not translatable: {exc}"
+        for variable in shared:
+            if variable not in new_columns or variable not in existing_columns:
+                return False, f"join variable ?{variable} is not column-backed on both sides"
+            table_a, column_a = existing_columns[variable]
+            table_b, column_b = new_columns[variable]
+            indexed_a = catalog.is_indexed(source_id, table_a, column_a)
+            indexed_b = catalog.is_indexed(source_id, table_b, column_b)
+            if not (indexed_a or indexed_b):
+                return False, (
+                    f"join attribute ?{variable} "
+                    f"({table_a}.{column_a} / {table_b}.{column_b}) is not indexed"
+                )
+    # Finally ensure the merged statement actually translates.
+    try:
+        translate_stars(group.stars_with_mappings() + [(selection.star, candidate.class_mapping)])
+    except TranslationError as exc:
+        return False, f"merged stars not translatable: {exc}"
+    return True, "same endpoint, shared join variable over an indexed attribute"
+
+
+def _satellite_tables(group, candidate, selection) -> int:
+    """Count satellite tables the merged query would additionally join."""
+    count = 0
+    for star, mapping in group.stars_with_mappings() + [
+        (selection.star, candidate.class_mapping)
+    ]:
+        for pattern in star.patterns:
+            predicate = pattern.predicate
+            if mapping.has_predicate(predicate):
+                if mapping.predicate_mapping(predicate).kind == "multivalued":
+                    count += 1
+    return count
+
+
+def push_down_joins(
+    selections: list[SelectedStar],
+    catalog: PhysicalDesignCatalog,
+    policy: PlanPolicy,
+) -> tuple[list[MergeGroup | SelectedStar], list[MergeDecision]]:
+    """Apply Heuristic 1: greedily grow merge groups over shared variables.
+
+    Returns the plan units (merged groups and untouched stars, in original
+    star order) and the decision log.
+    """
+    decisions: list[MergeDecision] = []
+    units: list[MergeGroup | SelectedStar] = []
+    groups_by_source: dict[str, list[MergeGroup]] = {}
+
+    for selection in selections:
+        placed = False
+        if policy.merge_same_source_joins and selection.is_exclusive:
+            candidate = selection.candidates[0]
+            if candidate.kind == "rdb" and candidate.class_mapping is not None:
+                for group in groups_by_source.get(candidate.source_id, []):
+                    mergeable, reason = _mergeable(group, selection, candidate, catalog, policy)
+                    decisions.append(
+                        MergeDecision(
+                            star_a=group.stars[-1].subject_name,
+                            star_b=selection.star.subject_name,
+                            merged=mergeable,
+                            reason=reason,
+                        )
+                    )
+                    if mergeable:
+                        group.selections.append(selection)
+                        group.candidates.append(candidate)
+                        placed = True
+                        break
+                if not placed:
+                    group = MergeGroup(
+                        source_id=candidate.source_id,
+                        candidates=[candidate],
+                        selections=[selection],
+                    )
+                    groups_by_source.setdefault(candidate.source_id, []).append(group)
+                    units.append(group)
+                    placed = True
+        if not placed:
+            units.append(selection)
+
+    # Collapse 1-star groups back to plain selections for a cleaner plan.
+    collapsed: list[MergeGroup | SelectedStar] = []
+    for unit in units:
+        if isinstance(unit, MergeGroup) and len(unit.selections) == 1:
+            collapsed.append(unit.selections[0])
+        else:
+            collapsed.append(unit)
+    return collapsed, decisions
+
+
+# ---------------------------------------------------------------------------
+# Heuristic 2 — pushing up instantiations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FilterDecision:
+    """Where one filter was placed, and why."""
+
+    filter: Filter
+    pushed: bool
+    reason: str
+
+    def describe(self) -> str:
+        where = "source" if self.pushed else "engine"
+        return f"{self.filter.n3()} -> {where} ({self.reason})"
+
+
+@dataclass
+class FilterPlan:
+    """The outcome of filter placement for one sub-query."""
+
+    pushed: list[Filter] = field(default_factory=list)
+    at_engine: list[Filter] = field(default_factory=list)
+    decisions: list[FilterDecision] = field(default_factory=list)
+
+
+def place_filters(
+    filters: list[Filter],
+    stars: list[StarWithMapping],
+    source_id: str,
+    catalog: PhysicalDesignCatalog,
+    policy: PlanPolicy,
+    network: NetworkSetting,
+) -> FilterPlan:
+    """Apply Heuristic 2 (or the policy's placement mode) to *filters*."""
+    plan = FilterPlan()
+    for filter_ in filters:
+        pushed, reason = _decide_filter(filter_, stars, source_id, catalog, policy, network)
+        plan.decisions.append(FilterDecision(filter_, pushed, reason))
+        if pushed:
+            plan.pushed.append(filter_)
+        else:
+            plan.at_engine.append(filter_)
+    return plan
+
+
+def _decide_filter(
+    filter_: Filter,
+    stars: list[StarWithMapping],
+    source_id: str,
+    catalog: PhysicalDesignCatalog,
+    policy: PlanPolicy,
+    network: NetworkSetting,
+) -> tuple[bool, str]:
+    placement = policy.filter_placement
+    if placement is FilterPlacement.ENGINE:
+        return False, "policy keeps filters at the engine"
+    if not can_translate_filter(filter_, stars):
+        return False, "filter is not translatable to SQL"
+    if placement is FilterPlacement.SOURCE:
+        return True, "policy pushes every translatable filter"
+    columns = filter_columns(filter_, stars)
+    if not columns:
+        return False, "filter touches no source column"
+    unindexed = [
+        f"{table}.{column}"
+        for table, column in columns
+        if not catalog.is_indexed(source_id, table, column)
+    ]
+    if unindexed:
+        return False, f"no index on filtered attribute(s) {', '.join(sorted(set(unindexed)))}"
+    if placement is FilterPlacement.SOURCE_IF_INDEXED:
+        return True, "filtered attributes are indexed (use indexes whenever possible)"
+    # FilterPlacement.HEURISTIC2
+    if network.is_slow:
+        return True, (
+            f"filtered attributes indexed and network is slow "
+            f"(mean latency {network.mean_latency * 1000:.1f} ms)"
+        )
+    return False, (
+        "Heuristic 2: engine-level filtering preferred on fast networks "
+        f"(mean latency {network.mean_latency * 1000:.1f} ms)"
+    )

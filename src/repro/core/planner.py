@@ -1,0 +1,366 @@
+"""The federated plan generator — the paper's contribution lives here.
+
+Pipeline (Ontario's architecture with the paper's heuristics plugged in):
+
+1. **Decompose** the SPARQL query into star-shaped sub-queries (or triples,
+   for the ablation).
+2. **Select sources** per star via RDF molecule templates.
+3. **Heuristic 1** — merge stars over the same relational endpoint when the
+   join attribute is indexed (physical-design-aware policies only).
+4. **Heuristic 2** — place each filter at the source or at the engine,
+   consulting the physical-design catalog and the network condition.
+5. **Order joins** greedily over estimated cardinalities, connecting plan
+   units through ANAPSID's non-blocking symmetric hash joins.
+6. Apply residual filters, ORDER BY, projection, DISTINCT and LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..exceptions import PlanningError
+from ..federation.endpoints import RDFSource, RelationalSource
+from ..federation.operators import (
+    DependentJoin,
+    Distinct,
+    EngineFilter,
+    FedOperator,
+    LeftJoin,
+    Limit,
+    OrderBy,
+    Project,
+    ServiceNode,
+    SymmetricHashJoin,
+    Union,
+)
+from ..federation.wrappers import SPARQLWrapper, SQLWrapper
+from ..network.delays import NetworkSetting
+from ..sparql.algebra import Filter, SelectQuery
+from ..sparql.parser import parse_query
+from .decomposer import (
+    Decomposition,
+    decompose_star_shaped,
+    decompose_triple_wise,
+)
+from .heuristics import (
+    FilterDecision,
+    MergeDecision,
+    MergeGroup,
+    place_filters,
+    push_down_joins,
+)
+from .policy import DecompositionKind, JoinStrategy, PlanPolicy
+from .source_selection import SelectedStar, select_sources
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> datalake cycle
+    from ..datalake.lake import SemanticDataLake
+
+
+@dataclass
+class FederatedPlan:
+    """An executable federated plan plus its decision log."""
+
+    root: FedOperator
+    query: SelectQuery
+    policy: PlanPolicy
+    network: NetworkSetting
+    decomposition: Decomposition
+    merge_decisions: list[MergeDecision] = field(default_factory=list)
+    filter_decisions: list[tuple[str, FilterDecision]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """Figure-1-style plan rendering with the heuristics' reasoning."""
+        lines = [
+            f"Plan [{self.policy.name}] network={self.network.name}",
+            self.root.explain(indent=1),
+        ]
+        if self.merge_decisions:
+            lines.append("Heuristic 1 (pushing down joins):")
+            for decision in self.merge_decisions:
+                verdict = "merged" if decision.merged else "kept separate"
+                lines.append(
+                    f"  {decision.star_a} + {decision.star_b}: {verdict} — {decision.reason}"
+                )
+        if self.filter_decisions:
+            lines.append("Heuristic 2 (filter placement):")
+            for source_id, decision in self.filter_decisions:
+                lines.append(f"  [{source_id}] {decision.describe()}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _PlanUnit:
+    """A leaf operator plus the metadata join ordering needs."""
+
+    operator: FedOperator
+    variables: set[str]
+    estimate: float
+
+
+class FederatedPlanner:
+    """Builds :class:`FederatedPlan` objects for one lake."""
+
+    def __init__(self, lake: SemanticDataLake, policy: PlanPolicy, network: NetworkSetting):
+        self.lake = lake
+        self.policy = policy
+        self.network = network
+
+    # -- public ---------------------------------------------------------------
+
+    def plan(self, query: SelectQuery | str) -> FederatedPlan:
+        if isinstance(query, str):
+            query = parse_query(query)
+        if self.policy.decomposition is DecompositionKind.TRIPLE:
+            decomposition = decompose_triple_wise(query)
+        else:
+            decomposition = decompose_star_shaped(query)
+        merge_decisions: list[MergeDecision] = []
+        filter_decisions: list[tuple[str, FilterDecision]] = []
+        notes: list[str] = []
+        root = self._plan_decomposition(
+            decomposition, merge_decisions, filter_decisions, notes
+        )
+        root = self._apply_modifiers(root, query, decomposition)
+        return FederatedPlan(
+            root=root,
+            query=query,
+            policy=self.policy,
+            network=self.network,
+            decomposition=decomposition,
+            merge_decisions=merge_decisions,
+            filter_decisions=filter_decisions,
+            notes=notes,
+        )
+
+    def _plan_decomposition(
+        self,
+        decomposition: Decomposition,
+        merge_decisions: list[MergeDecision],
+        filter_decisions: list[tuple[str, FilterDecision]],
+        notes: list[str],
+    ) -> FedOperator:
+        """Plan one decomposition (recursively for UNION branches and
+        OPTIONAL groups) into an operator tree, pre-modifiers."""
+        if decomposition.union_branches:
+            branches = [
+                self._plan_branch(branch, merge_decisions, filter_decisions, notes)
+                for branch in decomposition.union_branches
+            ]
+            return Union(branches)
+        return self._plan_branch(decomposition, merge_decisions, filter_decisions, notes)
+
+    def _plan_branch(
+        self,
+        decomposition: Decomposition,
+        merge_decisions: list[MergeDecision],
+        filter_decisions: list[tuple[str, FilterDecision]],
+        notes: list[str],
+    ) -> FedOperator:
+        selections = select_sources(self.lake, decomposition)
+        units_spec, branch_merges = push_down_joins(
+            selections, self.lake.physical_catalog, self.policy
+        )
+        merge_decisions.extend(branch_merges)
+        units = [self._build_unit(unit, filter_decisions) for unit in units_spec]
+        root = self._order_joins(units, notes)
+        if decomposition.residual_filters:
+            root = EngineFilter(root, decomposition.residual_filters)
+        main_variables: set[str] = set()
+        for star in decomposition.subqueries:
+            main_variables |= star.variable_names()
+        for optional in decomposition.optional_groups:
+            optional_root = self._plan_decomposition(
+                optional, merge_decisions, filter_decisions, notes
+            )
+            optional_variables: set[str] = set()
+            for star in optional.subqueries:
+                optional_variables |= star.variable_names()
+            join_variables = tuple(sorted(main_variables & optional_variables))
+            root = LeftJoin(left=root, right=optional_root, join_variables=join_variables)
+            main_variables |= optional_variables
+        return root
+
+    # -- leaves -----------------------------------------------------------------
+
+    def _build_unit(
+        self,
+        unit: MergeGroup | SelectedStar,
+        filter_decisions: list[tuple[str, FilterDecision]],
+    ) -> _PlanUnit:
+        if isinstance(unit, MergeGroup):
+            return self._build_merged_unit(unit, filter_decisions)
+        return self._build_star_unit(unit, filter_decisions)
+
+    def _build_merged_unit(
+        self,
+        group: MergeGroup,
+        filter_decisions: list[tuple[str, FilterDecision]],
+    ) -> _PlanUnit:
+        source = self.lake.source(group.source_id)
+        assert isinstance(source, RelationalSource)
+        stars = group.stars_with_mappings()
+        filters: list[Filter] = []
+        for star in group.stars:
+            filters.extend(star.filters)
+        filter_plan = place_filters(
+            filters,
+            stars,
+            group.source_id,
+            self.lake.physical_catalog,
+            self.policy,
+            self.network,
+        )
+        filter_decisions.extend(
+            (group.source_id, decision) for decision in filter_plan.decisions
+        )
+        wrapper = SQLWrapper(source)
+        translation = wrapper.translate(stars, pushed_filters=filter_plan.pushed)
+        operator = ServiceNode(
+            source_id=group.source_id,
+            description=f"SQL: {translation.sql}",
+            runner=lambda context, w=wrapper, t=translation: w.execute(t, context),
+            engine_filters=filter_plan.at_engine,
+            restricted_runner=(
+                lambda context, variable, terms, w=wrapper, t=translation: w.execute(
+                    t.restricted(variable, terms), context
+                )
+            ),
+        )
+        variables: set[str] = set()
+        for star in group.stars:
+            variables |= star.variable_names()
+        estimate = min(
+            float(self.lake.physical_catalog.table_rows(group.source_id, mapping.table))
+            for __, mapping in stars
+        )
+        return _PlanUnit(operator=operator, variables=variables, estimate=estimate)
+
+    def _build_star_unit(
+        self,
+        selection: SelectedStar,
+        filter_decisions: list[tuple[str, FilterDecision]],
+    ) -> _PlanUnit:
+        branches: list[FedOperator] = []
+        for candidate in selection.candidates:
+            source = self.lake.source(candidate.source_id)
+            if candidate.kind == "rdb":
+                assert isinstance(source, RelationalSource)
+                stars = [(selection.star, candidate.class_mapping)]
+                filter_plan = place_filters(
+                    selection.star.filters,
+                    stars,
+                    candidate.source_id,
+                    self.lake.physical_catalog,
+                    self.policy,
+                    self.network,
+                )
+                filter_decisions.extend(
+                    (candidate.source_id, decision) for decision in filter_plan.decisions
+                )
+                wrapper = SQLWrapper(source)
+                translation = wrapper.translate(stars, pushed_filters=filter_plan.pushed)
+                branches.append(
+                    ServiceNode(
+                        source_id=candidate.source_id,
+                        description=f"SQL: {translation.sql}",
+                        runner=lambda context, w=wrapper, t=translation: w.execute(t, context),
+                        engine_filters=filter_plan.at_engine,
+                        restricted_runner=(
+                            lambda context, variable, terms, w=wrapper, t=translation:
+                            w.execute(t.restricted(variable, terms), context)
+                        ),
+                    )
+                )
+            else:
+                assert isinstance(source, RDFSource)
+                wrapper = SPARQLWrapper(source)
+                star = selection.star
+                patterns = " . ".join(p.n3().rstrip(" .") for p in star.patterns)
+                branches.append(
+                    ServiceNode(
+                        source_id=candidate.source_id,
+                        description=f"SPARQL: {{ {patterns} }}",
+                        runner=lambda context, w=wrapper, s=star: w.execute(
+                            s, context, pushed_filters=s.filters
+                        ),
+                        restricted_runner=(
+                            lambda context, variable, terms, w=wrapper, s=star:
+                            w.execute_restricted(
+                                s, context, variable, terms, pushed_filters=s.filters
+                            )
+                        ),
+                    )
+                )
+        operator: FedOperator = branches[0] if len(branches) == 1 else Union(branches)
+        return _PlanUnit(
+            operator=operator,
+            variables=selection.star.variable_names(),
+            estimate=float(selection.estimated_cardinality()),
+        )
+
+    # -- join ordering -------------------------------------------------------------
+
+    def _order_joins(self, units: list[_PlanUnit], notes: list[str]) -> FedOperator:
+        if not units:
+            raise PlanningError("nothing to plan: no sub-queries")
+        remaining = sorted(units, key=lambda unit: unit.estimate)
+        current = remaining.pop(0)
+        root = current.operator
+        bound = set(current.variables)
+        estimate = current.estimate
+        while remaining:
+            connected = [unit for unit in remaining if unit.variables & bound]
+            if connected:
+                nxt = min(connected, key=lambda unit: unit.estimate)
+            else:
+                nxt = remaining[0]
+                notes.append(
+                    "cartesian product: no shared variables between plan units"
+                )
+            remaining.remove(nxt)
+            join_variables = tuple(sorted(nxt.variables & bound))
+            root = self._join_operator(root, nxt, join_variables)
+            bound |= nxt.variables
+            estimate = max(estimate, nxt.estimate)
+        return root
+
+    def _join_operator(
+        self, outer: FedOperator, nxt: _PlanUnit, join_variables: tuple[str, ...]
+    ) -> FedOperator:
+        use_dependent = (
+            self.policy.join_strategy is JoinStrategy.DEPENDENT
+            and len(join_variables) == 1
+            and isinstance(nxt.operator, ServiceNode)
+            and nxt.operator.supports_restriction
+        )
+        if use_dependent:
+            return DependentJoin(
+                outer=outer,
+                inner=nxt.operator,
+                join_variable=join_variables[0],
+                block_size=self.policy.dependent_block_size,
+            )
+        return SymmetricHashJoin(left=outer, right=nxt.operator, join_variables=join_variables)
+
+    # -- modifiers ------------------------------------------------------------------
+
+    def _apply_modifiers(
+        self,
+        root: FedOperator,
+        query: SelectQuery,
+        decomposition: Decomposition,
+    ) -> FedOperator:
+        # residual filters were applied per branch in _plan_branch
+        if query.order_by:
+            root = OrderBy(root, query.order_by)
+        projected = tuple(variable.name for variable in query.projected_variables())
+        root = Project(root, projected)
+        if query.distinct:
+            root = Distinct(root)
+        if query.limit is not None or query.offset is not None:
+            root = Limit(root, query.limit, query.offset)
+        return root

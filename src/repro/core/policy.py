@@ -1,0 +1,150 @@
+"""Plan policies: physical-design-aware vs -unaware query planning.
+
+The experiment in the paper compares two kinds of query execution plans:
+
+* **Physical-Design-Unaware** — the engine ignores the physical design of
+  the lake: every star is shipped as-is, all joins between stars and all
+  filters run at the engine level.
+* **Physical-Design-Aware** — "a QEP that considers the indexes present in
+  the relational database", i.e. *uses indexes whenever possible*
+  (Figure 2's caption): Heuristic 1 merges same-endpoint stars joined on
+  indexed attributes, and filters over indexed attributes are pushed into
+  the source.
+
+The literal **Heuristic 2** formulation ("perform filters at the engine
+unless the attribute is indexed *and* the network is slow") is available as
+a third placement mode so the H2 benchmarks can compare all variants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class FilterPlacement(enum.Enum):
+    """Where filters over relational sources are evaluated."""
+
+    #: Always at the federated engine (physical-design-unaware behaviour).
+    ENGINE = "engine"
+    #: Always pushed into the source when translatable.
+    SOURCE = "source"
+    #: Pushed when the filtered attributes are indexed ("use indexes
+    #: whenever possible" — the aware QEPs of the experiment).
+    SOURCE_IF_INDEXED = "source_if_indexed"
+    #: The paper's Heuristic 2: pushed only when the attributes are indexed
+    #: AND the network is slow.
+    HEURISTIC2 = "heuristic2"
+
+
+class DecompositionKind(enum.Enum):
+    STAR = "star"
+    TRIPLE = "triple"
+
+
+class JoinStrategy(enum.Enum):
+    """Which ANAPSID operator joins plan units at the engine."""
+
+    #: Non-blocking symmetric hash join (agjoin) — ANAPSID's default.
+    SYMMETRIC_HASH = "symmetric_hash"
+    #: Dependent (bound) join: push outer bindings into restrictable inner
+    #: services as IN lists; falls back to the symmetric hash join when the
+    #: inner side cannot be restricted.
+    DEPENDENT = "dependent"
+
+
+@dataclass(frozen=True)
+class PlanPolicy:
+    """Configuration of the federated planner.
+
+    Attributes:
+        name: display name used in benchmark tables.
+        merge_same_source_joins: Heuristic 1 — merge star-shaped sub-queries
+            over the same relational endpoint when the join attribute is
+            indexed.
+        filter_placement: Heuristic 2 family — where filters run.
+        decomposition: star-shaped (Ontario) or triple-wise (ablation).
+        max_merged_tables: bound on relational tables joined by one merged
+            sub-query ("the number of joins is kept reasonable").
+        join_strategy: engine-level join operator choice.
+        dependent_block_size: outer block size for the dependent join.
+    """
+
+    name: str
+    merge_same_source_joins: bool
+    filter_placement: FilterPlacement
+    decomposition: DecompositionKind = DecompositionKind.STAR
+    max_merged_tables: int = 6
+    join_strategy: JoinStrategy = JoinStrategy.SYMMETRIC_HASH
+    dependent_block_size: int = 50
+
+    @property
+    def aware(self) -> bool:
+        """Whether the policy consults the physical design at all."""
+        return (
+            self.merge_same_source_joins
+            or self.filter_placement
+            in (FilterPlacement.SOURCE_IF_INDEXED, FilterPlacement.HEURISTIC2)
+        )
+
+    def with_(self, **overrides) -> "PlanPolicy":
+        """A modified copy (for ablation benchmarks)."""
+        return replace(self, **overrides)
+
+    # -- the named configurations of the experiment ---------------------------
+
+    @classmethod
+    def physical_design_aware(cls) -> "PlanPolicy":
+        """The experiment's aware QEPs: use indexes whenever possible."""
+        return cls(
+            name="Physical-Design-Aware",
+            merge_same_source_joins=True,
+            filter_placement=FilterPlacement.SOURCE_IF_INDEXED,
+        )
+
+    @classmethod
+    def physical_design_unaware(cls) -> "PlanPolicy":
+        """The experiment's unaware QEPs: everything at the engine."""
+        return cls(
+            name="Physical-Design-Unaware",
+            merge_same_source_joins=False,
+            filter_placement=FilterPlacement.ENGINE,
+        )
+
+    @classmethod
+    def heuristic2(cls) -> "PlanPolicy":
+        """Aware planning with the literal Heuristic 2 filter rule."""
+        return cls(
+            name="Heuristic-2",
+            merge_same_source_joins=True,
+            filter_placement=FilterPlacement.HEURISTIC2,
+        )
+
+    @classmethod
+    def filters_at_source(cls) -> "PlanPolicy":
+        """Push every translatable filter down (classic RDB wisdom)."""
+        return cls(
+            name="Filters-At-Source",
+            merge_same_source_joins=True,
+            filter_placement=FilterPlacement.SOURCE,
+        )
+
+    @classmethod
+    def dependent_join(cls) -> "PlanPolicy":
+        """Aware planning with ANAPSID's dependent (bound) join."""
+        return cls(
+            name="Dependent-Join",
+            merge_same_source_joins=True,
+            filter_placement=FilterPlacement.SOURCE_IF_INDEXED,
+            join_strategy=JoinStrategy.DEPENDENT,
+        )
+
+    @classmethod
+    def triple_wise(cls) -> "PlanPolicy":
+        """Triple-based decomposition (future-work ablation)."""
+        return cls(
+            name="Triple-Wise",
+            merge_same_source_joins=False,
+            filter_placement=FilterPlacement.ENGINE,
+            decomposition=DecompositionKind.TRIPLE,
+        )

@@ -1,0 +1,103 @@
+"""Execution profiling: EXPLAIN ANALYZE for federated plans.
+
+Wraps every operator of a plan so that each produced solution is counted
+and timestamped against the run's virtual clock, yielding a per-operator
+report (output cardinality, first/last output time) alongside the answers.
+This is the observability layer the paper's analysis section leans on when
+it attributes costs to the engine vs the wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..federation.answers import RunContext, Solution
+from ..federation.operators import FedOperator
+from .planner import FederatedPlan
+
+
+@dataclass
+class OperatorProfile:
+    """Measurements of one operator within one execution."""
+
+    label: str
+    depth: int
+    rows_out: int = 0
+    first_output_at: float | None = None
+    last_output_at: float | None = None
+
+    def record(self, timestamp: float) -> None:
+        self.rows_out += 1
+        if self.first_output_at is None:
+            self.first_output_at = timestamp
+        self.last_output_at = timestamp
+
+
+@dataclass
+class ProfileReport:
+    """All operator profiles of one run, in plan (pre-order) order."""
+
+    entries: list[OperatorProfile] = field(default_factory=list)
+    execution_time: float = 0.0
+
+    def render(self) -> str:
+        lines = [f"Profile (virtual execution time {self.execution_time:.4f}s)"]
+        for entry in self.entries:
+            first = (
+                f"{entry.first_output_at:.4f}s"
+                if entry.first_output_at is not None
+                else "-"
+            )
+            last = (
+                f"{entry.last_output_at:.4f}s"
+                if entry.last_output_at is not None
+                else "-"
+            )
+            lines.append(
+                f"{'  ' * entry.depth}{entry.label}  "
+                f"[rows={entry.rows_out} first={first} last={last}]"
+            )
+        return "\n".join(lines)
+
+    def by_label(self, fragment: str) -> OperatorProfile:
+        for entry in self.entries:
+            if fragment in entry.label:
+                return entry
+        raise KeyError(fragment)
+
+
+def _instrument(
+    operator: FedOperator,
+    depth: int,
+    context: RunContext,
+    report: ProfileReport,
+) -> None:
+    profile = OperatorProfile(label=operator.label(), depth=depth)
+    report.entries.append(profile)
+    original_execute = operator.execute
+
+    def traced_execute(run_context: RunContext) -> Iterator[Solution]:
+        for solution in original_execute(run_context):
+            profile.record(context.now())
+            yield solution
+
+    # Per-instance override: plans are built per query, so this never leaks.
+    operator.execute = traced_execute  # type: ignore[method-assign]
+    for child in operator.children():
+        _instrument(child, depth + 1, context, report)
+
+
+def profile_plan(
+    plan: FederatedPlan, context: RunContext
+) -> tuple[list[Solution], ProfileReport]:
+    """Execute *plan* under *context* with per-operator instrumentation."""
+    report = ProfileReport()
+    _instrument(plan.root, 0, context, report)
+    answers = []
+    for solution in plan.root.execute(context):
+        context.stats.record_answer(context.now())
+        answers.append(solution)
+    context.stats.execution_time = context.now()
+    report.execution_time = context.stats.execution_time
+    return answers, report

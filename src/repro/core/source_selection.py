@@ -1,0 +1,121 @@
+"""RDF-MT-based source selection (MULDER / Ontario style).
+
+Each star-shaped sub-query is matched against the lake's molecule
+templates: a source is a candidate when one of its molecules offers every
+predicate of the star (and matches the star's ``rdf:type`` constraint when
+present).  For relational sources, the matching class mapping is attached
+so the planner can translate to SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..exceptions import SourceSelectionError
+from ..federation.endpoints import RDFSource, RelationalSource
+from ..mapping.rml import ClassMapping
+from ..rdf.namespaces import RDF_TYPE
+from .decomposer import Decomposition, StarSubquery
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> datalake cycle
+    from ..datalake.lake import SemanticDataLake
+
+
+@dataclass(frozen=True)
+class SourceCandidate:
+    """One source able to answer one star."""
+
+    source_id: str
+    kind: str  # "rdb" | "rdf"
+    class_mapping: ClassMapping | None = None  # set for relational sources
+    cardinality: int = 0
+
+    def __repr__(self) -> str:
+        return f"SourceCandidate({self.source_id}, {self.kind}, card={self.cardinality})"
+
+
+@dataclass
+class SelectedStar:
+    """A star plus the sources selected for it."""
+
+    star: StarSubquery
+    candidates: list[SourceCandidate]
+
+    @property
+    def is_exclusive(self) -> bool:
+        """True when a single source answers the star (FedX's exclusive
+        groups; the precondition of Heuristic 1's merge)."""
+        return len(self.candidates) == 1
+
+    def estimated_cardinality(self) -> int:
+        if not self.candidates:
+            return 0
+        return max(candidate.cardinality for candidate in self.candidates)
+
+
+def select_sources(lake: SemanticDataLake, decomposition: Decomposition) -> list[SelectedStar]:
+    """Select sources for every star; raises when a star has none."""
+    selected = []
+    for star in decomposition.subqueries:
+        candidates = _candidates_for(lake, star)
+        if not candidates:
+            raise SourceSelectionError(
+                f"no source in lake {lake.name!r} can answer {star.describe()} "
+                f"(predicates: {sorted(p.value for p in star.predicates())})"
+            )
+        selected.append(SelectedStar(star=star, candidates=candidates))
+    return selected
+
+
+def _candidates_for(lake: SemanticDataLake, star: StarSubquery) -> list[SourceCandidate]:
+    type_constraint = star.type_constraint()
+    predicates = {p for p in star.predicates() if p != RDF_TYPE}
+    candidates: list[SourceCandidate] = []
+    for source in lake.sources():
+        if isinstance(source, RelationalSource):
+            if type_constraint is not None:
+                if type_constraint not in source.mapping.classes:
+                    continue
+                class_mappings = [source.mapping.class_mapping(type_constraint)]
+            else:
+                class_mappings = source.mapping.classes_with_predicates(predicates)
+            for class_mapping in class_mappings:
+                if all(class_mapping.has_predicate(p) for p in predicates):
+                    rows = lake.physical_catalog.table_rows(
+                        source.source_id, class_mapping.table
+                    )
+                    candidates.append(
+                        SourceCandidate(
+                            source_id=source.source_id,
+                            kind="rdb",
+                            class_mapping=class_mapping,
+                            cardinality=rows,
+                        )
+                    )
+        elif isinstance(source, RDFSource):
+            for molecule in source.molecule_templates():
+                if type_constraint is not None and molecule.class_iri != type_constraint:
+                    continue
+                if predicates <= molecule.predicates:
+                    candidates.append(
+                        SourceCandidate(
+                            source_id=source.source_id,
+                            kind="rdf",
+                            cardinality=molecule.cardinality,
+                        )
+                    )
+                    break  # one candidate per source is enough
+    # Deterministic order; prefer richer (larger) candidates first for unions.
+    candidates.sort(key=lambda c: (c.source_id, -c.cardinality))
+    deduplicated: list[SourceCandidate] = []
+    seen: set[tuple[str, str]] = set()
+    for candidate in candidates:
+        key = (
+            candidate.source_id,
+            candidate.class_mapping.class_iri.value if candidate.class_mapping else "",
+        )
+        if key not in seen:
+            seen.add(key)
+            deduplicated.append(candidate)
+    return deduplicated

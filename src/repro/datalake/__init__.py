@@ -1,0 +1,6 @@
+"""The Semantic Data Lake container and its persistence."""
+
+from .lake import SemanticDataLake
+from .persistence import load_lake, save_lake
+
+__all__ = ["SemanticDataLake", "load_lake", "save_lake"]

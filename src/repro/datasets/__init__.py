@@ -1,0 +1,57 @@
+"""Synthetic LSLOD data sets, benchmark queries and the lake builder."""
+
+from .build import (
+    ADVISOR_CANDIDATES,
+    BENCHMARK_INDEXES,
+    LakeBuildReport,
+    build_lslod_lake,
+    cached_lslod_lake,
+    dataset_bundles,
+)
+from .lslod import (
+    BASE_SIZES,
+    DatasetBundle,
+    GENERATORS,
+    KNOWN_GENE_SYMBOLS,
+    SPECIES,
+    generate_all,
+    resource,
+    vocab,
+)
+from .queries import (
+    BENCHMARK_QUERIES,
+    BenchmarkQuery,
+    GRID_QUERIES,
+    MOTIVATING_EXAMPLE,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+)
+
+__all__ = [
+    "ADVISOR_CANDIDATES",
+    "BASE_SIZES",
+    "BENCHMARK_INDEXES",
+    "BENCHMARK_QUERIES",
+    "BenchmarkQuery",
+    "DatasetBundle",
+    "GENERATORS",
+    "GRID_QUERIES",
+    "KNOWN_GENE_SYMBOLS",
+    "LakeBuildReport",
+    "MOTIVATING_EXAMPLE",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "SPECIES",
+    "build_lslod_lake",
+    "cached_lslod_lake",
+    "dataset_bundles",
+    "generate_all",
+    "resource",
+    "vocab",
+]

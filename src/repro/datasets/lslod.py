@@ -1,0 +1,515 @@
+"""Synthetic LSLOD-like data sets.
+
+The paper evaluates on the ten real-world life-science data sets of the
+LSLOD benchmark (BioFed).  Those dumps are not redistributable here, so this
+module generates *synthetic* data sets playing the same roles — Diseasome,
+Affymetrix, TCGA, DrugBank, KEGG, SIDER, DailyMed, Medicare, LinkedCT and
+ChEBI — with the schema shapes and value distributions the experiments
+need:
+
+* stars of at most four relational tables after 3NF normalization;
+* cross-data-set join attributes (gene symbols, drug names, compound names);
+* string attributes with skewed values (Affymetrix's species name, where
+  one value covers ~40 % of records, so the 15 % rule forbids an index — the
+  paper's motivating example);
+* selective indexed attributes (TCGA's gene symbol) for Heuristic 2's
+  contradiction case (Q3).
+
+Everything is generated deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import IRI, Literal, Triple, XSD_DOUBLE, XSD_INTEGER
+
+BASE = "http://lslod.repro/"
+
+#: Base row counts at scale 1.0 (chosen so a full experiment grid runs in
+#: seconds of real time while giving thousands of transferred messages).
+BASE_SIZES = {
+    "diseasome_diseases": 800,
+    "diseasome_genes": 2500,
+    "affymetrix_probesets": 3000,
+    "drugbank_drugs": 1500,
+    "kegg_compounds": 1200,
+    "sider_drugs": 900,
+    "dailymed_labels": 1000,
+    "medicare_claims": 3000,
+    "linkedct_trials": 1800,
+    "chebi_entities": 1200,
+    "tcga_patients": 600,
+    "tcga_expressions": 8000,
+}
+
+SPECIES = [
+    ("Homo sapiens", 0.40),
+    ("Mus musculus", 0.25),
+    ("Rattus norvegicus", 0.15),
+    ("Danio rerio", 0.12),
+    ("Drosophila melanogaster", 0.08),
+]
+
+DISEASE_CLASSES = [
+    "cancer",
+    "metabolic",
+    "neurological",
+    "cardiovascular",
+    "immunological",
+    "respiratory",
+    "dermatological",
+    "ophthalmological",
+    "skeletal",
+    "hematological",
+]
+
+_SYLLABLES = [
+    "ab", "cor", "dex", "fen", "gli", "hep", "ix", "lam", "mir", "nor",
+    "ol", "pra", "quin", "rol", "sta", "tol", "umab", "vir", "xan", "zol",
+]
+
+
+@dataclass
+class DatasetBundle:
+    """One generated data set: its RDF graph plus bookkeeping."""
+
+    name: str
+    graph: Graph
+    entity_counts: dict[str, int] = field(default_factory=dict)
+
+
+def vocab(dataset: str, name: str) -> IRI:
+    """Vocabulary IRI of *dataset* (e.g. ``vocab('diseasome', 'geneSymbol')``)."""
+    return IRI(f"{BASE}{dataset}/vocab#{name}")
+
+
+def resource(dataset: str, class_name: str, key: int | str) -> IRI:
+    """Entity IRI, e.g. ``resource('diseasome', 'Gene', 7)``."""
+    return IRI(f"{BASE}{dataset}/resource/{class_name}/{key}")
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(10, int(round(base * scale)))
+
+
+def _word(rng: np.random.Generator, syllables: int = 3) -> str:
+    return "".join(rng.choice(_SYLLABLES) for __ in range(syllables))
+
+
+def _pick_weighted(rng: np.random.Generator, table: list[tuple[str, float]]) -> str:
+    values = [value for value, __ in table]
+    weights = np.array([weight for __, weight in table])
+    return str(rng.choice(values, p=weights / weights.sum()))
+
+
+#: Fixed well-known symbols placed at the head of the pool so the benchmark
+#: queries can reference them literally.  "GAB10" sits at Zipf rank 10 of the
+#: TCGA expression table (~1 % of rows) — Q3's selective indexed filter.
+KNOWN_GENE_SYMBOLS = (
+    "BRCA1", "TP53", "EGFR", "KRAS", "MYC", "PTEN", "RB1", "APC", "VHL", "GAB10",
+)
+
+
+def gene_symbols(count: int, rng: np.random.Generator) -> list[str]:
+    """Deterministic pool of gene symbols; the head is a fixed, known set."""
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    symbols = list(KNOWN_GENE_SYMBOLS[:count])
+    for index in range(len(symbols), count):
+        length = 3 + index % 3
+        stem = "".join(letters[int(value)] for value in rng.integers(0, 26, size=length))
+        symbols.append(f"{stem}{index % 97}")
+    return symbols
+
+
+def drug_names(count: int, rng: np.random.Generator) -> list[str]:
+    """Drug names with a controlled substring distribution.
+
+    Exactly 1 in 20 names avoids the letter ``a``; the rest contain it.  Q1
+    filters with ``CONTAINS(?name, "a")`` — a *barely selective* pattern
+    filter, so pushing it into the RDB buys almost no transfer reduction
+    while paying the LIKE scan, the shape behind Heuristic 2's preference
+    for engine-side filters on fast networks.
+    """
+    names = set()
+    result = []
+    while len(result) < count:
+        name = _word(rng, 3).capitalize() + str(rng.choice(["in", "ol", "ide", "ase", "an"]))
+        if len(result) % 20 == 0:
+            name = name.replace("a", "o").replace("A", "O")
+        elif "a" not in name.lower():
+            name += "al"
+        if name not in names:
+            names.add(name)
+            result.append(name)
+    return result
+
+
+@dataclass
+class SharedVocabulary:
+    """Cross-data-set value pools: the join attributes of the benchmark."""
+
+    gene_symbols: list[str]
+    drug_names: list[str]
+    compound_names: list[str]
+
+
+def make_shared_vocabulary(scale: float, rng: np.random.Generator) -> SharedVocabulary:
+    return SharedVocabulary(
+        gene_symbols=gene_symbols(_scaled(1200, scale), rng),
+        drug_names=drug_names(_scaled(700, scale), rng),
+        compound_names=[f"C{index:05d}" for index in range(_scaled(800, scale))],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Individual data sets
+# ---------------------------------------------------------------------------
+
+
+def generate_diseasome(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """Diseases and the genes associated with them (the Fig. 1 data set)."""
+    graph = Graph("diseasome")
+    n_diseases = _scaled(BASE_SIZES["diseasome_diseases"], scale)
+    n_genes = _scaled(BASE_SIZES["diseasome_genes"], scale)
+    disease_class = vocab("diseasome", "Disease")
+    gene_class = vocab("diseasome", "Gene")
+    for index in range(1, n_diseases + 1):
+        subject = resource("diseasome", "Disease", index)
+        graph.add(Triple(subject, RDF_TYPE, disease_class))
+        name = f"{_word(rng, 2)} {rng.choice(['syndrome', 'disease', 'disorder', 'deficiency'])} {index}"
+        graph.add(Triple(subject, vocab("diseasome", "diseaseName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("diseasome", "diseaseClass"),
+                Literal(DISEASE_CLASSES[int(rng.integers(0, len(DISEASE_CLASSES)))]),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("diseasome", "degree"),
+                Literal(str(int(rng.integers(1, 40))), XSD_INTEGER),
+            )
+        )
+    for index in range(1, n_genes + 1):
+        subject = resource("diseasome", "Gene", index)
+        graph.add(Triple(subject, RDF_TYPE, gene_class))
+        if index <= len(KNOWN_GENE_SYMBOLS):
+            # Guarantee the well-known symbols exist at every scale (the
+            # benchmark queries reference them literally).
+            symbol = KNOWN_GENE_SYMBOLS[index - 1]
+        else:
+            symbol = shared.gene_symbols[int(rng.integers(0, len(shared.gene_symbols)))]
+        graph.add(Triple(subject, vocab("diseasome", "geneSymbol"), Literal(symbol)))
+        disease_key = int(rng.integers(1, n_diseases + 1))
+        graph.add(
+            Triple(
+                subject,
+                vocab("diseasome", "associatedDisease"),
+                resource("diseasome", "Disease", disease_key),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("diseasome", "chromosome"),
+                Literal(str(int(rng.integers(1, 24)))),
+            )
+        )
+    return DatasetBundle(
+        "diseasome", graph, {"Disease": n_diseases, "Gene": n_genes}
+    )
+
+
+def generate_affymetrix(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """Microarray probe sets; the species attribute is heavily skewed."""
+    graph = Graph("affymetrix")
+    n = _scaled(BASE_SIZES["affymetrix_probesets"], scale)
+    probeset_class = vocab("affymetrix", "Probeset")
+    for index in range(1, n + 1):
+        subject = resource("affymetrix", "Probeset", index)
+        graph.add(Triple(subject, RDF_TYPE, probeset_class))
+        symbol = shared.gene_symbols[int(rng.integers(0, len(shared.gene_symbols)))]
+        graph.add(Triple(subject, vocab("affymetrix", "symbol"), Literal(symbol)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("affymetrix", "scientificName"),
+                Literal(_pick_weighted(rng, SPECIES)),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("affymetrix", "chromosome"),
+                Literal(str(int(rng.integers(1, 24)))),
+            )
+        )
+    return DatasetBundle("affymetrix", graph, {"Probeset": n})
+
+
+def generate_drugbank(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """Drugs with names, categories, target genes and compound links."""
+    graph = Graph("drugbank")
+    n = _scaled(BASE_SIZES["drugbank_drugs"], scale)
+    drug_class = vocab("drugbank", "Drug")
+    categories = ["approved", "experimental", "withdrawn", "nutraceutical", "illicit"]
+    for index in range(1, n + 1):
+        subject = resource("drugbank", "Drug", index)
+        graph.add(Triple(subject, RDF_TYPE, drug_class))
+        name = shared.drug_names[int(rng.integers(0, len(shared.drug_names)))]
+        graph.add(Triple(subject, vocab("drugbank", "drugName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("drugbank", "category"),
+                Literal(categories[int(rng.integers(0, len(categories)))]),
+            )
+        )
+        symbol = shared.gene_symbols[int(rng.integers(0, len(shared.gene_symbols)))]
+        graph.add(Triple(subject, vocab("drugbank", "targetGeneSymbol"), Literal(symbol)))
+        compound = shared.compound_names[int(rng.integers(0, len(shared.compound_names)))]
+        graph.add(Triple(subject, vocab("drugbank", "compoundName"), Literal(compound)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("drugbank", "meltingPoint"),
+                Literal(f"{rng.uniform(40, 300):.1f}", XSD_DOUBLE),
+            )
+        )
+    return DatasetBundle("drugbank", graph, {"Drug": n})
+
+
+def generate_kegg(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """KEGG compounds — kept as a *native RDF* source in the lake."""
+    graph = Graph("kegg")
+    n = _scaled(BASE_SIZES["kegg_compounds"], scale)
+    compound_class = vocab("kegg", "Compound")
+    for index in range(1, n + 1):
+        subject = resource("kegg", "Compound", index)
+        graph.add(Triple(subject, RDF_TYPE, compound_class))
+        name = shared.compound_names[int(rng.integers(0, len(shared.compound_names)))]
+        graph.add(Triple(subject, vocab("kegg", "compoundName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("kegg", "formula"),
+                Literal(f"C{int(rng.integers(1, 30))}H{int(rng.integers(1, 60))}O{int(rng.integers(0, 12))}"),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("kegg", "mass"),
+                Literal(f"{rng.uniform(50, 900):.3f}", XSD_DOUBLE),
+            )
+        )
+    return DatasetBundle("kegg", graph, {"Compound": n})
+
+
+def generate_sider(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """Drugs with multi-valued side effects (exercises satellite tables)."""
+    graph = Graph("sider")
+    n = _scaled(BASE_SIZES["sider_drugs"], scale)
+    drug_class = vocab("sider", "Drug")
+    effects = [f"{_word(rng, 2)} {suffix}" for suffix in ("pain", "rash", "nausea", "fever")
+               for __ in range(6)]
+    for index in range(1, n + 1):
+        subject = resource("sider", "Drug", index)
+        graph.add(Triple(subject, RDF_TYPE, drug_class))
+        name = shared.drug_names[int(rng.integers(0, len(shared.drug_names)))]
+        graph.add(Triple(subject, vocab("sider", "drugName"), Literal(name)))
+        for __ in range(int(rng.integers(1, 5))):
+            effect = effects[int(rng.integers(0, len(effects)))]
+            graph.add(Triple(subject, vocab("sider", "sideEffect"), Literal(effect)))
+    return DatasetBundle("sider", graph, {"Drug": n})
+
+
+def generate_dailymed(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    graph = Graph("dailymed")
+    n = _scaled(BASE_SIZES["dailymed_labels"], scale)
+    label_class = vocab("dailymed", "Label")
+    routes = ["oral", "intravenous", "topical", "inhalation"]
+    for index in range(1, n + 1):
+        subject = resource("dailymed", "Label", index)
+        graph.add(Triple(subject, RDF_TYPE, label_class))
+        name = shared.drug_names[int(rng.integers(0, len(shared.drug_names)))]
+        graph.add(Triple(subject, vocab("dailymed", "genericName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("dailymed", "route"),
+                Literal(routes[int(rng.integers(0, len(routes)))]),
+            )
+        )
+    return DatasetBundle("dailymed", graph, {"Label": n})
+
+
+def generate_medicare(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    graph = Graph("medicare")
+    n = _scaled(BASE_SIZES["medicare_claims"], scale)
+    claim_class = vocab("medicare", "Claim")
+    for index in range(1, n + 1):
+        subject = resource("medicare", "Claim", index)
+        graph.add(Triple(subject, RDF_TYPE, claim_class))
+        name = shared.drug_names[int(rng.integers(0, len(shared.drug_names)))]
+        graph.add(Triple(subject, vocab("medicare", "drugName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("medicare", "cost"),
+                Literal(f"{rng.uniform(4, 900):.2f}", XSD_DOUBLE),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("medicare", "claimCount"),
+                Literal(str(int(rng.integers(1, 400))), XSD_INTEGER),
+            )
+        )
+    return DatasetBundle("medicare", graph, {"Claim": n})
+
+
+def generate_linkedct(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    graph = Graph("linkedct")
+    n = _scaled(BASE_SIZES["linkedct_trials"], scale)
+    trial_class = vocab("linkedct", "Trial")
+    phases = ["Phase 1", "Phase 2", "Phase 3", "Phase 4"]
+    for index in range(1, n + 1):
+        subject = resource("linkedct", "Trial", index)
+        graph.add(Triple(subject, RDF_TYPE, trial_class))
+        name = shared.drug_names[int(rng.integers(0, len(shared.drug_names)))]
+        graph.add(Triple(subject, vocab("linkedct", "interventionDrug"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("linkedct", "phase"),
+                Literal(phases[int(rng.integers(0, len(phases)))]),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("linkedct", "condition"),
+                Literal(f"{_word(rng, 2)} condition"),
+            )
+        )
+    return DatasetBundle("linkedct", graph, {"Trial": n})
+
+
+def generate_chebi(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    graph = Graph("chebi")
+    n = _scaled(BASE_SIZES["chebi_entities"], scale)
+    entity_class = vocab("chebi", "ChemicalEntity")
+    for index in range(1, n + 1):
+        subject = resource("chebi", "ChemicalEntity", index)
+        graph.add(Triple(subject, RDF_TYPE, entity_class))
+        name = shared.compound_names[int(rng.integers(0, len(shared.compound_names)))]
+        graph.add(Triple(subject, vocab("chebi", "chebiName"), Literal(name)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("chebi", "charge"),
+                Literal(str(int(rng.integers(-4, 5))), XSD_INTEGER),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("chebi", "mass"),
+                Literal(f"{rng.uniform(10, 1200):.3f}", XSD_DOUBLE),
+            )
+        )
+    return DatasetBundle("chebi", graph, {"ChemicalEntity": n})
+
+
+def generate_tcga(scale: float, shared: SharedVocabulary, rng: np.random.Generator) -> DatasetBundle:
+    """TCGA patients + a large gene-expression table (Q3's and Q5's data)."""
+    graph = Graph("tcga")
+    n_patients = _scaled(BASE_SIZES["tcga_patients"], scale)
+    n_expressions = _scaled(BASE_SIZES["tcga_expressions"], scale)
+    patient_class = vocab("tcga", "Patient")
+    expression_class = vocab("tcga", "GeneExpression")
+    for index in range(1, n_patients + 1):
+        subject = resource("tcga", "Patient", index)
+        graph.add(Triple(subject, RDF_TYPE, patient_class))
+        graph.add(
+            Triple(
+                subject,
+                vocab("tcga", "gender"),
+                Literal("female" if rng.random() < 0.5 else "male"),
+            )
+        )
+        graph.add(
+            Triple(
+                subject,
+                vocab("tcga", "ageAtDiagnosis"),
+                Literal(str(int(rng.integers(25, 90))), XSD_INTEGER),
+            )
+        )
+    # Zipf-like symbol usage: a selective equality filter on a symbol in the
+    # head matches ~0.5-1 % of rows, the tail far less.
+    symbol_pool = shared.gene_symbols
+    zipf_weights = 1.0 / np.arange(1, len(symbol_pool) + 1)
+    zipf_weights /= zipf_weights.sum()
+    for index in range(1, n_expressions + 1):
+        subject = resource("tcga", "GeneExpression", index)
+        graph.add(Triple(subject, RDF_TYPE, expression_class))
+        patient_key = int(rng.integers(1, n_patients + 1))
+        graph.add(
+            Triple(subject, vocab("tcga", "patient"), resource("tcga", "Patient", patient_key))
+        )
+        if index % 100 == 0:
+            # Guarantee ~1 % of expression rows carry Q3's filter symbol at
+            # every scale (it also sits at Zipf rank 10 for the sampled rest).
+            symbol = "GAB10"
+        else:
+            symbol = symbol_pool[int(rng.choice(len(symbol_pool), p=zipf_weights))]
+        graph.add(Triple(subject, vocab("tcga", "geneSymbol"), Literal(symbol)))
+        graph.add(
+            Triple(
+                subject,
+                vocab("tcga", "expressionValue"),
+                Literal(f"{rng.uniform(0, 18):.4f}", XSD_DOUBLE),
+            )
+        )
+    return DatasetBundle(
+        "tcga", graph, {"Patient": n_patients, "GeneExpression": n_expressions}
+    )
+
+
+#: All generators keyed by data set name.
+GENERATORS = {
+    "diseasome": generate_diseasome,
+    "affymetrix": generate_affymetrix,
+    "drugbank": generate_drugbank,
+    "kegg": generate_kegg,
+    "sider": generate_sider,
+    "dailymed": generate_dailymed,
+    "medicare": generate_medicare,
+    "linkedct": generate_linkedct,
+    "chebi": generate_chebi,
+    "tcga": generate_tcga,
+}
+
+
+def generate_all(scale: float = 1.0, seed: int = 42) -> dict[str, DatasetBundle]:
+    """Generate all ten data sets deterministically."""
+    rng = np.random.default_rng(seed)
+    shared = make_shared_vocabulary(scale, rng)
+    bundles = {}
+    for name in sorted(GENERATORS):
+        # Per-data-set RNG so data sets are independent of generation order.
+        # (zlib.crc32 is stable across processes, unlike str.__hash__.)
+        import zlib
+
+        dataset_rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 100_000)
+        bundles[name] = GENERATORS[name](scale, shared, dataset_rng)
+    return bundles

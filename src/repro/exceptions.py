@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the library's failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A query or serialization could not be parsed.
+
+    Attributes:
+        message: human readable description of the problem.
+        line: 1-based line of the offending token, when known.
+        column: 1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class SPARQLParseError(ParseError):
+    """A SPARQL query string is syntactically invalid."""
+
+
+class SQLParseError(ParseError):
+    """A SQL statement is syntactically invalid."""
+
+
+class NTriplesParseError(ParseError):
+    """An N-Triples document is syntactically invalid."""
+
+
+class SchemaError(ReproError):
+    """A relational schema operation is invalid (duplicate table, bad column, ...)."""
+
+
+class IntegrityError(ReproError):
+    """A DML statement violates a declared constraint (PK duplicate, FK miss, type)."""
+
+
+class CatalogError(ReproError):
+    """A name could not be resolved against a database or data-lake catalog."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce an executable plan for a query."""
+
+
+class SourceSelectionError(PlanningError):
+    """No data source can answer some part of the query."""
+
+
+class TranslationError(ReproError):
+    """A star-shaped sub-query could not be translated to the source's language."""
+
+
+class ExecutionError(ReproError):
+    """A plan failed while executing."""
+
+
+class WrapperError(ExecutionError):
+    """A source wrapper failed to evaluate its sub-query."""
+
+
+class ExpressionError(ExecutionError):
+    """A filter expression could not be evaluated over a solution mapping."""

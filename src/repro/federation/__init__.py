@@ -1,0 +1,41 @@
+"""Federation layer: wrappers, adaptive operators, answers and statistics."""
+
+from .answers import ExecutionStats, RunContext, Solution, SourceStats
+from .endpoints import DataSource, RDFSource, RelationalSource
+from .operators import (
+    DependentJoin,
+    Distinct,
+    EngineFilter,
+    FedOperator,
+    LeftJoin,
+    Limit,
+    OrderBy,
+    Project,
+    ServiceNode,
+    SymmetricHashJoin,
+    Union,
+)
+from .wrappers import SPARQLWrapper, SQLWrapper
+
+__all__ = [
+    "DataSource",
+    "DependentJoin",
+    "Distinct",
+    "EngineFilter",
+    "ExecutionStats",
+    "FedOperator",
+    "LeftJoin",
+    "Limit",
+    "OrderBy",
+    "Project",
+    "RDFSource",
+    "RelationalSource",
+    "RunContext",
+    "SPARQLWrapper",
+    "SQLWrapper",
+    "ServiceNode",
+    "Solution",
+    "SourceStats",
+    "SymmetricHashJoin",
+    "Union",
+]

@@ -1,0 +1,141 @@
+"""Answers, run context and execution statistics.
+
+A *solution* is a ``dict[str, Term]`` (variable name -> RDF term).  The
+:class:`RunContext` bundles everything one query execution shares: the
+clock, the cost model, the network setting, the RNG and the statistics
+being collected — including the **answer trace** (time, answer index) that
+reproduces the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..network.clock import Clock, VirtualClock
+from ..network.costmodel import CostModel, DEFAULT_COST_MODEL
+from ..network.delays import NetworkSetting
+from ..rdf.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+Solution = dict[str, Term]
+
+
+@dataclass
+class SourceStats:
+    """Per-source accounting of one run."""
+
+    requests: int = 0
+    answers: int = 0
+    virtual_cost: float = 0.0
+
+
+@dataclass
+class ExecutionStats:
+    """Everything measured during one query execution."""
+
+    answers: int = 0
+    execution_time: float = 0.0
+    time_to_first_answer: float | None = None
+    trace: list[tuple[float, int]] = field(default_factory=list)
+    messages: int = 0
+    engine_cost: float = 0.0
+    source_stats: dict[str, SourceStats] = field(default_factory=dict)
+
+    def record_answer(self, timestamp: float) -> None:
+        self.answers += 1
+        if self.time_to_first_answer is None:
+            self.time_to_first_answer = timestamp
+        self.trace.append((timestamp, self.answers))
+
+    def source(self, source_id: str) -> SourceStats:
+        if source_id not in self.source_stats:
+            self.source_stats[source_id] = SourceStats()
+        return self.source_stats[source_id]
+
+    @property
+    def throughput(self) -> float:
+        """Answers per (virtual) second over the whole execution."""
+        if self.execution_time <= 0:
+            return 0.0
+        return self.answers / self.execution_time
+
+    def answers_at(self, timestamp: float) -> int:
+        """How many answers had been produced by *timestamp* (dief@t-style)."""
+        produced = 0
+        for when, count in self.trace:
+            if when <= timestamp:
+                produced = count
+            else:
+                break
+        return produced
+
+    def trace_area(self, until: float | None = None) -> float:
+        """Area under the answer trace (dief@t); larger = more diefficient."""
+        horizon = until if until is not None else self.execution_time
+        area = 0.0
+        previous_time = 0.0
+        previous_count = 0
+        for when, count in self.trace:
+            if when > horizon:
+                break
+            area += previous_count * (when - previous_time)
+            previous_time, previous_count = when, count
+        area += previous_count * max(0.0, horizon - previous_time)
+        return area
+
+
+class RunContext:
+    """Shared state of one query execution."""
+
+    def __init__(
+        self,
+        network: NetworkSetting | None = None,
+        cost_model: CostModel | None = None,
+        clock: Clock | None = None,
+        seed: int | None = None,
+    ):
+        self.network = network or NetworkSetting.no_delay()
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.clock = clock if clock is not None else VirtualClock()
+        self.rng = np.random.default_rng(seed)
+        self.stats = ExecutionStats()
+
+    # -- cost charging -------------------------------------------------------
+
+    def charge_engine(self, seconds: float) -> None:
+        """Charge engine-side work to the clock."""
+        if seconds > 0:
+            self.clock.sleep(seconds)
+            self.stats.engine_cost += seconds
+
+    def charge_source(self, source_id: str, seconds: float) -> None:
+        """Charge source-side (RDB / triple-store) work to the clock."""
+        if seconds > 0:
+            self.clock.sleep(seconds)
+            self.stats.source(source_id).virtual_cost += seconds
+
+    def charge_message(self, source_id: str) -> None:
+        """One answer crossing the network: overhead + sampled delay.
+
+        This is the paper's injection point: the wrapper delays the
+        retrieval of the next answer from the source.
+        """
+        pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
+        self.clock.sleep(pause)
+        self.stats.messages += 1
+        self.stats.source(source_id).answers += 1
+
+    def charge_request(self, source_id: str) -> None:
+        """The round trip that ships one sub-query to a source."""
+        pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
+        self.clock.sleep(pause)
+        self.stats.messages += 1
+        self.stats.source(source_id).requests += 1
+
+    def now(self) -> float:
+        return self.clock.now()

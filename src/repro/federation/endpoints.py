@@ -1,0 +1,92 @@
+"""Data-source descriptors of the Semantic Data Lake.
+
+Each member of the lake keeps its original data model (the defining property
+of a Semantic Data Lake): relational sources wrap a
+:class:`~repro.relational.database.Database` plus the R2RML-style mapping
+that lifts it to RDF semantics; native RDF sources wrap a triple store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mapping.rml import SourceMapping
+from ..rdf.graph import Graph
+from ..rdf.molecules import RDFMoleculeTemplate, extract_molecule_templates
+from ..rdf.terms import IRI
+from ..relational.database import Database
+
+
+@dataclass
+class DataSource:
+    """Base descriptor: a stable id plus the data-model kind."""
+
+    source_id: str
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def molecule_templates(self) -> list[RDFMoleculeTemplate]:
+        raise NotImplementedError
+
+
+@dataclass
+class RelationalSource(DataSource):
+    """A relational member of the lake (one MySQL container in the paper)."""
+
+    database: Database = None  # type: ignore[assignment]
+    mapping: SourceMapping = None  # type: ignore[assignment]
+
+    @property
+    def kind(self) -> str:
+        return "rdb"
+
+    def molecule_templates(self) -> list[RDFMoleculeTemplate]:
+        """Derive RDF-MTs from the mapping + table statistics."""
+        molecules = []
+        for class_iri, class_mapping in sorted(
+            self.mapping.classes.items(), key=lambda item: item[0].value
+        ):
+            molecule = RDFMoleculeTemplate(
+                source_id=self.source_id,
+                class_iri=class_iri,
+                predicates=set(class_mapping.predicates),
+                cardinality=len(self.database.table(class_mapping.table)),
+            )
+            from ..rdf.namespaces import RDF_TYPE
+
+            molecule.predicates.add(RDF_TYPE)
+            for predicate, predicate_mapping in class_mapping.predicates.items():
+                if predicate_mapping.kind == "multivalued":
+                    molecule.predicate_cardinality[predicate] = len(
+                        self.database.table(predicate_mapping.table)
+                    )
+                else:
+                    statistics = self.database.statistics(class_mapping.table)
+                    column_statistics = statistics.column(predicate_mapping.column)
+                    molecule.predicate_cardinality[predicate] = (
+                        column_statistics.non_null_count
+                    )
+            molecules.append(molecule)
+        return molecules
+
+    def class_mapping_for(self, class_iri: IRI):
+        return self.mapping.class_mapping(class_iri)
+
+
+@dataclass
+class RDFSource(DataSource):
+    """A native RDF member of the lake (a SPARQL endpoint over a graph)."""
+
+    graph: Graph = None  # type: ignore[assignment]
+    _molecules: list[RDFMoleculeTemplate] | None = field(default=None, repr=False)
+
+    @property
+    def kind(self) -> str:
+        return "rdf"
+
+    def molecule_templates(self) -> list[RDFMoleculeTemplate]:
+        if self._molecules is None:
+            self._molecules = extract_molecule_templates(self.graph, self.source_id)
+        return self._molecules

@@ -1,0 +1,420 @@
+"""ANAPSID-style adaptive physical operators of the federated engine.
+
+ANAPSID's key property (inherited by Ontario) is that operators are
+*non-blocking*: they produce answers as soon as the sources deliver the
+tuples needed, instead of waiting for complete inputs.  The symmetric hash
+join (`agjoin`) here alternates between its inputs, inserting each arriving
+solution into its side's hash table and immediately probing the other side.
+
+Every per-tuple action charges engine time to the shared clock through the
+:class:`~repro.federation.answers.RunContext`, which is what makes
+engine-level work (joins, filters) visible in the virtual timeline — the
+quantity the paper's heuristics trade against source work and transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..rdf.terms import Term
+from ..sparql.algebra import Filter, OrderCondition
+from ..sparql.expressions import ExpressionError, evaluate, holds
+from .answers import RunContext, Solution
+
+
+class FedOperator:
+    """Base class of federated plan operators."""
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        raise NotImplementedError
+
+    def children(self) -> list["FedOperator"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        lines.extend(child.explain(indent + 1) for child in self.children())
+        return "\n".join(lines)
+
+
+@dataclass
+class ServiceNode(FedOperator):
+    """A leaf: one sub-query shipped to one source wrapper.
+
+    ``runner`` encapsulates the wrapper call; ``description`` renders the
+    native query for explain output (Figure-1-style plans).
+    ``restricted_runner``, when provided by the planner, re-issues the
+    sub-query with an IN-restriction on one variable — the capability the
+    dependent (bound) join needs.
+    """
+
+    source_id: str
+    description: str
+    runner: Callable[[RunContext], Iterator[Solution]]
+    engine_filters: list[Filter] = field(default_factory=list)
+    restricted_runner: Callable[..., Iterator[Solution]] | None = None
+
+    def _filtered(self, context: RunContext, stream: Iterator[Solution]) -> Iterator[Solution]:
+        cost = context.cost_model
+        filters = self.engine_filters
+        for solution in stream:
+            if filters:
+                context.charge_engine(cost.engine_filter_eval * len(filters))
+                if not all(holds(f.expression, solution) for f in filters):
+                    continue
+            yield solution
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        yield from self._filtered(context, self.runner(context))
+
+    @property
+    def supports_restriction(self) -> bool:
+        return self.restricted_runner is not None
+
+    def execute_restricted(
+        self, context: RunContext, variable: str, terms: list
+    ) -> Iterator[Solution]:
+        """Run the sub-query restricted to ``variable IN terms``."""
+        if self.restricted_runner is None:
+            raise RuntimeError(f"service {self.source_id!r} is not restrictable")
+        yield from self._filtered(
+            context, self.restricted_runner(context, variable, terms)
+        )
+
+    def label(self) -> str:
+        base = f"Service[{self.source_id}] {self.description}"
+        if self.engine_filters:
+            rendered = " AND ".join(f.expression.n3() for f in self.engine_filters)
+            base += f" | engine-filter({rendered})"
+        return base
+
+
+def _merge(left: Solution, right: Solution) -> Solution | None:
+    """Merge two solutions; None when they disagree on a shared variable."""
+    merged = dict(left)
+    for name, term in right.items():
+        bound = merged.get(name)
+        if bound is None:
+            merged[name] = term
+        elif bound != term:
+            return None
+    return merged
+
+
+@dataclass
+class SymmetricHashJoin(FedOperator):
+    """ANAPSID's agjoin: a non-blocking symmetric hash join.
+
+    Both inputs are polled in alternation; each arriving solution is
+    inserted into its side's hash table (keyed by the join variables) and
+    probed against the opposite table, emitting joins immediately.
+    """
+
+    left: FedOperator
+    right: FedOperator
+    join_variables: tuple[str, ...]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        key_of = self._key_function()
+        tables: tuple[dict, dict] = ({}, {})
+        iterators = [self.left.execute(context), self.right.execute(context)]
+        active = [True, True]
+        side = 0
+        while active[0] or active[1]:
+            if not active[side]:
+                side = 1 - side
+            try:
+                solution = next(iterators[side])
+            except StopIteration:
+                active[side] = False
+                side = 1 - side
+                continue
+            key = key_of(solution)
+            if key is None:
+                side = 1 - side
+                continue
+            context.charge_engine(cost.engine_hash_insert)
+            tables[side].setdefault(key, []).append(solution)
+            other = tables[1 - side]
+            context.charge_engine(cost.engine_hash_probe)
+            for candidate in other.get(key, ()):  # probe
+                if side == 0:
+                    merged = _merge(solution, candidate)
+                else:
+                    merged = _merge(candidate, solution)
+                if merged is not None:
+                    context.charge_engine(cost.engine_join_output_row)
+                    yield merged
+            side = 1 - side
+
+    def _key_function(self) -> Callable[[Solution], tuple | None]:
+        names = self.join_variables
+
+        def key_of(solution: Solution) -> tuple[Term, ...] | None:
+            key = []
+            for name in names:
+                term = solution.get(name)
+                if term is None:
+                    return None
+                key.append(term)
+            return tuple(key)
+
+        return key_of
+
+    def children(self) -> list[FedOperator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        joined = ", ".join(f"?{name}" for name in self.join_variables) or "×"
+        return f"SymmetricHashJoin[{joined}]"
+
+
+@dataclass
+class LeftJoin(FedOperator):
+    """OPTIONAL: keep every left solution, extend with right matches.
+
+    The right input is materialized into a hash table on the join
+    variables (OPTIONAL bodies are typically small); the left streams
+    through, emitting each extension — or the bare left solution when the
+    optional part has no compatible match.
+    """
+
+    left: FedOperator
+    right: FedOperator
+    join_variables: tuple[str, ...]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        table: dict[tuple, list[Solution]] = {}
+        for solution in self.right.execute(context):
+            context.charge_engine(cost.engine_hash_insert)
+            key = tuple(solution.get(name) for name in self.join_variables)
+            table.setdefault(key, []).append(solution)
+        for solution in self.left.execute(context):
+            context.charge_engine(cost.engine_hash_probe)
+            key = tuple(solution.get(name) for name in self.join_variables)
+            matched = False
+            for candidate in table.get(key, ()):
+                merged = _merge(solution, candidate)
+                if merged is not None:
+                    matched = True
+                    context.charge_engine(cost.engine_join_output_row)
+                    yield merged
+            if not matched:
+                yield solution
+
+    def children(self) -> list[FedOperator]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        joined = ", ".join(f"?{name}" for name in self.join_variables) or "×"
+        return f"LeftJoin[{joined}] (OPTIONAL)"
+
+
+@dataclass
+class DependentJoin(FedOperator):
+    """ANAPSID-style dependent (bound) join.
+
+    Consumes the outer input in blocks; for each block, the distinct values
+    of the join variable are pushed into the inner *service* as an IN
+    restriction, so the source only returns joinable rows.  Pays one extra
+    request per block but can shrink the transferred inner relation
+    dramatically when the outer side is selective.
+    """
+
+    outer: FedOperator
+    inner: ServiceNode
+    join_variable: str
+    block_size: int = 50
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        block: list[Solution] = []
+        outer_stream = self.outer.execute(context)
+        while True:
+            block.clear()
+            for solution in outer_stream:
+                if self.join_variable in solution:
+                    block.append(solution)
+                    if len(block) >= self.block_size:
+                        break
+            if not block:
+                return
+            terms = []
+            seen: set = set()
+            for solution in block:
+                term = solution[self.join_variable]
+                if term not in seen:
+                    seen.add(term)
+                    terms.append(term)
+            by_term: dict = {}
+            for solution in block:
+                context.charge_engine(cost.engine_hash_insert)
+                by_term.setdefault(solution[self.join_variable], []).append(solution)
+            for inner_solution in self.inner.execute_restricted(
+                context, self.join_variable, terms
+            ):
+                context.charge_engine(cost.engine_hash_probe)
+                for outer_solution in by_term.get(inner_solution[self.join_variable], ()):
+                    merged = _merge(outer_solution, inner_solution)
+                    if merged is not None:
+                        context.charge_engine(cost.engine_join_output_row)
+                        yield merged
+            if len(block) < self.block_size:
+                return
+
+    def children(self) -> list[FedOperator]:
+        return [self.outer, self.inner]
+
+    def label(self) -> str:
+        return f"DependentJoin[?{self.join_variable}, block={self.block_size}]"
+
+
+@dataclass
+class EngineFilter(FedOperator):
+    """FILTER evaluated at the query-engine level (Heuristic 2's push-up)."""
+
+    child: FedOperator
+    filters: list[Filter]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        for solution in self.child.execute(context):
+            context.charge_engine(cost.engine_filter_eval * len(self.filters))
+            if all(holds(f.expression, solution) for f in self.filters):
+                yield solution
+
+    def children(self) -> list[FedOperator]:
+        return [self.child]
+
+    def label(self) -> str:
+        rendered = " AND ".join(f.expression.n3() for f in self.filters)
+        return f"EngineFilter[{rendered}]"
+
+
+@dataclass
+class Project(FedOperator):
+    """Restrict solutions to the projected variables."""
+
+    child: FedOperator
+    variables: tuple[str, ...]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        names = self.variables
+        for solution in self.child.execute(context):
+            context.charge_engine(cost.engine_project_row)
+            yield {name: solution[name] for name in names if name in solution}
+
+    def children(self) -> list[FedOperator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return "Project[" + ", ".join(f"?{name}" for name in self.variables) + "]"
+
+
+@dataclass
+class Distinct(FedOperator):
+    child: FedOperator
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        seen: set[tuple] = set()
+        for solution in self.child.execute(context):
+            context.charge_engine(cost.engine_distinct_row)
+            key = tuple(sorted((name, term.n3()) for name, term in solution.items()))
+            if key not in seen:
+                seen.add(key)
+                yield solution
+
+    def children(self) -> list[FedOperator]:
+        return [self.child]
+
+
+@dataclass
+class Limit(FedOperator):
+    child: FedOperator
+    limit: int | None = None
+    offset: int | None = None
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        skipped = produced = 0
+        for solution in self.child.execute(context):
+            if self.offset and skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield solution
+
+    def children(self) -> list[FedOperator]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Limit[{self.limit}, offset={self.offset}]"
+
+
+@dataclass
+class OrderBy(FedOperator):
+    """Blocking sort by ORDER BY conditions (evaluated at the engine)."""
+
+    child: FedOperator
+    conditions: list[OrderCondition]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        cost = context.cost_model
+        solutions = list(self.child.execute(context))
+        context.charge_engine(cost.engine_sort_row * len(solutions))
+
+        def key_for(condition: OrderCondition):
+            def key(solution: Solution):
+                try:
+                    value = evaluate(condition.expression, solution)
+                except ExpressionError:
+                    return (0, "")
+                if hasattr(value, "to_python"):
+                    value = value.to_python()
+                elif hasattr(value, "value"):
+                    value = value.value
+                if isinstance(value, bool):
+                    return (1, int(value))
+                if isinstance(value, (int, float)):
+                    return (2, value)
+                return (3, str(value))
+
+            return key
+
+        for condition in reversed(self.conditions):
+            solutions.sort(key=key_for(condition), reverse=not condition.ascending)
+        yield from solutions
+
+    def children(self) -> list[FedOperator]:
+        return [self.child]
+
+
+@dataclass
+class Union(FedOperator):
+    """Round-robin union of several inputs (no duplicate elimination)."""
+
+    inputs: list[FedOperator]
+
+    def execute(self, context: RunContext) -> Iterator[Solution]:
+        iterators = [child.execute(context) for child in self.inputs]
+        active = [True] * len(iterators)
+        while any(active):
+            for position, iterator in enumerate(iterators):
+                if not active[position]:
+                    continue
+                try:
+                    yield next(iterator)
+                except StopIteration:
+                    active[position] = False
+
+    def children(self) -> list[FedOperator]:
+        return list(self.inputs)

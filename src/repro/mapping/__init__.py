@@ -1,0 +1,39 @@
+"""Mappings between RDF and relational storage, plus SSQ -> SQL translation."""
+
+from .normalizer import NormalizationReport, Normalizer, normalize_graph
+from .rml import (
+    ClassMapping,
+    PredicateMapping,
+    SourceMapping,
+    datatype_for_sql_type,
+    extract_value,
+    render_iri,
+    sql_type_for_datatype,
+)
+from .translator import (
+    TranslationResult,
+    VariableBinding,
+    can_translate_filter,
+    filter_columns,
+    stars_variable_columns,
+    translate_stars,
+)
+
+__all__ = [
+    "ClassMapping",
+    "NormalizationReport",
+    "Normalizer",
+    "PredicateMapping",
+    "SourceMapping",
+    "TranslationResult",
+    "VariableBinding",
+    "can_translate_filter",
+    "datatype_for_sql_type",
+    "extract_value",
+    "filter_columns",
+    "normalize_graph",
+    "render_iri",
+    "sql_type_for_datatype",
+    "stars_variable_columns",
+    "translate_stars",
+]

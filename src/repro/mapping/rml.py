@@ -1,0 +1,201 @@
+"""R2RML-style mappings between RDF molecules and relational tables.
+
+A :class:`ClassMapping` describes how one RDF class is stored relationally:
+the base table, the primary-key column holding the subject key, and one
+:class:`PredicateMapping` per property — a plain column, a foreign-key link
+to another entity, or a satellite table for multi-valued properties (the
+3NF decomposition the paper assumes).
+
+IRI templates use a single ``{}`` placeholder, e.g.
+``http://example.org/diseasome/gene/{}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal as TypingLiteral
+
+from ..exceptions import TranslationError
+from ..rdf.terms import IRI, Literal, Term, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+from ..relational.types import SQLType, SQLValue
+
+PredicateKind = TypingLiteral["column", "link", "multivalued"]
+
+
+def render_iri(template: str, value: SQLValue) -> IRI:
+    """Instantiate an IRI template with a key value."""
+    if "{}" not in template:
+        raise TranslationError(f"IRI template {template!r} lacks a '{{}}' placeholder")
+    return IRI(template.replace("{}", str(value)))
+
+
+def extract_value(template: str, iri: IRI) -> str | None:
+    """Invert :func:`render_iri`: recover the key from an IRI, or None."""
+    prefix, placeholder, suffix = template.partition("{}")
+    if not placeholder:
+        raise TranslationError(f"IRI template {template!r} lacks a '{{}}' placeholder")
+    value = iri.value
+    if not value.startswith(prefix) or not value.endswith(suffix):
+        return None
+    if suffix:
+        return value[len(prefix):-len(suffix)]
+    return value[len(prefix):]
+
+
+def sql_type_for_datatype(datatype: str) -> SQLType:
+    """Map an XSD datatype IRI to the engine's SQL type."""
+    if datatype == XSD_INTEGER:
+        return SQLType.INTEGER
+    if datatype == XSD_DOUBLE or datatype.endswith("#decimal") or datatype.endswith("#float"):
+        return SQLType.REAL
+    if datatype.endswith("#boolean"):
+        return SQLType.BOOLEAN
+    return SQLType.TEXT
+
+
+def datatype_for_sql_type(sql_type: SQLType) -> str:
+    if sql_type is SQLType.INTEGER:
+        return XSD_INTEGER
+    if sql_type is SQLType.REAL:
+        return XSD_DOUBLE
+    if sql_type is SQLType.BOOLEAN:
+        return "http://www.w3.org/2001/XMLSchema#boolean"
+    return XSD_STRING
+
+
+@dataclass(frozen=True)
+class PredicateMapping:
+    """How one predicate of a class is stored.
+
+    * ``kind="column"`` — a literal stored in ``column`` of the base table.
+    * ``kind="link"`` — an object property stored as foreign-key ``column``
+      of the base table; the object IRI is rebuilt via ``object_template``.
+    * ``kind="multivalued"`` — values live in satellite ``table`` with
+      ``key_column`` referencing the base PK and ``value_column`` holding
+      the value (a literal, or a key when ``object_template`` is set).
+    """
+
+    predicate: IRI
+    kind: PredicateKind
+    column: str | None = None
+    table: str | None = None
+    key_column: str | None = None
+    value_column: str | None = None
+    object_template: str | None = None
+    datatype: str = XSD_STRING
+
+    @property
+    def is_object_property(self) -> bool:
+        return self.object_template is not None
+
+    def term_for_value(self, value: SQLValue) -> Term | None:
+        """Rebuild the RDF object term from a stored SQL value."""
+        if value is None:
+            return None
+        if self.object_template is not None:
+            return render_iri(self.object_template, value)
+        if isinstance(value, bool):
+            return Literal("true" if value else "false", self.datatype)
+        return Literal(str(value), self.datatype)
+
+    def value_for_term(self, term: Term) -> SQLValue:
+        """Convert a ground RDF term to the stored SQL value.
+
+        Raises:
+            TranslationError: when the term cannot live in this mapping
+                (wrong IRI space, non-literal where a literal is needed).
+        """
+        if self.object_template is not None:
+            if not isinstance(term, IRI):
+                raise TranslationError(
+                    f"predicate {self.predicate.value} expects an IRI object, got {term!r}"
+                )
+            value = extract_value(self.object_template, term)
+            if value is None:
+                raise TranslationError(
+                    f"IRI {term.value} does not match template {self.object_template!r}"
+                )
+            return _coerce_key(value)
+        if not isinstance(term, Literal):
+            raise TranslationError(
+                f"predicate {self.predicate.value} expects a literal object, got {term!r}"
+            )
+        sql_type = sql_type_for_datatype(self.datatype)
+        if sql_type is SQLType.INTEGER:
+            return int(term.lexical)
+        if sql_type is SQLType.REAL:
+            return float(term.lexical)
+        if sql_type is SQLType.BOOLEAN:
+            return term.lexical.strip().lower() in ("true", "1")
+        return term.lexical
+
+
+def _coerce_key(value: str) -> SQLValue:
+    """Keys extracted from IRIs are integers when they look like integers."""
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+@dataclass
+class ClassMapping:
+    """Relational layout of one RDF class within one source."""
+
+    class_iri: IRI
+    source_id: str
+    table: str
+    subject_column: str
+    subject_template: str
+    predicates: dict[IRI, PredicateMapping] = field(default_factory=dict)
+
+    def predicate_mapping(self, predicate: IRI) -> PredicateMapping:
+        if predicate not in self.predicates:
+            raise TranslationError(
+                f"class {self.class_iri.value} has no mapping for predicate {predicate.value}"
+            )
+        return self.predicates[predicate]
+
+    def has_predicate(self, predicate: IRI) -> bool:
+        return predicate in self.predicates
+
+    def subject_term(self, key: SQLValue) -> IRI:
+        return render_iri(self.subject_template, key)
+
+    def subject_key(self, iri: IRI) -> SQLValue:
+        value = extract_value(self.subject_template, iri)
+        if value is None:
+            raise TranslationError(
+                f"IRI {iri.value} does not match subject template {self.subject_template!r}"
+            )
+        return _coerce_key(value)
+
+
+@dataclass
+class SourceMapping:
+    """All class mappings of one relational source."""
+
+    source_id: str
+    classes: dict[IRI, ClassMapping] = field(default_factory=dict)
+
+    def add(self, mapping: ClassMapping) -> None:
+        self.classes[mapping.class_iri] = mapping
+
+    def class_mapping(self, class_iri: IRI) -> ClassMapping:
+        if class_iri not in self.classes:
+            raise TranslationError(
+                f"source {self.source_id!r} has no mapping for class {class_iri.value}"
+            )
+        return self.classes[class_iri]
+
+    def classes_with_predicates(self, predicates: set[IRI]) -> list[ClassMapping]:
+        """Class mappings offering every predicate in *predicates*
+        (``rdf:type`` is implicit and ignored)."""
+        from ..rdf.namespaces import RDF_TYPE
+
+        wanted = {predicate for predicate in predicates if predicate != RDF_TYPE}
+        return [
+            mapping
+            for mapping in self.classes.values()
+            if all(mapping.has_predicate(predicate) for predicate in wanted)
+        ]

@@ -1,0 +1,29 @@
+"""Network simulation: clocks, delay models, channels and the cost model."""
+
+from .channel import Channel, TransferStats
+from .clock import Clock, RealClock, VirtualClock
+from .costmodel import CostModel, DEFAULT_COST_MODEL
+from .delays import (
+    DEFAULT_SLOW_THRESHOLD,
+    DelayModel,
+    FixedDelay,
+    GammaDelay,
+    NetworkSetting,
+    NoDelay,
+)
+
+__all__ = [
+    "Channel",
+    "Clock",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_SLOW_THRESHOLD",
+    "DelayModel",
+    "FixedDelay",
+    "GammaDelay",
+    "NetworkSetting",
+    "NoDelay",
+    "RealClock",
+    "TransferStats",
+    "VirtualClock",
+]

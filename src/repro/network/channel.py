@@ -1,0 +1,67 @@
+"""A delayed message channel between a source wrapper and the engine.
+
+The channel reproduces the paper's delay injection point: *"Network delays
+are simulated within the SQL wrapper of Ontario; delaying the retrieval of
+the next answer from the source."*  Each message pulled through the channel
+pays one delay sample plus a fixed serialization overhead, charged to the
+shared clock, and is counted for the transfer statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, TypeVar
+
+import numpy as np
+
+from .clock import Clock
+from .costmodel import CostModel
+from .delays import DelayModel, NoDelay
+
+T = TypeVar("T")
+
+
+@dataclass
+class TransferStats:
+    """Accounting of what crossed one channel."""
+
+    messages: int = 0
+    total_delay: float = 0.0
+
+    def merge(self, other: "TransferStats") -> None:
+        self.messages += other.messages
+        self.total_delay += other.total_delay
+
+
+class Channel:
+    """Applies network delay + message overhead to an answer stream."""
+
+    def __init__(
+        self,
+        clock: Clock,
+        delay: DelayModel | None = None,
+        cost_model: CostModel | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.clock = clock
+        self.delay = delay or NoDelay()
+        self.cost_model = cost_model or CostModel()
+        self.rng = rng or np.random.default_rng()
+        self.stats = TransferStats()
+
+    def transfer(self, messages: Iterable[T]) -> Iterator[T]:
+        """Stream *messages*, charging delay + overhead per message."""
+        for message in messages:
+            pause = self.delay.sample(self.rng) + self.cost_model.message_overhead
+            self.clock.sleep(pause)
+            self.stats.messages += 1
+            self.stats.total_delay += pause
+            yield message
+
+    def charge_message(self) -> None:
+        """Charge one message's cost without carrying a payload (e.g. for
+        the request itself or an end-of-stream marker)."""
+        pause = self.delay.sample(self.rng) + self.cost_model.message_overhead
+        self.clock.sleep(pause)
+        self.stats.messages += 1
+        self.stats.total_delay += pause

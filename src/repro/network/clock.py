@@ -1,0 +1,61 @@
+"""Clocks: virtual (deterministic, instant) and real (wall-clock sleeps).
+
+The paper produces its delays with ``time.sleep``; the reproduction defaults
+to a :class:`VirtualClock` that *accounts* the same durations without
+sleeping, making experiment runs deterministic and fast.  A
+:class:`RealClock` is provided for demos that want to feel the latency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The time source every component of one engine run shares."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic)."""
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time by *seconds* (waiting for real clocks)."""
+
+
+class VirtualClock:
+    """Deterministic simulated time starting at zero."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self._now += seconds
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+class RealClock:
+    """Wall-clock time via :func:`time.monotonic` / :func:`time.sleep`."""
+
+    def __init__(self):
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self) -> str:
+        return f"RealClock(now={self.now():.6f})"

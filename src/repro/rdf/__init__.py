@@ -1,0 +1,55 @@
+"""RDF substrate: terms, triple store, N-Triples I/O and RDF-MT mining."""
+
+from .graph import Graph
+from .molecules import MoleculeCatalog, PropertyLink, RDFMoleculeTemplate, extract_molecule_templates
+from .namespaces import OWL, RDF, RDF_TYPE, RDFS, Namespace, PrefixMap
+from .ntriples import parse, parse_into, parse_line, serialize, write
+from .terms import (
+    BNode,
+    IRI,
+    Literal,
+    PatternTerm,
+    Term,
+    Triple,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_ground,
+    typed_literal,
+)
+
+__all__ = [
+    "BNode",
+    "Graph",
+    "IRI",
+    "Literal",
+    "MoleculeCatalog",
+    "Namespace",
+    "OWL",
+    "PatternTerm",
+    "PrefixMap",
+    "PropertyLink",
+    "RDF",
+    "RDFMoleculeTemplate",
+    "RDFS",
+    "RDF_TYPE",
+    "Term",
+    "Triple",
+    "Variable",
+    "XSD_BOOLEAN",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_INTEGER",
+    "XSD_STRING",
+    "extract_molecule_templates",
+    "is_ground",
+    "parse",
+    "parse_into",
+    "parse_line",
+    "serialize",
+    "typed_literal",
+    "write",
+]

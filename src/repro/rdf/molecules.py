@@ -1,0 +1,133 @@
+"""RDF Molecule Templates (RDF-MTs).
+
+An RDF-MT (Endris et al., MULDER) is an abstract description of one class of
+entities in a data set: the class IRI, the properties its instances carry,
+and links to other molecule templates reached through object properties.
+Ontario uses RDF-MTs for source selection and star-shaped decomposition; the
+physical-design-aware planner in :mod:`repro.core` additionally annotates the
+relational backing of each property (table, column, index) via the catalog.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .graph import Graph
+from .namespaces import RDF_TYPE
+from .terms import IRI, Literal
+
+
+@dataclass(frozen=True, slots=True)
+class PropertyLink:
+    """An object property of one molecule pointing at another molecule's class."""
+
+    predicate: IRI
+    target_class: IRI
+
+
+@dataclass
+class RDFMoleculeTemplate:
+    """Description of one class of instances within one data source.
+
+    Attributes:
+        source_id: identifier of the data source the molecule was mined from.
+        class_iri: the ``rdf:type`` shared by the instances.
+        predicates: every predicate observed on instances of the class.
+        links: object-property links to other molecule templates.
+        cardinality: number of instances of the class in the source.
+        predicate_cardinality: number of triples per predicate.
+    """
+
+    source_id: str
+    class_iri: IRI
+    predicates: set[IRI] = field(default_factory=set)
+    links: set[PropertyLink] = field(default_factory=set)
+    cardinality: int = 0
+    predicate_cardinality: dict[IRI, int] = field(default_factory=dict)
+
+    def has_predicates(self, predicates: set[IRI]) -> bool:
+        """True when this molecule offers every predicate in *predicates*."""
+        return predicates <= self.predicates
+
+    def __repr__(self) -> str:
+        return (
+            f"RDFMoleculeTemplate({self.source_id!r}, {self.class_iri.value!r}, "
+            f"|preds|={len(self.predicates)}, card={self.cardinality})"
+        )
+
+
+def extract_molecule_templates(graph: Graph, source_id: str) -> list[RDFMoleculeTemplate]:
+    """Mine the RDF-MTs of *graph* following the MULDER construction.
+
+    Every subject is grouped under each of its ``rdf:type`` classes; subjects
+    without a type are grouped under a per-source synthetic class so that no
+    data becomes unreachable for source selection.
+    """
+    untyped_class = IRI(f"urn:repro:untyped:{source_id}")
+    molecules: dict[IRI, RDFMoleculeTemplate] = {}
+    instance_classes: dict[object, list[IRI]] = defaultdict(list)
+
+    for triple in graph.triples(None, RDF_TYPE, None):
+        if isinstance(triple.object, IRI):
+            instance_classes[triple.subject].append(triple.object)
+
+    def molecule_for(class_iri: IRI) -> RDFMoleculeTemplate:
+        if class_iri not in molecules:
+            molecules[class_iri] = RDFMoleculeTemplate(source_id, class_iri)
+        return molecules[class_iri]
+
+    instances_per_class: dict[IRI, set[object]] = defaultdict(set)
+    for triple in graph:
+        classes = instance_classes.get(triple.subject) or [untyped_class]
+        for class_iri in classes:
+            molecule = molecule_for(class_iri)
+            molecule.predicates.add(triple.predicate)
+            molecule.predicate_cardinality[triple.predicate] = (
+                molecule.predicate_cardinality.get(triple.predicate, 0) + 1
+            )
+            instances_per_class[class_iri].add(triple.subject)
+            if not isinstance(triple.object, Literal):
+                for target_class in instance_classes.get(triple.object, ()):
+                    molecule.links.add(PropertyLink(triple.predicate, target_class))
+
+    for class_iri, instances in instances_per_class.items():
+        molecules[class_iri].cardinality = len(instances)
+    return sorted(molecules.values(), key=lambda m: m.class_iri.value)
+
+
+class MoleculeCatalog:
+    """The union of molecule templates across every source of a data lake."""
+
+    def __init__(self):
+        self._by_class: dict[IRI, list[RDFMoleculeTemplate]] = defaultdict(list)
+        self._by_source: dict[str, list[RDFMoleculeTemplate]] = defaultdict(list)
+
+    def add(self, molecule: RDFMoleculeTemplate) -> None:
+        self._by_class[molecule.class_iri].append(molecule)
+        self._by_source[molecule.source_id].append(molecule)
+
+    def add_all(self, molecules: list[RDFMoleculeTemplate]) -> None:
+        for molecule in molecules:
+            self.add(molecule)
+
+    def by_class(self, class_iri: IRI) -> list[RDFMoleculeTemplate]:
+        return list(self._by_class.get(class_iri, ()))
+
+    def by_source(self, source_id: str) -> list[RDFMoleculeTemplate]:
+        return list(self._by_source.get(source_id, ()))
+
+    def sources_with_predicates(self, predicates: set[IRI]) -> dict[str, list[RDFMoleculeTemplate]]:
+        """Map source id -> molecules of that source offering all *predicates*."""
+        matches: dict[str, list[RDFMoleculeTemplate]] = defaultdict(list)
+        for molecules in self._by_class.values():
+            for molecule in molecules:
+                if molecule.has_predicates(predicates):
+                    matches[molecule.source_id].append(molecule)
+        return dict(matches)
+
+    def all_molecules(self) -> list[RDFMoleculeTemplate]:
+        return [m for molecules in self._by_class.values() for m in molecules]
+
+    def __len__(self) -> int:
+        return sum(len(molecules) for molecules in self._by_class.values())

@@ -1,0 +1,93 @@
+"""Namespace helpers and the vocabulary IRIs used across the reproduction."""
+
+from __future__ import annotations
+
+from .terms import IRI
+
+
+class Namespace:
+    """A factory of IRIs sharing a common prefix.
+
+    Example:
+        >>> EX = Namespace("http://example.org/")
+        >>> EX.drug
+        IRI(value='http://example.org/drug')
+        >>> EX["drug/1"]
+        IRI(value='http://example.org/drug/1')
+    """
+
+    def __init__(self, base: str):
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return IRI(self._base + name)
+
+    def __getitem__(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def term(self, name: str) -> IRI:
+        return IRI(self._base + name)
+
+    def __contains__(self, iri: IRI | str) -> bool:
+        value = iri.value if isinstance(iri, IRI) else iri
+        return value.startswith(self._base)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: ``rdf:type`` — the predicate that anchors RDF molecule templates.
+RDF_TYPE = RDF.type
+
+
+class PrefixMap:
+    """A bidirectional prefix <-> namespace registry for (de)serialization."""
+
+    def __init__(self, prefixes: dict[str, str] | None = None):
+        self._by_prefix: dict[str, str] = {}
+        if prefixes:
+            for prefix, base in prefixes.items():
+                self.bind(prefix, base)
+
+    def bind(self, prefix: str, base: str) -> None:
+        self._by_prefix[prefix] = base
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a ``prefix:local`` name into an IRI.
+
+        Raises:
+            KeyError: when the prefix is not bound.
+        """
+        prefix, __, local = qname.partition(":")
+        return IRI(self._by_prefix[prefix] + local)
+
+    def shrink(self, iri: IRI) -> str | None:
+        """Return ``prefix:local`` for *iri* when a bound namespace matches."""
+        best: tuple[int, str, str] | None = None
+        for prefix, base in self._by_prefix.items():
+            if iri.value.startswith(base) and (best is None or len(base) > best[0]):
+                best = (len(base), prefix, base)
+        if best is None:
+            return None
+        __, prefix, base = best
+        return f"{prefix}:{iri.value[len(base):]}"
+
+    def items(self):
+        return self._by_prefix.items()
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def copy(self) -> "PrefixMap":
+        return PrefixMap(dict(self._by_prefix))

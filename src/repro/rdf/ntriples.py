@@ -1,0 +1,201 @@
+"""N-Triples parsing and serialization (RDF 1.1 N-Triples subset).
+
+Supports IRIs, blank nodes, plain / language-tagged / datatyped literals,
+comments, and the standard string escapes.  This is the interchange format
+used to load the synthetic LSLOD datasets into graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from ..exceptions import NTriplesParseError
+from .graph import Graph
+from .terms import BNode, IRI, Literal, Term, Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+    "b": "\b",
+    "f": "\f",
+    "'": "'",
+}
+
+
+class _LineParser:
+    """A cursor over a single N-Triples line."""
+
+    def __init__(self, line: str, line_number: int):
+        self.text = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> NTriplesParseError:
+        return NTriplesParseError(message, line=self.line_number, column=self.pos + 1)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        return self.text[self.pos]
+
+    def expect(self, char: str) -> None:
+        if self.at_end() or self.text[self.pos] != char:
+            raise self.error(f"expected {char!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.text.find(">", self.pos)
+        if end < 0:
+            raise self.error("unterminated IRI")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return IRI(value)
+
+    def read_bnode(self) -> BNode:
+        self.expect("_")
+        self.expect(":")
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "-_."
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise self.error("empty blank node label")
+        return BNode(self.text[start:self.pos])
+
+    def read_quoted_string(self) -> str:
+        self.expect('"')
+        parts: list[str] = []
+        while True:
+            if self.at_end():
+                raise self.error("unterminated literal")
+            char = self.text[self.pos]
+            self.pos += 1
+            if char == '"':
+                return "".join(parts)
+            if char != "\\":
+                parts.append(char)
+                continue
+            if self.at_end():
+                raise self.error("dangling escape")
+            escape = self.text[self.pos]
+            self.pos += 1
+            if escape in _ESCAPES:
+                parts.append(_ESCAPES[escape])
+            elif escape == "u":
+                parts.append(self._read_unicode_escape(4))
+            elif escape == "U":
+                parts.append(self._read_unicode_escape(8))
+            else:
+                raise self.error(f"unknown escape \\{escape}")
+
+    def _read_unicode_escape(self, width: int) -> str:
+        digits = self.text[self.pos:self.pos + width]
+        if len(digits) < width:
+            raise self.error("truncated unicode escape")
+        try:
+            code = int(digits, 16)
+        except ValueError as exc:
+            raise self.error(f"invalid unicode escape {digits!r}") from exc
+        self.pos += width
+        return chr(code)
+
+    def read_literal(self) -> Literal:
+        lexical = self.read_quoted_string()
+        if not self.at_end() and self.text[self.pos] == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] == "-"
+            ):
+                self.pos += 1
+            if self.pos == start:
+                raise self.error("empty language tag")
+            return Literal(lexical, language=self.text[start:self.pos])
+        if self.text[self.pos:self.pos + 2] == "^^":
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype.value)
+        return Literal(lexical)
+
+    def read_subject(self) -> Term:
+        char = self.peek()
+        if char == "<":
+            return self.read_iri()
+        if char == "_":
+            return self.read_bnode()
+        raise self.error("subject must be an IRI or blank node")
+
+    def read_object(self) -> Term:
+        char = self.peek()
+        if char == "<":
+            return self.read_iri()
+        if char == "_":
+            return self.read_bnode()
+        if char == '"':
+            return self.read_literal()
+        raise self.error("object must be an IRI, blank node or literal")
+
+
+def parse_line(line: str, line_number: int = 1) -> Triple | None:
+    """Parse one N-Triples line; returns None for blank/comment lines."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    parser = _LineParser(line.rstrip("\n"), line_number)
+    parser.skip_whitespace()
+    subject = parser.read_subject()
+    parser.skip_whitespace()
+    predicate = parser.read_iri()
+    parser.skip_whitespace()
+    obj = parser.read_object()
+    parser.skip_whitespace()
+    parser.expect(".")
+    parser.skip_whitespace()
+    if not parser.at_end() and not parser.text[parser.pos:].lstrip().startswith("#"):
+        raise parser.error("trailing content after '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse(text: str | Iterable[str]) -> Iterator[Triple]:
+    """Parse an N-Triples document given as a string or an iterable of lines.
+
+    Lines are split on ``\\n`` only — ``str.splitlines`` would also split on
+    control characters (\\x1e, \\u2028, ...) that may legally occur inside
+    literals.
+    """
+    lines = text.split("\n") if isinstance(text, str) else text
+    for line_number, line in enumerate(lines, start=1):
+        triple = parse_line(line, line_number)
+        if triple is not None:
+            yield triple
+
+
+def parse_into(graph: Graph, text: str | Iterable[str]) -> int:
+    """Parse *text* and add every triple to *graph*; returns the count added."""
+    return graph.add_all(parse(text))
+
+
+def serialize(triples: Iterable[Triple]) -> str:
+    """Serialize triples as an N-Triples document (one statement per line)."""
+    return "".join(triple.n3() + "\n" for triple in triples)
+
+
+def write(triples: Iterable[Triple], stream: TextIO) -> int:
+    """Write triples to *stream* in N-Triples syntax; returns the count."""
+    count = 0
+    for triple in triples:
+        stream.write(triple.n3() + "\n")
+        count += 1
+    return count

@@ -1,0 +1,156 @@
+"""RDF term model: IRIs, literals, blank nodes, variables and triples.
+
+The model follows RDF 1.1 concepts closely enough for a federated SPARQL
+engine: terms are immutable, hashable values with a canonical N-Triples
+serialization, and :class:`Variable` extends the universe so the same types
+can appear in triple *patterns* (see :mod:`repro.sparql.algebra`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+XSD = "http://www.w3.org/2001/XMLSchema#"
+XSD_STRING = XSD + "string"
+XSD_INTEGER = XSD + "integer"
+XSD_DECIMAL = XSD + "decimal"
+XSD_DOUBLE = XSD + "double"
+XSD_BOOLEAN = XSD + "boolean"
+
+_NUMERIC_DATATYPES = frozenset({XSD_INTEGER, XSD_DECIMAL, XSD_DOUBLE})
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An absolute IRI reference, e.g. ``IRI("http://example.org/d/1")``."""
+
+    value: str
+
+    def n3(self) -> str:
+        """Serialize in N-Triples syntax: ``<iri>``."""
+        return f"<{self.value}>"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def local_name(self) -> str:
+        """Return the fragment after the last ``#`` or ``/`` separator."""
+        for separator in ("#", "/"):
+            __, found, tail = self.value.rpartition(separator)
+            if found:
+                return tail
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class BNode:
+    """A blank node with a document-scoped label, e.g. ``BNode("b0")``."""
+
+    label: str
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """An RDF literal with an optional datatype IRI or language tag.
+
+    A plain ``Literal("x")`` is an ``xsd:string``.  Use the
+    :func:`typed_literal` helper to build literals from Python values.
+    """
+
+    lexical: str
+    datatype: str = XSD_STRING
+    language: str | None = None
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.language:
+            return f'"{escaped}"@{self.language}'
+        if self.datatype and self.datatype != XSD_STRING:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.datatype in _NUMERIC_DATATYPES
+
+    def to_python(self) -> str | int | float | bool:
+        """Convert to the closest Python value; falls back to the lexical form."""
+        if self.datatype == XSD_INTEGER:
+            try:
+                return int(self.lexical)
+            except ValueError:
+                return self.lexical
+        if self.datatype in (XSD_DECIMAL, XSD_DOUBLE):
+            try:
+                return float(self.lexical)
+            except ValueError:
+                return self.lexical
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical.strip().lower() in ("true", "1")
+        return self.lexical
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A SPARQL variable, e.g. ``Variable("gene")`` rendered as ``?gene``."""
+
+    name: str
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: Terms that may appear in RDF data.
+Term = Union[IRI, BNode, Literal]
+#: Terms that may appear in a triple pattern.
+PatternTerm = Union[IRI, BNode, Literal, Variable]
+
+
+def typed_literal(value: str | int | float | bool) -> Literal:
+    """Build a :class:`Literal` with the XSD datatype matching *value*'s type."""
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), XSD_DOUBLE)
+    return Literal(value)
+
+
+def is_ground(term: PatternTerm) -> bool:
+    """True when *term* contains no variable (i.e. it can appear in data)."""
+    return not isinstance(term, Variable)
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A ground RDF triple ``(subject, predicate, object)``."""
+
+    subject: Term
+    predicate: IRI
+    object: Term
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))

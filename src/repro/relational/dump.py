@@ -1,0 +1,139 @@
+"""SQL-script dump/load for :class:`~repro.relational.database.Database`.
+
+``dump_sql`` emits a portable script (CREATE TABLE with PK/FK, CREATE INDEX
+for secondary indexes, batched INSERTs) that ``load_sql`` — or the
+``Database.execute`` loop of any session — replays into an identical
+database.  Used by the lake persistence layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..exceptions import SQLParseError
+from .database import Database
+from .schema import TableSchema
+from .sql.ast import Constant
+from .types import SQLType
+
+_INSERT_BATCH = 200
+
+
+def _render_column(schema: TableSchema, name: str) -> str:
+    column = schema.column(name)
+    parts = [column.name, column.sql_type.value]
+    if not column.nullable and (column.name,) != schema.primary_key:
+        parts.append("NOT NULL")
+    return " ".join(parts)
+
+
+def _create_table(schema: TableSchema) -> str:
+    pieces = [_render_column(schema, column.name) for column in schema.columns]
+    if schema.primary_key:
+        pieces.append(f"PRIMARY KEY ({', '.join(schema.primary_key)})")
+    for foreign_key in schema.foreign_keys:
+        pieces.append(
+            f"FOREIGN KEY ({foreign_key.column}) "
+            f"REFERENCES {foreign_key.referenced_table} ({foreign_key.referenced_column})"
+        )
+    return f"CREATE TABLE {schema.name} ({', '.join(pieces)})"
+
+
+def dump_sql(database: Database) -> str:
+    """Serialize schema, secondary indexes and data as a SQL script."""
+    statements: list[str] = [f"-- database {database.name}"]
+    # Tables in FK-dependency order: referenced tables first.
+    ordered = _topological_tables(database)
+    for table_name in ordered:
+        storage = database.table(table_name)
+        statements.append(_create_table(storage.schema) + ";")
+    for table_name in ordered:
+        storage = database.table(table_name)
+        for definition in storage.indexes.values():
+            if definition.name.startswith("pk_"):
+                continue
+            unique = "UNIQUE " if definition.unique else ""
+            statements.append(
+                f"CREATE {unique}INDEX {definition.name} ON {definition.table} "
+                f"({', '.join(definition.columns)});"
+            )
+    for table_name in ordered:
+        storage = database.table(table_name)
+        batch: list[str] = []
+        for row in storage.rows():
+            batch.append("(" + ", ".join(Constant(value).sql() for value in row) + ")")
+            if len(batch) >= _INSERT_BATCH:
+                statements.append(f"INSERT INTO {table_name} VALUES {', '.join(batch)};")
+                batch = []
+        if batch:
+            statements.append(f"INSERT INTO {table_name} VALUES {', '.join(batch)};")
+    return "\n".join(statements) + "\n"
+
+
+def _topological_tables(database: Database) -> list[str]:
+    remaining = set(database.table_names)
+    ordered: list[str] = []
+    while remaining:
+        progressed = False
+        for table_name in sorted(remaining):
+            schema = database.table(table_name).schema
+            depends = {
+                fk.referenced_table
+                for fk in schema.foreign_keys
+                if fk.referenced_table != table_name
+            }
+            if depends <= set(ordered):
+                ordered.append(table_name)
+                remaining.discard(table_name)
+                progressed = True
+        if not progressed:  # FK cycle: emit the rest alphabetically
+            ordered.extend(sorted(remaining))
+            break
+    return ordered
+
+
+def split_statements(script: str) -> Iterator[str]:
+    """Split a SQL script on top-level ``;`` (string-literal aware)."""
+    buffer: list[str] = []
+    in_string = False
+    position = 0
+    while position < len(script):
+        char = script[position]
+        if in_string:
+            buffer.append(char)
+            if char == "'":
+                # '' is an escaped quote inside the string
+                if position + 1 < len(script) and script[position + 1] == "'":
+                    buffer.append("'")
+                    position += 1
+                else:
+                    in_string = False
+        elif char == "'":
+            in_string = True
+            buffer.append(char)
+        elif char == ";":
+            statement = "".join(buffer).strip()
+            if statement:
+                yield statement
+            buffer = []
+        elif char == "-" and script[position:position + 2] == "--":
+            end = script.find("\n", position)
+            position = len(script) if end < 0 else end
+        else:
+            buffer.append(char)
+        position += 1
+    tail = "".join(buffer).strip()
+    if tail:
+        yield tail
+
+
+def load_sql(script: str, name: str = "restored") -> Database:
+    """Replay a dump produced by :func:`dump_sql` into a fresh database."""
+    database = Database(name)
+    for statement in split_statements(script):
+        try:
+            database.execute(statement)
+        except SQLParseError as exc:
+            raise SQLParseError(f"while loading {name!r}: {exc}") from exc
+    database.analyze()
+    return database

@@ -1,0 +1,116 @@
+"""Relational schema objects: columns, keys, tables.
+
+The LSLOD reproduction stores each data set as a 3NF schema: the RDF subject
+becomes the primary key, functional properties become columns, and
+multi-valued properties become satellite tables with composite keys — see
+:mod:`repro.mapping.normalizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SchemaError
+from .types import SQLType
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A typed column; ``nullable`` is enforced on insert."""
+
+    name: str
+    sql_type: SQLType
+    nullable: bool = True
+
+    def __post_init__(self):
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ForeignKey:
+    """A single-column foreign key reference."""
+
+    column: str
+    referenced_table: str
+    referenced_column: str
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table: columns, primary key, foreign keys.
+
+    Attributes:
+        name: table name, unique within a database.
+        columns: ordered column definitions.
+        primary_key: names of the PK columns (possibly composite).
+        foreign_keys: FK declarations (used by H1 join push-down reasoning).
+    """
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        seen: set[str] = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(column.name)
+        for key_column in self.primary_key:
+            if key_column not in seen:
+                raise SchemaError(
+                    f"primary key column {key_column!r} not in table {self.name!r}"
+                )
+        for foreign_key in self.foreign_keys:
+            if foreign_key.column not in seen:
+                raise SchemaError(
+                    f"foreign key column {foreign_key.column!r} not in table {self.name!r}"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def is_primary_key(self, column: str) -> bool:
+        return self.primary_key == (column,)
+
+    def foreign_key_for(self, column: str) -> ForeignKey | None:
+        for foreign_key in self.foreign_keys:
+            if foreign_key.column == column:
+                return foreign_key
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class IndexDef:
+    """Metadata of one index (the physical-design catalog exposes these)."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+    kind: str = "btree"  # "btree" | "hash"
+
+    def covers(self, column: str) -> bool:
+        """True when the index can serve equality lookups on *column*
+        (i.e. *column* is the leading index column)."""
+        return bool(self.columns) and self.columns[0] == column

@@ -1,0 +1,367 @@
+"""AST for the SQL subset understood by the relational substrate.
+
+The subset covers what the SPARQL-to-SQL translator emits and what the
+benchmarks need: SELECT with inner joins, conjunctive/disjunctive WHERE
+clauses (comparisons, LIKE, IN, IS NULL), DISTINCT, ORDER BY, LIMIT/OFFSET,
+COUNT(*) aggregation, plus INSERT, CREATE TABLE and CREATE INDEX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from ..types import SQLType, SQLValue
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    table: str | None
+    column: str
+
+    def qualified(self, default_table: str | None = None) -> str:
+        table = self.table or default_table
+        return f"{table}.{self.column}" if table else self.column
+
+    def sql(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A literal value in a SQL expression."""
+
+    value: SQLValue
+
+    def sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+Operand = Union[ColumnRef, Constant]
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """``left OP right`` where OP in =, <>, <, >, <=, >=."""
+
+    operator: str
+    left: Operand
+    right: Operand
+
+    def sql(self) -> str:
+        return f"{self.left.sql()} {self.operator} {self.right.sql()}"
+
+
+@dataclass(frozen=True, slots=True)
+class LikePredicate:
+    """``column [NOT] LIKE pattern`` with SQL ``%`` / ``_`` wildcards."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+    def sql(self) -> str:
+        negation = "NOT " if self.negated else ""
+        escaped = self.pattern.replace("'", "''")
+        return f"{self.column.sql()} {negation}LIKE '{escaped}'"
+
+
+@dataclass(frozen=True, slots=True)
+class InPredicate:
+    """``column [NOT] IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple[SQLValue, ...]
+    negated: bool = False
+
+    def sql(self) -> str:
+        rendered = ", ".join(Constant(value).sql() for value in self.values)
+        negation = "NOT " if self.negated else ""
+        return f"{self.column.sql()} {negation}IN ({rendered})"
+
+
+@dataclass(frozen=True, slots=True)
+class IsNullPredicate:
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnRef
+    negated: bool = False
+
+    def sql(self) -> str:
+        negation = "NOT " if self.negated else ""
+        return f"{self.column.sql()} IS {negation}NULL"
+
+
+@dataclass(frozen=True, slots=True)
+class NotExpr:
+    operand: "WhereExpr"
+
+    def sql(self) -> str:
+        return f"NOT ({self.operand.sql()})"
+
+
+@dataclass(frozen=True, slots=True)
+class AndExpr:
+    operands: tuple["WhereExpr", ...]
+
+    def sql(self) -> str:
+        return " AND ".join(
+            f"({operand.sql()})" if isinstance(operand, OrExpr) else operand.sql()
+            for operand in self.operands
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OrExpr:
+    operands: tuple["WhereExpr", ...]
+
+    def sql(self) -> str:
+        return " OR ".join(operand.sql() for operand in self.operands)
+
+
+WhereExpr = Union[Comparison, LikePredicate, InPredicate, IsNullPredicate, NotExpr, AndExpr, OrExpr]
+
+
+def conjuncts(expression: WhereExpr | None) -> list[WhereExpr]:
+    """Flatten a WHERE expression into its top-level AND-ed conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, AndExpr):
+        result: list[WhereExpr] = []
+        for operand in expression.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [expression]
+
+
+def conjunction(parts: Sequence[WhereExpr]) -> WhereExpr | None:
+    """Combine conjuncts back into a single expression (None when empty)."""
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return AndExpr(tuple(parts))
+
+
+#: Aggregate functions the engine evaluates.
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateCall:
+    """An aggregate select item: ``FUNC(column)`` or ``COUNT(*)``.
+
+    ``column is None`` means ``COUNT(*)``.
+    """
+
+    function: str  # one of AGGREGATE_FUNCTIONS
+    column: ColumnRef | None = None
+    alias: str | None = None
+
+    def sql(self) -> str:
+        argument = self.column.sql() if self.column is not None else "*"
+        rendered = f"{self.function}({argument})"
+        return f"{rendered} AS {self.alias}" if self.alias else rendered
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        argument = self.column.column if self.column is not None else "star"
+        return f"{self.function.lower()}_{argument}"
+
+
+@dataclass(frozen=True, slots=True)
+class SelectItem:
+    """One projected column with an optional alias."""
+
+    expr: ColumnRef
+    alias: str | None = None
+
+    def sql(self) -> str:
+        return f"{self.expr.sql()} AS {self.alias}" if self.alias else self.expr.sql()
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.expr.column
+
+
+@dataclass(frozen=True, slots=True)
+class TableRef:
+    """A table in the FROM clause, with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name the table is referred to by inside the query."""
+        return self.alias or self.name
+
+    def sql(self) -> str:
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True, slots=True)
+class JoinClause:
+    """``JOIN table ON left = right`` (inner join, equality only)."""
+
+    table: TableRef
+    left: ColumnRef
+    right: ColumnRef
+
+    def sql(self) -> str:
+        return f"JOIN {self.table.sql()} ON {self.left.sql()} = {self.right.sql()}"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderItem:
+    column: ColumnRef
+    ascending: bool = True
+
+    def sql(self) -> str:
+        return self.column.sql() + ("" if self.ascending else " DESC")
+
+
+@dataclass
+class SelectStatement:
+    """A parsed (or programmatically built) SELECT query.
+
+    ``items`` mixes plain columns and :class:`AggregateCall`s; aggregates
+    require every bare column to appear in ``group_by`` (enforced by the
+    planner).  ``count_star`` is kept as a convenience flag for the common
+    ``SELECT COUNT(*)`` form (equivalent to a lone AggregateCall).
+    """
+
+    items: list[SelectItem | AggregateCall] | None  # None means SELECT *
+    table: TableRef
+    joins: list[JoinClause] = field(default_factory=list)
+    where: WhereExpr | None = None
+    distinct: bool = False
+    group_by: list[ColumnRef] = field(default_factory=list)
+    #: HAVING predicate; may reference select-list aliases / output names.
+    having: WhereExpr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    count_star: bool = False
+
+    def has_aggregates(self) -> bool:
+        if self.count_star:
+            return True
+        if self.items is None:
+            return False
+        return any(isinstance(item, AggregateCall) for item in self.items)
+
+    def sql(self) -> str:
+        """Render back to SQL text (canonical layout)."""
+        if self.count_star:
+            projection = "COUNT(*)"
+        elif self.items is None:
+            projection = "*"
+        else:
+            projection = ", ".join(item.sql() for item in self.items)
+        distinct = "DISTINCT " if self.distinct else ""
+        parts = [f"SELECT {distinct}{projection}", f"FROM {self.table.sql()}"]
+        parts.extend(join.sql() for join in self.joins)
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(ref.sql() for ref in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(item.sql() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+    def referenced_tables(self) -> list[TableRef]:
+        return [self.table] + [join.table for join in self.joins]
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str] | None
+    rows: list[list[SQLValue]]
+
+    def sql(self) -> str:
+        columns = f" ({', '.join(self.columns)})" if self.columns else ""
+        rendered_rows = ", ".join(
+            "(" + ", ".join(Constant(value).sql() for value in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table}{columns} VALUES {rendered_rows}"
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnDef:
+    name: str
+    sql_type: SQLType
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTableStatement:
+    table: str
+    columns: list[ColumnDef]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: list[tuple[str, str, str]] = field(default_factory=list)  # (col, ref_table, ref_col)
+
+
+@dataclass
+class CreateIndexStatement:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass
+class UpdateStatement:
+    """``UPDATE table SET col = value, ... [WHERE ...]``."""
+
+    table: str
+    assignments: list[tuple[str, SQLValue]]
+    where: WhereExpr | None = None
+
+    def sql(self) -> str:
+        sets = ", ".join(
+            f"{column} = {Constant(value).sql()}" for column, value in self.assignments
+        )
+        clause = f" WHERE {self.where.sql()}" if self.where is not None else ""
+        return f"UPDATE {self.table} SET {sets}{clause}"
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: WhereExpr | None = None
+
+    def sql(self) -> str:
+        clause = f" WHERE {self.where.sql()}" if self.where is not None else ""
+        return f"DELETE FROM {self.table}{clause}"
+
+
+Statement = Union[
+    SelectStatement,
+    InsertStatement,
+    UpdateStatement,
+    DeleteStatement,
+    CreateTableStatement,
+    CreateIndexStatement,
+]

@@ -1,0 +1,171 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...exceptions import SQLParseError
+
+_PUNCTUATION = ("<>", "!=", "<=", ">=", "(", ")", ",", ".", ";", "*", "=", "<", ">")
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "JOIN",
+        "INNER",
+        "ON",
+        "AND",
+        "OR",
+        "NOT",
+        "LIKE",
+        "IN",
+        "IS",
+        "NULL",
+        "AS",
+        "ORDER",
+        "BY",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "INSERT",
+        "INTO",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "VALUES",
+        "CREATE",
+        "TABLE",
+        "INDEX",
+        "UNIQUE",
+        "PRIMARY",
+        "KEY",
+        "FOREIGN",
+        "REFERENCES",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "GROUP",
+        "HAVING",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # IDENT | KEYWORD | STRING | INTEGER | REAL | PUNCT | EOF
+    value: str
+    position: int
+
+
+class Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> SQLParseError:
+        return SQLParseError(f"{message} (near position {self.pos})")
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            token = self._next()
+            result.append(token)
+            if token.kind == "EOF":
+                return result
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _next(self) -> Token:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+        if self.pos >= len(self.text):
+            return Token("EOF", "", self.pos)
+        start = self.pos
+        char = self.text[self.pos]
+        if char == "-" and self._peek(1) == "-":  # line comment
+            while self.pos < len(self.text) and self.text[self.pos] != "\n":
+                self.pos += 1
+            return self._next()
+        if char == "'":
+            return self._read_string(start)
+        if char.isdigit():
+            return self._read_number(start)
+        if char == "-" and self._peek(1).isdigit():
+            # negative numeric literal (the subset has no arithmetic, so a
+            # dash followed by a digit is always a signed constant)
+            self.pos += 1
+            return self._read_number(start)
+        if char.isalpha() or char == "_":
+            return self._read_word(start)
+        if char == '"' or char == "`":  # quoted identifier
+            return self._read_quoted_identifier(start, char)
+        for punct in _PUNCTUATION:
+            if self.text.startswith(punct, self.pos):
+                self.pos += len(punct)
+                return Token("PUNCT", punct, start)
+        raise self.error(f"unexpected character {char!r}")
+
+    def _read_string(self, start: int) -> Token:
+        self.pos += 1
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self.error("unterminated string literal")
+            char = self.text[self.pos]
+            if char == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    parts.append("'")
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return Token("STRING", "".join(parts), start)
+            parts.append(char)
+            self.pos += 1
+
+    def _read_number(self, start: int) -> Token:
+        saw_dot = False
+        while self.pos < len(self.text):
+            char = self.text[self.pos]
+            if char.isdigit():
+                self.pos += 1
+            elif char == "." and not saw_dot and self._peek(1).isdigit():
+                saw_dot = True
+                self.pos += 1
+            else:
+                break
+        value = self.text[start:self.pos]
+        return Token("REAL" if saw_dot else "INTEGER", value, start)
+
+    def _read_word(self, start: int) -> Token:
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] == "_"
+        ):
+            self.pos += 1
+        word = self.text[start:self.pos]
+        if word.upper() in KEYWORDS:
+            return Token("KEYWORD", word.upper(), start)
+        return Token("IDENT", word, start)
+
+    def _read_quoted_identifier(self, start: int, quote: str) -> Token:
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end < 0:
+            raise self.error("unterminated quoted identifier")
+        value = self.text[self.pos:end]
+        self.pos = end + 1
+        return Token("IDENT", value, start)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SQLParseError` on bad input."""
+    return Lexer(text).tokens()

@@ -1,0 +1,513 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from ...exceptions import SQLParseError
+from ..types import SQLType, SQLValue
+from .ast import (
+    AggregateCall,
+    AndExpr,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    Constant,
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    InPredicate,
+    InsertStatement,
+    IsNullPredicate,
+    JoinClause,
+    LikePredicate,
+    NotExpr,
+    Operand,
+    OrExpr,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+    WhereExpr,
+)
+from .lexer import Token, tokenize
+
+_COMPARISON_OPERATORS = {"=": "=", "<>": "<>", "!=": "<>", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SQLParseError:
+        token = self.peek()
+        return SQLParseError(f"{message}, found {token.value!r} (position {token.position})")
+
+    def at_keyword(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in values
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == value
+
+    def expect_keyword(self, value: str) -> Token:
+        if not self.at_keyword(value):
+            raise self.error(f"expected {value}")
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.at_punct(value):
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise self.error(f"expected {what}")
+        self.advance()
+        return token.value
+
+    # -- entry --------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.at_keyword("SELECT"):
+            statement = self.parse_select()
+        elif self.at_keyword("INSERT"):
+            statement = self.parse_insert()
+        elif self.at_keyword("UPDATE"):
+            statement = self.parse_update()
+        elif self.at_keyword("DELETE"):
+            statement = self.parse_delete()
+        elif self.at_keyword("CREATE"):
+            statement = self.parse_create()
+        else:
+            raise self.error("expected SELECT, INSERT, UPDATE, DELETE or CREATE")
+        if self.at_punct(";"):
+            self.advance()
+        if self.peek().kind != "EOF":
+            raise self.error("unexpected trailing input")
+        return statement
+
+    # -- SELECT -------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            distinct = True
+            self.advance()
+        count_star = False
+        items: list = None
+        if self.at_punct("*"):
+            self.advance()
+        else:
+            items = [self.parse_select_item()]
+            while self.at_punct(","):
+                self.advance()
+                items.append(self.parse_select_item())
+            if (
+                len(items) == 1
+                and isinstance(items[0], AggregateCall)
+                and items[0].function == "COUNT"
+                and items[0].column is None
+                and items[0].alias is None
+            ):
+                # plain SELECT COUNT(*): keep the simple executor path
+                count_star = True
+                items = None
+        self.expect_keyword("FROM")
+        table = self.parse_table_ref()
+        joins: list[JoinClause] = []
+        while self.at_keyword("JOIN", "INNER"):
+            if self.at_keyword("INNER"):
+                self.advance()
+            self.expect_keyword("JOIN")
+            join_table = self.parse_table_ref()
+            self.expect_keyword("ON")
+            left = self.parse_column_ref()
+            self.expect_punct("=")
+            right = self.parse_column_ref()
+            joins.append(JoinClause(join_table, left, right))
+        where: WhereExpr | None = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_where()
+        group_by: list[ColumnRef] = []
+        having: WhereExpr | None = None
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_ref())
+            while self.at_punct(","):
+                self.advance()
+                group_by.append(self.parse_column_ref())
+        if self.at_keyword("HAVING"):
+            self.advance()
+            having = self.parse_where()
+        order_by: list[OrderItem] = []
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.at_punct(","):
+                self.advance()
+                order_by.append(self.parse_order_item())
+        limit = offset = None
+        if self.at_keyword("LIMIT"):
+            self.advance()
+            limit = self.parse_integer("LIMIT")
+        if self.at_keyword("OFFSET"):
+            self.advance()
+            offset = self.parse_integer("OFFSET")
+        return SelectStatement(
+            items=items,
+            table=table,
+            joins=joins,
+            where=where,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            count_star=count_star,
+        )
+
+    def parse_integer(self, clause: str) -> int:
+        token = self.peek()
+        if token.kind != "INTEGER":
+            raise self.error(f"{clause} expects an integer")
+        self.advance()
+        return int(token.value)
+
+    def parse_select_item(self) -> SelectItem | AggregateCall:
+        if self.at_keyword("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            function = self.advance().value
+            self.expect_punct("(")
+            column: ColumnRef | None = None
+            if self.at_punct("*"):
+                if function != "COUNT":
+                    raise self.error(f"{function}(*) is not valid SQL")
+                self.advance()
+            else:
+                column = self.parse_column_ref()
+            self.expect_punct(")")
+            alias = self.parse_optional_alias()
+            return AggregateCall(function, column, alias)
+        column = self.parse_column_ref()
+        return SelectItem(column, self.parse_optional_alias())
+
+    def parse_optional_alias(self) -> str | None:
+        if self.at_keyword("AS"):
+            self.advance()
+            return self.expect_identifier("alias")
+        if self.peek().kind == "IDENT":
+            return self.advance().value
+        return None
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_identifier("table name")
+        alias = None
+        if self.at_keyword("AS"):
+            self.advance()
+            alias = self.expect_identifier("alias")
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect_identifier("column name")
+        if self.at_punct("."):
+            self.advance()
+            second = self.expect_identifier("column name")
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def parse_order_item(self) -> OrderItem:
+        column = self.parse_column_ref()
+        ascending = True
+        if self.at_keyword("ASC"):
+            self.advance()
+        elif self.at_keyword("DESC"):
+            self.advance()
+            ascending = False
+        return OrderItem(column, ascending)
+
+    # -- WHERE --------------------------------------------------------------
+
+    def parse_where(self) -> WhereExpr:
+        return self.parse_or_expr()
+
+    def parse_or_expr(self) -> WhereExpr:
+        operands = [self.parse_and_expr()]
+        while self.at_keyword("OR"):
+            self.advance()
+            operands.append(self.parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(tuple(operands))
+
+    def parse_and_expr(self) -> WhereExpr:
+        operands = [self.parse_not_expr()]
+        while self.at_keyword("AND"):
+            self.advance()
+            operands.append(self.parse_not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(tuple(operands))
+
+    def parse_not_expr(self) -> WhereExpr:
+        if self.at_keyword("NOT"):
+            self.advance()
+            return NotExpr(self.parse_not_expr())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> WhereExpr:
+        if self.at_punct("("):
+            self.advance()
+            inner = self.parse_or_expr()
+            self.expect_punct(")")
+            return inner
+        left = self.parse_operand()
+        if self.at_keyword("IS"):
+            self.advance()
+            negated = False
+            if self.at_keyword("NOT"):
+                self.advance()
+                negated = True
+            self.expect_keyword("NULL")
+            if not isinstance(left, ColumnRef):
+                raise self.error("IS NULL expects a column")
+            return IsNullPredicate(left, negated)
+        negated = False
+        if self.at_keyword("NOT"):
+            self.advance()
+            negated = True
+        if self.at_keyword("LIKE"):
+            self.advance()
+            token = self.peek()
+            if token.kind != "STRING":
+                raise self.error("LIKE expects a string pattern")
+            self.advance()
+            if not isinstance(left, ColumnRef):
+                raise self.error("LIKE expects a column on the left")
+            return LikePredicate(left, token.value, negated)
+        if self.at_keyword("IN"):
+            self.advance()
+            self.expect_punct("(")
+            values = [self.parse_constant_value()]
+            while self.at_punct(","):
+                self.advance()
+                values.append(self.parse_constant_value())
+            self.expect_punct(")")
+            if not isinstance(left, ColumnRef):
+                raise self.error("IN expects a column on the left")
+            return InPredicate(left, tuple(values), negated)
+        if negated:
+            raise self.error("expected LIKE or IN after NOT")
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in _COMPARISON_OPERATORS:
+            self.advance()
+            right = self.parse_operand()
+            return Comparison(_COMPARISON_OPERATORS[token.value], left, right)
+        raise self.error("expected a comparison, LIKE, IN or IS NULL")
+
+    def parse_operand(self) -> Operand:
+        token = self.peek()
+        if token.kind == "IDENT":
+            return self.parse_column_ref()
+        return Constant(self.parse_constant_value())
+
+    def parse_constant_value(self) -> SQLValue:
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return token.value
+        if token.kind == "INTEGER":
+            self.advance()
+            return int(token.value)
+        if token.kind == "REAL":
+            self.advance()
+            return float(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return token.value == "TRUE"
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return None
+        raise self.error("expected a literal value")
+
+    # -- INSERT -------------------------------------------------------------
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: list[str] | None = None
+        if self.at_punct("("):
+            self.advance()
+            columns = [self.expect_identifier("column name")]
+            while self.at_punct(","):
+                self.advance()
+                columns.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        rows: list[list[SQLValue]] = [self.parse_value_row()]
+        while self.at_punct(","):
+            self.advance()
+            rows.append(self.parse_value_row())
+        return InsertStatement(table, columns, rows)
+
+    def parse_value_row(self) -> list[SQLValue]:
+        self.expect_punct("(")
+        values = [self.parse_constant_value()]
+        while self.at_punct(","):
+            self.advance()
+            values.append(self.parse_constant_value())
+        self.expect_punct(")")
+        return values
+
+    # -- UPDATE / DELETE ------------------------------------------------------
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments = [self.parse_assignment()]
+        while self.at_punct(","):
+            self.advance()
+            assignments.append(self.parse_assignment())
+        where = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_where()
+        return UpdateStatement(table, assignments, where)
+
+    def parse_assignment(self) -> tuple[str, SQLValue]:
+        column = self.expect_identifier("column name")
+        self.expect_punct("=")
+        return column, self.parse_constant_value()
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = None
+        if self.at_keyword("WHERE"):
+            self.advance()
+            where = self.parse_where()
+        return DeleteStatement(table, where)
+
+    # -- CREATE -------------------------------------------------------------
+
+    def parse_create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.at_keyword("TABLE"):
+            return self.parse_create_table()
+        unique = False
+        if self.at_keyword("UNIQUE"):
+            unique = True
+            self.advance()
+        if self.at_keyword("INDEX"):
+            return self.parse_create_index(unique)
+        raise self.error("expected TABLE or INDEX after CREATE")
+
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect_keyword("TABLE")
+        table = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: list[ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        foreign_keys: list[tuple[str, str, str]] = []
+        while True:
+            if self.at_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                key = [self.expect_identifier("column name")]
+                while self.at_punct(","):
+                    self.advance()
+                    key.append(self.expect_identifier("column name"))
+                self.expect_punct(")")
+                primary_key = tuple(key)
+            elif self.at_keyword("FOREIGN"):
+                self.advance()
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                column = self.expect_identifier("column name")
+                self.expect_punct(")")
+                self.expect_keyword("REFERENCES")
+                referenced_table = self.expect_identifier("table name")
+                self.expect_punct("(")
+                referenced_column = self.expect_identifier("column name")
+                self.expect_punct(")")
+                foreign_keys.append((column, referenced_table, referenced_column))
+            else:
+                columns.append(self.parse_column_def())
+            if self.at_punct(","):
+                self.advance()
+                continue
+            break
+        self.expect_punct(")")
+        return CreateTableStatement(table, columns, primary_key, foreign_keys)
+
+    def parse_column_def(self) -> ColumnDef:
+        name = self.expect_identifier("column name")
+        token = self.peek()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise self.error("expected a column type")
+        self.advance()
+        sql_type = SQLType.from_name(token.value)
+        nullable = True
+        primary_key = False
+        while True:
+            if self.at_keyword("NOT"):
+                self.advance()
+                self.expect_keyword("NULL")
+                nullable = False
+            elif self.at_keyword("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                primary_key = True
+                nullable = False
+            else:
+                break
+        return ColumnDef(name, sql_type, nullable, primary_key)
+
+    def parse_create_index(self, unique: bool) -> CreateIndexStatement:
+        self.expect_keyword("INDEX")
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns = [self.expect_identifier("column name")]
+        while self.at_punct(","):
+            self.advance()
+            columns.append(self.expect_identifier("column name"))
+        self.expect_punct(")")
+        return CreateIndexStatement(name, table, tuple(columns), unique)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse a SELECT statement; raises when the text is another statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, SelectStatement):
+        raise SQLParseError("expected a SELECT statement")
+    return statement

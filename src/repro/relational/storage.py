@@ -1,0 +1,164 @@
+"""Row storage for one table, with index maintenance and constraints."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..exceptions import IntegrityError, SchemaError
+from .indexes import Index, key_of, make_index
+from .schema import IndexDef, TableSchema
+from .types import SQLValue, coerce
+
+Row = tuple
+
+
+class TableStorage:
+    """Rows of one table plus its indexes.
+
+    Rows are tuples ordered like ``schema.columns``.  Row ids are stable
+    positions in the heap; deletion leaves a tombstone (``None``) so index
+    entries can be invalidated cheaply.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[Row | None] = []
+        self._live_count = 0
+        self._indexes: dict[str, Index] = {}
+        self._index_defs: dict[str, IndexDef] = {}
+        self._index_positions: dict[str, tuple[int, ...]] = {}
+        if schema.primary_key:
+            self.create_index(
+                IndexDef(
+                    name=f"pk_{schema.name}",
+                    table=schema.name,
+                    columns=tuple(schema.primary_key),
+                    unique=True,
+                    kind="btree",
+                )
+            )
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, definition: IndexDef) -> None:
+        """Create an index and backfill it from existing rows."""
+        if definition.name in self._indexes:
+            raise SchemaError(f"index {definition.name!r} already exists")
+        for column in definition.columns:
+            if not self.schema.has_column(column):
+                raise SchemaError(
+                    f"index {definition.name!r} references unknown column {column!r}"
+                )
+        index = make_index(definition.kind, definition.name, definition.columns, definition.unique)
+        positions = tuple(self.schema.column_index(column) for column in definition.columns)
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(key_of(row, positions), row_id)
+        self._indexes[definition.name] = index
+        self._index_defs[definition.name] = definition
+        self._index_positions[definition.name] = positions
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise SchemaError(f"no index {name!r} on table {self.schema.name!r}")
+        del self._indexes[name]
+        del self._index_defs[name]
+        del self._index_positions[name]
+
+    @property
+    def indexes(self) -> dict[str, IndexDef]:
+        return dict(self._index_defs)
+
+    def index(self, name: str) -> Index:
+        return self._indexes[name]
+
+    def indexes_on(self, column: str) -> list[IndexDef]:
+        """Index definitions whose leading column is *column*."""
+        return [definition for definition in self._index_defs.values() if definition.covers(column)]
+
+    def has_index_on(self, column: str) -> bool:
+        return bool(self.indexes_on(column))
+
+    # -- DML ----------------------------------------------------------------
+
+    def insert(self, values: Mapping[str, SQLValue] | Sequence[SQLValue]) -> int:
+        """Insert one row given as a mapping or a positional sequence.
+
+        Returns the new row id.  Enforces types, NOT NULL, and PK/unique
+        index uniqueness.
+        """
+        if isinstance(values, Mapping):
+            row_values = [values.get(column.name) for column in self.schema.columns]
+            unknown = set(values) - set(self.schema.column_names)
+            if unknown:
+                raise IntegrityError(
+                    f"unknown column(s) {sorted(unknown)} for table {self.schema.name!r}"
+                )
+        else:
+            if len(values) != len(self.schema.columns):
+                raise IntegrityError(
+                    f"table {self.schema.name!r} expects {len(self.schema.columns)} values, "
+                    f"got {len(values)}"
+                )
+            row_values = list(values)
+        coerced = []
+        for column, value in zip(self.schema.columns, row_values):
+            value = coerce(value, column.sql_type, f"{self.schema.name}.{column.name}")
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"NULL in non-nullable column {self.schema.name}.{column.name}"
+                )
+            coerced.append(value)
+        row = tuple(coerced)
+
+        row_id = len(self._rows)
+        for name, index in self._indexes.items():
+            definition = self._index_defs[name]
+            key = key_of(row, self._index_positions[name])
+            if definition.unique and index.contains_key(key):
+                raise IntegrityError(
+                    f"duplicate key {key!r} for unique index {name!r} "
+                    f"on table {self.schema.name!r}"
+                )
+        self._rows.append(row)
+        self._live_count += 1
+        for name, index in self._indexes.items():
+            index.insert(key_of(row, self._index_positions[name]), row_id)
+        return row_id
+
+    def delete(self, row_id: int) -> bool:
+        """Delete the row with *row_id*; returns False when already gone."""
+        if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
+            return False
+        row = self._rows[row_id]
+        for name, index in self._indexes.items():
+            index.remove(key_of(row, self._index_positions[name]), row_id)
+        self._rows[row_id] = None
+        self._live_count -= 1
+        return True
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def row(self, row_id: int) -> Row:
+        row = self._rows[row_id]
+        if row is None:
+            raise IntegrityError(f"row {row_id} of table {self.schema.name!r} was deleted")
+        return row
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield (row_id, row) for every live row, heap order."""
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def rows(self) -> Iterator[Row]:
+        for __, row in self.scan():
+            yield row
+
+    def column_values(self, column: str) -> Iterator[SQLValue]:
+        position = self.schema.column_index(column)
+        for row in self.rows():
+            yield row[position]

@@ -1,0 +1,108 @@
+"""Value types for the relational substrate.
+
+The engine supports the four types the normalized LSLOD tables need:
+``INTEGER``, ``REAL``, ``TEXT`` and ``BOOLEAN``.  ``NULL`` is represented by
+Python ``None`` and is a member of every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from ..exceptions import IntegrityError
+
+SQLValue = int | float | str | bool | None
+
+
+class SQLType(enum.Enum):
+    """Column datatypes understood by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SQLType":
+        normalized = name.strip().upper()
+        aliases = {
+            "INT": cls.INTEGER,
+            "INTEGER": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if normalized not in aliases:
+            raise IntegrityError(f"unknown SQL type {name!r}")
+        return aliases[normalized]
+
+
+def coerce(value: Any, sql_type: SQLType, column: str = "?") -> SQLValue:
+    """Validate/convert *value* to *sql_type*; ``None`` always passes.
+
+    Raises:
+        IntegrityError: when the value cannot represent the column type.
+    """
+    if value is None:
+        return None
+    if sql_type is SQLType.INTEGER:
+        if isinstance(value, bool):
+            raise IntegrityError(f"boolean given for INTEGER column {column}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise IntegrityError(f"cannot store {value!r} in INTEGER column {column}") from exc
+        raise IntegrityError(f"cannot store {value!r} in INTEGER column {column}")
+    if sql_type is SQLType.REAL:
+        if isinstance(value, bool):
+            raise IntegrityError(f"boolean given for REAL column {column}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise IntegrityError(f"cannot store {value!r} in REAL column {column}") from exc
+        raise IntegrityError(f"cannot store {value!r} in REAL column {column}")
+    if sql_type is SQLType.TEXT:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (int, float, bool)):
+            return str(value)
+        raise IntegrityError(f"cannot store {value!r} in TEXT column {column}")
+    if sql_type is SQLType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in ("true", "false", "0", "1"):
+            return value.lower() in ("true", "1")
+        raise IntegrityError(f"cannot store {value!r} in BOOLEAN column {column}")
+    raise IntegrityError(f"unsupported SQL type {sql_type!r}")
+
+
+def comparable(left: SQLValue, right: SQLValue) -> bool:
+    """True when ``left < right`` is meaningful (same comparison class)."""
+    if left is None or right is None:
+        return False
+    left_numeric = isinstance(left, (int, float)) and not isinstance(left, bool)
+    right_numeric = isinstance(right, (int, float)) and not isinstance(right, bool)
+    if left_numeric and right_numeric:
+        return True
+    return type(left) is type(right)

@@ -1,0 +1,51 @@
+"""SPARQL subset: parser, algebra, expression evaluation, local evaluation."""
+
+from .algebra import (
+    BinaryOp,
+    COMPARISON_OPERATORS,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    OrderCondition,
+    SelectQuery,
+    SUPPORTED_FUNCTIONS,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    VariableExpr,
+    expression_variables,
+    format_query,
+)
+from .bgp import evaluate_bgp, evaluate_group, evaluate_query, match_pattern
+from .expressions import effective_boolean_value, evaluate, holds
+from .lexer import Token, tokenize
+from .parser import parse_query
+
+__all__ = [
+    "BinaryOp",
+    "COMPARISON_OPERATORS",
+    "Expression",
+    "Filter",
+    "FunctionCall",
+    "GroupGraphPattern",
+    "OrderCondition",
+    "SUPPORTED_FUNCTIONS",
+    "SelectQuery",
+    "TermExpr",
+    "Token",
+    "TriplePattern",
+    "UnaryOp",
+    "VariableExpr",
+    "effective_boolean_value",
+    "evaluate",
+    "evaluate_bgp",
+    "evaluate_group",
+    "evaluate_query",
+    "expression_variables",
+    "format_query",
+    "holds",
+    "match_pattern",
+    "parse_query",
+    "tokenize",
+]

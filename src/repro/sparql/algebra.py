@@ -1,0 +1,297 @@
+"""SPARQL algebra: triple patterns, graph patterns, expressions and queries.
+
+The types here are the common currency of the whole engine: the parser
+produces them, the decomposer groups them into star-shaped sub-queries, the
+planner rearranges them, and the wrappers translate them to native queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+from ..rdf.terms import IRI, Literal, PatternTerm, Term, Variable
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern: any position may be a variable."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> set[Variable]:
+        return {
+            term
+            for term in (self.subject, self.predicate, self.object)
+            if isinstance(term, Variable)
+        }
+
+    def variable_names(self) -> set[str]:
+        return {variable.name for variable in self.variables()}
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def n3(self) -> str:
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+
+# --------------------------------------------------------------------------
+# Filter expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class VariableExpr:
+    """Reference to a variable inside an expression."""
+
+    variable: Variable
+
+    def n3(self) -> str:
+        return self.variable.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class TermExpr:
+    """A constant RDF term inside an expression."""
+
+    term: Term
+
+    def n3(self) -> str:
+        return self.term.n3()
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp:
+    """``!expr`` or ``-expr``."""
+
+    operator: str
+    operand: "Expression"
+
+    def n3(self) -> str:
+        return f"{self.operator}({self.operand.n3()})"
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp:
+    """Logical, comparison or arithmetic binary operator."""
+
+    operator: str
+    left: "Expression"
+    right: "Expression"
+
+    def n3(self) -> str:
+        return f"({self.left.n3()} {self.operator} {self.right.n3()})"
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionCall:
+    """Built-in call such as ``REGEX``, ``CONTAINS``, ``BOUND`` or ``STR``."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+    def n3(self) -> str:
+        rendered = ", ".join(arg.n3() for arg in self.args)
+        return f"{self.name}({rendered})"
+
+
+Expression = Union[VariableExpr, TermExpr, UnaryOp, BinaryOp, FunctionCall]
+
+#: Comparison operators understood by the evaluator and translators.
+COMPARISON_OPERATORS = frozenset({"=", "!=", "<", ">", "<=", ">="})
+#: Logical connectives.
+LOGICAL_OPERATORS = frozenset({"&&", "||"})
+#: Arithmetic operators.
+ARITHMETIC_OPERATORS = frozenset({"+", "-", "*", "/"})
+#: Built-in functions the engine evaluates.
+SUPPORTED_FUNCTIONS = frozenset(
+    {
+        "REGEX",
+        "CONTAINS",
+        "STRSTARTS",
+        "STRENDS",
+        "LCASE",
+        "UCASE",
+        "STR",
+        "STRLEN",
+        "LANG",
+        "DATATYPE",
+        "BOUND",
+        "ISIRI",
+        "ISURI",
+        "ISLITERAL",
+        "ISBLANK",
+        "ISNUMERIC",
+        "ABS",
+    }
+)
+
+
+def expression_variables(expression: Expression) -> set[Variable]:
+    """Collect every variable mentioned anywhere inside *expression*."""
+    if isinstance(expression, VariableExpr):
+        return {expression.variable}
+    if isinstance(expression, TermExpr):
+        return set()
+    if isinstance(expression, UnaryOp):
+        return expression_variables(expression.operand)
+    if isinstance(expression, BinaryOp):
+        return expression_variables(expression.left) | expression_variables(expression.right)
+    if isinstance(expression, FunctionCall):
+        result: set[Variable] = set()
+        for arg in expression.args:
+            result |= expression_variables(arg)
+        return result
+    raise TypeError(f"unknown expression node: {expression!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Filter:
+    """A FILTER constraint over a graph pattern."""
+
+    expression: Expression
+
+    def variables(self) -> set[Variable]:
+        return expression_variables(self.expression)
+
+    def n3(self) -> str:
+        return f"FILTER({self.expression.n3()})"
+
+
+# --------------------------------------------------------------------------
+# Graph patterns and queries
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class GroupGraphPattern:
+    """A `{ ... }` group: a BGP plus filters, OPTIONALs and UNIONs.
+
+    The federated planner handles the BGP + filters fragment; OPTIONAL and
+    UNION are honoured by the local evaluator (:mod:`repro.sparql.bgp`).
+    """
+
+    patterns: list[TriplePattern] = field(default_factory=list)
+    filters: list[Filter] = field(default_factory=list)
+    optionals: list["GroupGraphPattern"] = field(default_factory=list)
+    unions: list[list["GroupGraphPattern"]] = field(default_factory=list)
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for pattern in self.patterns:
+            result |= pattern.variables()
+        for filter_ in self.filters:
+            result |= filter_.variables()
+        for optional in self.optionals:
+            result |= optional.variables()
+        for union in self.unions:
+            for branch in union:
+                result |= branch.variables()
+        return result
+
+    def is_basic(self) -> bool:
+        """True when the group is only a BGP with filters (no OPTIONAL/UNION)."""
+        return not self.optionals and not self.unions
+
+    def all_triple_patterns(self) -> Iterator[TriplePattern]:
+        yield from self.patterns
+        for optional in self.optionals:
+            yield from optional.all_triple_patterns()
+        for union in self.unions:
+            for branch in union:
+                yield from branch.all_triple_patterns()
+
+
+@dataclass(frozen=True, slots=True)
+class OrderCondition:
+    """One ORDER BY key."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query.
+
+    Attributes:
+        variables: projected variables; empty means ``SELECT *``.
+        where: the WHERE group.
+        distinct: whether DISTINCT was requested.
+        order_by: ORDER BY conditions, in priority order.
+        limit: LIMIT value or None.
+        offset: OFFSET value or None.
+        prefixes: prefix bindings declared in the query text.
+    """
+
+    variables: list[Variable]
+    where: GroupGraphPattern
+    distinct: bool = False
+    order_by: list[OrderCondition] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    prefixes: dict[str, str] = field(default_factory=dict)
+
+    def projected_variables(self) -> list[Variable]:
+        """The variables the query answers carry (`*` expands to all)."""
+        if self.variables:
+            return list(self.variables)
+        return sorted(self.where.variables(), key=lambda v: v.name)
+
+    def is_select_star(self) -> bool:
+        return not self.variables
+
+
+def format_term(term: PatternTerm) -> str:
+    """Render a pattern term in SPARQL surface syntax."""
+    if isinstance(term, (IRI, Variable, Literal)):
+        return term.n3()
+    return term.n3()
+
+
+def format_query(query: SelectQuery) -> str:
+    """Serialize a query back to SPARQL text (canonical layout).
+
+    Only the fragment the engine supports is rendered; used for logging,
+    explain output and round-trip testing.
+    """
+    lines: list[str] = []
+    for prefix, base in query.prefixes.items():
+        lines.append(f"PREFIX {prefix}: <{base}>")
+    projection = "*" if query.is_select_star() else " ".join(v.n3() for v in query.variables)
+    distinct = "DISTINCT " if query.distinct else ""
+    lines.append(f"SELECT {distinct}{projection} WHERE {{")
+    lines.extend(_format_group(query.where, indent="  "))
+    lines.append("}")
+    if query.order_by:
+        keys = []
+        for condition in query.order_by:
+            rendered = condition.expression.n3()
+            keys.append(rendered if condition.ascending else f"DESC({rendered})")
+        lines.append("ORDER BY " + " ".join(keys))
+    if query.limit is not None:
+        lines.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        lines.append(f"OFFSET {query.offset}")
+    return "\n".join(lines)
+
+
+def _format_group(group: GroupGraphPattern, indent: str) -> list[str]:
+    lines = [indent + pattern.n3() for pattern in group.patterns]
+    for union in group.unions:
+        rendered_branches = []
+        for branch in union:
+            body = "\n".join(_format_group(branch, indent + "  "))
+            rendered_branches.append(f"{indent}{{\n{body}\n{indent}}}")
+        lines.append(f"\n{indent}UNION\n".join(rendered_branches))
+    for optional in group.optionals:
+        body = "\n".join(_format_group(optional, indent + "  "))
+        lines.append(f"{indent}OPTIONAL {{\n{body}\n{indent}}}")
+    lines.extend(indent + filter_.n3() for filter_ in group.filters)
+    return lines

@@ -1,0 +1,203 @@
+"""Local SPARQL evaluation over an in-memory :class:`~repro.rdf.graph.Graph`.
+
+This is the evaluator behind the native-RDF wrapper of the federation: it
+answers basic graph patterns with filters, OPTIONAL and UNION, applying the
+solution-modifier pipeline (DISTINCT / ORDER BY / LIMIT / OFFSET).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..rdf.graph import Graph
+from ..rdf.terms import PatternTerm, Term, Variable
+from .algebra import (
+    Filter,
+    GroupGraphPattern,
+    OrderCondition,
+    SelectQuery,
+    TriplePattern,
+)
+from .expressions import ExpressionError, evaluate, holds
+
+Solution = dict[str, Term]
+
+
+def _bind(term: PatternTerm, solution: Solution) -> PatternTerm:
+    """Substitute a variable by its binding when present."""
+    if isinstance(term, Variable) and term.name in solution:
+        return solution[term.name]
+    return term
+
+
+def match_pattern(graph: Graph, pattern: TriplePattern, solution: Solution) -> Iterator[Solution]:
+    """Extend *solution* with every match of *pattern* in *graph*."""
+    subject = _bind(pattern.subject, solution)
+    predicate = _bind(pattern.predicate, solution)
+    obj = _bind(pattern.object, solution)
+    for triple in graph.triples(subject, predicate, obj):
+        extended = dict(solution)
+        consistent = True
+        for position, value in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object),
+        ):
+            if isinstance(position, Variable):
+                bound = extended.get(position.name)
+                if bound is None:
+                    extended[position.name] = value
+                elif bound != value:
+                    consistent = False
+                    break
+        if consistent:
+            yield extended
+
+
+def _pattern_order(graph: Graph, patterns: list[TriplePattern]) -> list[TriplePattern]:
+    """Greedy selectivity ordering: start from the most selective pattern,
+    then repeatedly pick the pattern sharing variables with what is bound."""
+    if len(patterns) <= 1:
+        return list(patterns)
+    remaining = list(patterns)
+    remaining.sort(key=lambda p: graph.count(p.subject, p.predicate, p.object))
+    ordered = [remaining.pop(0)]
+    bound = ordered[0].variable_names()
+    while remaining:
+        connected = [p for p in remaining if p.variable_names() & bound]
+        chosen = connected[0] if connected else remaining[0]
+        remaining.remove(chosen)
+        ordered.append(chosen)
+        bound |= chosen.variable_names()
+    return ordered
+
+
+def evaluate_bgp(
+    graph: Graph,
+    patterns: list[TriplePattern],
+    initial: Solution | None = None,
+) -> Iterator[Solution]:
+    """Evaluate a basic graph pattern with greedy join ordering."""
+    def extend(solutions: Iterable[Solution], pattern: TriplePattern) -> Iterator[Solution]:
+        for solution in solutions:
+            yield from match_pattern(graph, pattern, solution)
+
+    solutions: Iterable[Solution] = [dict(initial) if initial else {}]
+    for pattern in _pattern_order(graph, patterns):
+        solutions = extend(solutions, pattern)
+    return iter(solutions)
+
+
+def _apply_filters(solutions: Iterable[Solution], filters: list[Filter]) -> Iterator[Solution]:
+    for solution in solutions:
+        if all(holds(filter_.expression, solution) for filter_ in filters):
+            yield solution
+
+
+def evaluate_group(
+    graph: Graph,
+    group: GroupGraphPattern,
+    initial: Solution | None = None,
+) -> Iterator[Solution]:
+    """Evaluate a group graph pattern (BGP + UNION + OPTIONAL + FILTER)."""
+    solutions: Iterable[Solution] = evaluate_bgp(graph, group.patterns, initial)
+    for union in group.unions:
+        solutions = _join_union(graph, solutions, union)
+    for optional in group.optionals:
+        solutions = _left_join(graph, solutions, optional)
+    return _apply_filters(solutions, group.filters)
+
+
+def _join_union(
+    graph: Graph,
+    solutions: Iterable[Solution],
+    branches: list[GroupGraphPattern],
+) -> Iterator[Solution]:
+    for solution in solutions:
+        for branch in branches:
+            yield from evaluate_group(graph, branch, solution)
+
+
+def _left_join(
+    graph: Graph,
+    solutions: Iterable[Solution],
+    optional: GroupGraphPattern,
+) -> Iterator[Solution]:
+    for solution in solutions:
+        matched = False
+        for extended in evaluate_group(graph, optional, solution):
+            matched = True
+            yield extended
+        if not matched:
+            yield solution
+
+
+def _order_key(condition: OrderCondition, solution: Solution):
+    try:
+        value = evaluate(condition.expression, solution)
+    except ExpressionError:
+        return (0, "")
+    if hasattr(value, "to_python"):
+        value = value.to_python()
+    elif hasattr(value, "value"):
+        value = value.value
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _apply_modifiers(solutions: Iterator[Solution], query: SelectQuery) -> Iterator[Solution]:
+    projected = [variable.name for variable in query.projected_variables()]
+
+    def project(solution: Solution) -> Solution:
+        return {name: solution[name] for name in projected if name in solution}
+
+    stream: Iterable[Solution] = (project(solution) for solution in solutions)
+    if query.order_by:
+        materialized = list(stream)
+        for condition in reversed(query.order_by):
+            materialized.sort(
+                key=lambda solution: _order_key(condition, solution),
+                reverse=not condition.ascending,
+            )
+        stream = materialized
+    if query.distinct:
+        stream = _distinct(stream)
+    if query.offset:
+        stream = _drop(stream, query.offset)
+    if query.limit is not None:
+        stream = _take(stream, query.limit)
+    return iter(stream)
+
+
+def _distinct(solutions: Iterable[Solution]) -> Iterator[Solution]:
+    seen: set[tuple] = set()
+    for solution in solutions:
+        key = tuple(sorted(solution.items()))
+        if key not in seen:
+            seen.add(key)
+            yield solution
+
+
+def _drop(solutions: Iterable[Solution], count: int) -> Iterator[Solution]:
+    iterator = iter(solutions)
+    for __ in range(count):
+        if next(iterator, None) is None:
+            return iter(())
+    return iterator
+
+
+def _take(solutions: Iterable[Solution], count: int) -> Iterator[Solution]:
+    iterator = iter(solutions)
+    for __ in range(count):
+        item = next(iterator, None)
+        if item is None:
+            return
+        yield item
+
+
+def evaluate_query(graph: Graph, query: SelectQuery) -> Iterator[Solution]:
+    """Evaluate a full SELECT query against one local graph."""
+    return _apply_modifiers(evaluate_group(graph, query.where), query)

@@ -1,0 +1,397 @@
+"""Recursive-descent parser for the SPARQL SELECT subset.
+
+Grammar (informal)::
+
+    Query        := Prefix* Select
+    Prefix       := 'PREFIX' PNAME ':' IRIREF            # colon folded in PNAME
+    Select       := 'SELECT' ('DISTINCT')? ('*' | Var+) 'WHERE'? Group Modifiers
+    Group        := '{' (Triples | Filter | Optional | UnionGroup)* '}'
+    Triples      := Term Term Term ('.'?)                # plus ';' ',' abbreviations
+    Filter       := 'FILTER' '(' Expression ')'
+    Optional     := 'OPTIONAL' Group
+    UnionGroup   := Group ('UNION' Group)+
+    Modifiers    := ('ORDER' 'BY' OrderKey+)? ('LIMIT' INT)? ('OFFSET' INT)?
+
+Expressions use the usual precedence: ``||`` < ``&&`` < comparison <
+additive < multiplicative < unary < primary.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SPARQLParseError
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import (
+    BNode,
+    IRI,
+    Literal,
+    PatternTerm,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_INTEGER,
+)
+from .algebra import (
+    BinaryOp,
+    Expression,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    OrderCondition,
+    SelectQuery,
+    SUPPORTED_FUNCTIONS,
+    TermExpr,
+    TriplePattern,
+    UnaryOp,
+    VariableExpr,
+)
+from .lexer import Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.prefixes: dict[str, str] = {}
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Token | None = None) -> SPARQLParseError:
+        token = token or self.peek()
+        return SPARQLParseError(message, line=token.line, column=token.column)
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.peek()
+        if token.kind != "PUNCT" or token.value != value:
+            raise self.error(f"expected {value!r}, found {token.value!r}")
+        return self.advance()
+
+    def expect_keyword(self, value: str) -> Token:
+        token = self.peek()
+        if token.kind != "KEYWORD" or token.value != value:
+            raise self.error(f"expected {value}, found {token.value!r}")
+        return self.advance()
+
+    def at_keyword(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value == value
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token.kind == "PUNCT" and token.value == value
+
+    # -- entry point --------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        while self.at_keyword("PREFIX") or self.at_keyword("BASE"):
+            if self.at_keyword("BASE"):
+                raise self.error("BASE declarations are not supported")
+            self.parse_prefix()
+        query = self.parse_select()
+        if self.peek().kind != "EOF":
+            raise self.error(f"unexpected trailing token {self.peek().value!r}")
+        return query
+
+    def parse_prefix(self) -> None:
+        self.expect_keyword("PREFIX")
+        token = self.peek()
+        if token.kind != "PNAME":
+            raise self.error("expected a prefix declaration like `ex:`")
+        prefix, __, local = token.value.partition(":")
+        if local:
+            raise self.error("prefix declaration must end with ':'", token)
+        self.advance()
+        iri_token = self.peek()
+        if iri_token.kind != "IRIREF":
+            raise self.error("expected IRI in prefix declaration")
+        self.advance()
+        self.prefixes[prefix] = iri_token.value
+
+    def parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.at_keyword("DISTINCT") or self.at_keyword("REDUCED"):
+            distinct = self.peek().value == "DISTINCT"
+            self.advance()
+        variables: list[Variable] = []
+        if self.at_punct("*"):
+            self.advance()
+        else:
+            while self.peek().kind == "VAR":
+                variables.append(Variable(self.advance().value))
+            if not variables:
+                raise self.error("SELECT needs '*' or at least one variable")
+        if self.at_keyword("WHERE"):
+            self.advance()
+        where = self.parse_group()
+        order_by: list[OrderCondition] = []
+        limit: int | None = None
+        offset: int | None = None
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            order_by = self.parse_order_keys()
+        if self.at_keyword("LIMIT"):
+            self.advance()
+            limit = self.parse_non_negative_int("LIMIT")
+        if self.at_keyword("OFFSET"):
+            self.advance()
+            offset = self.parse_non_negative_int("OFFSET")
+        return SelectQuery(
+            variables=variables,
+            where=where,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self.prefixes),
+        )
+
+    def parse_non_negative_int(self, clause: str) -> int:
+        token = self.peek()
+        if token.kind != "INTEGER":
+            raise self.error(f"{clause} expects a non-negative integer")
+        self.advance()
+        value = int(token.value)
+        if value < 0:
+            raise self.error(f"{clause} expects a non-negative integer", token)
+        return value
+
+    def parse_order_keys(self) -> list[OrderCondition]:
+        keys: list[OrderCondition] = []
+        while True:
+            if self.at_keyword("ASC") or self.at_keyword("DESC"):
+                ascending = self.advance().value == "ASC"
+                self.expect_punct("(")
+                expression = self.parse_expression()
+                self.expect_punct(")")
+                keys.append(OrderCondition(expression, ascending))
+            elif self.peek().kind == "VAR":
+                keys.append(OrderCondition(VariableExpr(Variable(self.advance().value))))
+            else:
+                break
+        if not keys:
+            raise self.error("ORDER BY expects at least one key")
+        return keys
+
+    # -- graph patterns -----------------------------------------------------
+
+    def parse_group(self) -> GroupGraphPattern:
+        self.expect_punct("{")
+        group = GroupGraphPattern()
+        while not self.at_punct("}"):
+            token = self.peek()
+            if token.kind == "EOF":
+                raise self.error("unterminated group: missing '}'")
+            if self.at_keyword("FILTER"):
+                self.advance()
+                self.expect_punct("(")
+                expression = self.parse_expression()
+                self.expect_punct(")")
+                group.filters.append(Filter(expression))
+            elif self.at_keyword("OPTIONAL"):
+                self.advance()
+                group.optionals.append(self.parse_group())
+            elif self.at_punct("{"):
+                branches = [self.parse_group()]
+                while self.at_keyword("UNION"):
+                    self.advance()
+                    branches.append(self.parse_group())
+                if len(branches) == 1:
+                    # A plain nested group: merge it into the parent.
+                    nested = branches[0]
+                    group.patterns.extend(nested.patterns)
+                    group.filters.extend(nested.filters)
+                    group.optionals.extend(nested.optionals)
+                    group.unions.extend(nested.unions)
+                else:
+                    group.unions.append(branches)
+            else:
+                self.parse_triples_block(group)
+        self.expect_punct("}")
+        return group
+
+    def parse_triples_block(self, group: GroupGraphPattern) -> None:
+        subject = self.parse_term(position="subject")
+        while True:
+            predicate = self.parse_term(position="predicate")
+            while True:
+                obj = self.parse_term(position="object")
+                group.patterns.append(TriplePattern(subject, predicate, obj))
+                if self.at_punct(","):
+                    self.advance()
+                    continue
+                break
+            if self.at_punct(";"):
+                self.advance()
+                # allow trailing ';' before '.' or '}'
+                if self.at_punct(".") or self.at_punct("}"):
+                    break
+                continue
+            break
+        if self.at_punct("."):
+            self.advance()
+
+    def parse_term(self, position: str) -> PatternTerm:
+        token = self.peek()
+        if token.kind == "VAR":
+            self.advance()
+            return Variable(token.value)
+        if token.kind == "IRIREF":
+            self.advance()
+            return IRI(token.value)
+        if token.kind == "PNAME":
+            self.advance()
+            return self.expand_pname(token)
+        if token.kind == "KEYWORD" and token.value == "A" and position == "predicate":
+            self.advance()
+            return RDF_TYPE
+        if token.kind == "BNODE":
+            self.advance()
+            return BNode(token.value)
+        if token.kind in ("STRING", "INTEGER", "DECIMAL"):
+            if position != "object":
+                raise self.error(f"literal not allowed in {position} position")
+            return self.parse_literal()
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            if position != "object":
+                raise self.error(f"literal not allowed in {position} position")
+            self.advance()
+            return Literal(token.value.lower(), XSD_BOOLEAN)
+        raise self.error(f"expected a term, found {token.value!r}")
+
+    def expand_pname(self, token: Token) -> IRI:
+        prefix, __, local = token.value.partition(":")
+        if prefix not in self.prefixes:
+            raise self.error(f"unknown prefix {prefix!r}", token)
+        return IRI(self.prefixes[prefix] + local)
+
+    def parse_literal(self) -> Literal:
+        token = self.advance()
+        if token.kind == "INTEGER":
+            return Literal(token.value, XSD_INTEGER)
+        if token.kind == "DECIMAL":
+            return Literal(token.value, XSD_DECIMAL)
+        lexical = token.value
+        next_token = self.peek()
+        if next_token.kind == "LANGTAG":
+            self.advance()
+            return Literal(lexical, language=next_token.value)
+        if next_token.kind == "PUNCT" and next_token.value == "^^":
+            self.advance()
+            datatype_token = self.peek()
+            if datatype_token.kind == "IRIREF":
+                self.advance()
+                return Literal(lexical, datatype=datatype_token.value)
+            if datatype_token.kind == "PNAME":
+                self.advance()
+                return Literal(lexical, datatype=self.expand_pname(datatype_token).value)
+            raise self.error("expected datatype IRI after '^^'")
+        return Literal(lexical)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.at_punct("||"):
+            self.advance()
+            left = BinaryOp("||", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_comparison()
+        while self.at_punct("&&"):
+            self.advance()
+            left = BinaryOp("&&", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value in ("=", "!=", "<", ">", "<=", ">="):
+            self.advance()
+            return BinaryOp(token.value, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.at_punct("+") or self.at_punct("-"):
+            operator = self.advance().value
+            left = BinaryOp(operator, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.at_punct("*") or self.at_punct("/"):
+            operator = self.advance().value
+            left = BinaryOp(operator, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.at_punct("!"):
+            self.advance()
+            return UnaryOp("!", self.parse_unary())
+        if self.at_punct("-"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if self.at_punct("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expression = self.parse_expression()
+            self.expect_punct(")")
+            return expression
+        if token.kind == "VAR":
+            self.advance()
+            return VariableExpr(Variable(token.value))
+        if token.kind in ("STRING", "INTEGER", "DECIMAL"):
+            return TermExpr(self.parse_literal())
+        if token.kind == "IRIREF":
+            self.advance()
+            return TermExpr(IRI(token.value))
+        if token.kind == "PNAME":
+            self.advance()
+            return TermExpr(self.expand_pname(token))
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return TermExpr(Literal(token.value.lower(), XSD_BOOLEAN))
+        if token.kind == "NAME":
+            return self.parse_function_call()
+        raise self.error(f"expected an expression, found {token.value!r}")
+
+    def parse_function_call(self) -> Expression:
+        token = self.advance()
+        name = token.value.upper()
+        if name not in SUPPORTED_FUNCTIONS:
+            raise self.error(f"unsupported function {token.value!r}", token)
+        self.expect_punct("(")
+        args: list[Expression] = []
+        if not self.at_punct(")"):
+            args.append(self.parse_expression())
+            while self.at_punct(","):
+                self.advance()
+                args.append(self.parse_expression())
+        self.expect_punct(")")
+        return FunctionCall(name, tuple(args))
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse a SPARQL SELECT query string into a :class:`SelectQuery`."""
+    return _Parser(tokenize(text)).parse_query()

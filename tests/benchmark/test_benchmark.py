@@ -1,0 +1,200 @@
+"""Tests for the benchmark harness: metrics, runner, traces, reporting."""
+
+import json
+
+import pytest
+
+from repro.benchmark import (
+    Configuration,
+    GridResults,
+    RunResult,
+    TracePlot,
+    answers_at,
+    completeness,
+    describe_result,
+    dief_at_k,
+    dief_at_t,
+    downsample,
+    experiment_grid,
+    format_table,
+    grid_table,
+    network_impact_table,
+    run_grid,
+    run_query,
+    same_answers,
+    speedup_table,
+    to_csv,
+    to_json,
+    total_answers,
+)
+from repro.core import PlanPolicy
+from repro.network import NetworkSetting
+from repro.rdf import Literal
+
+from ..conftest import TINY_QUERY
+
+
+class TestMetrics:
+    TRACE = [(0.5, 1), (1.0, 2), (3.0, 3)]
+
+    def test_totals(self):
+        assert total_answers(self.TRACE) == 3
+        assert total_answers([]) == 0
+
+    def test_answers_at(self):
+        assert answers_at(self.TRACE, 0.4) == 0
+        assert answers_at(self.TRACE, 1.5) == 2
+
+    def test_dief_at_t(self):
+        # 1 answer in [0.5,1.0), 2 in [1.0,3.0)
+        assert dief_at_t(self.TRACE, 3.0) == pytest.approx(0.5 + 4.0)
+
+    def test_dief_at_t_monotone(self):
+        assert dief_at_t(self.TRACE, 1.0) <= dief_at_t(self.TRACE, 2.0)
+
+    def test_dief_at_k(self):
+        assert dief_at_k(self.TRACE, 2) == 1.0
+        assert dief_at_k(self.TRACE, 5) is None
+
+    def test_completeness(self):
+        reference = [{"a": Literal("1")}, {"a": Literal("2")}]
+        produced = [{"a": Literal("1")}]
+        assert completeness(produced, reference) == pytest.approx(0.5)
+        assert completeness(reference, reference) == 1.0
+        assert completeness([], []) == 1.0
+
+    def test_same_answers_order_independent(self):
+        left = [{"a": Literal("1")}, {"a": Literal("2")}]
+        right = [{"a": Literal("2")}, {"a": Literal("1")}]
+        assert same_answers(left, right)
+        assert not same_answers(left, right[:1])
+
+
+class TestRunner:
+    def test_experiment_grid_has_eight_cells(self):
+        grid = experiment_grid()
+        assert len(grid) == 8
+        labels = {configuration.label for configuration in grid}
+        assert "Physical-Design-Aware / Gamma 3" in labels
+
+    def test_run_query(self, tiny_lake):
+        configuration = Configuration(
+            PlanPolicy.physical_design_aware(), NetworkSetting.no_delay()
+        )
+        result = run_query(tiny_lake, TINY_QUERY, configuration, seed=1)
+        assert result.answers == 4
+        assert result.execution_time > 0
+        assert result.query == "query"
+
+    def test_run_grid(self, tiny_lake):
+        from repro.datasets.queries import BenchmarkQuery
+
+        query = BenchmarkQuery(name="tiny", text=TINY_QUERY, rationale="test", exercises=())
+        grid = run_grid(tiny_lake, [query])
+        assert len(grid.results) == 8
+        assert grid.queries() == ["tiny"]
+        assert len(grid.networks()) == 4
+
+    def test_lookup_and_derived_metrics(self, tiny_lake):
+        from repro.datasets.queries import BenchmarkQuery
+
+        query = BenchmarkQuery(name="tiny", text=TINY_QUERY, rationale="test", exercises=())
+        grid = run_grid(tiny_lake, [query])
+        result = grid.lookup("tiny", "Physical-Design-Aware", "Gamma 2")
+        assert result.network == "Gamma 2"
+        slowdown = grid.slowdown("tiny", "Physical-Design-Aware", "No Delay", "Gamma 3")
+        assert slowdown > 1.0
+        speedup = grid.speedup(
+            "tiny", "Gamma 3", "Physical-Design-Unaware", "Physical-Design-Aware"
+        )
+        assert speedup > 0
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            GridResults().lookup("q", "p", "n")
+
+
+def make_grid() -> GridResults:
+    grid = GridResults()
+    for policy in ("Unaware", "Aware"):
+        for network, base in (("No Delay", 1.0), ("Gamma 3", 5.0)):
+            factor = 1.0 if policy == "Aware" else 2.0
+            grid.add(
+                RunResult(
+                    query="Q",
+                    policy=policy,
+                    network=network,
+                    answers=10,
+                    execution_time=base * factor,
+                    time_to_first_answer=0.1,
+                    messages=100,
+                    engine_cost=0.5,
+                    trace=[(0.1, 1), (base * factor, 10)],
+                )
+            )
+    return grid
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_grid_table(self):
+        text = grid_table(make_grid())
+        assert "Q" in text
+        assert "10.0000" in text
+
+    def test_speedup_table(self):
+        text = speedup_table(make_grid(), "Unaware", "Aware")
+        assert "2.00x" in text
+
+    def test_network_impact_table(self):
+        text = network_impact_table(make_grid())
+        assert "5.00x" in text
+
+    def test_to_csv(self):
+        csv = to_csv(make_grid())
+        assert csv.splitlines()[0].startswith("query,policy,network")
+        assert len(csv.splitlines()) == 5
+
+    def test_to_json(self):
+        payload = json.loads(to_json(make_grid(), include_traces=True))
+        assert len(payload) == 4
+        assert payload[0]["trace"]
+
+    def test_describe_result(self):
+        text = describe_result(make_grid().results[0])
+        assert "Q [Unaware / No Delay]" in text
+
+
+class TestTraces:
+    def test_plot_renders(self):
+        plot = TracePlot("test")
+        plot.add("a", [(0.1, 1), (0.5, 2)])
+        plot.add("b", [(0.2, 1)])
+        rendered = plot.render_ascii(width=40, height=8)
+        assert "test" in rendered
+        assert "[*] a" in rendered
+        assert "[o] b" in rendered
+
+    def test_plot_empty(self):
+        assert "(no answers)" in TracePlot("empty").render_ascii()
+
+    def test_plot_csv(self):
+        plot = TracePlot("test")
+        plot.add("a", [(0.1, 1)])
+        assert plot.to_csv().splitlines() == ["label,time,answers", "a,0.100000,1"]
+
+    def test_downsample(self):
+        trace = [(float(index), index) for index in range(1000)]
+        thinned = downsample(trace, points=100)
+        assert len(thinned) <= 101
+        assert thinned[-1] == trace[-1]
+        assert thinned[0] == trace[0]
+
+    def test_downsample_short_trace_unchanged(self):
+        trace = [(0.1, 1)]
+        assert downsample(trace, points=100) == trace

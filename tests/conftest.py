@@ -1,0 +1,97 @@
+"""Shared fixtures: a small deterministic lake and helper factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalake import SemanticDataLake
+from repro.datasets import build_lslod_lake
+from repro.rdf import Graph, parse_into
+
+
+TINY_DISEASOME = """\
+<http://ex/diseasome/Disease/1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Disease> .
+<http://ex/diseasome/Disease/1> <http://ex/vocab#diseaseName> "breast cancer" .
+<http://ex/diseasome/Disease/1> <http://ex/vocab#diseaseClass> "cancer" .
+<http://ex/diseasome/Disease/2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Disease> .
+<http://ex/diseasome/Disease/2> <http://ex/vocab#diseaseName> "diabetes" .
+<http://ex/diseasome/Disease/2> <http://ex/vocab#diseaseClass> "metabolic" .
+<http://ex/diseasome/Disease/3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Disease> .
+<http://ex/diseasome/Disease/3> <http://ex/vocab#diseaseName> "lung cancer" .
+<http://ex/diseasome/Disease/3> <http://ex/vocab#diseaseClass> "cancer" .
+<http://ex/diseasome/Gene/10> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Gene> .
+<http://ex/diseasome/Gene/10> <http://ex/vocab#geneSymbol> "BRCA1" .
+<http://ex/diseasome/Gene/10> <http://ex/vocab#associatedDisease> <http://ex/diseasome/Disease/1> .
+<http://ex/diseasome/Gene/11> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Gene> .
+<http://ex/diseasome/Gene/11> <http://ex/vocab#geneSymbol> "TP53" .
+<http://ex/diseasome/Gene/11> <http://ex/vocab#associatedDisease> <http://ex/diseasome/Disease/1> .
+<http://ex/diseasome/Gene/12> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Gene> .
+<http://ex/diseasome/Gene/12> <http://ex/vocab#geneSymbol> "KRAS" .
+<http://ex/diseasome/Gene/12> <http://ex/vocab#associatedDisease> <http://ex/diseasome/Disease/3> .
+<http://ex/diseasome/Gene/13> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Gene> .
+<http://ex/diseasome/Gene/13> <http://ex/vocab#geneSymbol> "INS" .
+<http://ex/diseasome/Gene/13> <http://ex/vocab#associatedDisease> <http://ex/diseasome/Disease/2> .
+"""
+
+TINY_AFFYMETRIX = """\
+<http://ex/affy/Probeset/1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Probeset> .
+<http://ex/affy/Probeset/1> <http://ex/vocab#symbol> "BRCA1" .
+<http://ex/affy/Probeset/1> <http://ex/vocab#scientificName> "Homo sapiens" .
+<http://ex/affy/Probeset/2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Probeset> .
+<http://ex/affy/Probeset/2> <http://ex/vocab#symbol> "TP53" .
+<http://ex/affy/Probeset/2> <http://ex/vocab#scientificName> "Mus musculus" .
+<http://ex/affy/Probeset/3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/vocab#Probeset> .
+<http://ex/affy/Probeset/3> <http://ex/vocab#symbol> "KRAS" .
+<http://ex/affy/Probeset/3> <http://ex/vocab#scientificName> "Homo sapiens" .
+"""
+
+
+def make_tiny_graph(text: str, name: str = "tiny") -> Graph:
+    graph = Graph(name)
+    parse_into(graph, text)
+    return graph
+
+
+@pytest.fixture
+def diseasome_graph() -> Graph:
+    return make_tiny_graph(TINY_DISEASOME, "diseasome")
+
+
+@pytest.fixture
+def affymetrix_graph() -> Graph:
+    return make_tiny_graph(TINY_AFFYMETRIX, "affymetrix")
+
+
+@pytest.fixture
+def tiny_lake(diseasome_graph, affymetrix_graph) -> SemanticDataLake:
+    """A two-source relational lake with the benchmark's index layout."""
+    lake = SemanticDataLake("tiny")
+    lake.add_graph_as_relational("diseasome", diseasome_graph)
+    lake.add_graph_as_relational("affymetrix", affymetrix_graph)
+    lake.create_index("diseasome", "gene", ["associateddisease"])
+    lake.create_index("affymetrix", "probeset", ["symbol"])
+    return lake
+
+
+@pytest.fixture(scope="session")
+def small_lslod_lake() -> SemanticDataLake:
+    """A session-scoped small LSLOD lake (treat as read-only)."""
+    return build_lslod_lake(scale=0.1, seed=42)
+
+
+TINY_QUERY = """
+PREFIX v: <http://ex/vocab#>
+SELECT ?g ?sym ?dn WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+  ?d a v:Disease ; v:diseaseName ?dn .
+}
+"""
+
+TINY_CROSS_SOURCE_QUERY = """
+PREFIX v: <http://ex/vocab#>
+SELECT ?g ?p ?species WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym .
+  ?p a v:Probeset ; v:symbol ?sym ; v:scientificName ?species .
+  FILTER(CONTAINS(?species, "Homo"))
+}
+"""

@@ -1,0 +1,168 @@
+"""Tests for star-shaped / triple-wise decomposition."""
+
+import pytest
+
+from repro.core import (
+    decompose_star_shaped,
+    decompose_triple_wise,
+    validate_decomposition,
+)
+from repro.exceptions import PlanningError
+from repro.rdf import IRI, Variable
+from repro.sparql import parse_query
+
+PREFIX = "PREFIX v: <http://ex/vocab#>\n"
+
+THREE_STAR_QUERY = PREFIX + """
+SELECT * WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+  ?d a v:Disease ; v:diseaseName ?dn .
+  ?p a v:Probeset ; v:symbol ?sym .
+  FILTER(CONTAINS(?dn, "cancer"))
+  FILTER(?sym != ?dn)
+}
+"""
+
+
+class TestStarShaped:
+    def test_groups_by_subject(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        assert len(decomposition) == 3
+        subjects = [star.subject for star in decomposition.subqueries]
+        assert subjects == [Variable("g"), Variable("d"), Variable("p")]
+
+    def test_pattern_counts(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        assert [len(star.patterns) for star in decomposition.subqueries] == [3, 2, 2]
+
+    def test_single_star_filter_attached(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        disease_star = decomposition.subqueries[1]
+        assert len(disease_star.filters) == 1
+
+    def test_cross_star_filter_residual(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        assert len(decomposition.residual_filters) == 1
+
+    def test_type_constraint(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        assert decomposition.subqueries[0].type_constraint() == IRI("http://ex/vocab#Gene")
+
+    def test_predicates(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        predicates = decomposition.subqueries[1].predicates()
+        assert IRI("http://ex/vocab#diseaseName") in predicates
+
+    def test_join_variables(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        gene, disease, probe = decomposition.subqueries
+        assert gene.join_variables(disease) == {"d"}
+        assert gene.join_variables(probe) == {"sym"}
+        assert disease.join_variables(probe) == set()
+
+    def test_ground_subject_star(self):
+        decomposition = decompose_star_shaped(
+            parse_query(PREFIX + "SELECT * WHERE { <http://ex/g/1> v:geneSymbol ?s . }")
+        )
+        assert len(decomposition) == 1
+        assert decomposition.subqueries[0].subject == IRI("http://ex/g/1")
+
+    def test_validates(self):
+        query = parse_query(THREE_STAR_QUERY)
+        decomposition = decompose_star_shaped(query)
+        assert validate_decomposition(query.where, decomposition)
+
+
+class TestTripleWise:
+    def test_one_subquery_per_pattern(self):
+        decomposition = decompose_triple_wise(parse_query(THREE_STAR_QUERY))
+        assert len(decomposition) == 7
+
+    def test_filters_follow_coverage(self):
+        decomposition = decompose_triple_wise(parse_query(THREE_STAR_QUERY))
+        # CONTAINS(?dn) fits the ?d v:diseaseName ?dn sub-query
+        owners = [star for star in decomposition.subqueries if star.filters]
+        assert len(owners) == 1
+        # ?sym != ?dn spans two sub-queries
+        assert len(decomposition.residual_filters) == 1
+
+    def test_validates(self):
+        query = parse_query(THREE_STAR_QUERY)
+        decomposition = decompose_triple_wise(query)
+        assert validate_decomposition(query.where, decomposition)
+
+
+class TestRejections:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PlanningError):
+            decompose_star_shaped(parse_query("SELECT * WHERE { }"))
+
+    def test_variable_predicate_rejected(self):
+        with pytest.raises(PlanningError):
+            decompose_star_shaped(
+                parse_query("SELECT * WHERE { ?s ?p ?o }")
+            )
+
+    def test_optional_rejected_for_triple_wise(self):
+        query = parse_query(
+            PREFIX + "SELECT * WHERE { ?g v:geneSymbol ?s OPTIONAL { ?g v:x ?y } }"
+        )
+        with pytest.raises(PlanningError):
+            decompose_triple_wise(query)
+
+    def test_union_mixed_with_patterns_rejected(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?g v:geneSymbol ?s "
+            "{ ?g v:a ?x } UNION { ?g v:b ?x } }"
+        )
+        with pytest.raises(PlanningError):
+            decompose_star_shaped(query)
+
+    def test_nested_optional_rejected(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?g v:geneSymbol ?s "
+            "OPTIONAL { ?g v:x ?y OPTIONAL { ?g v:z ?w } } }"
+        )
+        with pytest.raises(PlanningError):
+            decompose_star_shaped(query)
+
+
+class TestOptionalAndUnion:
+    def test_optional_group_decomposed(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?g v:geneSymbol ?s "
+            "OPTIONAL { ?g v:chromosome ?c . ?d v:diseaseName ?dn } }"
+        )
+        decomposition = decompose_star_shaped(query)
+        assert len(decomposition.subqueries) == 1
+        assert len(decomposition.optional_groups) == 1
+        assert len(decomposition.optional_groups[0].subqueries) == 2
+
+    def test_union_branches_decomposed(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { { ?g v:geneSymbol ?s } UNION { ?g v:symbol ?s } }"
+        )
+        decomposition = decompose_star_shaped(query)
+        assert decomposition.union_branches
+        assert len(decomposition.union_branches) == 2
+        assert not decomposition.subqueries
+
+    def test_describe_mentions_structures(self):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?g v:geneSymbol ?s OPTIONAL { ?g v:chromosome ?c } }"
+        )
+        text = decompose_star_shaped(query).describe()
+        assert "OPTIONAL" in text
+
+
+class TestDescriptions:
+    def test_describe(self):
+        decomposition = decompose_star_shaped(parse_query(THREE_STAR_QUERY))
+        text = decomposition.describe()
+        assert "3 sub-queries" in text
+        assert "?g" in text

@@ -1,0 +1,193 @@
+"""Tests for the paper's two heuristics."""
+
+import pytest
+
+from repro.core import (
+    FilterPlacement,
+    MergeGroup,
+    PlanPolicy,
+    decompose_star_shaped,
+    place_filters,
+    push_down_joins,
+    select_sources,
+)
+from repro.network import NetworkSetting
+from repro.sparql import parse_query
+
+PREFIX = "PREFIX v: <http://ex/vocab#>\n"
+
+H1_QUERY = PREFIX + """
+SELECT * WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+  ?d a v:Disease ; v:diseaseName ?dn .
+}
+"""
+
+MIXED_QUERY = PREFIX + """
+SELECT * WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+  ?d a v:Disease ; v:diseaseName ?dn .
+  ?p a v:Probeset ; v:symbol ?sym .
+}
+"""
+
+
+def selections_for(lake, text):
+    return select_sources(lake, decompose_star_shaped(parse_query(text)))
+
+
+class TestHeuristic1:
+    def test_merges_same_source_indexed_join(self, tiny_lake):
+        selections = selections_for(tiny_lake, H1_QUERY)
+        units, decisions = push_down_joins(
+            selections, tiny_lake.physical_catalog, PlanPolicy.physical_design_aware()
+        )
+        assert len(units) == 1
+        assert isinstance(units[0], MergeGroup)
+        assert decisions and decisions[0].merged
+
+    def test_unaware_policy_never_merges(self, tiny_lake):
+        selections = selections_for(tiny_lake, H1_QUERY)
+        units, decisions = push_down_joins(
+            selections, tiny_lake.physical_catalog, PlanPolicy.physical_design_unaware()
+        )
+        assert len(units) == 2
+        assert not any(isinstance(unit, MergeGroup) for unit in units)
+
+    def test_does_not_merge_across_sources(self, tiny_lake):
+        selections = selections_for(tiny_lake, MIXED_QUERY)
+        units, __ = push_down_joins(
+            selections, tiny_lake.physical_catalog, PlanPolicy.physical_design_aware()
+        )
+        # gene+disease merge; probeset stays alone
+        assert len(units) == 2
+
+    def test_no_merge_without_index(self, tiny_lake):
+        # drop the FK index: join attribute unindexed on the gene side, and
+        # the disease side is a PK... the PK side keeps it mergeable, so
+        # verify the decision reasoning instead by dropping and checking both
+        # sides: gene.associateddisease unindexed but disease.id is a PK.
+        tiny_lake.drop_index("diseasome", "gene", "ix_gene_associateddisease")
+        selections = selections_for(tiny_lake, H1_QUERY)
+        units, decisions = push_down_joins(
+            selections, tiny_lake.physical_catalog, PlanPolicy.physical_design_aware()
+        )
+        # one side (disease.id PK) is still indexed -> merge still allowed
+        assert len(units) == 1
+
+    def test_no_merge_when_no_shared_variable(self, tiny_lake):
+        query = PREFIX + (
+            "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?s . "
+            "?d a v:Disease ; v:diseaseName ?dn . }"
+        )
+        selections = selections_for(tiny_lake, query)
+        units, decisions = push_down_joins(
+            selections, tiny_lake.physical_catalog, PlanPolicy.physical_design_aware()
+        )
+        assert len(units) == 2
+        assert any(not decision.merged for decision in decisions)
+
+    def test_table_bound_respected(self, tiny_lake):
+        selections = selections_for(tiny_lake, H1_QUERY)
+        policy = PlanPolicy.physical_design_aware().with_(max_merged_tables=1)
+        units, decisions = push_down_joins(selections, tiny_lake.physical_catalog, policy)
+        assert len(units) == 2
+        assert any("more than" in decision.reason for decision in decisions)
+
+
+class TestHeuristic2:
+    def stars_with_filter(self, tiny_lake, filter_text, star_text=None):
+        star_text = star_text or "?d a v:Disease ; v:diseaseName ?dn ."
+        query = PREFIX + f"SELECT * WHERE {{ {star_text} {filter_text} }}"
+        selections = selections_for(tiny_lake, query)
+        selection = selections[0]
+        candidate = selection.candidates[0]
+        return (
+            selection.star.filters,
+            [(selection.star, candidate.class_mapping)],
+            candidate.source_id,
+        )
+
+    def place(self, tiny_lake, placement, network, filter_text, star_text=None):
+        filters, stars, source_id = self.stars_with_filter(tiny_lake, filter_text, star_text)
+        policy = PlanPolicy(
+            name="test", merge_same_source_joins=False, filter_placement=placement
+        )
+        return place_filters(
+            filters, stars, source_id, tiny_lake.physical_catalog, policy, network
+        )
+
+    def test_engine_policy_keeps_filters_up(self, tiny_lake):
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.ENGINE,
+            NetworkSetting.no_delay(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert not plan.pushed and len(plan.at_engine) == 1
+
+    def test_source_policy_pushes_translatable(self, tiny_lake):
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.SOURCE,
+            NetworkSetting.no_delay(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert len(plan.pushed) == 1
+
+    def test_source_if_indexed_requires_index(self, tiny_lake):
+        # diseasename is not indexed
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.SOURCE_IF_INDEXED,
+            NetworkSetting.no_delay(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert not plan.pushed
+        assert "no index" in plan.decisions[0].reason
+
+    def test_source_if_indexed_pushes_indexed(self, tiny_lake):
+        tiny_lake.create_index("diseasome", "disease", ["diseasename"])
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.SOURCE_IF_INDEXED,
+            NetworkSetting.no_delay(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert len(plan.pushed) == 1
+
+    def test_heuristic2_requires_slow_network(self, tiny_lake):
+        tiny_lake.create_index("diseasome", "disease", ["diseasename"])
+        fast = self.place(
+            tiny_lake,
+            FilterPlacement.HEURISTIC2,
+            NetworkSetting.gamma1(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert not fast.pushed
+        slow = self.place(
+            tiny_lake,
+            FilterPlacement.HEURISTIC2,
+            NetworkSetting.gamma3(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert len(slow.pushed) == 1
+
+    def test_untranslatable_filter_stays_at_engine(self, tiny_lake):
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.SOURCE,
+            NetworkSetting.no_delay(),
+            'FILTER(REGEX(?dn, "^dia"))',
+        )
+        assert not plan.pushed
+        assert "not translatable" in plan.decisions[0].reason
+
+    def test_decision_log_rendering(self, tiny_lake):
+        plan = self.place(
+            tiny_lake,
+            FilterPlacement.ENGINE,
+            NetworkSetting.no_delay(),
+            'FILTER(?dn = "diabetes")',
+        )
+        assert "engine" in plan.decisions[0].describe()

@@ -1,0 +1,89 @@
+"""Tests for plan policies and the physical-design catalog."""
+
+import pytest
+
+from repro.core import FilterPlacement, PhysicalDesignCatalog, PlanPolicy
+from repro.core.policy import DecompositionKind
+from repro.relational import Database
+
+
+class TestPlanPolicy:
+    def test_aware_configuration(self):
+        policy = PlanPolicy.physical_design_aware()
+        assert policy.merge_same_source_joins
+        assert policy.filter_placement is FilterPlacement.SOURCE_IF_INDEXED
+        assert policy.aware
+
+    def test_unaware_configuration(self):
+        policy = PlanPolicy.physical_design_unaware()
+        assert not policy.merge_same_source_joins
+        assert policy.filter_placement is FilterPlacement.ENGINE
+        assert not policy.aware
+
+    def test_heuristic2_configuration(self):
+        policy = PlanPolicy.heuristic2()
+        assert policy.filter_placement is FilterPlacement.HEURISTIC2
+        assert policy.aware
+
+    def test_triple_wise(self):
+        policy = PlanPolicy.triple_wise()
+        assert policy.decomposition is DecompositionKind.TRIPLE
+
+    def test_with_overrides(self):
+        policy = PlanPolicy.physical_design_aware().with_(max_merged_tables=2)
+        assert policy.max_merged_tables == 2
+        assert policy.merge_same_source_joins  # unchanged
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PlanPolicy.physical_design_aware().name = "x"
+
+
+class TestPhysicalDesignCatalog:
+    def make_database(self) -> Database:
+        database = Database("src")
+        database.execute("CREATE TABLE gene (id INTEGER PRIMARY KEY, symbol TEXT, d_id INTEGER)")
+        database.execute("INSERT INTO gene VALUES (1, 'a', 1), (2, 'b', 2)")
+        database.create_index("gene", ["symbol"])
+        return database
+
+    def test_harvests_indexes(self):
+        catalog = PhysicalDesignCatalog()
+        catalog.register_database("src", self.make_database())
+        assert catalog.is_indexed("src", "gene", "id")  # PK
+        assert catalog.is_indexed("src", "gene", "symbol")
+        assert not catalog.is_indexed("src", "gene", "d_id")
+
+    def test_primary_keys(self):
+        catalog = PhysicalDesignCatalog()
+        catalog.register_database("src", self.make_database())
+        assert catalog.is_primary_key("src", "gene", "id")
+        assert not catalog.is_primary_key("src", "gene", "symbol")
+
+    def test_table_rows(self):
+        catalog = PhysicalDesignCatalog()
+        catalog.register_database("src", self.make_database())
+        assert catalog.table_rows("src", "gene") == 2
+        assert catalog.table_rows("src", "nope") == 0
+        assert catalog.table_rows("other", "gene") == 0
+
+    def test_unknown_source(self):
+        catalog = PhysicalDesignCatalog()
+        assert not catalog.is_indexed("ghost", "t", "c")
+        assert catalog.source("ghost") is None
+
+    def test_refresh_after_new_index(self):
+        catalog = PhysicalDesignCatalog()
+        database = self.make_database()
+        catalog.register_database("src", database)
+        assert not catalog.is_indexed("src", "gene", "d_id")
+        database.create_index("gene", ["d_id"])
+        catalog.refresh("src", database)
+        assert catalog.is_indexed("src", "gene", "d_id")
+
+    def test_describe(self):
+        catalog = PhysicalDesignCatalog()
+        catalog.register_database("src", self.make_database())
+        text = catalog.describe()
+        assert "gene.id (pk)" in text
+        assert "gene.symbol" in text

@@ -1,0 +1,67 @@
+"""Tests for the plan profiler (EXPLAIN ANALYZE)."""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+
+from ..conftest import TINY_QUERY
+
+
+class TestProfiler:
+    def test_profile_returns_answers_and_report(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+        answers, stats, report = engine.profile(TINY_QUERY, seed=1)
+        assert len(answers) == 4
+        assert stats.answers == 4
+        assert report.execution_time == stats.execution_time
+
+    def test_per_operator_row_counts(self, tiny_lake):
+        engine = FederatedEngine(
+            tiny_lake, policy=PlanPolicy.physical_design_unaware()
+        )
+        __, __stats, report = engine.profile(TINY_QUERY, seed=1)
+        project = report.by_label("Project")
+        assert project.rows_out == 4
+        join = report.by_label("SymmetricHashJoin")
+        assert join.rows_out == 4
+        services = [entry for entry in report.entries if "Service" in entry.label]
+        assert len(services) == 2
+        assert sum(entry.rows_out for entry in services) == 4 + 3  # genes + diseases
+
+    def test_timestamps_monotone(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+        __, __stats, report = engine.profile(TINY_QUERY, seed=1)
+        for entry in report.entries:
+            if entry.rows_out:
+                assert entry.first_output_at <= entry.last_output_at
+
+    def test_render(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        __, __stats, report = engine.profile(TINY_QUERY, seed=1)
+        text = report.render()
+        assert "Profile" in text
+        assert "rows=" in text
+        # pre-order: the root operator first, indented children after
+        assert text.splitlines()[1].startswith("Project")
+
+    def test_empty_result_profile(self, tiny_lake):
+        query = """
+        PREFIX v: <http://ex/vocab#>
+        SELECT * WHERE { ?g a v:Gene ; v:geneSymbol "NOPE" . }
+        """
+        engine = FederatedEngine(tiny_lake)
+        answers, __, report = engine.profile(query, seed=1)
+        assert answers == []
+        assert all(entry.rows_out == 0 for entry in report.entries)
+        assert report.by_label("Service").first_output_at is None
+
+    def test_results_match_unprofiled_run(self, tiny_lake):
+        from repro.benchmark import same_answers
+
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+        plain, plain_stats = engine.run(TINY_QUERY, seed=1)
+        profiled, profiled_stats, __ = engine.profile(TINY_QUERY, seed=1)
+        assert same_answers(plain, profiled)
+        assert plain_stats.execution_time == pytest.approx(
+            profiled_stats.execution_time
+        )

@@ -1,0 +1,86 @@
+"""Tests for RDF-MT-based source selection."""
+
+import pytest
+
+from repro.core import decompose_star_shaped, select_sources
+from repro.datalake import SemanticDataLake
+from repro.exceptions import SourceSelectionError
+from repro.sparql import parse_query
+
+from ..conftest import TINY_AFFYMETRIX, TINY_DISEASOME, make_tiny_graph
+
+PREFIX = "PREFIX v: <http://ex/vocab#>\n"
+
+
+@pytest.fixture
+def lake(tiny_lake) -> SemanticDataLake:
+    return tiny_lake
+
+
+def select(lake, text):
+    decomposition = decompose_star_shaped(parse_query(PREFIX + text))
+    return select_sources(lake, decomposition)
+
+
+class TestSelection:
+    def test_typed_star_selects_single_source(self, lake):
+        selected = select(lake, "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?s . }")
+        assert len(selected) == 1
+        assert selected[0].is_exclusive
+        assert selected[0].candidates[0].source_id == "diseasome"
+
+    def test_untyped_star_matches_by_predicates(self, lake):
+        selected = select(lake, "SELECT * WHERE { ?g v:geneSymbol ?s . }")
+        assert selected[0].candidates[0].source_id == "diseasome"
+
+    def test_class_mapping_attached_for_relational(self, lake):
+        selected = select(lake, "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?s . }")
+        candidate = selected[0].candidates[0]
+        assert candidate.kind == "rdb"
+        assert candidate.class_mapping is not None
+        assert candidate.class_mapping.table == "gene"
+
+    def test_cardinality_estimated(self, lake):
+        selected = select(lake, "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?s . }")
+        assert selected[0].candidates[0].cardinality == 4
+
+    def test_multi_star_selection(self, lake):
+        selected = select(
+            lake,
+            "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?sym . "
+            "?p a v:Probeset ; v:symbol ?sym . }",
+        )
+        assert [s.candidates[0].source_id for s in selected] == ["diseasome", "affymetrix"]
+
+    def test_unknown_predicate_raises(self, lake):
+        with pytest.raises(SourceSelectionError):
+            select(lake, "SELECT * WHERE { ?g v:doesNotExist ?x . }")
+
+    def test_unknown_class_raises(self, lake):
+        with pytest.raises(SourceSelectionError):
+            select(lake, "SELECT * WHERE { ?g a v:Spaceship ; v:geneSymbol ?s . }")
+
+    def test_type_and_predicates_must_match_same_class(self, lake):
+        # Gene class does not offer diseaseName
+        with pytest.raises(SourceSelectionError):
+            select(lake, "SELECT * WHERE { ?g a v:Gene ; v:diseaseName ?x . }")
+
+
+class TestRDFSources:
+    def test_rdf_source_candidates(self, diseasome_graph, affymetrix_graph):
+        lake = SemanticDataLake("mixed")
+        lake.add_graph_as_relational("diseasome", diseasome_graph)
+        lake.add_rdf_source("affymetrix", affymetrix_graph)
+        selected = select(lake, "SELECT * WHERE { ?p a v:Probeset ; v:symbol ?s . }")
+        candidate = selected[0].candidates[0]
+        assert candidate.kind == "rdf"
+        assert candidate.class_mapping is None
+        assert candidate.cardinality == 3
+
+    def test_replicated_class_yields_multiple_candidates(self, diseasome_graph):
+        lake = SemanticDataLake("replicated")
+        lake.add_graph_as_relational("copy_a", diseasome_graph)
+        lake.add_rdf_source("copy_b", diseasome_graph)
+        selected = select(lake, "SELECT * WHERE { ?g a v:Gene ; v:geneSymbol ?s . }")
+        assert len(selected[0].candidates) == 2
+        assert not selected[0].is_exclusive

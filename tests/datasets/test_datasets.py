@@ -1,0 +1,174 @@
+"""Tests for the synthetic LSLOD generators, queries and lake builder."""
+
+import pytest
+
+from repro.datasets import (
+    ADVISOR_CANDIDATES,
+    BENCHMARK_INDEXES,
+    BENCHMARK_QUERIES,
+    GRID_QUERIES,
+    KNOWN_GENE_SYMBOLS,
+    LakeBuildReport,
+    build_lslod_lake,
+    dataset_bundles,
+    generate_all,
+)
+from repro.federation.endpoints import RDFSource, RelationalSource
+from repro.rdf import IRI, Literal, RDF_TYPE
+from repro.sparql import parse_query
+
+
+@pytest.fixture(scope="module")
+def bundles():
+    return generate_all(scale=0.05, seed=42)
+
+
+class TestGenerators:
+    def test_all_ten_datasets(self, bundles):
+        assert len(bundles) == 10
+        assert set(bundles) == {
+            "diseasome",
+            "affymetrix",
+            "drugbank",
+            "kegg",
+            "sider",
+            "dailymed",
+            "medicare",
+            "linkedct",
+            "chebi",
+            "tcga",
+        }
+
+    def test_deterministic(self):
+        first = generate_all(scale=0.05, seed=7)
+        second = generate_all(scale=0.05, seed=7)
+        for name in first:
+            assert set(first[name].graph) == set(second[name].graph)
+
+    def test_seed_changes_data(self):
+        first = generate_all(scale=0.05, seed=7)
+        second = generate_all(scale=0.05, seed=8)
+        assert set(first["drugbank"].graph) != set(second["drugbank"].graph)
+
+    def test_scale_changes_sizes(self):
+        small = generate_all(scale=0.05, seed=7)
+        large = generate_all(scale=0.1, seed=7)
+        assert len(large["medicare"].graph) > len(small["medicare"].graph)
+
+    def test_every_subject_typed(self, bundles):
+        for bundle in bundles.values():
+            subjects = {t.subject for t in bundle.graph}
+            typed = {t.subject for t in bundle.graph.triples(None, RDF_TYPE, None)}
+            assert subjects == typed
+
+    def test_known_symbols_present_in_diseasome(self, bundles):
+        symbols = {
+            t.object.lexical
+            for t in bundles["diseasome"].graph.triples(
+                None, IRI("http://lslod.repro/diseasome/vocab#geneSymbol"), None
+            )
+        }
+        assert set(KNOWN_GENE_SYMBOLS) <= symbols
+
+    def test_q3_symbol_in_tcga(self, bundles):
+        symbols = [
+            t.object.lexical
+            for t in bundles["tcga"].graph.triples(
+                None, IRI("http://lslod.repro/tcga/vocab#geneSymbol"), None
+            )
+        ]
+        count = sum(1 for s in symbols if s == "GAB10")
+        assert count > 0
+        assert count / len(symbols) < 0.1  # selective
+
+    def test_species_skewed_above_15_percent(self, bundles):
+        species = [
+            t.object.lexical
+            for t in bundles["affymetrix"].graph.triples(
+                None, IRI("http://lslod.repro/affymetrix/vocab#scientificName"), None
+            )
+        ]
+        top = max(species.count(value) for value in set(species))
+        assert top / len(species) > 0.15
+
+    def test_sider_multivalued(self, bundles):
+        graph = bundles["sider"].graph
+        predicate = IRI("http://lslod.repro/sider/vocab#sideEffect")
+        per_subject = {}
+        for triple in graph.triples(None, predicate, None):
+            per_subject.setdefault(triple.subject, []).append(triple.object)
+        assert any(len(values) > 1 for values in per_subject.values())
+
+
+class TestQueries:
+    def test_grid_queries_defined(self):
+        assert GRID_QUERIES == ("Q1", "Q2", "Q3", "Q4", "Q5")
+        for name in GRID_QUERIES:
+            assert name in BENCHMARK_QUERIES
+
+    def test_all_queries_parse(self):
+        for query in BENCHMARK_QUERIES.values():
+            parsed = parse_query(query.text)
+            assert parsed.where.patterns
+
+    def test_rationales_documented(self):
+        for query in BENCHMARK_QUERIES.values():
+            assert len(query.rationale) > 40
+            assert query.exercises
+
+    def test_q2_targets_single_source(self):
+        parsed = parse_query(BENCHMARK_QUERIES["Q2"].text)
+        text = BENCHMARK_QUERIES["Q2"].text
+        assert "diseasome:" in text
+        assert text.count("a ") >= 2
+
+
+class TestLakeBuilder:
+    @pytest.fixture(scope="class")
+    def lake_and_report(self):
+        report = LakeBuildReport(scale=0.0, seed=0)
+        lake = build_lslod_lake(scale=0.05, seed=42, report=report)
+        return lake, report
+
+    def test_ten_sources(self, lake_and_report):
+        lake, __ = lake_and_report
+        assert len(lake.source_ids) == 10
+
+    def test_kegg_is_native_rdf(self, lake_and_report):
+        lake, __ = lake_and_report
+        assert isinstance(lake.source("kegg"), RDFSource)
+        assert isinstance(lake.source("tcga"), RelationalSource)
+
+    def test_benchmark_indexes_created(self, lake_and_report):
+        lake, __ = lake_and_report
+        for source_id, table, column in BENCHMARK_INDEXES:
+            assert lake.physical_catalog.is_indexed(source_id, table, column), (
+                source_id,
+                table,
+                column,
+            )
+
+    def test_advisor_declines_species(self, lake_and_report):
+        lake, report = lake_and_report
+        species = next(
+            advice
+            for advice in report.advisor_decisions
+            if advice.column == "scientificname"
+        )
+        assert species.create is False
+        assert not lake.physical_catalog.is_indexed(
+            "affymetrix", "probeset", "scientificname"
+        )
+
+    def test_without_benchmark_indexes(self):
+        lake = build_lslod_lake(scale=0.05, seed=42, with_benchmark_indexes=False)
+        assert not lake.physical_catalog.is_indexed(
+            "diseasome", "gene", "associateddisease"
+        )
+        # PKs always indexed
+        assert lake.physical_catalog.is_indexed("diseasome", "gene", "id")
+
+    def test_report_filled(self, lake_and_report):
+        __, report = lake_and_report
+        assert report.entity_counts["diseasome"]["Gene"] > 0
+        assert report.created_indexes

@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def tiny(tmp_path):
+    """Common args for a tiny, fast lake."""
+    return ["--scale", "0.05", "--seed", "42"]
+
+
+class TestDescribe:
+    def test_lists_sources_and_catalog(self, capsys, tiny):
+        assert main(["describe", *tiny]) == 0
+        out = capsys.readouterr().out
+        assert "SemanticDataLake" in out
+        assert "kegg [rdf]" in out
+        assert "index on gene.associateddisease" in out
+
+
+class TestQuery:
+    def test_benchmark_query_by_name(self, capsys, tiny):
+        assert main(["query", "Q2", *tiny, "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out
+        assert "?gene=" in out
+
+    def test_explain_flag(self, capsys, tiny):
+        assert main(["query", "Q2", *tiny, "--explain", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Plan [Physical-Design-Aware]" in out
+        assert "Heuristic 1" in out
+
+    def test_unaware_policy(self, capsys, tiny):
+        assert main(["query", "Q2", *tiny, "--policy", "unaware", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "answers" in out
+
+    def test_inline_sparql(self, capsys, tiny):
+        query = (
+            "PREFIX diseasome: <http://lslod.repro/diseasome/vocab#> "
+            "SELECT ?d WHERE { ?d a diseasome:Disease ; "
+            'diseasome:diseaseClass "cancer" . } LIMIT 3'
+        )
+        assert main(["query", query, *tiny]) == 0
+        out = capsys.readouterr().out
+        assert "?d=<http://lslod.repro/diseasome/resource/Disease/" in out
+
+    def test_query_from_file(self, capsys, tiny, tmp_path):
+        path = tmp_path / "q.rq"
+        path.write_text(
+            "PREFIX diseasome: <http://lslod.repro/diseasome/vocab#>\n"
+            "SELECT ?d WHERE { ?d a diseasome:Disease . } LIMIT 1"
+        )
+        assert main(["query", f"@{path}", *tiny]) == 0
+        assert "1 answers" in capsys.readouterr().out
+
+    def test_limit_truncates(self, capsys, tiny):
+        assert main(["query", "Q2", *tiny, "--limit", "1"]) == 0
+        assert "more)" in capsys.readouterr().out
+
+    def test_profile_flag(self, capsys, tiny):
+        assert main(["query", "Q2", *tiny, "--profile", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Profile (virtual execution time" in out
+        assert "rows=" in out
+
+
+class TestGrid:
+    def test_table_output(self, capsys, tiny):
+        assert main(["grid", *tiny, "--queries", "Q2"]) == 0
+        out = capsys.readouterr().out
+        assert "Execution time" in out
+        assert "Speedup" in out
+
+    def test_csv_output(self, capsys, tiny):
+        assert main(["grid", *tiny, "--queries", "Q2", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query,policy,network")
+        assert len(out.strip().splitlines()) == 9  # header + 8 cells
+
+    def test_json_output(self, capsys, tiny):
+        import json
+
+        assert main(["grid", *tiny, "--queries", "Q2", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 8
+
+    def test_unknown_query_rejected(self, capsys, tiny):
+        assert main(["grid", *tiny, "--queries", "Q99"]) == 2
+        assert "unknown queries" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_plot(self, capsys, tiny):
+        assert main(["trace", "Q3", *tiny, "--networks", "gamma1"]) == 0
+        out = capsys.readouterr().out
+        assert "Answer traces" in out
+        assert "[*] unaware/gamma1" in out
+        assert "[o] aware/gamma1" in out
+
+    def test_unknown_policy(self, capsys, tiny):
+        assert main(["trace", "Q3", *tiny, "--policies", "warp"]) == 2
+
+    def test_unknown_network(self, capsys, tiny):
+        assert main(["trace", "Q3", *tiny, "--networks", "warp"]) == 2

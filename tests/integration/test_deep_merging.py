@@ -1,0 +1,139 @@
+"""Deeper Heuristic-1 scenarios: chained merges and satellite tables."""
+
+import pytest
+
+from repro import FederatedEngine, PlanPolicy
+from repro.benchmark import same_answers
+from repro.datalake import SemanticDataLake
+from repro.rdf import Graph, IRI, Literal, RDF_TYPE, Triple
+
+VOCAB = "http://ex/chain#"
+PREFIX = f"PREFIX c: <{VOCAB}>\n"
+
+
+def chain_graph() -> Graph:
+    """Three linked classes a -> b -> c, each with a literal property."""
+    graph = Graph("chain")
+    for index in range(1, 9):
+        a = IRI(f"http://ex/chain/A/{index}")
+        b = IRI(f"http://ex/chain/B/{index % 4 + 1}")
+        graph.add(Triple(a, RDF_TYPE, IRI(VOCAB + "A")))
+        graph.add(Triple(a, IRI(VOCAB + "aName"), Literal(f"a{index}")))
+        graph.add(Triple(a, IRI(VOCAB + "toB"), b))
+    for index in range(1, 5):
+        b = IRI(f"http://ex/chain/B/{index}")
+        c = IRI(f"http://ex/chain/C/{index % 2 + 1}")
+        graph.add(Triple(b, RDF_TYPE, IRI(VOCAB + "B")))
+        graph.add(Triple(b, IRI(VOCAB + "bName"), Literal(f"b{index}")))
+        graph.add(Triple(b, IRI(VOCAB + "toC"), c))
+    for index in range(1, 3):
+        c = IRI(f"http://ex/chain/C/{index}")
+        graph.add(Triple(c, RDF_TYPE, IRI(VOCAB + "C")))
+        graph.add(Triple(c, IRI(VOCAB + "cName"), Literal(f"c{index}")))
+    return graph
+
+
+@pytest.fixture
+def chain_lake() -> SemanticDataLake:
+    lake = SemanticDataLake("chain")
+    lake.add_graph_as_relational("chain", chain_graph())
+    lake.create_index("chain", "a", ["tob"])
+    lake.create_index("chain", "b", ["toc"])
+    return lake
+
+
+THREE_STAR_QUERY = PREFIX + """
+SELECT ?an ?bn ?cn WHERE {
+  ?a a c:A ; c:aName ?an ; c:toB ?b .
+  ?b a c:B ; c:bName ?bn ; c:toC ?c .
+  ?c a c:C ; c:cName ?cn .
+}
+"""
+
+
+class TestChainedMerge:
+    def test_three_stars_merge_into_one_service(self, chain_lake):
+        engine = FederatedEngine(chain_lake, policy=PlanPolicy.physical_design_aware())
+        plan = engine.plan(THREE_STAR_QUERY)
+        explained = plan.explain()
+        assert explained.count("Service[") == 1
+        assert explained.count("JOIN") == 2
+        merged = [decision for decision in plan.merge_decisions if decision.merged]
+        assert len(merged) == 2
+
+    def test_chained_merge_answers_match_unaware(self, chain_lake):
+        aware, __ = FederatedEngine(
+            chain_lake, policy=PlanPolicy.physical_design_aware()
+        ).run(THREE_STAR_QUERY, seed=1)
+        unaware, __ = FederatedEngine(
+            chain_lake, policy=PlanPolicy.physical_design_unaware()
+        ).run(THREE_STAR_QUERY, seed=1)
+        assert same_answers(aware, unaware)
+        assert len(aware) == 8
+
+    def test_table_bound_splits_chain(self, chain_lake):
+        policy = PlanPolicy.physical_design_aware().with_(max_merged_tables=2)
+        engine = FederatedEngine(chain_lake, policy=policy)
+        plan = engine.plan(THREE_STAR_QUERY)
+        # only two of the three stars fit in one merged sub-query
+        assert plan.explain().count("Service[") == 2
+
+    def test_single_request_issued(self, chain_lake):
+        engine = FederatedEngine(chain_lake, policy=PlanPolicy.physical_design_aware())
+        __, stats = engine.run(THREE_STAR_QUERY, seed=1)
+        assert stats.source("chain").requests == 1
+
+
+def sider_like_graph() -> Graph:
+    """Drugs with multi-valued side effects (satellite table case)."""
+    graph = Graph("sider")
+    effects = {1: ["rash", "nausea"], 2: ["rash"], 3: ["headache", "rash", "fever"]}
+    for key, effect_list in effects.items():
+        drug = IRI(f"http://ex/sider/Drug/{key}")
+        graph.add(Triple(drug, RDF_TYPE, IRI(VOCAB + "Drug")))
+        graph.add(Triple(drug, IRI(VOCAB + "drugName"), Literal(f"drug{key}")))
+        for effect in effect_list:
+            graph.add(Triple(drug, IRI(VOCAB + "sideEffect"), Literal(effect)))
+    return graph
+
+
+@pytest.fixture
+def sider_lake() -> SemanticDataLake:
+    lake = SemanticDataLake("sider")
+    lake.add_graph_as_relational("sider", sider_like_graph())
+    return lake
+
+
+class TestSatelliteThroughEngine:
+    def test_multivalued_predicate_variable(self, sider_lake):
+        query = PREFIX + "SELECT ?n ?e WHERE { ?d a c:Drug ; c:drugName ?n ; c:sideEffect ?e . }"
+        answers, __ = FederatedEngine(sider_lake).run(query, seed=1)
+        assert len(answers) == 6  # 2 + 1 + 3 effect rows
+
+    def test_multivalued_predicate_constant(self, sider_lake):
+        query = PREFIX + 'SELECT ?n WHERE { ?d a c:Drug ; c:drugName ?n ; c:sideEffect "rash" . }'
+        answers, __ = FederatedEngine(sider_lake).run(query, seed=1)
+        assert {answer["n"].lexical for answer in answers} == {"drug1", "drug2", "drug3"}
+
+    def test_filter_on_satellite_value(self, sider_lake):
+        query = PREFIX + (
+            "SELECT ?n ?e WHERE { ?d a c:Drug ; c:drugName ?n ; c:sideEffect ?e . "
+            'FILTER(CONTAINS(?e, "ea")) }'
+        )
+        answers, __ = FederatedEngine(sider_lake).run(query, seed=1)
+        effects = {answer["e"].lexical for answer in answers}
+        assert effects == {"nausea", "headache"}
+
+    def test_policies_agree_on_satellites(self, sider_lake):
+        query = PREFIX + (
+            "SELECT ?n ?e WHERE { ?d a c:Drug ; c:drugName ?n ; c:sideEffect ?e . "
+            'FILTER(STRSTARTS(?e, "ra")) }'
+        )
+        aware, __ = FederatedEngine(
+            sider_lake, policy=PlanPolicy.physical_design_aware()
+        ).run(query, seed=1)
+        unaware, __ = FederatedEngine(
+            sider_lake, policy=PlanPolicy.physical_design_unaware()
+        ).run(query, seed=1)
+        assert same_answers(aware, unaware)
+        assert len(aware) == 3

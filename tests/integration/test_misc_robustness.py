@@ -1,0 +1,167 @@
+"""Additional robustness tests: streams, real clock, operators, dumps."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy, RealClock
+from repro.federation import RunContext
+from repro.federation.operators import LeftJoin
+from repro.network import FixedDelay
+from repro.rdf import Literal, XSD_INTEGER
+from repro.relational import Column, Database, SQLType, dump_sql, load_sql
+
+from ..conftest import TINY_QUERY
+
+
+class TestResultStream:
+    def test_partial_consumption_keeps_stats_incomplete(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        stream = engine.execute(TINY_QUERY, seed=1)
+        next(stream)
+        assert not stream.exhausted
+        assert stream.stats.answers == 1
+
+    def test_stats_final_after_collect(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+        stream = engine.execute(TINY_QUERY, seed=1)
+        stream.collect()
+        assert stream.exhausted
+        assert stream.stats.execution_time >= stream.stats.trace[-1][0]
+
+    def test_iteration_protocols(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        stream = engine.execute(TINY_QUERY, seed=1)
+        collected = [solution for solution in stream]
+        assert len(collected) == 4
+
+
+class TestRealClock:
+    def test_real_clock_run(self, tiny_lake):
+        """A short real-sleep execution: delays actually elapse."""
+        import time
+
+        setting = NetworkSetting("tiny-real", FixedDelay(0.002))
+        engine = FederatedEngine(tiny_lake, network=setting)
+        start = time.monotonic()
+        answers_stream = engine.execute(TINY_QUERY, seed=1, clock=RealClock())
+        answers = answers_stream.collect()
+        elapsed = time.monotonic() - start
+        assert len(answers) == 4
+        # >= messages x 2ms of genuine sleeping happened
+        assert elapsed >= answers_stream.stats.messages * 0.002 * 0.5
+
+
+class TestLeftJoinOperator:
+    def test_left_rows_survive_empty_right(self):
+        from tests.federation.test_operators import Static
+
+        left = Static([{"a": Literal("1")}, {"a": Literal("2")}])
+        right = Static([])
+        join = LeftJoin(left, right, ("a",))
+        rows = list(join.execute(RunContext(seed=1)))
+        assert len(rows) == 2
+        assert all(set(row) == {"a"} for row in rows)
+
+    def test_matches_extend(self):
+        from tests.federation.test_operators import Static
+
+        left = Static([{"a": Literal("1")}, {"a": Literal("2")}])
+        right = Static([{"a": Literal("1"), "b": Literal("x")}])
+        rows = list(LeftJoin(left, right, ("a",)).execute(RunContext(seed=1)))
+        extended = [row for row in rows if "b" in row]
+        assert len(rows) == 2 and len(extended) == 1
+
+    def test_incompatible_shared_variable_falls_back_to_left(self):
+        from tests.federation.test_operators import Static
+
+        left = Static([{"a": Literal("1"), "b": Literal("x")}])
+        right = Static([{"a": Literal("1"), "b": Literal("y")}])
+        rows = list(LeftJoin(left, right, ("a",)).execute(RunContext(seed=1)))
+        # OPTIONAL semantics: incompatible extension -> keep bare left row
+        assert rows == [{"a": Literal("1"), "b": Literal("x")}]
+
+
+class TestDumpEdgeCases:
+    def test_fk_cycle_does_not_hang(self):
+        database = Database("cyclic")
+        database.create_table(
+            "a",
+            [Column("id", SQLType.INTEGER, nullable=False), Column("b_id", SQLType.INTEGER)],
+            primary_key=("id",),
+        )
+        database.create_table(
+            "b",
+            [Column("id", SQLType.INTEGER, nullable=False), Column("a_id", SQLType.INTEGER)],
+            primary_key=("id",),
+        )
+        # declare a cycle (validation is by name only)
+        from repro.relational.schema import ForeignKey
+
+        database.table("a").schema.foreign_keys.append(ForeignKey("b_id", "b", "id"))
+        database.table("b").schema.foreign_keys.append(ForeignKey("a_id", "a", "id"))
+        script = dump_sql(database)
+        assert "CREATE TABLE a" in script and "CREATE TABLE b" in script
+
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-10**6, 10**6),
+                st.text(alphabet=string.printable, max_size=40),
+                st.booleans(),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dump_load_roundtrip_property(self, values):
+        database = Database("prop")
+        database.create_table(
+            "t",
+            [Column("id", SQLType.INTEGER, nullable=False), Column("v", SQLType.TEXT)],
+            primary_key=("id",),
+        )
+        for row_id, value in enumerate(values):
+            database.insert("t", {"id": row_id, "v": str(value) if value is not None else None})
+        restored = load_sql(dump_sql(database))
+        assert sorted(restored.query("SELECT * FROM t").fetchall()) == sorted(
+            database.query("SELECT * FROM t").fetchall()
+        )
+
+
+class TestAggregateConsistency:
+    @given(
+        amounts=st.lists(st.integers(0, 100), min_size=1, max_size=60),
+        groups=st.integers(1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_sums_match_manual(self, amounts, groups):
+        database = Database("agg")
+        database.create_table(
+            "t",
+            [
+                Column("id", SQLType.INTEGER, nullable=False),
+                Column("g", SQLType.INTEGER),
+                Column("v", SQLType.INTEGER),
+            ],
+            primary_key=("id",),
+        )
+        manual: dict[int, list[int]] = {}
+        for row_id, amount in enumerate(amounts):
+            group = row_id % groups
+            database.insert("t", {"id": row_id, "g": group, "v": amount})
+            manual.setdefault(group, []).append(amount)
+        rows = database.query(
+            "SELECT g, COUNT(*) AS n, SUM(v) AS s, MIN(v) AS lo, MAX(v) AS hi "
+            "FROM t GROUP BY g"
+        ).fetchall()
+        assert len(rows) == len(manual)
+        for group, count, total, low, high in rows:
+            values = manual[group]
+            assert count == len(values)
+            assert total == sum(values)
+            assert low == min(values)
+            assert high == max(values)

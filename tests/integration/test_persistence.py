@@ -1,0 +1,125 @@
+"""Tests for SQL dump/load and lake persistence."""
+
+import pytest
+
+from repro import FederatedEngine
+from repro.benchmark import same_answers
+from repro.datalake.persistence import load_lake, save_lake
+from repro.exceptions import CatalogError
+from repro.relational import Database
+from repro.relational.dump import dump_sql, load_sql, split_statements
+
+from ..conftest import TINY_QUERY
+
+
+class TestSplitStatements:
+    def test_simple(self):
+        assert list(split_statements("SELECT 1; SELECT 2;")) == ["SELECT 1", "SELECT 2"]
+
+    def test_semicolon_inside_string(self):
+        statements = list(split_statements("INSERT INTO t VALUES ('a;b');"))
+        assert statements == ["INSERT INTO t VALUES ('a;b')"]
+
+    def test_escaped_quote_inside_string(self):
+        statements = list(split_statements("INSERT INTO t VALUES ('O''Brien; x');"))
+        assert statements == ["INSERT INTO t VALUES ('O''Brien; x')"]
+
+    def test_comments_skipped(self):
+        statements = list(split_statements("-- note; with ;\nSELECT 1;"))
+        assert statements == ["SELECT 1"]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert list(split_statements("SELECT 1")) == ["SELECT 1"]
+
+
+class TestDumpLoad:
+    def make_database(self) -> Database:
+        database = Database("src")
+        database.execute(
+            "CREATE TABLE disease (id INTEGER PRIMARY KEY, name TEXT NOT NULL)"
+        )
+        database.execute(
+            "CREATE TABLE gene (id INTEGER PRIMARY KEY, symbol TEXT, disease_id INTEGER, "
+            "FOREIGN KEY (disease_id) REFERENCES disease (id))"
+        )
+        database.execute("CREATE INDEX ix_gene_symbol ON gene (symbol)")
+        database.execute("INSERT INTO disease VALUES (1, 'breast cancer'), (2, 'flu; severe')")
+        database.execute("INSERT INTO gene VALUES (10, 'BRCA1', 1), (11, NULL, 2)")
+        return database
+
+    def test_roundtrip_preserves_rows(self):
+        original = self.make_database()
+        restored = load_sql(dump_sql(original))
+        for table in original.table_names:
+            assert sorted(
+                original.query(f"SELECT * FROM {table}").fetchall()
+            ) == sorted(restored.query(f"SELECT * FROM {table}").fetchall())
+
+    def test_roundtrip_preserves_schema(self):
+        restored = load_sql(dump_sql(self.make_database()))
+        schema = restored.table("gene").schema
+        assert schema.primary_key == ("id",)
+        assert schema.foreign_key_for("disease_id").referenced_table == "disease"
+
+    def test_roundtrip_preserves_indexes(self):
+        restored = load_sql(dump_sql(self.make_database()))
+        assert restored.has_index_on("gene", "symbol")
+        assert restored.has_index_on("gene", "id")
+
+    def test_tricky_values_survive(self):
+        database = Database("tricky")
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, r REAL, b BOOLEAN)")
+        database.insert("t", {"id": 1, "v": "it's; a 'test'", "r": 2.5, "b": True})
+        database.insert("t", {"id": 2, "v": None, "r": None, "b": False})
+        restored = load_sql(dump_sql(database))
+        assert sorted(restored.query("SELECT * FROM t").fetchall()) == sorted(
+            database.query("SELECT * FROM t").fetchall()
+        )
+
+    def test_dump_is_stable(self):
+        database = self.make_database()
+        assert dump_sql(database) == dump_sql(database)
+
+
+class TestLakePersistence:
+    def test_roundtrip_answers_identical(self, tiny_lake, tmp_path):
+        save_lake(tiny_lake, tmp_path / "lake")
+        restored = load_lake(tmp_path / "lake")
+        original_answers, __ = FederatedEngine(tiny_lake).run(TINY_QUERY, seed=1)
+        restored_answers, __ = FederatedEngine(restored).run(TINY_QUERY, seed=1)
+        assert same_answers(original_answers, restored_answers)
+
+    def test_physical_design_restored(self, tiny_lake, tmp_path):
+        save_lake(tiny_lake, tmp_path / "lake")
+        restored = load_lake(tmp_path / "lake")
+        assert restored.physical_catalog.is_indexed(
+            "diseasome", "gene", "associateddisease"
+        )
+
+    def test_rdf_member_restored(self, diseasome_graph, affymetrix_graph, tmp_path):
+        from repro.datalake import SemanticDataLake
+
+        lake = SemanticDataLake("mixed")
+        lake.add_graph_as_relational("diseasome", diseasome_graph)
+        lake.add_rdf_source("affymetrix", affymetrix_graph)
+        save_lake(lake, tmp_path / "lake")
+        restored = load_lake(tmp_path / "lake")
+        source = restored.source("affymetrix")
+        assert source.kind == "rdf"
+        assert len(source.graph) == len(affymetrix_graph)
+
+    def test_manifest_missing(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_lake(tmp_path / "nothing")
+
+    def test_mappings_restored(self, tiny_lake, tmp_path):
+        save_lake(tiny_lake, tmp_path / "lake")
+        restored = load_lake(tmp_path / "lake")
+        original = tiny_lake.source("diseasome").mapping
+        loaded = restored.source("diseasome").mapping
+        assert set(original.classes) == set(loaded.classes)
+        for class_iri in original.classes:
+            assert (
+                original.classes[class_iri].subject_template
+                == loaded.classes[class_iri].subject_template
+            )

@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property targets an invariant the whole reproduction leans on:
+N-Triples round-trips, index-vs-scan result equivalence, symmetric-hash-join
+correctness against a reference nested-loop join, decomposition soundness,
+and plan-policy answer equivalence.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.benchmark import same_answers
+from repro.core import decompose_star_shaped, decompose_triple_wise, validate_decomposition
+from repro.federation import RunContext
+from repro.federation.operators import SymmetricHashJoin
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    XSD_INTEGER,
+    parse,
+    serialize,
+)
+from repro.relational import Column, Database, PlannerOptions, SQLType
+from repro.relational.executor import like_to_regex
+from repro.sparql import parse_query
+from repro.sparql.algebra import GroupGraphPattern, TriplePattern
+from repro.rdf.terms import Variable
+
+# -- strategies --------------------------------------------------------------
+
+iri_strategy = st.builds(
+    lambda path: IRI("http://ex.org/" + path),
+    st.text(alphabet=string.ascii_letters + string.digits + "/_-", min_size=1, max_size=20),
+)
+safe_text = st.text(min_size=0, max_size=30).filter(lambda s: "\r" not in s)
+literal_strategy = st.one_of(
+    st.builds(Literal, safe_text),
+    st.builds(lambda n: Literal(str(n), XSD_INTEGER), st.integers(-1000, 1000)),
+    st.builds(
+        lambda s, lang: Literal(s, language=lang),
+        safe_text,
+        st.sampled_from(["en", "de", "fr-CA"]),
+    ),
+)
+bnode_strategy = st.builds(
+    BNode, st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=8)
+)
+subject_strategy = st.one_of(iri_strategy, bnode_strategy)
+object_strategy = st.one_of(iri_strategy, bnode_strategy, literal_strategy)
+triple_strategy = st.builds(Triple, subject_strategy, iri_strategy, object_strategy)
+
+
+class TestNTriplesRoundTrip:
+    @given(st.lists(triple_strategy, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_parse_identity(self, triples):
+        assert list(parse(serialize(triples))) == triples
+
+    @given(st.lists(triple_strategy, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_graph_membership_after_roundtrip(self, triples):
+        graph = Graph()
+        graph.add_all(triples)
+        rebuilt = Graph()
+        rebuilt.add_all(parse(serialize(graph)))
+        assert set(graph) == set(rebuilt)
+
+
+class TestIndexScanEquivalence:
+    @given(
+        values=st.lists(st.integers(0, 50), min_size=1, max_size=120),
+        needle=st.integers(0, 50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equality_lookup_matches_scan(self, values, needle):
+        indexed = Database("ix")
+        plain = Database("scan", PlannerOptions(allow_index_scans=False))
+        indexed.create_table(
+            "t",
+            [Column("id", SQLType.INTEGER, nullable=False), Column("v", SQLType.INTEGER)],
+            primary_key=("id",),
+        )
+        for row_id, value in enumerate(values):
+            indexed.insert("t", {"id": row_id, "v": value})
+        indexed.create_index("t", ["v"])
+        plain._tables = indexed._tables  # same storage, different planner
+        query = f"SELECT id FROM t WHERE v = {needle}"
+        assert sorted(indexed.query(query).fetchall()) == sorted(plain.query(query).fetchall())
+
+    @given(
+        values=st.lists(st.integers(-20, 20), min_size=1, max_size=100),
+        low=st.integers(-20, 20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_range_lookup_matches_scan(self, values, low):
+        indexed = Database("ix")
+        plain = Database("scan", PlannerOptions(allow_index_scans=False))
+        indexed.create_table(
+            "t",
+            [Column("id", SQLType.INTEGER, nullable=False), Column("v", SQLType.INTEGER)],
+            primary_key=("id",),
+        )
+        for row_id, value in enumerate(values):
+            indexed.insert("t", {"id": row_id, "v": value})
+        indexed.create_index("t", ["v"])
+        plain._tables = indexed._tables
+        query = f"SELECT id FROM t WHERE v >= {low}"
+        assert sorted(indexed.query(query).fetchall()) == sorted(plain.query(query).fetchall())
+
+
+class TestSymmetricHashJoinCorrectness:
+    solutions = st.lists(
+        st.fixed_dictionaries(
+            {
+                "k": st.integers(0, 5).map(lambda n: Literal(str(n), XSD_INTEGER)),
+                "v": st.integers(0, 3).map(lambda n: Literal(str(n), XSD_INTEGER)),
+            }
+        ),
+        max_size=25,
+    )
+
+    @given(left=solutions, right=solutions)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_nested_loop_reference(self, left, right):
+        from tests.federation.test_operators import Static
+
+        join = SymmetricHashJoin(Static(left), Static(right), ("k",))
+        produced = list(join.execute(RunContext(seed=1)))
+        reference = []
+        for l in left:
+            for r in right:
+                if l["k"] == r["k"] and l["v"] == r["v"]:
+                    reference.append({**l, **r})
+                elif l["k"] == r["k"] and l["v"] != r["v"]:
+                    pass  # incompatible on shared non-join var v
+        def key(solution):
+            return tuple(sorted((k, v.n3()) for k, v in solution.items()))
+        assert sorted(map(key, produced)) == sorted(map(key, reference))
+
+
+class TestDecompositionSoundness:
+    @st.composite
+    def bgp(draw):
+        subjects = draw(
+            st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=8)
+        )
+        patterns = []
+        for index, subject in enumerate(subjects):
+            patterns.append(
+                TriplePattern(
+                    Variable(subject),
+                    IRI(f"http://ex/p{draw(st.integers(0, 3))}"),
+                    Variable(f"o{index}"),
+                )
+            )
+        return GroupGraphPattern(patterns=patterns)
+
+    @given(group=bgp())
+    @settings(max_examples=60, deadline=None)
+    def test_star_decomposition_sound(self, group):
+        decomposition = decompose_star_shaped(group)
+        assert validate_decomposition(group, decomposition)
+        subjects = {star.subject for star in decomposition.subqueries}
+        assert len(subjects) == len(decomposition.subqueries)  # one star per subject
+
+    @given(group=bgp())
+    @settings(max_examples=60, deadline=None)
+    def test_triple_decomposition_sound(self, group):
+        decomposition = decompose_triple_wise(group)
+        assert validate_decomposition(group, decomposition)
+        assert len(decomposition.subqueries) == len(group.patterns)
+
+
+class TestLikeRegexProperties:
+    @given(value=safe_text)
+    @settings(max_examples=80, deadline=None)
+    def test_infix_like_equals_contains(self, value):
+        needle = "can"
+        regex = like_to_regex(f"%{needle}%")
+        assert bool(regex.match(value)) == (needle in value)
+
+    @given(value=safe_text, prefix=st.text(string.ascii_lowercase, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_like_equals_startswith(self, value, prefix):
+        regex = like_to_regex(f"{prefix}%")
+        assert bool(regex.match(value)) == value.startswith(prefix)
+
+
+class TestPolicyEquivalenceProperty:
+    """Aware and unaware plans must agree on answers for arbitrary
+    star-join queries over the tiny lake fixture's vocabulary."""
+
+    @given(
+        symbol=st.sampled_from(["BRCA1", "TP53", "KRAS", "INS", "NOPE"]),
+        use_filter=st.booleans(),
+        distinct=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence(self, symbol, use_filter, distinct):
+        # Build lake inline: hypothesis forbids function-scoped fixtures.
+        from repro import FederatedEngine, PlanPolicy, SemanticDataLake
+        from tests.conftest import TINY_DISEASOME, make_tiny_graph
+
+        lake = SemanticDataLake("prop")
+        lake.add_graph_as_relational("diseasome", make_tiny_graph(TINY_DISEASOME))
+        lake.create_index("diseasome", "gene", ["associateddisease"])
+        filter_clause = f'FILTER(?sym = "{symbol}")' if use_filter else ""
+        query = f"""
+        PREFIX v: <http://ex/vocab#>
+        SELECT {"DISTINCT" if distinct else ""} ?sym ?dn WHERE {{
+          ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+          ?d a v:Disease ; v:diseaseName ?dn .
+          {filter_clause}
+        }}
+        """
+        aware, __ = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware()).run(
+            query, seed=1
+        )
+        unaware, __ = FederatedEngine(
+            lake, policy=PlanPolicy.physical_design_unaware()
+        ).run(query, seed=1)
+        assert same_answers(aware, unaware)

@@ -1,0 +1,172 @@
+"""Tests for the RDF -> 3NF normalizer."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.mapping import normalize_graph
+from repro.rdf import Graph, IRI, Literal, RDF_TYPE, Triple, XSD_INTEGER
+from repro.relational import SQLType
+
+from ..conftest import TINY_DISEASOME, make_tiny_graph
+
+VOCAB = "http://ex/vocab#"
+
+
+def add_entity(graph: Graph, class_name: str, key: int, **props):
+    subject = IRI(f"http://ex/{class_name}/{key}")
+    graph.add(Triple(subject, RDF_TYPE, IRI(VOCAB + class_name)))
+    for name, value in props.items():
+        if isinstance(value, IRI):
+            graph.add(Triple(subject, IRI(VOCAB + name), value))
+        elif isinstance(value, list):
+            for item in value:
+                graph.add(Triple(subject, IRI(VOCAB + name), Literal(str(item))))
+        elif isinstance(value, int):
+            graph.add(Triple(subject, IRI(VOCAB + name), Literal(str(value), XSD_INTEGER)))
+        else:
+            graph.add(Triple(subject, IRI(VOCAB + name), Literal(str(value))))
+    return subject
+
+
+class TestBasicNormalization:
+    def test_base_tables_per_class(self):
+        db, mapping, report = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        assert set(report.base_tables) == {"disease", "gene"}
+
+    def test_row_counts(self):
+        db, __, report = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        assert report.row_counts["disease"] == 3
+        assert report.row_counts["gene"] == 4
+
+    def test_subject_becomes_integer_pk(self):
+        db, __, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        schema = db.table("gene").schema
+        assert schema.primary_key == ("id",)
+        assert schema.column("id").sql_type is SQLType.INTEGER
+
+    def test_pk_index_created(self):
+        db, __, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        assert db.has_index_on("gene", "id")
+
+    def test_functional_literal_becomes_column(self):
+        db, __, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        assert db.table("gene").schema.has_column("genesymbol")
+
+    def test_link_becomes_fk_column(self):
+        db, mapping, __ = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        schema = db.table("gene").schema
+        fk = schema.foreign_key_for("associateddisease")
+        assert fk is not None
+        assert fk.referenced_table == "disease"
+
+    def test_data_loaded_correctly(self):
+        db, __, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        rows = db.query(
+            "SELECT genesymbol FROM gene WHERE associateddisease = 1 ORDER BY genesymbol"
+        ).fetchall()
+        assert rows == [("BRCA1",), ("TP53",)]
+
+    def test_mapping_recorded(self):
+        __, mapping, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        gene = mapping.class_mapping(IRI("http://ex/vocab#Gene"))
+        assert gene.table == "gene"
+        assert gene.subject_template == "http://ex/diseasome/Gene/{}"
+
+
+class TestMultiValued:
+    def test_satellite_table_created(self):
+        graph = Graph()
+        add_entity(graph, "Drug", 1, name="aspirin", effect=["rash", "nausea"])
+        add_entity(graph, "Drug", 2, name="ibuprofen", effect=["pain"])
+        db, mapping, report = normalize_graph("sider", graph)
+        assert "drug_effect" in report.satellite_tables
+        assert report.row_counts["drug_effect"] == 3
+
+    def test_satellite_key_indexed(self):
+        graph = Graph()
+        add_entity(graph, "Drug", 1, effect=["a", "b"])
+        db, __, __r = normalize_graph("sider", graph)
+        assert db.has_index_on("drug_effect", "drug_id")
+
+    def test_satellite_rows_deduplicated_per_subject(self):
+        graph = Graph()
+        add_entity(graph, "Drug", 1, effect=["a", "b"])
+        add_entity(graph, "Drug", 2, effect=["a", "a"])  # graph dedups triples
+        db, __, report = normalize_graph("sider", graph)
+        assert report.row_counts["drug_effect"] == 3
+
+    def test_mapping_kind_multivalued(self):
+        graph = Graph()
+        add_entity(graph, "Drug", 1, effect=["a", "b"])
+        __, mapping, __r = normalize_graph("sider", graph)
+        drug = mapping.class_mapping(IRI(VOCAB + "Drug"))
+        predicate = drug.predicate_mapping(IRI(VOCAB + "effect"))
+        assert predicate.kind == "multivalued"
+        assert predicate.table == "drug_effect"
+
+
+class TestTypeInference:
+    def test_integer_column(self):
+        graph = Graph()
+        add_entity(graph, "Item", 1, degree=5)
+        add_entity(graph, "Item", 2, degree=7)
+        db, __, __r = normalize_graph("src", graph)
+        assert db.table("item").schema.column("degree").sql_type is SQLType.INTEGER
+
+    def test_mixed_numeric_becomes_real(self):
+        graph = Graph()
+        subject1 = IRI("http://ex/Item/1")
+        graph.add(Triple(subject1, RDF_TYPE, IRI(VOCAB + "Item")))
+        graph.add(Triple(subject1, IRI(VOCAB + "score"), Literal("1")))
+        subject2 = IRI("http://ex/Item/2")
+        graph.add(Triple(subject2, RDF_TYPE, IRI(VOCAB + "Item")))
+        graph.add(Triple(subject2, IRI(VOCAB + "score"), Literal("2.5")))
+        db, __, __r = normalize_graph("src", graph)
+        assert db.table("item").schema.column("score").sql_type is SQLType.REAL
+
+    def test_text_column(self):
+        graph = Graph()
+        add_entity(graph, "Item", 1, label="hello")
+        db, __, __r = normalize_graph("src", graph)
+        assert db.table("item").schema.column("label").sql_type is SQLType.TEXT
+
+    def test_string_keys_supported(self):
+        graph = Graph()
+        subject = IRI("http://ex/Item/abc")
+        graph.add(Triple(subject, RDF_TYPE, IRI(VOCAB + "Item")))
+        graph.add(Triple(subject, IRI(VOCAB + "label"), Literal("x")))
+        db, mapping, __ = normalize_graph("src", graph)
+        assert db.table("item").schema.column("id").sql_type is SQLType.TEXT
+        item = mapping.class_mapping(IRI(VOCAB + "Item"))
+        assert item.subject_key(subject) == "abc"
+
+
+class TestEdgeCases:
+    def test_untyped_graph_rejected(self):
+        graph = Graph()
+        graph.add(Triple(IRI("http://ex/x"), IRI(VOCAB + "p"), Literal("v")))
+        with pytest.raises(SchemaError):
+            normalize_graph("src", graph)
+
+    def test_links_to_external_iris_stored_as_text(self):
+        graph = Graph()
+        add_entity(graph, "Item", 1, sameAs=IRI("http://external/thing/9"))
+        db, mapping, __ = normalize_graph("src", graph)
+        item = mapping.class_mapping(IRI(VOCAB + "Item"))
+        predicate = item.predicate_mapping(IRI(VOCAB + "sameAs"))
+        assert predicate.object_template == "{}"
+        rows = db.query("SELECT sameas FROM item").fetchall()
+        assert rows == [("http://external/thing/9",)]
+
+    def test_missing_functional_value_is_null(self):
+        graph = Graph()
+        add_entity(graph, "Item", 1, label="x")
+        add_entity(graph, "Item", 2)
+        db, __, __r = normalize_graph("src", graph)
+        rows = dict(db.query("SELECT id, label FROM item").fetchall())
+        assert rows[2] is None
+
+    def test_statistics_analyzed_after_load(self):
+        db, __, __r = normalize_graph("tiny", make_tiny_graph(TINY_DISEASOME))
+        statistics = db.statistics("gene")
+        assert statistics.row_count == 4

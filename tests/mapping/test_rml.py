@@ -1,0 +1,156 @@
+"""Tests for the mapping model: templates, term/value conversion."""
+
+import pytest
+
+from repro.exceptions import TranslationError
+from repro.mapping import (
+    ClassMapping,
+    PredicateMapping,
+    SourceMapping,
+    extract_value,
+    render_iri,
+    sql_type_for_datatype,
+)
+from repro.rdf import IRI, Literal, XSD_DOUBLE, XSD_INTEGER, XSD_STRING
+from repro.relational import SQLType
+
+TEMPLATE = "http://ex/diseasome/Gene/{}"
+
+
+class TestTemplates:
+    def test_render(self):
+        assert render_iri(TEMPLATE, 7) == IRI("http://ex/diseasome/Gene/7")
+
+    def test_extract(self):
+        assert extract_value(TEMPLATE, IRI("http://ex/diseasome/Gene/7")) == "7"
+
+    def test_extract_mismatch_returns_none(self):
+        assert extract_value(TEMPLATE, IRI("http://other/Gene/7")) is None
+
+    def test_extract_with_suffix(self):
+        template = "http://ex/{}/info"
+        assert extract_value(template, IRI("http://ex/42/info")) == "42"
+        assert extract_value(template, IRI("http://ex/42/other")) is None
+
+    def test_template_without_placeholder_rejected(self):
+        with pytest.raises(TranslationError):
+            render_iri("http://ex/static", 1)
+        with pytest.raises(TranslationError):
+            extract_value("http://ex/static", IRI("http://ex/static"))
+
+    def test_roundtrip(self):
+        for key in (7, "abc", "x-y_z"):
+            iri = render_iri(TEMPLATE, key)
+            assert extract_value(TEMPLATE, iri) == str(key)
+
+
+class TestSQLTypeMapping:
+    def test_datatype_to_sql_type(self):
+        assert sql_type_for_datatype(XSD_INTEGER) is SQLType.INTEGER
+        assert sql_type_for_datatype(XSD_DOUBLE) is SQLType.REAL
+        assert sql_type_for_datatype(XSD_STRING) is SQLType.TEXT
+        assert sql_type_for_datatype("http://www.w3.org/2001/XMLSchema#boolean") is SQLType.BOOLEAN
+
+
+class TestPredicateMapping:
+    def column_mapping(self) -> PredicateMapping:
+        return PredicateMapping(
+            predicate=IRI("http://ex/v#symbol"),
+            kind="column",
+            column="symbol",
+            datatype=XSD_STRING,
+        )
+
+    def link_mapping(self) -> PredicateMapping:
+        return PredicateMapping(
+            predicate=IRI("http://ex/v#disease"),
+            kind="link",
+            column="disease_id",
+            object_template="http://ex/Disease/{}",
+            datatype=XSD_STRING,
+        )
+
+    def test_literal_term_roundtrip(self):
+        mapping = self.column_mapping()
+        assert mapping.value_for_term(Literal("BRCA1")) == "BRCA1"
+        assert mapping.term_for_value("BRCA1") == Literal("BRCA1")
+
+    def test_integer_literal(self):
+        mapping = PredicateMapping(
+            predicate=IRI("http://ex/v#degree"),
+            kind="column",
+            column="degree",
+            datatype=XSD_INTEGER,
+        )
+        assert mapping.value_for_term(Literal("5", XSD_INTEGER)) == 5
+        assert mapping.term_for_value(5) == Literal("5", XSD_INTEGER)
+
+    def test_link_term_roundtrip(self):
+        mapping = self.link_mapping()
+        assert mapping.value_for_term(IRI("http://ex/Disease/3")) == 3
+        assert mapping.term_for_value(3) == IRI("http://ex/Disease/3")
+
+    def test_link_rejects_literal(self):
+        with pytest.raises(TranslationError):
+            self.link_mapping().value_for_term(Literal("3"))
+
+    def test_link_rejects_foreign_iri(self):
+        with pytest.raises(TranslationError):
+            self.link_mapping().value_for_term(IRI("http://other/3"))
+
+    def test_column_rejects_iri(self):
+        with pytest.raises(TranslationError):
+            self.column_mapping().value_for_term(IRI("http://ex/x"))
+
+    def test_null_value_gives_no_term(self):
+        assert self.column_mapping().term_for_value(None) is None
+
+    def test_is_object_property(self):
+        assert self.link_mapping().is_object_property
+        assert not self.column_mapping().is_object_property
+
+
+class TestClassAndSourceMapping:
+    def make_class_mapping(self) -> ClassMapping:
+        return ClassMapping(
+            class_iri=IRI("http://ex/v#Gene"),
+            source_id="diseasome",
+            table="gene",
+            subject_column="id",
+            subject_template="http://ex/Gene/{}",
+            predicates={
+                IRI("http://ex/v#symbol"): PredicateMapping(
+                    predicate=IRI("http://ex/v#symbol"), kind="column", column="symbol"
+                )
+            },
+        )
+
+    def test_subject_roundtrip(self):
+        mapping = self.make_class_mapping()
+        assert mapping.subject_term(5) == IRI("http://ex/Gene/5")
+        assert mapping.subject_key(IRI("http://ex/Gene/5")) == 5
+
+    def test_subject_key_mismatch(self):
+        with pytest.raises(TranslationError):
+            self.make_class_mapping().subject_key(IRI("http://other/5"))
+
+    def test_predicate_lookup(self):
+        mapping = self.make_class_mapping()
+        assert mapping.has_predicate(IRI("http://ex/v#symbol"))
+        with pytest.raises(TranslationError):
+            mapping.predicate_mapping(IRI("http://ex/v#nope"))
+
+    def test_source_mapping_lookup(self):
+        source = SourceMapping(source_id="diseasome")
+        class_mapping = self.make_class_mapping()
+        source.add(class_mapping)
+        assert source.class_mapping(IRI("http://ex/v#Gene")) is class_mapping
+        with pytest.raises(TranslationError):
+            source.class_mapping(IRI("http://ex/v#Other"))
+
+    def test_classes_with_predicates(self):
+        source = SourceMapping(source_id="diseasome")
+        source.add(self.make_class_mapping())
+        matches = source.classes_with_predicates({IRI("http://ex/v#symbol")})
+        assert len(matches) == 1
+        assert source.classes_with_predicates({IRI("http://ex/v#nope")}) == []

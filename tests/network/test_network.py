@@ -1,0 +1,179 @@
+"""Tests for clocks, delay models, channels and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    Channel,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    FixedDelay,
+    GammaDelay,
+    NetworkSetting,
+    NoDelay,
+    RealClock,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_sleep_advances(self):
+        clock = VirtualClock()
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.sleep(3)
+        clock.reset()
+        assert clock.now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=10.0).now() == 10.0
+
+
+class TestRealClock:
+    def test_now_monotonic(self):
+        clock = RealClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_waits(self):
+        clock = RealClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.009
+
+    def test_zero_sleep_fast(self):
+        RealClock().sleep(0)
+
+
+class TestDelayModels:
+    def test_no_delay(self):
+        rng = np.random.default_rng(1)
+        model = NoDelay()
+        assert model.sample(rng) == 0.0
+        assert model.mean_latency == 0.0
+
+    def test_fixed_delay(self):
+        rng = np.random.default_rng(1)
+        model = FixedDelay(0.005)
+        assert model.sample(rng) == 0.005
+        assert model.mean_latency == 0.005
+
+    def test_gamma_mean_matches_theory(self):
+        rng = np.random.default_rng(7)
+        model = GammaDelay(alpha=3.0, beta_ms=1.5)
+        samples = [model.sample(rng) for __ in range(20000)]
+        assert np.mean(samples) == pytest.approx(0.0045, rel=0.05)
+        assert model.mean_latency == pytest.approx(0.0045)
+
+    def test_gamma_deterministic_with_seed(self):
+        model = GammaDelay(alpha=1.0, beta_ms=0.3)
+        a = [model.sample(np.random.default_rng(5)) for __ in range(3)]
+        b = [model.sample(np.random.default_rng(5)) for __ in range(3)]
+        assert a == b
+
+    def test_samples_positive(self):
+        rng = np.random.default_rng(3)
+        model = GammaDelay(alpha=3.0, beta_ms=1.0)
+        assert all(model.sample(rng) >= 0 for __ in range(100))
+
+
+class TestNetworkSettings:
+    def test_paper_settings(self):
+        settings = NetworkSetting.all_settings()
+        assert [setting.name for setting in settings] == [
+            "No Delay",
+            "Gamma 1",
+            "Gamma 2",
+            "Gamma 3",
+        ]
+        means = [setting.mean_latency for setting in settings]
+        assert means == pytest.approx([0.0, 0.0003, 0.003, 0.0045])
+
+    def test_slow_classification(self):
+        assert not NetworkSetting.no_delay().is_slow
+        assert not NetworkSetting.gamma1().is_slow
+        assert NetworkSetting.gamma2().is_slow
+        assert NetworkSetting.gamma3().is_slow
+
+    def test_by_name(self):
+        assert NetworkSetting.by_name("gamma2").name == "Gamma 2"
+        assert NetworkSetting.by_name("No Delay").name == "No Delay"
+        with pytest.raises(KeyError):
+            NetworkSetting.by_name("warp")
+
+    def test_custom_threshold(self):
+        setting = NetworkSetting("custom", GammaDelay(1, 0.3), slow_threshold=0.0001)
+        assert setting.is_slow
+
+
+class TestChannel:
+    def test_transfer_counts_and_charges(self):
+        clock = VirtualClock()
+        channel = Channel(clock, FixedDelay(0.001), CostModel(message_overhead=0.0005))
+        out = list(channel.transfer(range(10)))
+        assert out == list(range(10))
+        assert channel.stats.messages == 10
+        assert clock.now() == pytest.approx(0.015)
+        assert channel.stats.total_delay == pytest.approx(0.015)
+
+    def test_charge_message_without_payload(self):
+        clock = VirtualClock()
+        channel = Channel(clock, FixedDelay(0.002), CostModel(message_overhead=0.0))
+        channel.charge_message()
+        assert clock.now() == pytest.approx(0.002)
+        assert channel.stats.messages == 1
+
+    def test_streaming_is_lazy(self):
+        clock = VirtualClock()
+        channel = Channel(clock, FixedDelay(1.0), CostModel(message_overhead=0.0))
+        iterator = channel.transfer(range(3))
+        assert clock.now() == 0.0
+        next(iterator)
+        assert clock.now() == pytest.approx(1.0)
+
+
+class TestCostModel:
+    def test_price_rdb_operations(self):
+        model = CostModel()
+        counts = {"rows_scanned": 100, "string_filter_evals": 10, "rows_output": 5}
+        expected = (
+            100 * model.rdb_row_scan
+            + 10 * model.rdb_string_filter_eval
+            + 5 * model.rdb_output_row
+        )
+        assert model.price_rdb_operations(counts) == pytest.approx(expected)
+
+    def test_unknown_ops_free(self):
+        assert CostModel().price_rdb_operations({"mystery": 1000}) == 0.0
+
+    def test_with_overrides(self):
+        model = DEFAULT_COST_MODEL.with_overrides(rdb_row_scan=1.0)
+        assert model.rdb_row_scan == 1.0
+        assert model.rdb_index_probe == DEFAULT_COST_MODEL.rdb_index_probe
+
+    def test_string_filter_asymmetry_holds(self):
+        """The calibration the paper's Heuristic 2 builds on."""
+        model = DEFAULT_COST_MODEL
+        assert model.rdb_string_filter_eval > (
+            model.engine_filter_eval + model.message_overhead + model.rdb_output_row
+        )
+
+    def test_index_cheaper_than_scan_when_selective(self):
+        model = DEFAULT_COST_MODEL
+        rows = 10_000
+        matches = 100
+        scan_cost = rows * (model.rdb_row_scan + model.rdb_filter_eval)
+        index_cost = model.rdb_index_probe + matches * model.rdb_index_row_fetch
+        assert index_cost < scan_cost / 10

@@ -1,0 +1,110 @@
+"""Tests for RDF molecule template extraction and the molecule catalog."""
+
+from repro.rdf import (
+    Graph,
+    IRI,
+    Literal,
+    MoleculeCatalog,
+    RDF_TYPE,
+    Triple,
+    extract_molecule_templates,
+)
+
+GENE = IRI("http://ex/vocab#Gene")
+DISEASE = IRI("http://ex/vocab#Disease")
+SYMBOL = IRI("http://ex/vocab#symbol")
+ASSOC = IRI("http://ex/vocab#associatedWith")
+NAME = IRI("http://ex/vocab#name")
+
+
+def build_graph() -> Graph:
+    graph = Graph()
+    g1 = IRI("http://ex/g/1")
+    g2 = IRI("http://ex/g/2")
+    d1 = IRI("http://ex/d/1")
+    graph.add(Triple(g1, RDF_TYPE, GENE))
+    graph.add(Triple(g1, SYMBOL, Literal("BRCA1")))
+    graph.add(Triple(g1, ASSOC, d1))
+    graph.add(Triple(g2, RDF_TYPE, GENE))
+    graph.add(Triple(g2, SYMBOL, Literal("TP53")))
+    graph.add(Triple(d1, RDF_TYPE, DISEASE))
+    graph.add(Triple(d1, NAME, Literal("breast cancer")))
+    return graph
+
+
+class TestExtraction:
+    def test_one_molecule_per_class(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        classes = {molecule.class_iri for molecule in molecules}
+        assert classes == {GENE, DISEASE}
+
+    def test_predicates_collected(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        gene = next(m for m in molecules if m.class_iri == GENE)
+        assert gene.predicates == {RDF_TYPE, SYMBOL, ASSOC}
+
+    def test_cardinality_counts_instances(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        gene = next(m for m in molecules if m.class_iri == GENE)
+        disease = next(m for m in molecules if m.class_iri == DISEASE)
+        assert gene.cardinality == 2
+        assert disease.cardinality == 1
+
+    def test_links_point_at_target_class(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        gene = next(m for m in molecules if m.class_iri == GENE)
+        assert any(
+            link.predicate == ASSOC and link.target_class == DISEASE
+            for link in gene.links
+        )
+
+    def test_predicate_cardinality(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        gene = next(m for m in molecules if m.class_iri == GENE)
+        assert gene.predicate_cardinality[SYMBOL] == 2
+        assert gene.predicate_cardinality[ASSOC] == 1
+
+    def test_untyped_subjects_grouped_synthetically(self):
+        graph = Graph()
+        graph.add(Triple(IRI("http://ex/x"), NAME, Literal("anonymous")))
+        molecules = extract_molecule_templates(graph, "src")
+        assert len(molecules) == 1
+        assert "untyped" in molecules[0].class_iri.value
+
+    def test_source_id_recorded(self):
+        molecules = extract_molecule_templates(build_graph(), "mysource")
+        assert all(m.source_id == "mysource" for m in molecules)
+
+    def test_has_predicates(self):
+        molecules = extract_molecule_templates(build_graph(), "src")
+        gene = next(m for m in molecules if m.class_iri == GENE)
+        assert gene.has_predicates({SYMBOL})
+        assert not gene.has_predicates({NAME})
+
+
+class TestCatalog:
+    def build_catalog(self) -> MoleculeCatalog:
+        catalog = MoleculeCatalog()
+        catalog.add_all(extract_molecule_templates(build_graph(), "a"))
+        catalog.add_all(extract_molecule_templates(build_graph(), "b"))
+        return catalog
+
+    def test_by_class(self):
+        catalog = self.build_catalog()
+        assert {m.source_id for m in catalog.by_class(GENE)} == {"a", "b"}
+
+    def test_by_source(self):
+        catalog = self.build_catalog()
+        assert len(catalog.by_source("a")) == 2
+
+    def test_sources_with_predicates(self):
+        catalog = self.build_catalog()
+        matches = catalog.sources_with_predicates({SYMBOL, ASSOC})
+        assert set(matches) == {"a", "b"}
+
+    def test_sources_with_unknown_predicate(self):
+        catalog = self.build_catalog()
+        assert catalog.sources_with_predicates({IRI("http://ex/vocab#nope")}) == {}
+
+    def test_len(self):
+        assert len(self.build_catalog()) == 4

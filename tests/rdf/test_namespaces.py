@@ -1,0 +1,58 @@
+"""Tests for namespaces and prefix maps."""
+
+import pytest
+
+from repro.rdf import IRI, Namespace, PrefixMap, RDF, RDF_TYPE
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://ex/")
+        assert ns.drug == IRI("http://ex/drug")
+
+    def test_item_access_allows_slashes(self):
+        ns = Namespace("http://ex/")
+        assert ns["drug/1"] == IRI("http://ex/drug/1")
+
+    def test_term(self):
+        ns = Namespace("http://ex/")
+        assert ns.term("x") == IRI("http://ex/x")
+
+    def test_contains(self):
+        ns = Namespace("http://ex/")
+        assert IRI("http://ex/anything") in ns
+        assert IRI("http://other/") not in ns
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://ex/")
+        with pytest.raises(AttributeError):
+            ns._private  # noqa: B018
+
+    def test_rdf_type_constant(self):
+        assert RDF_TYPE == RDF.type
+        assert RDF_TYPE.value.endswith("#type")
+
+
+class TestPrefixMap:
+    def test_expand(self):
+        prefixes = PrefixMap({"ex": "http://ex/"})
+        assert prefixes.expand("ex:drug") == IRI("http://ex/drug")
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            PrefixMap().expand("nope:drug")
+
+    def test_shrink_picks_longest_match(self):
+        prefixes = PrefixMap({"ex": "http://ex/", "drug": "http://ex/drug/"})
+        assert prefixes.shrink(IRI("http://ex/drug/1")) == "drug:1"
+
+    def test_shrink_no_match(self):
+        prefixes = PrefixMap({"ex": "http://ex/"})
+        assert prefixes.shrink(IRI("http://other/x")) is None
+
+    def test_contains_and_copy(self):
+        prefixes = PrefixMap({"ex": "http://ex/"})
+        clone = prefixes.copy()
+        clone.bind("other", "http://other/")
+        assert "other" in clone
+        assert "other" not in prefixes

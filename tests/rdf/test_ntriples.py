@@ -1,0 +1,109 @@
+"""Tests for N-Triples parsing and serialization."""
+
+import pytest
+
+from repro.exceptions import NTriplesParseError
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    Triple,
+    XSD_INTEGER,
+    parse,
+    parse_into,
+    parse_line,
+    serialize,
+)
+
+
+class TestParseLine:
+    def test_iri_triple(self):
+        triple = parse_line("<http://ex/s> <http://ex/p> <http://ex/o> .")
+        assert triple == Triple(IRI("http://ex/s"), IRI("http://ex/p"), IRI("http://ex/o"))
+
+    def test_plain_literal(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "hello" .')
+        assert triple.object == Literal("hello")
+
+    def test_language_literal(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "hallo"@de .')
+        assert triple.object == Literal("hallo", language="de")
+
+    def test_typed_literal(self):
+        line = '<http://ex/s> <http://ex/p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        triple = parse_line(line)
+        assert triple.object == Literal("5", XSD_INTEGER)
+
+    def test_bnode_subject_and_object(self):
+        triple = parse_line("_:a <http://ex/p> _:b .")
+        assert triple.subject == BNode("a")
+        assert triple.object == BNode("b")
+
+    def test_escapes(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "a\\"b\\n\\t\\\\c" .')
+        assert triple.object.lexical == 'a"b\n\t\\c'
+
+    def test_unicode_escape(self):
+        triple = parse_line('<http://ex/s> <http://ex/p> "\\u00e9" .')
+        assert triple.object.lexical == "é"
+
+    def test_blank_line_is_none(self):
+        assert parse_line("   ") is None
+
+    def test_comment_line_is_none(self):
+        assert parse_line("# a comment") is None
+
+    def test_trailing_comment_allowed(self):
+        triple = parse_line("<http://ex/s> <http://ex/p> <http://ex/o> . # note")
+        assert triple is not None
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "<http://ex/s> <http://ex/p> <http://ex/o>",  # missing dot
+            '<http://ex/s> <http://ex/p> "unterminated .',
+            "<http://ex/s> <oops .",
+            '"literal" <http://ex/p> <http://ex/o> .',  # literal subject
+            "<http://ex/s> _:b <http://ex/o> .",  # bnode predicate
+            "<http://ex/s> <http://ex/p> <http://ex/o> . extra",
+            '<http://ex/s> <http://ex/p> "bad\\q" .',  # unknown escape
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(NTriplesParseError):
+            parse_line(line)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesParseError) as excinfo:
+            list(parse("<http://ex/s> <http://ex/p> <http://ex/o> .\n<bad"))
+        assert excinfo.value.line == 2
+
+
+class TestDocuments:
+    def test_parse_document(self):
+        text = (
+            "# comment\n"
+            "<http://ex/s> <http://ex/p> <http://ex/o> .\n"
+            "\n"
+            '<http://ex/s> <http://ex/p> "x" .\n'
+        )
+        assert len(list(parse(text))) == 2
+
+    def test_parse_into_graph(self):
+        graph = Graph()
+        added = parse_into(graph, '<http://ex/s> <http://ex/p> "x" .\n')
+        assert added == 1
+        assert len(graph) == 1
+
+    def test_roundtrip(self):
+        triples = [
+            Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal('with "quote"\n')),
+            Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("5", XSD_INTEGER)),
+            Triple(BNode("x"), IRI("http://ex/p"), IRI("http://ex/o")),
+            Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("bonjour", language="fr")),
+        ]
+        text = serialize(triples)
+        assert list(parse(text)) == triples

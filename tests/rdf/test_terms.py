@@ -1,0 +1,133 @@
+"""Tests for RDF terms."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    Triple,
+    Variable,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_ground,
+    typed_literal,
+)
+
+
+class TestIRI:
+    def test_n3(self):
+        assert IRI("http://ex/a").n3() == "<http://ex/a>"
+
+    def test_str(self):
+        assert str(IRI("http://ex/a")) == "http://ex/a"
+
+    def test_equality_and_hash(self):
+        assert IRI("http://ex/a") == IRI("http://ex/a")
+        assert hash(IRI("http://ex/a")) == hash(IRI("http://ex/a"))
+        assert IRI("http://ex/a") != IRI("http://ex/b")
+
+    def test_local_name_hash_fragment(self):
+        assert IRI("http://ex/vocab#geneSymbol").local_name() == "geneSymbol"
+
+    def test_local_name_path(self):
+        assert IRI("http://ex/resource/Gene/12").local_name() == "12"
+
+    def test_local_name_no_separator(self):
+        assert IRI("urn-like").local_name() == "urn-like"
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            IRI("http://ex/a").value = "other"
+
+
+class TestBNode:
+    def test_n3(self):
+        assert BNode("b0").n3() == "_:b0"
+
+    def test_distinct_labels_differ(self):
+        assert BNode("a") != BNode("b")
+
+
+class TestLiteral:
+    def test_plain_string_n3(self):
+        assert Literal("hi").n3() == '"hi"'
+
+    def test_language_tag_n3(self):
+        assert Literal("hallo", language="de").n3() == '"hallo"@de'
+
+    def test_typed_n3(self):
+        rendered = Literal("5", XSD_INTEGER).n3()
+        assert rendered == '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_escaping(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+    def test_backslash_escaped_first(self):
+        assert Literal("a\\b").n3() == '"a\\\\b"'
+
+    def test_to_python_integer(self):
+        assert Literal("42", XSD_INTEGER).to_python() == 42
+
+    def test_to_python_double(self):
+        assert Literal("2.5", XSD_DOUBLE).to_python() == 2.5
+
+    def test_to_python_boolean(self):
+        assert Literal("true", XSD_BOOLEAN).to_python() is True
+        assert Literal("false", XSD_BOOLEAN).to_python() is False
+
+    def test_to_python_string(self):
+        assert Literal("plain").to_python() == "plain"
+
+    def test_to_python_bad_integer_falls_back(self):
+        assert Literal("not-a-number", XSD_INTEGER).to_python() == "not-a-number"
+
+    def test_is_numeric(self):
+        assert Literal("1", XSD_INTEGER).is_numeric
+        assert not Literal("1", XSD_STRING).is_numeric
+
+
+class TestTypedLiteral:
+    def test_int(self):
+        assert typed_literal(7) == Literal("7", XSD_INTEGER)
+
+    def test_bool_is_not_int(self):
+        assert typed_literal(True) == Literal("true", XSD_BOOLEAN)
+
+    def test_float(self):
+        literal = typed_literal(1.5)
+        assert literal.datatype == XSD_DOUBLE
+        assert literal.to_python() == 1.5
+
+    def test_str(self):
+        assert typed_literal("x").datatype == XSD_STRING
+
+
+class TestVariable:
+    def test_n3(self):
+        assert Variable("gene").n3() == "?gene"
+
+    def test_is_not_ground(self):
+        assert not is_ground(Variable("x"))
+        assert is_ground(IRI("http://ex/a"))
+        assert is_ground(Literal("x"))
+
+
+class TestTriple:
+    def test_n3(self):
+        triple = Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))
+        assert triple.n3() == '<http://ex/s> <http://ex/p> "o" .'
+
+    def test_unpacking(self):
+        triple = Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))
+        s, p, o = triple
+        assert s == IRI("http://ex/s")
+        assert p == IRI("http://ex/p")
+        assert o == Literal("o")
+
+    def test_hashable(self):
+        a = Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))
+        b = Triple(IRI("http://ex/s"), IRI("http://ex/p"), Literal("o"))
+        assert {a} == {b}

@@ -1,0 +1,180 @@
+"""Tests for aggregates and GROUP BY in the relational engine."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.relational import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("sales")
+    database.execute(
+        "CREATE TABLE sale (id INTEGER PRIMARY KEY, region TEXT, amount REAL, qty INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO sale VALUES "
+        "(1, 'north', 10.0, 1), (2, 'north', 20.0, 2), (3, 'south', 5.0, NULL), "
+        "(4, 'south', 15.0, 3), (5, 'west', 7.5, 1)"
+    )
+    return database
+
+
+class TestPlainAggregates:
+    def test_count_star(self, db):
+        assert db.query("SELECT COUNT(*) FROM sale").fetchall() == [(5,)]
+
+    def test_count_column_ignores_nulls(self, db):
+        assert db.query("SELECT COUNT(qty) FROM sale").fetchall() == [(4,)]
+
+    def test_sum(self, db):
+        assert db.query("SELECT SUM(amount) FROM sale").fetchall() == [(57.5,)]
+
+    def test_avg(self, db):
+        assert db.query("SELECT AVG(amount) FROM sale").fetchall() == [(11.5,)]
+
+    def test_min_max(self, db):
+        assert db.query("SELECT MIN(amount), MAX(amount) FROM sale").fetchall() == [
+            (5.0, 20.0)
+        ]
+
+    def test_aggregates_over_empty_input(self, db):
+        rows = db.query(
+            "SELECT COUNT(*), SUM(amount), MIN(amount) FROM sale WHERE region = 'nope'"
+        ).fetchall()
+        assert rows == [(0, None, None)]
+
+    def test_alias(self, db):
+        result = db.query("SELECT SUM(amount) AS total FROM sale")
+        assert result.header == ("total",)
+
+    def test_count_star_with_where(self, db):
+        rows = db.query("SELECT COUNT(*) FROM sale WHERE region = 'north'").fetchall()
+        assert rows == [(2,)]
+
+
+class TestGroupBy:
+    def test_group_count(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n FROM sale GROUP BY region ORDER BY region"
+        ).fetchall()
+        assert rows == [("north", 2), ("south", 2), ("west", 1)]
+
+    def test_group_sum_avg(self, db):
+        rows = db.query(
+            "SELECT region, SUM(amount) AS total, AVG(amount) AS mean "
+            "FROM sale GROUP BY region ORDER BY region"
+        ).fetchall()
+        assert rows == [("north", 30.0, 15.0), ("south", 20.0, 10.0), ("west", 7.5, 7.5)]
+
+    def test_group_min_max(self, db):
+        rows = db.query(
+            "SELECT region, MIN(amount), MAX(amount) FROM sale GROUP BY region "
+            "ORDER BY region"
+        ).fetchall()
+        assert rows[0] == ("north", 10.0, 20.0)
+
+    def test_order_by_aggregate_output(self, db):
+        rows = db.query(
+            "SELECT region, SUM(amount) AS total FROM sale GROUP BY region "
+            "ORDER BY total DESC"
+        ).fetchall()
+        totals = [row[1] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_group_with_where(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sale WHERE amount > 7 GROUP BY region "
+            "ORDER BY region"
+        ).fetchall()
+        assert rows == [("north", 2), ("south", 1), ("west", 1)]
+
+    def test_group_with_join(self, db):
+        db.execute("CREATE TABLE region (name TEXT PRIMARY KEY, country TEXT)")
+        db.execute(
+            "INSERT INTO region VALUES ('north', 'DE'), ('south', 'DE'), ('west', 'FR')"
+        )
+        rows = db.query(
+            "SELECT r.country, SUM(s.amount) AS total FROM sale s "
+            "JOIN region r ON s.region = r.name GROUP BY r.country ORDER BY r.country"
+        ).fetchall()
+        assert rows == [("DE", 50.0), ("FR", 7.5)]
+
+    def test_limit_on_groups(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sale GROUP BY region ORDER BY region LIMIT 2"
+        ).fetchall()
+        assert len(rows) == 2
+
+    def test_group_key_with_null(self, db):
+        db.execute("INSERT INTO sale VALUES (6, NULL, 1.0, 1)")
+        rows = db.query(
+            "SELECT region, COUNT(*) FROM sale GROUP BY region"
+        ).fetchall()
+        assert (None, 1) in rows
+
+
+class TestHaving:
+    def test_having_on_count_alias(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n FROM sale GROUP BY region "
+            "HAVING n > 1 ORDER BY region"
+        ).fetchall()
+        assert rows == [("north", 2), ("south", 2)]
+
+    def test_having_on_sum_alias(self, db):
+        rows = db.query(
+            "SELECT region, SUM(amount) AS total FROM sale GROUP BY region "
+            "HAVING total >= 20 ORDER BY region"
+        ).fetchall()
+        assert rows == [("north", 30.0), ("south", 20.0)]
+
+    def test_having_on_group_column(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n FROM sale GROUP BY region "
+            "HAVING region LIKE '%th'"
+        ).fetchall()
+        assert len(rows) == 2
+
+    def test_having_combined(self, db):
+        rows = db.query(
+            "SELECT region, COUNT(*) AS n, SUM(amount) AS total FROM sale "
+            "GROUP BY region HAVING n > 1 AND total > 25"
+        ).fetchall()
+        assert rows == [("north", 2, 30.0)]
+
+    def test_having_roundtrip(self, db):
+        from repro.relational import parse_select
+
+        text = (
+            "SELECT region, COUNT(*) AS n FROM sale GROUP BY region HAVING n > 1"
+        )
+        statement = parse_select(text)
+        assert "HAVING n > 1" in statement.sql()
+        assert parse_select(statement.sql()).sql() == statement.sql()
+
+
+class TestValidation:
+    def test_bare_column_must_be_grouped(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT region, amount, COUNT(*) FROM sale GROUP BY region")
+
+    def test_group_by_requires_select_list(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT * FROM sale GROUP BY region")
+
+    def test_sum_star_rejected(self, db):
+        from repro.exceptions import SQLParseError
+
+        with pytest.raises(SQLParseError):
+            db.query("SELECT SUM(*) FROM sale")
+
+
+class TestRendering:
+    def test_group_by_roundtrip(self, db):
+        from repro.relational import parse_select
+
+        text = "SELECT region, SUM(amount) AS total FROM sale GROUP BY region ORDER BY total"
+        statement = parse_select(text)
+        assert parse_select(statement.sql()).sql() == statement.sql()
+        assert "GROUP BY region" in statement.sql()

@@ -1,0 +1,175 @@
+"""Tests for the Database facade: DDL, DML, querying, EXPLAIN."""
+
+import pytest
+
+from repro.exceptions import CatalogError, IntegrityError, SchemaError
+from repro.relational import Database, OperationMeter
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("diseasome")
+    database.execute(
+        "CREATE TABLE disease (id INTEGER PRIMARY KEY, name TEXT NOT NULL, class TEXT)"
+    )
+    database.execute(
+        "CREATE TABLE gene (id INTEGER PRIMARY KEY, symbol TEXT, disease_id INTEGER, "
+        "FOREIGN KEY (disease_id) REFERENCES disease (id))"
+    )
+    database.execute(
+        "INSERT INTO disease VALUES (1, 'breast cancer', 'cancer'), "
+        "(2, 'diabetes', 'metabolic'), (3, 'lung cancer', 'cancer')"
+    )
+    database.execute(
+        "INSERT INTO gene VALUES (10, 'BRCA1', 1), (11, 'TP53', 1), "
+        "(12, 'KRAS', 3), (13, 'INS', 2)"
+    )
+    return database
+
+
+class TestDDL:
+    def test_tables_registered(self, db):
+        assert db.table_names == ["disease", "gene"]
+        assert db.has_table("gene")
+        assert not db.has_table("nope")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.table("nope")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("CREATE TABLE gene (id INTEGER PRIMARY KEY)")
+
+    def test_drop_table(self, db):
+        db.drop_table("gene")
+        assert not db.has_table("gene")
+        with pytest.raises(SchemaError):
+            db.drop_table("gene")
+
+    def test_create_index_via_sql(self, db):
+        db.execute("CREATE INDEX ix_sym ON gene (symbol)")
+        assert db.has_index_on("gene", "symbol")
+
+    def test_pk_is_indexed(self, db):
+        assert db.has_index_on("gene", "id")
+        assert not db.has_index_on("gene", "disease_id")
+
+
+class TestDML:
+    def test_insert_api(self, db):
+        db.insert("disease", {"id": 4, "name": "asthma", "class": "respiratory"})
+        assert db.query("SELECT COUNT(*) FROM disease").fetchall() == [(4,)]
+
+    def test_insert_many(self, db):
+        count = db.insert_many(
+            "disease",
+            [{"id": 4, "name": "a"}, {"id": 5, "name": "b"}],
+        )
+        assert count == 2
+
+    def test_constraint_violation_propagates(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO disease VALUES (1, 'dup', 'x')")
+
+    def test_insert_invalidates_statistics(self, db):
+        before = db.statistics("disease").row_count
+        db.insert("disease", {"id": 9, "name": "new"})
+        assert db.statistics("disease").row_count == before + 1
+
+
+class TestQueries:
+    def test_simple_select(self, db):
+        rows = db.query("SELECT name FROM disease WHERE id = 2").fetchall()
+        assert rows == [("diabetes",)]
+
+    def test_join(self, db):
+        rows = db.query(
+            "SELECT g.symbol, d.name FROM gene g JOIN disease d ON g.disease_id = d.id "
+            "WHERE d.class = 'cancer' ORDER BY g.symbol"
+        ).fetchall()
+        assert rows == [("BRCA1", "breast cancer"), ("KRAS", "lung cancer"), ("TP53", "breast cancer")]
+
+    def test_join_with_selection_on_inner(self, db):
+        rows = db.query(
+            "SELECT g.symbol FROM gene g JOIN disease d ON g.disease_id = d.id "
+            "WHERE d.name = 'diabetes'"
+        ).fetchall()
+        assert rows == [("INS",)]
+
+    def test_like(self, db):
+        rows = db.query("SELECT name FROM disease WHERE name LIKE '%cancer'").fetchall()
+        assert len(rows) == 2
+
+    def test_in(self, db):
+        rows = db.query("SELECT symbol FROM gene WHERE id IN (10, 12)").fetchall()
+        assert {row[0] for row in rows} == {"BRCA1", "KRAS"}
+
+    def test_count(self, db):
+        assert db.query("SELECT COUNT(*) FROM gene").fetchall() == [(4,)]
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT class FROM disease").fetchall()
+        assert len(rows) == 2
+
+    def test_order_desc_limit(self, db):
+        rows = db.query("SELECT symbol FROM gene ORDER BY symbol DESC LIMIT 2").fetchall()
+        assert rows == [("TP53",), ("KRAS",)]
+
+    def test_as_dicts(self, db):
+        dicts = list(db.query("SELECT id, name FROM disease WHERE id = 1").as_dicts())
+        assert dicts == [{"id": 1, "name": "breast cancer"}]
+
+    def test_streaming(self, db):
+        result = db.query("SELECT * FROM gene")
+        first = next(iter(result))
+        assert len(first) == 3
+
+    def test_meter_collects_counts(self, db):
+        meter = OperationMeter()
+        db.query("SELECT * FROM disease WHERE class = 'cancer'", meter).fetchall()
+        assert meter.get("rows_scanned") == 3
+        assert meter.get("filter_evals") == 3  # equality is cheap-path
+
+    def test_meter_counts_like_as_string_work(self, db):
+        meter = OperationMeter()
+        db.query("SELECT * FROM disease WHERE name LIKE '%cancer%'", meter).fetchall()
+        assert meter.get("string_filter_evals") == 3
+
+
+class TestExplain:
+    def test_seq_scan_without_index(self, db):
+        plan = db.explain("SELECT * FROM disease WHERE class = 'cancer'")
+        assert "SeqScan" in plan
+
+    def test_index_scan_with_index(self, db):
+        db.create_index("disease", ["class"])
+        plan = db.explain("SELECT * FROM disease WHERE class = 'cancer'")
+        assert "IndexScan" in plan
+
+    def test_index_join_when_inner_indexed(self, db):
+        db.create_index("gene", ["disease_id"])
+        plan = db.explain(
+            "SELECT * FROM disease d JOIN gene g ON d.id = g.disease_id "
+            "WHERE d.class = 'cancer'"
+        )
+        assert "IndexNestedLoopJoin" in plan
+
+    def test_hash_join_without_index(self, db):
+        plan = db.explain(
+            "SELECT * FROM disease d JOIN gene g ON d.id = g.disease_id"
+        )
+        # joining towards gene.disease_id (no index): hash join somewhere
+        assert "HashJoin" in plan or "IndexNestedLoopJoin" in plan
+
+
+class TestAdvisor:
+    def test_advise_and_create(self, db):
+        advices = db.create_advised_indexes("gene", ["symbol"])
+        assert advices[0].create is True
+        assert db.has_index_on("gene", "symbol")
+
+    def test_skewed_not_created(self, db):
+        advice = db.advise_index("disease", "class")
+        assert advice.create is False
+        assert not db.has_index_on("disease", "class")

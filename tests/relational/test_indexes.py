@@ -1,0 +1,106 @@
+"""Tests for hash and B-tree indexes."""
+
+import pytest
+
+from repro.relational.indexes import BTreeIndex, HashIndex, key_of, make_index
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        index = HashIndex("ix", ("a",))
+        index.insert(("x",), 0)
+        index.insert(("x",), 1)
+        index.insert(("y",), 2)
+        assert sorted(index.lookup(("x",))) == [0, 1]
+        assert index.lookup(("z",)) == []
+
+    def test_remove(self):
+        index = HashIndex("ix", ("a",))
+        index.insert(("x",), 0)
+        index.remove(("x",), 0)
+        assert index.lookup(("x",)) == []
+        assert not index.contains_key(("x",))
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex("ix", ("a",))
+        index.remove(("x",), 0)
+
+    def test_len_and_distinct(self):
+        index = HashIndex("ix", ("a",))
+        index.insert(("x",), 0)
+        index.insert(("x",), 1)
+        index.insert(("y",), 2)
+        assert len(index) == 3
+        assert index.distinct_keys() == 2
+
+    def test_range_scan_unsupported(self):
+        index = HashIndex("ix", ("a",))
+        with pytest.raises(NotImplementedError):
+            list(index.scan_range(("a",), ("b",)))
+
+
+class TestBTreeIndex:
+    def build(self) -> BTreeIndex:
+        index = BTreeIndex("ix", ("n",))
+        for row_id, value in enumerate([5, 3, 9, 3, 7, 1]):
+            index.insert((value,), row_id)
+        return index
+
+    def test_lookup(self):
+        index = self.build()
+        assert sorted(index.lookup((3,))) == [1, 3]
+        assert index.lookup((4,)) == []
+
+    def test_scan_all_in_key_order(self):
+        index = self.build()
+        ordered = [row_id for row_id in index.scan_all()]
+        assert ordered == [5, 1, 3, 0, 4, 2]
+
+    def test_range_inclusive(self):
+        index = self.build()
+        assert sorted(index.scan_range((3,), (7,))) == [0, 1, 3, 4]
+
+    def test_range_exclusive_bounds(self):
+        index = self.build()
+        assert sorted(index.scan_range((3,), (7,), include_low=False, include_high=False)) == [0]
+
+    def test_open_ranges(self):
+        index = self.build()
+        assert sorted(index.scan_range(None, (3,))) == [1, 3, 5]
+        assert sorted(index.scan_range((7,), None)) == [2, 4]
+        assert len(list(index.scan_range(None, None))) == 6
+
+    def test_remove(self):
+        index = self.build()
+        index.remove((3,), 1)
+        assert index.lookup((3,)) == [3]
+        index.remove((3,), 3)
+        assert not index.contains_key((3,))
+
+    def test_mixed_types_do_not_crash(self):
+        index = BTreeIndex("ix", ("v",))
+        index.insert((1,), 0)
+        index.insert(("a",), 1)
+        index.insert((None,), 2)
+        index.insert((2.5,), 3)
+        # None < numbers < strings
+        assert list(index.scan_all()) == [2, 0, 3, 1]
+
+    def test_strings_ordered(self):
+        index = BTreeIndex("ix", ("v",))
+        for row_id, value in enumerate(["pear", "apple", "fig"]):
+            index.insert((value,), row_id)
+        assert list(index.scan_all()) == [1, 2, 0]
+
+
+class TestFactory:
+    def test_make_index(self):
+        assert isinstance(make_index("hash", "ix", ("a",)), HashIndex)
+        assert isinstance(make_index("btree", "ix", ("a",)), BTreeIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_index("trie", "ix", ("a",))
+
+    def test_key_of(self):
+        assert key_of(("a", "b", "c"), (2, 0)) == ("c", "a")

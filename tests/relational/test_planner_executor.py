@@ -1,0 +1,186 @@
+"""Tests for the relational planner and executor: correctness + access paths."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.relational import Database, OperationMeter, PlannerOptions
+from repro.relational.executor import like_to_regex
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("bench")
+    database.execute(
+        "CREATE TABLE item (id INTEGER PRIMARY KEY, grp INTEGER, name TEXT, score REAL)"
+    )
+    rows = []
+    for index in range(200):
+        rows.append(
+            f"({index}, {index % 10}, 'item {index}', {index / 2})"
+        )
+    database.execute("INSERT INTO item VALUES " + ", ".join(rows))
+    database.execute(
+        "CREATE TABLE grp (id INTEGER PRIMARY KEY, label TEXT)"
+    )
+    database.execute(
+        "INSERT INTO grp VALUES "
+        + ", ".join(f"({index}, 'group {index}')" for index in range(10))
+    )
+    return database
+
+
+class TestAccessPaths:
+    def test_pk_equality_uses_index(self, db):
+        meter = OperationMeter()
+        rows = db.query("SELECT name FROM item WHERE id = 17", meter).fetchall()
+        assert rows == [("item 17",)]
+        assert meter.get("rows_scanned") == 0
+        assert meter.get("index_probes") == 1
+
+    def test_secondary_index_equality(self, db):
+        db.create_index("item", ["grp"])
+        meter = OperationMeter()
+        rows = db.query("SELECT COUNT(*) FROM item WHERE grp = 3", meter).fetchall()
+        assert rows == [(20,)]
+        assert meter.get("rows_scanned") == 0
+
+    def test_range_scan_on_btree(self, db):
+        meter = OperationMeter()
+        rows = db.query("SELECT COUNT(*) FROM item WHERE id < 50", meter).fetchall()
+        assert rows == [(50,)]
+        assert meter.get("rows_scanned") == 0
+        assert meter.get("index_row_fetches") == 50
+
+    def test_range_scan_results_match_seq_scan(self, db):
+        indexed = db.query("SELECT id FROM item WHERE id >= 150").fetchall()
+        database_noindex = Database("noix", PlannerOptions(allow_index_scans=False))
+        # same data, no index access allowed
+        database_noindex._tables = db._tables  # share storage for the check
+        scanned = database_noindex.query("SELECT id FROM item WHERE id >= 150").fetchall()
+        assert sorted(indexed) == sorted(scanned)
+
+    def test_no_index_means_scan(self, db):
+        meter = OperationMeter()
+        db.query("SELECT COUNT(*) FROM item WHERE grp = 3", meter).fetchall()
+        assert meter.get("rows_scanned") == 200
+
+    def test_residual_predicates_applied_after_index(self, db):
+        rows = db.query(
+            "SELECT name FROM item WHERE id = 17 AND name LIKE 'item 1%'"
+        ).fetchall()
+        assert rows == [("item 17",)]
+        rows = db.query(
+            "SELECT name FROM item WHERE id = 17 AND name LIKE 'zzz%'"
+        ).fetchall()
+        assert rows == []
+
+    def test_planner_options_disable_index(self, db):
+        database = Database("opts", PlannerOptions(allow_index_scans=False))
+        database._tables = db._tables
+        meter = OperationMeter()
+        database.query("SELECT * FROM item WHERE id = 3", meter).fetchall()
+        assert meter.get("rows_scanned") == 200
+
+
+class TestJoins:
+    def test_index_nested_loop_join(self, db):
+        meter = OperationMeter()
+        rows = db.query(
+            "SELECT i.name, g.label FROM grp g JOIN item i ON g.id = i.grp "
+            "WHERE g.label = 'group 3'",
+            meter,
+        ).fetchall()
+        assert len(rows) == 0 or len(rows) == 20  # resolved below
+        # grp has no index on item.grp, so this may hash join; force index:
+        db.create_index("item", ["grp"])
+        rows = db.query(
+            "SELECT i.name, g.label FROM grp g JOIN item i ON g.id = i.grp "
+            "WHERE g.label = 'group 3'"
+        ).fetchall()
+        assert len(rows) == 20
+
+    def test_join_correctness_hash_vs_index(self, db):
+        query = (
+            "SELECT i.id, g.label FROM grp g JOIN item i ON g.id = i.grp"
+        )
+        hash_rows = sorted(db.query(query).fetchall())
+        db.create_index("item", ["grp"])
+        index_rows = sorted(db.query(query).fetchall())
+        assert hash_rows == index_rows
+        assert len(hash_rows) == 200
+
+    def test_three_way_join(self, db):
+        db.execute("CREATE TABLE extra (id INTEGER PRIMARY KEY, item_id INTEGER)")
+        db.execute(
+            "INSERT INTO extra VALUES " + ", ".join(f"({i}, {i * 2})" for i in range(50))
+        )
+        rows = db.query(
+            "SELECT e.id, g.label FROM extra e "
+            "JOIN item i ON e.item_id = i.id "
+            "JOIN grp g ON i.grp = g.id"
+        ).fetchall()
+        assert len(rows) == 50
+
+    def test_join_condition_in_where(self, db):
+        explicit = db.query(
+            "SELECT i.id FROM grp g JOIN item i ON g.id = i.grp WHERE g.id = 1"
+        ).fetchall()
+        # no JOIN ... ON syntax: equality in WHERE is recognized as join edge
+        # (FROM only supports one table in the subset, so use joins + WHERE)
+        assert len(explicit) == 20
+
+    def test_cartesian_product_rejected(self, db):
+        db.execute("CREATE TABLE lonely (id INTEGER PRIMARY KEY)")
+        with pytest.raises(PlanningError):
+            db.query(
+                "SELECT * FROM grp g JOIN item i ON g.id = i.grp "
+                "JOIN lonely l ON g.id = i.grp"
+            )
+
+    def test_ambiguous_column_rejected(self, db):
+        db.execute("CREATE TABLE other (id INTEGER PRIMARY KEY, grp INTEGER)")
+        with pytest.raises(PlanningError):
+            db.query("SELECT grp FROM item i JOIN other o ON i.id = o.id").fetchall()
+
+
+class TestModifiers:
+    def test_order_by_nulls_first(self, db):
+        db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("INSERT INTO n VALUES (1, 5), (2, NULL), (3, 1)")
+        rows = db.query("SELECT v FROM n ORDER BY v").fetchall()
+        assert rows == [(None,), (1,), (5,)]
+
+    def test_limit_stops_early(self, db):
+        meter = OperationMeter()
+        rows = db.query("SELECT id FROM item LIMIT 5", meter).fetchall()
+        assert len(rows) == 5
+        # streaming limit: should not scan all 200 rows
+        assert meter.get("rows_scanned") <= 10
+
+    def test_projection_renames(self, db):
+        result = db.query("SELECT name AS n FROM item WHERE id = 1")
+        assert result.header == ("n",)
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT grp FROM item").fetchall()
+        assert len(rows) == 10
+
+
+class TestLikeRegex:
+    @pytest.mark.parametrize(
+        "pattern,value,matches",
+        [
+            ("%cancer%", "breast cancer x", True),
+            ("cancer%", "cancer of y", True),
+            ("cancer%", "breast cancer", False),
+            ("%cancer", "breast cancer", True),
+            ("c_ncer", "cancer", True),
+            ("c_ncer", "ccancer", False),
+            ("100%", "100 percent", True),
+            ("100%", "x100", False),
+            ("a.b", "a.b", True),
+            ("a.b", "axb", False),
+        ],
+    )
+    def test_patterns(self, pattern, value, matches):
+        assert bool(like_to_regex(pattern).match(value)) is matches

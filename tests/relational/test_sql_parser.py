@@ -1,0 +1,238 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.exceptions import SQLParseError
+from repro.relational import SQLType, parse_select, parse_statement
+from repro.relational.sql.ast import (
+    AndExpr,
+    ColumnRef,
+    Comparison,
+    Constant,
+    CreateIndexStatement,
+    CreateTableStatement,
+    InPredicate,
+    InsertStatement,
+    IsNullPredicate,
+    LikePredicate,
+    NotExpr,
+    OrExpr,
+    SelectStatement,
+    conjunction,
+    conjuncts,
+)
+
+
+class TestSelect:
+    def test_star(self):
+        statement = parse_select("SELECT * FROM gene")
+        assert statement.items is None
+        assert statement.table.name == "gene"
+
+    def test_columns_and_aliases(self):
+        statement = parse_select("SELECT g.symbol AS s, name FROM gene g")
+        assert statement.items[0].expr == ColumnRef("g", "symbol")
+        assert statement.items[0].alias == "s"
+        assert statement.items[1].expr == ColumnRef(None, "name")
+        assert statement.table.alias == "g"
+
+    def test_implicit_alias(self):
+        statement = parse_select("SELECT symbol s FROM gene")
+        assert statement.items[0].alias == "s"
+
+    def test_count_star(self):
+        statement = parse_select("SELECT COUNT(*) FROM gene")
+        assert statement.count_star
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT symbol FROM gene").distinct
+
+    def test_join(self):
+        statement = parse_select(
+            "SELECT * FROM gene g JOIN disease d ON g.disease_id = d.id"
+        )
+        assert len(statement.joins) == 1
+        join = statement.joins[0]
+        assert join.table.binding == "d"
+        assert join.left == ColumnRef("g", "disease_id")
+        assert join.right == ColumnRef("d", "id")
+
+    def test_inner_join_keyword(self):
+        statement = parse_select(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.y"
+        )
+        assert len(statement.joins) == 1
+
+    def test_multiple_joins(self):
+        statement = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        )
+        assert len(statement.joins) == 2
+
+    def test_order_limit_offset(self):
+        statement = parse_select(
+            "SELECT * FROM gene ORDER BY symbol DESC, id LIMIT 10 OFFSET 5"
+        )
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_semicolon_tolerated(self):
+        parse_select("SELECT * FROM gene;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse_select("SELECT * FROM gene nonsense extra")
+
+
+class TestWhere:
+    def where(self, clause: str):
+        return parse_select(f"SELECT * FROM t WHERE {clause}").where
+
+    def test_comparison(self):
+        predicate = self.where("a = 5")
+        assert predicate == Comparison("=", ColumnRef(None, "a"), Constant(5))
+
+    def test_not_equal_variants(self):
+        assert self.where("a <> 5").operator == "<>"
+        assert self.where("a != 5").operator == "<>"
+
+    def test_string_literal_with_quote(self):
+        predicate = self.where("name = 'O''Brien'")
+        assert predicate.right == Constant("O'Brien")
+
+    def test_like(self):
+        predicate = self.where("name LIKE '%cancer%'")
+        assert isinstance(predicate, LikePredicate)
+        assert predicate.pattern == "%cancer%"
+
+    def test_not_like(self):
+        predicate = self.where("name NOT LIKE 'x%'")
+        assert predicate.negated
+
+    def test_in(self):
+        predicate = self.where("a IN (1, 2, 3)")
+        assert isinstance(predicate, InPredicate)
+        assert predicate.values == (1, 2, 3)
+
+    def test_not_in(self):
+        assert self.where("a NOT IN ('x')").negated
+
+    def test_is_null(self):
+        predicate = self.where("a IS NULL")
+        assert isinstance(predicate, IsNullPredicate) and not predicate.negated
+
+    def test_is_not_null(self):
+        assert self.where("a IS NOT NULL").negated
+
+    def test_and_or_precedence(self):
+        predicate = self.where("a = 1 AND b = 2 OR c = 3")
+        assert isinstance(predicate, OrExpr)
+        assert isinstance(predicate.operands[0], AndExpr)
+
+    def test_parentheses(self):
+        predicate = self.where("a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(predicate, AndExpr)
+        assert isinstance(predicate.operands[1], OrExpr)
+
+    def test_not(self):
+        predicate = self.where("NOT a = 1")
+        assert isinstance(predicate, NotExpr)
+
+    def test_column_vs_column(self):
+        predicate = self.where("t.a = t.b")
+        assert predicate.left == ColumnRef("t", "a")
+        assert predicate.right == ColumnRef("t", "b")
+
+    def test_boolean_and_null_constants(self):
+        assert self.where("a = TRUE").right == Constant(True)
+        assert self.where("a IN (NULL)").values == (None,)
+
+    def test_real_constant(self):
+        assert self.where("a > 2.5").right == Constant(2.5)
+
+
+class TestOtherStatements:
+    def test_insert(self):
+        statement = parse_statement(
+            "INSERT INTO gene (id, symbol) VALUES (1, 'BRCA1'), (2, 'TP53')"
+        )
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["id", "symbol"]
+        assert statement.rows == [[1, "BRCA1"], [2, "TP53"]]
+
+    def test_insert_without_columns(self):
+        statement = parse_statement("INSERT INTO gene VALUES (1, 'x')")
+        assert statement.columns is None
+
+    def test_create_table(self):
+        statement = parse_statement(
+            "CREATE TABLE gene (id INTEGER PRIMARY KEY, symbol TEXT NOT NULL, "
+            "disease_id INTEGER, FOREIGN KEY (disease_id) REFERENCES disease (id))"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.columns[0].primary_key
+        assert statement.columns[1].nullable is False
+        assert statement.columns[2].sql_type is SQLType.INTEGER
+        assert statement.foreign_keys == [("disease_id", "disease", "id")]
+
+    def test_create_table_composite_pk(self):
+        statement = parse_statement(
+            "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))"
+        )
+        assert statement.primary_key == ("a", "b")
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE INDEX ix ON gene (symbol)")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.columns == ("symbol",)
+        assert not statement.unique
+
+    def test_create_unique_index(self):
+        statement = parse_statement("CREATE UNIQUE INDEX ix ON gene (symbol, id)")
+        assert statement.unique and statement.columns == ("symbol", "id")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLParseError):
+            parse_statement("DROP TABLE gene")
+
+
+class TestSQLRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT * FROM gene",
+            "SELECT g.symbol AS s FROM gene AS g WHERE g.symbol LIKE '%a%' LIMIT 3",
+            "SELECT DISTINCT a FROM t WHERE a = 1 AND b <> 'x' OR c IS NOT NULL",
+            "SELECT * FROM a JOIN b ON a.x = b.y WHERE a.n IN (1, 2) ORDER BY a.x DESC",
+            "SELECT COUNT(*) FROM t WHERE NOT (a = 1)",
+        ],
+    )
+    def test_sql_roundtrip_fixpoint(self, text):
+        statement = parse_select(text)
+        rendered = statement.sql()
+        reparsed = parse_select(rendered)
+        assert reparsed.sql() == rendered
+
+
+class TestConjuncts:
+    def test_flatten(self):
+        statement = parse_select("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        parts = conjuncts(statement.where)
+        assert len(parts) == 3
+
+    def test_none(self):
+        assert conjuncts(None) == []
+
+    def test_or_not_flattened(self):
+        statement = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2")
+        assert len(conjuncts(statement.where)) == 1
+
+    def test_conjunction_inverse(self):
+        statement = parse_select("SELECT * FROM t WHERE a = 1 AND b = 2")
+        rebuilt = conjunction(conjuncts(statement.where))
+        assert conjuncts(rebuilt) == conjuncts(statement.where)
+
+    def test_conjunction_empty(self):
+        assert conjunction([]) is None

@@ -1,0 +1,163 @@
+"""Tests for table storage: DML, constraints and index maintenance."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.relational import Column, IndexDef, SQLType, TableSchema, TableStorage
+
+
+def make_storage() -> TableStorage:
+    schema = TableSchema(
+        name="gene",
+        columns=[
+            Column("id", SQLType.INTEGER, nullable=False),
+            Column("symbol", SQLType.TEXT),
+            Column("disease_id", SQLType.INTEGER),
+        ],
+        primary_key=("id",),
+    )
+    return TableStorage(schema)
+
+
+class TestInsert:
+    def test_insert_mapping(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1, "symbol": "BRCA1", "disease_id": 7})
+        assert storage.row(row_id) == (1, "BRCA1", 7)
+
+    def test_insert_sequence(self):
+        storage = make_storage()
+        storage.insert([1, "BRCA1", 7])
+        assert len(storage) == 1
+
+    def test_missing_optional_column_becomes_null(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1})
+        assert storage.row(row_id) == (1, None, None)
+
+    def test_unknown_column_rejected(self):
+        storage = make_storage()
+        with pytest.raises(IntegrityError):
+            storage.insert({"id": 1, "nope": "x"})
+
+    def test_wrong_arity_rejected(self):
+        storage = make_storage()
+        with pytest.raises(IntegrityError):
+            storage.insert([1, "x"])
+
+    def test_not_null_enforced(self):
+        storage = make_storage()
+        with pytest.raises(IntegrityError):
+            storage.insert({"symbol": "x"})
+
+    def test_type_coercion(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": "5", "symbol": "x"})
+        assert storage.row(row_id)[0] == 5
+
+    def test_pk_uniqueness(self):
+        storage = make_storage()
+        storage.insert({"id": 1})
+        with pytest.raises(IntegrityError):
+            storage.insert({"id": 1})
+
+    def test_failed_insert_leaves_no_trace(self):
+        storage = make_storage()
+        storage.insert({"id": 1})
+        with pytest.raises(IntegrityError):
+            storage.insert({"id": 1, "symbol": "dup"})
+        assert len(storage) == 1
+        pk_index = storage.index("pk_gene")
+        assert len(pk_index) == 1
+
+
+class TestDelete:
+    def test_delete(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1, "symbol": "x"})
+        assert storage.delete(row_id) is True
+        assert len(storage) == 0
+        with pytest.raises(IntegrityError):
+            storage.row(row_id)
+
+    def test_delete_cleans_indexes(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1, "symbol": "x"})
+        storage.delete(row_id)
+        assert storage.index("pk_gene").lookup((1,)) == []
+
+    def test_delete_twice_returns_false(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1})
+        storage.delete(row_id)
+        assert storage.delete(row_id) is False
+
+    def test_delete_bogus_id(self):
+        storage = make_storage()
+        assert storage.delete(99) is False
+
+    def test_reinsert_after_delete(self):
+        storage = make_storage()
+        row_id = storage.insert({"id": 1})
+        storage.delete(row_id)
+        storage.insert({"id": 1})  # PK free again
+
+
+class TestIndexManagement:
+    def test_pk_index_created_automatically(self):
+        storage = make_storage()
+        assert "pk_gene" in storage.indexes
+        assert storage.indexes["pk_gene"].unique
+
+    def test_create_index_backfills(self):
+        storage = make_storage()
+        storage.insert({"id": 1, "symbol": "a"})
+        storage.insert({"id": 2, "symbol": "b"})
+        storage.create_index(IndexDef("ix_symbol", "gene", ("symbol",)))
+        assert storage.index("ix_symbol").lookup(("b",)) == [1]
+
+    def test_duplicate_index_name_rejected(self):
+        storage = make_storage()
+        with pytest.raises(SchemaError):
+            storage.create_index(IndexDef("pk_gene", "gene", ("symbol",)))
+
+    def test_index_unknown_column_rejected(self):
+        storage = make_storage()
+        with pytest.raises(SchemaError):
+            storage.create_index(IndexDef("ix", "gene", ("nope",)))
+
+    def test_indexes_on(self):
+        storage = make_storage()
+        storage.create_index(IndexDef("ix_symbol", "gene", ("symbol",)))
+        assert [d.name for d in storage.indexes_on("symbol")] == ["ix_symbol"]
+        assert storage.has_index_on("id")  # via the PK index
+        assert not storage.has_index_on("disease_id")
+
+    def test_drop_index(self):
+        storage = make_storage()
+        storage.create_index(IndexDef("ix_symbol", "gene", ("symbol",)))
+        storage.drop_index("ix_symbol")
+        assert not storage.has_index_on("symbol")
+        with pytest.raises(SchemaError):
+            storage.drop_index("ix_symbol")
+
+    def test_inserts_maintain_secondary_index(self):
+        storage = make_storage()
+        storage.create_index(IndexDef("ix_symbol", "gene", ("symbol",)))
+        storage.insert({"id": 1, "symbol": "a"})
+        assert storage.index("ix_symbol").lookup(("a",)) == [0]
+
+
+class TestScan:
+    def test_scan_skips_deleted(self):
+        storage = make_storage()
+        keep = storage.insert({"id": 1})
+        gone = storage.insert({"id": 2})
+        storage.delete(gone)
+        assert [row_id for row_id, __ in storage.scan()] == [keep]
+
+    def test_column_values(self):
+        storage = make_storage()
+        storage.insert({"id": 1, "symbol": "a"})
+        storage.insert({"id": 2})
+        assert list(storage.column_values("symbol")) == ["a", None]

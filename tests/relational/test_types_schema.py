@@ -1,0 +1,155 @@
+"""Tests for SQL types, coercion and schema objects."""
+
+import pytest
+
+from repro.exceptions import IntegrityError, SchemaError
+from repro.relational import Column, ForeignKey, IndexDef, SQLType, TableSchema, coerce
+from repro.relational.types import comparable
+
+
+class TestSQLType:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", SQLType.INTEGER),
+            ("integer", SQLType.INTEGER),
+            ("VARCHAR", SQLType.TEXT),
+            ("text", SQLType.TEXT),
+            ("FLOAT", SQLType.REAL),
+            ("double", SQLType.REAL),
+            ("BOOL", SQLType.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert SQLType.from_name(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(IntegrityError):
+            SQLType.from_name("BLOB")
+
+
+class TestCoerce:
+    def test_none_passes_any_type(self):
+        for sql_type in SQLType:
+            assert coerce(None, sql_type) is None
+
+    def test_integer(self):
+        assert coerce(5, SQLType.INTEGER) == 5
+        assert coerce("5", SQLType.INTEGER) == 5
+        assert coerce(5.0, SQLType.INTEGER) == 5
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(IntegrityError):
+            coerce(5.5, SQLType.INTEGER)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(IntegrityError):
+            coerce(True, SQLType.INTEGER)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(IntegrityError):
+            coerce("abc", SQLType.INTEGER)
+
+    def test_real(self):
+        assert coerce(5, SQLType.REAL) == 5.0
+        assert coerce("2.5", SQLType.REAL) == 2.5
+
+    def test_text(self):
+        assert coerce("x", SQLType.TEXT) == "x"
+        assert coerce(5, SQLType.TEXT) == "5"
+
+    def test_boolean(self):
+        assert coerce(True, SQLType.BOOLEAN) is True
+        assert coerce(0, SQLType.BOOLEAN) is False
+        assert coerce("true", SQLType.BOOLEAN) is True
+        with pytest.raises(IntegrityError):
+            coerce("maybe", SQLType.BOOLEAN)
+
+
+class TestComparable:
+    def test_numbers_comparable(self):
+        assert comparable(1, 2.5)
+
+    def test_none_not_comparable(self):
+        assert not comparable(None, 1)
+        assert not comparable("a", None)
+
+    def test_mixed_not_comparable(self):
+        assert not comparable(1, "a")
+
+    def test_bool_not_numeric(self):
+        assert not comparable(True, 1)
+
+    def test_strings_comparable(self):
+        assert comparable("a", "b")
+
+
+class TestTableSchema:
+    def make_schema(self) -> TableSchema:
+        return TableSchema(
+            name="gene",
+            columns=[
+                Column("id", SQLType.INTEGER, nullable=False),
+                Column("symbol", SQLType.TEXT),
+                Column("disease_id", SQLType.INTEGER),
+            ],
+            primary_key=("id",),
+            foreign_keys=[ForeignKey("disease_id", "disease", "id")],
+        )
+
+    def test_column_lookup(self):
+        schema = self.make_schema()
+        assert schema.column("symbol").sql_type is SQLType.TEXT
+        assert schema.column_index("disease_id") == 2
+        assert schema.has_column("id")
+        assert not schema.has_column("nope")
+
+    def test_column_lookup_missing_raises(self):
+        schema = self.make_schema()
+        with pytest.raises(SchemaError):
+            schema.column("nope")
+
+    def test_is_primary_key(self):
+        schema = self.make_schema()
+        assert schema.is_primary_key("id")
+        assert not schema.is_primary_key("symbol")
+
+    def test_foreign_key_for(self):
+        schema = self.make_schema()
+        fk = schema.foreign_key_for("disease_id")
+        assert fk is not None and fk.referenced_table == "disease"
+        assert schema.foreign_key_for("symbol") is None
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SQLType.TEXT), Column("a", SQLType.TEXT)])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", SQLType.TEXT)], primary_key=("b",))
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", SQLType.TEXT)],
+                foreign_keys=[ForeignKey("b", "other", "id")],
+            )
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", SQLType.TEXT)
+
+    def test_empty_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("", [Column("a", SQLType.TEXT)])
+
+
+class TestIndexDef:
+    def test_covers_leading_column_only(self):
+        definition = IndexDef("ix", "t", ("a", "b"))
+        assert definition.covers("a")
+        assert not definition.covers("b")
+
+    def test_empty_columns_cover_nothing(self):
+        assert not IndexDef("ix", "t", ()).covers("a")

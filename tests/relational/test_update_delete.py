@@ -1,0 +1,100 @@
+"""Tests for UPDATE and DELETE statements."""
+
+import pytest
+
+from repro.exceptions import IntegrityError
+from repro.relational import Database
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("dml")
+    database.execute(
+        "CREATE TABLE gene (id INTEGER PRIMARY KEY, symbol TEXT, score REAL)"
+    )
+    database.execute(
+        "INSERT INTO gene VALUES (1, 'BRCA1', 0.5), (2, 'TP53', 0.9), (3, 'KRAS', 0.1)"
+    )
+    database.execute("CREATE INDEX ix_symbol ON gene (symbol)")
+    return database
+
+
+class TestDelete:
+    def test_delete_with_where(self, db):
+        assert db.execute("DELETE FROM gene WHERE symbol = 'TP53'") == 1
+        assert db.query("SELECT COUNT(*) FROM gene").fetchall() == [(3 - 1,)]
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM gene") == 3
+        assert db.query("SELECT COUNT(*) FROM gene").fetchall() == [(0,)]
+
+    def test_delete_none_matching(self, db):
+        assert db.execute("DELETE FROM gene WHERE symbol = 'NOPE'") == 0
+
+    def test_delete_maintains_indexes(self, db):
+        db.execute("DELETE FROM gene WHERE symbol = 'BRCA1'")
+        rows = db.query("SELECT id FROM gene WHERE symbol = 'BRCA1'").fetchall()
+        assert rows == []
+        # re-insert is possible (PK freed)
+        db.execute("INSERT INTO gene VALUES (1, 'NEW', 0.0)")
+
+    def test_delete_invalidates_statistics(self, db):
+        before = db.statistics("gene").row_count
+        db.execute("DELETE FROM gene WHERE id = 1")
+        assert db.statistics("gene").row_count == before - 1
+
+    def test_delete_with_range_predicate(self, db):
+        assert db.execute("DELETE FROM gene WHERE score >= 0.5") == 2
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        count = db.execute("UPDATE gene SET score = 1.0 WHERE symbol = 'BRCA1'")
+        assert count == 1
+        assert db.query("SELECT score FROM gene WHERE id = 1").fetchall() == [(1.0,)]
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE gene SET score = 0.0") == 3
+        rows = db.query("SELECT DISTINCT score FROM gene").fetchall()
+        assert rows == [(0.0,)]
+
+    def test_update_multiple_columns(self, db):
+        db.execute("UPDATE gene SET symbol = 'RENAMED', score = 2.5 WHERE id = 2")
+        assert db.query("SELECT symbol, score FROM gene WHERE id = 2").fetchall() == [
+            ("RENAMED", 2.5)
+        ]
+
+    def test_update_maintains_indexes(self, db):
+        db.execute("UPDATE gene SET symbol = 'XYZ' WHERE id = 1")
+        assert db.query("SELECT id FROM gene WHERE symbol = 'XYZ'").fetchall() == [(1,)]
+        assert db.query("SELECT id FROM gene WHERE symbol = 'BRCA1'").fetchall() == []
+
+    def test_update_pk_collision_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE gene SET id = 2 WHERE id = 1")
+
+    def test_update_type_coercion(self, db):
+        db.execute("UPDATE gene SET score = 3 WHERE id = 1")
+        rows = db.query("SELECT score FROM gene WHERE id = 1").fetchall()
+        assert rows == [(3.0,)]
+
+    def test_update_to_null(self, db):
+        db.execute("UPDATE gene SET symbol = NULL WHERE id = 3")
+        assert db.query("SELECT COUNT(*) FROM gene WHERE symbol IS NULL").fetchall() == [(1,)]
+
+    def test_update_none_matching(self, db):
+        assert db.execute("UPDATE gene SET score = 9.9 WHERE id = 99") == 0
+
+
+class TestRendering:
+    def test_update_sql_rendering(self):
+        from repro.relational import parse_statement
+
+        statement = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c IS NULL")
+        assert statement.sql() == "UPDATE t SET a = 1, b = 'x' WHERE c IS NULL"
+
+    def test_delete_sql_rendering(self):
+        from repro.relational import parse_statement
+
+        statement = parse_statement("DELETE FROM t WHERE a IN (1, 2)")
+        assert statement.sql() == "DELETE FROM t WHERE a IN (1, 2)"

@@ -1,0 +1,141 @@
+"""Tests for local SPARQL evaluation over a graph."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, Variable
+from repro.sparql import evaluate_bgp, evaluate_query, match_pattern, parse_query
+from repro.sparql.algebra import TriplePattern
+
+from ..conftest import TINY_DISEASOME, make_tiny_graph
+
+PREFIX = "PREFIX v: <http://ex/vocab#>\n"
+
+
+@pytest.fixture
+def graph() -> Graph:
+    return make_tiny_graph(TINY_DISEASOME)
+
+
+def run(graph: Graph, text: str):
+    return list(evaluate_query(graph, parse_query(PREFIX + text)))
+
+
+class TestMatchPattern:
+    def test_binds_variables(self, graph):
+        pattern = TriplePattern(
+            Variable("g"), IRI("http://ex/vocab#geneSymbol"), Variable("s")
+        )
+        solutions = list(match_pattern(graph, pattern, {}))
+        assert len(solutions) == 4
+        assert all({"g", "s"} <= set(solution) for solution in solutions)
+
+    def test_respects_existing_bindings(self, graph):
+        pattern = TriplePattern(
+            Variable("g"), IRI("http://ex/vocab#geneSymbol"), Variable("s")
+        )
+        initial = {"s": Literal("BRCA1")}
+        solutions = list(match_pattern(graph, pattern, initial))
+        assert len(solutions) == 1
+        assert solutions[0]["g"] == IRI("http://ex/diseasome/Gene/10")
+
+    def test_repeated_variable_must_agree(self, graph):
+        # ?x v:geneSymbol ?x can never match (IRI subject vs literal object)
+        pattern = TriplePattern(
+            Variable("x"), IRI("http://ex/vocab#geneSymbol"), Variable("x")
+        )
+        assert list(match_pattern(graph, pattern, {})) == []
+
+
+class TestBGP:
+    def test_join_across_patterns(self, graph):
+        query = parse_query(
+            PREFIX
+            + "SELECT * WHERE { ?g v:geneSymbol ?s . ?g v:associatedDisease ?d . }"
+        )
+        solutions = list(evaluate_bgp(graph, query.where.patterns))
+        assert len(solutions) == 4
+
+    def test_empty_pattern_list_yields_empty_solution(self, graph):
+        solutions = list(evaluate_bgp(graph, []))
+        assert solutions == [{}]
+
+    def test_no_match(self, graph):
+        query = parse_query(PREFIX + 'SELECT * WHERE { ?g v:geneSymbol "NOPE" . }')
+        assert list(evaluate_bgp(graph, query.where.patterns)) == []
+
+
+class TestQueries:
+    def test_star_join(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?g ?dn WHERE { ?g a v:Gene ; v:associatedDisease ?d . ?d v:diseaseName ?dn }",
+        )
+        assert len(rows) == 4
+
+    def test_filter(self, graph):
+        rows = run(
+            graph,
+            'SELECT ?dn WHERE { ?d a v:Disease ; v:diseaseName ?dn FILTER(CONTAINS(?dn, "cancer")) }',
+        )
+        assert {row["dn"].lexical for row in rows} == {"breast cancer", "lung cancer"}
+
+    def test_projection(self, graph):
+        rows = run(graph, "SELECT ?dn WHERE { ?d v:diseaseName ?dn }")
+        assert all(set(row) == {"dn"} for row in rows)
+
+    def test_distinct(self, graph):
+        rows = run(graph, "SELECT DISTINCT ?dc WHERE { ?d v:diseaseClass ?dc }")
+        assert len(rows) == 2
+
+    def test_order_by(self, graph):
+        rows = run(graph, "SELECT ?dn WHERE { ?d v:diseaseName ?dn } ORDER BY ?dn")
+        names = [row["dn"].lexical for row in rows]
+        assert names == sorted(names)
+
+    def test_order_by_desc(self, graph):
+        rows = run(graph, "SELECT ?dn WHERE { ?d v:diseaseName ?dn } ORDER BY DESC(?dn)")
+        names = [row["dn"].lexical for row in rows]
+        assert names == sorted(names, reverse=True)
+
+    def test_limit_offset(self, graph):
+        all_rows = run(graph, "SELECT ?dn WHERE { ?d v:diseaseName ?dn } ORDER BY ?dn")
+        page = run(
+            graph, "SELECT ?dn WHERE { ?d v:diseaseName ?dn } ORDER BY ?dn LIMIT 1 OFFSET 1"
+        )
+        assert page == all_rows[1:2]
+
+    def test_optional_keeps_unmatched(self, graph):
+        rows = run(
+            graph,
+            "SELECT * WHERE { ?d a v:Disease OPTIONAL { ?d v:missing ?m } }",
+        )
+        assert len(rows) == 3
+        assert all("m" not in row for row in rows)
+
+    def test_optional_extends_matched(self, graph):
+        rows = run(
+            graph,
+            "SELECT * WHERE { ?d a v:Disease OPTIONAL { ?d v:diseaseName ?dn } }",
+        )
+        assert all("dn" in row for row in rows)
+
+    def test_union(self, graph):
+        rows = run(
+            graph,
+            'SELECT ?x WHERE { { ?x v:diseaseClass "cancer" } UNION { ?x v:geneSymbol "INS" } }',
+        )
+        assert len(rows) == 3
+
+    def test_constant_subject(self, graph):
+        rows = run(
+            graph,
+            "SELECT ?s WHERE { <http://ex/diseasome/Gene/10> v:geneSymbol ?s }",
+        )
+        assert rows == [{"s": Literal("BRCA1")}]
+
+    def test_cross_product_of_disconnected_patterns(self, graph):
+        rows = run(
+            graph,
+            "SELECT * WHERE { ?d a v:Disease . ?g a v:Gene . }",
+        )
+        assert len(rows) == 12  # 3 diseases x 4 genes

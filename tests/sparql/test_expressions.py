@@ -1,0 +1,199 @@
+"""Tests for SPARQL filter-expression evaluation."""
+
+import pytest
+
+from repro.exceptions import ExpressionError
+from repro.rdf import BNode, IRI, Literal, Variable, XSD_BOOLEAN, XSD_INTEGER
+from repro.sparql import (
+    BinaryOp,
+    FunctionCall,
+    TermExpr,
+    UnaryOp,
+    VariableExpr,
+    effective_boolean_value,
+    evaluate,
+    holds,
+)
+
+
+def var(name: str) -> VariableExpr:
+    return VariableExpr(Variable(name))
+
+
+def lit(value, datatype=None) -> TermExpr:
+    if isinstance(value, int):
+        return TermExpr(Literal(str(value), XSD_INTEGER))
+    return TermExpr(Literal(value, datatype) if datatype else Literal(value))
+
+
+SOLUTION = {
+    "n": Literal("5", XSD_INTEGER),
+    "s": Literal("breast cancer"),
+    "iri": IRI("http://ex/x"),
+    "flag": Literal("true", XSD_BOOLEAN),
+    "lang": Literal("bonjour", language="fr"),
+    "blank": BNode("b"),
+}
+
+
+class TestBasics:
+    def test_variable_lookup(self):
+        assert evaluate(var("n"), SOLUTION) == Literal("5", XSD_INTEGER)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate(var("missing"), SOLUTION)
+
+    def test_constant(self):
+        assert evaluate(lit("x"), SOLUTION) == Literal("x")
+
+
+class TestComparisons:
+    def test_numeric_equality(self):
+        assert holds(BinaryOp("=", var("n"), lit(5)), SOLUTION)
+
+    def test_numeric_order(self):
+        assert holds(BinaryOp("<", var("n"), lit(6)), SOLUTION)
+        assert not holds(BinaryOp(">", var("n"), lit(6)), SOLUTION)
+        assert holds(BinaryOp(">=", var("n"), lit(5)), SOLUTION)
+        assert holds(BinaryOp("<=", var("n"), lit(5)), SOLUTION)
+
+    def test_string_equality(self):
+        assert holds(BinaryOp("=", var("s"), lit("breast cancer")), SOLUTION)
+
+    def test_string_inequality(self):
+        assert holds(BinaryOp("!=", var("s"), lit("x")), SOLUTION)
+
+    def test_string_order(self):
+        assert holds(BinaryOp("<", var("s"), lit("z")), SOLUTION)
+
+    def test_number_vs_string_equality_false(self):
+        assert not holds(BinaryOp("=", var("n"), lit("5x")), SOLUTION)
+
+    def test_number_vs_string_order_is_error(self):
+        # errors reject the solution
+        assert not holds(BinaryOp("<", var("n"), lit("abc")), SOLUTION)
+
+
+class TestLogical:
+    def test_and(self):
+        expression = BinaryOp(
+            "&&", BinaryOp(">", var("n"), lit(1)), BinaryOp("<", var("n"), lit(9))
+        )
+        assert holds(expression, SOLUTION)
+
+    def test_or(self):
+        expression = BinaryOp(
+            "||", BinaryOp(">", var("n"), lit(9)), BinaryOp("<", var("n"), lit(9))
+        )
+        assert holds(expression, SOLUTION)
+
+    def test_not(self):
+        assert holds(UnaryOp("!", BinaryOp(">", var("n"), lit(9))), SOLUTION)
+
+    def test_or_true_dominates_error(self):
+        # left errors (unbound) but right is true
+        expression = BinaryOp(
+            "||", BinaryOp("=", var("missing"), lit(1)), BinaryOp("=", var("n"), lit(5))
+        )
+        assert holds(expression, SOLUTION)
+
+    def test_and_false_dominates_error(self):
+        expression = BinaryOp(
+            "&&", BinaryOp("=", var("missing"), lit(1)), BinaryOp("=", var("n"), lit(9))
+        )
+        assert not holds(expression, SOLUTION)
+
+
+class TestArithmetic:
+    def test_add_multiply(self):
+        expression = BinaryOp(
+            ">=", BinaryOp("+", BinaryOp("*", var("n"), lit(2)), lit(1)), lit(11)
+        )
+        assert holds(expression, SOLUTION)
+
+    def test_division(self):
+        assert evaluate(BinaryOp("/", var("n"), lit(2)), SOLUTION) == 2.5
+
+    def test_division_by_zero_rejects(self):
+        assert not holds(BinaryOp(">", BinaryOp("/", var("n"), lit(0)), lit(0)), SOLUTION)
+
+    def test_unary_minus(self):
+        assert evaluate(UnaryOp("-", var("n")), SOLUTION) == -5
+
+
+class TestFunctions:
+    def test_contains(self):
+        assert holds(FunctionCall("CONTAINS", (var("s"), lit("cancer"))), SOLUTION)
+        assert not holds(FunctionCall("CONTAINS", (var("s"), lit("zebra"))), SOLUTION)
+
+    def test_strstarts_strends(self):
+        assert holds(FunctionCall("STRSTARTS", (var("s"), lit("breast"))), SOLUTION)
+        assert holds(FunctionCall("STRENDS", (var("s"), lit("cancer"))), SOLUTION)
+
+    def test_regex(self):
+        assert holds(FunctionCall("REGEX", (var("s"), lit("^b.*r$"))), SOLUTION)
+
+    def test_regex_case_insensitive_flag(self):
+        assert holds(FunctionCall("REGEX", (var("s"), lit("BREAST"), lit("i"))), SOLUTION)
+
+    def test_regex_invalid_pattern_rejects(self):
+        assert not holds(FunctionCall("REGEX", (var("s"), lit("("))), SOLUTION)
+
+    def test_case_functions(self):
+        assert evaluate(FunctionCall("UCASE", (var("s"),)), SOLUTION).lexical == "BREAST CANCER"
+        assert evaluate(FunctionCall("LCASE", (lit("ABC"),)), SOLUTION).lexical == "abc"
+
+    def test_strlen(self):
+        assert evaluate(FunctionCall("STRLEN", (var("s"),)), SOLUTION) == 13
+
+    def test_str_of_iri(self):
+        assert evaluate(FunctionCall("STR", (var("iri"),)), SOLUTION).lexical == "http://ex/x"
+
+    def test_abs(self):
+        assert evaluate(FunctionCall("ABS", (UnaryOp("-", var("n")),)), SOLUTION) == 5
+
+    def test_bound(self):
+        assert holds(FunctionCall("BOUND", (var("n"),)), SOLUTION)
+        assert not holds(FunctionCall("BOUND", (var("missing"),)), SOLUTION)
+
+    def test_lang(self):
+        assert evaluate(FunctionCall("LANG", (var("lang"),)), SOLUTION).lexical == "fr"
+        assert evaluate(FunctionCall("LANG", (var("s"),)), SOLUTION).lexical == ""
+
+    def test_datatype(self):
+        result = evaluate(FunctionCall("DATATYPE", (var("n"),)), SOLUTION)
+        assert result.value.endswith("#integer")
+
+    def test_type_checks(self):
+        assert holds(FunctionCall("ISIRI", (var("iri"),)), SOLUTION)
+        assert holds(FunctionCall("ISLITERAL", (var("s"),)), SOLUTION)
+        assert holds(FunctionCall("ISBLANK", (var("blank"),)), SOLUTION)
+        assert holds(FunctionCall("ISNUMERIC", (var("n"),)), SOLUTION)
+        assert not holds(FunctionCall("ISNUMERIC", (var("s"),)), SOLUTION)
+
+    def test_wrong_arity_rejects(self):
+        assert not holds(FunctionCall("CONTAINS", (var("s"),)), SOLUTION)
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literal(self):
+        assert effective_boolean_value(Literal("true", XSD_BOOLEAN)) is True
+        assert effective_boolean_value(Literal("false", XSD_BOOLEAN)) is False
+
+    def test_numeric_literal(self):
+        assert effective_boolean_value(Literal("1", XSD_INTEGER)) is True
+        assert effective_boolean_value(Literal("0", XSD_INTEGER)) is False
+
+    def test_string_literal(self):
+        assert effective_boolean_value(Literal("x")) is True
+        assert effective_boolean_value(Literal("")) is False
+
+    def test_python_values(self):
+        assert effective_boolean_value(True) is True
+        assert effective_boolean_value(0) is False
+        assert effective_boolean_value("x") is True
+
+    def test_iri_raises(self):
+        with pytest.raises(ExpressionError):
+            effective_boolean_value(IRI("http://ex/x"))

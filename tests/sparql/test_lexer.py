@@ -1,0 +1,98 @@
+"""Tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.exceptions import SPARQLParseError
+from repro.sparql import tokenize
+
+
+def kinds(text: str) -> list[str]:
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text: str) -> list[str]:
+    return [token.value for token in tokenize(text)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_variable(self):
+        tokens = tokenize("?gene $other")
+        assert tokens[0].kind == "VAR" and tokens[0].value == "gene"
+        assert tokens[1].kind == "VAR" and tokens[1].value == "other"
+
+    def test_iri(self):
+        token = tokenize("<http://ex/a>")[0]
+        assert token.kind == "IRIREF"
+        assert token.value == "http://ex/a"
+
+    def test_pname(self):
+        token = tokenize("ex:drug")[0]
+        assert token.kind == "PNAME"
+        assert token.value == "ex:drug"
+
+    def test_pname_must_not_end_with_dot(self):
+        tokens = tokenize("ex:drug.")
+        assert tokens[0].value == "ex:drug"
+        assert tokens[1].value == "."
+
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select Where FILTER")
+        assert all(token.kind == "KEYWORD" for token in tokens[:-1])
+        assert [token.value for token in tokens[:-1]] == ["SELECT", "WHERE", "FILTER"]
+
+    def test_function_name_is_name(self):
+        assert tokenize("CONTAINS")[0].kind == "NAME"
+
+    def test_string_escapes(self):
+        token = tokenize(r'"a\n\t\"b"')[0]
+        assert token.value == 'a\n\t"b'
+
+    def test_single_quoted_string(self):
+        assert tokenize("'hi'")[0].value == "hi"
+
+    def test_numbers(self):
+        tokens = tokenize("42 4.5 1e3")
+        assert tokens[0].kind == "INTEGER"
+        assert tokens[1].kind == "DECIMAL"
+        assert tokens[2].kind == "DECIMAL"
+
+    def test_multichar_punctuation(self):
+        assert values("<= >= != && || ^^") == ["<=", ">=", "!=", "&&", "||", "^^"]
+
+    def test_less_than_vs_iri(self):
+        # `?a < 5` must lex `<` as punctuation, not an IRI opener.
+        tokens = tokenize("?a < 5")
+        assert tokens[1].kind == "PUNCT"
+        assert tokens[1].value == "<"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("?a # comment\n?b")
+        assert [token.value for token in tokens[:-1]] == ["a", "b"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("?a\n  ?b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_langtag(self):
+        tokens = tokenize('"hi"@en-GB')
+        assert tokens[1].kind == "LANGTAG"
+        assert tokens[1].value == "en-GB"
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SPARQLParseError):
+            tokenize('"unterminated')
+
+    def test_empty_variable(self):
+        with pytest.raises(SPARQLParseError):
+            tokenize("? ")
+
+    def test_unknown_character(self):
+        with pytest.raises(SPARQLParseError):
+            tokenize("@@@")
+
+    def test_unknown_escape(self):
+        with pytest.raises(SPARQLParseError):
+            tokenize(r'"\q"')

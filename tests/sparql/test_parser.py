@@ -1,0 +1,207 @@
+"""Tests for the SPARQL parser."""
+
+import pytest
+
+from repro.exceptions import SPARQLParseError
+from repro.rdf import IRI, Literal, Variable, XSD_BOOLEAN, XSD_DECIMAL, XSD_INTEGER
+from repro.sparql import (
+    BinaryOp,
+    FunctionCall,
+    TermExpr,
+    VariableExpr,
+    format_query,
+    parse_query,
+)
+
+
+def parse(text: str):
+    return parse_query("PREFIX ex: <http://ex/>\n" + text)
+
+
+class TestProjection:
+    def test_select_variables(self):
+        query = parse("SELECT ?a ?b WHERE { ?a ex:p ?b }")
+        assert query.variables == [Variable("a"), Variable("b")]
+
+    def test_select_star(self):
+        query = parse("SELECT * WHERE { ?a ex:p ?b }")
+        assert query.is_select_star()
+        assert query.projected_variables() == [Variable("a"), Variable("b")]
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT ?a WHERE { ?a ex:p ?b }").distinct
+
+    def test_reduced_not_distinct(self):
+        assert not parse("SELECT REDUCED ?a WHERE { ?a ex:p ?b }").distinct
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(SPARQLParseError):
+            parse("SELECT WHERE { ?a ex:p ?b }")
+
+
+class TestTriplePatterns:
+    def test_simple_pattern(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o . }")
+        pattern = query.where.patterns[0]
+        assert pattern.subject == Variable("s")
+        assert pattern.predicate == IRI("http://ex/p")
+        assert pattern.object == Variable("o")
+
+    def test_a_expands_to_rdf_type(self):
+        query = parse("SELECT * WHERE { ?s a ex:Gene }")
+        assert query.where.patterns[0].predicate.value.endswith("#type")
+
+    def test_semicolon_shares_subject(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o ; ex:q ?p . }")
+        assert len(query.where.patterns) == 2
+        assert all(p.subject == Variable("s") for p in query.where.patterns)
+
+    def test_comma_shares_subject_and_predicate(self):
+        query = parse('SELECT * WHERE { ?s ex:p "a", "b" . }')
+        objects = [p.object for p in query.where.patterns]
+        assert objects == [Literal("a"), Literal("b")]
+
+    def test_trailing_semicolon(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o ; . }")
+        assert len(query.where.patterns) == 1
+
+    def test_full_iri_terms(self):
+        query = parse("SELECT * WHERE { <http://ex/s> <http://ex/p> <http://ex/o> }")
+        pattern = query.where.patterns[0]
+        assert pattern.subject == IRI("http://ex/s")
+
+    def test_integer_literal_object(self):
+        query = parse("SELECT * WHERE { ?s ex:p 42 }")
+        assert query.where.patterns[0].object == Literal("42", XSD_INTEGER)
+
+    def test_decimal_literal_object(self):
+        query = parse("SELECT * WHERE { ?s ex:p 4.5 }")
+        assert query.where.patterns[0].object == Literal("4.5", XSD_DECIMAL)
+
+    def test_boolean_literal_object(self):
+        query = parse("SELECT * WHERE { ?s ex:p true }")
+        assert query.where.patterns[0].object == Literal("true", XSD_BOOLEAN)
+
+    def test_typed_literal_object(self):
+        query = parse(
+            'SELECT * WHERE { ?s ex:p "5"^^<http://www.w3.org/2001/XMLSchema#integer> }'
+        )
+        assert query.where.patterns[0].object == Literal("5", XSD_INTEGER)
+
+    def test_language_literal_object(self):
+        query = parse('SELECT * WHERE { ?s ex:p "hi"@en }')
+        assert query.where.patterns[0].object == Literal("hi", language="en")
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(SPARQLParseError):
+            parse('SELECT * WHERE { "s" ex:p ?o }')
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(SPARQLParseError):
+            parse_query("SELECT * WHERE { ?s nope:p ?o }")
+
+
+class TestFilters:
+    def test_comparison_filter(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o FILTER(?o > 5) }")
+        expression = query.where.filters[0].expression
+        assert isinstance(expression, BinaryOp)
+        assert expression.operator == ">"
+
+    def test_logical_precedence(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o FILTER(?o > 1 && ?o < 9 || ?o = 0) }")
+        expression = query.where.filters[0].expression
+        assert expression.operator == "||"
+        assert expression.left.operator == "&&"
+
+    def test_function_call(self):
+        query = parse('SELECT * WHERE { ?s ex:p ?o FILTER(CONTAINS(?o, "x")) }')
+        expression = query.where.filters[0].expression
+        assert isinstance(expression, FunctionCall)
+        assert expression.name == "CONTAINS"
+
+    def test_function_case_insensitive(self):
+        query = parse('SELECT * WHERE { ?s ex:p ?o FILTER(contains(?o, "x")) }')
+        assert query.where.filters[0].expression.name == "CONTAINS"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(SPARQLParseError):
+            parse('SELECT * WHERE { ?s ex:p ?o FILTER(FROBNICATE(?o)) }')
+
+    def test_arithmetic(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o FILTER(?o * 2 + 1 >= 7) }")
+        expression = query.where.filters[0].expression
+        assert expression.operator == ">="
+
+    def test_negation(self):
+        query = parse('SELECT * WHERE { ?s ex:p ?o FILTER(!CONTAINS(?o, "x")) }')
+        assert query.where.filters[0].expression.operator == "!"
+
+
+class TestGroups:
+    def test_optional(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o OPTIONAL { ?s ex:q ?q } }")
+        assert len(query.where.optionals) == 1
+        assert query.where.optionals[0].patterns[0].predicate == IRI("http://ex/q")
+
+    def test_union(self):
+        query = parse("SELECT * WHERE { { ?s ex:p ?o } UNION { ?s ex:q ?o } }")
+        assert len(query.where.unions) == 1
+        assert len(query.where.unions[0]) == 2
+
+    def test_nested_group_merges(self):
+        query = parse("SELECT * WHERE { { ?s ex:p ?o } ?s ex:q ?q }")
+        assert len(query.where.patterns) == 2
+        assert not query.where.unions
+
+    def test_unterminated_group(self):
+        with pytest.raises(SPARQLParseError):
+            parse("SELECT * WHERE { ?s ex:p ?o")
+
+
+class TestModifiers:
+    def test_limit_offset(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o } LIMIT 5 OFFSET 2")
+        assert query.limit == 5
+        assert query.offset == 2
+
+    def test_order_by_variable(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o } ORDER BY ?o")
+        assert len(query.order_by) == 1
+        assert query.order_by[0].ascending
+
+    def test_order_by_desc(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o } ORDER BY DESC(?o)")
+        assert not query.order_by[0].ascending
+
+    def test_order_by_multiple_keys(self):
+        query = parse("SELECT * WHERE { ?s ex:p ?o } ORDER BY ?s DESC(?o)")
+        assert len(query.order_by) == 2
+
+    def test_bad_limit(self):
+        with pytest.raises(SPARQLParseError):
+            parse("SELECT * WHERE { ?s ex:p ?o } LIMIT x")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SPARQLParseError):
+            parse("SELECT * WHERE { ?s ex:p ?o } garbage")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT ?a WHERE { ?a ex:p ?b . }",
+            "SELECT DISTINCT ?a ?b WHERE { ?a ex:p ?b . ?b ex:q ?c . FILTER((?c > 5)) }",
+            'SELECT * WHERE { ?a ex:p ?b . FILTER(CONTAINS(?b, "x")) }\nLIMIT 3',
+        ],
+    )
+    def test_format_parse_fixpoint(self, text):
+        query = parse(text)
+        formatted = format_query(query)
+        reparsed = parse_query(formatted)
+        assert format_query(reparsed) == formatted
+
+    def test_prefixes_preserved(self):
+        query = parse("SELECT ?a WHERE { ?a ex:p ?b }")
+        assert "PREFIX ex: <http://ex/>" in format_query(query)
