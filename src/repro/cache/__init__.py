@@ -1,0 +1,38 @@
+"""The caching subsystem.
+
+Federated query engines amortize per-query work aggressively: FedX caches
+source-selection outcomes, Odyssey reuses precomputed per-source statistics.
+This package brings the same levers to our pipeline, at three layers:
+
+* a **plan cache** (:class:`CacheRegistry.plans`) — canonicalized query text
+  + plan-policy fingerprint + network setting + the lake's catalog version
+  map to a fully built :class:`~repro.core.planner.FederatedPlan`, skipping
+  parse / decompose / source-select / heuristics / translate entirely;
+* a **wrapper sub-result cache** (:class:`CacheRegistry.subresults`) —
+  recorded per-source result streams keyed on (source, native query,
+  restriction, data version), replayed with *identical* virtual-time
+  charges so benchmarks stay bit-identical under a fixed seed;
+* **memoized compilation** — pure-function caches for LIKE-regex and
+  predicate compilation (:mod:`repro.relational.executor`) and star→SQL
+  translation (:mod:`repro.mapping.translator`).
+
+Everything here is dependency-free (no imports from the rest of ``repro``)
+so any layer may use it without cycles.  All caches are LRU-bounded and
+expose hit/miss/eviction counters.
+"""
+
+from .keys import canonicalize_query, sparql_result_key, sql_result_key
+from .lru import CacheStats, LRUCache
+from .recording import RecordedSparqlResult, RecordedSqlResult
+from .registry import CacheRegistry
+
+__all__ = [
+    "CacheRegistry",
+    "CacheStats",
+    "LRUCache",
+    "RecordedSparqlResult",
+    "RecordedSqlResult",
+    "canonicalize_query",
+    "sparql_result_key",
+    "sql_result_key",
+]

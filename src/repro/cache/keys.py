@@ -1,0 +1,81 @@
+"""Cache-key construction.
+
+Keys embed every input that can change the cached value — most importantly
+the *data version* of the underlying source (see
+:attr:`repro.relational.database.Database.data_version` and
+:attr:`repro.rdf.graph.Graph.version`), so stale entries are never served:
+a write bumps the version, the next lookup misses, and the stale entry ages
+out of the LRU.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+_WHITESPACE = " \t\r\n\f\v"
+
+
+def canonicalize_query(text: str) -> str:
+    """Normalize query text for cache keying.
+
+    Collapses runs of whitespace to one space and strips ``#`` comments —
+    but only *outside* quoted literals, so queries differing inside a
+    string constant never share a key.  Purely lexical: two differently
+    written but semantically equal queries may still key separately, which
+    costs a duplicate entry, never a wrong answer.
+    """
+    out: list[str] = []
+    quote: str | None = None
+    pending_space = False
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if quote is not None:
+            out.append(char)
+            if char == "\\" and i + 1 < n:
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if char == quote:
+                quote = None
+            i += 1
+            continue
+        if char in _WHITESPACE:
+            pending_space = True
+            i += 1
+            continue
+        if char == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            pending_space = True
+            continue
+        if pending_space and out:
+            out.append(" ")
+        pending_space = False
+        if char in "\"'":
+            quote = char
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def sql_result_key(source_id: str, sql: str, data_version: Hashable) -> tuple:
+    """Key of one relational wrapper sub-result.
+
+    The SQL text already serializes the translated stars, pushed filters
+    and any dependent-join IN restriction, so it is the complete "native
+    query" component of the key.
+    """
+    return ("sql", source_id, sql, data_version)
+
+
+def sparql_result_key(
+    source_id: str,
+    patterns: str,
+    filters: str,
+    bindings: Hashable,
+    data_version: Hashable,
+) -> tuple:
+    """Key of one RDF wrapper sub-result (star + pushed filters + VALUES)."""
+    return ("sparql", source_id, patterns, filters, bindings, data_version)

@@ -1,0 +1,110 @@
+"""A counted, bounded LRU cache.
+
+Plain ``functools.lru_cache`` memoizes functions; the engine's caches need
+explicit get/put (keys carry data versions computed at call time), runtime
+enable/disable, and observable counters — hence this small class.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Least-recently-used cache with hit/miss/eviction accounting.
+
+    A disabled cache misses every lookup and drops every put, so call
+    sites never need to branch on the flag themselves.
+    """
+
+    def __init__(self, capacity: int = 256, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshing recency; None (and a miss) if absent."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True when it existed."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

@@ -1,0 +1,70 @@
+"""Recorded wrapper result streams and their virtual-time-neutral replay.
+
+The semantics guard of the sub-result cache: **cache saves wall-clock, not
+virtual time**.  A warm replay must charge the run context exactly what the
+cold run charged, in the same order, consuming the same RNG draws — so the
+virtual timeline (and therefore every benchmark number under a fixed seed)
+is bit-identical whether a stream came from the source or from the cache.
+
+Charge sequences mirrored here (see ``federation/wrappers.py``):
+
+* relational rows: ``charge_source(delta)`` then ``charge_message`` per SQL
+  row (rows whose solution reconstruction yields NULL still cross the
+  network), plus one residual ``charge_source`` after the last row;
+* RDF matches: ``charge_source(lookup)`` per BGP match, plus
+  ``charge_source(output)`` + ``charge_message`` for matches that survive
+  restriction/filtering.
+
+``charge_request`` (one RNG draw) is issued by the wrapper before replay,
+just as before a cold execution.  Replays are generators: charges happen
+lazily as downstream operators pull, preserving the interleaving of RNG
+draws across concurrently-pulled plan branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: A recorded relational row event: (source-cost delta, solution-or-None).
+SqlRowEvent = tuple[float, dict | None]
+
+
+@dataclass
+class RecordedSqlResult:
+    """The replayable trace of one relational wrapper execution."""
+
+    rows: list[SqlRowEvent] = field(default_factory=list)
+    residual_cost: float = 0.0
+
+    def replay(self, source_id: str, context: Any) -> Iterator[dict]:
+        for delta, solution in self.rows:
+            context.charge_source(source_id, delta)
+            context.charge_message(source_id)
+            if solution is not None:
+                yield dict(solution)
+        context.charge_source(source_id, self.residual_cost)
+
+
+@dataclass
+class RecordedSparqlResult:
+    """The replayable trace of one RDF wrapper execution.
+
+    ``matches`` holds one entry per BGP match: the emitted solution, or
+    None for matches dropped at the source by the VALUES restriction or a
+    pushed filter (those still cost their lookups, but never cross the
+    network).
+    """
+
+    matches: list[dict | None] = field(default_factory=list)
+    lookup_cost: float = 0.0
+    output_cost: float = 0.0
+
+    def replay(self, source_id: str, context: Any) -> Iterator[dict]:
+        for solution in self.matches:
+            context.charge_source(source_id, self.lookup_cost)
+            if solution is None:
+                continue
+            context.charge_source(source_id, self.output_cost)
+            context.charge_message(source_id)
+            yield dict(solution)

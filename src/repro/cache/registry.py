@@ -1,0 +1,45 @@
+"""The per-engine bundle of caches.
+
+One :class:`CacheRegistry` lives on each
+:class:`~repro.core.engine.FederatedEngine` and travels into executions via
+:attr:`~repro.federation.answers.RunContext.caches`, where the wrappers
+consult it.  Registries are engine-local on purpose: recorded source-cost
+deltas depend on the engine's cost model, so sharing a registry across
+engines with different cost models would replay wrong charges.
+"""
+
+from __future__ import annotations
+
+from .lru import CacheStats, LRUCache
+
+
+class CacheRegistry:
+    """Plan cache + wrapper sub-result cache, with aggregate reporting."""
+
+    def __init__(
+        self,
+        plan_capacity: int = 256,
+        subresult_capacity: int = 1024,
+        plans_enabled: bool = True,
+        subresults_enabled: bool = True,
+    ):
+        self.plans = LRUCache(plan_capacity, enabled=plans_enabled)
+        self.subresults = LRUCache(subresult_capacity, enabled=subresults_enabled)
+
+    def clear(self) -> None:
+        self.plans.clear()
+        self.subresults.clear()
+
+    def stats(self) -> dict[str, CacheStats]:
+        return {"plans": self.plans.stats(), "subresults": self.subresults.stats()}
+
+    def describe(self) -> str:
+        lines = []
+        for name, stats in self.stats().items():
+            state = "on" if getattr(self, name).enabled else "off"
+            lines.append(
+                f"{name} [{state}] size={stats.size}/{stats.capacity} "
+                f"hits={stats.hits} misses={stats.misses} "
+                f"evictions={stats.evictions} hit_rate={stats.hit_rate:.2%}"
+            )
+        return "\n".join(lines)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator, TYPE_CHECKING
 
+from ..cache import CacheRegistry, CacheStats, canonicalize_query
 from ..federation.answers import ExecutionStats, RunContext, Solution
 from ..network.clock import Clock
 from ..network.costmodel import CostModel, DEFAULT_COST_MODEL
@@ -80,21 +81,70 @@ class FederatedEngine:
         policy: PlanPolicy | None = None,
         network: NetworkSetting | None = None,
         cost_model: CostModel | None = None,
+        enable_plan_cache: bool = True,
+        enable_subresult_cache: bool = True,
+        plan_cache_size: int = 256,
+        subresult_cache_size: int = 1024,
     ):
         self.lake = lake
         self.policy = policy or PlanPolicy.physical_design_aware()
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        # Effective switches: both the engine flag and the policy flag must
+        # be on.  The registry is engine-local because recorded sub-results
+        # price source work under this engine's cost model.
+        self.caches = CacheRegistry(
+            plan_capacity=plan_cache_size,
+            subresult_capacity=subresult_cache_size,
+            plans_enabled=enable_plan_cache and self.policy.use_plan_cache,
+            subresults_enabled=(
+                enable_subresult_cache and self.policy.use_subresult_cache
+            ),
+        )
 
     def planner(self) -> FederatedPlanner:
         return FederatedPlanner(self.lake, self.policy, self.network)
 
+    def _plan_cached(self, query: SelectQuery | str) -> tuple[FederatedPlan, bool | None]:
+        """Plan through the plan cache; returns (plan, hit-or-None).
+
+        Only textual queries are cacheable (pre-parsed queries are mutable
+        objects without a canonical key).  The key binds the canonicalized
+        text to the policy fingerprint, the network setting, and the lake's
+        catalog version — so policies, networks, and physical designs can
+        never share an entry, and any write to any member source
+        invalidates by changing the version vector.
+        """
+        if not isinstance(query, str) or not self.caches.plans.enabled:
+            return self.planner().plan(query), None
+        key = (
+            canonicalize_query(query),
+            self.policy.fingerprint(),
+            self.network,
+            self.lake.catalog_version(),
+        )
+        plan = self.caches.plans.get(key)
+        if plan is not None:
+            return plan, True
+        plan = self.planner().plan(query)
+        self.caches.plans.put(key, plan)
+        return plan, False
+
     def plan(self, query: SelectQuery | str) -> FederatedPlan:
         """Plan without executing (EXPLAIN)."""
-        return self.planner().plan(query)
+        plan, __ = self._plan_cached(query)
+        return plan
 
     def explain(self, query: SelectQuery | str) -> str:
         return self.plan(query).explain()
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """Lifetime hit/miss/eviction counters of this engine's caches."""
+        return self.caches.stats()
+
+    def clear_caches(self) -> None:
+        """Drop every cached plan and sub-result (counters are kept)."""
+        self.caches.clear()
 
     def execute(
         self,
@@ -110,13 +160,15 @@ class FederatedEngine:
             clock: override the default fresh virtual clock (e.g. a
                 :class:`~repro.network.clock.RealClock` for live demos).
         """
-        plan = self.plan(query)
+        plan, plan_cache_hit = self._plan_cached(query)
         context = RunContext(
             network=self.network,
             cost_model=self.cost_model,
             clock=clock,
             seed=seed,
+            caches=self.caches,
         )
+        context.stats.plan_cache_hit = plan_cache_hit
         return ResultStream(plan, context)
 
     def run(
@@ -133,13 +185,19 @@ class FederatedEngine:
         """EXPLAIN ANALYZE: execute with per-operator instrumentation.
 
         Returns (answers, stats, report) where *report* is a
-        :class:`~repro.core.profiler.ProfileReport`.
+        :class:`~repro.core.profiler.ProfileReport`.  Profiling always
+        plans fresh — instrumentation rebinds ``execute`` on each operator
+        instance, which must never leak into a cached, reusable plan — but
+        still exercises (and reports) the sub-result cache.
         """
         from .profiler import profile_plan
 
-        plan = self.plan(query)
+        plan = self.planner().plan(query)
         context = RunContext(
-            network=self.network, cost_model=self.cost_model, seed=seed
+            network=self.network,
+            cost_model=self.cost_model,
+            seed=seed,
+            caches=self.caches,
         )
         answers, report = profile_plan(plan, context)
         return answers, context.stats, report

@@ -69,6 +69,11 @@ class FederatedPlan:
     merge_decisions: list[MergeDecision] = field(default_factory=list)
     filter_decisions: list[tuple[str, FilterDecision]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: The lake's catalog version vector at planning time.  A cached plan
+    #: is only ever served while the lake still reports this exact vector
+    #: (the plan-cache key embeds it), so heuristic decisions made against
+    #: a physical design can never outlive that design.
+    catalog_version: tuple = ()
 
     def explain(self) -> str:
         """Figure-1-style plan rendering with the heuristics' reasoning."""
@@ -134,6 +139,7 @@ class FederatedPlanner:
             merge_decisions=merge_decisions,
             filter_decisions=filter_decisions,
             notes=notes,
+            catalog_version=self.lake.catalog_version(),
         )
 
     def _plan_decomposition(

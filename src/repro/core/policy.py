@@ -68,6 +68,10 @@ class PlanPolicy:
             sub-query ("the number of joins is kept reasonable").
         join_strategy: engine-level join operator choice.
         dependent_block_size: outer block size for the dependent join.
+        use_plan_cache: let the engine reuse cached federated plans for
+            this policy (the engine's own flag must also be on).
+        use_subresult_cache: let wrappers replay cached per-source results
+            for this policy (the engine's own flag must also be on).
     """
 
     name: str
@@ -77,6 +81,27 @@ class PlanPolicy:
     max_merged_tables: int = 6
     join_strategy: JoinStrategy = JoinStrategy.SYMMETRIC_HASH
     dependent_block_size: int = 50
+    use_plan_cache: bool = True
+    use_subresult_cache: bool = True
+
+    def fingerprint(self) -> tuple:
+        """A hashable identity for plan-cache keys.
+
+        Covers every field that changes what the planner produces, so two
+        policies differing anywhere plan-relevant (awareness, filter
+        placement, decomposition, join strategy, bounds) can never share a
+        cached plan.  The cache toggles themselves are excluded — they gate
+        whether the cache is consulted, not what the plan looks like.
+        """
+        return (
+            self.name,
+            self.merge_same_source_joins,
+            self.filter_placement,
+            self.decomposition,
+            self.max_merged_tables,
+            self.join_strategy,
+            self.dependent_block_size,
+        )
 
     @property
     def aware(self) -> bool:

@@ -40,6 +40,9 @@ class ProfileReport:
 
     entries: list[OperatorProfile] = field(default_factory=list)
     execution_time: float = 0.0
+    #: The run's cache behaviour (from ``ExecutionStats.cache_summary``);
+    #: None for runs executed without a cache registry.
+    cache_summary: str | None = None
 
     def render(self) -> str:
         lines = [f"Profile (virtual execution time {self.execution_time:.4f}s)"]
@@ -58,6 +61,8 @@ class ProfileReport:
                 f"{'  ' * entry.depth}{entry.label}  "
                 f"[rows={entry.rows_out} first={first} last={last}]"
             )
+        if self.cache_summary is not None:
+            lines.append(f"caches: {self.cache_summary}")
         return "\n".join(lines)
 
     def by_label(self, fragment: str) -> OperatorProfile:
@@ -100,4 +105,6 @@ def profile_plan(
         answers.append(solution)
     context.stats.execution_time = context.now()
     report.execution_time = context.stats.execution_time
+    if context.caches is not None:
+        report.cache_summary = context.stats.cache_summary()
     return answers, report

@@ -97,6 +97,26 @@ class SemanticDataLake:
             self._molecules = catalog
         return self._molecules
 
+    def catalog_version(self) -> tuple:
+        """The lake-wide data/physical-design version vector.
+
+        One ``(source_id, version)`` pair per member, where the version is
+        the relational :attr:`~repro.relational.database.Database.data_version`
+        or the RDF :attr:`~repro.rdf.graph.Graph.version`.  Any INSERT,
+        DELETE, CREATE INDEX or DROP INDEX on any member changes the
+        vector, so plan-cache keys embedding it can never serve a plan
+        built against a stale physical design.
+        """
+        parts = []
+        for source_id in self.source_ids:
+            source = self._sources[source_id]
+            if isinstance(source, RelationalSource):
+                parts.append((source_id, source.database.data_version))
+            else:
+                assert isinstance(source, RDFSource)
+                parts.append((source_id, source.graph.version))
+        return tuple(parts)
+
     def invalidate_descriptions(self) -> None:
         """Drop cached molecule templates (after data changes)."""
         self._molecules = None

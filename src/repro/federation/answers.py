@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..cache import CacheRegistry
 from ..network.clock import Clock, VirtualClock
 from ..network.costmodel import CostModel, DEFAULT_COST_MODEL
 from ..network.delays import NetworkSetting
@@ -36,7 +37,13 @@ class SourceStats:
 
 @dataclass
 class ExecutionStats:
-    """Everything measured during one query execution."""
+    """Everything measured during one query execution.
+
+    The ``*_cache_*`` fields report this run's cache behaviour only; the
+    virtual-time metrics above them are cache-neutral by construction
+    (cached replays re-charge the clock identically to a cold run).
+    ``plan_cache_hit`` is None when no plan cache was consulted.
+    """
 
     answers: int = 0
     execution_time: float = 0.0
@@ -45,6 +52,20 @@ class ExecutionStats:
     messages: int = 0
     engine_cost: float = 0.0
     source_stats: dict[str, SourceStats] = field(default_factory=dict)
+    plan_cache_hit: bool | None = None
+    subresult_cache_hits: int = 0
+    subresult_cache_misses: int = 0
+
+    def cache_summary(self) -> str:
+        plan = (
+            "off"
+            if self.plan_cache_hit is None
+            else ("hit" if self.plan_cache_hit else "miss")
+        )
+        return (
+            f"plan={plan} subresults={self.subresult_cache_hits} hit / "
+            f"{self.subresult_cache_misses} miss"
+        )
 
     def record_answer(self, timestamp: float) -> None:
         self.answers += 1
@@ -98,12 +119,16 @@ class RunContext:
         cost_model: CostModel | None = None,
         clock: Clock | None = None,
         seed: int | None = None,
+        caches: CacheRegistry | None = None,
     ):
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.clock = clock if clock is not None else VirtualClock()
         self.rng = np.random.default_rng(seed)
         self.stats = ExecutionStats()
+        #: The owning engine's cache registry; None means wrappers run
+        #: uncached (e.g. a bare RunContext in tests).
+        self.caches = caches
 
     # -- cost charging -------------------------------------------------------
 

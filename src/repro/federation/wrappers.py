@@ -9,12 +9,27 @@ next answer from the source."*  Both wrappers here follow that design:
   virtual source time), and charges one network delay per answer retrieved.
 * :class:`SPARQLWrapper` evaluates the star over a native RDF source with
   the local BGP matcher, charging triple-lookup costs and per-answer delays.
+
+Both wrappers consult the run's sub-result cache
+(:attr:`RunContext.caches`), FedX-style: a hit replays the recorded stream
+— re-charging request, source and per-answer network time exactly like a
+cold run, so virtual timelines stay bit-identical under a fixed seed — and
+a miss records the stream as it is produced, publishing the entry only once
+the source exhausted it (a LIMIT-truncated pull caches nothing).  Keys
+embed the source's data version, so any INSERT/DELETE or index change on
+the underlying store invalidates silently.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, TYPE_CHECKING
 
+from ..cache import (
+    RecordedSparqlResult,
+    RecordedSqlResult,
+    sparql_result_key,
+    sql_result_key,
+)
 from ..exceptions import WrapperError
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> federation cycle
@@ -57,8 +72,25 @@ class SQLWrapper:
         Work done inside the RDBMS is priced from the executor's operation
         meter *as it happens* (the per-row delta), so the virtual timeline
         interleaves source work and transfer exactly like a streaming
-        endpoint would.
+        endpoint would.  With a sub-result cache on the context, a recorded
+        stream for the same (SQL, data version) replays instead — saving
+        the RDBMS wall-clock work while re-charging identical virtual time.
         """
+        caches = context.caches
+        recording: RecordedSqlResult | None = None
+        key = None
+        if caches is not None and caches.subresults.enabled:
+            key = sql_result_key(
+                self.source_id, translation.sql, self.source.database.data_version
+            )
+            cached = caches.subresults.get(key)
+            if cached is not None:
+                context.stats.subresult_cache_hits += 1
+                context.charge_request(self.source_id)
+                yield from cached.replay(self.source_id, context)
+                return
+            context.stats.subresult_cache_misses += 1
+            recording = RecordedSqlResult()
         context.charge_request(self.source_id)
         meter = OperationMeter()
         try:
@@ -72,16 +104,26 @@ class SQLWrapper:
         for row in result:
             # Price the relational work performed to produce this row.
             total_price = cost_model.price_rdb_operations(meter.counts)
-            context.charge_source(self.source_id, total_price - priced_so_far)
+            delta = total_price - priced_so_far
+            context.charge_source(self.source_id, delta)
             priced_so_far = total_price
             # The answer crosses the network.
             context.charge_message(self.source_id)
             solution = translation.solution_for(row)
+            if recording is not None:
+                recording.rows.append(
+                    (delta, dict(solution) if solution is not None else None)
+                )
             if solution is not None:
                 yield solution
         # Residual source work after the last row (e.g. a final scan tail).
         total_price = cost_model.price_rdb_operations(meter.counts)
         context.charge_source(self.source_id, total_price - priced_so_far)
+        if recording is not None:
+            # Publish only fully-consumed streams: an early-terminated pull
+            # (LIMIT) never reaches this point.
+            recording.residual_cost = total_price - priced_so_far
+            caches.subresults.put(key, recording)
 
 
 class SPARQLWrapper:
@@ -108,22 +150,51 @@ class SPARQLWrapper:
         Restricted-out solutions are filtered *at the source*: they never
         cross the network.
         """
-        context.charge_request(self.source_id)
         cost_model = context.cost_model
         lookup_cost = cost_model.rdf_triple_lookup * len(star.patterns)
+        caches = context.caches
+        recording: RecordedSparqlResult | None = None
+        key = None
+        if caches is not None and caches.subresults.enabled:
+            key = sparql_result_key(
+                self.source_id,
+                " . ".join(pattern.n3() for pattern in star.patterns),
+                " && ".join(f.n3() for f in pushed_filters or []),
+                None
+                if bindings is None
+                else (bindings[0], tuple(sorted(term.n3() for term in bindings[1]))),
+                self.source.graph.version,
+            )
+            cached = caches.subresults.get(key)
+            if cached is not None:
+                context.stats.subresult_cache_hits += 1
+                context.charge_request(self.source_id)
+                yield from cached.replay(self.source_id, context)
+                return
+            context.stats.subresult_cache_misses += 1
+            recording = RecordedSparqlResult(
+                lookup_cost=lookup_cost, output_cost=cost_model.rdf_output_row
+            )
+        context.charge_request(self.source_id)
         filters = list(pushed_filters or [])
         for solution in evaluate_bgp(self.source.graph, star.patterns):
             # Each solution required one lookup per triple pattern (amortized).
             context.charge_source(self.source_id, lookup_cost)
+            dropped = False
             if bindings is not None:
                 variable, terms = bindings
-                if solution.get(variable) not in terms:
-                    continue
-            if filters and not all(holds(f.expression, solution) for f in filters):
+                dropped = solution.get(variable) not in terms
+            if not dropped and filters:
+                dropped = not all(holds(f.expression, solution) for f in filters)
+            if recording is not None:
+                recording.matches.append(None if dropped else dict(solution))
+            if dropped:
                 continue
             context.charge_source(self.source_id, cost_model.rdf_output_row)
             context.charge_message(self.source_id)
             yield dict(solution)
+        if recording is not None:
+            caches.subresults.put(key, recording)
 
     def execute_restricted(
         self,

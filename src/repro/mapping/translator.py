@@ -14,6 +14,7 @@ optimized form directly (one flat join over base tables).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..exceptions import TranslationError
@@ -403,6 +404,59 @@ class _Translator:
         raise TranslationError(f"function {name} is not translatable to SQL")
 
 
+#: LRU memo for star→SQL translation, keyed structurally: the N3
+#: serialization of every pattern and filter plus the full mapping layout.
+#: Equal keys therefore mean structurally identical inputs, even across
+#: re-parsed copies of the same query.  Entries are shared read-only: every
+#: consumer (including ``TranslationResult.restricted``) copies before
+#: modifying.
+_TRANSLATION_MEMO_CAPACITY = 256
+_translation_memo: "OrderedDict[tuple, TranslationResult]" = OrderedDict()
+_MEMOIZE_TRANSLATIONS = True
+
+
+def set_translation_memoization(enabled: bool) -> None:
+    """Toggle the process-wide star→SQL translation memo (clears it off)."""
+    global _MEMOIZE_TRANSLATIONS
+    _MEMOIZE_TRANSLATIONS = enabled
+    if not enabled:
+        _translation_memo.clear()
+
+
+def _mapping_key(mapping: ClassMapping) -> tuple:
+    return (
+        mapping.source_id,
+        mapping.class_iri.value,
+        mapping.table,
+        mapping.subject_column,
+        mapping.subject_template,
+        tuple(
+            sorted(
+                (predicate.value, repr(predicate_mapping))
+                for predicate, predicate_mapping in mapping.predicates.items()
+            )
+        ),
+    )
+
+
+def _translation_key(
+    stars: list[tuple[StarSubquery, ClassMapping]],
+    pushed_filters: list[Filter] | None,
+    distinct: bool,
+) -> tuple:
+    return (
+        tuple(
+            (
+                tuple(pattern.n3() for pattern in star.patterns),
+                _mapping_key(mapping),
+            )
+            for star, mapping in stars
+        ),
+        tuple(filter_.n3() for filter_ in pushed_filters or []),
+        distinct,
+    )
+
+
 def translate_stars(
     stars: list[tuple[StarSubquery, ClassMapping]],
     pushed_filters: list[Filter] | None = None,
@@ -421,6 +475,26 @@ def translate_stars(
     """
     if not stars:
         raise TranslationError("translate_stars needs at least one star")
+    key = None
+    if _MEMOIZE_TRANSLATIONS:
+        key = _translation_key(stars, pushed_filters, distinct)
+        cached = _translation_memo.get(key)
+        if cached is not None:
+            _translation_memo.move_to_end(key)
+            return cached
+    result = _translate_stars(stars, pushed_filters, distinct)
+    if key is not None:
+        _translation_memo[key] = result
+        while len(_translation_memo) > _TRANSLATION_MEMO_CAPACITY:
+            _translation_memo.popitem(last=False)
+    return result
+
+
+def _translate_stars(
+    stars: list[tuple[StarSubquery, ClassMapping]],
+    pushed_filters: list[Filter] | None,
+    distinct: bool,
+) -> TranslationResult:
     translator = _Translator()
     for position, (ssq, mapping) in enumerate(stars):
         context = _StarContext(ssq, mapping, alias=f"t{position}")

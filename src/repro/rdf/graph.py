@@ -30,6 +30,9 @@ class Graph:
 
     def __init__(self, name: str = "default"):
         self.name = name
+        #: Monotonic data-version counter, bumped whenever the triple set
+        #: actually changes; the federation's caches key on it.
+        self.version = 0
         self._triples: set[Triple] = set()
         # index[s][p] -> set of o, and the two rotations.
         self._spo: dict[Term, dict[IRI, set[Term]]] = defaultdict(lambda: defaultdict(set))
@@ -54,6 +57,7 @@ class Graph:
         self._spo[s][p].add(o)
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
+        self.version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -69,6 +73,7 @@ class Graph:
         self._spo[s][p].discard(o)
         self._pos[p][o].discard(s)
         self._osp[o][s].discard(p)
+        self.version += 1
         return True
 
     def triples(

@@ -70,7 +70,24 @@ class Database:
         self.name = name
         self._tables: dict[str, TableStorage] = {}
         self._statistics: dict[str, TableStatistics] = {}
+        self._data_version = 0
         self.planner = Planner(self, planner_options)
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter of result-affecting changes to this database.
+
+        Bumped by every INSERT/DELETE/UPDATE, CREATE/DROP INDEX, and
+        CREATE/DROP TABLE — including DML issued directly against a
+        :class:`TableStorage` obtained via :meth:`table` (storages report
+        changes back through their ``on_change`` hook).  The federation's
+        plan and sub-result caches embed this value in their keys, so any
+        write silently invalidates everything cached over this source.
+        """
+        return self._data_version
+
+    def _bump_data_version(self) -> None:
+        self._data_version += 1
 
     # -- catalog --------------------------------------------------------------
 
@@ -113,7 +130,8 @@ class Database:
             primary_key=tuple(primary_key),
             foreign_keys=list(foreign_keys),
         )
-        self._tables[name] = TableStorage(schema)
+        self._tables[name] = TableStorage(schema, on_change=self._bump_data_version)
+        self._bump_data_version()
         return schema
 
     def drop_table(self, name: str) -> None:
@@ -121,6 +139,7 @@ class Database:
             raise SchemaError(f"no table {name!r} in database {self.name!r}")
         del self._tables[name]
         self._statistics.pop(name, None)
+        self._bump_data_version()
 
     def create_index(
         self,

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Iterator
 
 from ..exceptions import ExecutionError
@@ -35,8 +36,13 @@ Row = tuple
 Header = tuple[str, ...]
 
 
+@lru_cache(maxsize=512)
 def like_to_regex(pattern: str) -> re.Pattern:
-    """Compile a SQL LIKE pattern (``%``, ``_``) into an anchored regex."""
+    """Compile a SQL LIKE pattern (``%``, ``_``) into an anchored regex.
+
+    Memoized: predicate compilation runs once per operator per execution,
+    so the same LIKE pattern would otherwise be recompiled on every query.
+    """
     parts: list[str] = []
     for char in pattern:
         if char == "%":
@@ -93,8 +99,34 @@ def _is_string_predicate(predicate: WhereExpr) -> bool:
     return isinstance(predicate, LikePredicate)
 
 
+_MEMOIZE_PREDICATES = True
+
+
+def set_predicate_memoization(enabled: bool) -> None:
+    """Toggle the process-wide predicate-compilation memo (and clear it off)."""
+    global _MEMOIZE_PREDICATES
+    _MEMOIZE_PREDICATES = enabled
+    if not enabled:
+        _compile_predicate_memo.cache_clear()
+
+
 def compile_predicate(header: Header, predicate: WhereExpr) -> Callable[[Row], bool]:
-    """Compile a WHERE expression into a row predicate closure."""
+    """Compile a WHERE expression into a row predicate closure.
+
+    Compiled closures are pure functions of (header, predicate) — the AST
+    nodes are frozen dataclasses — so compilation is memoized across
+    queries.  Constants that happen to be unhashable fall back to direct
+    compilation.
+    """
+    if _MEMOIZE_PREDICATES:
+        try:
+            return _compile_predicate_memo(header, predicate)
+        except TypeError:
+            pass
+    return _compile_predicate(header, predicate)
+
+
+def _compile_predicate(header: Header, predicate: WhereExpr) -> Callable[[Row], bool]:
     if isinstance(predicate, Comparison):
         left = _operand_getter(header, predicate.left)
         right = _operand_getter(header, predicate.right)
@@ -161,6 +193,9 @@ def compile_predicate(header: Header, predicate: WhereExpr) -> Callable[[Row], b
         inners = [compile_predicate(header, operand) for operand in predicate.operands]
         return lambda row: any(inner(row) for inner in inners)
     raise ExecutionError(f"unsupported predicate {predicate!r}")
+
+
+_compile_predicate_memo = lru_cache(maxsize=2048)(_compile_predicate)
 
 
 # ---------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..exceptions import IntegrityError, SchemaError
 from .indexes import Index, key_of, make_index
@@ -18,10 +18,19 @@ class TableStorage:
     Rows are tuples ordered like ``schema.columns``.  Row ids are stable
     positions in the heap; deletion leaves a tombstone (``None``) so index
     entries can be invalidated cheaply.
+
+    ``version`` is a monotonic data-version counter, bumped by every change
+    that can alter query results or plans — INSERT, DELETE, CREATE INDEX,
+    DROP INDEX.  The federation's caches key on it, so bumping is how
+    cached plans and sub-results get invalidated.  ``on_change`` (set by
+    the owning :class:`~repro.relational.database.Database`) propagates
+    bumps upward.
     """
 
-    def __init__(self, schema: TableSchema):
+    def __init__(self, schema: TableSchema, on_change: Callable[[], None] | None = None):
         self.schema = schema
+        self.version = 0
+        self.on_change = on_change
         self._rows: list[Row | None] = []
         self._live_count = 0
         self._indexes: dict[str, Index] = {}
@@ -37,6 +46,11 @@ class TableStorage:
                     kind="btree",
                 )
             )
+
+    def _bump_version(self) -> None:
+        self.version += 1
+        if self.on_change is not None:
+            self.on_change()
 
     # -- index management ---------------------------------------------------
 
@@ -57,6 +71,7 @@ class TableStorage:
         self._indexes[definition.name] = index
         self._index_defs[definition.name] = definition
         self._index_positions[definition.name] = positions
+        self._bump_version()
 
     def drop_index(self, name: str) -> None:
         if name not in self._indexes:
@@ -64,6 +79,7 @@ class TableStorage:
         del self._indexes[name]
         del self._index_defs[name]
         del self._index_positions[name]
+        self._bump_version()
 
     @property
     def indexes(self) -> dict[str, IndexDef]:
@@ -112,18 +128,23 @@ class TableStorage:
         row = tuple(coerced)
 
         row_id = len(self._rows)
-        for name, index in self._indexes.items():
-            definition = self._index_defs[name]
-            key = key_of(row, self._index_positions[name])
-            if definition.unique and index.contains_key(key):
+        # One key computation per index, shared by the uniqueness pre-check
+        # and the insertion below.
+        keyed = [
+            (index, key_of(row, self._index_positions[name]))
+            for name, index in self._indexes.items()
+        ]
+        for (index, key), name in zip(keyed, self._indexes):
+            if self._index_defs[name].unique and index.contains_key(key):
                 raise IntegrityError(
                     f"duplicate key {key!r} for unique index {name!r} "
                     f"on table {self.schema.name!r}"
                 )
         self._rows.append(row)
         self._live_count += 1
-        for name, index in self._indexes.items():
-            index.insert(key_of(row, self._index_positions[name]), row_id)
+        for index, key in keyed:
+            index.insert(key, row_id)
+        self._bump_version()
         return row_id
 
     def delete(self, row_id: int) -> bool:
@@ -135,6 +156,7 @@ class TableStorage:
             index.remove(key_of(row, self._index_positions[name]), row_id)
         self._rows[row_id] = None
         self._live_count -= 1
+        self._bump_version()
         return True
 
     # -- access -------------------------------------------------------------

@@ -1,0 +1,121 @@
+"""The semantics guard: caching saves wall-clock, never virtual time.
+
+Acceptance criterion of the caching subsystem: virtual execution times and
+answer counts for the paper's five benchmark queries are unchanged under
+fixed seeds whether caches are cold, warm, or disabled — cached wrapper
+replays re-charge network delays into the virtual clock identically to a
+cold run.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.benchmark import same_answers
+from repro.datasets import BENCHMARK_QUERIES, GRID_QUERIES
+
+from ..conftest import TINY_CROSS_SOURCE_QUERY, TINY_QUERY
+
+SEED = 7
+
+
+def stats_key(stats):
+    """Every virtual-time-visible observable of one execution."""
+    return (
+        stats.answers,
+        stats.execution_time,
+        stats.time_to_first_answer,
+        tuple(stats.trace),
+        stats.messages,
+        {
+            source: (s.requests, s.answers, s.virtual_cost)
+            for source, s in stats.source_stats.items()
+        },
+    )
+
+
+@pytest.mark.parametrize("query_name", GRID_QUERIES)
+def test_paper_queries_cached_equals_uncached(small_lslod_lake, query_name):
+    query = BENCHMARK_QUERIES[query_name].text
+    network = NetworkSetting.gamma2()
+    uncached = FederatedEngine(
+        small_lslod_lake,
+        policy=PlanPolicy.physical_design_aware(),
+        network=network,
+        enable_plan_cache=False,
+        enable_subresult_cache=False,
+    )
+    cached = FederatedEngine(
+        small_lslod_lake, policy=PlanPolicy.physical_design_aware(), network=network
+    )
+
+    answers_off, stats_off = uncached.run(query, seed=SEED)
+    answers_cold, stats_cold = cached.run(query, seed=SEED)
+    answers_warm, stats_warm = cached.run(query, seed=SEED)
+
+    assert stats_warm.plan_cache_hit is True
+    assert stats_warm.subresult_cache_hits > 0
+    assert stats_warm.subresult_cache_misses == 0
+
+    assert same_answers(answers_off, answers_cold)
+    assert same_answers(answers_off, answers_warm)
+    assert stats_key(stats_off) == stats_key(stats_cold)
+    assert stats_key(stats_off) == stats_key(stats_warm)
+
+
+@pytest.mark.parametrize(
+    "policy_factory",
+    [
+        PlanPolicy.physical_design_aware,
+        PlanPolicy.physical_design_unaware,
+        PlanPolicy.heuristic2,
+        PlanPolicy.dependent_join,
+    ],
+    ids=lambda factory: factory.__name__,
+)
+def test_neutrality_across_policies(tiny_lake, policy_factory):
+    policy = policy_factory()
+    network = NetworkSetting.gamma1()
+    uncached = FederatedEngine(
+        tiny_lake,
+        policy=policy,
+        network=network,
+        enable_plan_cache=False,
+        enable_subresult_cache=False,
+    )
+    cached = FederatedEngine(tiny_lake, policy=policy, network=network)
+    for query in (TINY_QUERY, TINY_CROSS_SOURCE_QUERY):
+        answers_off, stats_off = uncached.run(query, seed=SEED)
+        answers_cold, stats_cold = cached.run(query, seed=SEED)
+        answers_warm, stats_warm = cached.run(query, seed=SEED)
+        assert same_answers(answers_off, answers_warm)
+        assert stats_key(stats_off) == stats_key(stats_cold) == stats_key(stats_warm)
+
+
+def test_neutrality_over_pure_rdf_sources(diseasome_graph, affymetrix_graph):
+    from repro.datalake import SemanticDataLake
+
+    lake = SemanticDataLake("rdf")
+    lake.add_rdf_source("diseasome", diseasome_graph)
+    lake.add_rdf_source("affymetrix", affymetrix_graph)
+    network = NetworkSetting.gamma2()
+    uncached = FederatedEngine(
+        lake, network=network, enable_plan_cache=False, enable_subresult_cache=False
+    )
+    cached = FederatedEngine(lake, network=network)
+    answers_off, stats_off = uncached.run(TINY_CROSS_SOURCE_QUERY, seed=SEED)
+    cached.run(TINY_CROSS_SOURCE_QUERY, seed=SEED)
+    answers_warm, stats_warm = cached.run(TINY_CROSS_SOURCE_QUERY, seed=SEED)
+    assert stats_warm.subresult_cache_hits > 0
+    assert same_answers(answers_off, answers_warm)
+    assert stats_key(stats_off) == stats_key(stats_warm)
+
+
+def test_warm_results_are_fresh_copies(tiny_lake):
+    """Replayed solutions must not alias cache-internal state."""
+    engine = FederatedEngine(tiny_lake)
+    engine.run(TINY_QUERY, seed=SEED)
+    answers_one, __ = engine.run(TINY_QUERY, seed=SEED)
+    for solution in answers_one:
+        solution.clear()  # downstream consumer mangles its copy
+    answers_two, __ = engine.run(TINY_QUERY, seed=SEED)
+    assert all(answers_two), "cached solutions were shared with consumers"
