@@ -134,6 +134,29 @@ def cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    # Imported here so the oracle subsystem stays off the hot CLI paths.
+    from .oracle import run_fuzz
+
+    regressions_dir = None if args.no_write else args.regressions_dir
+
+    def on_case(index, case, mismatches):
+        if args.verbose:
+            status = "FAIL" if mismatches else "ok"
+            print(f"[{index + 1}/{args.iters}] {case.name}: {status}", file=sys.stderr)
+
+    report = run_fuzz(
+        args.seed,
+        args.iters,
+        regressions_dir=regressions_dir,
+        check_invariants=not args.no_invariants,
+        shrink=not args.no_shrink,
+        on_case=on_case,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     lake = _build_lake(args)
     query_text = _resolve_query(args.query)
@@ -189,6 +212,29 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--queries", help="comma-separated benchmark names (default Q1-Q5)")
     grid.add_argument("--format", choices=("table", "csv", "json"), default="table")
     grid.set_defaults(func=cmd_grid)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-test random queries/layouts against the naive oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=42, help="campaign seed")
+    fuzz.add_argument("--iters", type=int, default=50, help="number of random cases")
+    fuzz.add_argument(
+        "--regressions-dir",
+        default="tests/oracle/regressions",
+        help="where shrunk reproducers of failures are written",
+    )
+    fuzz.add_argument(
+        "--no-write", action="store_true", help="do not write reproducer files"
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true", help="report failures without minimizing"
+    )
+    fuzz.add_argument(
+        "--no-invariants", action="store_true", help="skip the plan-invariant audit"
+    )
+    fuzz.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     trace = sub.add_parser("trace", help="plot answer traces (Figure 2 style)")
     _add_common(trace)

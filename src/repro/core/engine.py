@@ -85,11 +85,14 @@ class FederatedEngine:
         enable_subresult_cache: bool = True,
         plan_cache_size: int = 256,
         subresult_cache_size: int = 1024,
+        debug_validate: bool | None = None,
     ):
         self.lake = lake
         self.policy = policy or PlanPolicy.physical_design_aware()
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        #: None defers to the REPRO_DEBUG_VALIDATE env var (see planner).
+        self.debug_validate = debug_validate
         # Effective switches: both the engine flag and the policy flag must
         # be on.  The registry is engine-local because recorded sub-results
         # price source work under this engine's cost model.
@@ -103,7 +106,9 @@ class FederatedEngine:
         )
 
     def planner(self) -> FederatedPlanner:
-        return FederatedPlanner(self.lake, self.policy, self.network)
+        return FederatedPlanner(
+            self.lake, self.policy, self.network, debug_validate=self.debug_validate
+        )
 
     def _plan_cached(self, query: SelectQuery | str) -> tuple[FederatedPlan, bool | None]:
         """Plan through the plan cache; returns (plan, hit-or-None).

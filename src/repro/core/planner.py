@@ -16,6 +16,7 @@ Pipeline (Ontario's architecture with the paper's heuristics plugged in):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -69,6 +70,11 @@ class FederatedPlan:
     merge_decisions: list[MergeDecision] = field(default_factory=list)
     filter_decisions: list[tuple[str, FilterDecision]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Every leaf plan unit, in build order: merged star groups (Heuristic 1)
+    #: and single selected stars.  The plan-invariant checker
+    #: (:mod:`repro.oracle.invariants`) audits SSQ coverage and the
+    #: heuristics' preconditions from this log.
+    units: list[MergeGroup | SelectedStar] = field(default_factory=list)
     #: The lake's catalog version vector at planning time.  A cached plan
     #: is only ever served while the lake still reports this exact vector
     #: (the plan-cache key embeds it), so heuristic decisions made against
@@ -109,10 +115,24 @@ class _PlanUnit:
 class FederatedPlanner:
     """Builds :class:`FederatedPlan` objects for one lake."""
 
-    def __init__(self, lake: SemanticDataLake, policy: PlanPolicy, network: NetworkSetting):
+    def __init__(
+        self,
+        lake: SemanticDataLake,
+        policy: PlanPolicy,
+        network: NetworkSetting,
+        debug_validate: bool | None = None,
+    ):
         self.lake = lake
         self.policy = policy
         self.network = network
+        # Debug mode: audit every produced plan with the oracle's invariant
+        # checker.  ``None`` defers to the REPRO_DEBUG_VALIDATE env var so
+        # test runs can switch the whole suite into validating mode.
+        if debug_validate is None:
+            debug_validate = os.environ.get("REPRO_DEBUG_VALIDATE", "").lower() in (
+                "1", "true", "yes", "on",
+            )
+        self.debug_validate = debug_validate
 
     # -- public ---------------------------------------------------------------
 
@@ -126,11 +146,12 @@ class FederatedPlanner:
         merge_decisions: list[MergeDecision] = []
         filter_decisions: list[tuple[str, FilterDecision]] = []
         notes: list[str] = []
+        units: list[MergeGroup | SelectedStar] = []
         root = self._plan_decomposition(
-            decomposition, merge_decisions, filter_decisions, notes
+            decomposition, merge_decisions, filter_decisions, notes, units
         )
         root = self._apply_modifiers(root, query, decomposition)
-        return FederatedPlan(
+        plan = FederatedPlan(
             root=root,
             query=query,
             policy=self.policy,
@@ -139,8 +160,16 @@ class FederatedPlanner:
             merge_decisions=merge_decisions,
             filter_decisions=filter_decisions,
             notes=notes,
+            units=units,
             catalog_version=self.lake.catalog_version(),
         )
+        if self.debug_validate:
+            # Imported lazily: the oracle package depends on core, not the
+            # other way around, except in this opt-in debug path.
+            from ..oracle.invariants import assert_plan_valid
+
+            assert_plan_valid(plan, self.lake)
+        return plan
 
     def _plan_decomposition(
         self,
@@ -148,16 +177,19 @@ class FederatedPlanner:
         merge_decisions: list[MergeDecision],
         filter_decisions: list[tuple[str, FilterDecision]],
         notes: list[str],
+        unit_log: list[MergeGroup | SelectedStar],
     ) -> FedOperator:
         """Plan one decomposition (recursively for UNION branches and
         OPTIONAL groups) into an operator tree, pre-modifiers."""
         if decomposition.union_branches:
             branches = [
-                self._plan_branch(branch, merge_decisions, filter_decisions, notes)
+                self._plan_branch(branch, merge_decisions, filter_decisions, notes, unit_log)
                 for branch in decomposition.union_branches
             ]
             return Union(branches)
-        return self._plan_branch(decomposition, merge_decisions, filter_decisions, notes)
+        return self._plan_branch(
+            decomposition, merge_decisions, filter_decisions, notes, unit_log
+        )
 
     def _plan_branch(
         self,
@@ -165,12 +197,14 @@ class FederatedPlanner:
         merge_decisions: list[MergeDecision],
         filter_decisions: list[tuple[str, FilterDecision]],
         notes: list[str],
+        unit_log: list[MergeGroup | SelectedStar],
     ) -> FedOperator:
         selections = select_sources(self.lake, decomposition)
         units_spec, branch_merges = push_down_joins(
             selections, self.lake.physical_catalog, self.policy
         )
         merge_decisions.extend(branch_merges)
+        unit_log.extend(units_spec)
         units = [self._build_unit(unit, filter_decisions) for unit in units_spec]
         root = self._order_joins(units, notes)
         if decomposition.residual_filters:
@@ -180,7 +214,7 @@ class FederatedPlanner:
             main_variables |= star.variable_names()
         for optional in decomposition.optional_groups:
             optional_root = self._plan_decomposition(
-                optional, merge_decisions, filter_decisions, notes
+                optional, merge_decisions, filter_decisions, notes, unit_log
             )
             optional_variables: set[str] = set()
             for star in optional.subqueries:
@@ -223,6 +257,9 @@ class FederatedPlanner:
         filter_decisions.extend(
             (group.source_id, decision) for decision in filter_plan.decisions
         )
+        variables: set[str] = set()
+        for star in group.stars:
+            variables |= star.variable_names()
         wrapper = SQLWrapper(source)
         translation = wrapper.translate(stars, pushed_filters=filter_plan.pushed)
         operator = ServiceNode(
@@ -235,10 +272,8 @@ class FederatedPlanner:
                     t.restricted(variable, terms), context
                 )
             ),
+            variables=tuple(sorted(variables)),
         )
-        variables: set[str] = set()
-        for star in group.stars:
-            variables |= star.variable_names()
         estimate = min(
             float(self.lake.physical_catalog.table_rows(group.source_id, mapping.table))
             for __, mapping in stars
@@ -279,6 +314,7 @@ class FederatedPlanner:
                             lambda context, variable, terms, w=wrapper, t=translation:
                             w.execute(t.restricted(variable, terms), context)
                         ),
+                        variables=tuple(sorted(selection.star.variable_names())),
                     )
                 )
             else:
@@ -299,6 +335,7 @@ class FederatedPlanner:
                                 s, context, variable, terms, pushed_filters=s.filters
                             )
                         ),
+                        variables=tuple(sorted(star.variable_names())),
                     )
                 )
         operator: FedOperator = branches[0] if len(branches) == 1 else Union(branches)

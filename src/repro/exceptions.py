@@ -64,6 +64,19 @@ class SourceSelectionError(PlanningError):
     """No data source can answer some part of the query."""
 
 
+class InvariantViolation(PlanningError):
+    """A produced plan breaks a planner invariant (debug-validate mode).
+
+    Attributes:
+        violations: one human-readable description per broken invariant.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        summary = "; ".join(self.violations) or "unknown planner invariant violation"
+        super().__init__(f"plan violates {len(self.violations)} invariant(s): {summary}")
+
+
 class TranslationError(ReproError):
     """A star-shaped sub-query could not be translated to the source's language."""
 

@@ -57,6 +57,9 @@ class ServiceNode(FedOperator):
     runner: Callable[[RunContext], Iterator[Solution]]
     engine_filters: list[Filter] = field(default_factory=list)
     restricted_runner: Callable[..., Iterator[Solution]] | None = None
+    #: Variable names this sub-query can bind (set by the planner; the
+    #: plan-invariant checker uses it to verify join orderings).
+    variables: tuple[str, ...] = ()
 
     def _filtered(self, context: RunContext, stream: Iterator[Solution]) -> Iterator[Solution]:
         cost = context.cost_model

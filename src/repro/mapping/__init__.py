@@ -1,5 +1,6 @@
 """Mappings between RDF and relational storage, plus SSQ -> SQL translation."""
 
+from .materializer import materialize_class, materialize_source
 from .normalizer import NormalizationReport, Normalizer, normalize_graph
 from .rml import (
     ClassMapping,
@@ -31,6 +32,8 @@ __all__ = [
     "datatype_for_sql_type",
     "extract_value",
     "filter_columns",
+    "materialize_class",
+    "materialize_source",
     "normalize_graph",
     "render_iri",
     "sql_type_for_datatype",

@@ -1,0 +1,74 @@
+"""Relational -> RDF reverse materialization (the normalizer's inverse).
+
+The correctness oracle (:mod:`repro.oracle`) needs an obviously-correct
+view of the whole lake: every relational member is de-normalized back into
+the RDF triples its R2RML-style mapping describes, so a plain SPARQL
+evaluator can answer queries without the planner, the heuristics, the
+wrappers or the caches in the loop.
+
+For sources produced by :func:`repro.mapping.normalizer.normalize_graph`
+this is an exact inverse: ``materialize(database, mapping)`` yields the
+original graph's triples (asserted by the oracle's round-trip tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import Triple
+from ..relational.database import Database
+from .rml import ClassMapping, SourceMapping
+
+
+def _rows_as_dicts(database: Database, table: str) -> Iterator[dict]:
+    storage = database.table(table)
+    names = [column.name for column in storage.schema.columns]
+    for row in storage.rows():
+        yield dict(zip(names, row))
+
+
+def materialize_class(database: Database, mapping: ClassMapping) -> Iterator[Triple]:
+    """Yield every triple one class mapping describes.
+
+    * one ``rdf:type`` triple per base-table row,
+    * one triple per non-NULL functional column / link column,
+    * one triple per satellite-table row for multi-valued predicates.
+    """
+    # Satellite tables are grouped once up front so materialization stays
+    # linear in the number of rows.
+    satellites: dict[str, dict[object, list[object]]] = {}
+    for predicate_mapping in mapping.predicates.values():
+        if predicate_mapping.kind != "multivalued":
+            continue
+        table = predicate_mapping.table
+        if table is None or table in satellites or not database.has_table(table):
+            continue
+        grouped: dict[object, list[object]] = {}
+        for row in _rows_as_dicts(database, table):
+            grouped.setdefault(row[predicate_mapping.key_column], []).append(
+                row[predicate_mapping.value_column]
+            )
+        satellites[table] = grouped
+
+    for row in _rows_as_dicts(database, mapping.table):
+        key = row[mapping.subject_column]
+        subject = mapping.subject_term(key)
+        yield Triple(subject, RDF_TYPE, mapping.class_iri)
+        for predicate_mapping in mapping.predicates.values():
+            if predicate_mapping.kind == "multivalued":
+                grouped = satellites.get(predicate_mapping.table or "", {})
+                for value in grouped.get(key, ()):
+                    term = predicate_mapping.term_for_value(value)
+                    if term is not None:
+                        yield Triple(subject, predicate_mapping.predicate, term)
+            else:
+                term = predicate_mapping.term_for_value(row[predicate_mapping.column])
+                if term is not None:
+                    yield Triple(subject, predicate_mapping.predicate, term)
+
+
+def materialize_source(database: Database, mapping: SourceMapping) -> Iterator[Triple]:
+    """Yield every triple of one relational source (all class mappings)."""
+    for class_iri in sorted(mapping.classes, key=lambda iri: iri.value):
+        yield from materialize_class(database, mapping.classes[class_iri])

@@ -1,0 +1,56 @@
+"""Correctness tooling: naive oracle, fuzzer, differential runner, invariants.
+
+The subsystem behind ``repro fuzz`` and the planner's debug-validate mode.
+See DESIGN.md ("Correctness tooling") for the architecture.
+"""
+
+from .differential import (
+    EngineConfig,
+    Mismatch,
+    check_case_on_lake,
+    check_fuzz_case,
+    compare_answers,
+    default_configs,
+)
+from .fuzz import FuzzFailure, FuzzReport, run_fuzz
+from .generator import (
+    FuzzCase,
+    LakeLayout,
+    QuerySpec,
+    StarSpec,
+    build_lake,
+    generate_graphs,
+    random_case,
+    random_layout,
+    random_query,
+)
+from .invariants import assert_plan_valid, check_plan
+from .reference import ReferenceEvaluator, materialize_lake, reference_answers
+from .shrinker import shrink_case
+
+__all__ = [
+    "EngineConfig",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "LakeLayout",
+    "Mismatch",
+    "QuerySpec",
+    "ReferenceEvaluator",
+    "StarSpec",
+    "assert_plan_valid",
+    "build_lake",
+    "check_case_on_lake",
+    "check_fuzz_case",
+    "check_plan",
+    "compare_answers",
+    "default_configs",
+    "generate_graphs",
+    "materialize_lake",
+    "random_case",
+    "random_layout",
+    "random_query",
+    "reference_answers",
+    "run_fuzz",
+    "shrink_case",
+]

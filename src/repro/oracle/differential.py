@@ -1,0 +1,294 @@
+"""Differential runner: every plan configuration vs the naive oracle.
+
+Each query runs under every base :class:`~repro.core.policy.PlanPolicy` ×
+{star, triple-wise decomposition} × {caches on, caches off}; cached
+configurations run twice (cold + warm) so cache-induced wrong answers are
+caught too.  Each execution's answers are diffed against the reference
+evaluator and every produced plan is audited by the invariant checker.
+
+Comparison semantics follow the engine's documented behaviour:
+
+* Without LIMIT, answers are compared as **multisets** — except when the
+  lake replicates a dataset: the planner unions all candidate sources of a
+  star, so replicated rows legitimately appear once per replica, and the
+  comparison weakens to answer *sets* (DISTINCT queries stay exact).
+* With LIMIT/OFFSET but no total order, different (correct) plans may pick
+  different rows; produced answers must be a subset of the *unlimited*
+  reference answers, with the right cardinality.
+* Under ORDER BY, the produced sequence must be sorted by the query's
+  conditions; exact order of ties is plan-dependent and not compared.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..benchmark.metrics import answer_set, solution_key
+from ..core.engine import FederatedEngine
+from ..core.policy import DecompositionKind, PlanPolicy
+from ..exceptions import ReproError
+from ..federation.answers import Solution
+from ..network.delays import NetworkSetting
+from ..sparql.algebra import OrderCondition, SelectQuery
+from ..sparql.expressions import ExpressionError, evaluate
+from ..sparql.parser import parse_query
+from .generator import FuzzCase, build_lake
+from .invariants import check_plan
+from .reference import ReferenceEvaluator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalake.lake import SemanticDataLake
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One cell of the configuration matrix."""
+
+    name: str
+    policy: PlanPolicy
+    cache: bool
+
+
+@dataclass
+class Mismatch:
+    """One disagreement between a configuration and the oracle."""
+
+    config: str
+    kind: str  # "answers" | "count" | "order" | "duplicates" | "cache" | "invariant" | "error"
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.config}] {self.kind}: {self.detail}"
+
+
+def default_configs() -> list[EngineConfig]:
+    """The full matrix: base policies × decompositions × cache settings."""
+    base = [
+        PlanPolicy.physical_design_aware(),
+        PlanPolicy.physical_design_unaware(),
+        PlanPolicy.heuristic2(),
+        PlanPolicy.filters_at_source(),
+        PlanPolicy.dependent_join(),
+    ]
+    configs: list[EngineConfig] = []
+    for policy in base:
+        for decomposition in (DecompositionKind.STAR, DecompositionKind.TRIPLE):
+            variant = policy.with_(decomposition=decomposition)
+            for cache in (True, False):
+                name = (
+                    f"{policy.name}/{decomposition.value}/"
+                    f"{'cache' if cache else 'nocache'}"
+                )
+                configs.append(EngineConfig(name=name, policy=variant, cache=cache))
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# Answer comparison
+# ---------------------------------------------------------------------------
+
+
+def _order_key(condition: OrderCondition, solution: Solution) -> tuple:
+    # Mirrors the typed sort key of both executors (operators.OrderBy and
+    # sparql.bgp) so "is the output sorted?" uses the same collation.
+    try:
+        value = evaluate(condition.expression, solution)
+    except ExpressionError:
+        return (0, "")
+    if hasattr(value, "to_python"):
+        value = value.to_python()
+    elif hasattr(value, "value"):
+        value = value.value
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _is_sorted(solutions: list[Solution], conditions: list[OrderCondition]) -> bool:
+    for previous, current in zip(solutions, solutions[1:]):
+        for condition in conditions:
+            key_a = _order_key(condition, previous)
+            key_b = _order_key(condition, current)
+            if key_a == key_b:
+                continue
+            ordered = key_a < key_b if condition.ascending else key_a > key_b
+            if not ordered:
+                return False
+            break
+    return True
+
+
+def compare_answers(
+    query: SelectQuery,
+    expected_full: list[Solution],
+    produced: list[Solution],
+    exact: bool,
+    config: str,
+) -> list[Mismatch]:
+    """Diff one execution against the (unlimited) reference answers."""
+    mismatches: list[Mismatch] = []
+    if query.order_by and not _is_sorted(produced, query.order_by):
+        mismatches.append(
+            Mismatch(config, "order", "answers are not sorted by the ORDER BY conditions")
+        )
+
+    produced_keys = [solution_key(solution) for solution in produced]
+    expected_keys = [solution_key(solution) for solution in expected_full]
+    expected_set = set(expected_keys)
+    # DISTINCT dedupes before any replica effect can survive, so DISTINCT
+    # comparisons stay exact even on replicated layouts.
+    exact = exact or query.distinct
+
+    if query.distinct and len(produced_keys) != len(set(produced_keys)):
+        mismatches.append(
+            Mismatch(config, "duplicates", "DISTINCT execution produced duplicate answers")
+        )
+
+    sliced = query.limit is not None or bool(query.offset)
+    if sliced:
+        extra = set(produced_keys) - expected_set
+        if extra:
+            mismatches.append(
+                Mismatch(
+                    config,
+                    "answers",
+                    f"{len(extra)} answer(s) outside the reference set, e.g. "
+                    f"{sorted(extra)[0]}",
+                )
+            )
+        offset = query.offset or 0
+        want = max(0, len(expected_keys) - offset)
+        if query.limit is not None:
+            want = min(want, query.limit)
+        if exact and len(produced_keys) != want:
+            mismatches.append(
+                Mismatch(
+                    config,
+                    "count",
+                    f"returned {len(produced_keys)} answers, expected {want} "
+                    f"under LIMIT {query.limit} OFFSET {offset}",
+                )
+            )
+        elif not exact and query.limit is not None and len(produced_keys) > query.limit:
+            mismatches.append(
+                Mismatch(
+                    config,
+                    "count",
+                    f"returned {len(produced_keys)} answers over LIMIT {query.limit}",
+                )
+            )
+        return mismatches
+
+    if exact:
+        expected_counter = Counter(expected_keys)
+        produced_counter = Counter(produced_keys)
+        if expected_counter != produced_counter:
+            missing = expected_counter - produced_counter
+            surplus = produced_counter - expected_counter
+            parts = []
+            if missing:
+                parts.append(f"missing {sum(missing.values())} (e.g. {sorted(missing)[0]})")
+            if surplus:
+                parts.append(f"surplus {sum(surplus.values())} (e.g. {sorted(surplus)[0]})")
+            mismatches.append(
+                Mismatch(config, "answers", "multisets differ: " + ", ".join(parts))
+            )
+    else:
+        produced_set = set(produced_keys)
+        if produced_set != expected_set:
+            missing = expected_set - produced_set
+            surplus = produced_set - expected_set
+            parts = []
+            if missing:
+                parts.append(f"missing {len(missing)} (e.g. {sorted(missing)[0]})")
+            if surplus:
+                parts.append(f"surplus {len(surplus)} (e.g. {sorted(surplus)[0]})")
+            mismatches.append(
+                Mismatch(config, "answers", "answer sets differ: " + ", ".join(parts))
+            )
+    return mismatches
+
+
+# ---------------------------------------------------------------------------
+# Running the matrix
+# ---------------------------------------------------------------------------
+
+
+def check_case_on_lake(
+    lake: "SemanticDataLake",
+    query_text: str,
+    *,
+    exact: bool = True,
+    configs: list[EngineConfig] | None = None,
+    check_invariants: bool = True,
+    seed: int = 11,
+) -> list[Mismatch]:
+    """Run *query_text* under every configuration and diff vs the oracle."""
+    query = parse_query(query_text)
+    oracle = ReferenceEvaluator(lake)
+    expected_full = oracle.answers_unlimited(query)
+    # Triple-wise decomposition intentionally rejects OPTIONAL/UNION.
+    supports_triple = not (query.where.optionals or query.where.unions)
+
+    mismatches: list[Mismatch] = []
+    for config in configs if configs is not None else default_configs():
+        if config.policy.decomposition is DecompositionKind.TRIPLE and not supports_triple:
+            continue
+        engine = FederatedEngine(
+            lake,
+            policy=config.policy,
+            network=NetworkSetting.no_delay(),
+            enable_plan_cache=config.cache,
+            enable_subresult_cache=config.cache,
+        )
+        runs: list[list[Solution]] = []
+        failed = False
+        for run_index in range(2 if config.cache else 1):
+            label = f"{config.name}#{'warm' if run_index else 'cold'}"
+            try:
+                answers, __ = engine.run(query_text, seed=seed)
+            except ReproError as exc:
+                mismatches.append(
+                    Mismatch(config.name, "error", f"{label}: {type(exc).__name__}: {exc}")
+                )
+                failed = True
+                break
+            runs.append(answers)
+            mismatches.extend(
+                compare_answers(query, expected_full, answers, exact, label)
+            )
+        if len(runs) == 2 and Counter(map(solution_key, runs[0])) != Counter(
+            map(solution_key, runs[1])
+        ):
+            mismatches.append(
+                Mismatch(config.name, "cache", "warm-cache answers differ from cold run")
+            )
+        if check_invariants and not failed:
+            violations = check_plan(engine.plan(query_text), lake)
+            mismatches.extend(
+                Mismatch(config.name, "invariant", violation) for violation in violations
+            )
+    return mismatches
+
+
+def check_fuzz_case(
+    case: FuzzCase,
+    *,
+    configs: list[EngineConfig] | None = None,
+    check_invariants: bool = True,
+    seed: int = 11,
+) -> list[Mismatch]:
+    """Build the case's lake and run the full differential check."""
+    lake = build_lake(case.layout)
+    return check_case_on_lake(
+        lake,
+        case.sparql(),
+        exact=not case.layout.has_replicas,
+        configs=configs,
+        check_invariants=check_invariants,
+        seed=seed,
+    )

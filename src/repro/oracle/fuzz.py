@@ -1,0 +1,112 @@
+"""The fuzz campaign driver behind ``repro fuzz --seed N --iters K``.
+
+Draws seeded random (layout, query) cases, runs each through the
+differential harness, and — on failure — shrinks the case and writes a
+JSON reproducer into the regression corpus directory so the bug becomes a
+permanent parametrized test.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .differential import EngineConfig, Mismatch, check_fuzz_case, default_configs
+from .generator import FuzzCase, random_case
+from .shrinker import shrink_case
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case: as drawn, as shrunk, and why."""
+
+    case: FuzzCase
+    shrunk: FuzzCase
+    mismatches: list[Mismatch]
+    written_to: str | None = None
+
+
+@dataclass
+class FuzzReport:
+    """The outcome of one fuzz campaign."""
+
+    seed: int
+    iterations: int
+    configurations: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign seed={self.seed}: {self.iterations} cases x "
+            f"{self.configurations} configurations, {len(self.failures)} failure(s)"
+        ]
+        for failure in self.failures:
+            lines.append(f"  {failure.case.name}:")
+            for mismatch in failure.mismatches[:5]:
+                lines.append(f"    {mismatch.describe()}")
+            if len(failure.mismatches) > 5:
+                lines.append(f"    ... and {len(failure.mismatches) - 5} more")
+            if failure.written_to:
+                lines.append(f"    reproducer: {failure.written_to}")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int,
+    iters: int,
+    *,
+    regressions_dir: str | pathlib.Path | None = None,
+    configs: list[EngineConfig] | None = None,
+    check_invariants: bool = True,
+    shrink: bool = True,
+    on_case: Callable[[int, FuzzCase, list[Mismatch]], None] | None = None,
+) -> FuzzReport:
+    """Run *iters* differential cases; returns the campaign report.
+
+    Args:
+        seed: campaign seed; case ``i`` is drawn from ``Random((seed, i))``.
+        iters: number of (layout, query) cases to draw.
+        regressions_dir: where shrunk reproducers are written (created on
+            first failure); ``None`` disables writing.
+        configs: configuration matrix override (default: the full matrix).
+        check_invariants: also audit every produced plan.
+        shrink: minimize failing cases before reporting/writing them.
+        on_case: progress callback ``(index, case, mismatches)``.
+    """
+    if configs is None:
+        configs = default_configs()
+    report = FuzzReport(seed=seed, iterations=iters, configurations=len(configs))
+
+    def check(case: FuzzCase) -> list[Mismatch]:
+        return check_fuzz_case(
+            case, configs=configs, check_invariants=check_invariants
+        )
+
+    for index in range(iters):
+        case = random_case(seed, index)
+        mismatches = check(case)
+        if on_case is not None:
+            on_case(index, case, mismatches)
+        if not mismatches:
+            continue
+        shrunk = shrink_case(case, check) if shrink else case
+        shrunk_mismatches = check(shrunk) if shrink else mismatches
+        failure = FuzzFailure(case=case, shrunk=shrunk, mismatches=shrunk_mismatches)
+        if regressions_dir is not None:
+            directory = pathlib.Path(regressions_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"fuzz_seed{seed}_case{index}.json"
+            shrunk.description = (
+                shrunk.description
+                or "shrunk fuzz reproducer; kinds: "
+                + ", ".join(sorted({m.kind for m in shrunk_mismatches}))
+            )
+            path.write_text(shrunk.to_json() + "\n", encoding="utf-8")
+            failure.written_to = str(path)
+        report.failures.append(failure)
+    return report

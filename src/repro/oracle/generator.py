@@ -1,0 +1,500 @@
+"""Seeded random generation of lake layouts and SPARQL queries.
+
+The fuzzer's search space covers both sides of the paper's claim:
+
+* **Physical designs** — which datasets are relational vs native RDF,
+  which columns carry indexes, whether a dataset is replicated into a
+  second source, and whether an object property is multi-valued (which
+  moves it into a satellite table during 3NF normalization).
+* **Queries** — stars of 1–4 triple patterns over a small fixed
+  vocabulary, FILTER over indexed and non-indexed attributes, OPTIONAL,
+  UNION, DISTINCT, ORDER BY and LIMIT/OFFSET — the SPARQL subset the
+  federated planner supports.
+
+Everything is driven by :class:`random.Random` seeds, so a
+:class:`FuzzCase` is fully reproducible from its JSON form (the format the
+regression corpus under ``tests/oracle/regressions/`` uses).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+
+from ..datalake.lake import SemanticDataLake
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import IRI, Literal, Triple, XSD_INTEGER
+
+VOCAB = "http://fuzz/vocab#"
+
+#: Gene symbols shared between the *bio* and *probes* datasets — the
+#: overlap is what makes cross-source joins on ``?sym`` productive.
+SYMBOLS = ["BRCA1", "TP53", "KRAS", "INS", "EGFR", "MYC", "ALK", "RET"]
+DISEASE_CLASSES = ["cancer", "metabolic", "neuro"]
+SPECIES = ["Homo sapiens", "Mus musculus", "Rattus norvegicus"]
+
+#: Indexable (source, table, column) candidates per dataset.  The gene's
+#: ``associateddisease`` column disappears when the link is multi-valued
+#: (it becomes a satellite table), so layouts skip it in that case.
+INDEX_CANDIDATES = {
+    "bio": [
+        ("disease", "diseaseclass"),
+        ("disease", "prevalence"),
+        ("gene", "genesymbol"),
+        ("gene", "genelength"),
+        ("gene", "associateddisease"),
+    ],
+    "probes": [
+        ("probeset", "symbol"),
+        ("probeset", "species"),
+        ("probeset", "probelength"),
+    ],
+}
+
+
+# ---------------------------------------------------------------------------
+# Lake layouts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LakeLayout:
+    """A randomized physical design of the fuzz lake (JSON-serializable)."""
+
+    data_seed: int = 0
+    n_diseases: int = 5
+    n_genes: int = 10
+    n_probes: int = 8
+    #: dataset name -> "rdb" | "rdf"
+    kinds: dict[str, str] = field(default_factory=lambda: {"bio": "rdb", "probes": "rdb"})
+    #: replicated dataset -> kind of the replica source ("rdb" | "rdf")
+    replicas: dict[str, str] = field(default_factory=dict)
+    #: (source, table, column) triples; silently skipped when the column
+    #: does not exist (e.g. multi-valued links) or the source is RDF.
+    indexes: list[list[str]] = field(default_factory=list)
+    #: give some genes a second associatedDisease value (satellite table)
+    multivalued_links: bool = False
+
+    @property
+    def has_replicas(self) -> bool:
+        return bool(self.replicas)
+
+
+def random_layout(rng: random.Random) -> LakeLayout:
+    layout = LakeLayout(
+        data_seed=rng.randrange(1_000_000),
+        n_diseases=rng.randint(3, 7),
+        n_genes=rng.randint(5, 14),
+        n_probes=rng.randint(4, 10),
+        kinds={
+            "bio": "rdb" if rng.random() < 0.8 else "rdf",
+            "probes": "rdb" if rng.random() < 0.7 else "rdf",
+        },
+        multivalued_links=rng.random() < 0.3,
+    )
+    if rng.random() < 0.25:
+        dataset = rng.choice(["bio", "probes"])
+        layout.replicas[dataset] = rng.choice(["rdb", "rdf"])
+    for dataset, candidates in INDEX_CANDIDATES.items():
+        for table, column in candidates:
+            if rng.random() < 0.5:
+                layout.indexes.append([dataset, table, column])
+    return layout
+
+
+def generate_graphs(layout: LakeLayout) -> dict[str, Graph]:
+    """Deterministically generate the two datasets' RDF graphs."""
+    rng = random.Random(layout.data_seed)
+    vocab = lambda name: IRI(VOCAB + name)  # noqa: E731 - tiny local helper
+    integer = lambda n: Literal(str(n), XSD_INTEGER)  # noqa: E731
+
+    bio = Graph("bio")
+    for i in range(1, layout.n_diseases + 1):
+        disease = IRI(f"http://fuzz/bio/Disease/{i}")
+        bio.add(Triple(disease, RDF_TYPE, vocab("Disease")))
+        if rng.random() < 0.9:
+            bio.add(Triple(disease, vocab("diseaseName"), Literal(f"disease {i}")))
+        bio.add(Triple(disease, vocab("diseaseClass"), Literal(rng.choice(DISEASE_CLASSES))))
+        bio.add(Triple(disease, vocab("prevalence"), integer(rng.randint(1, 1000))))
+    for j in range(1, layout.n_genes + 1):
+        gene = IRI(f"http://fuzz/bio/Gene/{j}")
+        bio.add(Triple(gene, RDF_TYPE, vocab("Gene")))
+        if rng.random() < 0.85:
+            bio.add(Triple(gene, vocab("geneSymbol"), Literal(rng.choice(SYMBOLS))))
+        if rng.random() < 0.8:
+            bio.add(Triple(gene, vocab("geneLength"), integer(rng.randint(50, 5000))))
+        disease_id = rng.randint(1, layout.n_diseases)
+        bio.add(
+            Triple(gene, vocab("associatedDisease"), IRI(f"http://fuzz/bio/Disease/{disease_id}"))
+        )
+        if layout.multivalued_links and rng.random() < 0.4:
+            other = 1 + (disease_id % layout.n_diseases)
+            bio.add(
+                Triple(gene, vocab("associatedDisease"), IRI(f"http://fuzz/bio/Disease/{other}"))
+            )
+
+    probes = Graph("probes")
+    for k in range(1, layout.n_probes + 1):
+        probe = IRI(f"http://fuzz/probes/Probeset/{k}")
+        probes.add(Triple(probe, RDF_TYPE, vocab("Probeset")))
+        probes.add(Triple(probe, vocab("symbol"), Literal(rng.choice(SYMBOLS))))
+        if rng.random() < 0.9:
+            probes.add(Triple(probe, vocab("species"), Literal(rng.choice(SPECIES))))
+        probes.add(Triple(probe, vocab("probeLength"), integer(rng.randint(10, 900))))
+    return {"bio": bio, "probes": probes}
+
+
+def build_lake(layout: LakeLayout) -> SemanticDataLake:
+    """Instantiate the lake a layout describes (sources, replicas, indexes)."""
+    graphs = generate_graphs(layout)
+    lake = SemanticDataLake("fuzz")
+    for dataset, graph in sorted(graphs.items()):
+        if layout.kinds.get(dataset, "rdb") == "rdb":
+            lake.add_graph_as_relational(dataset, graph)
+        else:
+            lake.add_rdf_source(dataset, graph)
+    for dataset, kind in sorted(layout.replicas.items()):
+        replica_id = f"{dataset}_replica"
+        if kind == "rdb":
+            lake.add_graph_as_relational(replica_id, graphs[dataset])
+        else:
+            lake.add_rdf_source(replica_id, graphs[dataset])
+    for source_id, table, column in [tuple(entry) for entry in layout.indexes]:
+        for target in (source_id, f"{source_id}_replica"):
+            if target not in lake.source_ids:
+                continue
+            source = lake.source(target)
+            database = getattr(source, "database", None)
+            if database is None or not database.has_table(table):
+                continue
+            if not database.table(table).schema.has_column(column):
+                continue
+            lake.create_index(target, table, [column])
+    return lake
+
+
+# ---------------------------------------------------------------------------
+# Query specs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StarSpec:
+    """One star: a subject variable plus (predicate, object-token) pairs.
+
+    ``predicate`` is either ``"a"`` or a vocabulary local name; the object
+    token is rendered verbatim into SPARQL (``?var``, ``"literal"``, ``42``
+    or ``<iri>``), so specs stay trivially JSON-serializable.
+    """
+
+    subject: str
+    patterns: list[list[str]] = field(default_factory=list)
+
+    def to_sparql(self) -> list[str]:
+        lines = []
+        for predicate, object_token in self.patterns:
+            rendered = "a" if predicate == "a" else f"v:{predicate}"
+            lines.append(f"{self.subject} {rendered} {object_token} .")
+        return lines
+
+
+@dataclass
+class QuerySpec:
+    """A structured SELECT query (the shrinker's unit of reduction)."""
+
+    stars: list[StarSpec] = field(default_factory=list)
+    filters: list[str] = field(default_factory=list)
+    optional: list[StarSpec] = field(default_factory=list)
+    optional_filters: list[str] = field(default_factory=list)
+    #: UNION branches (each a list of stars); when set, ``stars``/
+    #: ``optional`` are empty — the decomposer supports UNION only as the
+    #: entire WHERE clause.
+    union: list[list[StarSpec]] = field(default_factory=list)
+    projection: list[str] | None = None  # None renders SELECT *
+    distinct: bool = False
+    order_by: str | None = None
+    order_desc: bool = False
+    limit: int | None = None
+    offset: int | None = None
+
+    @property
+    def uses_extensions(self) -> bool:
+        """OPTIONAL/UNION present (triple-wise decomposition unsupported)."""
+        return bool(self.optional) or bool(self.union)
+
+    def to_sparql(self) -> str:
+        lines = [f"PREFIX v: <{VOCAB}>"]
+        projection = "*" if self.projection is None else " ".join(self.projection)
+        distinct = "DISTINCT " if self.distinct else ""
+        lines.append(f"SELECT {distinct}{projection} WHERE {{")
+        if self.union:
+            rendered_branches = []
+            for branch in self.union:
+                body = [line for star in branch for line in star.to_sparql()]
+                rendered_branches.append("  {\n" + "\n".join(f"    {b}" for b in body) + "\n  }")
+            lines.append("\n  UNION\n".join(rendered_branches))
+        else:
+            for star in self.stars:
+                lines.extend(f"  {line}" for line in star.to_sparql())
+            if self.optional:
+                lines.append("  OPTIONAL {")
+                for star in self.optional:
+                    lines.extend(f"    {line}" for line in star.to_sparql())
+                lines.extend(f"    FILTER({expr})" for expr in self.optional_filters)
+                lines.append("  }")
+        lines.extend(f"  FILTER({expr})" for expr in self.filters)
+        lines.append("}")
+        if self.order_by is not None:
+            rendered = self.order_by if not self.order_desc else f"DESC({self.order_by})"
+            lines.append(f"ORDER BY {rendered}")
+        if self.limit is not None:
+            lines.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            lines.append(f"OFFSET {self.offset}")
+        return "\n".join(lines)
+
+
+# -- random query construction ----------------------------------------------
+
+
+def _gene_star(rng: random.Random, layout: LakeLayout, need_disease_link: bool,
+               need_symbol: bool) -> StarSpec:
+    star = StarSpec(subject="?g")
+    if rng.random() < 0.8:
+        star.patterns.append(["a", "v:Gene"])
+    if need_symbol or rng.random() < 0.6:
+        object_token = "?sym" if need_symbol or rng.random() < 0.85 else f'"{rng.choice(SYMBOLS)}"'
+        star.patterns.append(["geneSymbol", object_token])
+    if rng.random() < 0.4:
+        star.patterns.append(["geneLength", "?len"])
+    if need_disease_link or rng.random() < 0.5:
+        if not need_disease_link and rng.random() < 0.15:
+            disease_id = rng.randint(1, layout.n_diseases)
+            star.patterns.append(["associatedDisease", f"<http://fuzz/bio/Disease/{disease_id}>"])
+        else:
+            star.patterns.append(["associatedDisease", "?d"])
+    if not star.patterns:
+        star.patterns.append(["a", "v:Gene"])
+    return star
+
+
+def _disease_star(rng: random.Random) -> StarSpec:
+    star = StarSpec(subject="?d")
+    if rng.random() < 0.8:
+        star.patterns.append(["a", "v:Disease"])
+    if rng.random() < 0.6:
+        star.patterns.append(["diseaseName", "?dn"])
+    if rng.random() < 0.5:
+        object_token = "?dc" if rng.random() < 0.8 else f'"{rng.choice(DISEASE_CLASSES)}"'
+        star.patterns.append(["diseaseClass", object_token])
+    if rng.random() < 0.35:
+        star.patterns.append(["prevalence", "?prev"])
+    if not star.patterns:
+        star.patterns.append(["a", "v:Disease"])
+    return star
+
+
+def _probe_star(rng: random.Random, need_symbol: bool) -> StarSpec:
+    star = StarSpec(subject="?p")
+    if rng.random() < 0.8:
+        star.patterns.append(["a", "v:Probeset"])
+    if need_symbol or rng.random() < 0.7:
+        star.patterns.append(["symbol", "?sym"])
+    if rng.random() < 0.5:
+        object_token = "?species" if rng.random() < 0.8 else f'"{rng.choice(SPECIES)}"'
+        star.patterns.append(["species", object_token])
+    if rng.random() < 0.35:
+        star.patterns.append(["probeLength", "?plen"])
+    if not star.patterns:
+        star.patterns.append(["a", "v:Probeset"])
+    return star
+
+
+def _star_variables(stars: list[StarSpec]) -> list[str]:
+    names: list[str] = []
+    for star in stars:
+        for token in [star.subject] + [obj for __, obj in star.patterns]:
+            if token.startswith("?") and token not in names:
+                names.append(token)
+    return names
+
+
+def _random_filters(rng: random.Random, variables: set[str]) -> list[str]:
+    """Draw 0–2 filters over the variables actually bound by the query."""
+    pool: list[str] = []
+    if "?sym" in variables:
+        symbol = rng.choice(SYMBOLS)
+        pool.extend(
+            [f'?sym = "{symbol}"', f'CONTAINS(?sym, "{symbol[:2]}")', f'STRSTARTS(?sym, "{symbol[0]}")']
+        )
+    if "?dc" in variables:
+        pool.append(f'?dc = "{rng.choice(DISEASE_CLASSES)}"')
+    if "?len" in variables:
+        pool.append(f"?len {rng.choice(['>', '<=', '>='])} {rng.randint(100, 4000)}")
+    if "?prev" in variables:
+        pool.append(f"?prev {rng.choice(['<', '>='])} {rng.randint(50, 900)}")
+    if "?species" in variables:
+        pool.append('CONTAINS(?species, "Homo")')
+    if "?plen" in variables:
+        pool.append(f"?plen > {rng.randint(50, 700)}")
+    if "?len" in variables and "?plen" in variables and rng.random() < 0.5:
+        pool.append("?len > ?plen")  # residual: spans two stars
+    rng.shuffle(pool)
+    count = rng.choice([0, 0, 1, 1, 1, 2])
+    return pool[:count]
+
+
+def random_query(rng: random.Random, layout: LakeLayout) -> QuerySpec:
+    """Draw one query over the fuzz vocabulary.
+
+    Star combinations are chosen so shared variables (``?d`` between genes
+    and diseases, ``?sym`` between genes and probesets) actually connect
+    the stars; disconnected (cartesian) shapes are still drawn occasionally
+    for coverage of the planner's cartesian-product path.
+    """
+    spec = QuerySpec()
+    if rng.random() < 0.15:
+        # A top-level UNION of two single-star branches.
+        branch_kinds = [rng.choice(["gene", "disease", "probe"]) for __ in range(2)]
+        for kind in branch_kinds:
+            if kind == "gene":
+                branch = [_gene_star(rng, layout, need_disease_link=False, need_symbol=False)]
+            elif kind == "disease":
+                branch = [_disease_star(rng)]
+            else:
+                branch = [_probe_star(rng, need_symbol=False)]
+            spec.union.append(branch)
+    else:
+        shape = rng.choice(
+            ["gene", "disease", "probe", "gene+disease", "gene+disease", "gene+probe",
+             "gene+probe", "gene+disease+probe", "disease+probe", "genepair"]
+        )
+        kinds = shape.split("+")
+        need_disease_link = "gene" in kinds and "disease" in kinds
+        need_symbol = "gene" in kinds and "probe" in kinds
+        if shape == "genepair":
+            # Two same-source stars joined on a *non-primary-key* attribute
+            # (?sym) — the one shape where Heuristic 1's index condition
+            # actually decides, since star joins through link predicates
+            # always hit the referenced table's (indexed) primary key.
+            spec.stars.append(_gene_star(rng, layout, need_disease_link=False, need_symbol=True))
+            second = StarSpec(subject="?g2", patterns=[["a", "v:Gene"], ["geneSymbol", "?sym"]])
+            if rng.random() < 0.5:
+                second.patterns.append(["geneLength", "?len2"])
+            spec.stars.append(second)
+        else:
+            for kind in kinds:
+                if kind == "gene":
+                    spec.stars.append(_gene_star(rng, layout, need_disease_link, need_symbol))
+                elif kind == "disease":
+                    spec.stars.append(_disease_star(rng))
+                else:
+                    spec.stars.append(_probe_star(rng, need_symbol))
+        if rng.random() < 0.25:
+            # An OPTIONAL group joined through a main-part variable.
+            bound = set(_star_variables(spec.stars))
+            choices = []
+            if "?g" in bound:
+                choices.append(StarSpec(subject="?g", patterns=[["geneLength", "?len2"]]))
+            if "?d" in bound and "disease" not in kinds:
+                choices.append(_disease_star(rng))
+            if "?sym" in bound and "probe" not in kinds:
+                choices.append(_probe_star(rng, need_symbol=True))
+            if "?p" in bound:
+                choices.append(StarSpec(subject="?p", patterns=[["probeLength", "?plen2"]]))
+            if choices:
+                optional_star = rng.choice(choices)
+                spec.optional.append(optional_star)
+                if rng.random() < 0.3:
+                    optional_variables = set(_star_variables([optional_star]))
+                    spec.optional_filters.extend(
+                        _random_filters(rng, optional_variables)[:1]
+                    )
+
+    all_stars = [star for branch in spec.union for star in branch] + spec.stars
+    variables = set(_star_variables(all_stars))
+    if not spec.union:
+        spec.filters.extend(_random_filters(rng, variables))
+
+    # Modifiers.  ORDER BY keys stay inside the projection because the
+    # engine sorts before projecting while the oracle projects first; a key
+    # outside the projection would make tie-order diverge legitimately.
+    main_variables = _star_variables(all_stars)
+    spec.distinct = rng.random() < 0.3
+    if rng.random() < 0.7 and main_variables:
+        size = rng.randint(1, min(3, len(main_variables)))
+        spec.projection = rng.sample(main_variables, size)
+    if rng.random() < 0.25 and main_variables:
+        candidates = spec.projection if spec.projection is not None else main_variables
+        spec.order_by = rng.choice(candidates)
+        spec.order_desc = rng.random() < 0.5
+    if rng.random() < 0.2:
+        spec.limit = rng.randint(1, 6)
+        if rng.random() < 0.3:
+            spec.offset = rng.randint(1, 3)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Fuzz cases (layout + query), JSON round-trippable
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuzzCase:
+    """One reproducible differential-testing case."""
+
+    layout: LakeLayout
+    query: QuerySpec
+    name: str = "case"
+    description: str = ""
+
+    def sparql(self) -> str:
+        return self.query.to_sparql()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "layout": asdict(self.layout),
+                "query": asdict(self.query),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        payload = json.loads(text)
+        query = payload["query"]
+        spec = QuerySpec(
+            stars=[StarSpec(**star) for star in query.get("stars", [])],
+            filters=list(query.get("filters", [])),
+            optional=[StarSpec(**star) for star in query.get("optional", [])],
+            optional_filters=list(query.get("optional_filters", [])),
+            union=[
+                [StarSpec(**star) for star in branch] for branch in query.get("union", [])
+            ],
+            projection=query.get("projection"),
+            distinct=query.get("distinct", False),
+            order_by=query.get("order_by"),
+            order_desc=query.get("order_desc", False),
+            limit=query.get("limit"),
+            offset=query.get("offset"),
+        )
+        return cls(
+            layout=LakeLayout(**payload["layout"]),
+            query=spec,
+            name=payload.get("name", "case"),
+            description=payload.get("description", ""),
+        )
+
+
+def random_case(seed: int, index: int = 0) -> FuzzCase:
+    """The fuzzer's draw: case ``index`` of campaign ``seed``."""
+    rng = random.Random(f"{seed}:{index}")
+    layout = random_layout(rng)
+    query = random_query(rng, layout)
+    return FuzzCase(layout=layout, query=query, name=f"seed{seed}-case{index}")

@@ -1,0 +1,91 @@
+"""The naive reference evaluator — slow, obviously correct.
+
+The whole paper rests on one invariant: physical-design-aware and -unaware
+QEPs return the *same answers* at different speeds.  This module provides
+the ground truth both are compared against: the entire lake is materialized
+into a single in-memory RDF graph (relational members are de-normalized
+back to triples through their mappings, native graphs are unioned in) and
+the SPARQL query is evaluated directly by the local evaluator
+(:mod:`repro.sparql.bgp`).  No decomposition, no source selection, no
+heuristics, no caches, no network — nothing the planner does can influence
+the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..federation.answers import Solution
+from ..federation.endpoints import RDFSource, RelationalSource
+from ..mapping.materializer import materialize_source
+from ..rdf.graph import Graph
+from ..sparql.algebra import SelectQuery
+from ..sparql.bgp import evaluate_query
+from ..sparql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an oracle <-> datalake cycle
+    from ..datalake.lake import SemanticDataLake
+
+
+def materialize_lake(lake: SemanticDataLake) -> Graph:
+    """Union every member source of *lake* into one RDF graph.
+
+    Relational members are reverse-materialized through their mappings;
+    native RDF members contribute their triples as-is.  Replicated sources
+    collapse naturally because a :class:`~repro.rdf.graph.Graph` is a set.
+    """
+    graph = Graph(f"{lake.name}-materialized")
+    for source in lake.sources():
+        if isinstance(source, RelationalSource):
+            graph.add_all(materialize_source(source.database, source.mapping))
+        else:
+            assert isinstance(source, RDFSource)
+            graph.add_all(source.graph)
+    return graph
+
+
+class ReferenceEvaluator:
+    """Answers SPARQL queries against the materialized lake.
+
+    The materialized graph is computed lazily and kept for the lake's
+    current catalog version; any write to any member source invalidates it.
+    """
+
+    def __init__(self, lake: SemanticDataLake):
+        self.lake = lake
+        self._graph: Graph | None = None
+        self._graph_version: tuple | None = None
+
+    @property
+    def graph(self) -> Graph:
+        version = self.lake.catalog_version()
+        if self._graph is None or self._graph_version != version:
+            self._graph = materialize_lake(self.lake)
+            self._graph_version = version
+        return self._graph
+
+    def answers(self, query: SelectQuery | str) -> list[Solution]:
+        """The query's reference answers (full modifier pipeline)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return list(evaluate_query(self.graph, query))
+
+    def answers_unlimited(self, query: SelectQuery | str) -> list[Solution]:
+        """Reference answers with LIMIT/OFFSET stripped.
+
+        The differential runner compares sliced executions against the
+        *complete* answer set, because LIMIT without a total order may
+        legitimately select different rows in different plans.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        if query.limit is None and query.offset is None:
+            return self.answers(query)
+        unlimited = replace(query, limit=None, offset=None)
+        return list(evaluate_query(self.graph, unlimited))
+
+
+def reference_answers(lake: SemanticDataLake, query: SelectQuery | str) -> list[Solution]:
+    """One-shot convenience: materialize *lake* and evaluate *query*."""
+    return ReferenceEvaluator(lake).answers(query)

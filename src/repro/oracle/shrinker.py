@@ -1,0 +1,128 @@
+"""Shrink a failing fuzz case to a minimal reproducer.
+
+Greedy delta debugging over the *structured* case (not the SPARQL text):
+each round tries a list of reductions — drop a star, a pattern, a filter,
+a modifier, a replica, an index, shrink the data — and keeps the first one
+that still fails with (at least) the original mismatch kinds.  Rounds
+repeat until no reduction applies, so regression corpus entries stay small
+enough to read.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from .differential import Mismatch
+from .generator import FuzzCase
+
+
+def _signature(mismatches: list[Mismatch]) -> frozenset[str]:
+    return frozenset(mismatch.kind for mismatch in mismatches)
+
+
+def _reductions(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Yield candidate simplifications, roughly biggest-cut-first."""
+    spec = case.query
+    layout = case.layout
+
+    def clone(**query_overrides) -> FuzzCase:
+        copied = copy.deepcopy(case)
+        for name, value in query_overrides.items():
+            setattr(copied.query, name, value)
+        return copied
+
+    # Structure first: promoting a UNION branch or dropping a star removes
+    # the most surface area per step.
+    for branch in spec.union:
+        yield clone(union=[], stars=copy.deepcopy(branch))
+    if spec.optional:
+        yield clone(optional=[], optional_filters=[])
+    if len(spec.stars) > 1:
+        for position in range(len(spec.stars)):
+            kept = [copy.deepcopy(s) for i, s in enumerate(spec.stars) if i != position]
+            yield clone(stars=kept)
+    for star_index, star in enumerate(spec.stars):
+        if len(star.patterns) <= 1:
+            continue
+        for pattern_index in range(len(star.patterns)):
+            copied = copy.deepcopy(case)
+            del copied.query.stars[star_index].patterns[pattern_index]
+            yield copied
+    for position in range(len(spec.filters)):
+        kept_filters = [f for i, f in enumerate(spec.filters) if i != position]
+        yield clone(filters=kept_filters)
+    for position in range(len(spec.optional_filters)):
+        kept = [f for i, f in enumerate(spec.optional_filters) if i != position]
+        yield clone(optional_filters=kept)
+
+    # Modifiers.
+    if spec.limit is not None or spec.offset is not None:
+        yield clone(limit=None, offset=None)
+    if spec.order_by is not None:
+        yield clone(order_by=None, order_desc=False)
+    if spec.distinct:
+        yield clone(distinct=False)
+    if spec.projection is not None:
+        yield clone(projection=None)
+
+    # Layout: fewer replicas, indexes, satellite tables, rows.
+    if layout.replicas:
+        copied = copy.deepcopy(case)
+        copied.layout.replicas = {}
+        yield copied
+    for position in range(len(layout.indexes)):
+        copied = copy.deepcopy(case)
+        del copied.layout.indexes[position]
+        yield copied
+    if layout.multivalued_links:
+        copied = copy.deepcopy(case)
+        copied.layout.multivalued_links = False
+        yield copied
+    for attribute in ("n_genes", "n_diseases", "n_probes"):
+        count = getattr(layout, attribute)
+        if count > 2:
+            copied = copy.deepcopy(case)
+            setattr(copied.layout, attribute, max(2, count // 2))
+            yield copied
+
+
+def shrink_case(
+    case: FuzzCase,
+    check: Callable[[FuzzCase], list[Mismatch]],
+    *,
+    max_attempts: int = 300,
+) -> FuzzCase:
+    """Minimize *case* while `check` keeps reporting the original failure.
+
+    ``check`` runs the differential harness; a reduction is accepted when
+    its mismatch kinds still include every kind of the original failure
+    (so an answer-divergence cannot silently shrink into, say, a parse
+    error that would "fail" for an unrelated reason).
+    """
+    try:
+        baseline = _signature(check(case))
+    except Exception:
+        return case
+    if not baseline:
+        return case
+
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _reductions(current):
+            attempts += 1
+            try:
+                mismatches = check(candidate)
+            except Exception:
+                mismatches = []
+            if baseline <= _signature(mismatches):
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    current.name = f"{case.name}-shrunk"
+    return current

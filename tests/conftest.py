@@ -2,11 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.datalake import SemanticDataLake
 from repro.datasets import build_lslod_lake
 from repro.rdf import Graph, parse_into
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # `dev` keeps the default run fast; `ci` turns the thoroughness up.
+    # Select with HYPOTHESIS_PROFILE=ci (the CI workflow does).
+    _hypothesis_settings.register_profile("dev", max_examples=50, deadline=None)
+    _hypothesis_settings.register_profile("ci", max_examples=300, deadline=None)
+    _hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    pass
+
+
+def pytest_collection_modifyitems(config, items):
+    # Everything not opted out as slow/fuzz is tier-1, so `-m tier1`
+    # selects exactly the ROADMAP verify gate.
+    for item in items:
+        if item.get_closest_marker("slow") is None and item.get_closest_marker("fuzz") is None:
+            item.add_marker(pytest.mark.tier1)
 
 
 TINY_DISEASOME = """\

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import string
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.benchmark import same_answers
 from repro.core import decompose_star_shaped, decompose_triple_wise, validate_decomposition
@@ -58,12 +58,10 @@ triple_strategy = st.builds(Triple, subject_strategy, iri_strategy, object_strat
 
 class TestNTriplesRoundTrip:
     @given(st.lists(triple_strategy, max_size=30))
-    @settings(max_examples=60, deadline=None)
     def test_serialize_parse_identity(self, triples):
         assert list(parse(serialize(triples))) == triples
 
     @given(st.lists(triple_strategy, max_size=30))
-    @settings(max_examples=30, deadline=None)
     def test_graph_membership_after_roundtrip(self, triples):
         graph = Graph()
         graph.add_all(triples)
@@ -77,7 +75,6 @@ class TestIndexScanEquivalence:
         values=st.lists(st.integers(0, 50), min_size=1, max_size=120),
         needle=st.integers(0, 50),
     )
-    @settings(max_examples=50, deadline=None)
     def test_equality_lookup_matches_scan(self, values, needle):
         indexed = Database("ix")
         plain = Database("scan", PlannerOptions(allow_index_scans=False))
@@ -97,7 +94,6 @@ class TestIndexScanEquivalence:
         values=st.lists(st.integers(-20, 20), min_size=1, max_size=100),
         low=st.integers(-20, 20),
     )
-    @settings(max_examples=50, deadline=None)
     def test_range_lookup_matches_scan(self, values, low):
         indexed = Database("ix")
         plain = Database("scan", PlannerOptions(allow_index_scans=False))
@@ -126,7 +122,6 @@ class TestSymmetricHashJoinCorrectness:
     )
 
     @given(left=solutions, right=solutions)
-    @settings(max_examples=60, deadline=None)
     def test_matches_nested_loop_reference(self, left, right):
         from tests.federation.test_operators import Static
 
@@ -162,7 +157,6 @@ class TestDecompositionSoundness:
         return GroupGraphPattern(patterns=patterns)
 
     @given(group=bgp())
-    @settings(max_examples=60, deadline=None)
     def test_star_decomposition_sound(self, group):
         decomposition = decompose_star_shaped(group)
         assert validate_decomposition(group, decomposition)
@@ -170,7 +164,6 @@ class TestDecompositionSoundness:
         assert len(subjects) == len(decomposition.subqueries)  # one star per subject
 
     @given(group=bgp())
-    @settings(max_examples=60, deadline=None)
     def test_triple_decomposition_sound(self, group):
         decomposition = decompose_triple_wise(group)
         assert validate_decomposition(group, decomposition)
@@ -179,14 +172,12 @@ class TestDecompositionSoundness:
 
 class TestLikeRegexProperties:
     @given(value=safe_text)
-    @settings(max_examples=80, deadline=None)
     def test_infix_like_equals_contains(self, value):
         needle = "can"
         regex = like_to_regex(f"%{needle}%")
         assert bool(regex.match(value)) == (needle in value)
 
     @given(value=safe_text, prefix=st.text(string.ascii_lowercase, max_size=5))
-    @settings(max_examples=80, deadline=None)
     def test_prefix_like_equals_startswith(self, value, prefix):
         regex = like_to_regex(f"{prefix}%")
         assert bool(regex.match(value)) == value.startswith(prefix)
@@ -201,7 +192,6 @@ class TestPolicyEquivalenceProperty:
         use_filter=st.booleans(),
         distinct=st.booleans(),
     )
-    @settings(max_examples=20, deadline=None)
     def test_equivalence(self, symbol, use_filter, distinct):
         # Build lake inline: hypothesis forbids function-scoped fixtures.
         from repro import FederatedEngine, PlanPolicy, SemanticDataLake

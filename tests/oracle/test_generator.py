@@ -1,0 +1,110 @@
+"""The seeded random layout/query generator."""
+
+import random
+
+from repro.datalake import SemanticDataLake
+from repro.oracle import (
+    FuzzCase,
+    LakeLayout,
+    build_lake,
+    generate_graphs,
+    random_case,
+    random_layout,
+    random_query,
+)
+from repro.sparql import parse_query
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        for index in range(10):
+            assert random_case(5, index).to_json() == random_case(5, index).to_json()
+
+    def test_different_indexes_differ(self):
+        texts = {random_case(5, index).to_json() for index in range(10)}
+        assert len(texts) > 1
+
+    def test_data_independent_of_query_randomness(self):
+        layout = LakeLayout(data_seed=9)
+        first = generate_graphs(layout)
+        second = generate_graphs(layout)
+        assert {name: set(graph) for name, graph in first.items()} == {
+            name: set(graph) for name, graph in second.items()
+        }
+
+
+class TestGeneratedQueries:
+    def test_generated_queries_parse(self):
+        for index in range(50):
+            case = random_case(123, index)
+            query = parse_query(case.sparql())
+            assert query.where is not None
+
+    def test_coverage_of_sparql_features(self):
+        # Across a campaign the generator must exercise the whole supported
+        # subset: OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT and filters.
+        seen = set()
+        for index in range(200):
+            spec = random_case(77, index).query
+            if spec.optional:
+                seen.add("optional")
+            if spec.union:
+                seen.add("union")
+            if spec.distinct:
+                seen.add("distinct")
+            if spec.order_by:
+                seen.add("order")
+            if spec.limit is not None:
+                seen.add("limit")
+            if spec.filters or spec.optional_filters:
+                seen.add("filter")
+            if len(spec.stars) >= 2:
+                seen.add("multi-star")
+        assert seen == {"optional", "union", "distinct", "order", "limit", "filter", "multi-star"}
+
+    def test_layout_coverage(self):
+        rng = random.Random(1)
+        layouts = [random_layout(rng) for __ in range(100)]
+        assert any(layout.kinds["bio"] == "rdf" for layout in layouts)
+        assert any(layout.kinds["bio"] == "rdb" for layout in layouts)
+        assert any(layout.replicas for layout in layouts)
+        assert any(layout.multivalued_links for layout in layouts)
+        assert any(not layout.indexes for layout in layouts)
+
+
+class TestLakeBuilding:
+    def test_build_lake_respects_kinds_and_replicas(self):
+        layout = LakeLayout(
+            data_seed=3,
+            kinds={"bio": "rdf", "probes": "rdb"},
+            replicas={"probes": "rdf"},
+            indexes=[["probes", "probeset", "symbol"]],
+        )
+        lake = build_lake(layout)
+        assert isinstance(lake, SemanticDataLake)
+        assert lake.source_ids == ["bio", "probes", "probes_replica"]
+        assert lake.source("bio").kind == "rdf"
+        assert lake.source("probes").kind == "rdb"
+        assert lake.source("probes_replica").kind == "rdf"
+        assert lake.physical_catalog.is_indexed("probes", "probeset", "symbol")
+
+    def test_invalid_index_targets_are_skipped(self):
+        # A multivalued link moves the column into a satellite table; the
+        # stale index candidate must be skipped, not crash lake building.
+        layout = LakeLayout(
+            data_seed=4,
+            multivalued_links=True,
+            n_genes=12,
+            indexes=[["bio", "gene", "associateddisease"]],
+        )
+        lake = build_lake(layout)
+        assert "bio" in lake.source_ids
+
+
+class TestJsonRoundTrip:
+    def test_case_roundtrips_through_json(self):
+        for index in range(20):
+            case = random_case(9, index)
+            rebuilt = FuzzCase.from_json(case.to_json())
+            assert rebuilt.to_json() == case.to_json()
+            assert rebuilt.sparql() == case.sparql()

@@ -1,0 +1,135 @@
+"""The plan-invariant checker and the planner's debug-validate hook."""
+
+import pytest
+
+from repro.core import heuristics
+from repro.core.engine import FederatedEngine
+from repro.core.policy import PlanPolicy
+from repro.exceptions import InvariantViolation
+from repro.oracle import (
+    LakeLayout,
+    build_lake,
+    check_case_on_lake,
+    check_plan,
+    random_case,
+)
+
+from ..conftest import TINY_QUERY
+
+ALL_POLICIES = [
+    PlanPolicy.physical_design_aware,
+    PlanPolicy.physical_design_unaware,
+    PlanPolicy.heuristic2,
+    PlanPolicy.filters_at_source,
+    PlanPolicy.dependent_join,
+]
+
+# Two gene stars joined on geneSymbol: the only join attribute is a plain
+# (non-primary-key) column, so Heuristic 1 must refuse to merge them when
+# no index exists.  Star-to-star joins through link predicates always land
+# on an auto-indexed primary key, which is why this shape — not the usual
+# gene/disease join — is the H1-decisive one.
+GENE_PAIR_QUERY = """
+PREFIX v: <http://fuzz/vocab#>
+SELECT ?g ?g2 ?sym ?len WHERE {
+  ?g a v:Gene .
+  ?g v:geneSymbol ?sym .
+  ?g2 a v:Gene .
+  ?g2 v:geneSymbol ?sym .
+  ?g2 v:geneLength ?len .
+}
+"""
+
+UNINDEXED_LAYOUT = LakeLayout(
+    data_seed=1, kinds={"bio": "rdb", "probes": "rdb"}, indexes=[]
+)
+
+
+def _broken_mergeable(group, selection, candidate, catalog, policy):
+    return True, "broken: index check disabled"
+
+
+class TestCleanPlans:
+    def test_no_violations_on_tiny_lake(self, tiny_lake):
+        for policy in (factory() for factory in ALL_POLICIES):
+            engine = FederatedEngine(tiny_lake, policy=policy)
+            plan = engine.plan(TINY_QUERY)
+            assert check_plan(plan, tiny_lake) == []
+
+    def test_no_violations_across_fuzz_cases(self):
+        for index in range(15):
+            case = random_case(21, index)
+            lake = build_lake(case.layout)
+            for policy in (factory() for factory in ALL_POLICIES):
+                engine = FederatedEngine(lake, policy=policy)
+                plan = engine.plan(case.sparql())
+                assert check_plan(plan, lake) == [], case.name
+
+
+class TestBrokenHeuristic1:
+    """Acceptance criterion: a merge without the index check is caught by
+    the invariant checker AND by the differential runner."""
+
+    def test_invariant_checker_flags_unindexed_merge(self, monkeypatch):
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        lake = build_lake(UNINDEXED_LAYOUT)
+        engine = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware())
+        plan = engine.plan(GENE_PAIR_QUERY)
+        violations = check_plan(plan, lake)
+        assert any("unindexed join attribute" in violation for violation in violations)
+
+    def test_differential_runner_catches_unindexed_merge(self, monkeypatch):
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        lake = build_lake(UNINDEXED_LAYOUT)
+        mismatches = check_case_on_lake(lake, GENE_PAIR_QUERY)
+        assert mismatches
+        assert "invariant" in {m.kind for m in mismatches}
+
+    def test_differential_runner_catches_it_without_invariant_audit(self, monkeypatch):
+        # Even with the invariant audit disabled, the broken merge is a
+        # *behavioural* bug: under triple-wise decomposition the merged
+        # unit fails to translate, surfacing as "error" mismatches.
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        lake = build_lake(UNINDEXED_LAYOUT)
+        mismatches = check_case_on_lake(lake, GENE_PAIR_QUERY, check_invariants=False)
+        assert mismatches
+        assert "invariant" not in {m.kind for m in mismatches}
+
+    def test_sanity_clean_heuristic_passes_both(self):
+        lake = build_lake(UNINDEXED_LAYOUT)
+        assert check_case_on_lake(lake, GENE_PAIR_QUERY) == []
+
+
+class TestDebugValidateHook:
+    def test_engine_flag_raises_on_broken_plan(self, monkeypatch):
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        lake = build_lake(UNINDEXED_LAYOUT)
+        engine = FederatedEngine(
+            lake, policy=PlanPolicy.physical_design_aware(), debug_validate=True
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            engine.plan(GENE_PAIR_QUERY)
+        assert excinfo.value.violations
+
+    def test_env_var_enables_validation(self, monkeypatch):
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        monkeypatch.setenv("REPRO_DEBUG_VALIDATE", "1")
+        lake = build_lake(UNINDEXED_LAYOUT)
+        engine = FederatedEngine(lake, policy=PlanPolicy.physical_design_aware())
+        with pytest.raises(InvariantViolation):
+            engine.plan(GENE_PAIR_QUERY)
+
+    def test_explicit_false_overrides_env(self, monkeypatch):
+        monkeypatch.setattr(heuristics, "_mergeable", _broken_mergeable)
+        monkeypatch.setenv("REPRO_DEBUG_VALIDATE", "1")
+        lake = build_lake(UNINDEXED_LAYOUT)
+        engine = FederatedEngine(
+            lake, policy=PlanPolicy.physical_design_aware(), debug_validate=False
+        )
+        engine.plan(GENE_PAIR_QUERY)  # must not raise
+
+    def test_validation_off_by_default_and_clean_plans_pass(self, tiny_lake):
+        engine = FederatedEngine(
+            tiny_lake, policy=PlanPolicy.physical_design_aware(), debug_validate=True
+        )
+        assert engine.plan(TINY_QUERY) is not None

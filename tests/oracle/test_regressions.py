@@ -1,0 +1,39 @@
+"""The committed regression corpus, replayed as plain tests.
+
+Every file in ``tests/oracle/regressions/`` is a :class:`FuzzCase` written
+by the shrinker (or curated by hand).  Each one is replayed through the
+full differential matrix on every test run, so a once-found bug cannot
+silently come back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.oracle import FuzzCase, check_fuzz_case
+
+REGRESSIONS_DIR = Path(__file__).parent / "regressions"
+REGRESSION_FILES = sorted(REGRESSIONS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(REGRESSION_FILES) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", REGRESSION_FILES, ids=lambda path: path.stem
+)
+def test_regression_case_has_no_mismatches(path):
+    case = FuzzCase.from_json(path.read_text())
+    mismatches = check_fuzz_case(case)
+    assert mismatches == [], "; ".join(
+        f"{m.config}: {m.kind}: {m.detail}" for m in mismatches
+    )
+
+
+@pytest.mark.parametrize(
+    "path", REGRESSION_FILES, ids=lambda path: path.stem
+)
+def test_regression_case_roundtrips(path):
+    case = FuzzCase.from_json(path.read_text())
+    assert FuzzCase.from_json(case.to_json()).to_json() == case.to_json()
