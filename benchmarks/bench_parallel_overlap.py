@@ -1,0 +1,137 @@
+"""Sequential vs event-scheduled execution: virtual overlap and wall-clock.
+
+Runs Q1-Q5 under all four simulated networks with the sequential runtime
+and the discrete-event runtime, recording virtual execution times (the
+event scheduler overlaps independent sources' delays, so multi-source
+queries should get faster in virtual time), then times the full grid in
+wall-clock under the sequential and thread-pool runtimes.
+
+Guardrails:
+
+* answer counts agree between runtimes on every cell;
+* event-scheduled virtual time is never worse than sequential, and is
+  strictly better on multi-source queries under delayed networks;
+* single-source queries report identical virtual times;
+* the whole grid finishes inside a fixed wall-clock budget (the CI
+  smoke-guard relies on this).
+
+Thread-pool wall-clock is reported, not asserted: on a single-core runner
+the GIL leaves no parallelism to harvest, while multi-core machines see
+the overlap.  Results land in ``benchmarks/results/parallel_overlap.txt``
+and, machine-readable, in ``BENCH_parallel.json`` at the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.datasets import BENCHMARK_QUERIES, GRID_QUERIES
+from repro.federation.operators import ServiceNode
+
+from .conftest import SCALE, SEED, emit
+
+RUN_SEED = 7
+WALL_BUDGET_SECONDS = 120.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def count_leaves(op):
+    if isinstance(op, ServiceNode):
+        return 1
+    return sum(count_leaves(child) for child in op.children())
+
+
+def fresh_engine(lake, network, runtime):
+    return FederatedEngine(
+        lake,
+        policy=PlanPolicy.physical_design_aware(),
+        network=network,
+        runtime=runtime,
+        enable_plan_cache=False,
+        enable_subresult_cache=False,
+    )
+
+
+def test_parallel_overlap(lake, results_dir):
+    networks = NetworkSetting.all_settings()
+    queries = [BENCHMARK_QUERIES[name] for name in GRID_QUERIES]
+
+    cells = []
+    grid_wall = {"sequential": 0.0, "thread": 0.0}
+    started_all = time.perf_counter()
+    for query in queries:
+        leaves = count_leaves(
+            fresh_engine(lake, networks[0], "sequential").plan(query.text).root
+        )
+        for network in networks:
+            row = {
+                "query": query.name,
+                "network": network.name,
+                "source_count": leaves,
+            }
+            for runtime in ("sequential", "event", "thread"):
+                engine = fresh_engine(lake, network, runtime)
+                wall_start = time.perf_counter()
+                answers, stats = engine.run(query.text, seed=RUN_SEED)
+                wall = time.perf_counter() - wall_start
+                row[runtime] = {
+                    "virtual_time": stats.execution_time,
+                    "wall_time": wall,
+                    "answers": len(answers),
+                }
+                if runtime in grid_wall:
+                    grid_wall[runtime] += wall
+            cells.append(row)
+    total_wall = time.perf_counter() - started_all
+
+    # -- guardrails ----------------------------------------------------------
+    for row in cells:
+        seq, evt = row["sequential"], row["event"]
+        assert evt["answers"] == seq["answers"] == row["thread"]["answers"], row
+        delayed = row["network"] != "No Delay"
+        if row["source_count"] == 1:
+            assert evt["virtual_time"] == seq["virtual_time"], row
+        else:
+            assert evt["virtual_time"] <= seq["virtual_time"], row
+            if delayed:
+                assert evt["virtual_time"] < seq["virtual_time"], row
+    assert total_wall < WALL_BUDGET_SECONDS, (
+        f"overlap grid took {total_wall:.1f}s, budget {WALL_BUDGET_SECONDS:.0f}s"
+    )
+
+    # -- report --------------------------------------------------------------
+    lines = [
+        f"{'query':<6} {'network':<12} {'src':>3} {'seq virtual':>12} "
+        f"{'event virtual':>14} {'overlap':>8}"
+    ]
+    for row in cells:
+        seq_t = row["sequential"]["virtual_time"]
+        evt_t = row["event"]["virtual_time"]
+        gain = seq_t / evt_t if evt_t > 0 else float("inf")
+        lines.append(
+            f"{row['query']:<6} {row['network']:<12} {row['source_count']:>3} "
+            f"{seq_t:>12.4f} {evt_t:>14.4f} {gain:>7.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"grid wall-clock: sequential {grid_wall['sequential']:.3f}s, "
+        f"thread-pool {grid_wall['thread']:.3f}s "
+        f"({grid_wall['sequential'] / max(grid_wall['thread'], 1e-9):.2f}x)"
+    )
+    emit(results_dir, "parallel_overlap.txt", "\n".join(lines))
+
+    BENCH_JSON.write_text(
+        json.dumps(
+            {
+                "scale": SCALE,
+                "seed": SEED,
+                "run_seed": RUN_SEED,
+                "cells": cells,
+                "grid_wall_clock": grid_wall,
+                "total_wall_clock": total_wall,
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -26,15 +26,22 @@ class Configuration:
 
     policy: PlanPolicy
     network: NetworkSetting
+    #: Execution runtime ("sequential", "event", or "thread"); kept out of
+    #: the label unless it deviates from the historical default.
+    runtime: str = "sequential"
 
     @property
     def label(self) -> str:
-        return f"{self.policy.name} / {self.network.name}"
+        base = f"{self.policy.name} / {self.network.name}"
+        if self.runtime != "sequential":
+            base += f" / {self.runtime}"
+        return base
 
 
 def experiment_grid(
     policies: Sequence[PlanPolicy] | None = None,
     networks: Sequence[NetworkSetting] | None = None,
+    runtime: str = "sequential",
 ) -> list[Configuration]:
     """The default grid: {aware, unaware} x four network settings."""
     policies = policies or (
@@ -42,7 +49,11 @@ def experiment_grid(
         PlanPolicy.physical_design_aware(),
     )
     networks = networks or NetworkSetting.all_settings()
-    return [Configuration(policy, network) for policy in policies for network in networks]
+    return [
+        Configuration(policy, network, runtime=runtime)
+        for policy in policies
+        for network in networks
+    ]
 
 
 @dataclass
@@ -138,6 +149,7 @@ def run_query(
         policy=configuration.policy,
         network=configuration.network,
         cost_model=cost_model,
+        runtime=configuration.runtime,
     )
     answers, stats = engine.run(text, seed=seed)
     return _to_result(name, configuration, len(answers), stats)
@@ -165,9 +177,10 @@ def run_grid(
     configurations: Sequence[Configuration] | None = None,
     seed: int = 7,
     cost_model: CostModel | None = None,
+    runtime: str = "sequential",
 ) -> GridResults:
     """Run every query under every configuration (the paper's experiment)."""
-    configurations = configurations or experiment_grid()
+    configurations = configurations or experiment_grid(runtime=runtime)
     grid = GridResults()
     for query in queries:
         for configuration in configurations:

@@ -49,6 +49,8 @@ NETWORKS = {
     "gamma3": NetworkSetting.gamma3,
 }
 
+RUNTIMES = ("sequential", "event", "thread")
+
 
 def _resolve_query(text: str) -> str:
     if text in BENCHMARK_QUERIES:
@@ -69,6 +71,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--run-seed", type=int, default=7, help="delay-sampling seed for executions"
     )
+    parser.add_argument(
+        "--runtime",
+        choices=RUNTIMES,
+        default="sequential",
+        help=(
+            "execution runtime: sequential iterator chain, discrete-event "
+            "scheduler (overlapping source delays), or event + wrapper threads"
+        ),
+    )
 
 
 def cmd_describe(args: argparse.Namespace) -> int:
@@ -84,12 +95,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     lake = _build_lake(args)
     policy = POLICIES[args.policy]()
     network = NETWORKS[args.network]()
-    engine = FederatedEngine(lake, policy=policy, network=network)
+    engine = FederatedEngine(lake, policy=policy, network=network, runtime=args.runtime)
     query_text = _resolve_query(args.query)
     if args.explain:
         print(engine.explain(query_text))
         print()
     if args.profile:
+        if args.runtime != "sequential":
+            print("note: profiling always runs sequentially", file=sys.stderr)
         answers, stats, report = engine.profile(query_text, seed=args.run_seed)
         print(report.render())
         print()
@@ -117,7 +130,7 @@ def cmd_grid(args: argparse.Namespace) -> int:
         print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
         return 2
     queries = [BENCHMARK_QUERIES[name] for name in names]
-    grid = run_grid(lake, queries, seed=args.run_seed)
+    grid = run_grid(lake, queries, seed=args.run_seed, runtime=args.runtime)
     if args.format == "csv":
         print(to_csv(grid))
     elif args.format == "json":
@@ -139,6 +152,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     from .oracle import run_fuzz
 
     regressions_dir = None if args.no_write else args.regressions_dir
+    runtimes = tuple(name.strip() for name in args.runtimes.split(",") if name.strip())
+    unknown = [name for name in runtimes if name not in RUNTIMES]
+    if unknown:
+        print(f"unknown runtimes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
 
     def on_case(index, case, mismatches):
         if args.verbose:
@@ -149,6 +167,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         args.seed,
         args.iters,
         regressions_dir=regressions_dir,
+        runtimes=runtimes,
         check_invariants=not args.no_invariants,
         shrink=not args.no_shrink,
         on_case=on_case,
@@ -174,6 +193,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 lake,
                 policy=POLICIES[policy_name](),
                 network=NETWORKS[network_name](),
+                runtime=args.runtime,
             )
             __, stats = engine.run(query_text, seed=args.run_seed)
             plot.add(f"{policy_name}/{network_name}", stats.trace)
@@ -232,6 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--no-invariants", action="store_true", help="skip the plan-invariant audit"
+    )
+    fuzz.add_argument(
+        "--runtimes",
+        default="sequential",
+        help=(
+            "comma-separated execution runtimes forming the matrix's "
+            "scheduler axis (e.g. sequential,event,thread)"
+        ),
     )
     fuzz.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
     fuzz.set_defaults(func=cmd_fuzz)

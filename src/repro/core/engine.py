@@ -30,21 +30,50 @@ class ResultStream:
     Iterate to pull answers (driving the virtual clock); ``stats`` is
     complete once the stream is exhausted.  :meth:`collect` pulls everything
     and returns the answer list.
+
+    ``stats.execution_time`` tracks the clock after every answer and is
+    finalized when the stream ends — including when the consumer abandons
+    it early (a LIMIT consumer breaking out closes the generator, which
+    lands in the ``finally`` below), so traces from partial consumption
+    are well-defined under every runtime.
     """
 
-    def __init__(self, plan: FederatedPlan, context: RunContext):
+    def __init__(
+        self,
+        plan: FederatedPlan,
+        context: RunContext,
+        runtime: str = "sequential",
+        thread_workers: int | None = None,
+    ):
         self.plan = plan
         self.context = context
+        self.runtime = runtime
+        self._thread_workers = thread_workers
         self._iterator = self._run()
         self._exhausted = False
 
     def _run(self) -> Iterator[Solution]:
         stats = self.context.stats
-        for solution in self.plan.root.execute(self.context):
-            stats.record_answer(self.context.now())
-            yield solution
-        stats.execution_time = self.context.now()
-        self._exhausted = True
+        try:
+            if self.runtime == "sequential":
+                for solution in self.plan.root.execute(self.context):
+                    stats.record_answer(self.context.now())
+                    stats.execution_time = self.context.now()
+                    yield solution
+            else:
+                from ..runtime import EventScheduler
+
+                workers = self._thread_workers if self.runtime == "thread" else None
+                scheduler = EventScheduler(
+                    self.plan.root, self.context, pool_workers=workers
+                )
+                for timestamp, solution in scheduler.run():
+                    stats.record_answer(timestamp)
+                    stats.execution_time = self.context.now()
+                    yield solution
+            self._exhausted = True
+        finally:
+            stats.execution_time = self.context.now()
 
     def __iter__(self) -> Iterator[Solution]:
         return self._iterator
@@ -86,11 +115,24 @@ class FederatedEngine:
         plan_cache_size: int = 256,
         subresult_cache_size: int = 1024,
         debug_validate: bool | None = None,
+        runtime: str = "sequential",
+        thread_workers: int | None = None,
     ):
         self.lake = lake
         self.policy = policy or PlanPolicy.physical_design_aware()
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
+        from ..runtime import RUNTIMES
+
+        if runtime not in RUNTIMES:
+            raise ValueError(f"unknown runtime {runtime!r}; choose from {RUNTIMES}")
+        #: Default execution runtime: "sequential" (pull-based iterator
+        #: chain), "event" (discrete-event scheduler with overlapping
+        #: source delays), or "thread" (event semantics + a wrapper thread
+        #: pool).  Overridable per call on :meth:`execute` / :meth:`run`.
+        self.runtime = runtime
+        #: Pool width for the "thread" runtime; None picks a small default.
+        self.thread_workers = thread_workers
         #: None defers to the REPRO_DEBUG_VALIDATE env var (see planner).
         self.debug_validate = debug_validate
         # Effective switches: both the engine flag and the policy flag must
@@ -156,6 +198,7 @@ class FederatedEngine:
         query: SelectQuery | str,
         seed: int | None = None,
         clock: Clock | None = None,
+        runtime: str | None = None,
     ) -> ResultStream:
         """Plan and execute *query*, returning a streamed result.
 
@@ -164,7 +207,14 @@ class FederatedEngine:
             seed: seed for the delay-sampling RNG (determinism).
             clock: override the default fresh virtual clock (e.g. a
                 :class:`~repro.network.clock.RealClock` for live demos).
+            runtime: override the engine's default runtime for this call
+                ("sequential", "event", or "thread").
         """
+        runtime = runtime or self.runtime
+        from ..runtime import RUNTIMES
+
+        if runtime not in RUNTIMES:
+            raise ValueError(f"unknown runtime {runtime!r}; choose from {RUNTIMES}")
         plan, plan_cache_hit = self._plan_cached(query)
         context = RunContext(
             network=self.network,
@@ -174,15 +224,17 @@ class FederatedEngine:
             caches=self.caches,
         )
         context.stats.plan_cache_hit = plan_cache_hit
-        return ResultStream(plan, context)
+        workers = (self.thread_workers or 4) if runtime == "thread" else None
+        return ResultStream(plan, context, runtime=runtime, thread_workers=workers)
 
     def run(
         self,
         query: SelectQuery | str,
         seed: int | None = None,
+        runtime: str | None = None,
     ) -> tuple[list[Solution], ExecutionStats]:
         """Execute to completion; returns (answers, stats)."""
-        stream = self.execute(query, seed=seed)
+        stream = self.execute(query, seed=seed, runtime=runtime)
         answers = stream.collect()
         return answers, stream.stats
 
@@ -209,8 +261,12 @@ class FederatedEngine:
 
     def with_policy(self, policy: PlanPolicy) -> "FederatedEngine":
         """A sibling engine differing only in policy."""
-        return FederatedEngine(self.lake, policy, self.network, self.cost_model)
+        return FederatedEngine(
+            self.lake, policy, self.network, self.cost_model, runtime=self.runtime
+        )
 
     def with_network(self, network: NetworkSetting) -> "FederatedEngine":
         """A sibling engine differing only in network setting."""
-        return FederatedEngine(self.lake, self.policy, network, self.cost_model)
+        return FederatedEngine(
+            self.lake, self.policy, network, self.cost_model, runtime=self.runtime
+        )

@@ -5,6 +5,12 @@ and timestamped against the run's virtual clock, yielding a per-operator
 report (output cardinality, first/last output time) alongside the answers.
 This is the observability layer the paper's analysis section leans on when
 it attributes costs to the engine vs the wrappers.
+
+Profiling always executes under the *sequential* runtime: instrumentation
+rebinds ``execute`` on each pull-based operator instance, which has no
+equivalent in the event scheduler's push-mode nodes.  Engines configured
+with ``runtime="event"``/``"thread"`` still profile sequentially — the
+answer multiset is runtime-invariant, only the timeline differs.
 """
 
 from __future__ import annotations

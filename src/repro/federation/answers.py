@@ -25,6 +25,48 @@ if TYPE_CHECKING:  # pragma: no cover
 
 Solution = dict[str, Term]
 
+#: Interned sorted variable-name tuples, keyed by the (insertion-ordered)
+#: names of a solution.  Query executions see a handful of distinct
+#: solution shapes but millions of solutions; sharing one sorted tuple per
+#: shape removes a per-solution sort from every Distinct/key hot loop.
+_NAME_TUPLES: dict[tuple[str, ...], tuple[str, ...]] = {}
+
+
+def interned_names(solution: Solution) -> tuple[str, ...]:
+    """The solution's variable names as one shared, sorted tuple."""
+    key = tuple(solution)
+    cached = _NAME_TUPLES.get(key)
+    if cached is None:
+        cached = tuple(sorted(key))
+        _NAME_TUPLES[key] = cached
+    return cached
+
+
+class ChargeBatch:
+    """Accumulates engine charges and applies them to the clock in blocks.
+
+    Per-tuple ``charge_engine`` calls dominate the Python overhead of the
+    symmetric hash join's insert/probe loop.  Batching is safe because a
+    virtual clock only *sums* durations: as long as every pending charge is
+    flushed before an answer leaves the operator (and at stream end), the
+    clock value observed at each yield — and therefore every answer
+    timestamp and the final execution time — is unchanged.
+    """
+
+    __slots__ = ("_context", "_pending")
+
+    def __init__(self, context: "RunContext"):
+        self._context = context
+        self._pending = 0.0
+
+    def add(self, seconds: float) -> None:
+        self._pending += seconds
+
+    def flush(self) -> None:
+        if self._pending:
+            self._context.charge_engine(self._pending)
+            self._pending = 0.0
+
 
 @dataclass
 class SourceStats:
@@ -78,6 +120,24 @@ class ExecutionStats:
             self.source_stats[source_id] = SourceStats()
         return self.source_stats[source_id]
 
+    def absorb_transfer(self, other: "ExecutionStats") -> None:
+        """Fold a producer task's private transfer accounting into this run.
+
+        The event scheduler gives every producer task its own stats object
+        (so thread-pool workers never race on shared counters) and merges
+        them here when the task's stream closes.  Only the commutative
+        transfer counters move; the engine-side metrics (trace, engine
+        cost, execution time) always live on the run's main stats.
+        """
+        self.messages += other.messages
+        self.subresult_cache_hits += other.subresult_cache_hits
+        self.subresult_cache_misses += other.subresult_cache_misses
+        for source_id, stats in other.source_stats.items():
+            mine = self.source(source_id)
+            mine.requests += stats.requests
+            mine.answers += stats.answers
+            mine.virtual_cost += stats.virtual_cost
+
     @property
     def throughput(self) -> float:
         """Answers per (virtual) second over the whole execution."""
@@ -124,6 +184,10 @@ class RunContext:
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.clock = clock if clock is not None else VirtualClock()
+        #: The run seed as given.  The sequential runtime feeds it straight
+        #: into one shared RNG; the event scheduler derives one independent
+        #: substream per producer task from it (see ``repro.runtime.task``).
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.stats = ExecutionStats()
         #: The owning engine's cache registry; None means wrappers run

@@ -20,7 +20,7 @@ from typing import Callable, Iterator
 from ..rdf.terms import Term
 from ..sparql.algebra import Filter, OrderCondition
 from ..sparql.expressions import ExpressionError, evaluate, holds
-from .answers import RunContext, Solution
+from .answers import ChargeBatch, RunContext, Solution, interned_names
 
 
 class FedOperator:
@@ -96,6 +96,48 @@ class ServiceNode(FedOperator):
         return base
 
 
+def solution_identity(solution: Solution) -> tuple:
+    """A hashable identity of a solution, name-sorted (for DISTINCT sets).
+
+    Uses the interned per-shape name tuple so the per-solution sort in the
+    DISTINCT hot loop is paid once per solution *shape* instead of once per
+    solution.
+    """
+    return tuple((name, solution[name].n3()) for name in interned_names(solution))
+
+
+def sort_solutions(
+    solutions: list[Solution], conditions: list[OrderCondition]
+) -> list[Solution]:
+    """Sort *solutions* in place by ORDER BY conditions; returns the list.
+
+    Shared by the pull-based :class:`OrderBy` operator and the event
+    runtime's order node so both runtimes use the same typed collation.
+    """
+
+    def key_for(condition: OrderCondition):
+        def key(solution: Solution):
+            try:
+                value = evaluate(condition.expression, solution)
+            except ExpressionError:
+                return (0, "")
+            if hasattr(value, "to_python"):
+                value = value.to_python()
+            elif hasattr(value, "value"):
+                value = value.value
+            if isinstance(value, bool):
+                return (1, int(value))
+            if isinstance(value, (int, float)):
+                return (2, value)
+            return (3, str(value))
+
+        return key
+
+    for condition in reversed(conditions):
+        solutions.sort(key=key_for(condition), reverse=not condition.ascending)
+    return solutions
+
+
 def _merge(left: Solution, right: Solution) -> Solution | None:
     """Merge two solutions; None when they disagree on a shared variable."""
     merged = dict(left)
@@ -128,6 +170,12 @@ class SymmetricHashJoin(FedOperator):
         iterators = [self.left.execute(context), self.right.execute(context)]
         active = [True, True]
         side = 0
+        # Insert/probe costs are batched and flushed before every emitted
+        # answer (and at stream end): the clock value at each yield — hence
+        # every answer timestamp — is identical to per-tuple charging, but
+        # non-joining tuples no longer pay two charge calls each.
+        charges = ChargeBatch(context)
+        insert_probe = cost.engine_hash_insert + cost.engine_hash_probe
         while active[0] or active[1]:
             if not active[side]:
                 side = 1 - side
@@ -141,19 +189,20 @@ class SymmetricHashJoin(FedOperator):
             if key is None:
                 side = 1 - side
                 continue
-            context.charge_engine(cost.engine_hash_insert)
+            charges.add(insert_probe)
             tables[side].setdefault(key, []).append(solution)
             other = tables[1 - side]
-            context.charge_engine(cost.engine_hash_probe)
             for candidate in other.get(key, ()):  # probe
                 if side == 0:
                     merged = _merge(solution, candidate)
                 else:
                     merged = _merge(candidate, solution)
                 if merged is not None:
-                    context.charge_engine(cost.engine_join_output_row)
+                    charges.add(cost.engine_join_output_row)
+                    charges.flush()
                     yield merged
             side = 1 - side
+        charges.flush()
 
     def _key_function(self) -> Callable[[Solution], tuple | None]:
         names = self.join_variables
@@ -330,7 +379,7 @@ class Distinct(FedOperator):
         seen: set[tuple] = set()
         for solution in self.child.execute(context):
             context.charge_engine(cost.engine_distinct_row)
-            key = tuple(sorted((name, term.n3()) for name, term in solution.items()))
+            key = solution_identity(solution)
             if key not in seen:
                 seen.add(key)
                 yield solution
@@ -374,28 +423,7 @@ class OrderBy(FedOperator):
         cost = context.cost_model
         solutions = list(self.child.execute(context))
         context.charge_engine(cost.engine_sort_row * len(solutions))
-
-        def key_for(condition: OrderCondition):
-            def key(solution: Solution):
-                try:
-                    value = evaluate(condition.expression, solution)
-                except ExpressionError:
-                    return (0, "")
-                if hasattr(value, "to_python"):
-                    value = value.to_python()
-                elif hasattr(value, "value"):
-                    value = value.value
-                if isinstance(value, bool):
-                    return (1, int(value))
-                if isinstance(value, (int, float)):
-                    return (2, value)
-                return (3, str(value))
-
-            return key
-
-        for condition in reversed(self.conditions):
-            solutions.sort(key=key_for(condition), reverse=not condition.ascending)
-        yield from solutions
+        yield from sort_solutions(solutions, self.conditions)
 
     def children(self) -> list[FedOperator]:
         return [self.child]

@@ -22,9 +22,19 @@ class Clock(Protocol):
     def sleep(self, seconds: float) -> None:
         """Advance time by *seconds* (waiting for real clocks)."""
 
+    def advance_to(self, timestamp: float) -> None:
+        """Move forward to *timestamp*; a no-op when already past it.
+
+        The event scheduler uses this to synchronise timelines: an engine
+        clock jumps to an event's availability time, and a producer task's
+        clock jumps to the moment its consumer resumed it.
+        """
+
 
 class VirtualClock:
     """Deterministic simulated time starting at zero."""
+
+    __slots__ = ("_now",)
 
     def __init__(self, start: float = 0.0):
         self._now = start
@@ -36,6 +46,10 @@ class VirtualClock:
         if seconds < 0:
             raise ValueError("cannot sleep a negative duration")
         self._now += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp > self._now:
+            self._now = timestamp
 
     def reset(self, start: float = 0.0) -> None:
         self._now = start
@@ -56,6 +70,11 @@ class RealClock:
     def sleep(self, seconds: float) -> None:
         if seconds > 0:
             time.sleep(seconds)
+
+    def advance_to(self, timestamp: float) -> None:
+        remaining = timestamp - self.now()
+        if remaining > 0:
+            time.sleep(remaining)
 
     def __repr__(self) -> str:
         return f"RealClock(now={self.now():.6f})"

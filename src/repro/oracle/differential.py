@@ -49,6 +49,9 @@ class EngineConfig:
     name: str
     policy: PlanPolicy
     cache: bool
+    #: Execution runtime axis: "sequential", "event", or "thread" (see
+    #: :mod:`repro.runtime`).  Answer multisets must agree across runtimes.
+    runtime: str = "sequential"
 
 
 @dataclass
@@ -63,8 +66,15 @@ class Mismatch:
         return f"[{self.config}] {self.kind}: {self.detail}"
 
 
-def default_configs() -> list[EngineConfig]:
-    """The full matrix: base policies × decompositions × cache settings."""
+def default_configs(
+    runtimes: tuple[str, ...] = ("sequential",),
+) -> list[EngineConfig]:
+    """The full matrix: policies × decompositions × cache × runtimes.
+
+    The runtime axis defaults to sequential-only (the historical matrix);
+    passing e.g. ``("sequential", "event")`` cross-checks the event
+    scheduler's answers against the oracle under every policy as well.
+    """
     base = [
         PlanPolicy.physical_design_aware(),
         PlanPolicy.physical_design_unaware(),
@@ -77,11 +87,18 @@ def default_configs() -> list[EngineConfig]:
         for decomposition in (DecompositionKind.STAR, DecompositionKind.TRIPLE):
             variant = policy.with_(decomposition=decomposition)
             for cache in (True, False):
-                name = (
-                    f"{policy.name}/{decomposition.value}/"
-                    f"{'cache' if cache else 'nocache'}"
-                )
-                configs.append(EngineConfig(name=name, policy=variant, cache=cache))
+                for runtime in runtimes:
+                    name = (
+                        f"{policy.name}/{decomposition.value}/"
+                        f"{'cache' if cache else 'nocache'}"
+                    )
+                    if len(runtimes) > 1 or runtime != "sequential":
+                        name += f"/{runtime}"
+                    configs.append(
+                        EngineConfig(
+                            name=name, policy=variant, cache=cache, runtime=runtime
+                        )
+                    )
     return configs
 
 
@@ -244,6 +261,7 @@ def check_case_on_lake(
             network=NetworkSetting.no_delay(),
             enable_plan_cache=config.cache,
             enable_subresult_cache=config.cache,
+            runtime=config.runtime,
         )
         runs: list[list[Solution]] = []
         failed = False

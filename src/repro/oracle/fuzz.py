@@ -62,6 +62,7 @@ def run_fuzz(
     *,
     regressions_dir: str | pathlib.Path | None = None,
     configs: list[EngineConfig] | None = None,
+    runtimes: tuple[str, ...] = ("sequential",),
     check_invariants: bool = True,
     shrink: bool = True,
     on_case: Callable[[int, FuzzCase, list[Mismatch]], None] | None = None,
@@ -74,12 +75,14 @@ def run_fuzz(
         regressions_dir: where shrunk reproducers are written (created on
             first failure); ``None`` disables writing.
         configs: configuration matrix override (default: the full matrix).
+        runtimes: execution-runtime axis of the default matrix (ignored
+            when an explicit *configs* override is given).
         check_invariants: also audit every produced plan.
         shrink: minimize failing cases before reporting/writing them.
         on_case: progress callback ``(index, case, mismatches)``.
     """
     if configs is None:
-        configs = default_configs()
+        configs = default_configs(runtimes=runtimes)
     report = FuzzReport(seed=seed, iterations=iters, configurations=len(configs))
 
     def check(case: FuzzCase) -> list[Mismatch]:

@@ -1,0 +1,18 @@
+"""Concurrent execution runtimes for federated plans.
+
+Three runtimes share one operator algebra and one cost model:
+
+* ``sequential`` — the original pull-based iterator chain (one shared
+  clock; source delays are summed);
+* ``event`` — the discrete-event scheduler: every wrapper sub-query is a
+  producer task on its own virtual timeline, so independent sources'
+  delays overlap (:class:`EventScheduler`);
+* ``thread`` — the same event semantics, with wrapper sub-queries
+  executed concurrently on a thread pool; bit-identical to ``event``
+  by construction (per-task RNG substreams).
+"""
+
+from .scheduler import RUNTIMES, EventScheduler, Gate
+from .task import TaskContext, task_rng
+
+__all__ = ["RUNTIMES", "EventScheduler", "Gate", "TaskContext", "task_rng"]

@@ -1,0 +1,112 @@
+"""Producer-task state: private virtual clocks, RNG substreams, stats.
+
+Every :class:`~repro.federation.operators.ServiceNode` (and every dependent
+join's restricted sub-query) runs as its own *producer task* under the
+event scheduler.  A task owns three things the sequential runtime shares
+globally:
+
+* a **clock** — the task's virtual timeline, so two sources' network
+  delays accrue in parallel instead of being summed on one clock;
+* an **RNG substream** — derived from ``(run seed, task key)``, so a
+  task's delay samples depend only on the run seed and the task's
+  deterministic identity (plan position, block number), never on thread
+  scheduling or interleaving.  This is what keeps thread-pool executions
+  bit-reproducible;
+* a **stats** object — private transfer counters the scheduler folds into
+  the run's :class:`~repro.federation.answers.ExecutionStats` when the
+  task's stream closes, so pool workers never race on shared counters.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..federation.answers import ExecutionStats, RunContext
+from ..network.clock import VirtualClock
+
+
+def task_rng(entropy: int, key: tuple[int, ...]) -> np.random.Generator:
+    """The independent RNG stream of the task identified by *key*.
+
+    The first leaf task deliberately reuses the run's root stream (the one
+    ``RunContext.rng`` was seeded with): a single-producer plan then draws
+    exactly the delay samples the sequential runtime would, making its
+    virtual times bit-identical across runtimes.  The engine side of the
+    event scheduler never samples from the root stream, so the aliasing
+    cannot collide for multi-producer plans.
+    """
+    if key == (0,):
+        return np.random.default_rng(entropy)
+    return np.random.default_rng((entropy, *key))
+
+
+class _LockedSubresults:
+    """A sub-result cache facade that serializes access under one lock.
+
+    Thread-pool producers consult the engine's LRU concurrently; the LRU
+    itself is a plain OrderedDict, so pooled task contexts go through this
+    wrapper instead.  Only the three members the wrappers touch are
+    exposed.
+    """
+
+    __slots__ = ("_cache", "_lock")
+
+    def __init__(self, cache, lock: threading.Lock):
+        self._cache = cache
+        self._lock = lock
+
+    @property
+    def enabled(self) -> bool:
+        return self._cache.enabled
+
+    def get(self, key):
+        with self._lock:
+            return self._cache.get(key)
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._cache.put(key, value)
+
+
+class _LockedRegistry:
+    """Registry view whose ``subresults`` member is lock-protected."""
+
+    __slots__ = ("subresults",)
+
+    def __init__(self, registry, lock: threading.Lock):
+        self.subresults = _LockedSubresults(registry.subresults, lock)
+
+
+class TaskContext(RunContext):
+    """A producer task's private view of one query run.
+
+    Aliases the parent run's network, cost model, and cache registry, but
+    owns its clock, RNG substream, and stats (see module docstring).  The
+    charging API is inherited unchanged from :class:`RunContext`, so the
+    wrappers cannot tell which runtime is driving them.
+    """
+
+    def __init__(
+        self,
+        parent: RunContext,
+        entropy: int,
+        key: tuple[int, ...],
+        start: float = 0.0,
+        cache_lock: threading.Lock | None = None,
+    ):
+        # Deliberately not calling RunContext.__init__: the shared fields
+        # must alias the parent's objects, not fresh ones.
+        self.network = parent.network
+        self.cost_model = parent.cost_model
+        self.seed = parent.seed
+        if cache_lock is not None and parent.caches is not None:
+            self.caches = _LockedRegistry(parent.caches, cache_lock)
+        else:
+            self.caches = parent.caches
+        self.clock = VirtualClock(start)
+        self.rng = task_rng(entropy, key)
+        self.stats = ExecutionStats()
+        #: The deterministic task identity the RNG stream was derived from.
+        self.key = key
