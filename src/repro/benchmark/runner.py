@@ -69,6 +69,10 @@ class RunResult:
     messages: int
     engine_cost: float
     trace: list[tuple[float, int]] = field(default_factory=list)
+    #: The run's :class:`~repro.obs.RunObservation` when the grid was run
+    #: with ``observe=True``; None otherwise.  Deliberately excluded from
+    #: the CSV/JSON reports — export it via its own exporters instead.
+    observation: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -140,8 +144,14 @@ def run_query(
     configuration: Configuration,
     seed: int = 7,
     cost_model: CostModel | None = None,
+    observe: bool = False,
 ) -> RunResult:
-    """Execute one query under one configuration."""
+    """Execute one query under one configuration.
+
+    With ``observe=True`` the run carries a full observation (trace bus,
+    per-operator profiles, metrics) attached to the result — virtual
+    timings are unchanged, so observed grids stay comparable to plain ones.
+    """
     text = query.text if isinstance(query, BenchmarkQuery) else query
     name = query.name if isinstance(query, BenchmarkQuery) else "query"
     engine = FederatedEngine(
@@ -151,8 +161,11 @@ def run_query(
         cost_model=cost_model,
         runtime=configuration.runtime,
     )
-    answers, stats = engine.run(text, seed=seed)
-    return _to_result(name, configuration, len(answers), stats)
+    stream = engine.execute(text, seed=seed, observe=observe)
+    answers = stream.collect()
+    result = _to_result(name, configuration, len(answers), stream.stats)
+    result.observation = stream.observation
+    return result
 
 
 def _to_result(
@@ -178,11 +191,21 @@ def run_grid(
     seed: int = 7,
     cost_model: CostModel | None = None,
     runtime: str = "sequential",
+    observe: bool = False,
 ) -> GridResults:
     """Run every query under every configuration (the paper's experiment)."""
     configurations = configurations or experiment_grid(runtime=runtime)
     grid = GridResults()
     for query in queries:
         for configuration in configurations:
-            grid.add(run_query(lake, query, configuration, seed=seed, cost_model=cost_model))
+            grid.add(
+                run_query(
+                    lake,
+                    query,
+                    configuration,
+                    seed=seed,
+                    cost_model=cost_model,
+                    observe=observe,
+                )
+            )
     return grid

@@ -85,6 +85,36 @@ class TracePlot:
                 lines.append(f"{series.label},{when:.6f},{count}")
         return "\n".join(lines)
 
+    @classmethod
+    def from_csv(cls, text: str, title: str = "") -> "TracePlot":
+        """Rebuild a plot from :meth:`to_csv` output (round-trip import).
+
+        Labels may themselves contain commas (they are the *first* field),
+        so rows are split from the right.  Timestamps round-trip at the
+        exporter's six-decimal precision.
+        """
+        plot = cls(title)
+        current: TraceSeries | None = None
+        for line_number, line in enumerate(text.strip().splitlines()):
+            if line_number == 0:
+                if line.strip() != "label,time,answers":
+                    raise ValueError(f"unrecognized trace CSV header: {line.strip()!r}")
+                continue
+            if not line.strip():
+                continue
+            try:
+                label, when, count = line.rsplit(",", 2)
+                entry = (float(when), int(count))
+            except ValueError as exc:
+                raise ValueError(
+                    f"malformed trace CSV row {line_number + 1}: {line!r}"
+                ) from exc
+            if current is None or current.label != label:
+                current = TraceSeries(label, [])
+                plot.series.append(current)
+            current.trace.append(entry)
+        return plot
+
 
 def downsample(trace: Trace, points: int = 200) -> Trace:
     """Thin a long trace to at most *points* entries (keeping endpoints)."""

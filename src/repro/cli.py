@@ -101,9 +101,9 @@ def cmd_query(args: argparse.Namespace) -> int:
         print(engine.explain(query_text))
         print()
     if args.profile:
-        if args.runtime != "sequential":
-            print("note: profiling always runs sequentially", file=sys.stderr)
-        answers, stats, report = engine.profile(query_text, seed=args.run_seed)
+        answers, stats, report = engine.profile(
+            query_text, seed=args.run_seed, runtime=args.runtime
+        )
         print(report.render())
         print()
     else:
@@ -171,16 +171,43 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         check_invariants=not args.no_invariants,
         shrink=not args.no_shrink,
         on_case=on_case,
+        trace_dir=args.trace_dir,
     )
     print(report.summary())
     return 0 if report.ok else 1
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Planner explain: every H1/H2 decision with its reason."""
+    import json
+
+    from .obs import explain_plan
+
+    lake = _build_lake(args)
+    query_text = _resolve_query(args.query)
+    engine = FederatedEngine(
+        lake,
+        policy=POLICIES[args.policy](),
+        network=NETWORKS[args.network](),
+        runtime=args.runtime,
+    )
+    report = explain_plan(engine.plan(query_text))
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
     lake = _build_lake(args)
     query_text = _resolve_query(args.query)
     title = args.query if args.query in BENCHMARK_QUERIES else "query"
+    chrome = args.format == "chrome"
     plot = TracePlot(f"Answer traces — {title}")
+    observations: list[tuple[str, object]] = []
     for policy_name in args.policies.split(","):
         if policy_name not in POLICIES:
             print(f"unknown policy {policy_name!r}", file=sys.stderr)
@@ -195,9 +222,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 network=NETWORKS[network_name](),
                 runtime=args.runtime,
             )
-            __, stats = engine.run(query_text, seed=args.run_seed)
-            plot.add(f"{policy_name}/{network_name}", stats.trace)
-    print(plot.render_ascii(width=args.width, height=args.height))
+            label = f"{policy_name}/{network_name}"
+            if chrome:
+                __, stats, observation = engine.observe(query_text, seed=args.run_seed)
+                observations.append((f"{title} {label} [{args.runtime}]", observation))
+            else:
+                __, stats = engine.run(query_text, seed=args.run_seed)
+            plot.add(label, stats.trace)
+    if chrome:
+        from .obs import chrome_trace_json, to_chrome_trace, validate_chrome_trace
+
+        if args.validate:
+            errors = validate_chrome_trace(to_chrome_trace(observations))
+            if errors:
+                for error in errors:
+                    print(f"invalid trace: {error}", file=sys.stderr)
+                return 1
+        rendered = chrome_trace_json(observations, indent=2)
+    elif args.format == "csv":
+        rendered = plot.to_csv()
+    else:
+        rendered = plot.render_ascii(width=args.width, height=args.height)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            handle.write("\n")
+        print(f"wrote {args.format} trace to {args.output}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -261,16 +313,52 @@ def build_parser() -> argparse.ArgumentParser:
             "scheduler axis (e.g. sequential,event,thread)"
         ),
     )
+    fuzz.add_argument(
+        "--trace-dir",
+        default=None,
+        help=(
+            "dump Chrome traces of every mismatching configuration here "
+            "(one file per failing config; upload as CI artifacts)"
+        ),
+    )
     fuzz.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
     fuzz.set_defaults(func=cmd_fuzz)
 
-    trace = sub.add_parser("trace", help="plot answer traces (Figure 2 style)")
+    explain = sub.add_parser(
+        "explain", help="planner explain: every heuristic decision with its reason"
+    )
+    _add_common(explain)
+    explain.add_argument("query", help="benchmark name (Q1-Q5, Fig1), SPARQL text or @file")
+    explain.add_argument("--policy", choices=sorted(POLICIES), default="aware")
+    explain.add_argument("--network", choices=sorted(NETWORKS), default="nodelay")
+    explain.add_argument("--format", choices=("text", "json"), default="text")
+    explain.set_defaults(func=cmd_explain)
+
+    trace = sub.add_parser(
+        "trace",
+        help="answer traces (Figure 2 style) or Chrome trace-event export",
+    )
     _add_common(trace)
     trace.add_argument("query", help="benchmark name, SPARQL text or @file")
     trace.add_argument("--policies", default="unaware,aware")
     trace.add_argument("--networks", default="gamma3")
     trace.add_argument("--width", type=int, default=72)
     trace.add_argument("--height", type=int, default=14)
+    trace.add_argument(
+        "--format",
+        choices=("ascii", "chrome", "csv"),
+        default="ascii",
+        help=(
+            "ascii answer-trace plot, Chrome trace-event JSON (open in "
+            "Perfetto / chrome://tracing), or the plot's CSV series"
+        ),
+    )
+    trace.add_argument("--output", help="write the rendering to a file instead of stdout")
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the Chrome export against the trace-event schema first",
+    )
     trace.set_defaults(func=cmd_trace)
 
     return parser

@@ -48,14 +48,25 @@ class ResultStream:
         self.plan = plan
         self.context = context
         self.runtime = runtime
+        #: The run's :class:`~repro.obs.observation.RunObservation` (alias
+        #: of ``context.obs``), or None for an unobserved run.
+        self.observation = context.obs
         self._thread_workers = thread_workers
         self._iterator = self._run()
         self._exhausted = False
 
     def _run(self) -> Iterator[Solution]:
         stats = self.context.stats
+        observation = self.observation
+        restore = None
         try:
             if self.runtime == "sequential":
+                if observation is not None:
+                    from ..obs import instrument_sequential
+
+                    restore = instrument_sequential(
+                        self.plan.root, observation, self.context
+                    )
                 for solution in self.plan.root.execute(self.context):
                     stats.record_answer(self.context.now())
                     stats.execution_time = self.context.now()
@@ -73,7 +84,14 @@ class ResultStream:
                     yield solution
             self._exhausted = True
         finally:
+            # Restore BEFORE finalizing: a plan must never leave an observed
+            # run still carrying traced closures (the plan cache hands the
+            # same object to later executions).
+            if restore is not None:
+                restore()
             stats.execution_time = self.context.now()
+            if observation is not None:
+                observation.finalize(stats)
 
     def __iter__(self) -> Iterator[Solution]:
         return self._iterator
@@ -147,12 +165,18 @@ class FederatedEngine:
             ),
         )
 
-    def planner(self) -> FederatedPlanner:
+    def planner(self, obs=None) -> FederatedPlanner:
         return FederatedPlanner(
-            self.lake, self.policy, self.network, debug_validate=self.debug_validate
+            self.lake,
+            self.policy,
+            self.network,
+            debug_validate=self.debug_validate,
+            obs=obs,
         )
 
-    def _plan_cached(self, query: SelectQuery | str) -> tuple[FederatedPlan, bool | None]:
+    def _plan_cached(
+        self, query: SelectQuery | str, obs=None
+    ) -> tuple[FederatedPlan, bool | None]:
         """Plan through the plan cache; returns (plan, hit-or-None).
 
         Only textual queries are cacheable (pre-parsed queries are mutable
@@ -161,9 +185,14 @@ class FederatedEngine:
         catalog version — so policies, networks, and physical designs can
         never share an entry, and any write to any member source
         invalidates by changing the version vector.
+
+        With an observation attached, fresh planning emits its lifecycle
+        instants and a cache hit emits a single plan-cache instant instead
+        (the heuristic decisions themselves still reach the explain report
+        through the plan's decision log).
         """
         if not isinstance(query, str) or not self.caches.plans.enabled:
-            return self.planner().plan(query), None
+            return self.planner(obs=obs).plan(query), None
         key = (
             canonicalize_query(query),
             self.policy.fingerprint(),
@@ -172,8 +201,12 @@ class FederatedEngine:
         )
         plan = self.caches.plans.get(key)
         if plan is not None:
+            if obs is not None:
+                obs.plan_cache_event(hit=True)
             return plan, True
-        plan = self.planner().plan(query)
+        if obs is not None:
+            obs.plan_cache_event(hit=False)
+        plan = self.planner(obs=obs).plan(query)
         self.caches.plans.put(key, plan)
         return plan, False
 
@@ -199,6 +232,7 @@ class FederatedEngine:
         seed: int | None = None,
         clock: Clock | None = None,
         runtime: str | None = None,
+        observe: bool = False,
     ) -> ResultStream:
         """Plan and execute *query*, returning a streamed result.
 
@@ -209,13 +243,24 @@ class FederatedEngine:
                 :class:`~repro.network.clock.RealClock` for live demos).
             runtime: override the engine's default runtime for this call
                 ("sequential", "event", or "thread").
+            observe: attach a :class:`~repro.obs.RunObservation` collecting
+                spans, per-operator profiles and metrics; read it from the
+                returned stream's ``observation`` attribute once consumed.
+                Timestamps come from the run's virtual clocks, so observed
+                timelines are bit-identical to unobserved ones.
         """
         runtime = runtime or self.runtime
         from ..runtime import RUNTIMES
 
         if runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {runtime!r}; choose from {RUNTIMES}")
-        plan, plan_cache_hit = self._plan_cached(query)
+        observation = None
+        if observe:
+            from ..obs import RunObservation
+
+            observation = RunObservation()
+            observation.runtime = runtime
+        plan, plan_cache_hit = self._plan_cached(query, obs=observation)
         context = RunContext(
             network=self.network,
             cost_model=self.cost_model,
@@ -224,6 +269,9 @@ class FederatedEngine:
             caches=self.caches,
         )
         context.stats.plan_cache_hit = plan_cache_hit
+        if observation is not None:
+            observation.register_plan(plan)
+            context.obs = observation
         workers = (self.thread_workers or 4) if runtime == "thread" else None
         return ResultStream(plan, context, runtime=runtime, thread_workers=workers)
 
@@ -238,26 +286,42 @@ class FederatedEngine:
         answers = stream.collect()
         return answers, stream.stats
 
-    def profile(self, query: SelectQuery | str, seed: int | None = None):
+    def observe(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+        runtime: str | None = None,
+    ):
+        """Execute to completion with full observation.
+
+        Returns (answers, stats, observation) where *observation* is the
+        run's :class:`~repro.obs.RunObservation` — trace bus, per-operator
+        profiles, metrics, and (via its exporters) JSON / Chrome-trace
+        dumps.  Works under every runtime.
+        """
+        stream = self.execute(query, seed=seed, runtime=runtime, observe=True)
+        answers = stream.collect()
+        return answers, stream.stats, stream.observation
+
+    def profile(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+        runtime: str | None = None,
+    ):
         """EXPLAIN ANALYZE: execute with per-operator instrumentation.
 
         Returns (answers, stats, report) where *report* is a
-        :class:`~repro.core.profiler.ProfileReport`.  Profiling always
-        plans fresh — instrumentation rebinds ``execute`` on each operator
-        instance, which must never leak into a cached, reusable plan — but
-        still exercises (and reports) the sub-result cache.
+        :class:`~repro.obs.ProfileReport`.  Runs on the observation bus, so
+        it works under every runtime (sequential instrumentation is undone
+        in a ``finally``; the event runtimes use tap nodes and never touch
+        the plan), composes with the plan cache, and still exercises (and
+        reports) the sub-result cache.
         """
-        from .profiler import profile_plan
-
-        plan = self.planner().plan(query)
-        context = RunContext(
-            network=self.network,
-            cost_model=self.cost_model,
-            seed=seed,
-            caches=self.caches,
-        )
-        answers, report = profile_plan(plan, context)
-        return answers, context.stats, report
+        answers, stats, observation = self.observe(query, seed=seed, runtime=runtime)
+        report = observation.profile_report(stats)
+        report.cache_summary = stats.cache_summary()
+        return answers, stats, report
 
     def with_policy(self, policy: PlanPolicy) -> "FederatedEngine":
         """A sibling engine differing only in policy."""

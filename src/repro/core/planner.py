@@ -121,10 +121,17 @@ class FederatedPlanner:
         policy: PlanPolicy,
         network: NetworkSetting,
         debug_validate: bool | None = None,
+        obs=None,
     ):
         self.lake = lake
         self.policy = policy
         self.network = network
+        #: Optional :class:`~repro.obs.observation.RunObservation`: when
+        #: set, planning emits lifecycle instants (parse, decompose,
+        #: source selection, every heuristic decision) onto its bus.
+        #: Planning happens before the run's virtual clock starts, so
+        #: these are zero-duration markers at t=0 in emission order.
+        self.obs = obs
         # Debug mode: audit every produced plan with the oracle's invariant
         # checker.  ``None`` defers to the REPRO_DEBUG_VALIDATE env var so
         # test runs can switch the whole suite into validating mode.
@@ -137,12 +144,24 @@ class FederatedPlanner:
     # -- public ---------------------------------------------------------------
 
     def plan(self, query: SelectQuery | str) -> FederatedPlan:
+        obs = self.obs
         if isinstance(query, str):
             query = parse_query(query)
+            if obs is not None:
+                obs.bus.add_instant("parse", "plan")
         if self.policy.decomposition is DecompositionKind.TRIPLE:
             decomposition = decompose_triple_wise(query)
         else:
             decomposition = decompose_star_shaped(query)
+        if obs is not None:
+            obs.bus.add_instant(
+                "decompose",
+                "plan",
+                kind=self.policy.decomposition.value,
+                subqueries=len(decomposition.subqueries),
+                union_branches=len(decomposition.union_branches),
+                optional_groups=len(decomposition.optional_groups),
+            )
         merge_decisions: list[MergeDecision] = []
         filter_decisions: list[tuple[str, FilterDecision]] = []
         notes: list[str] = []
@@ -199,14 +218,47 @@ class FederatedPlanner:
         notes: list[str],
         unit_log: list[MergeGroup | SelectedStar],
     ) -> FedOperator:
+        obs = self.obs
         selections = select_sources(self.lake, decomposition)
+        if obs is not None:
+            obs.bus.add_instant(
+                "source-selection",
+                "plan",
+                stars=len(selections),
+                candidates=sum(len(s.candidates) for s in selections),
+            )
         units_spec, branch_merges = push_down_joins(
             selections, self.lake.physical_catalog, self.policy
         )
+        if obs is not None:
+            for decision in branch_merges:
+                obs.bus.add_instant(
+                    "h1-decision",
+                    "plan",
+                    star_a=decision.star_a,
+                    star_b=decision.star_b,
+                    merged=decision.merged,
+                    reason=decision.reason,
+                )
         merge_decisions.extend(branch_merges)
         unit_log.extend(units_spec)
+        filters_before = len(filter_decisions)
         units = [self._build_unit(unit, filter_decisions) for unit in units_spec]
+        if obs is not None:
+            for source_id, decision in filter_decisions[filters_before:]:
+                obs.bus.add_instant(
+                    "h2-decision",
+                    "plan",
+                    source=source_id,
+                    filter=decision.filter.n3(),
+                    pushed=decision.pushed,
+                    reason=decision.reason,
+                )
+        notes_before = len(notes)
         root = self._order_joins(units, notes)
+        if obs is not None:
+            for note in notes[notes_before:]:
+                obs.bus.add_instant("note", "plan", text=note)
         if decomposition.residual_filters:
             root = EngineFilter(root, decomposition.residual_filters)
         main_variables: set[str] = set()

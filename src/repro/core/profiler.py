@@ -1,116 +1,55 @@
 """Execution profiling: EXPLAIN ANALYZE for federated plans.
 
-Wraps every operator of a plan so that each produced solution is counted
-and timestamped against the run's virtual clock, yielding a per-operator
-report (output cardinality, first/last output time) alongside the answers.
-This is the observability layer the paper's analysis section leans on when
-it attributes costs to the engine vs the wrappers.
+Compatibility facade.  The profiler migrated onto the observation bus
+(:mod:`repro.obs`) so that all three runtimes — sequential, event, thread —
+feed the same per-operator report; :class:`OperatorProfile` and
+:class:`ProfileReport` are re-exported from :mod:`repro.obs.profile`, and
+:func:`profile_plan` below is a thin wrapper over
+:class:`~repro.obs.RunObservation` + the sequential instrumenter.
 
-Profiling always executes under the *sequential* runtime: instrumentation
-rebinds ``execute`` on each pull-based operator instance, which has no
-equivalent in the event scheduler's push-mode nodes.  Engines configured
-with ``runtime="event"``/``"thread"`` still profile sequentially — the
-answer multiset is runtime-invariant, only the timeline differs.
+The historical implementation rebound ``execute`` on each operator and
+never restored it.  That was harmless while plans were built per query,
+but the plan cache (PR 1) made plan objects long-lived: a cached plan
+profiled once kept its traced closures and double-counted on the next
+profile.  The bus-backed instrumenter restores every rebinding in a
+``finally`` (see :mod:`repro.obs.instrument`), closing that hole.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
-
 from ..federation.answers import RunContext, Solution
-from ..federation.operators import FedOperator
+from ..obs.instrument import instrument_sequential
+from ..obs.observation import RunObservation
+from ..obs.profile import OperatorProfile, ProfileReport
 from .planner import FederatedPlan
 
-
-@dataclass
-class OperatorProfile:
-    """Measurements of one operator within one execution."""
-
-    label: str
-    depth: int
-    rows_out: int = 0
-    first_output_at: float | None = None
-    last_output_at: float | None = None
-
-    def record(self, timestamp: float) -> None:
-        self.rows_out += 1
-        if self.first_output_at is None:
-            self.first_output_at = timestamp
-        self.last_output_at = timestamp
-
-
-@dataclass
-class ProfileReport:
-    """All operator profiles of one run, in plan (pre-order) order."""
-
-    entries: list[OperatorProfile] = field(default_factory=list)
-    execution_time: float = 0.0
-    #: The run's cache behaviour (from ``ExecutionStats.cache_summary``);
-    #: None for runs executed without a cache registry.
-    cache_summary: str | None = None
-
-    def render(self) -> str:
-        lines = [f"Profile (virtual execution time {self.execution_time:.4f}s)"]
-        for entry in self.entries:
-            first = (
-                f"{entry.first_output_at:.4f}s"
-                if entry.first_output_at is not None
-                else "-"
-            )
-            last = (
-                f"{entry.last_output_at:.4f}s"
-                if entry.last_output_at is not None
-                else "-"
-            )
-            lines.append(
-                f"{'  ' * entry.depth}{entry.label}  "
-                f"[rows={entry.rows_out} first={first} last={last}]"
-            )
-        if self.cache_summary is not None:
-            lines.append(f"caches: {self.cache_summary}")
-        return "\n".join(lines)
-
-    def by_label(self, fragment: str) -> OperatorProfile:
-        for entry in self.entries:
-            if fragment in entry.label:
-                return entry
-        raise KeyError(fragment)
-
-
-def _instrument(
-    operator: FedOperator,
-    depth: int,
-    context: RunContext,
-    report: ProfileReport,
-) -> None:
-    profile = OperatorProfile(label=operator.label(), depth=depth)
-    report.entries.append(profile)
-    original_execute = operator.execute
-
-    def traced_execute(run_context: RunContext) -> Iterator[Solution]:
-        for solution in original_execute(run_context):
-            profile.record(context.now())
-            yield solution
-
-    # Per-instance override: plans are built per query, so this never leaks.
-    operator.execute = traced_execute  # type: ignore[method-assign]
-    for child in operator.children():
-        _instrument(child, depth + 1, context, report)
+__all__ = ["OperatorProfile", "ProfileReport", "profile_plan"]
 
 
 def profile_plan(
     plan: FederatedPlan, context: RunContext
 ) -> tuple[list[Solution], ProfileReport]:
-    """Execute *plan* under *context* with per-operator instrumentation."""
-    report = ProfileReport()
-    _instrument(plan.root, 0, context, report)
+    """Execute *plan* under *context* with per-operator instrumentation.
+
+    Sequential-runtime only (drives ``plan.root.execute`` directly); for
+    profiling under the event/thread runtimes go through
+    :meth:`repro.core.engine.FederatedEngine.profile`.  The plan is
+    guaranteed to leave uninstrumented even on error or early abandonment.
+    """
+    observation = RunObservation()
+    observation.register_plan(plan)
+    if context.obs is None:
+        context.obs = observation
+    restore = instrument_sequential(plan.root, observation, context)
     answers = []
-    for solution in plan.root.execute(context):
-        context.stats.record_answer(context.now())
-        answers.append(solution)
-    context.stats.execution_time = context.now()
-    report.execution_time = context.stats.execution_time
+    try:
+        for solution in plan.root.execute(context):
+            context.stats.record_answer(context.now())
+            answers.append(solution)
+    finally:
+        restore()
+        context.stats.execution_time = context.now()
+    report = observation.profile_report(context.stats)
     if context.caches is not None:
         report.cache_summary = context.stats.cache_summary()
     return answers, report

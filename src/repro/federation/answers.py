@@ -75,6 +75,10 @@ class SourceStats:
     requests: int = 0
     answers: int = 0
     virtual_cost: float = 0.0
+    #: Network time (sampled delay + message overhead) charged for this
+    #: source's requests and answer transfers — the per-source "delay
+    #: charged" series the observability layer reports.
+    network_delay: float = 0.0
 
 
 @dataclass
@@ -137,6 +141,7 @@ class ExecutionStats:
             mine.requests += stats.requests
             mine.answers += stats.answers
             mine.virtual_cost += stats.virtual_cost
+            mine.network_delay += stats.network_delay
 
     @property
     def throughput(self) -> float:
@@ -193,6 +198,15 @@ class RunContext:
         #: The owning engine's cache registry; None means wrappers run
         #: uncached (e.g. a bare RunContext in tests).
         self.caches = caches
+        #: The run's :class:`~repro.obs.observation.RunObservation`, or
+        #: None for an unobserved run.  Every instrumentation hook guards
+        #: on this being None, which is what makes observation
+        #: zero-cost-when-off on the hot paths.
+        self.obs = None
+        #: The deterministic task identity under the event scheduler (see
+        #: :class:`~repro.runtime.task.TaskContext`); the empty tuple marks
+        #: the engine-side context of a run.
+        self.key: tuple[int, ...] = ()
 
     # -- cost charging -------------------------------------------------------
 
@@ -217,14 +231,18 @@ class RunContext:
         pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
         self.clock.sleep(pause)
         self.stats.messages += 1
-        self.stats.source(source_id).answers += 1
+        source = self.stats.source(source_id)
+        source.answers += 1
+        source.network_delay += pause
 
     def charge_request(self, source_id: str) -> None:
         """The round trip that ships one sub-query to a source."""
         pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
         self.clock.sleep(pause)
         self.stats.messages += 1
-        self.stats.source(source_id).requests += 1
+        source = self.stats.source(source_id)
+        source.requests += 1
+        source.network_delay += pause
 
     def now(self) -> float:
         return self.clock.now()

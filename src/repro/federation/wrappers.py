@@ -44,6 +44,67 @@ from .answers import RunContext, Solution
 from .endpoints import RDFSource, RelationalSource
 
 
+def _obs_track(context: RunContext, source_id: str) -> str:
+    """The trace track of one wrapper execution.
+
+    Under the event scheduler every wrapper call runs as a producer task
+    with a deterministic key, so each (source, task) pair gets its own
+    track — which is what lets a Chrome trace show sibling sources'
+    gamma delays overlapping.  The sequential runtime has no tasks; all
+    of a source's sub-queries share that source's track.
+    """
+    key = context.key
+    if key:
+        return f"{source_id} · task {'.'.join(str(part) for part in key)}"
+    return source_id
+
+
+def _observed_stream(
+    context: RunContext,
+    source_id: str,
+    name: str,
+    stream,
+    **args: object,
+):
+    """Wrap a wrapper stream in a span from first charge to stream close.
+
+    The span's start/end come from the *driving* context's virtual clock
+    (the task clock under the event runtimes), and the ``finally`` makes
+    early-abandoned streams (LIMIT consumers) close their span too.  Cache
+    behaviour is read off the context's stats delta: one wrapper call
+    performs exactly one sub-result lookup when caching is enabled.
+    """
+    obs = context.obs
+    bus = obs.bus
+    stats = context.stats
+    hits_before = stats.subresult_cache_hits
+    misses_before = stats.subresult_cache_misses
+    start = context.now()
+    rows = 0
+    try:
+        for solution in stream:
+            rows += 1
+            yield solution
+    finally:
+        if stats.subresult_cache_hits > hits_before:
+            cache = "hit"
+        elif stats.subresult_cache_misses > misses_before:
+            cache = "miss"
+        else:
+            cache = "off"
+        bus.add_span(
+            name,
+            "wrapper",
+            _obs_track(context, source_id),
+            start,
+            context.now(),
+            rows=rows,
+            cache=cache,
+            source=source_id,
+            **args,
+        )
+
+
 class SQLWrapper:
     """Wrapper over one relational source."""
 
@@ -75,7 +136,26 @@ class SQLWrapper:
         endpoint would.  With a sub-result cache on the context, a recorded
         stream for the same (SQL, data version) replays instead — saving
         the RDBMS wall-clock work while re-charging identical virtual time.
+
+        Observed runs additionally record one wrapper span per execution
+        (same charging: the span only reads the clock, never advances it).
         """
+        if context.obs is not None:
+            yield from _observed_stream(
+                context,
+                self.source_id,
+                f"SQL {self.source_id}",
+                self._execute(translation, context),
+                sql=translation.sql,
+            )
+            return
+        yield from self._execute(translation, context)
+
+    def _execute(
+        self,
+        translation: TranslationResult,
+        context: RunContext,
+    ) -> Iterator[Solution]:
         caches = context.caches
         recording: RecordedSqlResult | None = None
         key = None
@@ -150,6 +230,26 @@ class SPARQLWrapper:
         Restricted-out solutions are filtered *at the source*: they never
         cross the network.
         """
+        if context.obs is not None:
+            patterns = " . ".join(p.n3().rstrip(" .") for p in star.patterns)
+            yield from _observed_stream(
+                context,
+                self.source_id,
+                f"SPARQL {self.source_id}",
+                self._execute(star, context, pushed_filters, bindings),
+                patterns=patterns,
+                restricted=bindings is not None,
+            )
+            return
+        yield from self._execute(star, context, pushed_filters, bindings)
+
+    def _execute(
+        self,
+        star: StarSubquery,
+        context: RunContext,
+        pushed_filters: list[Filter] | None = None,
+        bindings: tuple[str, frozenset] | None = None,
+    ) -> Iterator[Solution]:
         cost_model = context.cost_model
         lookup_cost = cost_model.rdf_triple_lookup * len(star.patterns)
         caches = context.caches

@@ -1,0 +1,69 @@
+"""Observability: tracing, metrics and explain across all runtimes.
+
+The subsystem has four pieces:
+
+* :mod:`repro.obs.bus` — the trace bus: spans and instant events stamped
+  with virtual-clock times on per-task tracks (determinism contract:
+  never wall time);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms aggregated
+  per run (rows per operator, cache hits, delay per source, H1/H2
+  decisions taken vs declined);
+* :mod:`repro.obs.observation` — :class:`RunObservation`, the per-run
+  container the engine attaches to a :class:`~repro.federation.answers.RunContext`
+  when observation is requested (``context.obs``; ``None`` = zero cost);
+* exporters — the ASCII :class:`~repro.obs.profile.ProfileReport`, a JSON
+  dump, and Chrome trace-event format for Perfetto
+  (:mod:`repro.obs.export`, validated by :mod:`repro.obs.schema`).
+
+Entry points: ``FederatedEngine.profile`` (EXPLAIN ANALYZE under any
+runtime), ``FederatedEngine.observe`` (full observation), ``repro explain``
+and ``repro trace --format chrome`` on the command line.
+"""
+
+from .bus import (
+    CATEGORY_CACHE,
+    CATEGORY_OPERATOR,
+    CATEGORY_PLAN,
+    CATEGORY_QUERY,
+    CATEGORY_WRAPPER,
+    ENGINE_TRACK,
+    Instant,
+    Span,
+    TraceBus,
+)
+from .explain import DecisionRecord, ExplainReport, explain_plan
+from .export import chrome_trace_json, observation_to_json, to_chrome_trace
+from .instrument import instrument_sequential
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .observation import RunObservation
+from .profile import OperatorProfile, ProfileReport
+from .schema import CHROME_TRACE_SCHEMA, validate_chrome_trace, validate_json_schema
+
+__all__ = [
+    "CATEGORY_CACHE",
+    "CATEGORY_OPERATOR",
+    "CATEGORY_PLAN",
+    "CATEGORY_QUERY",
+    "CATEGORY_WRAPPER",
+    "CHROME_TRACE_SCHEMA",
+    "Counter",
+    "DecisionRecord",
+    "ENGINE_TRACK",
+    "ExplainReport",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "OperatorProfile",
+    "ProfileReport",
+    "RunObservation",
+    "Span",
+    "TraceBus",
+    "chrome_trace_json",
+    "explain_plan",
+    "instrument_sequential",
+    "observation_to_json",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "validate_json_schema",
+]

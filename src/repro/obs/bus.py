@@ -1,0 +1,155 @@
+"""The trace bus: timed spans and instant events on the virtual clocks.
+
+Every timestamp entering the bus comes from a *virtual* clock — the run's
+engine clock or a producer task's private clock — never from wall time.
+That is the determinism contract: with a fixed seed, the recorded spans
+are value-identical run after run, under every runtime, so traces can be
+diffed and bit-identity tests keep passing with the bus enabled.
+
+Two event families:
+
+* **Spans** — named intervals ``[start, end]`` on a *track* (the engine,
+  one producer task, one source).  Wrapper sub-queries and per-operator
+  activity are spans.  Spans may be appended from thread-pool workers, so
+  appends are lock-guarded and :meth:`TraceBus.spans` returns them in a
+  canonical sort order (never insertion order, which threads would make
+  nondeterministic).
+* **Instants** — zero-duration markers for the planning lifecycle (parse,
+  decompose, source selection, each heuristic decision, plan-cache hits).
+  Instants are only ever emitted from the main thread, in deterministic
+  program order, and are kept in insertion order.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+#: Span/event categories (the span taxonomy; see DESIGN.md "Observability").
+CATEGORY_PLAN = "plan"
+CATEGORY_WRAPPER = "wrapper"
+CATEGORY_OPERATOR = "operator"
+CATEGORY_QUERY = "query"
+CATEGORY_CACHE = "cache"
+
+#: Track name of engine-side (non-task) activity.
+ENGINE_TRACK = "engine"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one track, in virtual seconds."""
+
+    name: str
+    category: str
+    track: str
+    start: float
+    end: float
+    args: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def args_dict(self) -> dict:
+        return {key: value for key, value in self.args}
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A zero-duration marker (planning phases, heuristic decisions)."""
+
+    name: str
+    category: str
+    track: str
+    timestamp: float
+    seq: int
+    args: tuple[tuple[str, object], ...] = ()
+
+    def args_dict(self) -> dict:
+        return {key: value for key, value in self.args}
+
+
+def _freeze_args(args: dict) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(args.items()))
+
+
+@dataclass
+class TraceBus:
+    """Collects one run's spans and instants.
+
+    A ``TraceBus`` is only ever attached to a run when observation was
+    requested; the hot paths guard on ``context.obs is None`` so a run
+    without observation pays nothing.
+    """
+
+    _spans: list[Span] = field(default_factory=list)
+    _instants: list[Instant] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _seq: int = 0
+
+    def add_span(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        start: float,
+        end: float,
+        **args: object,
+    ) -> Span:
+        span = Span(
+            name=name,
+            category=category,
+            track=track,
+            start=start,
+            end=end,
+            args=_freeze_args(args),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def add_instant(
+        self, name: str, category: str, track: str = ENGINE_TRACK,
+        timestamp: float = 0.0, **args: object,
+    ) -> Instant:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            instant = Instant(
+                name=name,
+                category=category,
+                track=track,
+                timestamp=timestamp,
+                seq=seq,
+                args=_freeze_args(args),
+            )
+            self._instants.append(instant)
+        return instant
+
+    def spans(self) -> list[Span]:
+        """All spans in canonical (deterministic) order.
+
+        Thread-pool workers append concurrently, so insertion order is not
+        reproducible; sorting by value is, because the span *contents* are
+        derived from virtual clocks and per-task RNG substreams.
+        """
+        with self._lock:
+            return sorted(
+                self._spans,
+                key=lambda span: (span.start, span.track, span.end, span.name, span.args),
+            )
+
+    def instants(self) -> list[Instant]:
+        """All instants in emission (program) order."""
+        with self._lock:
+            return sorted(self._instants, key=lambda instant: instant.seq)
+
+    def tracks(self) -> list[str]:
+        """Every track that recorded at least one span or instant."""
+        seen: dict[str, None] = {ENGINE_TRACK: None}
+        for instant in self.instants():
+            seen.setdefault(instant.track, None)
+        for span in self.spans():
+            seen.setdefault(span.track, None)
+        return list(seen)

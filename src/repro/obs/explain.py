@@ -1,0 +1,128 @@
+"""Heuristic-decision explain records (``repro explain <query>``).
+
+A :class:`FederatedPlan` already carries its decision log — every
+Heuristic-1 merge considered and every Heuristic-2 filter placement, each
+with the reason string produced at decision time (index present or absent,
+network profile, translatability).  This module turns that log into a
+structured, renderable record: the FedQPL argument that logical plans
+should make source-level decisions explicit, applied to our planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import FederatedPlan
+
+
+@dataclass
+class DecisionRecord:
+    """One heuristic decision: what was considered, what happened, why."""
+
+    heuristic: str  # "H1" | "H2"
+    subject: str  # "starA + starB" or "[source] FILTER(...)"
+    taken: bool  # H1: merged; H2: pushed to the source
+    outcome: str  # human verdict ("merged", "kept separate", "source", "engine")
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.heuristic} {self.subject}: {self.outcome} — {self.reason}"
+
+
+@dataclass
+class ExplainReport:
+    """The full decision record of one planned query."""
+
+    policy: str
+    network: str
+    plan_text: str
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def h1_decisions(self) -> list[DecisionRecord]:
+        return [decision for decision in self.decisions if decision.heuristic == "H1"]
+
+    def h2_decisions(self) -> list[DecisionRecord]:
+        return [decision for decision in self.decisions if decision.heuristic == "H2"]
+
+    def render(self) -> str:
+        h1 = self.h1_decisions()
+        h2 = self.h2_decisions()
+        lines = [
+            f"Explain [{self.policy}] network={self.network}",
+            self.plan_text,
+            "",
+            (
+                f"Heuristic 1 (join push-down): "
+                f"{sum(d.taken for d in h1)} merged, "
+                f"{sum(not d.taken for d in h1)} kept separate"
+            ),
+        ]
+        for decision in h1:
+            lines.append(f"  {decision.subject}: {decision.outcome} — {decision.reason}")
+        if not h1:
+            lines.append("  (no merge opportunities considered)")
+        lines.append(
+            f"Heuristic 2 (filter placement): "
+            f"{sum(d.taken for d in h2)} at source, "
+            f"{sum(not d.taken for d in h2)} at engine"
+        )
+        for decision in h2:
+            lines.append(f"  {decision.subject}: {decision.outcome} — {decision.reason}")
+        if not h2:
+            lines.append("  (no filters to place)")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "network": self.network,
+            "plan": self.plan_text,
+            "decisions": [
+                {
+                    "heuristic": decision.heuristic,
+                    "subject": decision.subject,
+                    "taken": decision.taken,
+                    "outcome": decision.outcome,
+                    "reason": decision.reason,
+                }
+                for decision in self.decisions
+            ],
+            "notes": list(self.notes),
+        }
+
+
+def explain_plan(plan: "FederatedPlan") -> ExplainReport:
+    """Build the decision record for *plan* from its decision log."""
+    decisions: list[DecisionRecord] = []
+    for merge in plan.merge_decisions:
+        decisions.append(
+            DecisionRecord(
+                heuristic="H1",
+                subject=f"{merge.star_a} + {merge.star_b}",
+                taken=merge.merged,
+                outcome="merged" if merge.merged else "kept separate",
+                reason=merge.reason,
+            )
+        )
+    for source_id, placement in plan.filter_decisions:
+        decisions.append(
+            DecisionRecord(
+                heuristic="H2",
+                subject=f"[{source_id}] {placement.filter.n3()}",
+                taken=placement.pushed,
+                outcome="source" if placement.pushed else "engine",
+                reason=placement.reason,
+            )
+        )
+    return ExplainReport(
+        policy=plan.policy.name,
+        network=plan.network.name,
+        plan_text=plan.root.explain(indent=1),
+        decisions=decisions,
+        notes=list(plan.notes),
+    )

@@ -1,0 +1,161 @@
+"""Exporters: Chrome trace-event JSON and a structured JSON dump.
+
+The Chrome exporter emits the *object* flavour of the Trace Event Format
+(``{"traceEvents": [...], "displayTimeUnit": "ms"}``) so the file loads
+directly in Perfetto or chrome://tracing.  Each observed run becomes one
+process; inside it, the engine timeline, every producer task/source track
+and every plan operator get their own thread row — which is what makes
+overlapping gamma delays of sibling sources visible as parallel bars.
+
+Timestamps are virtual seconds converted to microseconds (the format's
+unit).  Everything is emitted in a deterministic order, so a fixed seed
+yields a byte-identical export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, TYPE_CHECKING
+
+from .bus import CATEGORY_OPERATOR
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .observation import RunObservation
+
+_MICRO = 1e6
+
+
+def to_chrome_trace(
+    observations: Iterable[tuple[str, "RunObservation"]],
+) -> dict:
+    """Export observed runs as one Chrome trace dict (one process each)."""
+    events: list[dict] = []
+    for pid, (label, observation) in enumerate(observations, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": label},
+            }
+        )
+        tracks = observation.bus.tracks()
+        tids = {track: position for position, track in enumerate(tracks)}
+        for track in tracks:
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[track],
+                    "name": "thread_name",
+                    "args": {"name": track},
+                }
+            )
+        operator_base = len(tracks)
+        for position, profile in enumerate(observation.profiles):
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": operator_base + position,
+                    "name": "thread_name",
+                    "args": {"name": f"op: {profile.label}"},
+                }
+            )
+        for instant in observation.bus.instants():
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tids[instant.track],
+                    "name": instant.name,
+                    "cat": instant.category,
+                    "ts": instant.timestamp * _MICRO,
+                    "args": instant.args_dict(),
+                }
+            )
+        for span in observation.bus.spans():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": tids[span.track],
+                    "name": span.name,
+                    "cat": span.category,
+                    "ts": span.start * _MICRO,
+                    "dur": span.duration * _MICRO,
+                    "args": span.args_dict(),
+                }
+            )
+        for position, profile in enumerate(observation.profiles):
+            if profile.first_output_at is None:
+                continue
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": operator_base + position,
+                    "name": profile.label,
+                    "cat": CATEGORY_OPERATOR,
+                    "ts": profile.first_output_at * _MICRO,
+                    "dur": (profile.last_output_at - profile.first_output_at) * _MICRO,
+                    "args": {"rows_out": profile.rows_out},
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs"},
+    }
+
+
+def chrome_trace_json(
+    observations: Iterable[tuple[str, "RunObservation"]], indent: int | None = None
+) -> str:
+    return json.dumps(to_chrome_trace(observations), indent=indent, sort_keys=True)
+
+
+def observation_to_json(observation: "RunObservation") -> dict:
+    """Structured JSON dump of one observation (spans, profiles, metrics)."""
+    payload: dict = {
+        "runtime": observation.runtime,
+        "instants": [
+            {
+                "name": instant.name,
+                "category": instant.category,
+                "track": instant.track,
+                "timestamp": instant.timestamp,
+                "args": instant.args_dict(),
+            }
+            for instant in observation.bus.instants()
+        ],
+        "spans": [
+            {
+                "name": span.name,
+                "category": span.category,
+                "track": span.track,
+                "start": span.start,
+                "end": span.end,
+                "args": span.args_dict(),
+            }
+            for span in observation.bus.spans()
+        ],
+        "operators": [
+            {
+                "label": profile.label,
+                "depth": profile.depth,
+                "rows_out": profile.rows_out,
+                "first_output_at": profile.first_output_at,
+                "last_output_at": profile.last_output_at,
+            }
+            for profile in observation.profiles
+        ],
+        "metrics": observation.metrics.to_dict(),
+    }
+    if observation.plan is not None:
+        from .explain import explain_plan
+
+        payload["explain"] = explain_plan(observation.plan).to_dict()
+    return payload

@@ -1,0 +1,59 @@
+"""Sequential-runtime instrumentation: rebind ``execute``, restore after.
+
+The pull-based operator chain offers no push-side interception point, so
+observing it means rebinding ``execute`` on each operator instance with a
+counting wrapper.  The historical profiler did exactly that and never
+undid it — a plan served from the plan cache after being profiled kept its
+traced closures and double-counted on the next profile.  This module's
+contract closes that hole: :func:`instrument_sequential` returns a restore
+callable, and every caller runs it in a ``finally`` so the plan leaves the
+observed execution exactly as it entered.
+
+The event and thread runtimes need none of this: the scheduler's
+``compile_plan`` inserts tap nodes between push-mode nodes when the run is
+observed, which never touches the plan's operators at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..federation.answers import RunContext, Solution
+from ..federation.operators import FedOperator
+from .observation import RunObservation
+
+
+def instrument_sequential(
+    root: FedOperator, observation: RunObservation, context: RunContext
+) -> Callable[[], None]:
+    """Rebind ``execute`` on every operator under *root* to count rows.
+
+    Returns a restore callable that removes every rebinding; callers MUST
+    invoke it in a ``finally`` so cached plans never retain traced
+    closures (the plan-cache × profiler double-count bug).
+    """
+    instrumented: list[FedOperator] = []
+
+    def instrument(operator: FedOperator) -> None:
+        profile = observation.profile_for(operator)
+        original_execute = operator.execute
+
+        def traced_execute(run_context: RunContext) -> Iterator[Solution]:
+            for solution in original_execute(run_context):
+                profile.record(context.now())
+                yield solution
+
+        operator.execute = traced_execute  # type: ignore[method-assign]
+        instrumented.append(operator)
+        for child in operator.children():
+            instrument(child)
+
+    def restore() -> None:
+        for operator in instrumented:
+            # The rebinding lives in the instance dict, shadowing the class
+            # method; deleting it restores the original behaviour even if
+            # restore runs more than once.
+            operator.__dict__.pop("execute", None)
+
+    instrument(root)
+    return restore

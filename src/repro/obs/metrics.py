@@ -1,0 +1,157 @@
+"""Metrics registry: counters, gauges and histograms with label sets.
+
+The registry is the *aggregated* side of the observability layer — where
+the trace bus records individual timed events, the registry keeps running
+totals: rows in/out per operator, cache hits and misses, network delay
+charged per source, Heuristic-1 merges and Heuristic-2 placements taken
+vs declined.  Everything here is plain Python accounting driven by the
+run's deterministic virtual-time data, so two runs with the same seed
+render byte-identical metric reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: A label set is a sorted tuple of (key, value) pairs; the registry keys
+#: instruments on (name, labels) so e.g. ``source_delay{source=kegg}`` and
+#: ``source_delay{source=drugbank}`` are distinct time series.
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels(labels: dict[str, str]) -> Labels:
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (rows, hits, decisions taken)."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (execution time, cache size)."""
+
+    name: str
+    labels: Labels = ()
+    value: float = 0.0
+
+    kind = "gauge"
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A distribution summary (per-operator row counts, per-source delays).
+
+    Keeps count/sum/min/max rather than raw samples so the registry stays
+    O(instruments), not O(events); ``mean`` is derived.
+    """
+
+    name: str
+    labels: Labels = ()
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+
+    kind = "histogram"
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+@dataclass
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by (name, labels)."""
+
+    _instruments: dict[tuple[str, str, Labels], Instrument] = field(default_factory=dict)
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get("counter", Counter, name, _labels(labels))
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", Gauge, name, _labels(labels))
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._get("histogram", Histogram, name, _labels(labels))
+
+    def _get(self, kind: str, factory, name: str, labels: Labels):
+        key = (kind, name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name=name, labels=labels)
+            self._instruments[key] = instrument
+        return instrument
+
+    def collect(self) -> list[Instrument]:
+        """Every instrument, sorted by (name, labels) for stable output."""
+        return sorted(
+            self._instruments.values(), key=lambda inst: (inst.name, inst.labels)
+        )
+
+    def to_dict(self) -> list[dict]:
+        """JSON-friendly dump of the whole registry."""
+        out = []
+        for inst in self.collect():
+            entry: dict = {
+                "name": inst.name,
+                "kind": inst.kind,
+                "labels": {key: value for key, value in inst.labels},
+            }
+            if isinstance(inst, Histogram):
+                entry.update(
+                    count=inst.count,
+                    sum=inst.total,
+                    min=inst.minimum,
+                    max=inst.maximum,
+                    mean=inst.mean,
+                )
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def render(self) -> str:
+        """Prometheus-exposition-flavoured text dump (terminal-first)."""
+        lines = []
+        for inst in self.collect():
+            labels = (
+                "{" + ",".join(f'{key}="{value}"' for key, value in inst.labels) + "}"
+                if inst.labels
+                else ""
+            )
+            if isinstance(inst, Histogram):
+                lines.append(
+                    f"{inst.name}{labels} count={inst.count} sum={inst.total:g} "
+                    f"min={0 if inst.minimum is None else inst.minimum:g} "
+                    f"max={0 if inst.maximum is None else inst.maximum:g} "
+                    f"mean={inst.mean:g}"
+                )
+            else:
+                lines.append(f"{inst.name}{labels} {inst.value:g}")
+        return "\n".join(lines)

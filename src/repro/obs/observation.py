@@ -1,0 +1,175 @@
+"""One run's observation: trace bus + operator profiles + metrics.
+
+A :class:`RunObservation` is created when the caller asks for an observed
+execution (``FederatedEngine.execute(..., observe=True)``, ``engine.profile``
+or ``engine.observe``) and attached to the run's
+:class:`~repro.federation.answers.RunContext` as ``context.obs``.  Every
+instrumentation hook in the engine guards on ``context.obs is None``, so an
+unobserved run executes exactly the PR-3 hot paths — no bus, no extra
+attribute traffic in the per-tuple loops, bit-identical timelines.
+
+The observation never mutates the plan it watches: operator profiles are
+keyed on operator *identity*, and the sequential instrumenter restores any
+rebinding in a ``finally`` — so plans served from the plan cache stay
+clean for the next (observed or unobserved) execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .bus import (
+    CATEGORY_CACHE,
+    CATEGORY_QUERY,
+    ENGINE_TRACK,
+    TraceBus,
+)
+from .metrics import MetricsRegistry
+from .profile import OperatorProfile, ProfileReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import FederatedPlan
+    from ..federation.answers import ExecutionStats
+    from ..federation.operators import FedOperator
+
+
+class RunObservation:
+    """Everything recorded about one observed query execution."""
+
+    def __init__(self) -> None:
+        self.bus = TraceBus()
+        self.metrics = MetricsRegistry()
+        #: Operator profiles in plan pre-order (the report's order).
+        self.profiles: list[OperatorProfile] = []
+        self._profile_by_op: dict[int, OperatorProfile] = {}
+        self.plan: FederatedPlan | None = None
+        self.runtime: str = "sequential"
+        self._finalized = False
+
+    # -- plan registration ---------------------------------------------------
+
+    def register_plan(self, plan: "FederatedPlan") -> None:
+        """Register every operator of *plan* (pre-order) for row accounting.
+
+        Idempotent per observation; does not touch the plan object, so a
+        cached plan can be observed any number of times.
+        """
+        if self.plan is not None:
+            return
+        self.plan = plan
+        self._register(plan.root, 0)
+
+    def _register(self, operator: "FedOperator", depth: int) -> None:
+        profile = OperatorProfile(label=operator.label(), depth=depth)
+        self.profiles.append(profile)
+        self._profile_by_op[id(operator)] = profile
+        for child in operator.children():
+            self._register(child, depth + 1)
+
+    def profile_for(self, operator: "FedOperator") -> OperatorProfile | None:
+        return self._profile_by_op.get(id(operator))
+
+    # -- reports -------------------------------------------------------------
+
+    def profile_report(self, stats: "ExecutionStats | None" = None) -> ProfileReport:
+        report = ProfileReport(
+            entries=self.profiles,
+            runtime=self.runtime,
+        )
+        if stats is not None:
+            report.execution_time = stats.execution_time
+        return report
+
+    # -- finalization --------------------------------------------------------
+
+    def finalize(self, stats: "ExecutionStats") -> None:
+        """Fold the finished run's statistics into the metrics registry and
+        stamp the whole-query span.  Called when the result stream ends
+        (including early-abandoned streams); idempotent."""
+        if self._finalized:
+            return
+        self._finalized = True
+        self.bus.add_span(
+            "query",
+            CATEGORY_QUERY,
+            ENGINE_TRACK,
+            0.0,
+            stats.execution_time,
+            answers=stats.answers,
+            runtime=self.runtime,
+        )
+        metrics = self.metrics
+        metrics.counter("answers").inc(stats.answers)
+        metrics.gauge("execution_time_seconds").set(stats.execution_time)
+        if stats.time_to_first_answer is not None:
+            metrics.gauge("time_to_first_answer_seconds").set(stats.time_to_first_answer)
+        metrics.counter("messages").inc(stats.messages)
+        metrics.gauge("engine_cost_seconds").set(stats.engine_cost)
+        for source_id, source in sorted(stats.source_stats.items()):
+            metrics.counter("source_requests", source=source_id).inc(source.requests)
+            metrics.counter("source_answers", source=source_id).inc(source.answers)
+            metrics.gauge("source_cost_seconds", source=source_id).set(
+                source.virtual_cost
+            )
+            metrics.gauge("source_network_delay_seconds", source=source_id).set(
+                source.network_delay
+            )
+            metrics.histogram("source_network_delay").observe(source.network_delay)
+        if stats.plan_cache_hit is not None:
+            metrics.counter(
+                "plan_cache", outcome="hit" if stats.plan_cache_hit else "miss"
+            ).inc()
+        metrics.counter("subresult_cache", outcome="hit").inc(
+            stats.subresult_cache_hits
+        )
+        metrics.counter("subresult_cache", outcome="miss").inc(
+            stats.subresult_cache_misses
+        )
+        for profile in self.profiles:
+            metrics.counter("operator_rows_out", operator=profile.label).inc(
+                profile.rows_out
+            )
+            metrics.histogram("operator_rows_out_distribution").observe(
+                profile.rows_out
+            )
+        if self.plan is not None:
+            self._finalize_plan_metrics()
+
+    def _finalize_plan_metrics(self) -> None:
+        metrics = self.metrics
+        for decision in self.plan.merge_decisions:
+            outcome = "taken" if decision.merged else "declined"
+            metrics.counter("h1_merge", outcome=outcome).inc()
+            metrics.counter(
+                "h1_merge_reason", outcome=outcome, reason=decision.reason
+            ).inc()
+        for source_id, decision in self.plan.filter_decisions:
+            outcome = "source" if decision.pushed else "engine"
+            metrics.counter("h2_filter", placement=outcome).inc()
+            metrics.counter(
+                "h2_filter_reason",
+                placement=outcome,
+                reason=decision.reason,
+                source=source_id,
+            ).inc()
+
+    # -- planning-side events (emitted by engine/planner) ---------------------
+
+    def plan_cache_event(self, hit: bool) -> None:
+        self.bus.add_instant(
+            "plan-cache", CATEGORY_CACHE, outcome="hit" if hit else "miss"
+        )
+
+    # -- exports --------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-friendly dump: spans, instants, profiles, metrics."""
+        from .export import observation_to_json
+
+        return observation_to_json(self)
+
+    def to_chrome_trace(self, label: str = "repro") -> dict:
+        """Chrome trace-event dict (load in Perfetto / chrome://tracing)."""
+        from .export import to_chrome_trace
+
+        return to_chrome_trace([(label, self)])

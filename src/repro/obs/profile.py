@@ -1,0 +1,80 @@
+"""Per-operator profiles and the EXPLAIN-ANALYZE report.
+
+These classes used to live in :mod:`repro.core.profiler` (which still
+re-exports them); they moved here when profiling migrated onto the
+observation bus so that all three runtimes — sequential, event, thread —
+feed the same report structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorProfile:
+    """Measurements of one operator within one execution."""
+
+    label: str
+    depth: int
+    rows_out: int = 0
+    first_output_at: float | None = None
+    last_output_at: float | None = None
+
+    def record(self, timestamp: float) -> None:
+        self.rows_out += 1
+        if self.first_output_at is None:
+            self.first_output_at = timestamp
+        self.last_output_at = timestamp
+
+
+@dataclass
+class ProfileReport:
+    """All operator profiles of one run, in plan (pre-order) order."""
+
+    entries: list[OperatorProfile] = field(default_factory=list)
+    execution_time: float = 0.0
+    #: The run's cache behaviour (from ``ExecutionStats.cache_summary``);
+    #: None for runs executed without a cache registry.
+    cache_summary: str | None = None
+    #: Which runtime produced the measurements ("sequential", "event",
+    #: "thread"); informational only — cardinalities are runtime-invariant.
+    runtime: str = "sequential"
+
+    def render(self) -> str:
+        lines = [f"Profile (virtual execution time {self.execution_time:.4f}s)"]
+        for entry in self.entries:
+            # Operators that produced zero rows render with "-" markers so
+            # the report stays stable (and line counts comparable) whether
+            # or not an operator ever emitted.
+            first = (
+                f"{entry.first_output_at:.4f}s"
+                if entry.first_output_at is not None
+                else "-"
+            )
+            last = (
+                f"{entry.last_output_at:.4f}s"
+                if entry.last_output_at is not None
+                else "-"
+            )
+            lines.append(
+                f"{'  ' * entry.depth}{entry.label}  "
+                f"[rows={entry.rows_out} first={first} last={last}]"
+            )
+        if self.cache_summary is not None:
+            lines.append(f"caches: {self.cache_summary}")
+        return "\n".join(lines)
+
+    def by_label(self, fragment: str) -> OperatorProfile:
+        for entry in self.entries:
+            if fragment in entry.label:
+                return entry
+        available = ", ".join(repr(entry.label) for entry in self.entries) or "(none)"
+        raise KeyError(
+            f"no operator label contains {fragment!r}; available labels: {available}"
+        )
+
+    def cardinalities(self) -> list[tuple[str, int]]:
+        """(label, rows_out) pairs in plan order — the runtime-invariant
+        signature cross-runtime tests compare."""
+        return [(entry.label, entry.rows_out) for entry in self.entries]

@@ -1,0 +1,132 @@
+"""A minimal JSON-schema checker and the Chrome trace-event schema.
+
+The container deliberately carries no third-party ``jsonschema``
+dependency, so this module implements the small subset of JSON Schema the
+trace exporter needs — ``type``, ``properties``, ``required``, ``items``,
+``enum``, ``additionalProperties`` — enough for CI to validate every
+exported trace before uploading it as an artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def validate_json_schema(instance: Any, schema: dict, path: str = "$") -> list[str]:
+    """Validate *instance* against *schema*; returns a list of problems
+    (empty = valid).  Supports the subset documented in the module docstring."""
+    errors: list[str] = []
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(instance, one) for one in allowed):
+            return [
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            ]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']!r}")
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, value in instance.items():
+            if name in properties:
+                errors.extend(
+                    validate_json_schema(value, properties[name], f"{path}.{name}")
+                )
+            elif schema.get("additionalProperties") is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            errors.extend(
+                validate_json_schema(item, schema["items"], f"{path}[{index}]")
+            )
+    return errors
+
+
+#: Schema of the exporter's Chrome trace-event JSON (object format, with
+#: "X" complete events, "i" instants and "M" metadata records) — the subset
+#: of the Trace Event Format that Perfetto and chrome://tracing load.
+CHROME_TRACE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["ph", "pid", "tid", "name"],
+                "properties": {
+                    "ph": {"type": "string", "enum": ["X", "i", "M"]},
+                    "name": {"type": "string"},
+                    "cat": {"type": "string"},
+                    "pid": {"type": "integer"},
+                    "tid": {"type": "integer"},
+                    "ts": {"type": "number"},
+                    "dur": {"type": "number"},
+                    "s": {"type": "string", "enum": ["t", "p", "g"]},
+                    "args": {"type": "object"},
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+}
+
+
+def validate_chrome_trace(trace: Any) -> list[str]:
+    """Validate an exported Chrome trace dict; returns problems (empty=ok).
+
+    Beyond the schema, checks the exporter's own invariants: complete
+    events need ``ts``/``dur`` with non-negative duration, and every
+    pid/tid pair must have been announced by metadata records.
+    """
+    errors = validate_json_schema(trace, CHROME_TRACE_SCHEMA)
+    if errors:
+        return errors
+    named: set[tuple[int, int]] = set()
+    processes: set[int] = set()
+    for index, event in enumerate(trace["traceEvents"]):
+        where = f"$.traceEvents[{index}]"
+        if event["ph"] == "M":
+            if event["name"] == "process_name":
+                processes.add(event["pid"])
+            elif event["name"] == "thread_name":
+                named.add((event["pid"], event["tid"]))
+            continue
+        if "ts" not in event:
+            errors.append(f"{where}: timed event without 'ts'")
+            continue
+        if event["ph"] == "X":
+            if "dur" not in event:
+                errors.append(f"{where}: complete event without 'dur'")
+            elif event["dur"] < 0:
+                errors.append(f"{where}: negative duration {event['dur']}")
+        if event["pid"] not in processes:
+            errors.append(f"{where}: pid {event['pid']} has no process_name metadata")
+        elif (event["pid"], event["tid"]) not in named:
+            errors.append(
+                f"{where}: tid {event['tid']} (pid {event['pid']}) has no "
+                "thread_name metadata"
+            )
+    return errors

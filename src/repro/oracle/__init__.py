@@ -12,7 +12,7 @@ from .differential import (
     compare_answers,
     default_configs,
 )
-from .fuzz import FuzzFailure, FuzzReport, run_fuzz
+from .fuzz import FuzzFailure, FuzzReport, dump_failure_traces, run_fuzz
 from .generator import (
     FuzzCase,
     LakeLayout,
@@ -45,6 +45,7 @@ __all__ = [
     "check_plan",
     "compare_answers",
     "default_configs",
+    "dump_failure_traces",
     "generate_graphs",
     "materialize_lake",
     "random_case",

@@ -25,6 +25,9 @@ class FuzzFailure:
     shrunk: FuzzCase
     mismatches: list[Mismatch]
     written_to: str | None = None
+    #: Chrome trace-event dumps of the mismatching configurations
+    #: (written when the campaign ran with a ``trace_dir``).
+    trace_files: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -53,7 +56,65 @@ class FuzzReport:
                 lines.append(f"    ... and {len(failure.mismatches) - 5} more")
             if failure.written_to:
                 lines.append(f"    reproducer: {failure.written_to}")
+            for trace_file in failure.trace_files:
+                lines.append(f"    trace: {trace_file}")
         return "\n".join(lines)
+
+
+def dump_failure_traces(
+    case: FuzzCase,
+    mismatches: list[Mismatch],
+    configs: list[EngineConfig],
+    trace_dir: str | pathlib.Path,
+    stem: str,
+    seed: int = 11,
+) -> list[str]:
+    """Re-run each mismatching configuration observed; write Chrome traces.
+
+    One trace file per distinct mismatching configuration (mismatch labels
+    carry a ``#cold``/``#warm`` run suffix that is stripped to find the
+    configuration).  Configurations that crash outright are skipped — the
+    reproducer file already captures those.  Returns the written paths.
+    """
+    from ..core.engine import FederatedEngine
+    from ..network.delays import NetworkSetting
+    from ..obs import chrome_trace_json
+    from .generator import build_lake
+
+    by_name = {config.name: config for config in configs}
+    wanted: list[EngineConfig] = []
+    for mismatch in mismatches:
+        name = mismatch.config.split("#", 1)[0]
+        config = by_name.get(name)
+        if config is not None and config not in wanted:
+            wanted.append(config)
+    if not wanted:
+        return []
+    directory = pathlib.Path(trace_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    lake = build_lake(case.layout)
+    written: list[str] = []
+    for config in wanted:
+        engine = FederatedEngine(
+            lake,
+            policy=config.policy,
+            network=NetworkSetting.no_delay(),
+            enable_plan_cache=config.cache,
+            enable_subresult_cache=config.cache,
+            runtime=config.runtime,
+        )
+        try:
+            __, __, observation = engine.observe(case.sparql(), seed=seed)
+        except Exception:  # pragma: no cover - crashing configs are skipped
+            continue
+        safe = config.name.replace("/", "_")
+        path = directory / f"{stem}_{safe}.trace.json"
+        path.write_text(
+            chrome_trace_json([(config.name, observation)], indent=2) + "\n",
+            encoding="utf-8",
+        )
+        written.append(str(path))
+    return written
 
 
 def run_fuzz(
@@ -66,6 +127,7 @@ def run_fuzz(
     check_invariants: bool = True,
     shrink: bool = True,
     on_case: Callable[[int, FuzzCase, list[Mismatch]], None] | None = None,
+    trace_dir: str | pathlib.Path | None = None,
 ) -> FuzzReport:
     """Run *iters* differential cases; returns the campaign report.
 
@@ -80,6 +142,9 @@ def run_fuzz(
         check_invariants: also audit every produced plan.
         shrink: minimize failing cases before reporting/writing them.
         on_case: progress callback ``(index, case, mismatches)``.
+        trace_dir: when set, every failure's mismatching configurations are
+            re-run under observation and their Chrome traces written here —
+            the forensic artifact CI uploads alongside the reproducer.
     """
     if configs is None:
         configs = default_configs(runtimes=runtimes)
@@ -111,5 +176,13 @@ def run_fuzz(
             )
             path.write_text(shrunk.to_json() + "\n", encoding="utf-8")
             failure.written_to = str(path)
+        if trace_dir is not None:
+            failure.trace_files = dump_failure_traces(
+                shrunk,
+                shrunk_mismatches,
+                configs,
+                trace_dir,
+                f"fuzz_seed{seed}_case{index}",
+            )
         report.failures.append(failure)
     return report

@@ -66,6 +66,35 @@ class Node:
         raise NotImplementedError
 
 
+class TapNode(Node):
+    """Transparent observation tap between a node and its real parent.
+
+    Inserted by :func:`compile_plan` only when the run is observed
+    (``context.obs`` is set): the tap records each solution leaving the
+    child — engine time and count, onto the child operator's profile —
+    and forwards pushes/closes verbatim, slot included.  Unobserved runs
+    compile exactly the node network PR 3 shipped, so observation is
+    zero-cost-when-off; and because taps live outside the plan's operator
+    objects, cached plans are never mutated by being observed.
+    """
+
+    __slots__ = ("profile",)
+
+    def __init__(self, sched: "EventScheduler", parent: Node, slot: int, profile):
+        super().__init__(sched, parent, slot)
+        self.profile = profile
+
+    def start(self, time: float) -> None:  # pragma: no cover - never a child
+        raise RuntimeError("taps are not startable")
+
+    def push(self, slot: int, solution: Solution) -> None:
+        self.profile.record(self.context.now())
+        self.parent.push(slot, solution)
+
+    def close(self, slot: int) -> None:
+        self.parent.close(slot)
+
+
 class SinkNode(Node):
     """Root consumer: stamps each answer with the engine time it became
     available and hands it to the scheduler's outbox."""
@@ -502,8 +531,19 @@ def compile_plan(
     The traversal order is deterministic (pre-order, left before right),
     which is what pins leaf ids — and therefore every producer's RNG
     substream — to the plan shape rather than to execution order.
+
+    When the run is observed, a :class:`TapNode` is threaded between each
+    operator's node and its parent so per-operator output rows are counted
+    on the engine timeline — the push-mode equivalent of the sequential
+    instrumenter's ``execute`` wrapper, with identical cardinalities.
     """
     from .scheduler import Gate  # local import: scheduler imports this module
+
+    obs = sched.context.obs
+    if obs is not None:
+        profile = obs.profile_for(op)
+        if profile is not None:
+            parent = TapNode(sched, parent, slot, profile)
 
     if isinstance(op, ServiceNode):
         return SourceNode(sched, parent, slot, op, gate)

@@ -108,5 +108,9 @@ class TaskContext(RunContext):
         self.clock = VirtualClock(start)
         self.rng = task_rng(entropy, key)
         self.stats = ExecutionStats()
+        #: The run's observation is shared: producer tasks emit wrapper
+        #: spans into the same (thread-safe) bus, stamped with the task's
+        #: own virtual clock and keyed by its deterministic identity.
+        self.obs = parent.obs
         #: The deterministic task identity the RNG stream was derived from.
         self.key = key

@@ -1,0 +1,99 @@
+"""Tests for answer-trace series, plots, and the CSV round-trip."""
+
+import pytest
+
+from repro.benchmark import TracePlot
+from repro.benchmark.traces import TraceSeries, downsample
+
+
+class TestTraceSeries:
+    def test_empty_trace(self):
+        series = TraceSeries("empty", [])
+        assert series.final_time == 0.0
+        assert series.final_count == 0
+        assert series.count_at(0.0) == 0
+        assert series.count_at(10.0) == 0
+
+    def test_single_point(self):
+        series = TraceSeries("one", [(0.5, 1)])
+        assert series.final_time == 0.5
+        assert series.final_count == 1
+        assert series.count_at(0.25) == 0
+        assert series.count_at(0.5) == 1
+
+    def test_count_at_boundaries(self):
+        series = TraceSeries("s", [(1.0, 1), (2.0, 2), (4.0, 3)])
+        # Before the first answer.
+        assert series.count_at(0.999) == 0
+        # Exactly on a timestamp: the answer at t counts at t (<=).
+        assert series.count_at(1.0) == 1
+        assert series.count_at(2.0) == 2
+        # Between points: the last completed count.
+        assert series.count_at(3.5) == 2
+        # At and beyond the end.
+        assert series.count_at(4.0) == 3
+        assert series.count_at(100.0) == 3
+
+
+class TestRender:
+    def test_render_empty_plot(self):
+        plot = TracePlot("nothing")
+        assert "(no answers)" in plot.render_ascii()
+
+    def test_render_all_empty_series(self):
+        plot = TracePlot("nothing")
+        plot.add("a", [])
+        assert "(no answers)" in plot.render_ascii()
+
+    def test_render_single_point_series(self):
+        plot = TracePlot("one answer")
+        plot.add("a", [(0.5, 1)])
+        text = plot.render_ascii(width=20, height=5)
+        assert "one answer" in text
+        assert "1 answers in 0.500s" in text
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_series_and_values(self):
+        plot = TracePlot("rt")
+        plot.add("aware/gamma1", [(0.25, 1), (0.5, 2)])
+        plot.add("unaware/gamma1", [(0.125, 1)])
+        restored = TracePlot.from_csv(plot.to_csv(), title="rt")
+        assert [series.label for series in restored.series] == [
+            "aware/gamma1",
+            "unaware/gamma1",
+        ]
+        assert restored.series[0].trace == [(0.25, 1), (0.5, 2)]
+        assert restored.series[1].trace == [(0.125, 1)]
+        # A second trip is byte-stable.
+        assert restored.to_csv() == plot.to_csv()
+
+    def test_round_trip_empty_plot(self):
+        restored = TracePlot.from_csv(TracePlot("empty").to_csv())
+        assert restored.series == []
+
+    def test_labels_containing_commas_survive(self):
+        plot = TracePlot("commas")
+        plot.add("policy,with,commas", [(1.0, 1)])
+        restored = TracePlot.from_csv(plot.to_csv())
+        assert restored.series[0].label == "policy,with,commas"
+        assert restored.series[0].trace == [(1.0, 1)]
+
+    def test_rejects_bad_header_and_rows(self):
+        with pytest.raises(ValueError, match="header"):
+            TracePlot.from_csv("time,label,answers\n")
+        with pytest.raises(ValueError, match="row 2"):
+            TracePlot.from_csv("label,time,answers\na,not-a-number,1")
+
+
+class TestDownsample:
+    def test_short_traces_pass_through(self):
+        trace = [(0.1, 1), (0.2, 2)]
+        assert downsample(trace, points=10) == trace
+
+    def test_long_traces_keep_endpoints(self):
+        trace = [(float(i), i + 1) for i in range(1000)]
+        thinned = downsample(trace, points=50)
+        assert len(thinned) <= 51
+        assert thinned[0] == trace[0]
+        assert thinned[-1] == trace[-1]

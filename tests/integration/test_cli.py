@@ -67,6 +67,31 @@ class TestQuery:
         assert "Profile (virtual execution time" in out
         assert "rows=" in out
 
+    def test_profile_under_event_runtime(self, capsys, tiny):
+        assert main(
+            ["query", "Q2", *tiny, "--profile", "--runtime", "event", "--limit", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Profile (virtual execution time" in captured.out
+        assert "always runs sequentially" not in captured.err
+
+
+class TestExplain:
+    def test_text_explain_lists_heuristics(self, capsys, tiny):
+        assert main(["explain", "Q1", *tiny, "--network", "gamma2"]) == 0
+        out = capsys.readouterr().out
+        assert "Explain [Physical-Design-Aware]" in out
+        assert "Heuristic 1 (join push-down)" in out
+        assert "Heuristic 2 (filter placement)" in out
+
+    def test_json_explain(self, capsys, tiny):
+        import json
+
+        assert main(["explain", "Q1", *tiny, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "Physical-Design-Aware"
+        assert isinstance(payload["decisions"], list)
+
 
 class TestGrid:
     def test_table_output(self, capsys, tiny):
@@ -106,3 +131,50 @@ class TestTrace:
 
     def test_unknown_network(self, capsys, tiny):
         assert main(["trace", "Q3", *tiny, "--networks", "warp"]) == 2
+
+    def test_chrome_format_validates_and_writes(self, capsys, tiny, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", "Q1", *tiny,
+                "--networks", "gamma1",
+                "--format", "chrome",
+                "--validate",
+                "--output", str(out_file),
+            ]
+        ) == 0
+        assert "wrote chrome trace" in capsys.readouterr().out
+        trace = json.loads(out_file.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        # One process per policy/network cell (default: unaware + aware).
+        pids = {
+            event["pid"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert len(pids) == 2
+
+    def test_chrome_format_to_stdout(self, capsys, tiny):
+        import json
+
+        assert main(
+            ["trace", "Q1", *tiny, "--networks", "gamma1", "--format", "chrome",
+             "--policies", "aware"]
+        ) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert any(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_csv_format_round_trips(self, capsys, tiny):
+        from repro.benchmark import TracePlot
+
+        assert main(
+            ["trace", "Q1", *tiny, "--networks", "gamma1", "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        restored = TracePlot.from_csv(out)
+        assert {series.label for series in restored.series} == {
+            "unaware/gamma1",
+            "aware/gamma1",
+        }

@@ -1,0 +1,85 @@
+"""Tests for the trace bus: spans, instants, canonical ordering."""
+
+import threading
+
+from repro.obs import (
+    CATEGORY_PLAN,
+    CATEGORY_WRAPPER,
+    ENGINE_TRACK,
+    TraceBus,
+)
+
+
+class TestSpans:
+    def test_span_records_fields_and_args(self):
+        bus = TraceBus()
+        span = bus.add_span("SQL kegg", CATEGORY_WRAPPER, "kegg", 1.0, 3.5, rows=7)
+        assert span.duration == 2.5
+        assert span.args_dict() == {"rows": 7}
+        assert bus.spans() == [span]
+
+    def test_spans_return_canonical_order_not_insertion_order(self):
+        bus = TraceBus()
+        late = bus.add_span("b", CATEGORY_WRAPPER, "t", 2.0, 3.0)
+        early = bus.add_span("a", CATEGORY_WRAPPER, "t", 0.0, 1.0)
+        assert bus.spans() == [early, late]
+
+    def test_equal_start_ties_break_on_track_then_name(self):
+        bus = TraceBus()
+        bus.add_span("z", CATEGORY_WRAPPER, "track-b", 0.0, 1.0)
+        bus.add_span("m", CATEGORY_WRAPPER, "track-a", 0.0, 1.0)
+        bus.add_span("a", CATEGORY_WRAPPER, "track-a", 0.0, 1.0)
+        assert [(s.track, s.name) for s in bus.spans()] == [
+            ("track-a", "a"),
+            ("track-a", "m"),
+            ("track-b", "z"),
+        ]
+
+    def test_concurrent_appends_are_all_kept(self):
+        bus = TraceBus()
+
+        def worker(offset):
+            for i in range(50):
+                bus.add_span(f"s{offset}-{i}", CATEGORY_WRAPPER, "t", float(i), i + 1.0)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(bus.spans()) == 200
+
+
+class TestInstants:
+    def test_instants_keep_emission_order(self):
+        bus = TraceBus()
+        bus.add_instant("parse", CATEGORY_PLAN)
+        bus.add_instant("decompose", CATEGORY_PLAN, kind="star")
+        bus.add_instant("h1-decision", CATEGORY_PLAN, merged=True)
+        assert [i.name for i in bus.instants()] == [
+            "parse",
+            "decompose",
+            "h1-decision",
+        ]
+        assert bus.instants()[1].args_dict() == {"kind": "star"}
+
+    def test_instants_default_to_engine_track_at_time_zero(self):
+        bus = TraceBus()
+        instant = bus.add_instant("parse", CATEGORY_PLAN)
+        assert instant.track == ENGINE_TRACK
+        assert instant.timestamp == 0.0
+
+
+class TestTracks:
+    def test_engine_track_always_first(self):
+        bus = TraceBus()
+        bus.add_span("w", CATEGORY_WRAPPER, "kegg", 0.0, 1.0)
+        assert bus.tracks()[0] == ENGINE_TRACK
+        assert "kegg" in bus.tracks()
+
+    def test_tracks_deduplicate(self):
+        bus = TraceBus()
+        bus.add_span("a", CATEGORY_WRAPPER, "kegg", 0.0, 1.0)
+        bus.add_span("b", CATEGORY_WRAPPER, "kegg", 1.0, 2.0)
+        bus.add_instant("parse", CATEGORY_PLAN)
+        assert bus.tracks() == [ENGINE_TRACK, "kegg"]

@@ -1,0 +1,131 @@
+"""Cross-runtime observation: the acceptance sweep.
+
+Profiling must work under the sequential, event, and thread runtimes and
+report *identical per-operator output cardinalities* for every benchmark
+query under every network setting — the answer multiset and each
+operator's row counts are runtime-invariant; only the timeline shape
+differs.
+"""
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting
+from repro.datasets import BENCHMARK_QUERIES
+from repro.runtime import RUNTIMES
+
+from ..conftest import TINY_QUERY
+
+NETWORKS = (
+    NetworkSetting.no_delay,
+    NetworkSetting.gamma1,
+    NetworkSetting.gamma2,
+    NetworkSetting.gamma3,
+)
+
+
+class TestCrossRuntimeCardinalities:
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3", "Q4", "Q5"])
+    @pytest.mark.parametrize("network", NETWORKS, ids=lambda n: n.__name__)
+    def test_identical_cardinalities_q1_q5(self, small_lslod_lake, query_name, network):
+        text = BENCHMARK_QUERIES[query_name].text
+        reference = None
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(small_lslod_lake, network=network())
+            answers, stats, observation = engine.observe(text, seed=3, runtime=runtime)
+            cards = observation.profile_report(stats).cardinalities()
+            if reference is None:
+                reference = (len(answers), cards)
+            else:
+                assert (len(answers), cards) == reference, runtime
+
+    def test_execution_time_agrees_across_observed_runtimes(self, tiny_lake):
+        # Runtimes sum the same charges in different orders, so times agree
+        # to float round-off (bit-identity holds within a runtime; see
+        # TestZeroCostWhenOff for the observed-vs-plain contract).
+        times = []
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+            __, stats, __obs = engine.observe(TINY_QUERY, seed=5, runtime=runtime)
+            times.append(stats.execution_time)
+        assert times[1] == pytest.approx(times[0], rel=1e-12)
+        assert times[2] == pytest.approx(times[0], rel=1e-12)
+
+
+class TestZeroCostWhenOff:
+    def test_observed_and_plain_runs_bit_identical(self, tiny_lake):
+        """The bus must never perturb the virtual timeline (determinism
+        contract: observation only reads the clocks)."""
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+            plain, plain_stats = engine.run(TINY_QUERY, seed=9, runtime=runtime)
+            observed, observed_stats, __ = engine.observe(
+                TINY_QUERY, seed=9, runtime=runtime
+            )
+            assert plain == observed
+            assert plain_stats.execution_time == observed_stats.execution_time
+            assert plain_stats.trace == observed_stats.trace
+
+    def test_plain_run_attaches_no_observation(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        stream = engine.execute(TINY_QUERY, seed=1)
+        assert stream.observation is None
+        assert stream.context.obs is None
+        stream.collect()
+
+    def test_plan_left_clean_after_observed_sequential_run(self, tiny_lake):
+        """Sequential instrumentation rebinds operator ``execute``; the
+        restore contract says nothing may leak into the (cached) plan."""
+        engine = FederatedEngine(tiny_lake)
+        engine.observe(TINY_QUERY, seed=1)
+        plan = engine.plan(TINY_QUERY)
+
+        def assert_clean(operator):
+            assert "execute" not in operator.__dict__, operator.label()
+            for child in operator.children():
+                assert_clean(child)
+
+        assert_clean(plan.root)
+
+
+class TestObservationContent:
+    def test_wrapper_spans_present_under_every_runtime(self, tiny_lake):
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+            __, __, observation = engine.observe(TINY_QUERY, seed=1, runtime=runtime)
+            wrapper_spans = [
+                span
+                for span in observation.bus.spans()
+                if span.category == "wrapper"
+            ]
+            assert wrapper_spans, runtime
+            total_rows = sum(span.args_dict()["rows"] for span in wrapper_spans)
+            assert total_rows > 0
+
+    def test_metrics_cover_heuristics_and_sources(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+        __, __, observation = engine.observe(TINY_QUERY, seed=1)
+        names = {inst.name for inst in observation.metrics.collect()}
+        assert {"answers", "execution_time_seconds", "h1_merge", "operator_rows_out"} <= names
+        delay = observation.metrics.gauge("source_network_delay_seconds", source="diseasome")
+        assert delay.value > 0
+
+    def test_planning_instants_emitted_on_fresh_plan(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, enable_plan_cache=False)
+        __, __, observation = engine.observe(TINY_QUERY, seed=1)
+        instant_names = [instant.name for instant in observation.bus.instants()]
+        assert "parse" in instant_names
+        assert "decompose" in instant_names
+        assert "source-selection" in instant_names
+        assert "h1-decision" in instant_names
+
+    def test_plan_cache_hit_emits_cache_instant(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        engine.run(TINY_QUERY, seed=1)  # warm the plan cache
+        __, __, observation = engine.observe(TINY_QUERY, seed=1)
+        cache_instants = [
+            instant
+            for instant in observation.bus.instants()
+            if instant.name == "plan-cache"
+        ]
+        assert len(cache_instants) == 1
+        assert cache_instants[0].args_dict() == {"outcome": "hit"}

@@ -1,0 +1,63 @@
+"""Tests for the heuristic-decision explain report."""
+
+from repro import FederatedEngine, NetworkSetting, PlanPolicy
+from repro.obs import explain_plan
+
+from ..conftest import TINY_QUERY
+
+FILTERED_QUERY = """
+PREFIX v: <http://ex/vocab#>
+SELECT ?g ?sym ?dn WHERE {
+  ?g a v:Gene ; v:geneSymbol ?sym ; v:associatedDisease ?d .
+  ?d a v:Disease ; v:diseaseName ?dn .
+  FILTER(CONTAINS(?dn, "cancer"))
+}
+"""
+
+
+class TestExplain:
+    def test_lists_every_h1_decision(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        plan = engine.plan(TINY_QUERY)
+        report = explain_plan(plan)
+        assert len(report.h1_decisions()) == len(plan.merge_decisions)
+        assert report.h1_decisions()  # the tiny query has a merge opportunity
+        for decision in report.h1_decisions():
+            assert decision.heuristic == "H1"
+            assert decision.reason
+
+    def test_lists_every_h2_decision_with_reason(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        plan = engine.plan(FILTERED_QUERY)
+        report = explain_plan(plan)
+        assert len(report.h2_decisions()) == len(plan.filter_decisions)
+        assert report.h2_decisions()
+        for decision in report.h2_decisions():
+            assert decision.heuristic == "H2"
+            assert decision.outcome in ("source", "engine")
+            assert decision.reason
+
+    def test_declined_merge_shows_kept_separate(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, policy=PlanPolicy.physical_design_unaware())
+        report = explain_plan(engine.plan(TINY_QUERY))
+        for decision in report.h1_decisions():
+            assert decision.outcome in ("merged", "kept separate")
+
+    def test_render_mentions_both_heuristics_and_counts(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+        text = explain_plan(engine.plan(FILTERED_QUERY)).render()
+        assert "Heuristic 1" in text
+        assert "Heuristic 2" in text
+        assert "at source" in text
+        assert "—" in text  # every decision line carries its reason
+
+    def test_to_dict_round_trips_decisions(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        report = explain_plan(engine.plan(FILTERED_QUERY))
+        payload = report.to_dict()
+        assert payload["policy"] == report.policy
+        assert len(payload["decisions"]) == len(report.decisions)
+        assert all(
+            set(entry) == {"heuristic", "subject", "taken", "outcome", "reason"}
+            for entry in payload["decisions"]
+        )

@@ -1,0 +1,113 @@
+"""Tests for the exporters: Chrome trace format, JSON dump, validation."""
+
+from repro import FederatedEngine, NetworkSetting
+from repro.obs import (
+    CHROME_TRACE_SCHEMA,
+    chrome_trace_json,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_json_schema,
+)
+
+from ..conftest import TINY_CROSS_SOURCE_QUERY, TINY_QUERY
+
+
+def _observe(lake, runtime="sequential", query=TINY_QUERY, seed=1):
+    engine = FederatedEngine(lake, network=NetworkSetting.gamma1())
+    return engine.observe(query, seed=seed, runtime=runtime)
+
+
+class TestChromeTrace:
+    def test_export_validates_against_schema(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake)
+        trace = observation.to_chrome_trace()
+        assert validate_json_schema(trace, CHROME_TRACE_SCHEMA) == []
+        assert validate_chrome_trace(trace) == []
+
+    def test_one_track_per_task_and_source(self, tiny_lake):
+        __, __, observation = _observe(
+            tiny_lake, runtime="event", query=TINY_CROSS_SOURCE_QUERY
+        )
+        trace = observation.to_chrome_trace()
+        thread_names = [
+            event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        ]
+        # Both sources run as producer tasks with deterministic keys.
+        assert any("diseasome" in name and "task" in name for name in thread_names)
+        assert any("affymetrix" in name and "task" in name for name in thread_names)
+        # Plan operators get their own rows.
+        assert any(name.startswith("op: ") for name in thread_names)
+
+    def test_timestamps_are_microseconds(self, tiny_lake):
+        __, stats, observation = _observe(tiny_lake)
+        trace = observation.to_chrome_trace()
+        query_spans = [
+            event
+            for event in trace["traceEvents"]
+            if event["ph"] == "X" and event["name"] == "query"
+        ]
+        assert len(query_spans) == 1
+        assert query_spans[0]["dur"] == stats.execution_time * 1e6
+
+    def test_multi_run_export_uses_one_process_per_run(self, tiny_lake):
+        __, __, first = _observe(tiny_lake)
+        __, __, second = _observe(tiny_lake, runtime="event")
+        trace = to_chrome_trace([("run-a", first), ("run-b", second)])
+        processes = {
+            event["pid"]: event["args"]["name"]
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        }
+        assert processes == {1: "run-a", 2: "run-b"}
+        assert validate_chrome_trace(trace) == []
+
+    def test_validator_rejects_malformed_traces(self):
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad_event = {
+            "traceEvents": [{"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 0.0}],
+            "displayTimeUnit": "ms",
+        }
+        errors = validate_chrome_trace(bad_event)
+        assert any("dur" in error for error in errors)
+        unannounced = {
+            "traceEvents": [
+                {"ph": "i", "s": "t", "pid": 9, "tid": 0, "name": "x", "ts": 0.0}
+            ],
+            "displayTimeUnit": "ms",
+        }
+        errors = validate_chrome_trace(unannounced)
+        assert any("process_name" in error for error in errors)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_export(self, tiny_lake):
+        for runtime in ("sequential", "event", "thread"):
+            __, __, first = _observe(
+                tiny_lake, runtime=runtime, query=TINY_CROSS_SOURCE_QUERY
+            )
+            __, __, second = _observe(
+                tiny_lake, runtime=runtime, query=TINY_CROSS_SOURCE_QUERY
+            )
+            assert chrome_trace_json([("r", first)]) == chrome_trace_json(
+                [("r", second)]
+            ), runtime
+
+
+class TestJsonDump:
+    def test_dump_contains_all_sections(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake)
+        payload = observation.to_json()
+        assert set(payload) >= {"runtime", "instants", "spans", "operators", "metrics"}
+        assert payload["runtime"] == "sequential"
+        assert any(span["category"] == "wrapper" for span in payload["spans"])
+        assert any(entry["name"] == "answers" for entry in payload["metrics"])
+
+    def test_dump_embeds_explain_record(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake)
+        payload = observation.to_json()
+        assert "explain" in payload
+        assert any(
+            decision["heuristic"] == "H1" for decision in payload["explain"]["decisions"]
+        )

@@ -1,0 +1,82 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_and_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("answers").inc()
+        registry.counter("answers").inc(3)
+        assert registry.counter("answers").value == 4
+
+    def test_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("source_requests", source="kegg").inc()
+        registry.counter("source_requests", source="drugbank").inc(2)
+        assert registry.counter("source_requests", source="kegg").value == 1
+        assert registry.counter("source_requests", source="drugbank").value == 2
+
+    def test_counters_reject_negative_increments(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("answers").inc(-1)
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.gauge("execution_time_seconds").set(1.5)
+        registry.gauge("execution_time_seconds").set(0.25)
+        assert registry.gauge("execution_time_seconds").value == 0.25
+
+    def test_histogram_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("delay")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("delay").mean == 0.0
+
+
+class TestOutput:
+    def test_collect_sorted_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("b_metric").inc()
+        registry.counter("a_metric", source="z").inc()
+        registry.counter("a_metric", source="a").inc()
+        names = [(inst.name, inst.labels) for inst in registry.collect()]
+        assert names == sorted(names)
+
+    def test_to_dict_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", outcome="hit").inc(2)
+        registry.histogram("delay").observe(0.5)
+        dump = registry.to_dict()
+        counter = next(entry for entry in dump if entry["kind"] == "counter")
+        histogram = next(entry for entry in dump if entry["kind"] == "histogram")
+        assert counter == {
+            "name": "hits",
+            "kind": "counter",
+            "labels": {"outcome": "hit"},
+            "value": 2.0,
+        }
+        assert histogram["count"] == 1
+        assert histogram["mean"] == 0.5
+
+    def test_render_prometheus_flavour(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", outcome="hit").inc(2)
+        registry.gauge("time").set(1.5)
+        text = registry.render()
+        assert 'hits{outcome="hit"} 2' in text
+        assert "time 1.5" in text

@@ -1,0 +1,39 @@
+"""Tests for the fuzz harness's mismatch trace dumps."""
+
+import json
+
+from repro.obs import validate_chrome_trace
+from repro.oracle import Mismatch, default_configs, dump_failure_traces, random_case
+
+
+class TestDumpFailureTraces:
+    def test_writes_one_validated_trace_per_mismatching_config(self, tmp_path):
+        case = random_case(7, 0)
+        configs = default_configs(runtimes=("sequential", "event"))
+        # Fabricate mismatches against two configs (with the differential
+        # harness's #cold/#warm run suffix on one of them).
+        mismatches = [
+            Mismatch(f"{configs[0].name}#cold", "answers", "synthetic"),
+            Mismatch(f"{configs[0].name}#warm", "count", "synthetic"),
+            Mismatch(configs[1].name, "answers", "synthetic"),
+        ]
+        written = dump_failure_traces(case, mismatches, configs, tmp_path, "case0")
+        assert len(written) == 2  # deduplicated across run suffixes
+        for path in written:
+            trace = json.loads(open(path, encoding="utf-8").read())
+            assert validate_chrome_trace(trace) == []
+
+    def test_unknown_config_names_are_skipped(self, tmp_path):
+        case = random_case(7, 0)
+        configs = default_configs()
+        mismatches = [Mismatch("no/such/config", "answers", "synthetic")]
+        assert dump_failure_traces(case, mismatches, configs, tmp_path, "x") == []
+
+    def test_run_fuzz_accepts_trace_dir_without_failures(self, tmp_path):
+        from repro.oracle import run_fuzz
+
+        report = run_fuzz(
+            3, 2, regressions_dir=None, trace_dir=tmp_path, shrink=False
+        )
+        assert report.ok
+        assert list(tmp_path.iterdir()) == []  # nothing written on success
