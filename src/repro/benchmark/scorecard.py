@@ -1,0 +1,398 @@
+"""Heuristic scorecards: did taking H1/H2 actually pay off?
+
+The planner logs every Heuristic-1 merge and Heuristic-2 filter placement
+it considers, and different policies resolve the *same* decision subject
+differently (the aware policy merges a star pair the unaware policy keeps
+separate).  This module sweeps a workload (queries × networks × policies),
+then — per decision subject and per (query, network) cell — compares the
+best execution that **took** the decision against the best one that
+**declined** it: virtual-time delta, dief@t delta (answer-streaming area,
+computed over a common window), and a win/loss verdict.  Aggregated per
+heuristic, this is the paper's claim as a continuously-checkable report:
+physical-design-aware decisions should win, and win biggest on slow
+networks.
+
+Everything is driven by virtual clocks and seeded delays, so a scorecard
+for a fixed (lake, seed) is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.engine import FederatedEngine
+from ..core.policy import PlanPolicy
+from ..datalake.lake import SemanticDataLake
+from ..datasets.queries import BenchmarkQuery
+from ..network.delays import NetworkSetting
+from .metrics import dief_at_t
+
+#: Relative tolerance under which two virtual times count as a tie.
+TIE_RTOL = 1e-9
+
+
+def default_policies() -> list[PlanPolicy]:
+    """The five base policies of the differential matrix."""
+    return [
+        PlanPolicy.physical_design_aware(),
+        PlanPolicy.physical_design_unaware(),
+        PlanPolicy.heuristic2(),
+        PlanPolicy.filters_at_source(),
+        PlanPolicy.dependent_join(),
+    ]
+
+
+@dataclass
+class SweepCell:
+    """One (query, policy, network) execution plus its plan's decisions."""
+
+    query: str
+    policy: str
+    network: str
+    runtime: str
+    answers: int
+    execution_time: float
+    trace: list[tuple[float, int]]
+    #: (heuristic, subject, taken) triples from the plan's decision log.
+    decisions: list[tuple[str, str, bool]]
+
+
+@dataclass
+class DecisionOutcome:
+    """One decision subject in one (query, network) cell: taken vs declined.
+
+    ``taken_policy``/``declined_policy`` are the fastest representatives of
+    each side; deltas are *declined − taken* for time (positive = taking
+    the heuristic won) and *taken − declined* for dief@t (positive = the
+    taking plan streamed more answer-area in the common window).
+    """
+
+    query: str
+    network: str
+    runtime: str
+    heuristic: str  # "H1" | "H2"
+    subject: str
+    taken_policy: str
+    declined_policy: str
+    time_taken: float
+    time_declined: float
+    dief_taken: float
+    dief_declined: float
+
+    @property
+    def time_delta(self) -> float:
+        return self.time_declined - self.time_taken
+
+    @property
+    def dief_delta(self) -> float:
+        return self.dief_taken - self.dief_declined
+
+    @property
+    def verdict(self) -> str:
+        scale = max(abs(self.time_taken), abs(self.time_declined), 1e-12)
+        if abs(self.time_delta) <= TIE_RTOL * scale:
+            return "tie"
+        return "win" if self.time_delta > 0 else "loss"
+
+    def describe(self) -> str:
+        return (
+            f"[{self.query} × {self.network}] {self.subject}: {self.verdict} — "
+            f"taken({self.taken_policy}) {self.time_taken:.4f}s vs "
+            f"declined({self.declined_policy}) {self.time_declined:.4f}s, "
+            f"Δtime={self.time_delta:+.4f}s Δdief@t={self.dief_delta:+.4f}"
+        )
+
+
+@dataclass
+class HeuristicSummary:
+    """Aggregated win/loss record of one heuristic across the sweep."""
+
+    heuristic: str
+    wins: int = 0
+    losses: int = 0
+    ties: int = 0
+    total_time_delta: float = 0.0
+    total_dief_delta: float = 0.0
+
+    @property
+    def considered(self) -> int:
+        return self.wins + self.losses + self.ties
+
+    @property
+    def mean_time_delta(self) -> float:
+        return self.total_time_delta / self.considered if self.considered else 0.0
+
+    @property
+    def mean_dief_delta(self) -> float:
+        return self.total_dief_delta / self.considered if self.considered else 0.0
+
+
+@dataclass
+class Scorecard:
+    """The full report: sweep cells, per-decision outcomes, summaries."""
+
+    runtime: str
+    seed: int
+    cells: list[SweepCell] = field(default_factory=list)
+    outcomes: list[DecisionOutcome] = field(default_factory=list)
+
+    # -- aggregations --------------------------------------------------------
+
+    def heuristic_summaries(self) -> dict[str, HeuristicSummary]:
+        summaries = {
+            "H1": HeuristicSummary("H1"),
+            "H2": HeuristicSummary("H2"),
+        }
+        for outcome in self.outcomes:
+            summary = summaries[outcome.heuristic]
+            if outcome.verdict == "win":
+                summary.wins += 1
+            elif outcome.verdict == "loss":
+                summary.losses += 1
+            else:
+                summary.ties += 1
+            summary.total_time_delta += outcome.time_delta
+            summary.total_dief_delta += outcome.dief_delta
+        return summaries
+
+    def networks(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.network not in seen:
+                seen.append(cell.network)
+        return seen
+
+    def queries(self) -> list[str]:
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.query not in seen:
+                seen.append(cell.query)
+        return seen
+
+    def cell(self, query: str, policy: str, network: str) -> SweepCell:
+        for candidate in self.cells:
+            if (
+                candidate.query == query
+                and candidate.policy == policy
+                and candidate.network == network
+            ):
+                return candidate
+        raise KeyError((query, policy, network))
+
+    def policy_mean_time(self, policy: str, network: str) -> float:
+        times = [
+            cell.execution_time
+            for cell in self.cells
+            if cell.policy == policy and cell.network == network
+        ]
+        if not times:
+            raise KeyError((policy, network))
+        return sum(times) / len(times)
+
+    def dominance(self, slow_policy: str, fast_policy: str) -> dict[str, tuple[int, int]]:
+        """Per network: on how many queries *fast_policy* beat *slow_policy*
+        (faster-query-count, total-query-count) — the paper's headline read."""
+        record: dict[str, tuple[int, int]] = {}
+        for network in self.networks():
+            faster = total = 0
+            for query in self.queries():
+                try:
+                    slow = self.cell(query, slow_policy, network).execution_time
+                    fast = self.cell(query, fast_policy, network).execution_time
+                except KeyError:
+                    continue
+                total += 1
+                if fast < slow:
+                    faster += 1
+            record[network] = (faster, total)
+        return record
+
+    # -- renderings ----------------------------------------------------------
+
+    def render(self, per_decision: bool = True) -> str:
+        lines = [f"Plan-quality scorecard (runtime={self.runtime}, seed={self.seed})"]
+        policies: list[str] = []
+        for cell in self.cells:
+            if cell.policy not in policies:
+                policies.append(cell.policy)
+        networks = self.networks()
+        lines.append("")
+        lines.append("Mean virtual execution time (s) by policy × network:")
+        width = max(len(policy) for policy in policies) if policies else 8
+        header = "  " + " " * width + "".join(f"  {network:>14}" for network in networks)
+        lines.append(header)
+        for policy in policies:
+            row = f"  {policy:<{width}}"
+            for network in networks:
+                row += f"  {self.policy_mean_time(policy, network):>14.4f}"
+            lines.append(row)
+        lines.append("")
+        for heuristic, title in (
+            ("H1", "Heuristic 1 (join push-down)"),
+            ("H2", "Heuristic 2 (filter placement)"),
+        ):
+            summary = self.heuristic_summaries()[heuristic]
+            lines.append(
+                f"{title}: {summary.wins} wins, {summary.losses} losses, "
+                f"{summary.ties} ties | mean Δtime {summary.mean_time_delta:+.4f}s | "
+                f"mean Δdief@t {summary.mean_dief_delta:+.4f}"
+            )
+            if per_decision:
+                for outcome in self.outcomes:
+                    if outcome.heuristic == heuristic:
+                        lines.append(f"  {outcome.describe()}")
+            if not any(outcome.heuristic == heuristic for outcome in self.outcomes):
+                lines.append("  (no decision subject was both taken and declined)")
+        if "Physical-Design-Aware" in policies and "Physical-Design-Unaware" in policies:
+            lines.append("")
+            lines.append("Aware vs unaware (queries where aware is faster):")
+            dominance = self.dominance("Physical-Design-Unaware", "Physical-Design-Aware")
+            for network, (faster, total) in dominance.items():
+                lines.append(f"  {network}: {faster}/{total}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        summaries = self.heuristic_summaries()
+        return {
+            "runtime": self.runtime,
+            "seed": self.seed,
+            "cells": [
+                {
+                    "query": cell.query,
+                    "policy": cell.policy,
+                    "network": cell.network,
+                    "answers": cell.answers,
+                    "execution_time": cell.execution_time,
+                }
+                for cell in self.cells
+            ],
+            "outcomes": [
+                {
+                    "query": outcome.query,
+                    "network": outcome.network,
+                    "heuristic": outcome.heuristic,
+                    "subject": outcome.subject,
+                    "taken_policy": outcome.taken_policy,
+                    "declined_policy": outcome.declined_policy,
+                    "time_taken": outcome.time_taken,
+                    "time_declined": outcome.time_declined,
+                    "time_delta": outcome.time_delta,
+                    "dief_taken": outcome.dief_taken,
+                    "dief_declined": outcome.dief_declined,
+                    "dief_delta": outcome.dief_delta,
+                    "verdict": outcome.verdict,
+                }
+                for outcome in self.outcomes
+            ],
+            "heuristics": {
+                name: {
+                    "wins": summary.wins,
+                    "losses": summary.losses,
+                    "ties": summary.ties,
+                    "mean_time_delta": summary.mean_time_delta,
+                    "mean_dief_delta": summary.mean_dief_delta,
+                }
+                for name, summary in summaries.items()
+            },
+        }
+
+
+def _plan_decisions(engine: FederatedEngine, text: str) -> list[tuple[str, str, bool]]:
+    plan = engine.plan(text)
+    decisions = [
+        ("H1", f"{merge.star_a} + {merge.star_b}", merge.merged)
+        for merge in plan.merge_decisions
+    ]
+    decisions.extend(
+        ("H2", f"[{source_id}] {placement.filter.n3()}", placement.pushed)
+        for source_id, placement in plan.filter_decisions
+    )
+    return decisions
+
+
+def run_scorecard(
+    lake: SemanticDataLake,
+    queries: Sequence[BenchmarkQuery],
+    policies: Sequence[PlanPolicy] | None = None,
+    networks: Sequence[NetworkSetting] | None = None,
+    runtime: str = "sequential",
+    seed: int = 7,
+) -> Scorecard:
+    """Sweep queries × networks × policies and score every heuristic decision.
+
+    For each decision subject that at least one policy took and at least
+    one declined (within the same query × network cell), the fastest
+    representative of each side is compared; dief@t uses the common window
+    ``t = max(both execution times)`` so the slower plan's full trace
+    counts.
+    """
+    policies = list(policies) if policies is not None else default_policies()
+    networks = list(networks) if networks is not None else NetworkSetting.all_settings()
+    card = Scorecard(runtime=runtime, seed=seed)
+    for query in queries:
+        text = query.text if isinstance(query, BenchmarkQuery) else str(query)
+        name = query.name if isinstance(query, BenchmarkQuery) else "query"
+        for network in networks:
+            group: list[SweepCell] = []
+            for policy in policies:
+                engine = FederatedEngine(
+                    lake, policy=policy, network=network, runtime=runtime
+                )
+                answers, stats = engine.run(text, seed=seed)
+                cell = SweepCell(
+                    query=name,
+                    policy=policy.name,
+                    network=network.name,
+                    runtime=runtime,
+                    answers=len(answers),
+                    execution_time=stats.execution_time,
+                    trace=list(stats.trace),
+                    decisions=_plan_decisions(engine, text),
+                )
+                group.append(cell)
+                card.cells.append(cell)
+            card.outcomes.extend(_score_group(group, runtime))
+    return card
+
+
+def _score_group(group: list[SweepCell], runtime: str) -> list[DecisionOutcome]:
+    """Score every decision subject of one (query, network) cell group."""
+    subjects: list[tuple[str, str]] = []
+    for cell in group:
+        for heuristic, subject, __ in cell.decisions:
+            if (heuristic, subject) not in subjects:
+                subjects.append((heuristic, subject))
+    outcomes: list[DecisionOutcome] = []
+    for heuristic, subject in subjects:
+        taken = [
+            cell
+            for cell in group
+            if (heuristic, subject, True) in cell.decisions
+        ]
+        declined = [
+            cell
+            for cell in group
+            if (heuristic, subject, False) in cell.decisions
+        ]
+        if not taken or not declined:
+            continue
+        best_taken = min(taken, key=lambda cell: cell.execution_time)
+        best_declined = min(declined, key=lambda cell: cell.execution_time)
+        window = max(best_taken.execution_time, best_declined.execution_time)
+        outcomes.append(
+            DecisionOutcome(
+                query=best_taken.query,
+                network=best_taken.network,
+                runtime=runtime,
+                heuristic=heuristic,
+                subject=subject,
+                taken_policy=best_taken.policy,
+                declined_policy=best_declined.policy,
+                time_taken=best_taken.execution_time,
+                time_declined=best_declined.execution_time,
+                dief_taken=dief_at_t(best_taken.trace, window),
+                dief_declined=dief_at_t(best_declined.trace, window),
+            )
+        )
+    return outcomes

@@ -28,28 +28,25 @@ from .benchmark import (
     to_csv,
     to_json,
 )
+from .benchmark.baseline import (
+    DEFAULT_NETWORKS,
+    DEFAULT_POLICIES,
+    DEFAULT_QUERIES,
+    DEFAULT_RUNTIMES,
+    NETWORK_CHOICES,
+    POLICY_CHOICES,
+)
 from .core.engine import FederatedEngine
 from .core.policy import JoinStrategy, PlanPolicy
 from .datasets import BENCHMARK_QUERIES, GRID_QUERIES, build_lslod_lake
 from .network.delays import NetworkSetting
 
-POLICIES = {
-    "aware": PlanPolicy.physical_design_aware,
-    "unaware": PlanPolicy.physical_design_unaware,
-    "heuristic2": PlanPolicy.heuristic2,
-    "source": PlanPolicy.filters_at_source,
-    "triple": PlanPolicy.triple_wise,
-    "dependent": PlanPolicy.dependent_join,
-}
+# The canonical axis registries live with the baseline (the committed
+# BENCH file records their short names); the CLI shares them.
+POLICIES = POLICY_CHOICES
+NETWORKS = NETWORK_CHOICES
 
-NETWORKS = {
-    "nodelay": NetworkSetting.no_delay,
-    "gamma1": NetworkSetting.gamma1,
-    "gamma2": NetworkSetting.gamma2,
-    "gamma3": NetworkSetting.gamma3,
-}
-
-RUNTIMES = ("sequential", "event", "thread")
+RUNTIMES = DEFAULT_RUNTIMES
 
 
 def _resolve_query(text: str) -> str:
@@ -178,10 +175,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    """Planner explain: every H1/H2 decision with its reason."""
+    """Planner explain: every H1/H2 decision with its reason.
+
+    With ``--analyze`` the query is also executed (observed, under the
+    selected runtime) and the report gains per-operator actual cardinalities,
+    q-errors, and the heuristic decisions sitting on the worst-estimated
+    operators.  JSON output is validated against the published schema
+    before printing, so downstream tooling can rely on its shape.
+    """
     import json
 
-    from .obs import explain_plan
+    from .obs import ANALYZE_SCHEMA, EXPLAIN_SCHEMA, explain_plan
+    from .obs.schema import validate_json_schema
 
     lake = _build_lake(args)
     query_text = _resolve_query(args.query)
@@ -191,12 +196,118 @@ def cmd_explain(args: argparse.Namespace) -> int:
         network=NETWORKS[args.network](),
         runtime=args.runtime,
     )
-    report = explain_plan(engine.plan(query_text))
+    if args.analyze:
+        __, __, report = engine.analyze(
+            query_text, seed=args.run_seed, runtime=args.runtime
+        )
+        schema = ANALYZE_SCHEMA
+    else:
+        report = explain_plan(engine.plan(query_text))
+        schema = EXPLAIN_SCHEMA
     if args.format == "json":
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        payload = report.to_dict()
+        errors = validate_json_schema(payload, schema)
+        if errors:
+            for error in errors:
+                print(f"schema violation: {error}", file=sys.stderr)
+            return 1
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(report.render())
     return 0
+
+
+def cmd_scorecard(args: argparse.Namespace) -> int:
+    """Heuristic scorecard over a workload sweep (see benchmark.scorecard)."""
+    import json
+
+    from .benchmark import run_scorecard
+
+    lake = _build_lake(args)
+    names = args.queries.split(",") if args.queries else list(DEFAULT_QUERIES)
+    unknown = [name for name in names if name not in BENCHMARK_QUERIES]
+    if unknown:
+        print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    network_names = args.networks.split(",") if args.networks else list(DEFAULT_NETWORKS)
+    unknown = [name for name in network_names if name not in NETWORKS]
+    if unknown:
+        print(f"unknown networks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    card = run_scorecard(
+        lake,
+        [BENCHMARK_QUERIES[name] for name in names],
+        networks=[NETWORKS[name]() for name in network_names],
+        runtime=args.runtime,
+        seed=args.run_seed,
+    )
+    if args.format == "json":
+        print(json.dumps(card.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(card.render(per_decision=not args.summary))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Plan-quality baseline: snapshot the grid, or check against it."""
+    import json
+
+    from .benchmark.baseline import (
+        Thresholds,
+        build_baseline,
+        compare_baselines,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.bench_command == "snapshot":
+        names = args.queries.split(",") if args.queries else list(DEFAULT_QUERIES)
+        unknown = [name for name in names if name not in BENCHMARK_QUERIES]
+        if unknown:
+            print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        lake = _build_lake(args)
+        payload = build_baseline(
+            lake,
+            {name: BENCHMARK_QUERIES[name].text for name in names},
+            scale=args.scale,
+            data_seed=args.seed,
+            run_seed=args.run_seed,
+        )
+        write_baseline(payload, args.output)
+        print(f"wrote {len(payload['cells'])} grid cells to {args.output}")
+        return 0
+
+    # check: the baseline file defines the lake and the grid; re-run and diff.
+    baseline = load_baseline(args.baseline)
+    lake = build_lslod_lake(scale=baseline["scale"], seed=baseline["data_seed"])
+    fresh = build_baseline(
+        lake,
+        {name: BENCHMARK_QUERIES[name].text for name in baseline["queries"]},
+        scale=baseline["scale"],
+        data_seed=baseline["data_seed"],
+        run_seed=baseline["run_seed"],
+        policies=baseline["policies"],
+        networks=baseline["networks"],
+        runtimes=baseline["runtimes"],
+    )
+    thresholds = Thresholds(
+        rel_time=args.rel_time,
+        abs_time=args.abs_time,
+        rel_dief=args.rel_dief,
+        abs_dief=args.abs_dief,
+    )
+    report = compare_baselines(baseline, fresh, thresholds)
+    rendered = report.render()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+            handle.write("\n")
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(rendered)
+    return 0 if report.ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -332,7 +443,74 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--policy", choices=sorted(POLICIES), default="aware")
     explain.add_argument("--network", choices=sorted(NETWORKS), default="nodelay")
     explain.add_argument("--format", choices=("text", "json"), default="text")
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help=(
+            "EXPLAIN ANALYZE: execute the query observed and report each "
+            "operator's estimated vs actual cardinality, its q-error, and "
+            "the heuristic decisions behind the worst-estimated operators"
+        ),
+    )
     explain.set_defaults(func=cmd_explain)
+
+    scorecard = sub.add_parser(
+        "scorecard",
+        help=(
+            "heuristic win/loss report: sweep queries × networks × policies "
+            "and score every H1/H2 decision taken vs declined"
+        ),
+    )
+    _add_common(scorecard)
+    scorecard.add_argument("--queries", help="comma-separated benchmark names (default Q1-Q5)")
+    scorecard.add_argument(
+        "--networks", help="comma-separated network names (default all four)"
+    )
+    scorecard.add_argument("--format", choices=("text", "json"), default="text")
+    scorecard.add_argument(
+        "--summary",
+        action="store_true",
+        help="omit the per-decision lines, keep only the aggregates",
+    )
+    scorecard.set_defaults(func=cmd_scorecard)
+
+    bench = sub.add_parser(
+        "bench",
+        help="plan-quality baseline: snapshot the experiment grid or check against it",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    snapshot = bench_sub.add_parser(
+        "snapshot", help="run the full grid and write the canonical baseline JSON"
+    )
+    _add_common(snapshot)
+    snapshot.add_argument("--queries", help="comma-separated benchmark names (default Q1-Q5)")
+    snapshot.add_argument(
+        "--output",
+        default="BENCH_plan_quality.json",
+        help="where to write the baseline document",
+    )
+    snapshot.set_defaults(func=cmd_bench)
+    check = bench_sub.add_parser(
+        "check",
+        help=(
+            "re-run the committed baseline's grid and exit nonzero on drift "
+            "(the regression gate; the baseline file defines lake and axes)"
+        ),
+    )
+    check.add_argument(
+        "--baseline",
+        default="BENCH_plan_quality.json",
+        help="committed baseline document to check against",
+    )
+    check.add_argument("--rel-time", type=float, default=0.01, help="relative time tolerance")
+    check.add_argument("--abs-time", type=float, default=1e-9, help="absolute time tolerance")
+    check.add_argument("--rel-dief", type=float, default=0.01, help="relative dief tolerance")
+    check.add_argument("--abs-dief", type=float, default=1e-9, help="absolute dief tolerance")
+    check.add_argument("--format", choices=("text", "json"), default="text")
+    check.add_argument(
+        "--report", help="also write the full diff report (JSON) to this path"
+    )
+    check.set_defaults(func=cmd_bench)
 
     trace = sub.add_parser(
         "trace",

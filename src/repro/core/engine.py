@@ -303,6 +303,29 @@ class FederatedEngine:
         answers = stream.collect()
         return answers, stream.stats, stream.observation
 
+    def analyze(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+        runtime: str | None = None,
+        hotspot_count: int = 3,
+    ):
+        """EXPLAIN ANALYZE with q-error feedback.
+
+        Executes *query* observed and returns (answers, stats, report)
+        where *report* is a :class:`~repro.obs.analyze.AnalyzeReport`: per
+        operator the planner's cardinality estimate, the observed rows,
+        their q-error, and — for the worst-estimated operators — which
+        Heuristic-1/Heuristic-2 decisions sat on them.  Cardinalities and
+        estimates are runtime-invariant, so all three runtimes report
+        identical numbers.
+        """
+        from ..obs.analyze import analyze_observation
+
+        answers, stats, observation = self.observe(query, seed=seed, runtime=runtime)
+        report = analyze_observation(observation, stats, hotspot_count=hotspot_count)
+        return answers, stats, report
+
     def profile(
         self,
         query: SelectQuery | str,

@@ -159,11 +159,21 @@ def push_down_joins(
 
     for selection in selections:
         placed = False
-        if policy.merge_same_source_joins and selection.is_exclusive:
+        if selection.is_exclusive:
             candidate = selection.candidates[0]
             if candidate.kind == "rdb" and candidate.class_mapping is not None:
                 for group in groups_by_source.get(candidate.source_id, []):
-                    mergeable, reason = _mergeable(group, selection, candidate, catalog, policy)
+                    if policy.merge_same_source_joins:
+                        mergeable, reason = _mergeable(
+                            group, selection, candidate, catalog, policy
+                        )
+                    else:
+                        # Log the considered pair anyway so decision-level
+                        # comparisons (the scorecard) can pit this policy's
+                        # declined execution against a policy that merged
+                        # the same pair.
+                        mergeable = False
+                        reason = "Heuristic 1 disabled by policy"
                     decisions.append(
                         MergeDecision(
                             star_a=group.stars[-1].subject_name,

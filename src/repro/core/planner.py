@@ -112,6 +112,17 @@ class _PlanUnit:
     estimate: float
 
 
+def _annotate(operator: FedOperator, estimate: float) -> FedOperator:
+    """Stamp the planner's cardinality estimate onto *operator*.
+
+    The estimate is planning metadata only — join ordering keeps reading
+    :attr:`_PlanUnit.estimate`, so annotating can never change a plan.
+    EXPLAIN ANALYZE reads it back to compute per-operator q-error.
+    """
+    operator.estimated_rows = float(estimate)
+    return operator
+
+
 class FederatedPlanner:
     """Builds :class:`FederatedPlan` objects for one lake."""
 
@@ -205,7 +216,10 @@ class FederatedPlanner:
                 self._plan_branch(branch, merge_decisions, filter_decisions, notes, unit_log)
                 for branch in decomposition.union_branches
             ]
-            return Union(branches)
+            return _annotate(
+                Union(branches),
+                sum(branch.estimated_rows or 0.0 for branch in branches),
+            )
         return self._plan_branch(
             decomposition, merge_decisions, filter_decisions, notes, unit_log
         )
@@ -260,7 +274,10 @@ class FederatedPlanner:
             for note in notes[notes_before:]:
                 obs.bus.add_instant("note", "plan", text=note)
         if decomposition.residual_filters:
-            root = EngineFilter(root, decomposition.residual_filters)
+            root = _annotate(
+                EngineFilter(root, decomposition.residual_filters),
+                root.estimated_rows or 0.0,
+            )
         main_variables: set[str] = set()
         for star in decomposition.subqueries:
             main_variables |= star.variable_names()
@@ -272,7 +289,10 @@ class FederatedPlanner:
             for star in optional.subqueries:
                 optional_variables |= star.variable_names()
             join_variables = tuple(sorted(main_variables & optional_variables))
-            root = LeftJoin(left=root, right=optional_root, join_variables=join_variables)
+            root = _annotate(
+                LeftJoin(left=root, right=optional_root, join_variables=join_variables),
+                max(root.estimated_rows or 0.0, optional_root.estimated_rows or 0.0),
+            )
             main_variables |= optional_variables
         return root
 
@@ -330,6 +350,7 @@ class FederatedPlanner:
             float(self.lake.physical_catalog.table_rows(group.source_id, mapping.table))
             for __, mapping in stars
         )
+        _annotate(operator, estimate)
         return _PlanUnit(operator=operator, variables=variables, estimate=estimate)
 
     def _build_star_unit(
@@ -357,16 +378,19 @@ class FederatedPlanner:
                 wrapper = SQLWrapper(source)
                 translation = wrapper.translate(stars, pushed_filters=filter_plan.pushed)
                 branches.append(
-                    ServiceNode(
-                        source_id=candidate.source_id,
-                        description=f"SQL: {translation.sql}",
-                        runner=lambda context, w=wrapper, t=translation: w.execute(t, context),
-                        engine_filters=filter_plan.at_engine,
-                        restricted_runner=(
-                            lambda context, variable, terms, w=wrapper, t=translation:
-                            w.execute(t.restricted(variable, terms), context)
+                    _annotate(
+                        ServiceNode(
+                            source_id=candidate.source_id,
+                            description=f"SQL: {translation.sql}",
+                            runner=lambda context, w=wrapper, t=translation: w.execute(t, context),
+                            engine_filters=filter_plan.at_engine,
+                            restricted_runner=(
+                                lambda context, variable, terms, w=wrapper, t=translation:
+                                w.execute(t.restricted(variable, terms), context)
+                            ),
+                            variables=tuple(sorted(selection.star.variable_names())),
                         ),
-                        variables=tuple(sorted(selection.star.variable_names())),
+                        candidate.cardinality,
                     )
                 )
             else:
@@ -375,22 +399,27 @@ class FederatedPlanner:
                 star = selection.star
                 patterns = " . ".join(p.n3().rstrip(" .") for p in star.patterns)
                 branches.append(
-                    ServiceNode(
-                        source_id=candidate.source_id,
-                        description=f"SPARQL: {{ {patterns} }}",
-                        runner=lambda context, w=wrapper, s=star: w.execute(
-                            s, context, pushed_filters=s.filters
+                    _annotate(
+                        ServiceNode(
+                            source_id=candidate.source_id,
+                            description=f"SPARQL: {{ {patterns} }}",
+                            runner=lambda context, w=wrapper, s=star: w.execute(
+                                s, context, pushed_filters=s.filters
+                            ),
+                            restricted_runner=(
+                                lambda context, variable, terms, w=wrapper, s=star:
+                                w.execute_restricted(
+                                    s, context, variable, terms, pushed_filters=s.filters
+                                )
+                            ),
+                            variables=tuple(sorted(star.variable_names())),
                         ),
-                        restricted_runner=(
-                            lambda context, variable, terms, w=wrapper, s=star:
-                            w.execute_restricted(
-                                s, context, variable, terms, pushed_filters=s.filters
-                            )
-                        ),
-                        variables=tuple(sorted(star.variable_names())),
+                        candidate.cardinality,
                     )
                 )
-        operator: FedOperator = branches[0] if len(branches) == 1 else Union(branches)
+        operator: FedOperator = branches[0] if len(branches) == 1 else _annotate(
+            Union(branches), sum(branch.estimated_rows or 0.0 for branch in branches)
+        )
         return _PlanUnit(
             operator=operator,
             variables=selection.star.variable_names(),
@@ -421,6 +450,9 @@ class FederatedPlanner:
             root = self._join_operator(root, nxt, join_variables)
             bound |= nxt.variables
             estimate = max(estimate, nxt.estimate)
+            # The greedy orderer's running estimate is also the join's own
+            # output estimate (no join-selectivity model, as in ANAPSID).
+            _annotate(root, estimate)
         return root
 
     def _join_operator(
@@ -450,12 +482,14 @@ class FederatedPlanner:
         decomposition: Decomposition,
     ) -> FedOperator:
         # residual filters were applied per branch in _plan_branch
+        inherited = root.estimated_rows or 0.0
         if query.order_by:
-            root = OrderBy(root, query.order_by)
+            root = _annotate(OrderBy(root, query.order_by), inherited)
         projected = tuple(variable.name for variable in query.projected_variables())
-        root = Project(root, projected)
+        root = _annotate(Project(root, projected), inherited)
         if query.distinct:
-            root = Distinct(root)
+            root = _annotate(Distinct(root), inherited)
         if query.limit is not None or query.offset is not None:
-            root = Limit(root, query.limit, query.offset)
+            capped = inherited if query.limit is None else min(inherited, float(query.limit))
+            root = _annotate(Limit(root, query.limit, query.offset), capped)
         return root

@@ -1,55 +1,27 @@
-"""Execution profiling: EXPLAIN ANALYZE for federated plans.
+"""Deprecated execution-profiling facade — use :mod:`repro.obs` instead.
 
-Compatibility facade.  The profiler migrated onto the observation bus
-(:mod:`repro.obs`) so that all three runtimes — sequential, event, thread —
-feed the same per-operator report; :class:`OperatorProfile` and
-:class:`ProfileReport` are re-exported from :mod:`repro.obs.profile`, and
-:func:`profile_plan` below is a thin wrapper over
-:class:`~repro.obs.RunObservation` + the sequential instrumenter.
-
-The historical implementation rebound ``execute`` on each operator and
-never restored it.  That was harmless while plans were built per query,
-but the plan cache (PR 1) made plan objects long-lived: a cached plan
-profiled once kept its traced closures and double-counted on the next
-profile.  The bus-backed instrumenter restores every rebinding in a
-``finally`` (see :mod:`repro.obs.instrument`), closing that hole.
+The profiler migrated onto the observation bus (:mod:`repro.obs`) so that
+all three runtimes — sequential, event, thread — feed the same per-operator
+report; :class:`OperatorProfile`, :class:`ProfileReport` and
+:func:`profile_plan` now live there (``repro.obs.profile`` /
+``repro.obs.instrument``) and are re-exported here for callers that still
+import the historical location.  Importing this module emits a
+:class:`DeprecationWarning`; switch to ``repro.obs`` (or, for end-to-end
+profiling, :meth:`repro.core.engine.FederatedEngine.profile`).
 """
 
 from __future__ import annotations
 
-from ..federation.answers import RunContext, Solution
-from ..obs.instrument import instrument_sequential
-from ..obs.observation import RunObservation
+import warnings
+
+from ..obs.instrument import profile_plan
 from ..obs.profile import OperatorProfile, ProfileReport
-from .planner import FederatedPlan
 
 __all__ = ["OperatorProfile", "ProfileReport", "profile_plan"]
 
-
-def profile_plan(
-    plan: FederatedPlan, context: RunContext
-) -> tuple[list[Solution], ProfileReport]:
-    """Execute *plan* under *context* with per-operator instrumentation.
-
-    Sequential-runtime only (drives ``plan.root.execute`` directly); for
-    profiling under the event/thread runtimes go through
-    :meth:`repro.core.engine.FederatedEngine.profile`.  The plan is
-    guaranteed to leave uninstrumented even on error or early abandonment.
-    """
-    observation = RunObservation()
-    observation.register_plan(plan)
-    if context.obs is None:
-        context.obs = observation
-    restore = instrument_sequential(plan.root, observation, context)
-    answers = []
-    try:
-        for solution in plan.root.execute(context):
-            context.stats.record_answer(context.now())
-            answers.append(solution)
-    finally:
-        restore()
-        context.stats.execution_time = context.now()
-    report = observation.profile_report(context.stats)
-    if context.caches is not None:
-        report.cache_summary = context.stats.cache_summary()
-    return answers, report
+warnings.warn(
+    "repro.core.profiler is deprecated; import OperatorProfile/ProfileReport/"
+    "profile_plan from repro.obs (or use FederatedEngine.profile) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

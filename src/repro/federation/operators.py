@@ -26,6 +26,13 @@ from .answers import ChargeBatch, RunContext, Solution, interned_names
 class FedOperator:
     """Base class of federated plan operators."""
 
+    #: The planner's cardinality estimate for this operator's output, in
+    #: rows (None when the operator was built outside the planner).  Set
+    #: once at plan time and never mutated by execution, so a cached plan
+    #: keeps its estimates; EXPLAIN ANALYZE compares them against observed
+    #: ``rows_out`` to compute per-operator q-error.
+    estimated_rows: float | None = None
+
     def execute(self, context: RunContext) -> Iterator[Solution]:
         raise NotImplementedError
 

@@ -31,15 +31,24 @@ from .bus import (
     Span,
     TraceBus,
 )
-from .explain import DecisionRecord, ExplainReport, explain_plan
+from .analyze import (
+    ANALYZE_SCHEMA,
+    AnalyzeReport,
+    Hotspot,
+    OperatorAnalysis,
+    analyze_observation,
+)
+from .explain import DecisionRecord, EXPLAIN_SCHEMA, ExplainReport, explain_plan
 from .export import chrome_trace_json, observation_to_json, to_chrome_trace
-from .instrument import instrument_sequential
+from .instrument import instrument_sequential, profile_plan
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observation import RunObservation
-from .profile import OperatorProfile, ProfileReport
+from .profile import OperatorProfile, ProfileReport, q_error
 from .schema import CHROME_TRACE_SCHEMA, validate_chrome_trace, validate_json_schema
 
 __all__ = [
+    "ANALYZE_SCHEMA",
+    "AnalyzeReport",
     "CATEGORY_CACHE",
     "CATEGORY_OPERATOR",
     "CATEGORY_PLAN",
@@ -49,20 +58,26 @@ __all__ = [
     "Counter",
     "DecisionRecord",
     "ENGINE_TRACK",
+    "EXPLAIN_SCHEMA",
     "ExplainReport",
     "Gauge",
     "Histogram",
+    "Hotspot",
     "Instant",
     "MetricsRegistry",
+    "OperatorAnalysis",
     "OperatorProfile",
     "ProfileReport",
     "RunObservation",
     "Span",
     "TraceBus",
+    "analyze_observation",
     "chrome_trace_json",
     "explain_plan",
     "instrument_sequential",
     "observation_to_json",
+    "profile_plan",
+    "q_error",
     "to_chrome_trace",
     "validate_chrome_trace",
     "validate_json_schema",

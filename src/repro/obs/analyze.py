@@ -1,0 +1,385 @@
+"""EXPLAIN ANALYZE: q-error feedback from observed runs to the planner.
+
+The planner orders joins over cardinality *estimates* (molecule/table row
+counts, no join-selectivity model) while the observation layer records the
+*actual* rows each operator produced.  This module closes the loop: it
+lines both up per operator, computes the q-error ``max(est/actual,
+actual/est)`` — the standard accuracy measure of the cardinality-estimation
+literature — and reports which Heuristic-1/Heuristic-2 decisions sat on the
+worst-estimated operators, so a bad plan can be traced back to the estimate
+that caused it.
+
+Everything here is derived from plan metadata and the runtime-invariant
+operator profiles, so a query analyzed under the sequential, event and
+thread runtimes reports identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .explain import DecisionRecord, explain_plan
+from .profile import q_error
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.planner import FederatedPlan
+    from ..federation.answers import ExecutionStats
+    from ..federation.operators import FedOperator
+    from .observation import RunObservation
+
+
+@dataclass
+class OperatorAnalysis:
+    """One plan operator: the planner's estimate vs the observed rows."""
+
+    label: str
+    depth: int
+    actual_rows: int
+    estimated_rows: float | None
+    q_error: float | None
+    #: Source ids reachable in this operator's subtree (links heuristic
+    #: decisions, which are per-source, to engine-level operators).
+    sources: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.estimated_rows is None:
+            return f"{self.label}  [rows={self.actual_rows} est=? q=?]"
+        return (
+            f"{self.label}  [rows={self.actual_rows} "
+            f"est={self.estimated_rows:g} q={self.q_error:.2f}]"
+        )
+
+
+@dataclass
+class Hotspot:
+    """A worst-estimated operator plus the heuristic decisions on it."""
+
+    operator_index: int
+    q_error: float
+    decisions: list[DecisionRecord] = field(default_factory=list)
+
+
+@dataclass
+class AnalyzeReport:
+    """EXPLAIN ANALYZE for one executed query: estimates, actuals, q-error."""
+
+    policy: str
+    network: str
+    runtime: str
+    execution_time: float
+    answers: int
+    operators: list[OperatorAnalysis] = field(default_factory=list)
+    hotspots: list[Hotspot] = field(default_factory=list)
+
+    # -- summaries -----------------------------------------------------------
+
+    def estimated(self) -> list[OperatorAnalysis]:
+        return [op for op in self.operators if op.q_error is not None]
+
+    @property
+    def max_q_error(self) -> float:
+        qs = [op.q_error for op in self.estimated()]
+        return max(qs) if qs else 1.0
+
+    @property
+    def mean_q_error(self) -> float:
+        qs = [op.q_error for op in self.estimated()]
+        return sum(qs) / len(qs) if qs else 1.0
+
+    # -- renderings ----------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [
+            (
+                f"Explain Analyze [{self.policy}] network={self.network} "
+                f"runtime={self.runtime}"
+            ),
+            (
+                f"{self.answers} answers in {self.execution_time:.4f} virtual s | "
+                f"q-error max={self.max_q_error:.2f} mean={self.mean_q_error:.2f} "
+                f"over {len(self.estimated())} estimated operators"
+            ),
+        ]
+        for op in self.operators:
+            lines.append("  " * op.depth + op.describe())
+        if self.hotspots:
+            lines.append("Worst-estimated operators:")
+            for hotspot in self.hotspots:
+                op = self.operators[hotspot.operator_index]
+                lines.append(f"  q={hotspot.q_error:.2f}  {op.label}")
+                for decision in hotspot.decisions:
+                    lines.append(f"    {decision.describe()}")
+                if not hotspot.decisions:
+                    lines.append("    (no heuristic decision involves this operator)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "network": self.network,
+            "runtime": self.runtime,
+            "execution_time": self.execution_time,
+            "answers": self.answers,
+            "q_error": {
+                "max": self.max_q_error,
+                "mean": self.mean_q_error,
+                "estimated_operators": len(self.estimated()),
+            },
+            "operators": [
+                {
+                    "label": op.label,
+                    "depth": op.depth,
+                    "actual_rows": op.actual_rows,
+                    "estimated_rows": op.estimated_rows,
+                    "q_error": op.q_error,
+                    "sources": list(op.sources),
+                }
+                for op in self.operators
+            ],
+            "hotspots": [
+                {
+                    "operator_index": hotspot.operator_index,
+                    "q_error": hotspot.q_error,
+                    "decisions": [
+                        {
+                            "heuristic": decision.heuristic,
+                            "subject": decision.subject,
+                            "taken": decision.taken,
+                            "outcome": decision.outcome,
+                            "reason": decision.reason,
+                        }
+                        for decision in hotspot.decisions
+                    ],
+                }
+                for hotspot in self.hotspots
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AnalyzeReport":
+        report = cls(
+            policy=payload["policy"],
+            network=payload["network"],
+            runtime=payload["runtime"],
+            execution_time=payload["execution_time"],
+            answers=payload["answers"],
+            operators=[
+                OperatorAnalysis(
+                    label=op["label"],
+                    depth=op["depth"],
+                    actual_rows=op["actual_rows"],
+                    estimated_rows=op["estimated_rows"],
+                    q_error=op["q_error"],
+                    sources=tuple(op["sources"]),
+                )
+                for op in payload["operators"]
+            ],
+        )
+        for hotspot in payload["hotspots"]:
+            report.hotspots.append(
+                Hotspot(
+                    operator_index=hotspot["operator_index"],
+                    q_error=hotspot["q_error"],
+                    decisions=[
+                        DecisionRecord(
+                            heuristic=d["heuristic"],
+                            subject=d["subject"],
+                            taken=d["taken"],
+                            outcome=d["outcome"],
+                            reason=d["reason"],
+                        )
+                        for d in hotspot["decisions"]
+                    ],
+                )
+            )
+        return report
+
+
+#: Schema of :meth:`AnalyzeReport.to_dict` (validated by the CLI before
+#: emitting JSON, and by the round-trip tests — the machine-readable
+#: contract of ``repro explain --analyze --format json``).
+_DECISION_SCHEMA = {
+    "type": "object",
+    "required": ["heuristic", "subject", "taken", "outcome", "reason"],
+    "properties": {
+        "heuristic": {"type": "string", "enum": ["H1", "H2"]},
+        "subject": {"type": "string"},
+        "taken": {"type": "boolean"},
+        "outcome": {"type": "string"},
+        "reason": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+ANALYZE_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "policy",
+        "network",
+        "runtime",
+        "execution_time",
+        "answers",
+        "q_error",
+        "operators",
+        "hotspots",
+    ],
+    "properties": {
+        "policy": {"type": "string"},
+        "network": {"type": "string"},
+        "runtime": {"type": "string", "enum": ["sequential", "event", "thread"]},
+        "execution_time": {"type": "number"},
+        "answers": {"type": "integer"},
+        "q_error": {
+            "type": "object",
+            "required": ["max", "mean", "estimated_operators"],
+            "properties": {
+                "max": {"type": "number"},
+                "mean": {"type": "number"},
+                "estimated_operators": {"type": "integer"},
+            },
+            "additionalProperties": False,
+        },
+        "operators": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "label",
+                    "depth",
+                    "actual_rows",
+                    "estimated_rows",
+                    "q_error",
+                    "sources",
+                ],
+                "properties": {
+                    "label": {"type": "string"},
+                    "depth": {"type": "integer"},
+                    "actual_rows": {"type": "integer"},
+                    "estimated_rows": {"type": ["number", "null"]},
+                    "q_error": {"type": ["number", "null"]},
+                    "sources": {"type": "array", "items": {"type": "string"}},
+                },
+                "additionalProperties": False,
+            },
+        },
+        "hotspots": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["operator_index", "q_error", "decisions"],
+                "properties": {
+                    "operator_index": {"type": "integer"},
+                    "q_error": {"type": "number"},
+                    "decisions": {"type": "array", "items": _DECISION_SCHEMA},
+                },
+                "additionalProperties": False,
+            },
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+def _subtree_sources(operator: "FedOperator") -> tuple[str, ...]:
+    sources: list[str] = []
+
+    def walk(node: "FedOperator") -> None:
+        source_id = getattr(node, "source_id", None)
+        if source_id is not None:
+            sources.append(source_id)
+        for child in node.children():
+            walk(child)
+
+    walk(operator)
+    return tuple(sorted(set(sources)))
+
+
+def _star_source_map(plan: "FederatedPlan") -> dict[str, set[str]]:
+    """Star subject name -> source ids it was planned against (from the
+    plan's unit log), so H1 decisions (which name stars) can be related to
+    operators (which name sources)."""
+    mapping: dict[str, set[str]] = {}
+    for unit in plan.units:
+        if hasattr(unit, "source_id"):  # MergeGroup
+            for star in unit.stars:
+                mapping.setdefault(star.subject_name, set()).add(unit.source_id)
+        else:  # SelectedStar
+            targets = mapping.setdefault(unit.star.subject_name, set())
+            for candidate in unit.candidates:
+                targets.add(candidate.source_id)
+    return mapping
+
+
+def analyze_observation(
+    observation: "RunObservation",
+    stats: "ExecutionStats",
+    hotspot_count: int = 3,
+) -> AnalyzeReport:
+    """Build the EXPLAIN ANALYZE report from one observed execution.
+
+    *observation* must carry a registered plan (every ``engine.observe`` /
+    ``engine.analyze`` run does).  ``hotspot_count`` bounds how many
+    worst-estimated operators get their heuristic decisions attached.
+    """
+    plan = observation.plan
+    if plan is None:
+        raise ValueError("observation has no registered plan to analyze")
+    # Plan operators in pre-order — the exact order register_plan used, so
+    # profiles[i] measures operators[i].
+    operators: list["FedOperator"] = []
+
+    def walk(node: "FedOperator") -> None:
+        operators.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(plan.root)
+    analyses: list[OperatorAnalysis] = []
+    for operator, profile in zip(operators, observation.profiles):
+        estimated = profile.estimated_rows
+        analyses.append(
+            OperatorAnalysis(
+                label=profile.label,
+                depth=profile.depth,
+                actual_rows=profile.rows_out,
+                estimated_rows=estimated,
+                q_error=None if estimated is None else q_error(estimated, profile.rows_out),
+                sources=_subtree_sources(operator),
+            )
+        )
+    report = AnalyzeReport(
+        policy=plan.policy.name,
+        network=plan.network.name,
+        runtime=observation.runtime,
+        execution_time=stats.execution_time,
+        answers=stats.answers,
+        operators=analyses,
+    )
+    star_sources = _star_source_map(plan)
+    decisions = explain_plan(plan).decisions
+    ranked = sorted(
+        (index for index, op in enumerate(analyses) if op.q_error is not None),
+        key=lambda index: (-analyses[index].q_error, index),
+    )
+    for index in ranked[:hotspot_count]:
+        op = analyses[index]
+        related: list[DecisionRecord] = []
+        touched = set(op.sources)
+        for decision in decisions:
+            if decision.heuristic == "H1":
+                # subject is "starA + starB"; map star names to sources.
+                stars = [part.strip() for part in decision.subject.split("+")]
+                involved: set[str] = set()
+                for star in stars:
+                    involved |= star_sources.get(star, set())
+            else:
+                # subject is "[source] FILTER(...)".
+                source = decision.subject.split("]", 1)[0].lstrip("[")
+                involved = {source}
+            if involved & touched:
+                related.append(decision)
+        report.hotspots.append(
+            Hotspot(operator_index=index, q_error=op.q_error, decisions=related)
+        )
+    return report

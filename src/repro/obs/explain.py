@@ -95,6 +95,62 @@ class ExplainReport:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExplainReport":
+        """Inverse of :meth:`to_dict` — the round-trip the JSON contract
+        tests pin down (``repro explain --format json`` output)."""
+        return cls(
+            policy=payload["policy"],
+            network=payload["network"],
+            plan_text=payload["plan"],
+            decisions=[
+                DecisionRecord(
+                    heuristic=entry["heuristic"],
+                    subject=entry["subject"],
+                    taken=entry["taken"],
+                    outcome=entry["outcome"],
+                    reason=entry["reason"],
+                )
+                for entry in payload["decisions"]
+            ],
+            notes=list(payload["notes"]),
+        )
+
+
+#: Schema of :meth:`ExplainReport.to_dict` — validated by the CLI before
+#: printing JSON so the ``repro explain --format json`` contract cannot
+#: silently drift (checked with the dependency-free validator in
+#: :mod:`repro.obs.schema`).
+EXPLAIN_SCHEMA: dict = {
+    "type": "object",
+    "required": ["policy", "network", "plan", "decisions", "notes"],
+    "properties": {
+        "policy": {"type": "string"},
+        "network": {"type": "string"},
+        "plan": {"type": "string"},
+        "decisions": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["heuristic", "subject", "taken", "outcome", "reason"],
+                "properties": {
+                    "heuristic": {"type": "string", "enum": ["H1", "H2"]},
+                    "subject": {"type": "string"},
+                    "taken": {"type": "boolean"},
+                    "outcome": {
+                        "type": "string",
+                        "enum": ["merged", "kept separate", "source", "engine"],
+                    },
+                    "reason": {"type": "string"},
+                },
+                "additionalProperties": False,
+            },
+        },
+        "notes": {"type": "array", "items": {"type": "string"}},
+    },
+    "additionalProperties": False,
+}
+
 
 def explain_plan(plan: "FederatedPlan") -> ExplainReport:
     """Build the decision record for *plan* from its decision log."""

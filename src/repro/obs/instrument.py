@@ -18,9 +18,15 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from typing import TYPE_CHECKING
+
 from ..federation.answers import RunContext, Solution
 from ..federation.operators import FedOperator
 from .observation import RunObservation
+from .profile import ProfileReport
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an obs <-> core cycle
+    from ..core.planner import FederatedPlan
 
 
 def instrument_sequential(
@@ -57,3 +63,32 @@ def instrument_sequential(
 
     instrument(root)
     return restore
+
+
+def profile_plan(
+    plan: "FederatedPlan", context: RunContext
+) -> tuple[list[Solution], ProfileReport]:
+    """Execute *plan* under *context* with per-operator instrumentation.
+
+    Sequential-runtime only (drives ``plan.root.execute`` directly); for
+    profiling under the event/thread runtimes go through
+    :meth:`repro.core.engine.FederatedEngine.profile`.  The plan is
+    guaranteed to leave uninstrumented even on error or early abandonment.
+    """
+    observation = RunObservation()
+    observation.register_plan(plan)
+    if context.obs is None:
+        context.obs = observation
+    restore = instrument_sequential(plan.root, observation, context)
+    answers = []
+    try:
+        for solution in plan.root.execute(context):
+            context.stats.record_answer(context.now())
+            answers.append(solution)
+    finally:
+        restore()
+        context.stats.execution_time = context.now()
+    report = observation.profile_report(context.stats)
+    if context.caches is not None:
+        report.cache_summary = context.stats.cache_summary()
+    return answers, report

@@ -60,7 +60,11 @@ class RunObservation:
         self._register(plan.root, 0)
 
     def _register(self, operator: "FedOperator", depth: int) -> None:
-        profile = OperatorProfile(label=operator.label(), depth=depth)
+        profile = OperatorProfile(
+            label=operator.label(),
+            depth=depth,
+            estimated_rows=getattr(operator, "estimated_rows", None),
+        )
         self.profiles.append(profile)
         self._profile_by_op[id(operator)] = profile
         for child in operator.children():

@@ -11,6 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error of a cardinality estimate: ``max(est/actual, actual/est)``.
+
+    Zero rows make the textbook ratio undefined, so both sides are floored
+    at one row first (the standard +1-free smoothing: a 0-vs-0 estimate is
+    perfect, q = 1.0; 0-vs-N degrades like 1-vs-N).  Always >= 1.0.
+    """
+    floored_estimate = max(float(estimated), 1.0)
+    floored_actual = max(float(actual), 1.0)
+    return max(floored_estimate / floored_actual, floored_actual / floored_estimate)
+
+
 @dataclass
 class OperatorProfile:
     """Measurements of one operator within one execution."""
@@ -20,12 +32,23 @@ class OperatorProfile:
     rows_out: int = 0
     first_output_at: float | None = None
     last_output_at: float | None = None
+    #: The planner's output-cardinality estimate for this operator (rows);
+    #: None when the plan carries no estimate (hand-built operator trees).
+    estimated_rows: float | None = None
 
     def record(self, timestamp: float) -> None:
         self.rows_out += 1
         if self.first_output_at is None:
             self.first_output_at = timestamp
         self.last_output_at = timestamp
+
+    @property
+    def q_error(self) -> float | None:
+        """q-error of the planner's estimate vs the observed rows (>= 1.0),
+        or None when the operator carries no estimate."""
+        if self.estimated_rows is None:
+            return None
+        return q_error(self.estimated_rows, self.rows_out)
 
 
 @dataclass
@@ -57,9 +80,12 @@ class ProfileReport:
                 if entry.last_output_at is not None
                 else "-"
             )
+            annotated = ""
+            if entry.estimated_rows is not None:
+                annotated = f" est={entry.estimated_rows:g} q={entry.q_error:.2f}"
             lines.append(
                 f"{'  ' * entry.depth}{entry.label}  "
-                f"[rows={entry.rows_out} first={first} last={last}]"
+                f"[rows={entry.rows_out} first={first} last={last}{annotated}]"
             )
         if self.cache_summary is not None:
             lines.append(f"caches: {self.cache_summary}")

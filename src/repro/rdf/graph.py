@@ -33,11 +33,22 @@ class Graph:
         #: Monotonic data-version counter, bumped whenever the triple set
         #: actually changes; the federation's caches key on it.
         self.version = 0
-        self._triples: set[Triple] = set()
-        # index[s][p] -> set of o, and the two rotations.
-        self._spo: dict[Term, dict[IRI, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._pos: dict[IRI, dict[Term, set[Term]]] = defaultdict(lambda: defaultdict(set))
-        self._osp: dict[Term, dict[Term, set[IRI]]] = defaultdict(lambda: defaultdict(set))
+        # Triples and indexes are insertion-ordered dicts, not sets: scan
+        # order must be process-independent (hash-set iteration depends on
+        # PYTHONHASHSEED), or answer arrival order — and with it dief@t and
+        # time-to-first-answer in the committed plan-quality baseline —
+        # would change from one interpreter run to the next.
+        self._triples: dict[Triple, None] = {}
+        # index[s][p] -> ordered set of o, and the two rotations.
+        self._spo: dict[Term, dict[IRI, dict[Term, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
+        self._pos: dict[IRI, dict[Term, dict[Term, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
+        self._osp: dict[Term, dict[Term, dict[IRI, None]]] = defaultdict(
+            lambda: defaultdict(dict)
+        )
 
     def __len__(self) -> int:
         return len(self._triples)
@@ -52,11 +63,11 @@ class Graph:
         """Add *triple*; returns True when it was not already present."""
         if triple in self._triples:
             return False
-        self._triples.add(triple)
+        self._triples[triple] = None
         s, p, o = triple.subject, triple.predicate, triple.object
-        self._spo[s][p].add(o)
-        self._pos[p][o].add(s)
-        self._osp[o][s].add(p)
+        self._spo[s][p][o] = None
+        self._pos[p][o][s] = None
+        self._osp[o][s][p] = None
         self.version += 1
         return True
 
@@ -68,11 +79,11 @@ class Graph:
         """Remove *triple*; returns True when it was present."""
         if triple not in self._triples:
             return False
-        self._triples.remove(triple)
+        del self._triples[triple]
         s, p, o = triple.subject, triple.predicate, triple.object
-        self._spo[s][p].discard(o)
-        self._pos[p][o].discard(s)
-        self._osp[o][s].discard(p)
+        self._spo[s][p].pop(o, None)
+        self._pos[p][o].pop(s, None)
+        self._osp[o][s].pop(p, None)
         self.version += 1
         return True
 

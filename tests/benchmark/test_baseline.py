@@ -1,0 +1,188 @@
+"""Plan-quality baseline: snapshot/compare semantics and the regression gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.benchmark.baseline import (
+    BASELINE_KIND,
+    BASELINE_VERSION,
+    Thresholds,
+    baseline_json,
+    build_baseline,
+    cell_key,
+    compare_baselines,
+    load_baseline,
+    write_baseline,
+)
+from repro.datasets import BENCHMARK_QUERIES
+
+# One query on a reduced grid keeps the fixture fast while still crossing
+# policies, networks and runtimes.
+QUERIES = {"Q2": BENCHMARK_QUERIES["Q2"].text}
+POLICIES = ("aware", "unaware")
+NETWORKS = ("nodelay", "gamma3")
+RUNTIMES = ("sequential", "event")
+
+
+@pytest.fixture(scope="module")
+def payload(small_lslod_lake):
+    return build_baseline(
+        small_lslod_lake,
+        QUERIES,
+        scale=0.1,
+        data_seed=42,
+        policies=POLICIES,
+        networks=NETWORKS,
+        runtimes=RUNTIMES,
+    )
+
+
+class TestSnapshot:
+    def test_covers_the_grid(self, payload):
+        assert len(payload["cells"]) == 1 * 2 * 2 * 2
+        assert cell_key("Q2", "aware", "gamma3", "event") in payload["cells"]
+
+    def test_cells_carry_plan_quality_quantities(self, payload):
+        cell = payload["cells"][cell_key("Q2", "aware", "gamma3", "sequential")]
+        assert cell["answers"] > 0
+        assert cell["execution_time"] > 0
+        assert cell["dief_t"] > 0
+        assert cell["dief_k"] > 0
+        assert cell["operators"], "per-operator cardinalities must be recorded"
+        for label, estimated, actual in cell["operators"]:
+            assert isinstance(label, str)
+            assert isinstance(actual, int)
+            assert estimated is None or estimated >= 0
+        assert cell["q_error_max"] >= 1.0
+
+    def test_reproducible(self, small_lslod_lake, payload):
+        again = build_baseline(
+            small_lslod_lake,
+            QUERIES,
+            scale=0.1,
+            data_seed=42,
+            policies=POLICIES,
+            networks=NETWORKS,
+            runtimes=RUNTIMES,
+        )
+        assert baseline_json(again) == baseline_json(payload)
+
+    def test_write_load_round_trip(self, payload, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(payload, str(path))
+        assert load_baseline(str(path)) == payload
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a plan-quality baseline"):
+            load_baseline(str(path))
+        path.write_text(
+            json.dumps({"kind": BASELINE_KIND, "version": BASELINE_VERSION + 1})
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(path))
+
+
+class TestRegressionGate:
+    def test_clean_comparison_passes(self, payload):
+        report = compare_baselines(payload, payload)
+        assert report.ok
+        assert report.cells_compared == len(payload["cells"])
+        assert "OK" in report.render()
+
+    def test_time_regression_fails(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "gamma3", "sequential")
+        perturbed["cells"][key]["execution_time"] *= 1.10
+        report = compare_baselines(payload, perturbed)
+        assert not report.ok
+        assert [diff.key for diff in report.diffs] == [key]
+        assert report.diffs[0].quantity == "execution_time"
+        assert "DRIFT" in report.render()
+        assert key in report.render()
+
+    def test_speedup_also_fails(self, payload):
+        """Drift is symmetric: an unexplained speedup invalidates the file."""
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "unaware", "gamma3", "event")
+        perturbed["cells"][key]["execution_time"] *= 0.80
+        assert not compare_baselines(payload, perturbed).ok
+
+    def test_drift_within_tolerance_passes(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "gamma3", "sequential")
+        perturbed["cells"][key]["execution_time"] *= 1.005
+        assert compare_baselines(payload, perturbed).ok
+        assert not compare_baselines(
+            payload, perturbed, Thresholds(rel_time=0.001)
+        ).ok
+
+    def test_answer_counts_compare_exactly(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "nodelay", "sequential")
+        perturbed["cells"][key]["answers"] += 1
+        report = compare_baselines(payload, perturbed)
+        assert any(diff.quantity == "answers" for diff in report.diffs)
+
+    def test_cardinality_change_is_reported_per_operator(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "nodelay", "sequential")
+        perturbed["cells"][key]["operators"][0][2] += 5
+        report = compare_baselines(payload, perturbed)
+        diffs = [diff for diff in report.diffs if diff.quantity == "operators"]
+        assert len(diffs) == 1
+        assert "rows" in diffs[0].detail
+
+    def test_missing_and_extra_cells_are_reported(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "gamma3", "event")
+        moved = perturbed["cells"].pop(key)
+        perturbed["cells"]["Q9|aware|gamma3|event"] = moved
+        report = compare_baselines(payload, perturbed)
+        details = {(diff.key, diff.detail) for diff in report.diffs}
+        assert (key, "cell not re-run") in details
+        assert ("Q9|aware|gamma3|event", "cell absent from baseline") in details
+
+    def test_report_to_dict_round_trips_through_json(self, payload):
+        perturbed = copy.deepcopy(payload)
+        key = cell_key("Q2", "aware", "gamma3", "sequential")
+        perturbed["cells"][key]["dief_t"] *= 2
+        report = compare_baselines(payload, perturbed)
+        payload_dict = json.loads(json.dumps(report.to_dict()))
+        assert payload_dict["ok"] is False
+        assert payload_dict["diffs"][0]["key"] == key
+
+
+class TestCommittedBaseline:
+    """The repo-level BENCH_plan_quality.json is the gate CI runs against."""
+
+    def test_committed_baseline_matches_a_fresh_run(self, small_lslod_lake):
+        committed = load_baseline("BENCH_plan_quality.json")
+        assert committed["scale"] == 0.1
+        assert committed["data_seed"] == 42
+        # Re-run a slice of the committed grid (full grid belongs to CI)
+        # against the same session lake and require exact agreement.
+        fresh = build_baseline(
+            small_lslod_lake,
+            {"Q2": BENCHMARK_QUERIES["Q2"].text},
+            scale=committed["scale"],
+            data_seed=committed["data_seed"],
+            run_seed=committed["run_seed"],
+            policies=committed["policies"],
+            networks=committed["networks"],
+            runtimes=committed["runtimes"],
+        )
+        trimmed = {
+            "cells": {
+                key: cell
+                for key, cell in committed["cells"].items()
+                if key.startswith("Q2|")
+            }
+        }
+        report = compare_baselines(trimmed, fresh)
+        assert report.ok, report.render()

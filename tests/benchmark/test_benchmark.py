@@ -56,6 +56,26 @@ class TestMetrics:
         assert dief_at_k(self.TRACE, 2) == 1.0
         assert dief_at_k(self.TRACE, 5) is None
 
+    def test_dief_at_t_empty_trace(self):
+        assert dief_at_t([], 0.0) == 0.0
+        assert dief_at_t([], 10.0) == 0.0
+
+    def test_dief_at_t_at_zero(self):
+        # No area can accumulate before the first answer.
+        assert dief_at_t(self.TRACE, 0.0) == 0.0
+
+    def test_dief_at_t_beyond_last_answer(self):
+        # Past the last arrival the final count keeps integrating: the full
+        # area plus 3 answers held for 2 more virtual seconds.
+        assert dief_at_t(self.TRACE, 5.0) == pytest.approx(0.5 + 4.0 + 3 * 2.0)
+
+    def test_dief_at_k_empty_trace(self):
+        assert dief_at_k([], 1) is None
+
+    def test_dief_at_k_equals_answer_count(self):
+        # k == total answers is the completion time of the run's last answer.
+        assert dief_at_k(self.TRACE, total_answers(self.TRACE)) == 3.0
+
     def test_completeness(self):
         reference = [{"a": Literal("1")}, {"a": Literal("2")}]
         produced = [{"a": Literal("1")}]
@@ -112,6 +132,26 @@ class TestRunner:
     def test_lookup_missing_raises(self):
         with pytest.raises(KeyError):
             GridResults().lookup("q", "p", "n")
+
+    def test_slowdown_guards_zero_baseline(self):
+        """A zero (or negative) baseline time must not divide: the slowdown
+        degenerates to +inf instead of raising ZeroDivisionError."""
+        grid = GridResults()
+        for network, elapsed in (("No Delay", 0.0), ("Gamma 3", 2.0)):
+            grid.add(
+                RunResult(
+                    query="Q",
+                    policy="Aware",
+                    network=network,
+                    answers=0,
+                    execution_time=elapsed,
+                    time_to_first_answer=None,
+                    messages=0,
+                    engine_cost=0.0,
+                    trace=[],
+                )
+            )
+        assert grid.slowdown("Q", "Aware", "No Delay", "Gamma 3") == float("inf")
 
 
 def make_grid() -> GridResults:

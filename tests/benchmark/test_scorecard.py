@@ -1,0 +1,112 @@
+"""Heuristic scorecard: decision win/loss accounting and the paper's headline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import run_scorecard
+from repro.benchmark.scorecard import DecisionOutcome
+from repro.datasets import BENCHMARK_QUERIES
+from repro.network.delays import NetworkSetting
+
+
+@pytest.fixture(scope="module")
+def full_card(small_lslod_lake):
+    return run_scorecard(
+        small_lslod_lake,
+        [BENCHMARK_QUERIES[name] for name in ("Q1", "Q2", "Q3", "Q4", "Q5")],
+    )
+
+
+class TestDecisionOutcome:
+    def _outcome(self, time_taken, time_declined, dief_taken=2.0, dief_declined=1.0):
+        return DecisionOutcome(
+            query="Q2",
+            network="Gamma 3",
+            runtime="sequential",
+            heuristic="H1",
+            subject="?gene + ?disease",
+            taken_policy="Physical-Design-Aware",
+            declined_policy="Physical-Design-Unaware",
+            time_taken=time_taken,
+            time_declined=time_declined,
+            dief_taken=dief_taken,
+            dief_declined=dief_declined,
+        )
+
+    def test_win_when_taking_is_faster(self):
+        outcome = self._outcome(1.0, 2.0)
+        assert outcome.verdict == "win"
+        assert outcome.time_delta == pytest.approx(1.0)
+        assert outcome.dief_delta == pytest.approx(1.0)
+
+    def test_loss_when_taking_is_slower(self):
+        assert self._outcome(2.0, 1.0).verdict == "loss"
+
+    def test_tie_within_tolerance(self):
+        assert self._outcome(1.0, 1.0 + 1e-12).verdict == "tie"
+
+
+class TestScorecardSweep:
+    def test_sweep_covers_the_grid(self, full_card):
+        # 5 queries x 5 policies x 4 networks.
+        assert len(full_card.cells) == 100
+        assert len(full_card.networks()) == 4
+        assert len(full_card.queries()) == 5
+
+    def test_h1_decisions_are_scored(self, full_card):
+        """The unaware policy logs declined merges, so every H1 merge has a
+        taken-vs-declined comparison instead of vanishing from the report."""
+        h1 = full_card.heuristic_summaries()["H1"]
+        assert h1.considered > 0
+
+    def test_h1_merges_pay_off(self, full_card):
+        """The paper's Heuristic 1 claim: pushing joins down into the source
+        never loses on this workload."""
+        h1 = full_card.heuristic_summaries()["H1"]
+        assert h1.wins > 0
+        assert h1.losses == 0
+        assert h1.mean_time_delta > 0
+
+    def test_h2_wins_on_balance(self, full_card):
+        h2 = full_card.heuristic_summaries()["H2"]
+        assert h2.considered > 0
+        assert h2.wins > h2.losses
+        assert h2.mean_time_delta > 0
+
+    def test_aware_dominates_unaware_on_slow_networks(self, full_card):
+        """The headline: physical-design-aware planning wins on most queries,
+        and at least as broadly on the slow networks as with no delay."""
+        dominance = full_card.dominance(
+            "Physical-Design-Unaware", "Physical-Design-Aware"
+        )
+        for network, (faster, total) in dominance.items():
+            assert total == 5
+            assert faster >= 3, f"aware should win most queries on {network}"
+        assert dominance["Gamma 3"][0] >= dominance["No Delay"][0]
+
+    def test_outcomes_carry_dief_deltas(self, full_card):
+        assert full_card.outcomes
+        for outcome in full_card.outcomes:
+            # The delta is computed over a common window, so both sides are
+            # finite and the describe() line shows it.
+            assert outcome.dief_taken >= 0
+            assert outcome.dief_declined >= 0
+            assert "Δdief@t" in outcome.describe()
+
+    def test_render_and_to_dict(self, full_card):
+        text = full_card.render()
+        assert "Mean virtual execution time" in text
+        assert "Heuristic 1" in text
+        assert "Aware vs unaware" in text
+        payload = full_card.to_dict()
+        assert payload["heuristics"]["H1"]["wins"] == full_card.heuristic_summaries()["H1"].wins
+        assert len(payload["cells"]) == len(full_card.cells)
+        assert len(payload["outcomes"]) == len(full_card.outcomes)
+
+    def test_deterministic(self, small_lslod_lake):
+        queries = [BENCHMARK_QUERIES["Q2"]]
+        networks = [NetworkSetting.gamma3()]
+        first = run_scorecard(small_lslod_lake, queries, networks=networks)
+        second = run_scorecard(small_lslod_lake, queries, networks=networks)
+        assert first.to_dict() == second.to_dict()

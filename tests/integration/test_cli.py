@@ -92,6 +92,136 @@ class TestExplain:
         assert payload["policy"] == "Physical-Design-Aware"
         assert isinstance(payload["decisions"], list)
 
+    def test_json_explain_validates_against_schema(self, capsys, tiny):
+        import json
+
+        from repro.obs import EXPLAIN_SCHEMA
+        from repro.obs.schema import validate_json_schema
+
+        assert main(["explain", "Q2", *tiny, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_json_schema(payload, EXPLAIN_SCHEMA) == []
+
+    def test_analyze_text(self, capsys, tiny):
+        assert main(["explain", "Q2", *tiny, "--analyze", "--network", "gamma2"]) == 0
+        out = capsys.readouterr().out
+        assert "Explain Analyze" in out
+        assert "q-error" in out
+        assert "Worst-estimated operators" in out
+
+    def test_analyze_json_validates_against_schema(self, capsys, tiny):
+        import json
+
+        from repro.obs import ANALYZE_SCHEMA
+        from repro.obs.schema import validate_json_schema
+
+        assert main(["explain", "Q2", *tiny, "--analyze", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_json_schema(payload, ANALYZE_SCHEMA) == []
+        assert payload["answers"] > 0
+        assert payload["operators"]
+
+    def test_analyze_runtime_invariant_numbers(self, capsys, tiny):
+        """Cardinalities, estimates and q-errors are fixed by plan + data, so
+        the three runtimes must print the very same numbers."""
+        import json
+
+        per_runtime = {}
+        for runtime in ("sequential", "event", "thread"):
+            assert main(
+                ["explain", "Q2", *tiny, "--analyze", "--format", "json",
+                 "--runtime", runtime]
+            ) == 0
+            payload = json.loads(capsys.readouterr().out)
+            per_runtime[runtime] = (
+                payload["answers"],
+                [
+                    (op["label"], op["actual_rows"], op["estimated_rows"],
+                     op["q_error"])
+                    for op in payload["operators"]
+                ],
+            )
+        assert per_runtime["sequential"] == per_runtime["event"]
+        assert per_runtime["sequential"] == per_runtime["thread"]
+
+
+class TestScorecard:
+    def test_text_report(self, capsys, tiny):
+        assert main(
+            ["scorecard", *tiny, "--queries", "Q1,Q2", "--networks", "nodelay,gamma3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Plan-quality scorecard" in out
+        assert "Heuristic 1 (join push-down)" in out
+        assert "Aware vs unaware" in out
+
+    def test_json_report(self, capsys, tiny):
+        import json
+
+        assert main(
+            ["scorecard", *tiny, "--queries", "Q2", "--networks", "gamma3",
+             "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "heuristics" in payload
+        assert payload["heuristics"]["H1"]["wins"] >= 1
+
+    def test_unknown_query_rejected(self, capsys, tiny):
+        assert main(["scorecard", *tiny, "--queries", "Q9"]) == 2
+        assert "unknown queries" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_snapshot_then_check_passes(self, capsys, tiny, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "snapshot", *tiny, "--queries", "Q2", "--output", str(path)]
+        ) == 0
+        assert "grid cells" in capsys.readouterr().out
+        assert main(["bench", "check", "--baseline", str(path)]) == 0
+        assert "baseline OK" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_regression(self, capsys, tiny, tmp_path):
+        import json
+
+        path = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "snapshot", *tiny, "--queries", "Q2", "--output", str(path)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["cells"]))
+        payload["cells"][key]["execution_time"] *= 1.5
+        path.write_text(json.dumps(payload))
+        report_path = tmp_path / "diff.json"
+        assert main(
+            ["bench", "check", "--baseline", str(path), "--report", str(report_path)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out
+        assert key in out
+        diff = json.loads(report_path.read_text())
+        assert diff["ok"] is False
+        assert diff["diffs"][0]["key"] == key
+
+    def test_check_honors_thresholds(self, capsys, tiny, tmp_path):
+        import json
+
+        path = tmp_path / "baseline.json"
+        assert main(
+            ["bench", "snapshot", *tiny, "--queries", "Q2", "--output", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        key = next(iter(payload["cells"]))
+        payload["cells"][key]["execution_time"] *= 1.05
+        path.write_text(json.dumps(payload))
+        assert main(["bench", "check", "--baseline", str(path)]) == 1
+        capsys.readouterr()
+        assert main(
+            ["bench", "check", "--baseline", str(path), "--rel-time", "0.10",
+             "--rel-dief", "0.10"]
+        ) == 0
+
 
 class TestGrid:
     def test_table_output(self, capsys, tiny):

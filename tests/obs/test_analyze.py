@@ -1,0 +1,122 @@
+"""EXPLAIN ANALYZE: q-error math, hotspot linkage, runtime invariance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.engine import FederatedEngine
+from repro.core.policy import PlanPolicy
+from repro.datasets import BENCHMARK_QUERIES
+from repro.network.delays import NetworkSetting
+from repro.obs import ANALYZE_SCHEMA, AnalyzeReport, q_error
+from repro.obs.schema import validate_json_schema
+
+from ..conftest import TINY_QUERY
+
+
+class TestQError:
+    def test_overestimate(self):
+        assert q_error(100.0, 10.0) == pytest.approx(10.0)
+
+    def test_underestimate_is_symmetric(self):
+        assert q_error(10.0, 100.0) == pytest.approx(10.0)
+
+    def test_exact_estimate_is_one(self):
+        assert q_error(42.0, 42.0) == 1.0
+
+    def test_never_below_one(self):
+        assert q_error(3.0, 4.0) >= 1.0
+        assert q_error(4.0, 3.0) >= 1.0
+
+    def test_zero_actual_is_smoothed(self):
+        # Both sides floor at one row, so an empty actual result does not
+        # divide by zero and a (0 est, 0 actual) pair is a perfect estimate.
+        assert q_error(10.0, 0.0) == pytest.approx(10.0)
+        assert q_error(0.0, 0.0) == 1.0
+
+
+class TestAnalyzeReport:
+    def test_reports_estimates_and_q_errors(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        answers, stats, report = engine.analyze(TINY_QUERY)
+        assert report.answers == len(answers)
+        assert report.execution_time == stats.execution_time
+        estimated = [op for op in report.operators if op.estimated_rows is not None]
+        assert estimated, "planner estimates should reach the analyze report"
+        for op in estimated:
+            assert op.q_error == pytest.approx(
+                q_error(op.estimated_rows, op.actual_rows)
+            )
+        assert report.max_q_error >= 1.0
+        assert report.max_q_error >= report.mean_q_error
+
+    def test_hotspots_rank_worst_estimates_first(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        __, __, report = engine.analyze(TINY_QUERY)
+        q_errors = [hotspot.q_error for hotspot in report.hotspots]
+        assert q_errors == sorted(q_errors, reverse=True)
+
+    def test_hotspots_link_heuristic_decisions(self, small_lslod_lake):
+        # Q2 is Heuristic 1's showcase: the merged service operator must
+        # carry the merge decision that produced it.
+        engine = FederatedEngine(small_lslod_lake)
+        __, __, report = engine.analyze(BENCHMARK_QUERIES["Q2"].text)
+        decisions = [
+            decision
+            for hotspot in report.hotspots
+            for decision in hotspot.decisions
+        ]
+        assert any(d.heuristic == "H1" for d in decisions)
+
+    def test_render_mentions_q_errors(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        __, __, report = engine.analyze(TINY_QUERY)
+        text = report.render()
+        assert "Explain Analyze" in text
+        assert "q-error" in text
+        assert "est=" in text
+
+    def test_schema_and_round_trip(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake)
+        __, __, report = engine.analyze(TINY_QUERY)
+        payload = report.to_dict()
+        assert validate_json_schema(payload, ANALYZE_SCHEMA) == []
+        recovered = AnalyzeReport.from_dict(json.loads(json.dumps(payload)))
+        assert recovered.to_dict() == payload
+
+
+class TestRuntimeInvariance:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q4", "Q5"])
+    def test_identical_numbers_under_all_runtimes(self, small_lslod_lake, name):
+        """Cardinalities, estimates and q-errors are facts about the plan and
+        the data, so the three runtimes must agree exactly."""
+        text = BENCHMARK_QUERIES[name].text
+        per_runtime = {}
+        for runtime in ("sequential", "event", "thread"):
+            engine = FederatedEngine(
+                small_lslod_lake,
+                policy=PlanPolicy.physical_design_aware(),
+                network=NetworkSetting.gamma1(),
+                runtime=runtime,
+            )
+            __, __, report = engine.analyze(text, seed=7, runtime=runtime)
+            per_runtime[runtime] = [
+                (op.label, op.actual_rows, op.estimated_rows, op.q_error)
+                for op in report.operators
+            ]
+        assert per_runtime["sequential"] == per_runtime["event"]
+        assert per_runtime["sequential"] == per_runtime["thread"]
+
+    def test_analyze_does_not_change_answers(self, small_lslod_lake):
+        """Observed-vs-plain executions stay bit-identical."""
+        text = BENCHMARK_QUERIES["Q2"].text
+        engine = FederatedEngine(
+            small_lslod_lake, network=NetworkSetting.gamma2()
+        )
+        plain_answers, plain_stats = engine.run(text, seed=7)
+        analyzed_answers, analyzed_stats, __ = engine.analyze(text, seed=7)
+        assert analyzed_answers == plain_answers
+        assert analyzed_stats.execution_time == plain_stats.execution_time
+        assert analyzed_stats.trace == plain_stats.trace

@@ -61,3 +61,27 @@ class TestExplain:
             set(entry) == {"heuristic", "subject", "taken", "outcome", "reason"}
             for entry in payload["decisions"]
         )
+
+    def test_payload_validates_and_round_trips_through_json(self, tiny_lake):
+        import json
+
+        from repro.obs import EXPLAIN_SCHEMA
+        from repro.obs.explain import ExplainReport
+        from repro.obs.schema import validate_json_schema
+
+        engine = FederatedEngine(tiny_lake)
+        report = explain_plan(engine.plan(FILTERED_QUERY))
+        payload = report.to_dict()
+        assert validate_json_schema(payload, EXPLAIN_SCHEMA) == []
+        recovered = ExplainReport.from_dict(json.loads(json.dumps(payload)))
+        assert recovered.to_dict() == payload
+        assert recovered.render() == report.render()
+
+    def test_schema_rejects_malformed_decisions(self, tiny_lake):
+        from repro.obs import EXPLAIN_SCHEMA
+        from repro.obs.schema import validate_json_schema
+
+        engine = FederatedEngine(tiny_lake)
+        payload = explain_plan(engine.plan(FILTERED_QUERY)).to_dict()
+        payload["decisions"].append({"heuristic": "H3", "subject": "?x"})
+        assert validate_json_schema(payload, EXPLAIN_SCHEMA)
