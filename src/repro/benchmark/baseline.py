@@ -63,9 +63,12 @@ def measure_cell(
     network: NetworkSetting,
     runtime: str,
     seed: int,
+    exec: str = "row",
 ) -> dict:
     """Execute one grid cell observed and distill its plan-quality record."""
-    engine = FederatedEngine(lake, policy=policy, network=network, runtime=runtime)
+    engine = FederatedEngine(
+        lake, policy=policy, network=network, runtime=runtime, exec=exec
+    )
     answers, stats, report = engine.analyze(query_text, seed=seed, runtime=runtime)
     trace = list(stats.trace)
     return {
@@ -91,11 +94,16 @@ def build_baseline(
     policies: Sequence[str] = DEFAULT_POLICIES,
     networks: Sequence[str] = DEFAULT_NETWORKS,
     runtimes: Sequence[str] = DEFAULT_RUNTIMES,
+    exec: str = "row",
 ) -> dict:
     """Measure the whole grid and assemble the canonical baseline document.
 
     *query_texts* maps query names to SPARQL text; *scale*/*data_seed* are
-    recorded so ``check`` can rebuild the identical lake.
+    recorded so ``check`` can rebuild the identical lake.  *exec* selects
+    the data plane; since row and batch execution are bit-identical in
+    virtual time, a baseline snapshotted under one plane must check clean
+    under the other — which is exactly how the CI gate exercises the
+    batch engine against the committed row-mode numbers.
     """
     cells: dict[str, dict] = {}
     for query_name, text in query_texts.items():
@@ -105,7 +113,9 @@ def build_baseline(
                 network = NETWORK_CHOICES[network_name]()
                 for runtime in runtimes:
                     cells[cell_key(query_name, policy_name, network_name, runtime)] = (
-                        measure_cell(lake, text, policy, network, runtime, run_seed)
+                        measure_cell(
+                            lake, text, policy, network, runtime, run_seed, exec=exec
+                        )
                     )
     return {
         "kind": BASELINE_KIND,
@@ -117,6 +127,7 @@ def build_baseline(
         "policies": list(policies),
         "networks": list(networks),
         "runtimes": list(runtimes),
+        "exec": exec,
         "cells": cells,
     }
 

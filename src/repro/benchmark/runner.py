@@ -29,12 +29,17 @@ class Configuration:
     #: Execution runtime ("sequential", "event", or "thread"); kept out of
     #: the label unless it deviates from the historical default.
     runtime: str = "sequential"
+    #: Data plane ("row" or "batch"); virtual-time results are identical
+    #: either way, so the axis only changes wall-clock cost of the run.
+    exec: str = "row"
 
     @property
     def label(self) -> str:
         base = f"{self.policy.name} / {self.network.name}"
         if self.runtime != "sequential":
             base += f" / {self.runtime}"
+        if self.exec != "row":
+            base += f" / {self.exec}"
         return base
 
 
@@ -42,6 +47,7 @@ def experiment_grid(
     policies: Sequence[PlanPolicy] | None = None,
     networks: Sequence[NetworkSetting] | None = None,
     runtime: str = "sequential",
+    exec: str = "row",
 ) -> list[Configuration]:
     """The default grid: {aware, unaware} x four network settings."""
     policies = policies or (
@@ -50,7 +56,7 @@ def experiment_grid(
     )
     networks = networks or NetworkSetting.all_settings()
     return [
-        Configuration(policy, network, runtime=runtime)
+        Configuration(policy, network, runtime=runtime, exec=exec)
         for policy in policies
         for network in networks
     ]
@@ -160,6 +166,7 @@ def run_query(
         network=configuration.network,
         cost_model=cost_model,
         runtime=configuration.runtime,
+        exec=configuration.exec,
     )
     stream = engine.execute(text, seed=seed, observe=observe)
     answers = stream.collect()
@@ -191,10 +198,11 @@ def run_grid(
     seed: int = 7,
     cost_model: CostModel | None = None,
     runtime: str = "sequential",
+    exec: str = "row",
     observe: bool = False,
 ) -> GridResults:
     """Run every query under every configuration (the paper's experiment)."""
-    configurations = configurations or experiment_grid(runtime=runtime)
+    configurations = configurations or experiment_grid(runtime=runtime, exec=exec)
     grid = GridResults()
     for query in queries:
         for configuration in configurations:

@@ -39,6 +39,7 @@ from .benchmark.baseline import (
 from .core.engine import FederatedEngine
 from .core.policy import JoinStrategy, PlanPolicy
 from .datasets import BENCHMARK_QUERIES, GRID_QUERIES, build_lslod_lake
+from .federation.answers import EXEC_MODES
 from .network.delays import NetworkSetting
 
 # The canonical axis registries live with the baseline (the committed
@@ -77,6 +78,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "scheduler (overlapping source delays), or event + wrapper threads"
         ),
     )
+    parser.add_argument(
+        "--exec",
+        choices=EXEC_MODES,
+        default="row",
+        help=(
+            "data plane: row-at-a-time dicts or vectorized columnar "
+            "batches; virtual times are bit-identical, batch is faster "
+            "in wall-clock"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "rows per columnar chunk in batch mode (default: "
+            "REPRO_BATCH_SIZE env var, then the engine default)"
+        ),
+    )
 
 
 def cmd_describe(args: argparse.Namespace) -> int:
@@ -92,7 +112,14 @@ def cmd_query(args: argparse.Namespace) -> int:
     lake = _build_lake(args)
     policy = POLICIES[args.policy]()
     network = NETWORKS[args.network]()
-    engine = FederatedEngine(lake, policy=policy, network=network, runtime=args.runtime)
+    engine = FederatedEngine(
+        lake,
+        policy=policy,
+        network=network,
+        runtime=args.runtime,
+        exec=args.exec,
+        batch_size=args.batch_size,
+    )
     query_text = _resolve_query(args.query)
     if args.explain:
         print(engine.explain(query_text))
@@ -127,7 +154,9 @@ def cmd_grid(args: argparse.Namespace) -> int:
         print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
         return 2
     queries = [BENCHMARK_QUERIES[name] for name in names]
-    grid = run_grid(lake, queries, seed=args.run_seed, runtime=args.runtime)
+    grid = run_grid(
+        lake, queries, seed=args.run_seed, runtime=args.runtime, exec=args.exec
+    )
     if args.format == "csv":
         print(to_csv(grid))
     elif args.format == "json":
@@ -154,6 +183,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown runtimes: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    execs = tuple(name.strip() for name in args.execs.split(",") if name.strip())
+    unknown = [name for name in execs if name not in EXEC_MODES]
+    if unknown:
+        print(f"unknown exec modes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
 
     def on_case(index, case, mismatches):
         if args.verbose:
@@ -165,6 +199,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         args.iters,
         regressions_dir=regressions_dir,
         runtimes=runtimes,
+        execs=execs,
         check_invariants=not args.no_invariants,
         shrink=not args.no_shrink,
         on_case=on_case,
@@ -195,6 +230,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
         policy=POLICIES[args.policy](),
         network=NETWORKS[args.network](),
         runtime=args.runtime,
+        exec=args.exec,
+        batch_size=args.batch_size,
     )
     if args.analyze:
         __, __, report = engine.analyze(
@@ -273,6 +310,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scale=args.scale,
             data_seed=args.seed,
             run_seed=args.run_seed,
+            exec=args.exec,
         )
         write_baseline(payload, args.output)
         print(f"wrote {len(payload['cells'])} grid cells to {args.output}")
@@ -290,6 +328,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         policies=baseline["policies"],
         networks=baseline["networks"],
         runtimes=baseline["runtimes"],
+        # Virtual times are exec-invariant, so checking a row-mode baseline
+        # under --exec batch is a legitimate (and gating) configuration.
+        exec=args.exec or baseline.get("exec", "row"),
     )
     thresholds = Thresholds(
         rel_time=args.rel_time,
@@ -332,6 +373,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
                 policy=POLICIES[policy_name](),
                 network=NETWORKS[network_name](),
                 runtime=args.runtime,
+                exec=args.exec,
+                batch_size=args.batch_size,
             )
             label = f"{policy_name}/{network_name}"
             if chrome:
@@ -425,6 +468,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     fuzz.add_argument(
+        "--execs",
+        default="row",
+        help=(
+            "comma-separated data planes forming the matrix's exec axis "
+            "(row,batch); with both, every cell is additionally checked "
+            "for row-vs-batch bitwise identity of answers and stats"
+        ),
+    )
+    fuzz.add_argument(
         "--trace-dir",
         default=None,
         help=(
@@ -501,6 +553,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline",
         default="BENCH_plan_quality.json",
         help="committed baseline document to check against",
+    )
+    check.add_argument(
+        "--exec",
+        choices=EXEC_MODES,
+        default=None,
+        help=(
+            "re-run the grid under this data plane instead of the "
+            "baseline's recorded one (virtual times must still match "
+            "exactly — the batch-vs-row regression gate)"
+        ),
     )
     check.add_argument("--rel-time", type=float, default=0.01, help="relative time tolerance")
     check.add_argument("--abs-time", type=float, default=1e-9, help="absolute time tolerance")

@@ -9,11 +9,18 @@ yielding the answer traces of the paper's Figure 2.
 
 from __future__ import annotations
 
+import os
 from typing import Iterator, TYPE_CHECKING
 
 from ..cache import CacheRegistry, CacheStats, canonicalize_query
-from ..federation.answers import ExecutionStats, RunContext, Solution
-from ..network.clock import Clock
+from ..federation.answers import (
+    DEFAULT_BATCH_SIZE,
+    EXEC_MODES,
+    ExecutionStats,
+    RunContext,
+    Solution,
+)
+from ..network.clock import Clock, VirtualClock
 from ..network.costmodel import CostModel, DEFAULT_COST_MODEL
 from ..network.delays import NetworkSetting
 from ..sparql.algebra import SelectQuery
@@ -22,6 +29,23 @@ from .policy import PlanPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> datalake cycle
     from ..datalake.lake import SemanticDataLake
+
+
+def _resolve_batch_size(batch_size: int | None) -> int:
+    """Resolve the effective batch size: explicit arg > env var > default."""
+    if batch_size is None:
+        raw = os.environ.get("REPRO_BATCH_SIZE")
+        if raw is None:
+            return DEFAULT_BATCH_SIZE
+        try:
+            batch_size = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BATCH_SIZE must be an integer, got {raw!r}"
+            ) from None
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    return batch_size
 
 
 class ResultStream:
@@ -67,10 +91,74 @@ class ResultStream:
                     restore = instrument_sequential(
                         self.plan.root, observation, self.context
                     )
-                for solution in self.plan.root.execute(self.context):
-                    stats.record_answer(self.context.now())
-                    stats.execution_time = self.context.now()
-                    yield solution
+                if self.context.exec_mode == "batch":
+                    # record_answer and materialize, inlined: same counter
+                    # updates and trace entries, minus two calls per answer.
+                    # An unobserved Project root is fused into this loop:
+                    # its per-row charge is issued here and the answer dict
+                    # is built straight from the kept input columns, which
+                    # skips one generator hop and the aliased projected
+                    # batch (observed runs keep the operator so obs
+                    # instrumentation sees it).
+                    from ..federation.operators import Project
+
+                    context = self.context
+                    clock_now = context.clock.now
+                    trace_append = stats.trace.append
+                    answers = stats.answers
+                    root = self.plan.root
+                    fused_cost = 0.0
+                    if observation is None and type(root) is Project:
+                        project_names = root.variables
+                        fused_cost = context.cost_model.engine_project_row
+                        stream = root.child.execute_batch(context)
+                    else:
+                        project_names = None
+                        stream = root.execute_batch(context)
+                    clock = context.clock
+                    virtual = type(clock) is VirtualClock
+                    positive = fused_cost > 0
+                    derived: dict[int, tuple] = {}
+                    for batch, idx in stream:
+                        if project_names is not None:
+                            if positive:
+                                if virtual:
+                                    clock._now += fused_cost
+                                else:
+                                    clock.sleep(fused_cost)
+                                stats.engine_cost += fused_cost
+                            entry = derived.get(id(batch))
+                            if entry is None:
+                                index = batch.index
+                                columns = batch.columns
+                                derived[id(batch)] = entry = (
+                                    batch,
+                                    [
+                                        (name, columns[index[name]])
+                                        for name in project_names
+                                        if name in index
+                                    ],
+                                )
+                            pairs = entry[1]
+                        else:
+                            pairs = batch.pairs
+                        now = clock._now if virtual else clock_now()
+                        answers += 1
+                        stats.answers = answers
+                        if stats.time_to_first_answer is None:
+                            stats.time_to_first_answer = now
+                        trace_append((now, answers))
+                        stats.execution_time = now
+                        yield {
+                            name: value
+                            for name, column in pairs
+                            if (value := column[idx]) is not None
+                        }
+                else:
+                    for solution in self.plan.root.execute(self.context):
+                        stats.record_answer(self.context.now())
+                        stats.execution_time = self.context.now()
+                        yield solution
             else:
                 from ..runtime import EventScheduler
 
@@ -135,6 +223,8 @@ class FederatedEngine:
         debug_validate: bool | None = None,
         runtime: str = "sequential",
         thread_workers: int | None = None,
+        exec: str = "row",
+        batch_size: int | None = None,
     ):
         self.lake = lake
         self.policy = policy or PlanPolicy.physical_design_aware()
@@ -144,6 +234,15 @@ class FederatedEngine:
 
         if runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {runtime!r}; choose from {RUNTIMES}")
+        if exec not in EXEC_MODES:
+            raise ValueError(f"unknown exec mode {exec!r}; choose from {EXEC_MODES}")
+        #: Default data-plane mode: "row" (one dict per answer) or "batch"
+        #: (columnar solution batches on the hot path — same virtual
+        #: timeline, faster wall-clock).  Overridable per call.
+        self.exec = exec
+        #: Default capacity of one solution batch (None = REPRO_BATCH_SIZE
+        #: env var, falling back to the library default).
+        self.batch_size = _resolve_batch_size(batch_size)
         #: Default execution runtime: "sequential" (pull-based iterator
         #: chain), "event" (discrete-event scheduler with overlapping
         #: source delays), or "thread" (event semantics + a wrapper thread
@@ -233,6 +332,8 @@ class FederatedEngine:
         clock: Clock | None = None,
         runtime: str | None = None,
         observe: bool = False,
+        exec: str | None = None,
+        batch_size: int | None = None,
     ) -> ResultStream:
         """Plan and execute *query*, returning a streamed result.
 
@@ -248,12 +349,22 @@ class FederatedEngine:
                 returned stream's ``observation`` attribute once consumed.
                 Timestamps come from the run's virtual clocks, so observed
                 timelines are bit-identical to unobserved ones.
+            exec: override the engine's data-plane mode for this call
+                ("row" or "batch"); answers and virtual times are
+                bit-identical either way.
+            batch_size: override the batch capacity for this call.
         """
         runtime = runtime or self.runtime
         from ..runtime import RUNTIMES
 
         if runtime not in RUNTIMES:
             raise ValueError(f"unknown runtime {runtime!r}; choose from {RUNTIMES}")
+        exec = exec or self.exec
+        if exec not in EXEC_MODES:
+            raise ValueError(f"unknown exec mode {exec!r}; choose from {EXEC_MODES}")
+        batch_size = (
+            self.batch_size if batch_size is None else _resolve_batch_size(batch_size)
+        )
         observation = None
         if observe:
             from ..obs import RunObservation
@@ -267,6 +378,8 @@ class FederatedEngine:
             clock=clock,
             seed=seed,
             caches=self.caches,
+            exec_mode=exec,
+            batch_size=batch_size,
         )
         context.stats.plan_cache_hit = plan_cache_hit
         if observation is not None:
@@ -280,9 +393,13 @@ class FederatedEngine:
         query: SelectQuery | str,
         seed: int | None = None,
         runtime: str | None = None,
+        exec: str | None = None,
+        batch_size: int | None = None,
     ) -> tuple[list[Solution], ExecutionStats]:
         """Execute to completion; returns (answers, stats)."""
-        stream = self.execute(query, seed=seed, runtime=runtime)
+        stream = self.execute(
+            query, seed=seed, runtime=runtime, exec=exec, batch_size=batch_size
+        )
         answers = stream.collect()
         return answers, stream.stats
 
@@ -349,11 +466,23 @@ class FederatedEngine:
     def with_policy(self, policy: PlanPolicy) -> "FederatedEngine":
         """A sibling engine differing only in policy."""
         return FederatedEngine(
-            self.lake, policy, self.network, self.cost_model, runtime=self.runtime
+            self.lake,
+            policy,
+            self.network,
+            self.cost_model,
+            runtime=self.runtime,
+            exec=self.exec,
+            batch_size=self.batch_size,
         )
 
     def with_network(self, network: NetworkSetting) -> "FederatedEngine":
         """A sibling engine differing only in network setting."""
         return FederatedEngine(
-            self.lake, self.policy, network, self.cost_model, runtime=self.runtime
+            self.lake,
+            self.policy,
+            network,
+            self.cost_model,
+            runtime=self.runtime,
+            exec=self.exec,
+            batch_size=self.batch_size,
         )

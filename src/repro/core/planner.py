@@ -345,6 +345,16 @@ class FederatedPlanner:
                 )
             ),
             variables=tuple(sorted(variables)),
+            batch_runner=(
+                lambda context, w=wrapper, t=translation: w.execute_batch(t, context)
+            ),
+            restricted_batch_runner=(
+                lambda context, variable, terms, w=wrapper, t=translation:
+                w.execute_batch(t.restricted(variable, terms), context)
+            ),
+            data_version_provider=(
+                lambda s=source: (s.database, s.database.data_version)
+            ),
         )
         estimate = min(
             float(self.lake.physical_catalog.table_rows(group.source_id, mapping.table))
@@ -389,6 +399,17 @@ class FederatedPlanner:
                                 w.execute(t.restricted(variable, terms), context)
                             ),
                             variables=tuple(sorted(selection.star.variable_names())),
+                            batch_runner=(
+                                lambda context, w=wrapper, t=translation:
+                                w.execute_batch(t, context)
+                            ),
+                            restricted_batch_runner=(
+                                lambda context, variable, terms, w=wrapper, t=translation:
+                                w.execute_batch(t.restricted(variable, terms), context)
+                            ),
+                            data_version_provider=(
+                                lambda s=source: (s.database, s.database.data_version)
+                            ),
                         ),
                         candidate.cardinality,
                     )
@@ -413,6 +434,27 @@ class FederatedPlanner:
                                 )
                             ),
                             variables=tuple(sorted(star.variable_names())),
+                            batch_runner=(
+                                lambda context, w=wrapper, s=star: w.execute_batch(
+                                    s, context, pushed_filters=s.filters
+                                )
+                            ),
+                            restricted_batch_runner=(
+                                lambda context, variable, terms, w=wrapper, s=star:
+                                w.execute_restricted_batch(
+                                    s, context, variable, terms, pushed_filters=s.filters
+                                )
+                            ),
+                            # The description renders only the patterns, so
+                            # the pushed star filters (which shape the data)
+                            # must enter the signature here.
+                            data_version_provider=(
+                                lambda s=source, st=star: (
+                                    s.graph,
+                                    s.graph.version,
+                                    tuple(f.expression.n3() for f in st.filters),
+                                )
+                            ),
                         ),
                         candidate.cardinality,
                     )

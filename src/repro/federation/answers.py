@@ -25,6 +25,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 Solution = dict[str, Term]
 
+#: Engine execution modes: ``row`` is the original dict-per-answer pull
+#: chain, ``batch`` the columnar data plane of ``federation.batch``.
+EXEC_MODES = ("row", "batch")
+
+#: Default rows per columnar batch chunk (overridable per engine via
+#: ``batch_size=``, the ``--batch-size`` flag, or ``REPRO_BATCH_SIZE``).
+DEFAULT_BATCH_SIZE = 256
+
+#: How many network-delay samples a batch-mode context draws per RNG refill.
+_DELAY_BLOCK = 512
+
 #: Interned sorted variable-name tuples, keyed by the (insertion-ordered)
 #: names of a solution.  Query executions see a handful of distinct
 #: solution shapes but millions of solutions; sharing one sorted tuple per
@@ -185,6 +196,8 @@ class RunContext:
         clock: Clock | None = None,
         seed: int | None = None,
         caches: CacheRegistry | None = None,
+        exec_mode: str = "row",
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         self.network = network or NetworkSetting.no_delay()
         self.cost_model = cost_model or DEFAULT_COST_MODEL
@@ -207,6 +220,39 @@ class RunContext:
         #: :class:`~repro.runtime.task.TaskContext`); the empty tuple marks
         #: the engine-side context of a run.
         self.key: tuple[int, ...] = ()
+        #: ``"row"`` or ``"batch"`` — which data plane the wrappers and
+        #: operators run.  Charging semantics are identical either way.
+        self.exec_mode = exec_mode
+        #: Rows per columnar chunk in batch mode.
+        self.batch_size = batch_size
+        #: Block-sampled network delays (batch mode only).  All delay draws
+        #: of one context come from one distribution (``network.delay``), so
+        #: the i-th buffered draw equals the i-th scalar draw regardless of
+        #: which stream consumes it — refilling in blocks is bit-neutral.
+        self._delay_buffer: list[float] = []
+        self._delay_cursor = 0
+
+    # -- network-delay sampling ----------------------------------------------
+
+    def next_delay(self) -> float:
+        """The next network-delay sample of this context.
+
+        Row mode draws one scalar per message (the original code path);
+        batch mode consumes a block-sampled buffer, which is bit-identical
+        draw for draw (``sample_block`` is pinned to the scalar sequence by
+        tests) but amortizes the RNG call overhead.
+        """
+        if self.exec_mode != "batch":
+            return self.network.delay.sample(self.rng)
+        cursor = self._delay_cursor
+        buffer = self._delay_buffer
+        if cursor >= len(buffer):
+            buffer = self._delay_buffer = self.network.delay.sample_block(
+                self.rng, _DELAY_BLOCK
+            )
+            cursor = 0
+        self._delay_cursor = cursor + 1
+        return buffer[cursor]
 
     # -- cost charging -------------------------------------------------------
 
@@ -228,7 +274,7 @@ class RunContext:
         This is the paper's injection point: the wrapper delays the
         retrieval of the next answer from the source.
         """
-        pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
+        pause = self.next_delay() + self.cost_model.message_overhead
         self.clock.sleep(pause)
         self.stats.messages += 1
         source = self.stats.source(source_id)
@@ -237,7 +283,7 @@ class RunContext:
 
     def charge_request(self, source_id: str) -> None:
         """The round trip that ships one sub-query to a source."""
-        pause = self.network.delay.sample(self.rng) + self.cost_model.message_overhead
+        pause = self.next_delay() + self.cost_model.message_overhead
         self.clock.sleep(pause)
         self.stats.messages += 1
         source = self.stats.source(source_id)

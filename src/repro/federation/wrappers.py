@@ -23,6 +23,7 @@ the underlying store invalidates silently.
 from __future__ import annotations
 
 from typing import Iterator, TYPE_CHECKING
+from weakref import WeakKeyDictionary
 
 from ..cache import (
     RecordedSparqlResult,
@@ -37,11 +38,25 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> federation cycle
 from ..mapping.rml import ClassMapping
 from ..mapping.translator import TranslationResult, translate_stars
 from ..relational.meter import OperationMeter
+from ..relational.vexecutor import execute_priced
 from ..sparql.algebra import Filter
-from ..sparql.bgp import evaluate_bgp
-from ..sparql.expressions import holds
-from .answers import RunContext, Solution
+from ..sparql.bgp import evaluate_bgp, evaluate_bgp_columns
+from ..sparql.expressions import compile_holds, holds
+from ..network.clock import VirtualClock
+from .answers import _DELAY_BLOCK, RunContext, Solution
+from .batch import BatchBuilder, Handle, RowView, SolutionBatch, observe_batches
 from .endpoints import RDFSource, RelationalSource
+
+#: Columnar block cache for relational sub-queries, the SQL analog of the
+#: star-match memo in :mod:`repro.sparql.bgp`: the vectorized result of one
+#: statement — decoded columns, per-row price deltas, residual — is fully
+#: determined by (SQL text, data version, cost model), so engines in batch
+#: mode share the blocks instead of re-scanning immutable tables.  Charges
+#: are still issued per row by every run; only the data work is shared.
+#: Keyed weakly by database so dropped sources release their blocks; capped
+#: per database against mutation-heavy runs.
+_SQL_BLOCK_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+_SQL_BLOCK_CAP = 64
 
 
 def _obs_track(context: RunContext, source_id: str) -> str:
@@ -139,17 +154,56 @@ class SQLWrapper:
 
         Observed runs additionally record one wrapper span per execution
         (same charging: the span only reads the clock, never advances it).
+
+        Under ``exec="batch"`` the columnar pipeline runs underneath and
+        each handle is materialized back into a dict — the entry point the
+        event/thread runtimes use, where the scheduler transports plain
+        solutions between tasks.  Charges are issued by the same per-row
+        generator either way, so the virtual timeline is identical.
         """
+        if context.exec_mode == "batch":
+            stream = (
+                batch.materialize(idx)
+                for batch, idx in self._execute_batch(translation, context)
+            )
+        else:
+            stream = self._execute(translation, context)
         if context.obs is not None:
             yield from _observed_stream(
                 context,
                 self.source_id,
                 f"SQL {self.source_id}",
-                self._execute(translation, context),
+                stream,
                 sql=translation.sql,
             )
             return
-        yield from self._execute(translation, context)
+        yield from stream
+
+    def execute_batch(
+        self,
+        translation: TranslationResult,
+        context: RunContext,
+    ) -> Iterator[Handle]:
+        """Run the SQL and stream *batch handles* (columnar hot path).
+
+        Identical charging to :meth:`execute` — the relational plan is
+        drained through the vectorized executor, whose per-row price deltas
+        are bit-identical to metering the row executor, and every charge is
+        still issued lazily from a per-row generator frame so virtual time
+        interleaves with sibling plan branches exactly like row mode.
+        (Not a generator function: the unobserved path returns the inner
+        stream directly, skipping a delegation frame per pulled row.)
+        """
+        stream = self._execute_batch(translation, context)
+        if context.obs is not None:
+            return _observed_stream(
+                context,
+                self.source_id,
+                f"SQL {self.source_id}",
+                stream,
+                sql=translation.sql,
+            )
+        return stream
 
     def _execute(
         self,
@@ -205,6 +259,204 @@ class SQLWrapper:
             recording.residual_cost = total_price - priced_so_far
             caches.subresults.put(key, recording)
 
+    def _execute_batch(
+        self,
+        translation: TranslationResult,
+        context: RunContext,
+    ) -> Iterator[Handle]:
+        caches = context.caches
+        recording: RecordedSqlResult | None = None
+        key = None
+        if caches is not None and caches.subresults.enabled:
+            key = sql_result_key(
+                self.source_id, translation.sql, self.source.database.data_version
+            )
+            cached = caches.subresults.get(key)
+            if cached is not None:
+                context.stats.subresult_cache_hits += 1
+                context.charge_request(self.source_id)
+                yield from self._replay_batch(cached, context)
+                return
+            context.stats.subresult_cache_misses += 1
+            recording = RecordedSqlResult()
+        context.charge_request(self.source_id)
+        db = self.source.database
+        batch_size = context.batch_size
+        per_db = _SQL_BLOCK_CACHE.get(db)
+        if per_db is None:
+            per_db = _SQL_BLOCK_CACHE[db] = {}
+        block_key = (translation.sql, db.data_version, context.cost_model, batch_size)
+        block = per_db.get(block_key)
+        if block is None:
+            # Vectorized fetch + decode + chunking: pure data work (no
+            # clock or RNG involvement), fully determined by the cache key,
+            # so it runs eagerly and is shared across runs.
+            try:
+                plan = db.plan(translation.statement)
+                rows, deltas, residual = execute_priced(plan, context.cost_model)
+            except Exception as exc:  # pragma: no cover - defensive
+                raise WrapperError(
+                    f"source {self.source_id!r} failed to execute {translation.sql!r}: {exc}"
+                ) from exc
+            names, columns, invalid = translation.decode_columns(rows)
+            count = len(rows)
+            handles: list[Handle | None] = [None] * count
+            fills: list[int] = []
+            valid = (
+                range(count)
+                if not invalid
+                else [i for i in range(count) if i not in invalid]
+            )
+            for start in range(0, len(valid), batch_size):
+                chunk = valid[start : start + batch_size]
+                batch = SolutionBatch(
+                    names, [[column[i] for i in chunk] for column in columns]
+                )
+                fills.append(len(chunk))
+                for offset, i in enumerate(chunk):
+                    handles[i] = (batch, offset)
+            pairs = list(zip(names, columns))
+            row_events = [
+                (
+                    deltas[i],
+                    {name: column[i] for name, column in pairs}
+                    if handles[i] is not None
+                    else None,
+                )
+                for i in range(count)
+            ]
+            if len(per_db) >= _SQL_BLOCK_CAP:
+                per_db.clear()
+            block = per_db[block_key] = (deltas, residual, handles, fills, row_events)
+        deltas, residual, handles, fills, row_events = block
+        count = len(handles)
+        source_id = self.source_id
+        if recording is not None:
+            # The recorded events are prebuilt with the block (the tuples
+            # are immutable and row-mode replay copies each solution dict).
+            recording.rows = list(row_events)
+            recording.residual_cost = residual
+        # The loop below inlines context.charge_source + charge_message
+        # (including next_delay's buffered block sampling): identical float
+        # adds on the same accumulators in the same order, minus the
+        # per-row function-call overhead of the row path.
+        clock = context.clock
+        virtual = type(clock) is VirtualClock
+        clock_sleep = clock.sleep
+        stats = context.stats
+        src = stats.source(source_id)
+        overhead = context.cost_model.message_overhead
+        sample_block = context.network.delay.sample_block
+        rng = context.rng
+        try:
+            for i in range(count):
+                delta = deltas[i]
+                if delta > 0:
+                    if virtual:
+                        clock._now += delta
+                    else:
+                        clock_sleep(delta)
+                    src.virtual_cost += delta
+                cursor = context._delay_cursor
+                buffer = context._delay_buffer
+                if cursor >= len(buffer):
+                    buffer = context._delay_buffer = sample_block(rng, _DELAY_BLOCK)
+                    cursor = 0
+                context._delay_cursor = cursor + 1
+                pause = buffer[cursor] + overhead
+                if virtual:
+                    clock._now += pause
+                else:
+                    clock_sleep(pause)
+                stats.messages += 1
+                src.answers += 1
+                src.network_delay += pause
+                handle = handles[i]
+                if handle is not None:
+                    yield handle
+            if residual > 0:
+                if virtual:
+                    clock._now += residual
+                else:
+                    clock_sleep(residual)
+                src.virtual_cost += residual
+            if recording is not None:
+                caches.subresults.put(key, recording)
+        finally:
+            observe_batches(context.obs, f"SQL {source_id}", fills, batch_size)
+
+    def _replay_batch(
+        self, recording: RecordedSqlResult, context: RunContext
+    ) -> Iterator[Handle]:
+        source_id = self.source_id
+        batch_size = context.batch_size
+        # Chunk the recorded rows once per (recording, batch size) — pure
+        # data work, memoized on the recording — so a warm replay is just
+        # the charge loop over prebuilt handles.
+        prebuilt = getattr(recording, "_batch_replay", None)
+        if prebuilt is None or prebuilt[0] != batch_size:
+            builders: dict[tuple[str, ...], BatchBuilder] = {}
+            handles: list[Handle | None] = []
+            for __, solution in recording.rows:
+                if solution is None:
+                    handles.append(None)
+                    continue
+                shape = tuple(solution)
+                builder = builders.get(shape)
+                if builder is None:
+                    builder = builders[shape] = BatchBuilder(shape, batch_size)
+                handles.append(builder.append([solution[name] for name in shape]))
+            fills: list[int] = []
+            for builder in builders.values():
+                fills.extend(builder.take_completed())
+            prebuilt = recording._batch_replay = (batch_size, handles, fills)
+        __, handles, fills = prebuilt
+        # Inlined charge_source + charge_message, as in _execute_batch.
+        clock = context.clock
+        virtual = type(clock) is VirtualClock
+        clock_sleep = clock.sleep
+        stats = context.stats
+        src = stats.source(source_id)
+        overhead = context.cost_model.message_overhead
+        sample_block = context.network.delay.sample_block
+        rng = context.rng
+        rows = recording.rows
+        try:
+            for i in range(len(rows)):
+                delta = rows[i][0]
+                if delta > 0:
+                    if virtual:
+                        clock._now += delta
+                    else:
+                        clock_sleep(delta)
+                    src.virtual_cost += delta
+                cursor = context._delay_cursor
+                buffer = context._delay_buffer
+                if cursor >= len(buffer):
+                    buffer = context._delay_buffer = sample_block(rng, _DELAY_BLOCK)
+                    cursor = 0
+                context._delay_cursor = cursor + 1
+                pause = buffer[cursor] + overhead
+                if virtual:
+                    clock._now += pause
+                else:
+                    clock_sleep(pause)
+                stats.messages += 1
+                src.answers += 1
+                src.network_delay += pause
+                handle = handles[i]
+                if handle is not None:
+                    yield handle
+            residual = recording.residual_cost
+            if residual > 0:
+                if virtual:
+                    clock._now += residual
+                else:
+                    clock_sleep(residual)
+                src.virtual_cost += residual
+        finally:
+            observe_batches(context.obs, f"SQL {source_id}", fills, batch_size)
+
 
 class SPARQLWrapper:
     """Wrapper over one native RDF source."""
@@ -229,19 +481,57 @@ class SPARQLWrapper:
         equivalent of a VALUES clause, used by the dependent (bound) join.
         Restricted-out solutions are filtered *at the source*: they never
         cross the network.
+
+        Under ``exec="batch"`` the columnar pipeline runs underneath and
+        handles are materialized back into dicts (event/thread entry point);
+        the charge sequence is identical either way.
         """
+        if context.exec_mode == "batch":
+            stream = (
+                batch.materialize(idx)
+                for batch, idx in self._execute_batch(
+                    star, context, pushed_filters, bindings
+                )
+            )
+        else:
+            stream = self._execute(star, context, pushed_filters, bindings)
         if context.obs is not None:
             patterns = " . ".join(p.n3().rstrip(" .") for p in star.patterns)
             yield from _observed_stream(
                 context,
                 self.source_id,
                 f"SPARQL {self.source_id}",
-                self._execute(star, context, pushed_filters, bindings),
+                stream,
                 patterns=patterns,
                 restricted=bindings is not None,
             )
             return
-        yield from self._execute(star, context, pushed_filters, bindings)
+        yield from stream
+
+    def execute_batch(
+        self,
+        star: StarSubquery,
+        context: RunContext,
+        pushed_filters: list[Filter] | None = None,
+        bindings: tuple[str, frozenset] | None = None,
+    ) -> Iterator[Handle]:
+        """Evaluate the star and stream *batch handles* (columnar hot path).
+
+        Not a generator function — the unobserved path returns the inner
+        stream directly, skipping a delegation frame per pulled row.
+        """
+        stream = self._execute_batch(star, context, pushed_filters, bindings)
+        if context.obs is not None:
+            patterns = " . ".join(p.n3().rstrip(" .") for p in star.patterns)
+            return _observed_stream(
+                context,
+                self.source_id,
+                f"SPARQL {self.source_id}",
+                stream,
+                patterns=patterns,
+                restricted=bindings is not None,
+            )
+        return stream
 
     def _execute(
         self,
@@ -277,6 +567,7 @@ class SPARQLWrapper:
             )
         context.charge_request(self.source_id)
         filters = list(pushed_filters or [])
+        tests = [compile_holds(f.expression) for f in filters]
         for solution in evaluate_bgp(self.source.graph, star.patterns):
             # Each solution required one lookup per triple pattern (amortized).
             context.charge_source(self.source_id, lookup_cost)
@@ -285,7 +576,7 @@ class SPARQLWrapper:
                 variable, terms = bindings
                 dropped = solution.get(variable) not in terms
             if not dropped and filters:
-                dropped = not all(holds(f.expression, solution) for f in filters)
+                dropped = not all(test(solution) for test in tests)
             if recording is not None:
                 recording.matches.append(None if dropped else dict(solution))
             if dropped:
@@ -295,6 +586,256 @@ class SPARQLWrapper:
             yield dict(solution)
         if recording is not None:
             caches.subresults.put(key, recording)
+
+    def _execute_batch(
+        self,
+        star: StarSubquery,
+        context: RunContext,
+        pushed_filters: list[Filter] | None = None,
+        bindings: tuple[str, frozenset] | None = None,
+    ) -> Iterator[Handle]:
+        cost_model = context.cost_model
+        lookup_cost = cost_model.rdf_triple_lookup * len(star.patterns)
+        caches = context.caches
+        recording: RecordedSparqlResult | None = None
+        key = None
+        if caches is not None and caches.subresults.enabled:
+            key = sparql_result_key(
+                self.source_id,
+                " . ".join(pattern.n3() for pattern in star.patterns),
+                " && ".join(f.n3() for f in pushed_filters or []),
+                None
+                if bindings is None
+                else (bindings[0], tuple(sorted(term.n3() for term in bindings[1]))),
+                self.source.graph.version,
+            )
+            cached = caches.subresults.get(key)
+            if cached is not None:
+                context.stats.subresult_cache_hits += 1
+                context.charge_request(self.source_id)
+                yield from self._replay_batch(cached, context)
+                return
+            context.stats.subresult_cache_misses += 1
+            recording = RecordedSparqlResult(
+                lookup_cost=lookup_cost, output_cost=cost_model.rdf_output_row
+            )
+        context.charge_request(self.source_id)
+        filters = list(pushed_filters or [])
+        tests = [compile_holds(f.expression) for f in filters]
+        output_cost = cost_model.rdf_output_row
+        source_id = self.source_id
+        charge_source = context.charge_source
+        charge_message = context.charge_message
+        batch_size = context.batch_size
+        columnar = evaluate_bgp_columns(self.source.graph, star.patterns)
+        if columnar is not None:
+            names, columns = columnar
+            count = len(columns[0]) if columns else 0
+            # Restriction/filter checks and chunking are pure data work (no
+            # clock or RNG), so they run eagerly; charges are then issued
+            # per match from the generator loop, exactly like row mode.
+            kept: list[int] | range
+            if bindings is None and not filters:
+                kept = range(count)
+            else:
+                check_batch = SolutionBatch(names, columns) if filters else None
+                terms: frozenset | None = None
+                bind_pos = -1
+                if bindings is not None:
+                    variable, terms = bindings
+                    bind_pos = names.index(variable) if variable in names else -1
+                kept = []
+                for i in range(count):
+                    if terms is not None:
+                        value = columns[bind_pos][i] if bind_pos >= 0 else None
+                        if value not in terms:
+                            continue
+                    if check_batch is not None:
+                        view = RowView(check_batch, i)
+                        if not all(test(view) for test in tests):
+                            continue
+                    kept.append(i)
+            handles: list[Handle | None] = [None] * count
+            fills: list[int] = []
+            if isinstance(kept, range):
+                for start in range(0, count, batch_size):
+                    stop = min(start + batch_size, count)
+                    chunk_batch = SolutionBatch(
+                        names, [column[start:stop] for column in columns]
+                    )
+                    fills.append(stop - start)
+                    for offset in range(stop - start):
+                        handles[start + offset] = (chunk_batch, offset)
+            else:
+                for start in range(0, len(kept), batch_size):
+                    chunk = kept[start : start + batch_size]
+                    chunk_batch = SolutionBatch(
+                        names, [[column[i] for i in chunk] for column in columns]
+                    )
+                    fills.append(len(chunk))
+                    for offset, i in enumerate(chunk):
+                        handles[i] = (chunk_batch, offset)
+            pairs = list(zip(names, columns))
+            # Inlined charge_source + charge_message (see the SQL wrapper).
+            clock = context.clock
+            virtual = type(clock) is VirtualClock
+            clock_sleep = clock.sleep
+            stats = context.stats
+            src = stats.source(source_id)
+            overhead = cost_model.message_overhead
+            sample_block = context.network.delay.sample_block
+            rng = context.rng
+            lookup_positive = lookup_cost > 0
+            output_positive = output_cost > 0
+            record = recording.matches.append if recording is not None else None
+            try:
+                for i in range(count):
+                    if lookup_positive:
+                        if virtual:
+                            clock._now += lookup_cost
+                        else:
+                            clock_sleep(lookup_cost)
+                        src.virtual_cost += lookup_cost
+                    handle = handles[i]
+                    if record is not None:
+                        record(
+                            None
+                            if handle is None
+                            else {name: column[i] for name, column in pairs}
+                        )
+                    if handle is None:
+                        continue
+                    if output_positive:
+                        if virtual:
+                            clock._now += output_cost
+                        else:
+                            clock_sleep(output_cost)
+                        src.virtual_cost += output_cost
+                    cursor = context._delay_cursor
+                    buffer = context._delay_buffer
+                    if cursor >= len(buffer):
+                        buffer = context._delay_buffer = sample_block(
+                            rng, _DELAY_BLOCK
+                        )
+                        cursor = 0
+                    context._delay_cursor = cursor + 1
+                    pause = buffer[cursor] + overhead
+                    if virtual:
+                        clock._now += pause
+                    else:
+                        clock_sleep(pause)
+                    stats.messages += 1
+                    src.answers += 1
+                    src.network_delay += pause
+                    yield handle
+                if recording is not None:
+                    caches.subresults.put(key, recording)
+            finally:
+                observe_batches(context.obs, f"SPARQL {source_id}", fills, batch_size)
+            return
+        builders: dict[tuple[str, ...], BatchBuilder] = {}
+        try:
+            for solution in evaluate_bgp(self.source.graph, star.patterns):
+                charge_source(source_id, lookup_cost)
+                dropped = False
+                if bindings is not None:
+                    variable, terms = bindings
+                    dropped = solution.get(variable) not in terms
+                if not dropped and filters:
+                    dropped = not all(test(solution) for test in tests)
+                if recording is not None:
+                    recording.matches.append(None if dropped else dict(solution))
+                if dropped:
+                    continue
+                charge_source(source_id, output_cost)
+                charge_message(source_id)
+                shape = tuple(solution)
+                builder = builders.get(shape)
+                if builder is None:
+                    builder = builders[shape] = BatchBuilder(shape, batch_size)
+                yield builder.append([solution[name] for name in shape])
+            if recording is not None:
+                caches.subresults.put(key, recording)
+        finally:
+            for builder in builders.values():
+                observe_batches(
+                    context.obs,
+                    f"SPARQL {source_id}",
+                    builder.take_completed(),
+                    batch_size,
+                )
+
+    def _replay_batch(
+        self, recording: RecordedSparqlResult, context: RunContext
+    ) -> Iterator[Handle]:
+        source_id = self.source_id
+        lookup_cost = recording.lookup_cost
+        output_cost = recording.output_cost
+        batch_size = context.batch_size
+        # Prebuilt chunk handles, memoized on the recording (see the SQL
+        # wrapper's _replay_batch).
+        prebuilt = getattr(recording, "_batch_replay", None)
+        if prebuilt is None or prebuilt[0] != batch_size:
+            builders: dict[tuple[str, ...], BatchBuilder] = {}
+            handles: list[Handle | None] = []
+            for solution in recording.matches:
+                if solution is None:
+                    handles.append(None)
+                    continue
+                shape = tuple(solution)
+                builder = builders.get(shape)
+                if builder is None:
+                    builder = builders[shape] = BatchBuilder(shape, batch_size)
+                handles.append(builder.append([solution[name] for name in shape]))
+            fills: list[int] = []
+            for builder in builders.values():
+                fills.extend(builder.take_completed())
+            prebuilt = recording._batch_replay = (batch_size, handles, fills)
+        __, handles, fills = prebuilt
+        # Inlined charge_source + charge_message, as in _execute_batch.
+        clock = context.clock
+        virtual = type(clock) is VirtualClock
+        clock_sleep = clock.sleep
+        stats = context.stats
+        src = stats.source(source_id)
+        overhead = context.cost_model.message_overhead
+        sample_block = context.network.delay.sample_block
+        rng = context.rng
+        lookup_positive = lookup_cost > 0
+        output_positive = output_cost > 0
+        try:
+            for handle in handles:
+                if lookup_positive:
+                    if virtual:
+                        clock._now += lookup_cost
+                    else:
+                        clock_sleep(lookup_cost)
+                    src.virtual_cost += lookup_cost
+                if handle is None:
+                    continue
+                if output_positive:
+                    if virtual:
+                        clock._now += output_cost
+                    else:
+                        clock_sleep(output_cost)
+                    src.virtual_cost += output_cost
+                cursor = context._delay_cursor
+                buffer = context._delay_buffer
+                if cursor >= len(buffer):
+                    buffer = context._delay_buffer = sample_block(rng, _DELAY_BLOCK)
+                    cursor = 0
+                context._delay_cursor = cursor + 1
+                pause = buffer[cursor] + overhead
+                if virtual:
+                    clock._now += pause
+                else:
+                    clock_sleep(pause)
+                stats.messages += 1
+                src.answers += 1
+                src.network_delay += pause
+                yield handle
+        finally:
+            observe_batches(context.obs, f"SPARQL {source_id}", fills, batch_size)
 
     def execute_restricted(
         self,
@@ -306,6 +847,22 @@ class SPARQLWrapper:
     ) -> Iterator[Solution]:
         """VALUES-style restricted evaluation (dependent join support)."""
         yield from self.execute(
+            star,
+            context,
+            pushed_filters=pushed_filters,
+            bindings=(variable, frozenset(terms)),
+        )
+
+    def execute_restricted_batch(
+        self,
+        star: StarSubquery,
+        context: RunContext,
+        variable: str,
+        terms: list,
+        pushed_filters: list[Filter] | None = None,
+    ) -> Iterator[Handle]:
+        """Restricted evaluation on the columnar hot path."""
+        return self.execute_batch(
             star,
             context,
             pushed_filters=pushed_filters,

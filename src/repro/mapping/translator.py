@@ -109,6 +109,19 @@ class VariableBinding:
         raise TranslationError(f"cannot convert {term!r} to a SQL value")
 
 
+#: Per-binding ``SQL value -> Term | None`` decode memos.  Bindings are
+#: frozen value objects and terms are immutable, so the memo is exact; the
+#: value space is the (bounded) set of distinct column values per source.
+_TERM_MEMOS: dict[VariableBinding, dict[SQLValue, Term | None]] = {}
+
+
+def _term_memo(binding: VariableBinding) -> dict[SQLValue, Term | None]:
+    memo = _TERM_MEMOS.get(binding)
+    if memo is None:
+        memo = _TERM_MEMOS[binding] = {}
+    return memo
+
+
 @dataclass
 class TranslationResult:
     """The SQL statement plus the recipe to rebuild solution mappings."""
@@ -165,6 +178,38 @@ class TranslationResult:
             outputs=self.outputs,
             pushed_filters=list(self.pushed_filters),
         )
+
+    def decode_columns(
+        self, rows: list[tuple]
+    ) -> tuple[tuple[str, ...], list[list[Term | None]], set[int]]:
+        """Columnar form of :meth:`solution_for` over a whole result.
+
+        Returns ``(names, columns, invalid)`` where ``invalid`` holds the
+        indices of rows whose solution would be None (a NULL binding).
+        Term decoding is memoized per binding — terms are frozen value
+        objects, so a memoized term is indistinguishable from a fresh one.
+        """
+        names = tuple(binding.variable for binding in self.outputs)
+        columns: list[list[Term | None]] = []
+        invalid: set[int] = set()
+        for position, binding in enumerate(self.outputs):
+            memo = _term_memo(binding)
+            memo_get = memo.get
+            term_for = binding.term_for
+            column: list[Term | None] = []
+            append = column.append
+            for row in rows:
+                value = row[position]
+                term = memo_get(value)
+                if term is None and value not in memo:
+                    term = memo[value] = term_for(value)
+                append(term)
+            if None in column:
+                for index, term in enumerate(column):
+                    if term is None:
+                        invalid.add(index)
+            columns.append(column)
+        return names, columns, invalid
 
     def solution_for(self, row: tuple) -> dict[str, Term] | None:
         """Convert one SQL row into a SPARQL solution mapping.

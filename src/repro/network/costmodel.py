@@ -64,9 +64,13 @@ class CostModel:
     # Transfer
     message_overhead: float = 2.0e-6
 
-    def price_rdb_operations(self, counts: Mapping[str, int]) -> float:
-        """Price an :class:`~repro.relational.meter.OperationMeter` snapshot."""
-        mapping = {
+    def rdb_price_mapping(self) -> dict[str, float]:
+        """Meter-kind -> per-operation price, as one fresh dict.
+
+        The batch executor prices whole count *arrays* against this mapping;
+        it must stay the exact dict ``price_rdb_operations`` sums over.
+        """
+        return {
             "rows_scanned": self.rdb_row_scan,
             "index_probes": self.rdb_index_probe,
             "index_row_fetches": self.rdb_index_row_fetch,
@@ -79,6 +83,10 @@ class CostModel:
             "distinct_rows": self.rdb_distinct_row,
             "rows_output": self.rdb_output_row,
         }
+
+    def price_rdb_operations(self, counts: Mapping[str, int]) -> float:
+        """Price an :class:`~repro.relational.meter.OperationMeter` snapshot."""
+        mapping = self.rdb_price_mapping()
         return sum(mapping.get(kind, 0.0) * amount for kind, amount in counts.items())
 
     def with_overrides(self, **overrides: float) -> "CostModel":

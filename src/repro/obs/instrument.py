@@ -43,13 +43,24 @@ def instrument_sequential(
     def instrument(operator: FedOperator) -> None:
         profile = observation.profile_for(operator)
         original_execute = operator.execute
+        original_execute_batch = operator.execute_batch
 
         def traced_execute(run_context: RunContext) -> Iterator[Solution]:
             for solution in original_execute(run_context):
                 profile.record(context.now())
                 yield solution
 
+        def traced_execute_batch(run_context: RunContext):
+            # Batch operators count rows, not chunks: one profile record
+            # per emitted handle keeps row/batch profiles comparable.
+            # (Works on the dispatcher-style execute_batch methods too —
+            # they return an iterator which this generator drains.)
+            for handle in original_execute_batch(run_context):
+                profile.record(context.now())
+                yield handle
+
         operator.execute = traced_execute  # type: ignore[method-assign]
+        operator.execute_batch = traced_execute_batch  # type: ignore[method-assign]
         instrumented.append(operator)
         for child in operator.children():
             instrument(child)
@@ -60,6 +71,7 @@ def instrument_sequential(
             # method; deleting it restores the original behaviour even if
             # restore runs more than once.
             operator.__dict__.pop("execute", None)
+            operator.__dict__.pop("execute_batch", None)
 
     instrument(root)
     return restore

@@ -52,6 +52,11 @@ class EngineConfig:
     #: Execution runtime axis: "sequential", "event", or "thread" (see
     #: :mod:`repro.runtime`).  Answer multisets must agree across runtimes.
     runtime: str = "sequential"
+    #: Data-plane axis: "row" or "batch".  Stricter than the runtime axis:
+    #: for the same (policy, cache, runtime, seed), the two exec modes must
+    #: produce bitwise-identical answer *sequences* and virtual-time stats,
+    #: which the differential runner checks pairwise.
+    exec: str = "row"
 
 
 @dataclass
@@ -68,12 +73,16 @@ class Mismatch:
 
 def default_configs(
     runtimes: tuple[str, ...] = ("sequential",),
+    execs: tuple[str, ...] = ("row",),
 ) -> list[EngineConfig]:
-    """The full matrix: policies × decompositions × cache × runtimes.
+    """The full matrix: policies × decompositions × cache × runtimes × exec.
 
     The runtime axis defaults to sequential-only (the historical matrix);
     passing e.g. ``("sequential", "event")`` cross-checks the event
     scheduler's answers against the oracle under every policy as well.
+    The exec axis defaults to row-only; passing ``("row", "batch")``
+    additionally pins the columnar data plane bitwise against the row
+    plane (answers in order *and* virtual-time stats) per configuration.
     """
     base = [
         PlanPolicy.physical_design_aware(),
@@ -88,17 +97,24 @@ def default_configs(
             variant = policy.with_(decomposition=decomposition)
             for cache in (True, False):
                 for runtime in runtimes:
-                    name = (
-                        f"{policy.name}/{decomposition.value}/"
-                        f"{'cache' if cache else 'nocache'}"
-                    )
-                    if len(runtimes) > 1 or runtime != "sequential":
-                        name += f"/{runtime}"
-                    configs.append(
-                        EngineConfig(
-                            name=name, policy=variant, cache=cache, runtime=runtime
+                    for exec_mode in execs:
+                        name = (
+                            f"{policy.name}/{decomposition.value}/"
+                            f"{'cache' if cache else 'nocache'}"
                         )
-                    )
+                        if len(runtimes) > 1 or runtime != "sequential":
+                            name += f"/{runtime}"
+                        if len(execs) > 1 or exec_mode != "row":
+                            name += f"/{exec_mode}"
+                        configs.append(
+                            EngineConfig(
+                                name=name,
+                                policy=variant,
+                                cache=cache,
+                                runtime=runtime,
+                                exec=exec_mode,
+                            )
+                        )
     return configs
 
 
@@ -235,6 +251,28 @@ def compare_answers(
 # ---------------------------------------------------------------------------
 
 
+def _stats_signature(stats) -> tuple:
+    """Every virtual-time accumulator, as one comparable tuple.
+
+    Used for the exec-mode bit-identity check: row and batch execution
+    must agree on all of these exactly (no tolerance), cold and warm.
+    """
+    per_source = tuple(
+        (sid, s.requests, s.answers, s.virtual_cost, s.network_delay)
+        for sid, s in sorted(stats.source_stats.items())
+    )
+    return (
+        stats.execution_time,
+        tuple(stats.trace),
+        stats.messages,
+        stats.engine_cost,
+        stats.time_to_first_answer,
+        stats.answers,
+        stats.subresult_cache_hits,
+        per_source,
+    )
+
+
 def check_case_on_lake(
     lake: "SemanticDataLake",
     query_text: str,
@@ -252,6 +290,9 @@ def check_case_on_lake(
     supports_triple = not (query.where.optionals or query.where.unions)
 
     mismatches: list[Mismatch] = []
+    # (policy, cache, runtime) -> exec mode -> per-run (answers, stats sig);
+    # pairs of exec modes sharing a base cell are compared bitwise below.
+    exec_runs: dict[tuple, dict[str, list[tuple[list[Solution], tuple]]]] = {}
     for config in configs if configs is not None else default_configs():
         if config.policy.decomposition is DecompositionKind.TRIPLE and not supports_triple:
             continue
@@ -262,13 +303,15 @@ def check_case_on_lake(
             enable_plan_cache=config.cache,
             enable_subresult_cache=config.cache,
             runtime=config.runtime,
+            exec=config.exec,
         )
         runs: list[list[Solution]] = []
+        recorded: list[tuple[list[Solution], tuple]] = []
         failed = False
         for run_index in range(2 if config.cache else 1):
             label = f"{config.name}#{'warm' if run_index else 'cold'}"
             try:
-                answers, __ = engine.run(query_text, seed=seed)
+                answers, stats = engine.run(query_text, seed=seed)
             except ReproError as exc:
                 mismatches.append(
                     Mismatch(config.name, "error", f"{label}: {type(exc).__name__}: {exc}")
@@ -276,6 +319,7 @@ def check_case_on_lake(
                 failed = True
                 break
             runs.append(answers)
+            recorded.append((answers, _stats_signature(stats)))
             mismatches.extend(
                 compare_answers(query, expected_full, answers, exact, label)
             )
@@ -285,11 +329,45 @@ def check_case_on_lake(
             mismatches.append(
                 Mismatch(config.name, "cache", "warm-cache answers differ from cold run")
             )
+        if not failed:
+            exec_runs.setdefault(
+                (config.policy, config.cache, config.runtime), {}
+            )[config.exec] = recorded
         if check_invariants and not failed:
             violations = check_plan(engine.plan(query_text), lake)
             mismatches.extend(
                 Mismatch(config.name, "invariant", violation) for violation in violations
             )
+
+    # Exec-mode bit-identity: for each base cell that ran under both data
+    # planes, cold (and warm, when cached) runs must agree bitwise — same
+    # answer sequence, same virtual-time stats.
+    for (policy, cache, runtime), by_exec in exec_runs.items():
+        if "row" not in by_exec or "batch" not in by_exec:
+            continue
+        cell = f"{policy.name}/{'cache' if cache else 'nocache'}/{runtime}"
+        for run_index, (row_run, batch_run) in enumerate(
+            zip(by_exec["row"], by_exec["batch"])
+        ):
+            phase = "warm" if run_index else "cold"
+            if row_run[0] != batch_run[0]:
+                mismatches.append(
+                    Mismatch(
+                        cell,
+                        "exec",
+                        f"{phase}: batch answers differ from row answers in "
+                        "content or order",
+                    )
+                )
+            if row_run[1] != batch_run[1]:
+                mismatches.append(
+                    Mismatch(
+                        cell,
+                        "exec",
+                        f"{phase}: batch virtual-time stats differ from row "
+                        f"stats: row={row_run[1]!r} batch={batch_run[1]!r}",
+                    )
+                )
     return mismatches
 
 

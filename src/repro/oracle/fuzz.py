@@ -102,6 +102,7 @@ def dump_failure_traces(
             enable_plan_cache=config.cache,
             enable_subresult_cache=config.cache,
             runtime=config.runtime,
+            exec=config.exec,
         )
         try:
             __, __, observation = engine.observe(case.sparql(), seed=seed)
@@ -124,6 +125,7 @@ def run_fuzz(
     regressions_dir: str | pathlib.Path | None = None,
     configs: list[EngineConfig] | None = None,
     runtimes: tuple[str, ...] = ("sequential",),
+    execs: tuple[str, ...] = ("row",),
     check_invariants: bool = True,
     shrink: bool = True,
     on_case: Callable[[int, FuzzCase, list[Mismatch]], None] | None = None,
@@ -139,6 +141,10 @@ def run_fuzz(
         configs: configuration matrix override (default: the full matrix).
         runtimes: execution-runtime axis of the default matrix (ignored
             when an explicit *configs* override is given).
+        execs: data-plane axis of the default matrix ("row"/"batch";
+            ignored when an explicit *configs* override is given).  With
+            both modes present, every base cell additionally gets a
+            row-vs-batch bitwise identity check on answers and stats.
         check_invariants: also audit every produced plan.
         shrink: minimize failing cases before reporting/writing them.
         on_case: progress callback ``(index, case, mismatches)``.
@@ -147,7 +153,7 @@ def run_fuzz(
             the forensic artifact CI uploads alongside the reproducer.
     """
     if configs is None:
-        configs = default_configs(runtimes=runtimes)
+        configs = default_configs(runtimes=runtimes, execs=execs)
     report = FuzzReport(seed=seed, iterations=iters, configurations=len(configs))
 
     def check(case: FuzzCase) -> list[Mismatch]:

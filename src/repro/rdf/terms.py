@@ -27,6 +27,13 @@ class IRI:
 
     value: str
 
+    def __hash__(self) -> int:
+        # CPython caches a str's hash in the object, so delegating to the
+        # value string is much cheaper than the generated field-tuple hash
+        # on the join/distinct hot paths (shared column vectors hash the
+        # same term objects over and over).
+        return hash(self.value)
+
     def n3(self) -> str:
         """Serialize in N-Triples syntax: ``<iri>``."""
         return f"<{self.value}>"
@@ -49,6 +56,9 @@ class BNode:
 
     label: str
 
+    def __hash__(self) -> int:
+        return hash(self.label)
+
     def n3(self) -> str:
         return f"_:{self.label}"
 
@@ -67,6 +77,12 @@ class Literal:
     lexical: str
     datatype: str = XSD_STRING
     language: str | None = None
+
+    def __hash__(self) -> int:
+        # Hashing the lexical form alone is consistent with __eq__ (equal
+        # literals share it); same-lexical literals of different datatypes
+        # collide harmlessly into the equality check.
+        return hash(self.lexical)
 
     def n3(self) -> str:
         escaped = (
@@ -111,6 +127,9 @@ class Variable:
     """A SPARQL variable, e.g. ``Variable("gene")`` rendered as ``?gene``."""
 
     name: str
+
+    def __hash__(self) -> int:
+        return hash(self.name)
 
     def n3(self) -> str:
         return f"?{self.name}"

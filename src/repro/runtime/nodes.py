@@ -39,7 +39,7 @@ from ..federation.operators import (
     solution_identity,
     sort_solutions,
 )
-from ..sparql.expressions import holds
+from ..sparql.expressions import compile_holds, holds
 
 if TYPE_CHECKING:  # pragma: no cover
     from .scheduler import EventScheduler, Gate
@@ -123,7 +123,7 @@ class SourceNode(Node):
     mirroring ``ServiceNode._filtered``.
     """
 
-    __slots__ = ("service", "filters", "gate", "leaf_id")
+    __slots__ = ("service", "filters", "_tests", "gate", "leaf_id")
 
     def __init__(
         self,
@@ -136,6 +136,7 @@ class SourceNode(Node):
         super().__init__(sched, parent, slot)
         self.service = service
         self.filters = list(service.engine_filters)
+        self._tests = [compile_holds(f.expression) for f in self.filters]
         self.gate = gate
         self.leaf_id = sched.next_leaf_id()
 
@@ -153,7 +154,7 @@ class SourceNode(Node):
         if self.filters:
             cost = self.context.cost_model
             self.context.charge_engine(cost.engine_filter_eval * len(self.filters))
-            if not all(holds(f.expression, solution) for f in self.filters):
+            if not all(test(solution) for test in self._tests):
                 return
         self.parent.push(self.slot, solution)
 
@@ -282,6 +283,7 @@ class DependentJoinNode(Node):
         super().__init__(sched, parent, slot)
         self.inner = op.inner
         self.inner_filters = list(op.inner.engine_filters)
+        self._inner_tests = [compile_holds(f.expression) for f in self.inner_filters]
         self.join_variable = op.join_variable
         self.block_size = op.block_size
         self.outer_gate = outer_gate
@@ -361,7 +363,7 @@ class DependentJoinNode(Node):
             self.context.charge_engine(
                 cost.engine_filter_eval * len(self.inner_filters)
             )
-            if not all(holds(f.expression, solution) for f in self.inner_filters):
+            if not all(test(solution) for test in self._inner_tests):
                 return
         self.context.charge_engine(cost.engine_hash_probe)
         for outer_solution in self.by_term.get(solution[self.join_variable], ()):
@@ -384,6 +386,7 @@ class FilterNode(Node):
     def __init__(self, sched: "EventScheduler", parent: Node, slot: int, op: EngineFilter):
         super().__init__(sched, parent, slot)
         self.filters = op.filters
+        self._tests = [compile_holds(f.expression) for f in op.filters]
         self.child: Node | None = None
 
     def start(self, time: float) -> None:
@@ -392,7 +395,7 @@ class FilterNode(Node):
     def push(self, slot: int, solution: Solution) -> None:
         cost = self.context.cost_model
         self.context.charge_engine(cost.engine_filter_eval * len(self.filters))
-        if all(holds(f.expression, solution) for f in self.filters):
+        if all(test(solution) for test in self._tests):
             self.parent.push(self.slot, solution)
 
     def close(self, slot: int) -> None:

@@ -114,3 +114,9 @@ class TaskContext(RunContext):
         self.obs = parent.obs
         #: The deterministic task identity the RNG stream was derived from.
         self.key = key
+        #: The run's execution mode and batch size apply to every producer
+        #: task; the delay buffer is private because the RNG substream is.
+        self.exec_mode = parent.exec_mode
+        self.batch_size = parent.batch_size
+        self._delay_buffer = []
+        self._delay_cursor = 0

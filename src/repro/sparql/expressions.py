@@ -86,6 +86,92 @@ def holds(expression: Expression, solution: Solution) -> bool:
         return False
 
 
+# -- compiled filter predicates ---------------------------------------------
+
+#: Structural memo of compiled FILTER predicates.  Algebra nodes are frozen
+#: dataclasses, so equal expressions from different parses share one entry;
+#: capped so fuzz runs with many distinct filters cannot grow it unboundedly.
+_COMPILED_HOLDS: dict = {}
+_COMPILED_HOLDS_CAP = 256
+
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def compile_holds(expression: Expression):
+    """A compiled ``solution -> bool`` equivalent of ``holds(expression, .)``.
+
+    The common FILTER shape ``?var OP constant`` (either operand order) is
+    compiled into a direct closure — constant side coerced once, comparison
+    operator bound at compile time — decision-identical to the interpreter
+    including its error semantics (unbound variable, mixed-type order, and
+    TypeError all reject the row).  Every other shape falls back to the
+    interpreter unchanged.
+    """
+    fn = _COMPILED_HOLDS.get(expression)
+    if fn is None:
+        if len(_COMPILED_HOLDS) >= _COMPILED_HOLDS_CAP:
+            _COMPILED_HOLDS.clear()
+        fn = _COMPILED_HOLDS[expression] = _compile_holds(expression)
+    return fn
+
+
+def _compile_holds(expression: Expression):
+    if isinstance(expression, BinaryOp) and expression.operator in _FLIPPED:
+        left, right = expression.left, expression.right
+        operator = expression.operator
+        if isinstance(left, TermExpr) and isinstance(right, VariableExpr):
+            # constant OP ?var  ==  ?var flipped-OP constant (the mixed-type
+            # and error rules of _compare are symmetric in its operands).
+            left, right = right, left
+            operator = _FLIPPED[operator]
+        if isinstance(left, VariableExpr) and isinstance(right, TermExpr):
+            return _compile_comparison(left.variable.name, operator, right.term)
+
+    def interpreted(solution: Solution) -> bool:
+        return holds(expression, solution)
+
+    return interpreted
+
+
+def _compile_comparison(name: str, operator: str, term: Term):
+    import operator as _operator
+
+    compare = {
+        "=": _operator.eq,
+        "!=": _operator.ne,
+        "<": _operator.lt,
+        ">": _operator.gt,
+        "<=": _operator.le,
+        ">=": _operator.ge,
+    }[operator]
+    right_value = _to_python(term)
+    right_is_number = isinstance(right_value, (int, float)) and not isinstance(
+        right_value, bool
+    )
+    # Mixed number/non-number operands: =/!= decide directly, orderings are
+    # type errors and reject the row (holds-of-ExpressionError semantics).
+    equality = operator in ("=", "!=")
+    mixed_result = operator == "!="
+
+    def compiled(solution: Solution) -> bool:
+        value = solution.get(name)
+        if value is None:
+            # Unbound variable: the interpreter raises and holds() rejects.
+            return False
+        left_value = _to_python(value)
+        left_is_number = isinstance(left_value, (int, float)) and not isinstance(
+            left_value, bool
+        )
+        if left_is_number != right_is_number:
+            return mixed_result if equality else False
+        try:
+            return compare(left_value, right_value) is True
+        except TypeError:
+            return False
+
+    return compiled
+
+
 # -- helpers ----------------------------------------------------------------
 
 
