@@ -1,0 +1,129 @@
+"""Service load test: 1000+ simulated clients through the full stack.
+
+Drives the seeded closed-loop workload driver (the exact admission
+controller + engine pool + shared caches the ``repro serve`` daemon runs)
+with a thousand-client, tenant-skewed, hot/cold workload in virtual time,
+and asserts the PR's acceptance criteria:
+
+* **zero answer mismatches** — every admitted execution is bit-checked
+  against a pristine single-engine reference;
+* **zero admission violations** — the post-hoc auditor re-verifies FIFO
+  and concurrency limits from the ticket log;
+* **determinism** — a second same-seed run reproduces every request
+  outcome and the shared-cache counter totals, fingerprint-identical;
+* **wall budget** — the whole benchmark (two runs + verification)
+  finishes inside ``WALL_BUDGET_SECONDS`` (the CI smoke-guard).
+
+Results land in ``benchmarks/results/service_load.txt`` and, machine
+readable, in ``BENCH_service.json`` at the repository root, with a Chrome
+trace of the simulated schedule in ``benchmarks/results/``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.datasets import build_lslod_lake
+from repro.service import ServiceConfig, TenantConfig, WorkloadSpec, run_load
+
+from .conftest import emit
+
+#: Pinned workload (not the conftest env knobs): the committed
+#: BENCH_service.json must mean the same thing on every machine.
+SCALE = 0.1
+DATA_SEED = 42
+LOAD_SEED = 42
+CLIENTS = 1000
+WALL_BUDGET_SECONDS = 240.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+# gamma2 source delays make virtual service times realistic (tens of ms
+# to seconds), so queueing, shedding, and timeouts actually engage —
+# wall-clock stays fast because the delays are virtual.
+CONFIG = ServiceConfig(
+    workers=4,
+    global_concurrency=8,
+    timeout=20.0,
+    network="gamma2",
+    default_tenant=TenantConfig(name="default", max_concurrency=3, queue_depth=24),
+)
+
+SPEC = WorkloadSpec(
+    clients=CLIENTS,
+    requests_per_client=1,
+    tenants=4,
+    tenant_skew=1.2,
+    hot_fraction=0.8,
+    cold_variants=20,
+    mean_interarrival=0.1,
+    mean_think=2.0,
+)
+
+
+def test_service_load_thousand_clients(results_dir):
+    wall_start = time.perf_counter()
+    lake = build_lslod_lake(scale=SCALE, seed=DATA_SEED)
+
+    report = run_load(lake, CONFIG, SPEC, seed=LOAD_SEED)
+    summary = report.summary()
+
+    # Acceptance: every admitted execution matched the single-engine
+    # reference, and the admission log re-audits clean.
+    assert report.mismatches == [], report.mismatches[:5]
+    assert report.audit_violations == [], report.audit_violations[:5]
+    assert summary["requests"] >= 1000
+    assert summary["completed"] > 0
+    assert summary["shed"] > 0  # the workload actually engages admission control
+    assert summary["latency_p50"] > 0
+
+    # Determinism: the same seed reproduces everything, including the
+    # shared-cache hit/miss totals.
+    again = run_load(lake, CONFIG, SPEC, seed=LOAD_SEED)
+    assert again.fingerprint() == report.fingerprint(), (
+        "same-seed driver runs diverged"
+    )
+    assert again.cache_stats == report.cache_stats
+
+    document = report.to_dict()
+    document["workload"] = {
+        "scale": SCALE,
+        "data_seed": DATA_SEED,
+        "determinism_checked": True,
+    }
+    BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    trace_path = results_dir / "service_load_trace.json"
+    trace_path.write_text(json.dumps(report.to_chrome_trace()) + "\n")
+
+    plans = summary["cache"]["plans"]
+    subresults = summary["cache"]["subresults"]
+    lines = [
+        f"clients                {SPEC.clients} (seed {LOAD_SEED}, "
+        f"{SPEC.tenants} tenants, skew {SPEC.tenant_skew})",
+        f"requests               {summary['requests']}",
+        f"completed              {summary['completed']}",
+        f"shed                   {summary['shed']} (rate {summary['shed_rate']})",
+        f"timed out              {summary['timed_out']}",
+        f"virtual latency        p50={summary['latency_p50']:.4f}s "
+        f"p95={summary['latency_p95']:.4f}s p99={summary['latency_p99']:.4f}s",
+        f"virtual throughput     {summary['throughput_per_virtual_s']:.2f} req/s "
+        f"over {summary['virtual_makespan']:.2f}s makespan",
+        f"wall                   {summary['wall_seconds']:.2f}s "
+        f"({summary['wall_throughput_per_s']:.0f} exec/s)",
+        f"plan cache             {plans['hits']}/{plans['hits'] + plans['misses']} "
+        f"hits (rate {plans['hit_rate']})",
+        f"sub-result cache       {subresults['hits']}/"
+        f"{subresults['hits'] + subresults['misses']} hits "
+        f"(rate {subresults['hit_rate']})",
+        f"answer mismatches      {summary['answer_mismatches']}",
+        f"admission violations   {summary['audit_violations']}",
+        f"fingerprint            {document['fingerprint']}",
+        f"wrote                  {BENCH_JSON.name}, {trace_path.name}",
+    ]
+    emit(results_dir, "service_load.txt", "\n".join(lines))
+
+    elapsed = time.perf_counter() - wall_start
+    assert elapsed < WALL_BUDGET_SECONDS, (
+        f"service load benchmark took {elapsed:.1f}s, "
+        f"budget {WALL_BUDGET_SECONDS:.0f}s"
+    )

@@ -1,11 +1,15 @@
-"""The per-engine bundle of caches.
+"""The per-engine (or pool-shared) bundle of caches.
 
 One :class:`CacheRegistry` lives on each
 :class:`~repro.core.engine.FederatedEngine` and travels into executions via
 :attr:`~repro.federation.answers.RunContext.caches`, where the wrappers
-consult it.  Registries are engine-local on purpose: recorded source-cost
-deltas depend on the engine's cost model, so sharing a registry across
-engines with different cost models would replay wrong charges.
+consult it.  Registries default to engine-local because recorded
+source-cost deltas depend on the engine's cost model: sharing a registry
+across engines with *different* cost models would replay wrong charges.
+A pool of engines with identical lake/policy/network/cost-model settings
+may share one registry (``FederatedEngine(caches=...)``); the underlying
+LRU caches are internally locked, so cross-engine (and cross-thread) use
+is safe — this is what the multi-tenant service layer does.
 """
 
 from __future__ import annotations

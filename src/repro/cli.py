@@ -407,6 +407,179 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config_from_args(args: argparse.Namespace):
+    """Build (and strictly validate) a ServiceConfig from CLI arguments."""
+    from .service import ServiceConfig, TenantConfig
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        global_concurrency=args.global_concurrency,
+        timeout=None if args.no_timeout else args.timeout,
+        default_tenant=TenantConfig(
+            name="default",
+            max_concurrency=args.tenant_concurrency,
+            queue_depth=args.tenant_queue_depth,
+        ),
+        strict_tenants=args.strict_tenants,
+        observe=args.observe,
+        policy=args.policy,
+        network=args.network,
+        runtime=args.runtime,
+        exec=args.exec,
+        batch_size=args.batch_size,
+    )
+    if args.tenants:
+        with open(args.tenants, encoding="utf-8") as handle:
+            config = config.with_tenants_json(handle.read(), source=args.tenants)
+    config.validate()
+    return config
+
+
+def _add_service_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=4, help="engine pool size")
+    parser.add_argument(
+        "--global-concurrency",
+        type=int,
+        default=8,
+        help="max requests executing at once, across all tenants",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds (queue wait + execution)",
+    )
+    parser.add_argument(
+        "--no-timeout", action="store_true", help="disable request deadlines"
+    )
+    parser.add_argument(
+        "--tenant-concurrency",
+        type=int,
+        default=2,
+        help="default per-tenant concurrency limit",
+    )
+    parser.add_argument(
+        "--tenant-queue-depth",
+        type=int,
+        default=16,
+        help="default per-tenant queue depth (submissions beyond it are shed)",
+    )
+    parser.add_argument(
+        "--tenants",
+        help="JSON file mapping tenant names to limits (see DESIGN.md §13)",
+    )
+    parser.add_argument(
+        "--strict-tenants",
+        action="store_true",
+        help="shed requests from tenants absent from the --tenants roster",
+    )
+    parser.add_argument("--policy", choices=sorted(POLICIES), default="aware")
+    parser.add_argument("--network", choices=sorted(NETWORKS), default="nodelay")
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="record per-request traces (served at /queries/<id>/trace)",
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceConfigError, start_service
+
+    try:
+        config = _service_config_from_args(args)
+    except (ServiceConfigError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.check:
+        print(config.describe())
+        return 0
+    lake = _build_lake(args)
+
+    async def _serve() -> None:
+        server = await start_service(lake, config)
+        print(f"repro service listening on http://{config.host}:{server.port}")
+        print(config.describe())
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - Ctrl-C path
+        print("shutting down")
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceConfigError, WorkloadSpec, run_load
+
+    try:
+        config = _service_config_from_args(args)
+        spec = WorkloadSpec(
+            clients=args.clients,
+            requests_per_client=args.requests_per_client,
+            tenants=args.tenant_count,
+            tenant_skew=args.tenant_skew,
+            hot_fraction=args.hot_fraction,
+            cold_variants=args.cold_variants,
+            mean_interarrival=args.mean_interarrival,
+            mean_think=args.mean_think,
+        )
+        spec.validate()
+    except (ServiceConfigError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    lake = _build_lake(args)
+    report = run_load(
+        lake, config, spec, seed=args.load_seed, verify_answers=not args.no_verify
+    )
+    document = report.to_dict(include_requests=args.include_requests)
+    summary = document["summary"]
+    print(
+        f"{summary['requests']} requests: {summary['completed']} done, "
+        f"{summary['shed']} shed, {summary['timed_out']} timed out "
+        f"({summary['executions']} executions, "
+        f"{summary['wall_seconds']:.2f}s wall)"
+    )
+    print(
+        f"virtual latency p50={summary['latency_p50']:.4f}s "
+        f"p95={summary['latency_p95']:.4f}s p99={summary['latency_p99']:.4f}s; "
+        f"throughput {summary['throughput_per_virtual_s']:.2f}/virtual-s"
+    )
+    plans = summary["cache"]["plans"]
+    subresults = summary["cache"]["subresults"]
+    print(
+        f"shared caches: plans {plans['hits']}/{plans['hits'] + plans['misses']} hits, "
+        f"sub-results {subresults['hits']}/{subresults['hits'] + subresults['misses']} hits"
+    )
+    print(f"fingerprint {document['fingerprint']}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report to {args.output}")
+    if args.trace_output:
+        with open(args.trace_output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_chrome_trace(), handle)
+            handle.write("\n")
+        print(f"wrote Chrome trace to {args.trace_output}")
+    failures = report.mismatches + report.audit_violations
+    if failures:
+        for failure in failures[:10]:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -600,6 +773,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the Chrome export against the trace-event schema first",
     )
     trace.set_defaults(func=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant query service (asyncio HTTP daemon over "
+            "an engine pool with shared caches and admission control)"
+        ),
+    )
+    _add_common(serve)
+    _add_service_common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8089, help="TCP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the configuration and print it without binding",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help=(
+            "seeded closed-loop load test of the service stack in virtual "
+            "time (deterministic per --load-seed); writes BENCH_service.json"
+        ),
+    )
+    _add_common(loadtest)
+    _add_service_common(loadtest)
+    # The driver never binds a socket; host/port only feed config validation.
+    loadtest.add_argument("--host", default="127.0.0.1", help=argparse.SUPPRESS)
+    loadtest.add_argument("--port", type=int, default=0, help=argparse.SUPPRESS)
+    loadtest.add_argument("--clients", type=int, default=1000, help="simulated clients")
+    loadtest.add_argument(
+        "--requests-per-client", type=int, default=1, help="closed-loop rounds"
+    )
+    loadtest.add_argument(
+        "--tenant-count", type=int, default=4, help="simulated tenants (t0..tN-1)"
+    )
+    loadtest.add_argument(
+        "--tenant-skew", type=float, default=1.2, help="Zipf skew over tenants"
+    )
+    loadtest.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.8,
+        help="probability a request draws from the hot query set",
+    )
+    loadtest.add_argument(
+        "--cold-variants",
+        type=int,
+        default=20,
+        help="distinct cold query texts (plan-cache misses)",
+    )
+    loadtest.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=0.05,
+        help="mean gap between client arrivals (virtual seconds)",
+    )
+    loadtest.add_argument(
+        "--mean-think",
+        type=float,
+        default=2.0,
+        help="mean client think time between requests (virtual seconds)",
+    )
+    loadtest.add_argument(
+        "--load-seed", type=int, default=42, help="workload seed (determinism)"
+    )
+    loadtest.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip per-request answer verification against a reference engine",
+    )
+    loadtest.add_argument(
+        "--include-requests",
+        action="store_true",
+        help="embed every per-request outcome in the report JSON",
+    )
+    loadtest.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="report path ('' to skip writing)",
+    )
+    loadtest.add_argument(
+        "--trace-output", help="also write a Chrome trace of the schedule"
+    )
+    loadtest.set_defaults(func=cmd_loadtest)
 
     return parser
 

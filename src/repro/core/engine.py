@@ -225,6 +225,7 @@ class FederatedEngine:
         thread_workers: int | None = None,
         exec: str = "row",
         batch_size: int | None = None,
+        caches: CacheRegistry | None = None,
     ):
         self.lake = lake
         self.policy = policy or PlanPolicy.physical_design_aware()
@@ -253,16 +254,23 @@ class FederatedEngine:
         #: None defers to the REPRO_DEBUG_VALIDATE env var (see planner).
         self.debug_validate = debug_validate
         # Effective switches: both the engine flag and the policy flag must
-        # be on.  The registry is engine-local because recorded sub-results
-        # price source work under this engine's cost model.
-        self.caches = CacheRegistry(
-            plan_capacity=plan_cache_size,
-            subresult_capacity=subresult_cache_size,
-            plans_enabled=enable_plan_cache and self.policy.use_plan_cache,
-            subresults_enabled=(
-                enable_subresult_cache and self.policy.use_subresult_cache
-            ),
-        )
+        # be on.  The registry defaults to engine-local because recorded
+        # sub-results price source work under this engine's cost model; a
+        # pool of engines with identical settings may pass a shared
+        # registry via ``caches=`` (the service layer's configuration —
+        # the LRU caches are internally locked, so cross-engine use is
+        # safe).  Callers sharing a registry own its sizing/enablement.
+        if caches is not None:
+            self.caches = caches
+        else:
+            self.caches = CacheRegistry(
+                plan_capacity=plan_cache_size,
+                subresult_capacity=subresult_cache_size,
+                plans_enabled=enable_plan_cache and self.policy.use_plan_cache,
+                subresults_enabled=(
+                    enable_subresult_cache and self.policy.use_subresult_cache
+                ),
+            )
 
     def planner(self, obs=None) -> FederatedPlanner:
         return FederatedPlanner(

@@ -31,13 +31,17 @@ def to_chrome_trace(
     """Export observed runs as one Chrome trace dict (one process each)."""
     events: list[dict] = []
     for pid, (label, observation) in enumerate(observations, start=1):
+        process_args: dict = {"name": label}
+        request_id = getattr(observation, "request_id", None)
+        if request_id is not None:
+            process_args["request_id"] = request_id
         events.append(
             {
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
                 "name": "process_name",
-                "args": {"name": label},
+                "args": process_args,
             }
         )
         tracks = observation.bus.tracks()

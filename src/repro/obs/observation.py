@@ -44,6 +44,10 @@ class RunObservation:
         self._profile_by_op: dict[int, OperatorProfile] = {}
         self.plan: FederatedPlan | None = None
         self.runtime: str = "sequential"
+        #: Service-layer request ID of the run (None outside the service).
+        #: The Chrome exporter stamps it on the run's process metadata, so
+        #: per-request spans are attributable in a multi-request trace.
+        self.request_id: str | None = None
         self._finalized = False
 
     # -- plan registration ---------------------------------------------------

@@ -42,7 +42,6 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from threading import Lock
 from typing import Callable, Iterator
 
 import numpy as np
@@ -268,7 +267,6 @@ class EventScheduler:
         self._outbox: deque[tuple[float, Solution]] = deque()
         self._stopped = False
         self._pool = ThreadPoolExecutor(max_workers=pool_workers) if pool_workers else None
-        self._cache_lock = Lock() if self._pool else None
         self._sink = SinkNode(self)
         self._root_node = compile_plan(self, root, self._sink, 0, Gate())
 
@@ -298,9 +296,7 @@ class EventScheduler:
             ctx = TaskContext(self.context, self.entropy, key, start=start)
             producer: _ProducerBase = LiveProducer(pid, node, slot, runner, ctx)
         else:
-            ctx = TaskContext(
-                self.context, self.entropy, key, start=0.0, cache_lock=self._cache_lock
-            )
+            ctx = TaskContext(self.context, self.entropy, key, start=0.0)
             producer = PooledProducer(
                 pid, node, slot, start, self._pool.submit(_materialize, runner, ctx)
             )

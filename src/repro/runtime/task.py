@@ -19,8 +19,6 @@ globally:
 
 from __future__ import annotations
 
-import threading
-
 import numpy as np
 
 from ..federation.answers import ExecutionStats, RunContext
@@ -42,43 +40,6 @@ def task_rng(entropy: int, key: tuple[int, ...]) -> np.random.Generator:
     return np.random.default_rng((entropy, *key))
 
 
-class _LockedSubresults:
-    """A sub-result cache facade that serializes access under one lock.
-
-    Thread-pool producers consult the engine's LRU concurrently; the LRU
-    itself is a plain OrderedDict, so pooled task contexts go through this
-    wrapper instead.  Only the three members the wrappers touch are
-    exposed.
-    """
-
-    __slots__ = ("_cache", "_lock")
-
-    def __init__(self, cache, lock: threading.Lock):
-        self._cache = cache
-        self._lock = lock
-
-    @property
-    def enabled(self) -> bool:
-        return self._cache.enabled
-
-    def get(self, key):
-        with self._lock:
-            return self._cache.get(key)
-
-    def put(self, key, value) -> None:
-        with self._lock:
-            self._cache.put(key, value)
-
-
-class _LockedRegistry:
-    """Registry view whose ``subresults`` member is lock-protected."""
-
-    __slots__ = ("subresults",)
-
-    def __init__(self, registry, lock: threading.Lock):
-        self.subresults = _LockedSubresults(registry.subresults, lock)
-
-
 class TaskContext(RunContext):
     """A producer task's private view of one query run.
 
@@ -94,17 +55,15 @@ class TaskContext(RunContext):
         entropy: int,
         key: tuple[int, ...],
         start: float = 0.0,
-        cache_lock: threading.Lock | None = None,
     ):
         # Deliberately not calling RunContext.__init__: the shared fields
-        # must alias the parent's objects, not fresh ones.
+        # must alias the parent's objects, not fresh ones.  The cache
+        # registry is aliased as-is: the LRU caches serialize access
+        # internally, so thread-pool producers share them safely.
         self.network = parent.network
         self.cost_model = parent.cost_model
         self.seed = parent.seed
-        if cache_lock is not None and parent.caches is not None:
-            self.caches = _LockedRegistry(parent.caches, cache_lock)
-        else:
-            self.caches = parent.caches
+        self.caches = parent.caches
         self.clock = VirtualClock(start)
         self.rng = task_rng(entropy, key)
         self.stats = ExecutionStats()

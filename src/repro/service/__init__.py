@@ -1,0 +1,62 @@
+"""The multi-tenant query service and its deterministic load driver.
+
+Layers (each importable and testable on its own):
+
+* :mod:`repro.service.config` — :class:`ServiceConfig` /
+  :class:`TenantConfig` with strict, fail-fast validation;
+* :mod:`repro.service.admission` — the clock-agnostic admission-control
+  state machine (per-tenant FIFO, concurrency limits, deadlines,
+  structured shedding) plus the :func:`audit_schedule` post-hoc verifier;
+* :mod:`repro.service.pool` — N identically-configured engines sharing
+  one thread-safe plan/sub-result cache registry;
+* :mod:`repro.service.server` — the asyncio HTTP daemon (``repro serve``);
+* :mod:`repro.service.driver` — the seeded virtual-time closed-loop load
+  generator (``repro loadtest``), deterministic per seed.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionMetrics,
+    DONE,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TIMED_OUT,
+    Ticket,
+    audit_schedule,
+)
+from .config import ServiceConfig, ServiceConfigError, TenantConfig
+from .driver import DriverReport, RequestResult, WorkloadSpec, run_load
+from .pool import EnginePool
+from .server import (
+    QueryService,
+    ServiceServer,
+    serialize_answers,
+    serialize_solution,
+    start_service,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionMetrics",
+    "DONE",
+    "DriverReport",
+    "EnginePool",
+    "QUEUED",
+    "QueryService",
+    "RequestResult",
+    "RUNNING",
+    "SHED",
+    "ServiceConfig",
+    "ServiceConfigError",
+    "ServiceServer",
+    "TIMED_OUT",
+    "TenantConfig",
+    "Ticket",
+    "WorkloadSpec",
+    "audit_schedule",
+    "run_load",
+    "serialize_answers",
+    "serialize_solution",
+    "start_service",
+]

@@ -1,0 +1,364 @@
+"""Admission control: per-tenant FIFO queues, concurrency limits, shedding.
+
+The controller is a pure, clock-agnostic state machine — every transition
+takes ``now`` as an argument — so the exact same code governs the asyncio
+server (wall clock) and the deterministic load driver (virtual clock).
+That is what makes service behaviour *testable*: a seeded simulation
+exercises precisely the admission logic production traffic hits.
+
+Request lifecycle::
+
+                  submit
+                    |
+        queue full? +----------> SHED        (structured refusal, never queued)
+                    |
+                  QUEUED
+                    |
+     deadline hit?  +----------> TIMED_OUT   (expired while waiting)
+                    |
+       start_ready  v
+                 RUNNING -------> TIMED_OUT  (deadline hit while executing;
+                    |                         the slot is released when the
+                    v                         execution actually finishes)
+                   DONE
+
+Invariants (property-tested in ``tests/service/test_admission.py``):
+
+* every accepted (queued) request reaches exactly one terminal state —
+  DONE or TIMED_OUT — and is never silently dropped;
+* within one tenant, requests start in submission order (FIFO);
+* at no instant do running requests exceed the global limit, nor one
+  tenant's running requests its per-tenant limit;
+* a shed request receives a structured refusal naming the reason and the
+  limit that triggered it.
+
+Scheduling across tenants is global-FIFO-with-skipping: the controller
+scans the queue in submission order and starts every request whose tenant
+has a free slot until the global limit is reached.  A tenant at its limit
+is skipped without blocking younger requests of other tenants (no
+head-of-line blocking across tenants), while per-tenant order is
+preserved because the scan itself is in submission order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .config import ServiceConfig, TenantConfig
+
+# Request states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+SHED = "shed"
+TIMED_OUT = "timeout"
+
+#: Terminal states a ticket can end in.
+TERMINAL = (DONE, SHED, TIMED_OUT)
+
+# Shed reasons.
+REASON_TENANT_QUEUE_FULL = "tenant-queue-full"
+REASON_UNKNOWN_TENANT = "unknown-tenant"
+
+
+@dataclass
+class Ticket:
+    """One request's admission-control record."""
+
+    request_id: str
+    tenant: str
+    submitted_at: float
+    #: Monotonic submission sequence number (global FIFO order).
+    seq: int
+    deadline: float | None = None
+    state: str = QUEUED
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: Shed/timeout detail for the structured refusal.
+    reason: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL
+
+    def refusal(self) -> dict:
+        """The structured refusal document of a shed/timed-out ticket."""
+        body = {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "reason": self.reason,
+            "submitted_at": self.submitted_at,
+        }
+        if self.deadline is not None:
+            body["deadline"] = self.deadline
+        return body
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "deadline": self.deadline,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class AdmissionMetrics:
+    """Lifetime counters of one controller."""
+
+    submitted: int = 0
+    shed: int = 0
+    started: int = 0
+    completed: int = 0
+    timed_out: int = 0
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        total = self.submitted
+        return {
+            "submitted": total,
+            "shed": self.shed,
+            "started": self.started,
+            "completed": self.completed,
+            "timed_out": self.timed_out,
+            "shed_rate": round(self.shed / total, 4) if total else 0.0,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+        }
+
+
+class AdmissionController:
+    """The service's admission-control state machine (clock-agnostic)."""
+
+    def __init__(self, config: ServiceConfig):
+        config.validate()
+        self.config = config
+        self._queue: deque[Ticket] = deque()
+        self._running_global = 0
+        self._running_by_tenant: dict[str, int] = {}
+        self._queued_by_tenant: dict[str, int] = {}
+        self._seq = 0
+        self.metrics = AdmissionMetrics()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def running(self) -> int:
+        return self._running_global
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def running_for(self, tenant: str) -> int:
+        return self._running_by_tenant.get(tenant, 0)
+
+    def queued_for(self, tenant: str) -> int:
+        return self._queued_by_tenant.get(tenant, 0)
+
+    def snapshot(self) -> dict:
+        return {
+            "running": self._running_global,
+            "queued": len(self._queue),
+            "global_concurrency": self.config.global_concurrency,
+            "running_by_tenant": dict(sorted(self._running_by_tenant.items())),
+            "queued_by_tenant": dict(sorted(self._queued_by_tenant.items())),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # -- transitions ---------------------------------------------------------
+
+    def submit(self, request_id: str, tenant: str, now: float) -> Ticket:
+        """Accept (QUEUED) or refuse (SHED) a new request at time *now*."""
+        self.metrics.submitted += 1
+        self._seq += 1
+        deadline = None if self.config.timeout is None else now + self.config.timeout
+        ticket = Ticket(
+            request_id=request_id,
+            tenant=tenant,
+            submitted_at=now,
+            seq=self._seq,
+            deadline=deadline,
+        )
+        try:
+            limits = self.config.tenant(tenant)
+        except Exception:
+            return self._shed(ticket, REASON_UNKNOWN_TENANT)
+        if self.queued_for(tenant) >= limits.queue_depth:
+            return self._shed(ticket, REASON_TENANT_QUEUE_FULL)
+        self._queue.append(ticket)
+        self._queued_by_tenant[tenant] = self.queued_for(tenant) + 1
+        return ticket
+
+    def _shed(self, ticket: Ticket, reason: str) -> Ticket:
+        ticket.state = SHED
+        ticket.reason = reason
+        ticket.finished_at = ticket.submitted_at
+        self.metrics.shed += 1
+        self.metrics.shed_by_reason[reason] = (
+            self.metrics.shed_by_reason.get(reason, 0) + 1
+        )
+        return ticket
+
+    def expire_queued(self, now: float) -> list[Ticket]:
+        """Time out every queued ticket whose deadline has passed."""
+        expired: list[Ticket] = []
+        if not self._queue:
+            return expired
+        survivors: deque[Ticket] = deque()
+        for ticket in self._queue:
+            if ticket.deadline is not None and now >= ticket.deadline:
+                self._queued_by_tenant[ticket.tenant] -= 1
+                ticket.state = TIMED_OUT
+                ticket.reason = "queued-timeout"
+                ticket.finished_at = ticket.deadline
+                self.metrics.timed_out += 1
+                expired.append(ticket)
+            else:
+                survivors.append(ticket)
+        self._queue = survivors
+        return expired
+
+    def start_ready(self, now: float) -> list[Ticket]:
+        """Move every startable queued ticket to RUNNING, in FIFO order.
+
+        Expired tickets are timed out first, so a request never *starts*
+        past its deadline.
+        """
+        started: list[Ticket] = []
+        self.expire_queued(now)
+        if not self._queue:
+            return started
+        survivors: deque[Ticket] = deque()
+        tenant_limits: dict[str, TenantConfig] = {}
+        for ticket in self._queue:
+            if self._running_global >= self.config.global_concurrency:
+                survivors.append(ticket)
+                continue
+            limits = tenant_limits.get(ticket.tenant)
+            if limits is None:
+                limits = tenant_limits[ticket.tenant] = self.config.tenant(
+                    ticket.tenant
+                )
+            if self.running_for(ticket.tenant) >= limits.max_concurrency:
+                survivors.append(ticket)
+                continue
+            self._queued_by_tenant[ticket.tenant] -= 1
+            self._running_by_tenant[ticket.tenant] = (
+                self.running_for(ticket.tenant) + 1
+            )
+            self._running_global += 1
+            ticket.state = RUNNING
+            ticket.started_at = now
+            self.metrics.started += 1
+            started.append(ticket)
+        self._queue = survivors
+        return started
+
+    def complete(self, ticket: Ticket, now: float) -> Ticket:
+        """Finish a RUNNING ticket at *now* and release its slots.
+
+        The outcome is DONE unless the deadline passed mid-execution, in
+        which case the ticket is TIMED_OUT (the caller already answered
+        the client with a timeout refusal; the slot is only released here,
+        when the execution actually finished — limits always hold).
+        """
+        if ticket.state != RUNNING:
+            raise ValueError(
+                f"cannot complete ticket {ticket.request_id!r} in state "
+                f"{ticket.state!r}"
+            )
+        self._running_global -= 1
+        self._running_by_tenant[ticket.tenant] -= 1
+        ticket.finished_at = now
+        if ticket.deadline is not None and now > ticket.deadline:
+            ticket.state = TIMED_OUT
+            ticket.reason = "running-timeout"
+            self.metrics.timed_out += 1
+        else:
+            ticket.state = DONE
+            self.metrics.completed += 1
+        return ticket
+
+    # -- convenience ---------------------------------------------------------
+
+    def pump(self, now: float, on_start: Callable[[Ticket], None]) -> None:
+        """Expire, then start every ready ticket, notifying *on_start*."""
+        for ticket in self.start_ready(now):
+            on_start(ticket)
+
+
+def audit_schedule(tickets: Iterable[Ticket], config: ServiceConfig) -> list[str]:
+    """Re-verify the admission invariants over a finished schedule.
+
+    Returns human-readable violation strings (empty = clean).  Used by the
+    property tests and by the driver's self-check: the controller's
+    behaviour is validated twice, once live and once post-hoc from the
+    ticket log alone.
+    """
+    violations: list[str] = []
+    events: list[tuple[float, int, int, Ticket]] = []  # (time, order, delta, t)
+    starts_by_tenant: dict[str, list[tuple[int, float, str]]] = {}
+    for ticket in sorted(tickets, key=lambda t: t.seq):
+        if not ticket.terminal:
+            violations.append(
+                f"{ticket.request_id}: non-terminal state {ticket.state!r} "
+                "(accepted request dropped)"
+            )
+            continue
+        if ticket.state == SHED:
+            if ticket.reason is None:
+                violations.append(f"{ticket.request_id}: shed without a reason")
+            continue
+        if ticket.state == TIMED_OUT and ticket.started_at is None:
+            continue  # queued-timeout: never ran
+        if ticket.started_at is None or ticket.finished_at is None:
+            violations.append(
+                f"{ticket.request_id}: ran without start/finish timestamps"
+            )
+            continue
+        starts_by_tenant.setdefault(ticket.tenant, []).append(
+            (ticket.seq, ticket.started_at, ticket.request_id)
+        )
+        # Starts before ends at equal times: a slot freed at t is usable
+        # at t, so count ends first (delta sorted ascending puts -1 first).
+        events.append((ticket.started_at, ticket.seq, +1, ticket))
+        events.append((ticket.finished_at, ticket.seq, -1, ticket))
+    # Per-tenant FIFO: in submission (seq) order, start times never go
+    # backwards — a younger request must not start strictly before an
+    # older one of the same tenant.
+    for tenant, starts in starts_by_tenant.items():
+        for (__, earlier_at, earlier_id), (__, later_at, later_id) in zip(
+            starts, starts[1:]
+        ):
+            if later_at < earlier_at:
+                violations.append(
+                    f"{later_id}: started at {later_at:.6f}, before the "
+                    f"earlier-submitted {earlier_id} of tenant {tenant!r} "
+                    f"({earlier_at:.6f}) — FIFO violation"
+                )
+    events.sort(key=lambda item: (item[0], item[2], item[1]))
+    running_global = 0
+    running_tenant: dict[str, int] = {}
+    for time, __, delta, ticket in events:
+        running_global += delta
+        count = running_tenant.get(ticket.tenant, 0) + delta
+        running_tenant[ticket.tenant] = count
+        if running_global > config.global_concurrency:
+            violations.append(
+                f"t={time:.6f}: {running_global} running exceeds the global "
+                f"limit {config.global_concurrency}"
+            )
+        limit = config.tenant(ticket.tenant).max_concurrency
+        if count > limit:
+            violations.append(
+                f"t={time:.6f}: tenant {ticket.tenant!r} has {count} running, "
+                f"limit {limit}"
+            )
+    return violations

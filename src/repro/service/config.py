@@ -1,0 +1,214 @@
+"""Service configuration: tenants, limits, and their validation.
+
+One :class:`ServiceConfig` describes a whole deployment of the query
+service — the engine pool, the admission-control limits, and the tenant
+roster.  Validation is strict and front-loaded: every bad value raises
+:class:`ServiceConfigError` with a message naming the offending field and
+value, so ``repro serve`` fails fast with an actionable error instead of
+misbehaving under load.
+
+Tenant configs may come from a JSON document (``repro serve --tenants
+file.json``)::
+
+    {
+      "acme":   {"max_concurrency": 4, "queue_depth": 32, "weight": 3.0},
+      "globex": {"max_concurrency": 1, "queue_depth": 8}
+    }
+
+Unknown keys are rejected (a typo'd limit must not silently fall back to
+the default).  Tenants not in the roster are admitted under
+``default_tenant`` limits unless ``strict_tenants`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from ..exceptions import ReproError
+
+
+class ServiceConfigError(ReproError):
+    """A service/tenant configuration value is invalid."""
+
+
+#: Keys accepted in one tenant's JSON/dict config.
+_TENANT_KEYS = frozenset({"max_concurrency", "queue_depth", "weight"})
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Admission limits of one tenant.
+
+    ``weight`` is only used by the workload driver (tenant skew); the
+    admission controller itself never consults it.
+    """
+
+    name: str
+    max_concurrency: int = 2
+    queue_depth: int = 16
+    weight: float = 1.0
+
+    def validate(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ServiceConfigError(
+                f"tenant name must be a non-empty string, got {self.name!r}"
+            )
+        if not isinstance(self.max_concurrency, int) or self.max_concurrency < 1:
+            raise ServiceConfigError(
+                f"tenant {self.name!r}: max_concurrency must be a positive "
+                f"integer, got {self.max_concurrency!r}"
+            )
+        if not isinstance(self.queue_depth, int) or self.queue_depth < 1:
+            raise ServiceConfigError(
+                f"tenant {self.name!r}: queue_depth must be a positive "
+                f"integer, got {self.queue_depth!r}"
+            )
+        if not isinstance(self.weight, (int, float)) or self.weight <= 0:
+            raise ServiceConfigError(
+                f"tenant {self.name!r}: weight must be a positive number, "
+                f"got {self.weight!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, name: str, payload: object) -> "TenantConfig":
+        if not isinstance(payload, dict):
+            raise ServiceConfigError(
+                f"tenant {name!r}: config must be an object of limits, "
+                f"got {type(payload).__name__} ({payload!r})"
+            )
+        unknown = sorted(set(payload) - _TENANT_KEYS)
+        if unknown:
+            raise ServiceConfigError(
+                f"tenant {name!r}: unknown config keys {unknown}; "
+                f"allowed: {sorted(_TENANT_KEYS)}"
+            )
+        tenant = cls(name=name, **payload)
+        tenant.validate()
+        return tenant
+
+
+@dataclass
+class ServiceConfig:
+    """The query service's deployment configuration."""
+
+    host: str = "127.0.0.1"
+    port: int = 8089
+    #: Number of pooled :class:`~repro.core.engine.FederatedEngine` workers
+    #: (they share one plan/sub-result cache registry).
+    workers: int = 4
+    #: Hard cap on requests executing at once, across all tenants.
+    global_concurrency: int = 8
+    #: Per-request deadline in (wall or virtual) seconds, covering queue
+    #: wait + execution; None disables timeouts.
+    timeout: float | None = 30.0
+    #: Limits applied to tenants absent from ``tenants``.
+    default_tenant: TenantConfig = field(
+        default_factory=lambda: TenantConfig(name="default")
+    )
+    #: The tenant roster (name -> limits).
+    tenants: dict[str, TenantConfig] = field(default_factory=dict)
+    #: Reject requests from tenants absent from the roster instead of
+    #: applying ``default_tenant`` limits.
+    strict_tenants: bool = False
+    #: Execute observed (per-request spans/profiles, ``/queries/<id>/trace``).
+    observe: bool = False
+    # Engine-pool execution settings (same axes as the CLI).
+    policy: str = "aware"
+    network: str = "nodelay"
+    runtime: str = "sequential"
+    exec: str = "batch"
+    batch_size: int | None = None
+    plan_cache_size: int = 512
+    subresult_cache_size: int = 4096
+
+    def validate(self) -> None:
+        if not isinstance(self.port, int) or not (0 <= self.port <= 65535):
+            raise ServiceConfigError(
+                f"port must be an integer in 0..65535 (0 = ephemeral), "
+                f"got {self.port!r}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ServiceConfigError(
+                f"workers must be a positive integer, got {self.workers!r}"
+            )
+        if not isinstance(self.global_concurrency, int) or self.global_concurrency < 1:
+            raise ServiceConfigError(
+                "global_concurrency must be a positive integer, "
+                f"got {self.global_concurrency!r}"
+            )
+        if self.timeout is not None and (
+            not isinstance(self.timeout, (int, float)) or self.timeout <= 0
+        ):
+            raise ServiceConfigError(
+                f"timeout must be positive (or None to disable), got {self.timeout!r}"
+            )
+        if self.plan_cache_size < 1:
+            raise ServiceConfigError(
+                f"plan_cache_size must be a positive integer, got {self.plan_cache_size!r}"
+            )
+        if self.subresult_cache_size < 1:
+            raise ServiceConfigError(
+                "subresult_cache_size must be a positive integer, "
+                f"got {self.subresult_cache_size!r}"
+            )
+        self.default_tenant.validate()
+        for name, tenant in self.tenants.items():
+            if name != tenant.name:
+                raise ServiceConfigError(
+                    f"tenant roster key {name!r} does not match config name "
+                    f"{tenant.name!r}"
+                )
+            tenant.validate()
+
+    def tenant(self, name: str) -> TenantConfig:
+        """The limits governing *name* (roster entry or the default)."""
+        known = self.tenants.get(name)
+        if known is not None:
+            return known
+        if self.strict_tenants:
+            raise ServiceConfigError(
+                f"unknown tenant {name!r} (strict_tenants is on; roster: "
+                f"{sorted(self.tenants)})"
+            )
+        return replace(self.default_tenant, name=name)
+
+    def with_tenants_json(self, text: str, source: str = "<tenants>") -> "ServiceConfig":
+        """This config with the tenant roster parsed from JSON *text*."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ServiceConfigError(
+                f"{source}: tenant config is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ServiceConfigError(
+                f"{source}: tenant config must be a JSON object mapping "
+                f"tenant names to limits, got {type(payload).__name__}"
+            )
+        tenants = {
+            name: TenantConfig.from_dict(name, entry)
+            for name, entry in payload.items()
+        }
+        clone = replace(self, tenants=tenants)
+        clone.validate()
+        return clone
+
+    def describe(self) -> str:
+        lines = [
+            f"listen        {self.host}:{self.port}",
+            f"workers       {self.workers} engines "
+            f"({self.policy}/{self.network}, runtime={self.runtime}, exec={self.exec})",
+            f"admission     global={self.global_concurrency} "
+            f"timeout={'off' if self.timeout is None else f'{self.timeout:g}s'} "
+            f"strict_tenants={self.strict_tenants}",
+            f"default       concurrency={self.default_tenant.max_concurrency} "
+            f"queue={self.default_tenant.queue_depth}",
+        ]
+        for name in sorted(self.tenants):
+            tenant = self.tenants[name]
+            lines.append(
+                f"tenant {name:<12} concurrency={tenant.max_concurrency} "
+                f"queue={tenant.queue_depth} weight={tenant.weight:g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,584 @@
+"""Deterministic closed-loop workload driver for the query service.
+
+Simulates thousands of clients against the *exact* admission-control
+state machine and engine pool the HTTP daemon runs — but in **virtual
+time**, driven by a seeded discrete-event loop, so two runs with the same
+seed produce identical request outcomes (accepted/shed/timeout per
+request), identical latency distributions, and identical shared-cache
+counter totals.  That determinism is the point: service behaviour under
+contention becomes testable and regression-gateable, not just
+benchmarkable.
+
+How the pieces line up with a real deployment:
+
+* **arrivals** — clients join by a seeded Poisson process; each client is
+  closed-loop (think time after each response, then its next request);
+* **tenant skew** — clients are assigned to tenants by Zipf-like weights,
+  so a few tenants dominate traffic (the regime admission control is for);
+* **hot/cold mix** — hot requests draw from a small set of benchmark
+  queries (plan + sub-result cache hits); cold requests are textually
+  distinct variants (fresh ``LIMIT`` clauses), forcing plan-cache misses;
+* **service times** — an admitted request is *actually executed* on a
+  pooled engine (exercising the shared caches and producing answers that
+  are verified against a pristine single-engine run); its **virtual**
+  execution time — which is cache-neutral by the PR-1 re-charging design —
+  is used as the simulated service duration;
+* **admission** — the same :class:`AdmissionController` as the server:
+  per-tenant FIFO, per-tenant and global concurrency limits, deadline
+  timeouts, structured shedding.
+
+Executions happen sequentially in deterministic event order (simulated
+concurrency lives in virtual time), so shared cache hit/miss totals are
+reproducible bit for bit.  Wall-clock throughput is also measured — it
+benefits from warm caches — but only virtual quantities are part of the
+determinism contract.
+
+Run it via ``repro loadtest`` or ``python -m repro.service.driver``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..core.engine import FederatedEngine
+from .admission import AdmissionController, DONE, SHED, TIMED_OUT, Ticket, audit_schedule
+from .config import ServiceConfig, TenantConfig
+from .pool import EnginePool
+from .server import serialize_answers
+
+# Event kinds, in tie-break priority order at equal timestamps: finishes
+# release slots before new arrivals claim them.
+_FINISH = 0
+_ARRIVE = 1
+
+
+@dataclass
+class WorkloadSpec:
+    """The shape of one simulated workload (all randomness is seeded)."""
+
+    #: Number of simulated clients.
+    clients: int = 1000
+    #: Closed-loop rounds: each client issues this many requests.
+    requests_per_client: int = 1
+    #: Tenants ``t0..t{n-1}``; clients are assigned by Zipf-like weights.
+    tenants: int = 4
+    #: Skew exponent (0 = uniform; larger = heavier head tenant).
+    tenant_skew: float = 1.2
+    #: Hot query names (must be benchmark names).
+    hot_queries: tuple[str, ...] = ("Q1", "Q2", "Q3")
+    #: Cold base query names (textual variants are derived from these).
+    cold_queries: tuple[str, ...] = ("Q4", "Q5")
+    #: Probability a request draws from the hot set.
+    hot_fraction: float = 0.8
+    #: Number of distinct cold text variants (plan-cache misses).
+    cold_variants: int = 20
+    #: Mean inter-arrival gap between clients' first requests (virtual s).
+    mean_interarrival: float = 0.05
+    #: Mean think time between a client's consecutive requests (virtual s).
+    mean_think: float = 2.0
+    #: Distinct per-request delay seeds (duration variety).
+    run_seeds: tuple[int, ...] = (7, 11, 13, 17)
+
+    def validate(self) -> None:
+        if self.clients < 1:
+            raise ValueError(f"clients must be positive, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be positive, got {self.requests_per_client}"
+            )
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be positive, got {self.tenants}")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if not self.hot_queries and not self.cold_queries:
+            raise ValueError("at least one of hot/cold query sets must be non-empty")
+
+
+@dataclass
+class RequestResult:
+    """One simulated request's outcome."""
+
+    request_id: str
+    client: int
+    tenant: str
+    query: str
+    run_seed: int
+    outcome: str  # done | shed | timeout
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    latency: float | None
+    answers: int | None
+    reason: str | None
+
+    def key(self) -> tuple:
+        """The determinism fingerprint contribution of this request."""
+        return (
+            self.request_id,
+            self.tenant,
+            self.query,
+            self.run_seed,
+            self.outcome,
+            round(self.submitted_at, 9),
+            None if self.started_at is None else round(self.started_at, 9),
+            None if self.finished_at is None else round(self.finished_at, 9),
+            self.answers,
+            self.reason,
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(q * len(sorted_values))))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass
+class DriverReport:
+    """Everything one driver run measured."""
+
+    seed: int
+    spec: WorkloadSpec
+    results: list[RequestResult]
+    cache_stats: dict[str, dict]
+    admission: dict
+    wall_seconds: float
+    executions: int
+    mismatches: list[str] = field(default_factory=list)
+    audit_violations: list[str] = field(default_factory=list)
+
+    # -- derived metrics -----------------------------------------------------
+
+    def outcomes(self) -> dict[str, int]:
+        counts: dict[str, int] = {DONE: 0, SHED: 0, TIMED_OUT: 0}
+        for result in self.results:
+            counts[result.outcome] = counts.get(result.outcome, 0) + 1
+        return counts
+
+    def latencies(self) -> list[float]:
+        return sorted(
+            result.latency
+            for result in self.results
+            if result.outcome == DONE and result.latency is not None
+        )
+
+    def makespan(self) -> float:
+        return max(
+            (result.finished_at or result.submitted_at for result in self.results),
+            default=0.0,
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every request outcome + the cache totals."""
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(repr(result.key()).encode())
+        digest.update(
+            json.dumps(self.cache_stats, sort_keys=True).encode()
+        )
+        return digest.hexdigest()
+
+    def summary(self) -> dict:
+        counts = self.outcomes()
+        latencies = self.latencies()
+        total = len(self.results)
+        makespan = self.makespan()
+        per_tenant: dict[str, dict[str, int]] = {}
+        for result in self.results:
+            bucket = per_tenant.setdefault(
+                result.tenant, {DONE: 0, SHED: 0, TIMED_OUT: 0}
+            )
+            bucket[result.outcome] = bucket.get(result.outcome, 0) + 1
+        return {
+            "requests": total,
+            "completed": counts.get(DONE, 0),
+            "shed": counts.get(SHED, 0),
+            "timed_out": counts.get(TIMED_OUT, 0),
+            "shed_rate": round(counts.get(SHED, 0) / total, 4) if total else 0.0,
+            "throughput_per_virtual_s": (
+                round(counts.get(DONE, 0) / makespan, 4) if makespan else 0.0
+            ),
+            "virtual_makespan": round(makespan, 6),
+            "latency_p50": round(_percentile(latencies, 0.50), 6),
+            "latency_p95": round(_percentile(latencies, 0.95), 6),
+            "latency_p99": round(_percentile(latencies, 0.99), 6),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "wall_throughput_per_s": (
+                round(self.executions / self.wall_seconds, 2)
+                if self.wall_seconds
+                else 0.0
+            ),
+            "executions": self.executions,
+            "answer_mismatches": len(self.mismatches),
+            "audit_violations": len(self.audit_violations),
+            "per_tenant": {name: per_tenant[name] for name in sorted(per_tenant)},
+            "cache": self.cache_stats,
+        }
+
+    def to_dict(self, include_requests: bool = False) -> dict:
+        body = {
+            "seed": self.seed,
+            "spec": asdict(self.spec),
+            "summary": self.summary(),
+            "admission": self.admission,
+            "fingerprint": self.fingerprint(),
+        }
+        if self.mismatches:
+            body["mismatches"] = self.mismatches[:20]
+        if self.audit_violations:
+            body["audit_violations"] = self.audit_violations[:20]
+        if include_requests:
+            body["requests"] = [asdict(result) for result in self.results]
+        return body
+
+    def to_chrome_trace(self) -> dict:
+        """Per-request spans (queued + running phases) on tenant tracks."""
+        from ..obs import to_chrome_trace
+        from ..obs.bus import TraceBus
+
+        bus = TraceBus()
+        for result in self.results:
+            if result.started_at is not None:
+                bus.add_span(
+                    f"queued {result.query}",
+                    "service",
+                    f"tenant {result.tenant}",
+                    result.submitted_at,
+                    result.started_at,
+                    request_id=result.request_id,
+                )
+                bus.add_span(
+                    f"run {result.query}",
+                    "service",
+                    f"tenant {result.tenant}",
+                    result.started_at,
+                    result.finished_at or result.started_at,
+                    request_id=result.request_id,
+                    outcome=result.outcome,
+                )
+            else:
+                bus.add_instant(
+                    f"{result.outcome} {result.query}",
+                    "service",
+                    f"tenant {result.tenant}",
+                    result.finished_at or result.submitted_at,
+                    request_id=result.request_id,
+                    reason=result.reason or "",
+                )
+        shim = _DriverObservation(bus)
+        return to_chrome_trace([(f"service-load seed={self.seed}", shim)])
+
+
+class _DriverObservation:
+    """The minimal observation surface the Chrome exporter needs."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.profiles: list = []
+        self.request_id = None
+
+
+@dataclass
+class _PlannedRequest:
+    client: int
+    round: int
+    tenant: str
+    query_name: str
+    query_text: str
+    run_seed: int
+
+
+class _Workload:
+    """The seeded request generator (tenants, queries, think times)."""
+
+    def __init__(self, spec: WorkloadSpec, seed: int):
+        from ..datasets import BENCHMARK_QUERIES
+
+        spec.validate()
+        unknown = [
+            name
+            for name in (*spec.hot_queries, *spec.cold_queries)
+            if name not in BENCHMARK_QUERIES
+        ]
+        if unknown:
+            raise ValueError(f"unknown benchmark queries in spec: {unknown}")
+        self.spec = spec
+        self.rng = np.random.default_rng(seed)
+        self._queries = BENCHMARK_QUERIES
+        weights = np.array(
+            [1.0 / (rank + 1) ** spec.tenant_skew for rank in range(spec.tenants)]
+        )
+        self._tenant_probs = weights / weights.sum()
+        self._tenant_names = [f"t{rank}" for rank in range(spec.tenants)]
+        # Cold variants: textually distinct LIMIT clauses => distinct plan
+        # cache keys.  The limits are far above any result size at bench
+        # scales, so answers are unaffected; what matters is the cache miss.
+        self._cold_pool: list[tuple[str, str]] = []
+        for index in range(max(1, spec.cold_variants)):
+            base = spec.cold_queries[index % len(spec.cold_queries)] if spec.cold_queries else spec.hot_queries[index % len(spec.hot_queries)]
+            text = self._queries[base].text.rstrip()
+            if "LIMIT" in text.upper():
+                variant = (f"{base}#v{index}", text)  # already limited: reuse
+            else:
+                variant = (f"{base}#v{index}", f"{text}\nLIMIT {1000000 + index}")
+            self._cold_pool.append(variant)
+
+    def tenant_for_client(self, client: int) -> str:
+        return self._tenant_names[
+            int(self.rng.choice(len(self._tenant_names), p=self._tenant_probs))
+        ]
+
+    def draw_request(self, client: int, round_index: int, tenant: str) -> _PlannedRequest:
+        spec = self.spec
+        hot = bool(spec.hot_queries) and (
+            not spec.cold_queries or self.rng.random() < spec.hot_fraction
+        )
+        if hot:
+            name = spec.hot_queries[int(self.rng.integers(len(spec.hot_queries)))]
+            text = self._queries[name].text
+        else:
+            name, text = self._cold_pool[
+                int(self.rng.integers(len(self._cold_pool)))
+            ]
+        run_seed = int(spec.run_seeds[int(self.rng.integers(len(spec.run_seeds)))])
+        return _PlannedRequest(
+            client=client,
+            round=round_index,
+            tenant=tenant,
+            query_name=name,
+            query_text=text,
+            run_seed=run_seed,
+        )
+
+    def interarrival(self) -> float:
+        return float(self.rng.exponential(self.spec.mean_interarrival))
+
+    def think(self) -> float:
+        return float(self.rng.exponential(self.spec.mean_think))
+
+
+def run_load(
+    lake,
+    config: ServiceConfig,
+    spec: WorkloadSpec | None = None,
+    seed: int = 42,
+    verify_answers: bool = True,
+) -> DriverReport:
+    """Run one seeded load test; see the module docstring for semantics."""
+    spec = spec or WorkloadSpec()
+    config.validate()
+    workload = _Workload(spec, seed)
+    # Tenant roster: every simulated tenant under the default limits unless
+    # the config names it explicitly.
+    tenants = dict(config.tenants)
+    for rank in range(spec.tenants):
+        name = f"t{rank}"
+        if name not in tenants:
+            tenants[name] = TenantConfig(
+                name=name,
+                max_concurrency=config.default_tenant.max_concurrency,
+                queue_depth=config.default_tenant.queue_depth,
+            )
+    from dataclasses import replace
+
+    config = replace(config, tenants=tenants)
+
+    from ..benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES
+
+    policy = POLICY_CHOICES[config.policy]()
+    network = NETWORK_CHOICES[config.network]()
+    pool = EnginePool(
+        lake,
+        size=config.workers,
+        policy=policy,
+        network=network,
+        runtime=config.runtime,
+        exec=config.exec,
+        batch_size=config.batch_size,
+        plan_cache_size=config.plan_cache_size,
+        subresult_cache_size=config.subresult_cache_size,
+    )
+    controller = AdmissionController(config)
+    # The pristine reference: same settings, caches off, its own engine —
+    # every unique (query, seed) pair is executed once and memoized.
+    reference = FederatedEngine(
+        lake,
+        policy=policy,
+        network=network,
+        runtime=config.runtime,
+        exec=config.exec,
+        batch_size=config.batch_size,
+        enable_plan_cache=False,
+        enable_subresult_cache=False,
+    )
+    reference_memo: dict[tuple[str, int], tuple[list, float]] = {}
+
+    # Pre-plan every client's tenant and arrival; requests themselves are
+    # drawn lazily in event order (so the RNG stream is consumed in one
+    # deterministic order).
+    heap: list[tuple[float, int, int, object]] = []
+    event_seq = 0
+
+    def schedule(when: float, kind: int, payload: object) -> None:
+        nonlocal event_seq
+        event_seq += 1
+        heapq.heappush(heap, (when, kind, event_seq, payload))
+
+    client_tenant: dict[int, str] = {}
+    arrival = 0.0
+    for client in range(spec.clients):
+        arrival += workload.interarrival()
+        client_tenant[client] = workload.tenant_for_client(client)
+        schedule(arrival, _ARRIVE, (client, 0))
+
+    results: list[RequestResult] = []
+    tickets: dict[str, tuple[Ticket, _PlannedRequest]] = {}
+    all_tickets: list[Ticket] = []
+    request_counter = 0
+    executions = 0
+    mismatches: list[str] = []
+    wall_start = time.perf_counter()
+
+    def execute(planned: _PlannedRequest) -> tuple[float, int]:
+        """Run the request on the pool; returns (virtual duration, answers)."""
+        nonlocal executions
+        engine = pool.engine_for(executions)
+        executions += 1
+        answers, stats = engine.run(planned.query_text, seed=planned.run_seed)
+        serialized = serialize_answers(answers)
+        if verify_answers:
+            memo_key = (planned.query_text, planned.run_seed)
+            expected = reference_memo.get(memo_key)
+            if expected is None:
+                ref_answers, ref_stats = reference.run(
+                    planned.query_text, seed=planned.run_seed
+                )
+                expected = reference_memo[memo_key] = (
+                    serialize_answers(ref_answers),
+                    ref_stats.execution_time,
+                )
+            if serialized != expected[0]:
+                mismatches.append(
+                    f"{planned.query_name} seed={planned.run_seed}: pooled "
+                    f"answers differ from single-engine reference"
+                )
+            if stats.execution_time != expected[1]:
+                mismatches.append(
+                    f"{planned.query_name} seed={planned.run_seed}: virtual "
+                    f"time {stats.execution_time!r} != reference {expected[1]!r}"
+                )
+        return stats.execution_time, len(serialized)
+
+    def log_result(
+        ticket: Ticket, planned: _PlannedRequest, answers: int | None
+    ) -> None:
+        latency = None
+        if ticket.state == DONE and ticket.finished_at is not None:
+            latency = ticket.finished_at - ticket.submitted_at
+        elif ticket.state == TIMED_OUT and ticket.finished_at is not None:
+            latency = ticket.finished_at - ticket.submitted_at
+        results.append(
+            RequestResult(
+                request_id=ticket.request_id,
+                client=planned.client,
+                tenant=ticket.tenant,
+                query=planned.query_name,
+                run_seed=planned.run_seed,
+                outcome=ticket.state,
+                submitted_at=ticket.submitted_at,
+                started_at=ticket.started_at,
+                finished_at=ticket.finished_at,
+                latency=latency,
+                answers=answers,
+                reason=ticket.reason,
+            )
+        )
+
+    def next_round(planned: _PlannedRequest, now: float) -> None:
+        """Closed loop: the client thinks, then issues its next request."""
+        if planned.round + 1 < spec.requests_per_client:
+            schedule(
+                now + workload.think(), _ARRIVE, (planned.client, planned.round + 1)
+            )
+
+    finish_info: dict[str, tuple[float, int]] = {}  # request_id -> (duration, answers)
+
+    def pump(now: float) -> None:
+        # Queued tickets past their deadline become timeouts *before*
+        # admission, and are logged here (start_ready would silently
+        # expire them otherwise).
+        for ticket in controller.expire_queued(now):
+            __, planned = tickets[ticket.request_id]
+            log_result(ticket, planned, None)
+            next_round(planned, ticket.finished_at or now)
+        for ticket in controller.start_ready(now):
+            __, planned = tickets[ticket.request_id]
+            duration, answer_count = execute(planned)
+            finish_info[ticket.request_id] = (duration, answer_count)
+            schedule(now + duration, _FINISH, ticket.request_id)
+
+    while heap:
+        now, kind, __, payload = heapq.heappop(heap)
+        if kind == _ARRIVE:
+            client, round_index = payload
+            tenant = client_tenant[client]
+            planned = workload.draw_request(client, round_index, tenant)
+            request_counter += 1
+            request_id = f"r-{request_counter:06d}"
+            ticket = controller.submit(request_id, tenant, now)
+            all_tickets.append(ticket)
+            tickets[request_id] = (ticket, planned)
+            if ticket.state == SHED:
+                log_result(ticket, planned, None)
+                next_round(planned, now)
+            pump(now)
+        else:  # _FINISH
+            request_id = payload
+            ticket, planned = tickets[request_id]
+            controller.complete(ticket, now)
+            __, answer_count = finish_info.pop(request_id)
+            log_result(
+                ticket, planned, answer_count if ticket.state == DONE else None
+            )
+            next_round(planned, now)
+            pump(now)
+
+    wall_seconds = time.perf_counter() - wall_start
+    audit = audit_schedule(all_tickets, config)
+    cache_stats = {
+        name: stats.as_dict() for name, stats in pool.cache_stats().items()
+    }
+    return DriverReport(
+        seed=seed,
+        spec=spec,
+        results=results,
+        cache_stats=cache_stats,
+        admission=controller.snapshot(),
+        wall_seconds=wall_seconds,
+        executions=executions,
+        mismatches=mismatches,
+        audit_violations=audit,
+    )
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin shim over the CLI
+    """``python -m repro.service.driver`` == ``repro loadtest``."""
+    from ..cli import main as cli_main
+
+    return cli_main(["loadtest", *(argv or [])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

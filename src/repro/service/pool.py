@@ -1,0 +1,97 @@
+"""The service's engine pool: N workers, one shared cache registry.
+
+Mirrors the worker-data-plane shape of large federated deployments
+(scheduler -> worker instances -> shared artifact/result cache): each
+pooled :class:`~repro.core.engine.FederatedEngine` is a full engine with
+identical lake/policy/network/cost-model settings, and all of them consult
+one :class:`~repro.cache.CacheRegistry` — so a plan or wrapper sub-result
+warmed by any tenant's request is a hit for every worker.  Sharing is safe
+because the LRU caches are internally locked and the registry's recorded
+charges are cost-model-dependent, which is uniform across the pool by
+construction (enforced here).
+
+``checkout()``/``checkin()`` hand engines to executor threads (the asyncio
+server); ``engine_for(i)`` deterministically round-robins (the driver).
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import TYPE_CHECKING
+
+from ..cache import CacheRegistry, CacheStats
+from ..core.engine import FederatedEngine
+from ..core.policy import PlanPolicy
+from ..network.costmodel import CostModel
+from ..network.delays import NetworkSetting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalake.lake import SemanticDataLake
+
+
+class EnginePool:
+    """A fixed-size pool of identically-configured engines."""
+
+    def __init__(
+        self,
+        lake: "SemanticDataLake",
+        size: int = 4,
+        policy: PlanPolicy | None = None,
+        network: NetworkSetting | None = None,
+        cost_model: CostModel | None = None,
+        runtime: str = "sequential",
+        exec: str = "batch",
+        batch_size: int | None = None,
+        plan_cache_size: int = 512,
+        subresult_cache_size: int = 4096,
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be a positive integer, got {size}")
+        policy = policy or PlanPolicy.physical_design_aware()
+        self.caches = CacheRegistry(
+            plan_capacity=plan_cache_size,
+            subresult_capacity=subresult_cache_size,
+            plans_enabled=policy.use_plan_cache,
+            subresults_enabled=policy.use_subresult_cache,
+        )
+        self.engines = [
+            FederatedEngine(
+                lake,
+                policy=policy,
+                network=network,
+                cost_model=cost_model,
+                runtime=runtime,
+                exec=exec,
+                batch_size=batch_size,
+                caches=self.caches,
+            )
+            for __ in range(size)
+        ]
+        first = self.engines[0]
+        assert all(
+            engine.cost_model is first.cost_model for engine in self.engines
+        ), "pooled engines must share one cost model (recorded charges depend on it)"
+        self._idle: queue.Queue[FederatedEngine] = queue.Queue()
+        for engine in self.engines:
+            self._idle.put(engine)
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    def engine_for(self, index: int) -> FederatedEngine:
+        """Deterministic round-robin assignment (the driver's path)."""
+        return self.engines[index % len(self.engines)]
+
+    def checkout(self, timeout: float | None = None) -> FederatedEngine:
+        """Borrow an idle engine (blocks until one is free)."""
+        return self._idle.get(timeout=timeout)
+
+    def checkin(self, engine: FederatedEngine) -> None:
+        self._idle.put(engine)
+
+    def clear_caches(self) -> None:
+        self.caches.clear()
+
+    def cache_stats(self) -> dict[str, CacheStats]:
+        """The shared registry's counters (identical via any engine)."""
+        return self.caches.stats()

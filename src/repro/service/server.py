@@ -1,0 +1,534 @@
+"""The multi-tenant query service: asyncio HTTP daemon over an engine pool.
+
+Architecture (langbridge-style worker data plane, scaled to this repo)::
+
+    HTTP clients ──> asyncio server ──> AdmissionController ──> EnginePool
+                       (stdlib)          per-tenant FIFO,        N engines,
+                                         limits, timeouts        shared caches
+
+:class:`QueryService` is the transport-independent core: ``submit`` /
+``status`` / ``result`` / ``trace`` work on plain dicts, so tests (and the
+replay harness) can drive the exact service logic the HTTP layer exposes.
+The HTTP layer itself is a minimal hand-rolled HTTP/1.1 server on
+``asyncio.start_server`` — no third-party dependency, one JSON document
+per response, ``Connection: close``.
+
+API:
+
+* ``POST /queries`` ``{"tenant": ..., "query": ..., "seed": ...}`` —
+  ``202`` with a request ID, or ``429`` with a structured refusal when
+  admission control sheds the request.
+* ``GET /queries/<id>`` — status document (state machine:
+  queued/running/done/timeout/shed/error).
+* ``GET /queries/<id>/result`` — the answers (N3-serialized terms) plus
+  execution stats; ``409`` while not finished, ``504`` after a timeout.
+* ``GET /queries/<id>/trace`` — per-request Chrome trace (observe mode).
+* ``GET /stats`` — admission metrics + shared cache counters.
+* ``GET /healthz`` — liveness.
+
+Every request's execution carries its request ID into the PR-4 trace bus
+(``RunObservation.request_id``), so a multi-request Chrome export shows
+one process per request, attributable by ID.
+
+Request timeouts cover queue wait + execution.  A request timing out while
+queued never starts; one timing out mid-execution is answered with a
+refusal immediately, but its concurrency slot is only released when the
+worker thread actually finishes — the admission limits hold at every
+instant, at the price of a slow query briefly "shadowing" a slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from ..federation.answers import EXEC_MODES, Solution
+from .admission import AdmissionController, DONE, RUNNING, SHED, TIMED_OUT, Ticket
+from .config import ServiceConfig, ServiceConfigError
+from .pool import EnginePool
+
+#: Largest accepted request body.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+def serialize_solution(solution: Solution) -> dict[str, str]:
+    """One answer as a JSON-safe dict (N3-rendered terms, sorted names)."""
+    return {name: solution[name].n3() for name in sorted(solution)}
+
+
+def serialize_answers(answers: list[Solution]) -> list[dict[str, str]]:
+    """Answers in stream order — bit-comparable across execution paths."""
+    return [serialize_solution(solution) for solution in answers]
+
+
+class _Request:
+    """Service-side state of one submitted request."""
+
+    __slots__ = (
+        "ticket",
+        "query",
+        "seed",
+        "runtime",
+        "exec",
+        "started",
+        "finished",
+        "answers",
+        "stats",
+        "observation",
+        "error",
+    )
+
+    def __init__(
+        self,
+        ticket: Ticket,
+        query: str,
+        seed: int | None,
+        runtime: str | None,
+        exec: str | None,
+    ):
+        self.ticket = ticket
+        self.query = query
+        self.seed = seed
+        self.runtime = runtime
+        self.exec = exec
+        self.started = asyncio.Event()
+        self.finished = asyncio.Event()
+        self.answers: list[dict[str, str]] | None = None
+        self.stats: dict | None = None
+        self.observation = None
+        self.error: str | None = None
+
+
+class QueryService:
+    """The admission-controlled, pooled query execution core."""
+
+    def __init__(
+        self,
+        lake,
+        config: ServiceConfig,
+        time_source: Callable[[], float] | None = None,
+    ):
+        config.validate()
+        from ..benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES
+        from ..runtime import RUNTIMES
+
+        if config.policy not in POLICY_CHOICES:
+            raise ServiceConfigError(
+                f"unknown policy {config.policy!r}; choose from "
+                f"{sorted(POLICY_CHOICES)}"
+            )
+        if config.network not in NETWORK_CHOICES:
+            raise ServiceConfigError(
+                f"unknown network {config.network!r}; choose from "
+                f"{sorted(NETWORK_CHOICES)}"
+            )
+        if config.runtime not in RUNTIMES:
+            raise ServiceConfigError(
+                f"unknown runtime {config.runtime!r}; choose from {RUNTIMES}"
+            )
+        if config.exec not in EXEC_MODES:
+            raise ServiceConfigError(
+                f"unknown exec mode {config.exec!r}; choose from {EXEC_MODES}"
+            )
+        self.config = config
+        self.pool = EnginePool(
+            lake,
+            size=config.workers,
+            policy=POLICY_CHOICES[config.policy](),
+            network=NETWORK_CHOICES[config.network](),
+            runtime=config.runtime,
+            exec=config.exec,
+            batch_size=config.batch_size,
+            plan_cache_size=config.plan_cache_size,
+            subresult_cache_size=config.subresult_cache_size,
+        )
+        self.admission = AdmissionController(config)
+        self._requests: dict[str, _Request] = {}
+        self._counter = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.global_concurrency,
+            thread_name_prefix="repro-service",
+        )
+        self._now = time_source or time.monotonic
+        self._lifecycles: set[asyncio.Task] = set()
+
+    # -- core operations -----------------------------------------------------
+
+    async def submit(self, payload: object) -> tuple[int, dict]:
+        """Admit one request; returns (HTTP status, response document)."""
+        if not isinstance(payload, dict):
+            return 400, {"error": "bad-request", "detail": "body must be a JSON object"}
+        query = payload.get("query")
+        if not isinstance(query, str) or not query.strip():
+            return 400, {
+                "error": "bad-request",
+                "detail": "field 'query' must be a non-empty string "
+                "(benchmark name or SPARQL text)",
+            }
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            return 400, {
+                "error": "bad-request",
+                "detail": f"field 'tenant' must be a non-empty string, got {tenant!r}",
+            }
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            return 400, {
+                "error": "bad-request",
+                "detail": f"field 'seed' must be an integer, got {seed!r}",
+            }
+        runtime = payload.get("runtime")
+        if runtime is not None:
+            from ..runtime import RUNTIMES
+
+            if runtime not in RUNTIMES:
+                return 400, {
+                    "error": "bad-request",
+                    "detail": f"unknown runtime {runtime!r}; choose from {RUNTIMES}",
+                }
+        exec_mode = payload.get("exec")
+        if exec_mode is not None and exec_mode not in EXEC_MODES:
+            return 400, {
+                "error": "bad-request",
+                "detail": f"unknown exec mode {exec_mode!r}; choose from {EXEC_MODES}",
+            }
+
+        self._counter += 1
+        request_id = f"r-{self._counter:06d}"
+        ticket = self.admission.submit(request_id, tenant, self._now())
+        record = _Request(ticket, query, seed, runtime, exec_mode)
+        self._requests[request_id] = record
+        if ticket.state == SHED:
+            record.finished.set()
+            body = ticket.refusal()
+            body["error"] = "shed"
+            return 429, body
+        task = asyncio.get_running_loop().create_task(self._lifecycle(record))
+        self._lifecycles.add(task)
+        task.add_done_callback(self._lifecycles.discard)
+        self._pump()
+        return 202, {
+            "request_id": request_id,
+            "tenant": tenant,
+            "state": ticket.state,
+            "status_url": f"/queries/{request_id}",
+        }
+
+    def status(self, request_id: str) -> tuple[int, dict]:
+        record = self._requests.get(request_id)
+        if record is None:
+            return 404, {"error": "not-found", "request_id": request_id}
+        ticket = record.ticket
+        body = ticket.to_dict()
+        if record.error is not None:
+            body["state"] = "error"
+            body["detail"] = record.error
+        elif ticket.state == DONE:
+            body["answers"] = len(record.answers or [])
+            if ticket.finished_at is not None:
+                body["latency"] = ticket.finished_at - ticket.submitted_at
+        return 200, body
+
+    def result(self, request_id: str) -> tuple[int, dict]:
+        record = self._requests.get(request_id)
+        if record is None:
+            return 404, {"error": "not-found", "request_id": request_id}
+        ticket = record.ticket
+        if record.error is not None:
+            return 500, {
+                "error": "execution-failed",
+                "request_id": request_id,
+                "detail": record.error,
+            }
+        if ticket.state == SHED:
+            body = ticket.refusal()
+            body["error"] = "shed"
+            return 429, body
+        if ticket.state == TIMED_OUT:
+            body = ticket.refusal()
+            body["error"] = "timeout"
+            return 504, body
+        if ticket.state != DONE:
+            return 409, {
+                "error": "not-ready",
+                "request_id": request_id,
+                "state": ticket.state,
+            }
+        return 200, {
+            "request_id": request_id,
+            "tenant": ticket.tenant,
+            "answers": record.answers,
+            "stats": record.stats,
+        }
+
+    def trace(self, request_id: str) -> tuple[int, dict]:
+        record = self._requests.get(request_id)
+        if record is None:
+            return 404, {"error": "not-found", "request_id": request_id}
+        if record.observation is None:
+            return 404, {
+                "error": "no-trace",
+                "request_id": request_id,
+                "detail": "run not observed (start the service with observe "
+                "on) or not finished",
+            }
+        from ..obs import to_chrome_trace
+
+        ticket = record.ticket
+        label = f"{request_id} tenant={ticket.tenant}"
+        return 200, to_chrome_trace([(label, record.observation)])
+
+    def stats(self) -> tuple[int, dict]:
+        caches = {
+            name: stats.as_dict() for name, stats in self.pool.cache_stats().items()
+        }
+        return 200, {
+            "admission": self.admission.snapshot(),
+            "caches": caches,
+            "pool": {"engines": len(self.pool)},
+            "requests": len(self._requests),
+        }
+
+    async def drain(self) -> None:
+        """Wait for every in-flight lifecycle to finish (tests/shutdown)."""
+        while self._lifecycles:
+            await asyncio.gather(*list(self._lifecycles), return_exceptions=True)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Start every startable queued request."""
+        for ticket in self.admission.start_ready(self._now()):
+            record = self._requests[ticket.request_id]
+            record.started.set()
+        # Tickets the controller expired while pumping surface through
+        # their own lifecycle tasks (the queued-phase wait below).
+
+    async def _lifecycle(self, record: _Request) -> None:
+        ticket = record.ticket
+        # Queued phase: wait for a slot, bounded by the deadline.
+        remaining = None
+        if ticket.deadline is not None:
+            remaining = max(0.0, ticket.deadline - self._now())
+        try:
+            await asyncio.wait_for(record.started.wait(), timeout=remaining)
+        except asyncio.TimeoutError:
+            # Let the controller time the ticket out (it may have been
+            # started concurrently; then just continue below).
+            self.admission.expire_queued(max(self._now(), ticket.deadline))
+            if ticket.state != RUNNING:
+                record.finished.set()
+                return
+        # Running phase.
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, self._run_query, record)
+        remaining = None
+        if ticket.deadline is not None:
+            remaining = max(0.0, ticket.deadline - self._now())
+        timed_out = False
+        try:
+            outcome = await asyncio.wait_for(asyncio.shield(future), timeout=remaining)
+        except asyncio.TimeoutError:
+            timed_out = True
+            record.finished.set()  # client can read the timeout refusal now
+            outcome = await asyncio.gather(future, return_exceptions=True)
+            outcome = outcome[0]
+        except Exception as error:  # execution failed; surface as 500
+            outcome = error
+        if isinstance(outcome, BaseException):
+            record.error = f"{type(outcome).__name__}: {outcome}"
+        else:
+            # Stored even after a timeout: the work is done anyway, and a
+            # late poll of a timed-out request can still see its trace.
+            record.answers, record.stats, record.observation = outcome
+        now = self._now()
+        if timed_out and ticket.deadline is not None:
+            now = max(now, ticket.deadline)
+        self.admission.complete(ticket, now)
+        record.finished.set()
+        self._pump()
+
+    def _run_query(self, record: _Request):
+        """Executor-thread body: borrow an engine, run, serialize."""
+        from ..datasets import BENCHMARK_QUERIES
+
+        named = BENCHMARK_QUERIES.get(record.query)
+        query_text = named.text if named is not None else record.query
+        engine = self.pool.checkout()
+        try:
+            stream = engine.execute(
+                query_text,
+                seed=record.seed,
+                runtime=record.runtime,
+                exec=record.exec,
+                observe=self.config.observe,
+            )
+            answers = stream.collect()
+            stats = stream.stats
+            observation = stream.observation
+            if observation is not None:
+                observation.request_id = record.ticket.request_id
+            return (
+                serialize_answers(answers),
+                {
+                    "answers": stats.answers,
+                    "execution_time": stats.execution_time,
+                    "time_to_first_answer": stats.time_to_first_answer,
+                    "messages": stats.messages,
+                    "cache": stats.cache_summary(),
+                },
+                observation,
+            )
+        finally:
+            self.pool.checkin(engine)
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class ServiceServer:
+    """The asyncio HTTP front of a :class:`QueryService`."""
+
+    def __init__(self, service: QueryService):
+        self.service = service
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, config.host, config.port
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+        self.service.close()
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._handle_one(reader)
+        except Exception as error:  # defensive: never kill the accept loop
+            status, body = 500, {"error": "internal", "detail": str(error)}
+        try:
+            payload = json.dumps(body, sort_keys=True).encode()
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                + ("Retry-After: 1\r\n" if status == 429 else "")
+                + "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + payload)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_one(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "bad-request", "detail": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, __, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                size = int(length)
+            except ValueError:
+                return 400, {"error": "bad-request", "detail": "bad Content-Length"}
+            if size > MAX_BODY_BYTES:
+                return 413, {
+                    "error": "too-large",
+                    "detail": f"body exceeds {MAX_BODY_BYTES} bytes",
+                }
+            body = await reader.readexactly(size)
+        return await self._route(method, path, body)
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        service = self.service
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "method-not-allowed"}
+            return 200, {"status": "ok", "engines": len(service.pool)}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "method-not-allowed"}
+            return service.stats()
+        if path == "/queries":
+            if method != "POST":
+                return 405, {"error": "method-not-allowed"}
+            try:
+                payload = json.loads(body.decode() or "null")
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                return 400, {"error": "bad-request", "detail": f"invalid JSON: {error}"}
+            return await service.submit(payload)
+        if path.startswith("/queries/"):
+            if method != "GET":
+                return 405, {"error": "method-not-allowed"}
+            rest = path[len("/queries/"):]
+            if rest.endswith("/result"):
+                return service.result(rest[: -len("/result")])
+            if rest.endswith("/trace"):
+                return service.trace(rest[: -len("/trace")])
+            if "/" not in rest:
+                return service.status(rest)
+        return 404, {"error": "not-found", "path": path}
+
+
+async def start_service(lake, config: ServiceConfig) -> ServiceServer:
+    """Build and start the HTTP service; returns the running server."""
+    server = ServiceServer(QueryService(lake, config))
+    await server.start()
+    return server

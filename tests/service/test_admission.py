@@ -1,0 +1,332 @@
+"""Admission-control invariants, unit-tested and property-tested.
+
+The property half drives the controller through hundreds of seeded random
+schedules (random limits, tenants, arrival patterns, completion orders,
+deadlines) and checks, for every one:
+
+* no accepted request is ever dropped — each reaches exactly one terminal
+  state (done / timeout / shed);
+* per-tenant FIFO ordering holds;
+* the global and per-tenant concurrency limits hold at every instant
+  (re-verified post-hoc by :func:`audit_schedule` from the ticket log);
+* every refusal is structured — a shed or timed-out ticket names its
+  reason and the limit that triggered it.
+"""
+
+import random
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    DONE,
+    QUEUED,
+    RUNNING,
+    SHED,
+    ServiceConfig,
+    ServiceConfigError,
+    TIMED_OUT,
+    TenantConfig,
+    Ticket,
+    audit_schedule,
+)
+from repro.service.admission import (
+    REASON_TENANT_QUEUE_FULL,
+    REASON_UNKNOWN_TENANT,
+)
+
+
+def make_config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        global_concurrency=2,
+        timeout=None,
+        default_tenant=TenantConfig(name="default", max_concurrency=1, queue_depth=2),
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# -- deterministic unit tests -------------------------------------------------
+
+
+def test_fifo_within_tenant():
+    ctl = AdmissionController(make_config(global_concurrency=1))
+    first = ctl.submit("r1", "a", 0.0)
+    second = ctl.submit("r2", "a", 1.0)
+    assert ctl.start_ready(1.0) == [first]
+    ctl.complete(first, 2.0)
+    assert ctl.start_ready(2.0) == [second]
+    assert second.started_at == 2.0
+
+
+def test_no_cross_tenant_head_of_line_blocking():
+    # Tenant "a" saturates its per-tenant limit; the younger request of
+    # tenant "b" must start anyway (skipped, not blocked).
+    ctl = AdmissionController(make_config(global_concurrency=4))
+    blocked = ctl.submit("r1", "a", 0.0)
+    waiting = ctl.submit("r2", "a", 0.1)
+    younger = ctl.submit("r3", "b", 0.2)
+    started = ctl.start_ready(0.2)
+    assert [ticket.request_id for ticket in started] == ["r1", "r3"]
+    assert waiting.state == QUEUED
+    ctl.complete(blocked, 1.0)
+    assert ctl.start_ready(1.0) == [waiting]
+    assert younger.state == RUNNING
+
+
+def test_global_limit_holds():
+    ctl = AdmissionController(
+        make_config(
+            global_concurrency=2,
+            default_tenant=TenantConfig(
+                name="default", max_concurrency=5, queue_depth=10
+            ),
+        )
+    )
+    for index in range(4):
+        ctl.submit(f"r{index}", "a", float(index) / 10)
+    assert len(ctl.start_ready(1.0)) == 2
+    assert ctl.running == 2
+    assert ctl.queued == 2
+
+
+def test_queue_depth_sheds_with_structured_refusal():
+    ctl = AdmissionController(
+        make_config(
+            global_concurrency=1,
+            default_tenant=TenantConfig(
+                name="default", max_concurrency=1, queue_depth=1
+            ),
+        )
+    )
+    ctl.submit("r1", "a", 0.0)
+    ctl.start_ready(0.0)
+    ctl.submit("r2", "a", 0.1)  # fills the queue
+    shed = ctl.submit("r3", "a", 0.2)
+    assert shed.state == SHED
+    assert shed.reason == REASON_TENANT_QUEUE_FULL
+    refusal = shed.refusal()
+    assert refusal["request_id"] == "r3"
+    assert refusal["reason"] == REASON_TENANT_QUEUE_FULL
+    assert refusal["state"] == SHED
+    # A shed never consumed queue space: the queued request still starts.
+    assert ctl.queued_for("a") == 1
+
+
+def test_strict_tenants_shed_unknown():
+    config = make_config(strict_tenants=True, tenants={"acme": TenantConfig("acme")})
+    ctl = AdmissionController(config)
+    shed = ctl.submit("r1", "evil", 0.0)
+    assert shed.state == SHED
+    assert shed.reason == REASON_UNKNOWN_TENANT
+    ok = ctl.submit("r2", "acme", 0.1)
+    assert ok.state == QUEUED
+
+
+def test_queued_timeout_stamps_deadline():
+    ctl = AdmissionController(make_config(global_concurrency=1, timeout=5.0))
+    running = ctl.submit("r1", "a", 0.0)
+    ctl.start_ready(0.0)
+    queued = ctl.submit("r2", "b", 1.0)
+    # Nothing frees a slot before r2's deadline (6.0); expiry happens at
+    # the next pump, but finished_at records the exact deadline.
+    assert ctl.start_ready(10.0) == []
+    assert queued.state == TIMED_OUT
+    assert queued.reason == "queued-timeout"
+    assert queued.finished_at == 6.0
+    assert queued.started_at is None
+    assert running.state == RUNNING  # still holds its slot
+
+
+def test_running_timeout_on_late_completion():
+    ctl = AdmissionController(make_config(timeout=2.0))
+    ticket = ctl.submit("r1", "a", 0.0)
+    ctl.start_ready(0.0)
+    ctl.complete(ticket, 5.0)
+    assert ticket.state == TIMED_OUT
+    assert ticket.reason == "running-timeout"
+    assert ctl.running == 0  # the slot was released on actual completion
+
+
+def test_complete_requires_running():
+    ctl = AdmissionController(make_config())
+    ticket = ctl.submit("r1", "a", 0.0)
+    with pytest.raises(ValueError, match="cannot complete ticket 'r1'"):
+        ctl.complete(ticket, 1.0)
+
+
+def test_metrics_add_up():
+    ctl = AdmissionController(
+        make_config(
+            global_concurrency=1,
+            default_tenant=TenantConfig(
+                name="default", max_concurrency=1, queue_depth=1
+            ),
+        )
+    )
+    first = ctl.submit("r1", "a", 0.0)
+    ctl.start_ready(0.0)
+    ctl.submit("r2", "a", 0.1)
+    ctl.submit("r3", "a", 0.2)  # shed
+    ctl.complete(first, 1.0)
+    ctl.start_ready(1.0)
+    metrics = ctl.metrics.to_dict()
+    assert metrics["submitted"] == 3
+    assert metrics["shed"] == 1
+    assert metrics["started"] == 2
+    assert metrics["completed"] == 1
+    assert metrics["shed_by_reason"] == {REASON_TENANT_QUEUE_FULL: 1}
+
+
+def test_audit_flags_fabricated_violations():
+    config = make_config(global_concurrency=1, timeout=None)
+    overlapping = [
+        Ticket("r1", "a", 0.0, seq=1, state=DONE, started_at=0.0, finished_at=2.0),
+        Ticket("r2", "a", 0.5, seq=2, state=DONE, started_at=1.0, finished_at=3.0),
+    ]
+    violations = audit_schedule(overlapping, config)
+    assert any("exceeds the global limit" in violation for violation in violations)
+    out_of_order = [
+        Ticket("r1", "a", 0.0, seq=1, state=DONE, started_at=5.0, finished_at=6.0),
+        Ticket("r2", "a", 0.5, seq=2, state=DONE, started_at=1.0, finished_at=2.0),
+    ]
+    violations = audit_schedule(out_of_order, config)
+    assert any("FIFO violation" in violation for violation in violations)
+    dropped = [Ticket("r1", "a", 0.0, seq=1, state=QUEUED)]
+    violations = audit_schedule(dropped, config)
+    assert any("dropped" in violation for violation in violations)
+
+
+# -- property-style randomized schedules --------------------------------------
+
+
+def run_random_schedule(seed: int):
+    """Drive one random schedule to completion; returns (config, ctl, tickets)."""
+    rng = random.Random(seed)
+    tenant_count = rng.randint(1, 4)
+    strict = rng.random() < 0.25
+    roster = {}
+    if strict or rng.random() < 0.5:
+        for index in range(tenant_count):
+            name = f"t{index}"
+            roster[name] = TenantConfig(
+                name=name,
+                max_concurrency=rng.randint(1, 3),
+                queue_depth=rng.randint(1, 4),
+            )
+    config = ServiceConfig(
+        global_concurrency=rng.randint(1, 5),
+        timeout=rng.choice([None, round(rng.uniform(0.5, 4.0), 3)]),
+        default_tenant=TenantConfig(
+            name="default",
+            max_concurrency=rng.randint(1, 3),
+            queue_depth=rng.randint(1, 4),
+        ),
+        tenants=roster,
+        strict_tenants=strict,
+    )
+    ctl = AdmissionController(config)
+    tickets: list = []
+    running: list = []
+    now = 0.0
+
+    def pump():
+        running.extend(ctl.start_ready(now))
+
+    total = rng.randint(5, 40)
+    for index in range(total):
+        now += rng.random() * 0.8
+        # Strict configs see occasional unknown tenants (must shed, not crash).
+        tenant = (
+            "unknown"
+            if strict and rng.random() < 0.15
+            else f"t{rng.randrange(tenant_count)}"
+        )
+        tickets.append(ctl.submit(f"r{index}", tenant, now))
+        pump()
+        while running and rng.random() < 0.4:
+            now += rng.random() * 0.8
+            ctl.complete(running.pop(rng.randrange(len(running))), now)
+            pump()
+    # Drain: finish everything still running; queued tickets either start
+    # into freed slots or expire past their deadline.
+    guard = 0
+    while running or ctl.queued:
+        guard += 1
+        assert guard < 10_000, "drain loop did not converge"
+        now += rng.random() + 0.05
+        if running:
+            ctl.complete(running.pop(rng.randrange(len(running))), now)
+        pump()
+    return config, ctl, tickets
+
+
+@pytest.mark.parametrize("seed", range(250))
+def test_random_schedule_invariants(seed):
+    config, ctl, tickets = run_random_schedule(seed)
+
+    # The post-hoc auditor re-verifies FIFO + limits from the log alone.
+    assert audit_schedule(tickets, config) == []
+
+    # No accepted request is dropped: every ticket is terminal, exactly one way.
+    for ticket in tickets:
+        assert ticket.state in (DONE, SHED, TIMED_OUT), ticket
+        if ticket.state == SHED:
+            assert ticket.reason in (REASON_TENANT_QUEUE_FULL, REASON_UNKNOWN_TENANT)
+            assert ticket.started_at is None
+            refusal = ticket.refusal()
+            assert refusal["reason"] == ticket.reason
+            assert refusal["tenant"] == ticket.tenant
+        elif ticket.state == TIMED_OUT:
+            assert ticket.reason in ("queued-timeout", "running-timeout")
+            if ticket.reason == "queued-timeout":
+                assert ticket.started_at is None
+                assert ticket.finished_at == ticket.deadline
+            else:
+                assert ticket.started_at is not None
+                assert ticket.finished_at > ticket.deadline
+        else:
+            assert ticket.started_at is not None
+            assert ticket.finished_at is not None
+            assert ticket.submitted_at <= ticket.started_at <= ticket.finished_at
+            if ticket.deadline is not None:
+                assert ticket.finished_at <= ticket.deadline
+
+    # All slots were released.
+    assert ctl.running == 0
+    assert ctl.queued == 0
+
+    # The lifetime counters agree with the per-ticket outcomes.
+    outcomes = {DONE: 0, SHED: 0, TIMED_OUT: 0}
+    started = 0
+    for ticket in tickets:
+        outcomes[ticket.state] += 1
+        if ticket.started_at is not None:
+            started += 1
+    assert ctl.metrics.submitted == len(tickets)
+    assert ctl.metrics.shed == outcomes[SHED]
+    assert ctl.metrics.completed == outcomes[DONE]
+    assert ctl.metrics.timed_out == outcomes[TIMED_OUT]
+    assert ctl.metrics.started == started
+
+
+def test_random_schedules_exercise_every_outcome():
+    """Sanity: across the seeds, shedding and both timeout kinds occur."""
+    reasons = set()
+    states = set()
+    for seed in range(250):
+        __, __, tickets = run_random_schedule(seed)
+        for ticket in tickets:
+            states.add(ticket.state)
+            if ticket.reason:
+                reasons.add(ticket.reason)
+    assert states == {DONE, SHED, TIMED_OUT}
+    assert REASON_TENANT_QUEUE_FULL in reasons
+    assert REASON_UNKNOWN_TENANT in reasons
+    assert "queued-timeout" in reasons
+    assert "running-timeout" in reasons
+
+
+def test_controller_rejects_invalid_config():
+    with pytest.raises(ServiceConfigError):
+        AdmissionController(ServiceConfig(global_concurrency=0))

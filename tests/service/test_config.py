@@ -1,0 +1,246 @@
+"""Service/tenant config validation — every bad value, its exact message.
+
+Covers the raw :class:`ServiceConfig` API and the ``repro serve --check``
+CLI path (which must fail fast with exit code 2 and the same message on
+stderr, never a traceback).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.service import ServiceConfig, ServiceConfigError, TenantConfig
+
+
+# -- ServiceConfig.validate ---------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "port", [-1, 65536, 70000, "8089", 8089.0, None]
+)
+def test_bad_port_rejected(port):
+    with pytest.raises(ServiceConfigError, match="port must be an integer in 0..65535"):
+        ServiceConfig(port=port).validate()
+
+
+def test_port_zero_means_ephemeral():
+    ServiceConfig(port=0).validate()  # does not raise
+
+
+@pytest.mark.parametrize("workers", [0, -3, 1.5, "4"])
+def test_bad_workers_rejected(workers):
+    with pytest.raises(ServiceConfigError, match="workers must be a positive integer"):
+        ServiceConfig(workers=workers).validate()
+
+
+@pytest.mark.parametrize("concurrency", [0, -1, "8"])
+def test_bad_global_concurrency_rejected(concurrency):
+    with pytest.raises(
+        ServiceConfigError, match="global_concurrency must be a positive integer"
+    ):
+        ServiceConfig(global_concurrency=concurrency).validate()
+
+
+@pytest.mark.parametrize("timeout", [0, -1, -0.5, "30"])
+def test_bad_timeout_rejected(timeout):
+    with pytest.raises(
+        ServiceConfigError, match=r"timeout must be positive \(or None to disable\)"
+    ):
+        ServiceConfig(timeout=timeout).validate()
+
+
+def test_none_timeout_disables_deadlines():
+    ServiceConfig(timeout=None).validate()  # does not raise
+
+
+@pytest.mark.parametrize("size", [0, -10])
+def test_bad_cache_sizes_rejected(size):
+    with pytest.raises(ServiceConfigError, match="plan_cache_size must be a positive"):
+        ServiceConfig(plan_cache_size=size).validate()
+    with pytest.raises(
+        ServiceConfigError, match="subresult_cache_size must be a positive"
+    ):
+        ServiceConfig(subresult_cache_size=size).validate()
+
+
+def test_roster_key_name_mismatch_rejected():
+    config = ServiceConfig(tenants={"acme": TenantConfig(name="globex")})
+    with pytest.raises(ServiceConfigError, match="roster key 'acme' does not match"):
+        config.validate()
+
+
+# -- TenantConfig -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("value", [0, -2, 1.5])
+def test_tenant_bad_max_concurrency(value):
+    with pytest.raises(
+        ServiceConfigError, match="'acme': max_concurrency must be a positive integer"
+    ):
+        TenantConfig(name="acme", max_concurrency=value).validate()
+
+
+@pytest.mark.parametrize("value", [0, -1, "16"])
+def test_tenant_bad_queue_depth(value):
+    with pytest.raises(
+        ServiceConfigError, match="'acme': queue_depth must be a positive integer"
+    ):
+        TenantConfig(name="acme", queue_depth=value).validate()
+
+
+@pytest.mark.parametrize("value", [0, -1.0, "heavy"])
+def test_tenant_bad_weight(value):
+    with pytest.raises(ServiceConfigError, match="'acme': weight must be a positive"):
+        TenantConfig(name="acme", weight=value).validate()
+
+
+def test_tenant_unknown_key_rejected():
+    with pytest.raises(
+        ServiceConfigError, match=r"'acme': unknown config keys \['max_conc'\]"
+    ):
+        TenantConfig.from_dict("acme", {"max_conc": 4})
+
+
+def test_tenant_non_object_payload_rejected():
+    with pytest.raises(ServiceConfigError, match="'acme': config must be an object"):
+        TenantConfig.from_dict("acme", [4, 32])
+
+
+# -- tenant roster JSON -------------------------------------------------------
+
+
+def test_tenants_json_roundtrip():
+    text = json.dumps(
+        {
+            "acme": {"max_concurrency": 4, "queue_depth": 32, "weight": 3.0},
+            "globex": {"max_concurrency": 1},
+        }
+    )
+    config = ServiceConfig().with_tenants_json(text)
+    assert config.tenant("acme").max_concurrency == 4
+    assert config.tenant("globex").queue_depth == 16  # default fills in
+    # Unknown tenants fall back to the default limits, renamed.
+    assert config.tenant("initech").max_concurrency == 2
+    assert config.tenant("initech").name == "initech"
+
+
+def test_tenants_json_invalid_json():
+    with pytest.raises(
+        ServiceConfigError, match="tenants.json: tenant config is not valid JSON"
+    ):
+        ServiceConfig().with_tenants_json("{nope", source="tenants.json")
+
+
+def test_tenants_json_not_an_object():
+    with pytest.raises(
+        ServiceConfigError, match="must be a JSON object mapping tenant names"
+    ):
+        ServiceConfig().with_tenants_json("[1, 2]")
+
+
+def test_strict_tenants_rejects_unknown():
+    config = ServiceConfig(
+        strict_tenants=True, tenants={"acme": TenantConfig(name="acme")}
+    )
+    with pytest.raises(
+        ServiceConfigError, match=r"unknown tenant 'evil' .*roster: \['acme'\]"
+    ):
+        config.tenant("evil")
+
+
+def test_describe_lists_roster():
+    config = ServiceConfig().with_tenants_json(
+        json.dumps({"acme": {"max_concurrency": 4}})
+    )
+    text = config.describe()
+    assert "tenant acme" in text
+    assert "concurrency=4" in text
+
+
+# -- the CLI path (`repro serve --check`) -------------------------------------
+
+
+def _serve_check(capsys, *args):
+    code = cli_main(["serve", "--check", *args])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_cli_valid_config_prints_summary(capsys):
+    code, out, err = _serve_check(capsys, "--port", "8089", "--workers", "2")
+    assert code == 0
+    assert "listen        127.0.0.1:8089" in out
+    assert "workers       2 engines" in out
+    assert err == ""
+
+
+@pytest.mark.parametrize(
+    "args, message",
+    [
+        (["--port", "-5"], "port must be an integer in 0..65535"),
+        (["--port", "70000"], "port must be an integer in 0..65535"),
+        (["--workers", "0"], "workers must be a positive integer, got 0"),
+        (["--workers", "-2"], "workers must be a positive integer, got -2"),
+        (
+            ["--global-concurrency", "0"],
+            "global_concurrency must be a positive integer, got 0",
+        ),
+        (["--timeout", "-1"], "timeout must be positive (or None to disable)"),
+        (["--timeout", "0"], "timeout must be positive (or None to disable)"),
+        (
+            ["--tenant-concurrency", "0"],
+            "max_concurrency must be a positive integer, got 0",
+        ),
+        (["--tenant-queue-depth", "-1"], "queue_depth must be a positive integer"),
+    ],
+)
+def test_cli_bad_values_exit_2_with_message(capsys, args, message):
+    code, __, err = _serve_check(capsys, *args)
+    assert code == 2
+    assert message in err
+    assert "Traceback" not in err
+
+
+def test_cli_no_timeout_flag(capsys):
+    code, out, __ = _serve_check(capsys, "--no-timeout")
+    assert code == 0
+    assert "timeout=off" in out
+
+
+def test_cli_malformed_tenants_file(capsys, tmp_path):
+    bad = tmp_path / "tenants.json"
+    bad.write_text('{"acme": {"max_conc": 4}}')
+    code, __, err = _serve_check(capsys, "--tenants", str(bad))
+    assert code == 2
+    assert "unknown config keys ['max_conc']" in err
+
+
+def test_cli_tenants_file_not_json(capsys, tmp_path):
+    bad = tmp_path / "tenants.json"
+    bad.write_text("not json")
+    code, __, err = _serve_check(capsys, "--tenants", str(bad))
+    assert code == 2
+    assert "tenant config is not valid JSON" in err
+
+
+def test_cli_missing_tenants_file(capsys, tmp_path):
+    code, __, err = _serve_check(capsys, "--tenants", str(tmp_path / "absent.json"))
+    assert code == 2
+    assert "absent.json" in err
+
+
+def test_cli_tenants_roster_applied(capsys, tmp_path):
+    roster = tmp_path / "tenants.json"
+    roster.write_text(json.dumps({"acme": {"max_concurrency": 7, "queue_depth": 3}}))
+    code, out, __ = _serve_check(capsys, "--tenants", str(roster))
+    assert code == 0
+    assert "tenant acme" in out
+    assert "concurrency=7" in out
+
+
+def test_cli_loadtest_rejects_bad_spec(capsys):
+    code = cli_main(["loadtest", "--clients", "0"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "clients must be positive, got 0" in err

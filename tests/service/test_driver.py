@@ -1,0 +1,167 @@
+"""The load driver's determinism contract and workload semantics.
+
+The headline guarantee: two runs with the same seed produce bit-identical
+request outcomes (per-request states, virtual timestamps, answer counts)
+and identical shared-cache counter totals.  Wall-clock quantities are
+measured but deliberately excluded from the fingerprint.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import validate_chrome_trace
+from repro.service import (
+    DriverReport,
+    ServiceConfig,
+    TenantConfig,
+    WorkloadSpec,
+    run_load,
+)
+from repro.service.driver import _percentile
+
+SMALL_SPEC = WorkloadSpec(
+    clients=40,
+    requests_per_client=2,
+    tenants=3,
+    cold_variants=4,
+    mean_interarrival=0.2,
+    mean_think=1.0,
+)
+
+CONFIG = ServiceConfig(workers=2, global_concurrency=4, timeout=20.0)
+
+# A deliberately overloaded deployment: tiny limits, aggressive arrivals,
+# tight deadlines — sheds and both timeout kinds must show up.
+TIGHT_CONFIG = ServiceConfig(
+    workers=1,
+    global_concurrency=1,
+    timeout=0.004,
+    default_tenant=TenantConfig(name="default", max_concurrency=1, queue_depth=2),
+)
+TIGHT_SPEC = WorkloadSpec(
+    clients=60,
+    requests_per_client=2,
+    tenants=2,
+    cold_variants=2,
+    mean_interarrival=0.001,
+    mean_think=0.002,
+)
+
+
+def fingerprint_fields(report: DriverReport):
+    return [result.key() for result in report.results]
+
+
+def test_same_seed_same_everything(small_lslod_lake):
+    first = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    second = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    assert first.fingerprint() == second.fingerprint()
+    assert fingerprint_fields(first) == fingerprint_fields(second)
+    assert first.cache_stats == second.cache_stats
+    assert first.executions == second.executions
+    # Every per-request field, not just the hashed projection.
+    for left, right in zip(first.results, second.results):
+        assert dataclasses.asdict(left) == dataclasses.asdict(right)
+
+
+def test_different_seed_different_schedule(small_lslod_lake):
+    first = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    second = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=12)
+    assert first.fingerprint() != second.fingerprint()
+
+
+def test_clean_run_completes_everything(small_lslod_lake):
+    report = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    summary = report.summary()
+    assert summary["requests"] == SMALL_SPEC.clients * SMALL_SPEC.requests_per_client
+    assert summary["completed"] == summary["requests"]
+    assert summary["shed"] == summary["timed_out"] == 0
+    assert summary["answer_mismatches"] == 0
+    assert summary["audit_violations"] == 0
+    assert summary["latency_p50"] > 0
+    assert summary["latency_p50"] <= summary["latency_p95"] <= summary["latency_p99"]
+    assert summary["throughput_per_virtual_s"] > 0
+    # The hot/cold mix exercised the shared caches.
+    assert summary["cache"]["plans"]["hits"] > 0
+    assert summary["cache"]["subresults"]["hits"] > 0
+    # Completed requests all carry answers; nothing else does.
+    for result in report.results:
+        assert (result.answers is not None) == (result.outcome == "done")
+
+
+def test_overload_sheds_and_times_out_deterministically(small_lslod_lake):
+    report = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=3)
+    summary = report.summary()
+    outcomes = report.outcomes()
+    assert outcomes["shed"] > 0
+    assert outcomes["timeout"] > 0
+    assert summary["shed_rate"] > 0
+    # Overload never corrupts the schedule: the auditor stays clean.
+    assert report.audit_violations == []
+    assert report.mismatches == []
+    reasons = {result.reason for result in report.results if result.reason}
+    assert "tenant-queue-full" in reasons
+    assert reasons & {"queued-timeout", "running-timeout"}
+    # And the chaos is reproducible bit for bit.
+    again = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=3)
+    assert again.fingerprint() == report.fingerprint()
+
+
+def test_tenant_skew_is_applied(small_lslod_lake):
+    spec = dataclasses.replace(SMALL_SPEC, clients=80, tenant_skew=2.0)
+    report = run_load(
+        small_lslod_lake, CONFIG, spec, seed=5, verify_answers=False
+    )
+    per_tenant = report.summary()["per_tenant"]
+    head = sum(per_tenant.get("t0", {}).values())
+    tail = sum(per_tenant.get("t2", {}).values())
+    assert head > tail  # Zipf head tenant dominates
+
+
+def test_report_document_shape(small_lslod_lake):
+    report = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    document = report.to_dict()
+    assert set(document) >= {"seed", "spec", "summary", "admission", "fingerprint"}
+    assert "requests" not in document
+    embedded = report.to_dict(include_requests=True)
+    assert len(embedded["requests"]) == len(report.results)
+    admission = document["admission"]["metrics"]
+    assert admission["submitted"] == len(report.results)
+
+
+def test_chrome_trace_export_validates(small_lslod_lake):
+    report = run_load(small_lslod_lake, CONFIG, SMALL_SPEC, seed=11)
+    trace = report.to_chrome_trace()
+    assert validate_chrome_trace(trace) == []
+    assert len(trace["traceEvents"]) > len(report.results)  # >=2 spans per run
+
+
+def test_unknown_query_name_rejected(small_lslod_lake):
+    spec = dataclasses.replace(SMALL_SPEC, hot_queries=("Q99",))
+    with pytest.raises(ValueError, match=r"unknown benchmark queries .*Q99"):
+        run_load(small_lslod_lake, CONFIG, spec, seed=1)
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        (dict(clients=0), "clients must be positive"),
+        (dict(requests_per_client=0), "requests_per_client must be positive"),
+        (dict(tenants=0), "tenants must be positive"),
+        (dict(hot_fraction=1.5), r"hot_fraction must be in \[0, 1\]"),
+        (dict(hot_queries=(), cold_queries=()), "at least one of hot/cold"),
+    ],
+)
+def test_spec_validation(overrides, message):
+    with pytest.raises(ValueError, match=message):
+        dataclasses.replace(WorkloadSpec(), **overrides).validate()
+
+
+def test_percentiles_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert _percentile(values, 0.50) == 5.0
+    assert _percentile(values, 0.95) == 10.0
+    assert _percentile(values, 0.99) == 10.0
+    assert _percentile([], 0.5) == 0.0
+    assert _percentile([7.0], 0.99) == 7.0

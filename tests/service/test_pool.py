@@ -1,0 +1,202 @@
+"""Engine pool + shared-cache concurrency regression tests.
+
+The PR-1 caches were engine-local and only ever touched from one engine's
+runtimes; pooling N engines over one registry exposed the classic lost
+update on ``hits += 1``/``misses += 1``.  The LRU is internally locked
+now, and these tests hammer a shared registry from many threads — row and
+batch data planes — asserting *exact* answers and *exact* counter totals
+(with lost updates, ``hits + misses`` undercounts the lookups).
+"""
+
+import threading
+
+import pytest
+
+from repro.benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES
+from repro.cache import CacheRegistry
+from repro.core.engine import FederatedEngine
+from repro.datasets import BENCHMARK_QUERIES
+from repro.service import EnginePool
+from repro.service.server import serialize_answers
+
+RUN_SEED = 7
+
+
+def make_pool(lake, size=4, exec="batch"):
+    return EnginePool(
+        lake,
+        size=size,
+        policy=POLICY_CHOICES["aware"](),
+        network=NETWORK_CHOICES["nodelay"](),
+        exec=exec,
+    )
+
+
+# -- pool basics --------------------------------------------------------------
+
+
+def test_pool_size_validation(small_lslod_lake):
+    with pytest.raises(ValueError, match="pool size must be a positive integer"):
+        make_pool(small_lslod_lake, size=0)
+
+
+def test_round_robin_and_checkout(small_lslod_lake):
+    pool = make_pool(small_lslod_lake, size=3)
+    assert len(pool) == 3
+    assert pool.engine_for(0) is pool.engine_for(3)
+    assert pool.engine_for(1) is not pool.engine_for(2)
+    borrowed = [pool.checkout() for __ in range(3)]
+    assert len(set(map(id, borrowed))) == 3
+    for engine in borrowed:
+        pool.checkin(engine)
+
+
+def test_engines_share_one_registry(small_lslod_lake):
+    pool = make_pool(small_lslod_lake, size=3)
+    registries = {id(engine.caches) for engine in pool.engines}
+    assert registries == {id(pool.caches)}
+
+
+def test_shared_registry_opt_in_only(small_lslod_lake):
+    # Engines built without `caches=` keep private registries (the PR-1
+    # default), so pooling is strictly opt-in.
+    one = FederatedEngine(small_lslod_lake)
+    other = FederatedEngine(small_lslod_lake)
+    assert one.caches is not other.caches
+    shared = CacheRegistry()
+    assert FederatedEngine(small_lslod_lake, caches=shared).caches is shared
+
+
+def test_plan_warmed_by_one_engine_hits_on_another(small_lslod_lake):
+    pool = make_pool(small_lslod_lake, size=2)
+    text = BENCHMARK_QUERIES["Q1"].text
+    cold, cold_stats = pool.engine_for(0).run(text, seed=RUN_SEED)
+    warm, warm_stats = pool.engine_for(1).run(text, seed=RUN_SEED)
+    assert serialize_answers(cold) == serialize_answers(warm)
+    assert not cold_stats.plan_cache_hit
+    assert warm_stats.plan_cache_hit  # engine 1 never planned this query
+    # Virtual time is cache-neutral: the warm run re-charges the same delays.
+    assert warm_stats.execution_time == cold_stats.execution_time
+
+
+# -- the concurrency hammer ---------------------------------------------------
+
+
+def lookup_totals(lake, query_names, exec):
+    """Per-run plan/sub-result lookup counts (deterministic per query)."""
+    totals = {}
+    for name in query_names:
+        pool = make_pool(lake, size=1, exec=exec)
+        pool.engine_for(0).run(BENCHMARK_QUERIES[name].text, seed=RUN_SEED)
+        stats = pool.cache_stats()
+        totals[name] = {
+            kind: stats[kind].hits + stats[kind].misses
+            for kind in ("plans", "subresults")
+        }
+    return totals
+
+
+@pytest.mark.parametrize("exec", ["row", "batch"])
+def test_hammer_shared_caches_exact_answers_and_counters(small_lslod_lake, exec):
+    queries = ["Q1", "Q2", "Q3"]
+    expected = {
+        name: serialize_answers(
+            FederatedEngine(
+                small_lslod_lake,
+                policy=POLICY_CHOICES["aware"](),
+                network=NETWORK_CHOICES["nodelay"](),
+                exec=exec,
+            ).run(BENCHMARK_QUERIES[name].text, seed=RUN_SEED)[0]
+        )
+        for name in queries
+    }
+    per_run = lookup_totals(small_lslod_lake, queries, exec)
+
+    pool = make_pool(small_lslod_lake, size=4, exec=exec)
+    threads = 8
+    rounds = 4
+    barrier = threading.Barrier(threads)
+    failures: list[str] = []
+
+    def worker(worker_id: int) -> None:
+        barrier.wait()  # maximize cache contention at the start
+        for round_index in range(rounds):
+            name = queries[(worker_id + round_index) % len(queries)]
+            engine = pool.checkout()
+            try:
+                answers, __ = engine.run(BENCHMARK_QUERIES[name].text, seed=RUN_SEED)
+            finally:
+                pool.checkin(engine)
+            if serialize_answers(answers) != expected[name]:
+                failures.append(f"worker {worker_id} round {round_index}: {name}")
+
+    pool_threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool_threads:
+        thread.start()
+    for thread in pool_threads:
+        thread.join()
+
+    assert failures == []
+
+    # Exact totals: every run performs a fixed, cache-state-independent
+    # number of lookups, so hits + misses must equal the sum over all runs.
+    # A lost counter update (the pre-fix race) breaks this equality.
+    runs_per_query = {name: 0 for name in queries}
+    for worker_id in range(threads):
+        for round_index in range(rounds):
+            runs_per_query[queries[(worker_id + round_index) % len(queries)]] += 1
+    stats = pool.cache_stats()
+    for kind in ("plans", "subresults"):
+        expected_lookups = sum(
+            per_run[name][kind] * count for name, count in runs_per_query.items()
+        )
+        observed = stats[kind].hits + stats[kind].misses
+        assert observed == expected_lookups, (
+            f"{kind}: {observed} recorded lookups != {expected_lookups} performed "
+            f"(lost counter updates)"
+        )
+    # Every plan key was computed at least once and no key was evicted, so
+    # the plan cache holds exactly the distinct queries.
+    assert stats["plans"].size == len(queries)
+    assert stats["plans"].misses >= len(queries)
+
+
+def test_hammer_single_lru_counters_exact():
+    """The raw LRU under contention: no lost hit/miss/eviction updates."""
+    from repro.cache import LRUCache
+
+    cache = LRUCache(capacity=64)
+    for key in range(64):
+        cache.put(key, key)
+    threads = 8
+    lookups = 2048  # a multiple of the 128-key period: exactly half hit
+    barrier = threading.Barrier(threads)
+
+    def worker(worker_id: int) -> None:
+        barrier.wait()
+        for index in range(lookups):
+            cache.get((worker_id + index) % 128)  # half hit, half miss
+
+    pool_threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool_threads:
+        thread.start()
+    for thread in pool_threads:
+        thread.join()
+    stats = cache.stats()
+    assert stats.hits + stats.misses == threads * lookups
+    assert stats.hits == threads * lookups // 2
+
+
+def test_clear_caches_resets_entries_not_counters(small_lslod_lake):
+    pool = make_pool(small_lslod_lake, size=2)
+    pool.engine_for(0).run(BENCHMARK_QUERIES["Q1"].text, seed=RUN_SEED)
+    before = pool.cache_stats()["plans"]
+    assert before.size == 1
+    pool.clear_caches()
+    after = pool.cache_stats()["plans"]
+    assert after.size == 0
+    assert after.misses == before.misses  # counters survive a clear

@@ -1,0 +1,82 @@
+"""Replay the oracle regression corpus through the service path.
+
+Every committed :class:`FuzzCase` is submitted over real HTTP
+(submit -> poll -> fetch) and the returned answers must be bit-identical
+to a direct :class:`FederatedEngine` run — under all three runtimes, via
+the service's per-request runtime override.  This pins the service stack
+(admission, pooling, shared caches, executor threads, JSON transport) as
+answer-preserving on exactly the corpus that once found engine bugs.
+"""
+
+import asyncio
+from pathlib import Path
+
+import pytest
+
+from repro.benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES
+from repro.core.engine import FederatedEngine
+from repro.oracle import FuzzCase, build_lake
+from repro.runtime import RUNTIMES
+from repro.service import QueryService, ServiceConfig, ServiceServer
+from repro.service.server import serialize_answers
+
+from .test_server import http, poll_until_terminal
+
+REGRESSIONS_DIR = Path(__file__).parent.parent / "oracle" / "regressions"
+REGRESSION_FILES = sorted(REGRESSIONS_DIR.glob("*.json"))
+
+RUN_SEED = 7
+
+
+@pytest.mark.parametrize("path", REGRESSION_FILES, ids=lambda path: path.stem)
+def test_service_path_is_answer_preserving(path):
+    case = FuzzCase.from_json(path.read_text())
+    lake = build_lake(case.layout)
+    sparql = case.sparql()
+    engine = FederatedEngine(
+        lake,
+        policy=POLICY_CHOICES["aware"](),
+        network=NETWORK_CHOICES["nodelay"](),
+    )
+    expected = {
+        runtime: serialize_answers(
+            engine.run(sparql, seed=RUN_SEED, runtime=runtime)[0]
+        )
+        for runtime in RUNTIMES
+    }
+    config = ServiceConfig(port=0, workers=2, global_concurrency=2)
+
+    async def scenario():
+        service = QueryService(lake, config)
+        server = ServiceServer(service)
+        await server.start()
+        try:
+            collected = {}
+            for runtime in RUNTIMES:
+                status, __h, body = await http(
+                    server.port,
+                    "POST",
+                    "/queries",
+                    {"query": sparql, "seed": RUN_SEED, "runtime": runtime},
+                )
+                assert status == 202, body
+                terminal = await poll_until_terminal(server.port, body["request_id"])
+                assert terminal["state"] == "done", terminal
+                __s, __h, result = await http(
+                    server.port, "GET", f"/queries/{body['request_id']}/result"
+                )
+                collected[runtime] = result["answers"]
+            return collected
+        finally:
+            await server.close()
+
+    observed = asyncio.run(scenario())
+    for runtime in RUNTIMES:
+        assert observed[runtime] == expected[runtime], (
+            f"{path.stem}: service answers diverge from the direct engine "
+            f"under runtime {runtime!r}"
+        )
+
+
+def test_corpus_is_present():
+    assert len(REGRESSION_FILES) >= 10
