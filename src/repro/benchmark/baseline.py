@@ -36,6 +36,7 @@ POLICY_CHOICES = {
     "source": PlanPolicy.filters_at_source,
     "triple": PlanPolicy.triple_wise,
     "dependent": PlanPolicy.dependent_join,
+    "cost": PlanPolicy.cost,
 }
 
 NETWORK_CHOICES = {

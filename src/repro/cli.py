@@ -49,6 +49,27 @@ NETWORKS = NETWORK_CHOICES
 
 RUNTIMES = DEFAULT_RUNTIMES
 
+#: The five heuristic base policies of the differential/scorecard matrices
+#: (the cost policy is opt-in via ``--policies cost,...`` or ``+cost``).
+BASE_POLICY_NAMES = ("aware", "unaware", "heuristic2", "source", "dependent")
+
+
+def _parse_policy_names(spec: str | None, default: Sequence[str]) -> list[str]:
+    """Resolve a ``--policies`` value: a comma list of short names, or a
+    leading ``+`` to append to *default* (``+cost`` = the default matrix
+    plus the cost-based policy)."""
+    if not spec:
+        return list(default)
+    text = spec.strip()
+    if text.startswith("+"):
+        names = list(default)
+        for name in text[1:].split(","):
+            name = name.strip()
+            if name and name not in names:
+                names.append(name)
+        return names
+    return [name.strip() for name in text.split(",") if name.strip()]
+
 
 def _resolve_query(text: str) -> str:
     if text in BENCHMARK_QUERIES:
@@ -188,6 +209,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown exec modes: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    policy_names = _parse_policy_names(args.policies, BASE_POLICY_NAMES)
+    unknown = [name for name in policy_names if name not in POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
 
     def on_case(index, case, mismatches):
         if args.verbose:
@@ -200,6 +226,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         regressions_dir=regressions_dir,
         runtimes=runtimes,
         execs=execs,
+        policies=[POLICIES[name]() for name in policy_names],
         check_invariants=not args.no_invariants,
         shrink=not args.no_shrink,
         on_case=on_case,
@@ -271,9 +298,15 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown networks: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    policy_names = _parse_policy_names(args.policies, BASE_POLICY_NAMES)
+    unknown = [name for name in policy_names if name not in POLICIES]
+    if unknown:
+        print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+        return 2
     card = run_scorecard(
         lake,
         [BENCHMARK_QUERIES[name] for name in names],
+        policies=[POLICIES[name]() for name in policy_names],
         networks=[NETWORKS[name]() for name in network_names],
         runtime=args.runtime,
         seed=args.run_seed,
@@ -282,6 +315,118 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
         print(json.dumps(card.to_dict(), indent=2, sort_keys=True))
     else:
         print(card.render(per_decision=not args.summary))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Optimizer statistics: collect a snapshot, or inspect a stored one.
+
+    ``collect`` snapshots the lake's catalog statistics, runs the selected
+    benchmark queries observed to seed the observed-cardinality store, and
+    writes both to one JSON document stamped with the lake's catalog
+    version.  ``show`` renders a stored document and — unless
+    ``--no-verify`` — rebuilds the lake to confirm the stored catalog
+    version still matches (stale files fail loudly instead of silently
+    feeding the planner outdated cardinalities).
+    """
+    import json
+
+    from .optimizer import (
+        STATS_FORMAT_VERSION,
+        CatalogStatistics,
+        StaleStatisticsError,
+        ObservedStatistics,
+    )
+
+    if args.stats_command == "collect":
+        names = args.queries.split(",") if args.queries else list(DEFAULT_QUERIES)
+        unknown = [name for name in names if name not in BENCHMARK_QUERIES]
+        if unknown:
+            print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        lake = _build_lake(args)
+        catalog = CatalogStatistics.collect(lake)
+        engine = FederatedEngine(
+            lake,
+            policy=POLICIES[args.policy](),
+            network=NETWORKS[args.network](),
+            runtime=args.runtime,
+            exec=args.exec,
+        )
+        ingested = 0
+        for name in names:
+            __, __, observation = engine.observe(
+                BENCHMARK_QUERIES[name].text, seed=args.run_seed
+            )
+            ingested += engine.ingest_observation(observation)
+        payload = {
+            "kind": "repro-stats",
+            "version": STATS_FORMAT_VERSION,
+            "catalog": catalog.to_payload(),
+            "observed": engine.observed_stats.to_payload(catalog.catalog_version),
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            handle.write("\n")
+        print(
+            f"wrote {args.output}: {len(catalog.tables)} tables, "
+            f"{len(catalog.molecules)} molecule classes, "
+            f"{len(engine.observed_stats)} observed cardinalities "
+            f"({ingested} ingests from {len(names)} queries)"
+        )
+        return 0
+
+    # show
+    with open(args.stats_file, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != "repro-stats":
+        print(
+            f"{args.stats_file}: not a repro statistics file "
+            f"(kind={payload.get('kind')!r})",
+            file=sys.stderr,
+        )
+        return 2
+    catalog = CatalogStatistics.from_payload(payload["catalog"])
+    expected_version = None
+    if not args.no_verify:
+        lake = _build_lake(args)
+        expected_version = tuple(lake.catalog_version())
+        if tuple(catalog.catalog_version) != expected_version:
+            print(
+                f"error: stale statistics: {args.stats_file} was collected at "
+                f"catalog version {tuple(catalog.catalog_version)}, but the "
+                f"lake is now at {expected_version}",
+                file=sys.stderr,
+            )
+            return 1
+    try:
+        observed = ObservedStatistics.from_payload(
+            payload["observed"], catalog_version=expected_version
+        )
+    except StaleStatisticsError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    total_rows = sum(entry["rows"] for entry in catalog.tables.values())
+    print(f"statistics file {args.stats_file} (format v{payload['version']})")
+    verified = "verified against the live lake" if expected_version else "not verified"
+    print(f"catalog version: {len(catalog.catalog_version)} entries, {verified}")
+    print(
+        f"catalog: {len(catalog.tables)} tables ({total_rows} rows), "
+        f"{len(catalog.molecules)} molecule classes"
+    )
+    print(f"observed: {len(observed)} recorded cardinalities")
+    records = payload["observed"].get("records", [])
+    limit = args.limit if args.limit is not None and args.limit >= 0 else len(records)
+    shown = records[:limit]
+    for entry in shown:
+        signature = entry["signature"]
+        kind = signature[0] if isinstance(signature, list) and signature else "?"
+        rendered = json.dumps(signature, separators=(",", ":"))
+        if len(rendered) > 100:
+            rendered = rendered[:97] + "..."
+        print(f"  {entry['rows']:>10.1f} rows  x{entry['ingests']}  [{kind}] {rendered}")
+    if len(records) > limit:
+        print(f"  ... ({len(records) - limit} more)")
     return 0
 
 
@@ -303,6 +448,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
             return 2
+        from .benchmark.baseline import DEFAULT_POLICIES, POLICY_CHOICES
+
+        policy_names = _parse_policy_names(args.policies, DEFAULT_POLICIES)
+        unknown = [name for name in policy_names if name not in POLICY_CHOICES]
+        if unknown:
+            print(f"unknown policies: {', '.join(unknown)}", file=sys.stderr)
+            return 2
         lake = _build_lake(args)
         payload = build_baseline(
             lake,
@@ -310,6 +462,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             scale=args.scale,
             data_seed=args.seed,
             run_seed=args.run_seed,
+            policies=policy_names,
             exec=args.exec,
         )
         write_baseline(payload, args.output)
@@ -657,6 +810,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(one file per failing config; upload as CI artifacts)"
         ),
     )
+    fuzz.add_argument(
+        "--policies",
+        default=None,
+        help=(
+            "comma-separated policy short names forming the matrix's policy "
+            "axis (default: the five heuristic base policies); a leading + "
+            "appends to that default, e.g. +cost"
+        ),
+    )
     fuzz.add_argument("--verbose", action="store_true", help="per-case progress on stderr")
     fuzz.set_defaults(func=cmd_fuzz)
 
@@ -691,6 +853,14 @@ def build_parser() -> argparse.ArgumentParser:
     scorecard.add_argument(
         "--networks", help="comma-separated network names (default all four)"
     )
+    scorecard.add_argument(
+        "--policies",
+        default=None,
+        help=(
+            "comma-separated policy short names to sweep (default: the five "
+            "heuristic base policies); a leading + appends, e.g. +cost"
+        ),
+    )
     scorecard.add_argument("--format", choices=("text", "json"), default="text")
     scorecard.add_argument(
         "--summary",
@@ -709,6 +879,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(snapshot)
     snapshot.add_argument("--queries", help="comma-separated benchmark names (default Q1-Q5)")
+    snapshot.add_argument(
+        "--policies",
+        default=None,
+        help=(
+            "comma-separated policy short names for the grid (default: the "
+            "five heuristic base policies); a leading + appends, e.g. +cost"
+        ),
+    )
     snapshot.add_argument(
         "--output",
         default="BENCH_plan_quality.json",
@@ -746,6 +924,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", help="also write the full diff report (JSON) to this path"
     )
     check.set_defaults(func=cmd_bench)
+
+    stats = sub.add_parser(
+        "stats",
+        help=(
+            "optimizer statistics: snapshot catalog + observed cardinalities "
+            "to JSON, or inspect a stored snapshot (catalog-version gated)"
+        ),
+    )
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+    collect = stats_sub.add_parser(
+        "collect",
+        help=(
+            "collect catalog statistics and seed the observed-cardinality "
+            "store by running benchmark queries observed"
+        ),
+    )
+    _add_common(collect)
+    collect.add_argument(
+        "--queries",
+        help="comma-separated benchmark names to run observed (default Q1-Q5)",
+    )
+    collect.add_argument("--policy", choices=sorted(POLICIES), default="cost")
+    collect.add_argument("--network", choices=sorted(NETWORKS), default="nodelay")
+    collect.add_argument(
+        "--output", default="STATS.json", help="where to write the statistics document"
+    )
+    collect.set_defaults(func=cmd_stats)
+    show = stats_sub.add_parser(
+        "show", help="render a stored statistics document (and verify freshness)"
+    )
+    _add_common(show)
+    show.add_argument(
+        "stats_file", nargs="?", default="STATS.json", help="statistics document to read"
+    )
+    show.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip rebuilding the lake to validate the stored catalog version",
+    )
+    show.add_argument(
+        "--limit", type=int, default=10, help="observed records to print (-1 = all)"
+    )
+    show.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(
         "trace",

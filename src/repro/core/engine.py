@@ -260,6 +260,10 @@ class FederatedEngine:
         # registry via ``caches=`` (the service layer's configuration —
         # the LRU caches are internally locked, so cross-engine use is
         # safe).  Callers sharing a registry own its sizing/enablement.
+        # Cost-based optimization state, created lazily (heuristic-policy
+        # engines never import repro.optimizer).
+        self._observed_stats = None
+        self._catalog_stats = None
         if caches is not None:
             self.caches = caches
         else:
@@ -272,7 +276,51 @@ class FederatedEngine:
                 ),
             )
 
+    @property
+    def observed_stats(self):
+        """The engine's observed-cardinality store (created on demand).
+
+        Fed by :meth:`ingest_observation`; consulted only by cost-based
+        planning, where its revision is part of the plan-cache key — so
+        ingesting observations transparently invalidates cached cost plans
+        while heuristic plans (which never read the store) stay cached.
+        """
+        if self._observed_stats is None:
+            from ..optimizer import ObservedStatistics
+
+            self._observed_stats = ObservedStatistics()
+        return self._observed_stats
+
+    def catalog_statistics(self):
+        """Deterministic statistics snapshot of the lake, cached per
+        catalog version (any mutation re-collects)."""
+        version = self.lake.catalog_version()
+        cached = self._catalog_stats
+        if cached is None or cached.catalog_version != version:
+            from ..optimizer import CatalogStatistics
+
+            cached = self._catalog_stats = CatalogStatistics.collect(self.lake)
+        return cached
+
+    def ingest_observation(self, observation) -> int:
+        """Feed one finished observed run's actual cardinalities to the
+        optimizer's store; returns the number of records written."""
+        return self.observed_stats.ingest_observation(observation)
+
     def planner(self, obs=None) -> FederatedPlanner:
+        if self.policy.cost_based:
+            from ..optimizer import CostBasedPlanner
+
+            return CostBasedPlanner(
+                self.lake,
+                self.policy,
+                self.network,
+                catalog_stats=self.catalog_statistics(),
+                observed=self.observed_stats,
+                cost_model=self.cost_model,
+                debug_validate=self.debug_validate,
+                obs=obs,
+            )
         return FederatedPlanner(
             self.lake,
             self.policy,
@@ -305,6 +353,10 @@ class FederatedEngine:
             self.policy.fingerprint(),
             self.network,
             self.lake.catalog_version(),
+            # Cost-based plans depend on the observed-stats store: any
+            # ingest bumps the revision, so stale cost plans are never
+            # served after the optimizer learned better cardinalities.
+            self.observed_stats.revision if self.policy.cost_based else None,
         )
         plan = self.caches.plans.get(key)
         if plan is not None:

@@ -28,7 +28,7 @@ from ..mapping.translator import (
     translate_stars,
 )
 from ..network.delays import NetworkSetting
-from ..sparql.algebra import Filter
+from ..sparql.algebra import BinaryOp, Filter
 from .catalog import PhysicalDesignCatalog
 from .decomposer import StarSubquery
 from .policy import FilterPlacement, PlanPolicy
@@ -44,12 +44,22 @@ StarWithMapping = tuple[StarSubquery, ClassMapping]
 
 @dataclass
 class MergeDecision:
-    """Why two stars were (not) merged."""
+    """Why two stars were (not) merged.
+
+    Both alternatives' cardinality estimates are recorded regardless of the
+    verdict, so EXPLAIN ANALYZE and the scorecard can attribute wins to the
+    road not taken: ``est_merged`` is the planner's estimate for the combined
+    sub-query, ``est_separate`` for the symmetric-hash join of the two
+    separate units.  ``None`` when no estimate applies (e.g. the pair is not
+    translatable at all, so neither alternative could be costed).
+    """
 
     star_a: str
     star_b: str
     merged: bool
     reason: str
+    est_merged: float | None = None
+    est_separate: float | None = None
 
 
 @dataclass
@@ -143,15 +153,47 @@ def _satellite_tables(group, candidate, selection) -> int:
     return count
 
 
+def _merge_estimates(
+    group: MergeGroup,
+    selection: SelectedStar,
+    candidate: SourceCandidate,
+    catalog: PhysicalDesignCatalog,
+) -> tuple[float, float]:
+    """Cardinality estimates for merging vs keeping *selection* separate.
+
+    Mirrors the planner's own unit formulas: a merged relational unit is
+    estimated at the smallest involved table, a symmetric-hash join of
+    separate units at the larger input (no join-selectivity model).
+    """
+    source_id = group.source_id
+    group_rows = min(
+        float(catalog.table_rows(source_id, c.class_mapping.table))
+        for c in group.candidates
+    )
+    candidate_rows = float(catalog.table_rows(source_id, candidate.class_mapping.table))
+    est_merged = min(group_rows, candidate_rows)
+    est_separate = max(group_rows, float(selection.estimated_cardinality()))
+    return est_merged, est_separate
+
+
 def push_down_joins(
     selections: list[SelectedStar],
     catalog: PhysicalDesignCatalog,
     policy: PlanPolicy,
+    merge_advisor=None,
 ) -> tuple[list[MergeGroup | SelectedStar], list[MergeDecision]]:
     """Apply Heuristic 1: greedily grow merge groups over shared variables.
 
     Returns the plan units (merged groups and untouched stars, in original
     star order) and the decision log.
+
+    ``merge_advisor`` is the cost-based planner's hook: called only for
+    pairs that pass every structural Heuristic 1 precondition (same
+    endpoint, shared indexed join variable, table budget, translatable),
+    with ``(group, selection, candidate, est_merged, est_separate)``, it
+    returns ``(merge, reason)`` and overrides the heuristic's verdict.
+    Structural legality stays rule-bound so advised plans remain valid
+    under the plan-invariant checker.
     """
     decisions: list[MergeDecision] = []
     units: list[MergeGroup | SelectedStar] = []
@@ -163,10 +205,17 @@ def push_down_joins(
             candidate = selection.candidates[0]
             if candidate.kind == "rdb" and candidate.class_mapping is not None:
                 for group in groups_by_source.get(candidate.source_id, []):
+                    est_merged, est_separate = _merge_estimates(
+                        group, selection, candidate, catalog
+                    )
                     if policy.merge_same_source_joins:
                         mergeable, reason = _mergeable(
                             group, selection, candidate, catalog, policy
                         )
+                        if mergeable and merge_advisor is not None:
+                            mergeable, reason = merge_advisor(
+                                group, selection, candidate, est_merged, est_separate
+                            )
                     else:
                         # Log the considered pair anyway so decision-level
                         # comparisons (the scorecard) can pit this policy's
@@ -180,6 +229,8 @@ def push_down_joins(
                             star_b=selection.star.subject_name,
                             merged=mergeable,
                             reason=reason,
+                            est_merged=est_merged,
+                            est_separate=est_separate,
                         )
                     )
                     if mergeable:
@@ -216,11 +267,21 @@ def push_down_joins(
 
 @dataclass
 class FilterDecision:
-    """Where one filter was placed, and why."""
+    """Where one filter was placed, and why.
+
+    As with :class:`MergeDecision`, both alternatives carry estimates even
+    when declined: ``est_pushed`` is the expected row count shipped after
+    source-side evaluation, ``est_engine`` the rows shipped when the filter
+    runs at the engine (the unfiltered sub-query output).  ``None`` when the
+    filter cannot be costed (e.g. untranslatable, so pushing is not an
+    alternative at all).
+    """
 
     filter: Filter
     pushed: bool
     reason: str
+    est_pushed: float | None = None
+    est_engine: float | None = None
 
     def describe(self) -> str:
         where = "source" if self.pushed else "engine"
@@ -236,6 +297,28 @@ class FilterPlan:
     decisions: list[FilterDecision] = field(default_factory=list)
 
 
+#: Fallback selectivities when no statistics subsystem is consulted —
+#: the classic System R defaults (equality 1/10, everything else 1/3).
+_EQUALITY_SELECTIVITY = 0.1
+_DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+def filter_selectivity(filter_: Filter) -> float:
+    """Rough selectivity of one filter, used only for decision estimates."""
+    expression = filter_.expression
+    if isinstance(expression, BinaryOp) and expression.operator == "=":
+        return _EQUALITY_SELECTIVITY
+    return _DEFAULT_SELECTIVITY
+
+
+def _base_rows(stars: list[StarWithMapping], source_id: str, catalog) -> float:
+    """The sub-query's unfiltered output estimate (smallest involved table)."""
+    rows = [
+        float(catalog.table_rows(source_id, mapping.table)) for __, mapping in stars
+    ]
+    return min(rows) if rows else 0.0
+
+
 def place_filters(
     filters: list[Filter],
     stars: list[StarWithMapping],
@@ -243,12 +326,42 @@ def place_filters(
     catalog: PhysicalDesignCatalog,
     policy: PlanPolicy,
     network: NetworkSetting,
+    filter_advisor=None,
 ) -> FilterPlan:
-    """Apply Heuristic 2 (or the policy's placement mode) to *filters*."""
+    """Apply Heuristic 2 (or the policy's placement mode) to *filters*.
+
+    ``filter_advisor`` is the cost-based planner's hook for
+    :attr:`FilterPlacement.COST`: called with
+    ``(filter_, stars, source_id, est_pushed, est_engine)`` for every
+    *translatable* filter, it returns ``(push, reason)``.  Untranslatable
+    filters never reach it — legality stays rule-bound.
+    """
     plan = FilterPlan()
+    base = _base_rows(stars, source_id, catalog)
     for filter_ in filters:
-        pushed, reason = _decide_filter(filter_, stars, source_id, catalog, policy, network)
-        plan.decisions.append(FilterDecision(filter_, pushed, reason))
+        translatable = can_translate_filter(filter_, stars)
+        est_engine = base if translatable else None
+        est_pushed = base * filter_selectivity(filter_) if translatable else None
+        if policy.filter_placement is FilterPlacement.COST and translatable:
+            if filter_advisor is not None:
+                pushed, reason = filter_advisor(
+                    filter_, stars, source_id, est_pushed, est_engine
+                )
+            else:
+                # No optimizer attached (e.g. a bare FederatedPlanner built
+                # with a cost policy): fall back to the aware default.
+                pushed, reason = _decide_filter(
+                    filter_, stars, source_id, catalog,
+                    policy.with_(filter_placement=FilterPlacement.SOURCE_IF_INDEXED),
+                    network,
+                )
+        else:
+            pushed, reason = _decide_filter(
+                filter_, stars, source_id, catalog, policy, network
+            )
+        plan.decisions.append(
+            FilterDecision(filter_, pushed, reason, est_pushed, est_engine)
+        )
         if pushed:
             plan.pushed.append(filter_)
         else:

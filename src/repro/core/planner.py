@@ -53,6 +53,7 @@ from .heuristics import (
 )
 from .policy import DecompositionKind, JoinStrategy, PlanPolicy
 from .source_selection import SelectedStar, select_sources
+from .statskeys import join_signature, unit_signature_for
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a core <-> datalake cycle
     from ..datalake.lake import SemanticDataLake
@@ -110,6 +111,13 @@ class _PlanUnit:
     operator: FedOperator
     variables: set[str]
     estimate: float
+    #: Observed-statistics signature of the unit (see
+    #: :mod:`repro.core.statskeys`); join ordering folds these into join
+    #: signatures so every run feeds the cost-based optimizer's store.
+    signature: tuple = ()
+    #: Per-variable NDV sketch (filled only by the cost-based planner; the
+    #: greedy orderer never reads it).
+    ndv: dict[str, float] | None = None
 
 
 def _annotate(operator: FedOperator, estimate: float) -> FedOperator:
@@ -125,6 +133,12 @@ def _annotate(operator: FedOperator, estimate: float) -> FedOperator:
 
 class FederatedPlanner:
     """Builds :class:`FederatedPlan` objects for one lake."""
+
+    #: Cost-based subclasses install callables here (see
+    #: :class:`repro.optimizer.CostBasedPlanner`); with both ``None`` the
+    #: heuristics' own verdicts stand, so the base planner is unchanged.
+    merge_advisor = None
+    filter_advisor = None
 
     def __init__(
         self,
@@ -242,7 +256,10 @@ class FederatedPlanner:
                 candidates=sum(len(s.candidates) for s in selections),
             )
         units_spec, branch_merges = push_down_joins(
-            selections, self.lake.physical_catalog, self.policy
+            selections,
+            self.lake.physical_catalog,
+            self.policy,
+            merge_advisor=self.merge_advisor,
         )
         if obs is not None:
             for decision in branch_merges:
@@ -325,6 +342,7 @@ class FederatedPlanner:
             self.lake.physical_catalog,
             self.policy,
             self.network,
+            filter_advisor=self.filter_advisor,
         )
         filter_decisions.extend(
             (group.source_id, decision) for decision in filter_plan.decisions
@@ -361,7 +379,14 @@ class FederatedPlanner:
             for __, mapping in stars
         )
         _annotate(operator, estimate)
-        return _PlanUnit(operator=operator, variables=variables, estimate=estimate)
+        signature = unit_signature_for(group)
+        operator.stats_signature = signature
+        return _PlanUnit(
+            operator=operator,
+            variables=variables,
+            estimate=estimate,
+            signature=signature,
+        )
 
     def _build_star_unit(
         self,
@@ -381,6 +406,7 @@ class FederatedPlanner:
                     self.lake.physical_catalog,
                     self.policy,
                     self.network,
+                    filter_advisor=self.filter_advisor,
                 )
                 filter_decisions.extend(
                     (candidate.source_id, decision) for decision in filter_plan.decisions
@@ -462,10 +488,13 @@ class FederatedPlanner:
         operator: FedOperator = branches[0] if len(branches) == 1 else _annotate(
             Union(branches), sum(branch.estimated_rows or 0.0 for branch in branches)
         )
+        signature = unit_signature_for(selection)
+        operator.stats_signature = signature
         return _PlanUnit(
             operator=operator,
             variables=selection.star.variable_names(),
             estimate=float(selection.estimated_cardinality()),
+            signature=signature,
         )
 
     # -- join ordering -------------------------------------------------------------
@@ -478,6 +507,7 @@ class FederatedPlanner:
         root = current.operator
         bound = set(current.variables)
         estimate = current.estimate
+        member_signatures = [current.signature]
         while remaining:
             connected = [unit for unit in remaining if unit.variables & bound]
             if connected:
@@ -495,6 +525,8 @@ class FederatedPlanner:
             # The greedy orderer's running estimate is also the join's own
             # output estimate (no join-selectivity model, as in ANAPSID).
             _annotate(root, estimate)
+            member_signatures.append(nxt.signature)
+            root.stats_signature = join_signature(member_signatures)
         return root
 
     def _join_operator(

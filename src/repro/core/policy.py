@@ -35,6 +35,12 @@ class FilterPlacement(enum.Enum):
     #: The paper's Heuristic 2: pushed only when the attributes are indexed
     #: AND the network is slow.
     HEURISTIC2 = "heuristic2"
+    #: Decided per filter by the cost-based optimizer: pushing is chosen
+    #: when the estimated source-side evaluation plus reduced transfer is
+    #: cheaper than shipping every row and filtering at the engine.  Only
+    #: structural legality (translatability) is rule-bound; the verdict
+    #: itself comes from :mod:`repro.optimizer`.
+    COST = "cost"
 
 
 class DecompositionKind(enum.Enum):
@@ -72,6 +78,11 @@ class PlanPolicy:
             this policy (the engine's own flag must also be on).
         use_subresult_cache: let wrappers replay cached per-source results
             for this policy (the engine's own flag must also be on).
+        cost_based: plan with :class:`repro.optimizer.CostBasedPlanner`
+            instead of the fixed heuristics — H1 merges, H2 placements,
+            join order and join methods are all chosen by estimated cost
+            (catalog statistics plus any observed cardinalities), within
+            the same structural legality envelope the heuristics obey.
     """
 
     name: str
@@ -83,6 +94,7 @@ class PlanPolicy:
     dependent_block_size: int = 50
     use_plan_cache: bool = True
     use_subresult_cache: bool = True
+    cost_based: bool = False
 
     def fingerprint(self) -> tuple:
         """A hashable identity for plan-cache keys.
@@ -101,6 +113,7 @@ class PlanPolicy:
             self.max_merged_tables,
             self.join_strategy,
             self.dependent_block_size,
+            self.cost_based,
         )
 
     @property
@@ -108,8 +121,13 @@ class PlanPolicy:
         """Whether the policy consults the physical design at all."""
         return (
             self.merge_same_source_joins
+            or self.cost_based
             or self.filter_placement
-            in (FilterPlacement.SOURCE_IF_INDEXED, FilterPlacement.HEURISTIC2)
+            in (
+                FilterPlacement.SOURCE_IF_INDEXED,
+                FilterPlacement.HEURISTIC2,
+                FilterPlacement.COST,
+            )
         )
 
     def with_(self, **overrides) -> "PlanPolicy":
@@ -162,6 +180,22 @@ class PlanPolicy:
             merge_same_source_joins=True,
             filter_placement=FilterPlacement.SOURCE_IF_INDEXED,
             join_strategy=JoinStrategy.DEPENDENT,
+        )
+
+    @classmethod
+    def cost(cls) -> "PlanPolicy":
+        """Cost-based planning over catalog + observed statistics.
+
+        ``merge_same_source_joins`` stays on because cost-based merges are
+        only ever chosen among Heuristic-1-*eligible* pairs (same endpoint,
+        shared join variable, index on one side, table budget) — the flag
+        gates structural legality, the optimizer supplies the verdict.
+        """
+        return cls(
+            name="Cost-Based",
+            merge_same_source_joins=True,
+            filter_placement=FilterPlacement.COST,
+            cost_based=True,
         )
 
     @classmethod

@@ -1,0 +1,73 @@
+"""Stable signatures identifying plan units for observed statistics.
+
+The cost-based optimizer learns from executions: every run's per-operator
+actual cardinalities are keyed by a *signature* of the logical work the
+operator performed, so a later planning pass (of the same query or any
+query containing the same star) can look the observation up.  Signatures
+therefore must be
+
+* **placement-invariant** — a star's output rows are the same whether its
+  filters ran at the source or at the engine, so the signature hashes the
+  star's *logical* content (predicates + all filter expressions), never
+  the chosen physical placement;
+* **order-invariant for joins** — ``A ⋈ B`` and ``B ⋈ A`` produce the same
+  multiset, so a join signature is the sorted set of member unit
+  signatures;
+* **plain data** — nested tuples of strings, so they serialize to JSON
+  (the observed-stats store persists across processes) and hash cheaply.
+
+The planner stamps these onto operators as ``stats_signature`` (planning
+metadata, like ``estimated_rows``); ingestion walks an observed plan and
+records each stamped operator's actual ``rows_out`` under its signature.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .decomposer import StarSubquery
+    from .heuristics import MergeGroup
+    from .source_selection import SelectedStar
+
+
+def _term_text(term) -> str:
+    n3 = getattr(term, "n3", None)
+    if callable(n3):
+        return n3()
+    return str(term)
+
+
+def star_signature(star: "StarSubquery") -> tuple:
+    """The logical identity of one star-shaped sub-query.
+
+    Predicates plus filter expressions; the subject variable name is
+    deliberately excluded so textually renamed but structurally identical
+    stars share observations.
+    """
+    predicates = tuple(sorted(_term_text(pattern.predicate) for pattern in star.patterns))
+    filters = tuple(sorted(_term_text(f.expression) for f in star.filters))
+    return ("star", predicates, filters)
+
+
+def unit_signature(source_ids: Iterable[str], stars: Iterable["StarSubquery"]) -> tuple:
+    """The identity of one plan unit (a merged group or a selected star)."""
+    return (
+        "unit",
+        tuple(sorted(source_ids)),
+        tuple(sorted(star_signature(star) for star in stars)),
+    )
+
+
+def unit_signature_for(unit: "MergeGroup | SelectedStar") -> tuple:
+    """Signature of a planner unit-log entry (MergeGroup or SelectedStar)."""
+    if hasattr(unit, "stars"):  # MergeGroup
+        return unit_signature([unit.source_id], unit.stars)
+    return unit_signature(
+        (candidate.source_id for candidate in unit.candidates), [unit.star]
+    )
+
+
+def join_signature(member_signatures: Iterable[tuple]) -> tuple:
+    """The order-invariant identity of a join over plan units."""
+    return ("join", tuple(sorted(member_signatures)))

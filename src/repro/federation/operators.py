@@ -43,6 +43,13 @@ class FedOperator:
     #: ``rows_out`` to compute per-operator q-error.
     estimated_rows: float | None = None
 
+    #: Stable identity of the logical work this operator performs (see
+    #: :mod:`repro.core.statskeys`), stamped by the planner on plan units
+    #: and joins.  Observed-statistics ingestion records actual ``rows_out``
+    #: under this key; operators the planner never stamps stay ``None`` and
+    #: are skipped.  Planning metadata only — never read during execution.
+    stats_signature: tuple | None = None
+
     def execute(self, context: RunContext) -> Iterator[Solution]:
         raise NotImplementedError
 

@@ -148,6 +148,8 @@ class AnalyzeReport:
                             "taken": decision.taken,
                             "outcome": decision.outcome,
                             "reason": decision.reason,
+                            "estimate": decision.estimate,
+                            "alternative_estimate": decision.alternative_estimate,
                         }
                         for decision in hotspot.decisions
                     ],
@@ -188,6 +190,8 @@ class AnalyzeReport:
                             taken=d["taken"],
                             outcome=d["outcome"],
                             reason=d["reason"],
+                            estimate=d.get("estimate"),
+                            alternative_estimate=d.get("alternative_estimate"),
                         )
                         for d in hotspot["decisions"]
                     ],
@@ -201,13 +205,23 @@ class AnalyzeReport:
 #: contract of ``repro explain --analyze --format json``).
 _DECISION_SCHEMA = {
     "type": "object",
-    "required": ["heuristic", "subject", "taken", "outcome", "reason"],
+    "required": [
+        "heuristic",
+        "subject",
+        "taken",
+        "outcome",
+        "reason",
+        "estimate",
+        "alternative_estimate",
+    ],
     "properties": {
         "heuristic": {"type": "string", "enum": ["H1", "H2"]},
         "subject": {"type": "string"},
         "taken": {"type": "boolean"},
         "outcome": {"type": "string"},
         "reason": {"type": "string"},
+        "estimate": {"type": ["number", "null"]},
+        "alternative_estimate": {"type": ["number", "null"]},
     },
     "additionalProperties": False,
 }

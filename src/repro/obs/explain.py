@@ -19,16 +19,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass
 class DecisionRecord:
-    """One heuristic decision: what was considered, what happened, why."""
+    """One heuristic decision: what was considered, what happened, why.
+
+    ``estimate`` is the planner's cardinality estimate for the chosen
+    alternative and ``alternative_estimate`` the one for the *declined*
+    alternative (H1: merged vs separate rows; H2: source-filtered vs
+    unfiltered rows) — so a declined merge or placement can be judged by
+    the numbers the planner saw, not just its reason string.
+    """
 
     heuristic: str  # "H1" | "H2"
     subject: str  # "starA + starB" or "[source] FILTER(...)"
     taken: bool  # H1: merged; H2: pushed to the source
     outcome: str  # human verdict ("merged", "kept separate", "source", "engine")
     reason: str
+    estimate: float | None = None
+    alternative_estimate: float | None = None
 
     def describe(self) -> str:
-        return f"{self.heuristic} {self.subject}: {self.outcome} — {self.reason}"
+        line = f"{self.heuristic} {self.subject}: {self.outcome} — {self.reason}"
+        if self.estimate is not None and self.alternative_estimate is not None:
+            line += (
+                f" [est {self.estimate:g} rows; declined alternative "
+                f"est {self.alternative_estimate:g} rows]"
+            )
+        return line
 
 
 @dataclass
@@ -89,6 +104,8 @@ class ExplainReport:
                     "taken": decision.taken,
                     "outcome": decision.outcome,
                     "reason": decision.reason,
+                    "estimate": decision.estimate,
+                    "alternative_estimate": decision.alternative_estimate,
                 }
                 for decision in self.decisions
             ],
@@ -110,6 +127,8 @@ class ExplainReport:
                     taken=entry["taken"],
                     outcome=entry["outcome"],
                     reason=entry["reason"],
+                    estimate=entry.get("estimate"),
+                    alternative_estimate=entry.get("alternative_estimate"),
                 )
                 for entry in payload["decisions"]
             ],
@@ -132,7 +151,15 @@ EXPLAIN_SCHEMA: dict = {
             "type": "array",
             "items": {
                 "type": "object",
-                "required": ["heuristic", "subject", "taken", "outcome", "reason"],
+                "required": [
+                    "heuristic",
+                    "subject",
+                    "taken",
+                    "outcome",
+                    "reason",
+                    "estimate",
+                    "alternative_estimate",
+                ],
                 "properties": {
                     "heuristic": {"type": "string", "enum": ["H1", "H2"]},
                     "subject": {"type": "string"},
@@ -142,6 +169,8 @@ EXPLAIN_SCHEMA: dict = {
                         "enum": ["merged", "kept separate", "source", "engine"],
                     },
                     "reason": {"type": "string"},
+                    "estimate": {"type": ["number", "null"]},
+                    "alternative_estimate": {"type": ["number", "null"]},
                 },
                 "additionalProperties": False,
             },
@@ -156,6 +185,9 @@ def explain_plan(plan: "FederatedPlan") -> ExplainReport:
     """Build the decision record for *plan* from its decision log."""
     decisions: list[DecisionRecord] = []
     for merge in plan.merge_decisions:
+        taken_est, declined_est = merge.est_merged, merge.est_separate
+        if not merge.merged:
+            taken_est, declined_est = declined_est, taken_est
         decisions.append(
             DecisionRecord(
                 heuristic="H1",
@@ -163,9 +195,14 @@ def explain_plan(plan: "FederatedPlan") -> ExplainReport:
                 taken=merge.merged,
                 outcome="merged" if merge.merged else "kept separate",
                 reason=merge.reason,
+                estimate=taken_est,
+                alternative_estimate=declined_est,
             )
         )
     for source_id, placement in plan.filter_decisions:
+        taken_est, declined_est = placement.est_pushed, placement.est_engine
+        if not placement.pushed:
+            taken_est, declined_est = declined_est, taken_est
         decisions.append(
             DecisionRecord(
                 heuristic="H2",
@@ -173,6 +210,8 @@ def explain_plan(plan: "FederatedPlan") -> ExplainReport:
                 taken=placement.pushed,
                 outcome="source" if placement.pushed else "engine",
                 reason=placement.reason,
+                estimate=taken_est,
+                alternative_estimate=declined_est,
             )
         )
     return ExplainReport(

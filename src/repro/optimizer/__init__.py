@@ -1,0 +1,43 @@
+"""Cost-based federated optimization (``policy="cost"`` / ``--policy cost``).
+
+Three layers (see DESIGN.md §14):
+
+* statistics — :class:`CatalogStatistics` (deterministic lake snapshot:
+  table/predicate cardinalities, index flags, NDV sketches) and
+  :class:`ObservedStatistics` (actual cardinalities ingested from observed
+  runs, keyed by plan-unit signatures, versioned by catalog data-version);
+* enumeration — :class:`CostBasedPlanner` (bushy DP join-order search with
+  cost-decided H1 merges, filter placements and join methods);
+* calibration + feedback — :func:`calibrate_constants` (constants fitted
+  from the committed plan-quality baseline) and :func:`run_with_feedback`
+  (observe → ingest → replan).
+"""
+
+from .cost import CostConstants, analytic_constants, calibrate_constants
+from .feedback import DEFAULT_Q_ERROR_THRESHOLD, FeedbackResult, run_with_feedback
+from .planner import MAX_DP_UNITS, CostBasedPlanner
+from .statistics import (
+    CatalogStatistics,
+    ObservedStatistics,
+    STATS_FORMAT_VERSION,
+    StaleStatisticsError,
+    ingestible_operators,
+    signature_key,
+)
+
+__all__ = [
+    "CatalogStatistics",
+    "CostBasedPlanner",
+    "CostConstants",
+    "DEFAULT_Q_ERROR_THRESHOLD",
+    "FeedbackResult",
+    "MAX_DP_UNITS",
+    "ObservedStatistics",
+    "STATS_FORMAT_VERSION",
+    "StaleStatisticsError",
+    "analytic_constants",
+    "calibrate_constants",
+    "ingestible_operators",
+    "run_with_feedback",
+    "signature_key",
+]

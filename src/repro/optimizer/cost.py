@@ -1,0 +1,118 @@
+"""Cost formulas and calibration for the cost-based planner.
+
+The planner compares *virtual-time* costs, in the same currency the engine
+charges: per-operation constants from the engine's
+:class:`~repro.network.costmodel.CostModel` plus the network's expected
+per-charge delay.  The engine charges one network-delay sample + one
+message overhead for every sub-query request and for every answer row
+shipped, so the analytic expectation of one charge is
+``mean_latency + message_overhead`` — that single constant is also what
+:func:`calibrate_constants` re-fits empirically from the committed
+plan-quality baseline grid (observed time deltas between a network and the
+no-delay cells, divided by the observed number of network charges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..network.costmodel import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.delays import NetworkSetting
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Per-operation virtual durations the enumerator prices plans with."""
+
+    #: One sub-query round trip to a source (delay sample + message).
+    request: float
+    #: One answer row shipped from a source to the engine.
+    transfer_per_row: float
+    #: Source-side work to produce one output row (scan + serialize).
+    source_row: float
+    #: Source-side predicate evaluation, per row (cheap comparisons).
+    source_filter_eval: float
+    #: Source-side *string-pattern* evaluation, per row (LIKE/REGEX — the
+    #: expensive case behind Heuristic 2's engine-side preference).
+    source_string_filter_eval: float
+    #: One B-tree descent.
+    index_probe: float
+    #: One row fetched through an index entry.
+    index_row_fetch: float
+    #: Symmetric hash join work per input row (insert + probe).
+    hash_work: float
+    #: One row emitted by an engine-side join.
+    join_output: float
+    #: Engine-side predicate evaluation, per row.
+    engine_filter_eval: float
+
+
+def analytic_constants(
+    cost_model: CostModel, network: "NetworkSetting"
+) -> CostConstants:
+    """Constants derived from the engine's own cost model + delay means.
+
+    This is the default every cost-based engine starts from — fully
+    deterministic with no fitted data, so ``--policy cost`` behaves
+    identically on a fresh checkout and in CI.
+    """
+    per_charge = network.mean_latency + cost_model.message_overhead
+    return CostConstants(
+        request=per_charge,
+        transfer_per_row=per_charge,
+        source_row=cost_model.rdb_row_scan + cost_model.rdb_output_row,
+        source_filter_eval=cost_model.rdb_filter_eval,
+        source_string_filter_eval=cost_model.rdb_string_filter_eval,
+        index_probe=cost_model.rdb_index_probe,
+        index_row_fetch=cost_model.rdb_index_row_fetch,
+        hash_work=cost_model.engine_hash_insert + cost_model.engine_hash_probe,
+        join_output=cost_model.engine_join_output_row,
+        engine_filter_eval=cost_model.engine_filter_eval,
+    )
+
+
+def _cell_network_charges(cell: dict) -> float:
+    """Network charges one cell's run issued: one per Service answer row
+    plus one per Service request (both draw a delay sample)."""
+    charges = 0.0
+    for label, __, actual in cell.get("operators", []):
+        if label.startswith("Service["):
+            charges += float(actual) + 1.0
+    return charges
+
+
+def calibrate_constants(
+    baseline: dict,
+    cost_model: CostModel,
+    network: "NetworkSetting",
+) -> CostConstants:
+    """Fit the per-charge delay for *network* from a plan-quality baseline.
+
+    For every (query, policy) pair measured sequentially under both this
+    network and ``nodelay``, the time delta divided by the number of
+    network charges estimates the mean sampled delay; the fitted per-charge
+    constant is that mean plus the message overhead (charged in both
+    cells, hence absent from the delta).  Falls back to the analytic
+    constants when the grid has no usable pairs (e.g. ``nodelay`` itself).
+    """
+    base = analytic_constants(cost_model, network)
+    cells = baseline.get("cells", {})
+    ratios: list[float] = []
+    for key, cell in sorted(cells.items()):
+        query, policy, net, runtime = key.split("|")
+        if net != network.name or runtime != "sequential":
+            continue
+        reference = cells.get(f"{query}|{policy}|nodelay|{runtime}")
+        if reference is None:
+            continue
+        delta = float(cell["execution_time"]) - float(reference["execution_time"])
+        charges = _cell_network_charges(cell)
+        if charges > 0 and delta > 0:
+            ratios.append(delta / charges)
+    if not ratios:
+        return base
+    per_charge = sum(ratios) / len(ratios) + cost_model.message_overhead
+    return replace(base, request=per_charge, transfer_per_row=per_charge)

@@ -1,0 +1,91 @@
+"""The calibration feedback loop: observe, ingest, replan.
+
+The adaptive-re-optimization groundwork: run a query observed, measure how
+wrong the planner's cardinality estimates were (max q-error over the
+plan's operators), and — when they were wrong enough — feed the observed
+actuals back into the engine's :class:`~repro.optimizer.ObservedStatistics`
+store.  The store's revision is part of cost-policy plan-cache keys, so
+the very next planning pass of the same (or an overlapping) query
+enumerates with ground-truth cardinalities and may pick a different,
+cheaper join order.  Deterministic end to end: same lake + seed + query →
+same observation → same ingest → same replanned tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .statistics import ingestible_operators
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import FederatedEngine
+
+#: Estimates off by 2x or more trigger an ingest by default.
+DEFAULT_Q_ERROR_THRESHOLD = 2.0
+
+
+@dataclass
+class FeedbackResult:
+    """One observed execution plus what the loop did about it."""
+
+    answers: list = field(default_factory=list)
+    execution_time: float = 0.0
+    max_q_error: float = 1.0
+    ingested: int = 0
+    replanned: bool = False
+
+    def describe(self) -> str:
+        if self.replanned:
+            action = (
+                f"ingested {self.ingested} observed cardinalities "
+                f"(next plan adapts)"
+            )
+        elif self.ingested:
+            action = (
+                f"re-ingested {self.ingested} cardinalities (store unchanged)"
+            )
+        else:
+            action = "estimates within threshold; no ingest"
+        return (
+            f"{len(self.answers)} answers in {self.execution_time:.4f}s virtual, "
+            f"max q-error {self.max_q_error:.2f} — {action}"
+        )
+
+
+def run_with_feedback(
+    engine: "FederatedEngine",
+    query: str,
+    seed: int | None = None,
+    runtime: str | None = None,
+    q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD,
+) -> FeedbackResult:
+    """Execute *query* observed; ingest actuals when estimates missed.
+
+    Returns a :class:`FeedbackResult`; ``replanned`` means observed stats
+    were ingested and subsequent plans of queries sharing this plan's
+    units will re-enumerate against them (cost policies only — heuristic
+    policies never consult the store, so this is a no-op for them beyond
+    the recorded measurements).
+    """
+    answers, stats, observation = engine.observe(query, seed=seed, runtime=runtime)
+    # q-error is measured over the operators an ingest can actually
+    # correct (see ingestible_operators): a dependent-join inner with a
+    # wrong estimate must not trigger replans forever, since its observed
+    # counts are binding-restricted and never enter the store.
+    max_q_error = 1.0
+    for operator in ingestible_operators(observation.plan):
+        profile = observation.profile_for(operator)
+        q = profile.q_error if profile is not None else None
+        if q is not None and q > max_q_error:
+            max_q_error = q
+    result = FeedbackResult(
+        answers=answers,
+        execution_time=stats.execution_time,
+        max_q_error=max_q_error,
+    )
+    if max_q_error >= q_error_threshold:
+        revision_before = engine.observed_stats.revision
+        result.ingested = engine.ingest_observation(observation)
+        result.replanned = engine.observed_stats.revision > revision_before
+    return result

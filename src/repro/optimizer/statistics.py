@@ -1,0 +1,307 @@
+"""The cost-based optimizer's statistics subsystem.
+
+Two stores feed the planner:
+
+* :class:`CatalogStatistics` — a deterministic snapshot of the lake's data:
+  per-table row counts, per-column NDV/null/mode summaries and index flags
+  for every relational source, and per-class/per-predicate cardinalities
+  from the RDF molecule templates.  Collected by one pass over the lake
+  (every collector the relational engine already uses is deterministic),
+  keyed by the lake's catalog-version vector so a mutated lake is never
+  served stale numbers.
+
+* :class:`ObservedStatistics` — actual cardinalities harvested from
+  executed plans.  The planner stamps every plan unit and join with a
+  placement/order-invariant :mod:`~repro.core.statskeys` signature;
+  ingesting a finished :class:`~repro.obs.observation.RunObservation`
+  records each stamped operator's observed ``rows_out`` under its
+  signature.  Later plans of the same (or an overlapping) query look those
+  up and prefer them over catalog estimates — the feedback loop that lets a
+  misestimated query replan better on its second run.
+
+Both persist as JSON (``repro stats collect | show``); loading validates
+the stored catalog version against the live lake.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from ..federation.operators import DependentJoin, FedOperator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..datalake.lake import SemanticDataLake
+    from ..obs.observation import RunObservation
+
+#: Bumped when the persisted layout changes incompatibly.
+STATS_FORMAT_VERSION = 1
+
+
+def signature_key(signature: tuple) -> str:
+    """Canonical JSON string of a stats signature (dict key + persistence)."""
+    return json.dumps(signature, separators=(",", ":"), sort_keys=False)
+
+
+class StaleStatisticsError(ValueError):
+    """A persisted statistics file no longer matches the live lake."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog statistics
+# ---------------------------------------------------------------------------
+
+
+class CatalogStatistics:
+    """Deterministic per-source statistics snapshot of one lake."""
+
+    def __init__(self) -> None:
+        self.catalog_version: tuple = ()
+        #: ``(source_id, table) -> {"rows": int, "columns": {name: {...}}}``
+        self.tables: dict[tuple[str, str], dict] = {}
+        #: ``(source_id, class_iri_n3) -> {"cardinality": int,
+        #: "predicates": {predicate_n3: count}}``
+        self.molecules: dict[tuple[str, str], dict] = {}
+
+    @classmethod
+    def collect(cls, lake: "SemanticDataLake") -> "CatalogStatistics":
+        stats = cls()
+        stats.catalog_version = lake.catalog_version()
+        for source in lake.relational_sources():
+            database = source.database
+            catalog = lake.physical_catalog
+            for table in database.table_names:
+                table_statistics = database.statistics(table)
+                columns = {}
+                for name in sorted(table_statistics.columns):
+                    column = table_statistics.columns[name]
+                    columns[name] = {
+                        "ndv": column.distinct_count,
+                        "nulls": column.null_count,
+                        "mode_fraction": column.most_common_fraction,
+                        "indexed": catalog.is_indexed(source.source_id, table, name),
+                    }
+                self_rows = table_statistics.row_count
+                stats.tables[(source.source_id, table)] = {
+                    "rows": self_rows,
+                    "columns": columns,
+                }
+        for source in lake.sources():
+            for molecule in source.molecule_templates():
+                stats.molecules[(source.source_id, molecule.class_iri.n3())] = {
+                    "cardinality": molecule.cardinality,
+                    "predicates": {
+                        predicate.n3(): count
+                        for predicate, count in sorted(
+                            molecule.predicate_cardinality.items(),
+                            key=lambda item: item[0].n3(),
+                        )
+                    },
+                }
+        return stats
+
+    # -- lookups ------------------------------------------------------------
+
+    def table_rows(self, source_id: str, table: str) -> float:
+        entry = self.tables.get((source_id, table))
+        return float(entry["rows"]) if entry else 0.0
+
+    def column_ndv(self, source_id: str, table: str, column: str) -> float:
+        """Distinct values of one column, floored at 1 (division safety)."""
+        entry = self.tables.get((source_id, table))
+        if not entry:
+            return 1.0
+        info = entry["columns"].get(column)
+        if not info:
+            return 1.0
+        return max(float(info["ndv"]), 1.0)
+
+    def column_indexed(self, source_id: str, table: str, column: str) -> bool:
+        entry = self.tables.get((source_id, table))
+        if not entry:
+            return False
+        info = entry["columns"].get(column)
+        return bool(info and info["indexed"])
+
+    def equality_selectivity(self, source_id: str, table: str, column: str) -> float:
+        """Uniform 1/NDV estimate for ``column = const``."""
+        rows = self.table_rows(source_id, table)
+        if rows <= 0:
+            return 1.0
+        return 1.0 / self.column_ndv(source_id, table, column)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "repro-catalog-stats",
+            "version": STATS_FORMAT_VERSION,
+            "catalog_version": [list(pair) for pair in self.catalog_version],
+            "tables": [
+                {
+                    "source": source_id,
+                    "table": table,
+                    "rows": entry["rows"],
+                    "columns": entry["columns"],
+                }
+                for (source_id, table), entry in sorted(self.tables.items())
+            ],
+            "molecules": [
+                {
+                    "source": source_id,
+                    "class": class_iri,
+                    "cardinality": entry["cardinality"],
+                    "predicates": entry["predicates"],
+                }
+                for (source_id, class_iri), entry in sorted(self.molecules.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CatalogStatistics":
+        if payload.get("kind") != "repro-catalog-stats":
+            raise ValueError("not a repro catalog-statistics payload")
+        stats = cls()
+        stats.catalog_version = tuple(
+            tuple(pair) for pair in payload.get("catalog_version", [])
+        )
+        for entry in payload.get("tables", []):
+            stats.tables[(entry["source"], entry["table"])] = {
+                "rows": entry["rows"],
+                "columns": entry["columns"],
+            }
+        for entry in payload.get("molecules", []):
+            stats.molecules[(entry["source"], entry["class"])] = {
+                "cardinality": entry["cardinality"],
+                "predicates": entry["predicates"],
+            }
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# Observed statistics
+# ---------------------------------------------------------------------------
+
+
+def ingestible_operators(plan) -> list[FedOperator]:
+    """The operators of *plan* whose observed row counts are valid store
+    entries: signature-stamped, outside dependent-join inner subtrees
+    (those run restricted by outer bindings — their counts describe a
+    different sub-query), and not under LIMIT/OFFSET early termination
+    (operators stop early, so ``rows_out`` is not the true cardinality).
+
+    The feedback loop measures q-error over exactly this set: an estimate
+    the ingest cannot correct must not keep triggering replans.
+    """
+    if plan is None:
+        return []
+    query = plan.query
+    if query.limit is not None or query.offset is not None:
+        return []
+    found: list[FedOperator] = []
+
+    def visit(operator: FedOperator) -> None:
+        if operator.stats_signature is not None:
+            found.append(operator)
+        inner = operator.inner if isinstance(operator, DependentJoin) else None
+        for child in operator.children():
+            if child is not inner:
+                visit(child)
+
+    visit(plan.root)
+    return found
+
+
+class ObservedStatistics:
+    """Actual cardinalities learned from executed plans.
+
+    ``revision`` increments whenever a lookup result could change; the
+    engine folds it into cost-policy plan-cache keys, so ingesting fresh
+    observations transparently invalidates cost-based cached plans (and
+    only those — heuristic plans never read this store).
+    """
+
+    def __init__(self) -> None:
+        #: key -> {"signature": jsonable, "rows": float, "ingests": int}
+        self._records: dict[str, dict] = {}
+        self.revision = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def lookup(self, signature: tuple) -> float | None:
+        entry = self._records.get(signature_key(signature))
+        return entry["rows"] if entry is not None else None
+
+    def record(self, signature: tuple, rows: float) -> None:
+        key = signature_key(signature)
+        entry = self._records.get(key)
+        rows = float(rows)
+        if entry is None:
+            self._records[key] = {
+                "signature": json.loads(key),
+                "rows": rows,
+                "ingests": 1,
+            }
+            self.revision += 1
+            return
+        entry["ingests"] += 1
+        if entry["rows"] != rows:
+            entry["rows"] = rows
+            self.revision += 1
+
+    def ingest_observation(self, observation: "RunObservation") -> int:
+        """Record actual rows for every ingestible operator.
+
+        Returns the number of records written.  Deterministic per plan:
+        cold runs, plan-cache-warm runs and batch-mode runs of the same
+        query ingest identical records because profiles count identical
+        rows under every runtime and exec mode.
+        """
+        count = 0
+        for operator in ingestible_operators(observation.plan):
+            profile = observation.profile_for(operator)
+            if profile is not None:
+                self.record(operator.stats_signature, float(profile.rows_out))
+                count += 1
+        return count
+
+    # -- persistence --------------------------------------------------------
+
+    def to_payload(self, catalog_version: tuple) -> dict:
+        return {
+            "kind": "repro-observed-stats",
+            "version": STATS_FORMAT_VERSION,
+            "catalog_version": [list(pair) for pair in catalog_version],
+            "records": [
+                self._records[key] for key in sorted(self._records)
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: dict, catalog_version: tuple | None = None
+    ) -> "ObservedStatistics":
+        """Rebuild a store; with *catalog_version* given, a mismatching
+        stored version raises :class:`StaleStatisticsError` (mutated lakes
+        must not replay observations from their previous contents)."""
+        if payload.get("kind") != "repro-observed-stats":
+            raise ValueError("not a repro observed-statistics payload")
+        if catalog_version is not None:
+            stored = tuple(tuple(pair) for pair in payload.get("catalog_version", []))
+            if stored != tuple(catalog_version):
+                raise StaleStatisticsError(
+                    f"observed statistics were collected at catalog version "
+                    f"{stored}, but the lake is now at {tuple(catalog_version)}"
+                )
+        stats = cls()
+        for entry in payload.get("records", []):
+            stats._records[
+                json.dumps(entry["signature"], separators=(",", ":"))
+            ] = {
+                "signature": entry["signature"],
+                "rows": float(entry["rows"]),
+                "ingests": int(entry.get("ingests", 1)),
+            }
+        stats.revision = len(stats._records)
+        return stats

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from ..benchmark.metrics import answer_set, solution_key
 from ..core.engine import FederatedEngine
@@ -74,6 +74,7 @@ class Mismatch:
 def default_configs(
     runtimes: tuple[str, ...] = ("sequential",),
     execs: tuple[str, ...] = ("row",),
+    policies: Sequence[PlanPolicy] | None = None,
 ) -> list[EngineConfig]:
     """The full matrix: policies × decompositions × cache × runtimes × exec.
 
@@ -83,14 +84,20 @@ def default_configs(
     The exec axis defaults to row-only; passing ``("row", "batch")``
     additionally pins the columnar data plane bitwise against the row
     plane (answers in order *and* virtual-time stats) per configuration.
+    The policy axis defaults to the five heuristic base policies; pass an
+    explicit list to add e.g. the cost-based policy to the matrix.
     """
-    base = [
-        PlanPolicy.physical_design_aware(),
-        PlanPolicy.physical_design_unaware(),
-        PlanPolicy.heuristic2(),
-        PlanPolicy.filters_at_source(),
-        PlanPolicy.dependent_join(),
-    ]
+    base = (
+        list(policies)
+        if policies is not None
+        else [
+            PlanPolicy.physical_design_aware(),
+            PlanPolicy.physical_design_unaware(),
+            PlanPolicy.heuristic2(),
+            PlanPolicy.filters_at_source(),
+            PlanPolicy.dependent_join(),
+        ]
+    )
     configs: list[EngineConfig] = []
     for policy in base:
         for decomposition in (DecompositionKind.STAR, DecompositionKind.TRIPLE):

@@ -126,6 +126,7 @@ def run_fuzz(
     configs: list[EngineConfig] | None = None,
     runtimes: tuple[str, ...] = ("sequential",),
     execs: tuple[str, ...] = ("row",),
+    policies=None,
     check_invariants: bool = True,
     shrink: bool = True,
     on_case: Callable[[int, FuzzCase, list[Mismatch]], None] | None = None,
@@ -145,6 +146,10 @@ def run_fuzz(
             ignored when an explicit *configs* override is given).  With
             both modes present, every base cell additionally gets a
             row-vs-batch bitwise identity check on answers and stats.
+        policies: policy axis of the default matrix — a list of
+            :class:`~repro.core.policy.PlanPolicy` instances (default:
+            the five heuristic base policies; ignored when an explicit
+            *configs* override is given).
         check_invariants: also audit every produced plan.
         shrink: minimize failing cases before reporting/writing them.
         on_case: progress callback ``(index, case, mismatches)``.
@@ -153,7 +158,7 @@ def run_fuzz(
             the forensic artifact CI uploads alongside the reproducer.
     """
     if configs is None:
-        configs = default_configs(runtimes=runtimes, execs=execs)
+        configs = default_configs(runtimes=runtimes, execs=execs, policies=policies)
     report = FuzzReport(seed=seed, iterations=iters, configurations=len(configs))
 
     def check(case: FuzzCase) -> list[Mismatch]:

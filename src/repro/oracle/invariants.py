@@ -215,13 +215,21 @@ def _expected_placement(
     source_id: str,
     plan: "FederatedPlan",
     lake: "SemanticDataLake",
-) -> bool:
-    """Re-derive where this filter belongs (True = pushed to the source)."""
+) -> bool | None:
+    """Re-derive where this filter belongs (True = pushed to the source).
+
+    Returns ``None`` when the placement is legitimately open: under
+    :attr:`FilterPlacement.COST` the optimizer may put any *translatable*
+    filter on either side, so only structural legality is checkable (an
+    untranslatable filter must still stay at the engine).
+    """
     placement = plan.policy.filter_placement
     if placement is FilterPlacement.ENGINE:
         return False
     if not can_translate_filter(filter_, stars):
         return False
+    if placement is FilterPlacement.COST:
+        return None
     if placement is FilterPlacement.SOURCE:
         return True
     columns = filter_columns(filter_, stars)
@@ -263,7 +271,7 @@ def _check_filter_placements(plan: "FederatedPlan", lake: "SemanticDataLake") ->
                 continue
             matched = True
             expected = _expected_placement(decision.filter, stars, source_id, plan, lake)
-            if expected != decision.pushed:
+            if expected is not None and expected != decision.pushed:
                 want = "source" if expected else "engine"
                 got = "source" if decision.pushed else "engine"
                 violations.append(

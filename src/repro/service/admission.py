@@ -32,12 +32,17 @@ Invariants (property-tested in ``tests/service/test_admission.py``):
 * a shed request receives a structured refusal naming the reason and the
   limit that triggered it.
 
-Scheduling across tenants is global-FIFO-with-skipping: the controller
-scans the queue in submission order and starts every request whose tenant
-has a free slot until the global limit is reached.  A tenant at its limit
-is skipped without blocking younger requests of other tenants (no
-head-of-line blocking across tenants), while per-tenant order is
-preserved because the scan itself is in submission order.
+Scheduling across tenants is weighted fair-share via stride scheduling:
+each tenant carries a virtual *pass* that advances by ``1 / weight`` every
+time one of its requests starts, and the controller repeatedly starts the
+queued head of the startable tenant with the lowest pass (ties broken by
+submission order, so a fresh controller with equal weights begins in FIFO
+order).  A tenant with weight 3 therefore gets ~3x the starts of a
+weight-1 tenant under contention, while per-tenant FIFO order is
+preserved because only each tenant's head is ever eligible.  A tenant at
+its concurrency limit is skipped without blocking other tenants (no
+cross-tenant head-of-line blocking), and a tenant going idle has its pass
+caught up to the active minimum on return, so idleness banks no credit.
 """
 
 from __future__ import annotations
@@ -78,6 +83,8 @@ class Ticket:
     finished_at: float | None = None
     #: Shed/timeout detail for the structured refusal.
     reason: str | None = None
+    #: The tenant's stride pass when this ticket started (fair-share audit).
+    stride_pass: float | None = None
 
     @property
     def terminal(self) -> bool:
@@ -106,6 +113,7 @@ class Ticket:
             "finished_at": self.finished_at,
             "deadline": self.deadline,
             "reason": self.reason,
+            "stride_pass": self.stride_pass,
         }
 
 
@@ -143,6 +151,9 @@ class AdmissionController:
         self._running_global = 0
         self._running_by_tenant: dict[str, int] = {}
         self._queued_by_tenant: dict[str, int] = {}
+        #: Stride-scheduling virtual pass per tenant; advances by
+        #: ``1 / weight`` on every start, never decreases.
+        self._pass_by_tenant: dict[str, float] = {}
         self._seq = 0
         self.metrics = AdmissionMetrics()
 
@@ -192,9 +203,39 @@ class AdmissionController:
             return self._shed(ticket, REASON_UNKNOWN_TENANT)
         if self.queued_for(tenant) >= limits.queue_depth:
             return self._shed(ticket, REASON_TENANT_QUEUE_FULL)
+        if self.queued_for(tenant) == 0 and self.running_for(tenant) == 0:
+            self._activate_tenant(tenant)
         self._queue.append(ticket)
         self._queued_by_tenant[tenant] = self.queued_for(tenant) + 1
         return ticket
+
+    def _activate_tenant(self, tenant: str) -> None:
+        """Catch an idle tenant's pass up to the active minimum.
+
+        A tenant with no queued or running work must not accumulate
+        fair-share credit while idle: on its first new submission its pass
+        jumps to the smallest pass among currently active tenants (never
+        backwards), so it competes from *now* instead of replaying the
+        whole backlog it skipped.  When *no* tenant is active the whole
+        system has drained: the activating tenant jumps to the historical
+        peak pass instead, so the next busy period starts even — debt
+        never carries across idle gaps, yet passes stay monotone (the
+        property the post-hoc fairness audit depends on).
+        """
+        active = [
+            self._pass_by_tenant.get(other, 0.0)
+            for other in set(self._queued_by_tenant) | set(self._running_by_tenant)
+            if other != tenant
+            and (self.queued_for(other) > 0 or self.running_for(other) > 0)
+        ]
+        if active:
+            floor = min(active)
+        elif self._pass_by_tenant:
+            floor = max(self._pass_by_tenant.values())
+        else:
+            return
+        current = self._pass_by_tenant.get(tenant, 0.0)
+        self._pass_by_tenant[tenant] = max(current, floor)
 
     def _shed(self, ticket: Ticket, reason: str) -> Ticket:
         ticket.state = SHED
@@ -226,39 +267,58 @@ class AdmissionController:
         return expired
 
     def start_ready(self, now: float) -> list[Ticket]:
-        """Move every startable queued ticket to RUNNING, in FIFO order.
+        """Move every startable queued ticket to RUNNING, fair-share order.
 
         Expired tickets are timed out first, so a request never *starts*
-        past its deadline.
+        past its deadline.  While slots remain, the queued head of the
+        startable tenant with the lowest ``(pass, seq)`` key starts next
+        (stride scheduling) — per-tenant FIFO is preserved because only
+        each tenant's earliest queued ticket is ever eligible.
         """
         started: list[Ticket] = []
         self.expire_queued(now)
         if not self._queue:
             return started
-        survivors: deque[Ticket] = deque()
-        tenant_limits: dict[str, TenantConfig] = {}
+        # Earliest queued ticket per tenant (the queue is in seq order).
+        heads: dict[str, Ticket] = {}
         for ticket in self._queue:
-            if self._running_global >= self.config.global_concurrency:
-                survivors.append(ticket)
-                continue
-            limits = tenant_limits.get(ticket.tenant)
-            if limits is None:
-                limits = tenant_limits[ticket.tenant] = self.config.tenant(
-                    ticket.tenant
-                )
-            if self.running_for(ticket.tenant) >= limits.max_concurrency:
-                survivors.append(ticket)
-                continue
-            self._queued_by_tenant[ticket.tenant] -= 1
-            self._running_by_tenant[ticket.tenant] = (
-                self.running_for(ticket.tenant) + 1
+            if ticket.tenant not in heads:
+                heads[ticket.tenant] = ticket
+        tenant_limits: dict[str, TenantConfig] = {}
+        while heads and self._running_global < self.config.global_concurrency:
+            best: tuple[float, int] | None = None
+            best_tenant: str | None = None
+            for tenant, head in heads.items():
+                limits = tenant_limits.get(tenant)
+                if limits is None:
+                    limits = tenant_limits[tenant] = self.config.tenant(tenant)
+                if self.running_for(tenant) >= limits.max_concurrency:
+                    continue
+                key = (self._pass_by_tenant.get(tenant, 0.0), head.seq)
+                if best is None or key < best:
+                    best = key
+                    best_tenant = tenant
+            if best_tenant is None or best is None:
+                break
+            ticket = heads.pop(best_tenant)
+            self._queue.remove(ticket)
+            self._queued_by_tenant[best_tenant] -= 1
+            self._running_by_tenant[best_tenant] = (
+                self.running_for(best_tenant) + 1
             )
             self._running_global += 1
             ticket.state = RUNNING
             ticket.started_at = now
+            ticket.stride_pass = best[0]
+            self._pass_by_tenant[best_tenant] = (
+                best[0] + 1.0 / tenant_limits[best_tenant].weight
+            )
             self.metrics.started += 1
             started.append(ticket)
-        self._queue = survivors
+            for queued in self._queue:
+                if queued.tenant == best_tenant:
+                    heads[best_tenant] = queued
+                    break
         return started
 
     def complete(self, ticket: Ticket, now: float) -> Ticket:
@@ -305,6 +365,7 @@ def audit_schedule(tickets: Iterable[Ticket], config: ServiceConfig) -> list[str
     violations: list[str] = []
     events: list[tuple[float, int, int, Ticket]] = []  # (time, order, delta, t)
     starts_by_tenant: dict[str, list[tuple[int, float, str]]] = {}
+    by_tenant: dict[str, list[Ticket]] = {}  # accepted tickets, seq order
     for ticket in sorted(tickets, key=lambda t: t.seq):
         if not ticket.terminal:
             violations.append(
@@ -316,6 +377,7 @@ def audit_schedule(tickets: Iterable[Ticket], config: ServiceConfig) -> list[str
             if ticket.reason is None:
                 violations.append(f"{ticket.request_id}: shed without a reason")
             continue
+        by_tenant.setdefault(ticket.tenant, []).append(ticket)
         if ticket.state == TIMED_OUT and ticket.started_at is None:
             continue  # queued-timeout: never ran
         if ticket.started_at is None or ticket.finished_at is None:
@@ -361,4 +423,74 @@ def audit_schedule(tickets: Iterable[Ticket], config: ServiceConfig) -> list[str
                 f"t={time:.6f}: tenant {ticket.tenant!r} has {count} running, "
                 f"limit {limit}"
             )
+    # Weighted fair-share (stride): a ticket that started at time t with
+    # pass P must not have skipped over another tenant whose queued head
+    # was startable under a strictly lower (pass, seq) key.  The pass a
+    # tenant held at t is bounded from above by the recorded pass of its
+    # next start strictly after t (passes only ever grow), and running
+    # counts are taken inclusively at both endpoints — both conservative,
+    # so every flagged violation is real (the check can only under-report).
+    started_by_tenant: dict[str, list[Ticket]] = {
+        tenant: sorted(
+            (t for t in group if t.started_at is not None),
+            key=lambda t: (t.started_at, t.seq),
+        )
+        for tenant, group in by_tenant.items()
+    }
+    for tenant, starts in started_by_tenant.items():
+        for ticket in starts:
+            if ticket.stride_pass is None:
+                continue
+            t0 = ticket.started_at
+            for other, group in by_tenant.items():
+                if other == tenant:
+                    continue
+                head = None
+                for candidate in group:  # seq order: first match is the head
+                    queued_past_t0 = (
+                        candidate.started_at > t0
+                        if candidate.started_at is not None
+                        else (
+                            candidate.finished_at is not None
+                            and candidate.finished_at > t0
+                        )
+                    )
+                    if (
+                        candidate.submitted_at <= t0
+                        and queued_past_t0
+                        and (candidate.deadline is None or candidate.deadline > t0)
+                    ):
+                        head = candidate
+                        break
+                if head is None:
+                    continue
+                running = sum(
+                    1
+                    for other_ticket in started_by_tenant.get(other, ())
+                    if other_ticket.started_at <= t0
+                    and (
+                        other_ticket.finished_at is None
+                        or other_ticket.finished_at >= t0
+                    )
+                )
+                if running >= config.tenant(other).max_concurrency:
+                    continue
+                bound = next(
+                    (
+                        other_ticket.stride_pass
+                        for other_ticket in started_by_tenant.get(other, ())
+                        if other_ticket.started_at > t0
+                        and other_ticket.stride_pass is not None
+                    ),
+                    None,
+                )
+                if bound is None:
+                    continue
+                if (bound, head.seq) < (ticket.stride_pass, ticket.seq):
+                    violations.append(
+                        f"{ticket.request_id}: started at {t0:.6f} with pass "
+                        f"{ticket.stride_pass:.4f} while tenant {other!r} head "
+                        f"{head.request_id} was startable at pass <= "
+                        f"{bound:.4f} — weighted fair-share violation"
+                    )
     return violations

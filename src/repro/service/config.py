@@ -40,8 +40,10 @@ _TENANT_KEYS = frozenset({"max_concurrency", "queue_depth", "weight"})
 class TenantConfig:
     """Admission limits of one tenant.
 
-    ``weight`` is only used by the workload driver (tenant skew); the
-    admission controller itself never consults it.
+    ``weight`` is the tenant's fair-share weight: the admission
+    controller's stride scheduler gives a weight-3 tenant ~3x the starts
+    of a weight-1 tenant under contention.  The workload driver also uses
+    it as the tenant-skew weight when generating traffic.
     """
 
     name: str
@@ -121,6 +123,9 @@ class ServiceConfig:
     batch_size: int | None = None
     plan_cache_size: int = 512
     subresult_cache_size: int = 4096
+    #: Cross-request result cache entries, keyed on (canonical query,
+    #: catalog version, seed, runtime, exec); 0 disables the cache.
+    result_cache_size: int = 256
 
     def validate(self) -> None:
         if not isinstance(self.port, int) or not (0 <= self.port <= 65535):
@@ -151,6 +156,11 @@ class ServiceConfig:
             raise ServiceConfigError(
                 "subresult_cache_size must be a positive integer, "
                 f"got {self.subresult_cache_size!r}"
+            )
+        if not isinstance(self.result_cache_size, int) or self.result_cache_size < 0:
+            raise ServiceConfigError(
+                "result_cache_size must be a non-negative integer "
+                f"(0 disables), got {self.result_cache_size!r}"
             )
         self.default_tenant.validate()
         for name, tenant in self.tenants.items():
@@ -204,6 +214,8 @@ class ServiceConfig:
             f"strict_tenants={self.strict_tenants}",
             f"default       concurrency={self.default_tenant.max_concurrency} "
             f"queue={self.default_tenant.queue_depth}",
+            f"result-cache  "
+            f"{'off' if not self.result_cache_size else f'{self.result_cache_size} entries'}",
         ]
         for name in sorted(self.tenants):
             tenant = self.tenants[name]

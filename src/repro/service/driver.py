@@ -527,8 +527,17 @@ def run_load(
             finish_info[ticket.request_id] = (duration, answer_count)
             schedule(now + duration, _FINISH, ticket.request_id)
 
+    clock = 0.0
     while heap:
-        now, kind, __, payload = heapq.heappop(heap)
+        when, kind, __, payload = heapq.heappop(heap)
+        # A client that timed out in the queue reacts at its *deadline*,
+        # which may schedule its next arrival before events the simulation
+        # has already processed.  Handle such events at the current clock —
+        # virtual time must stay monotone or the audited start/finish
+        # timestamps would violate causality (overlap a slot that was only
+        # freed later).
+        clock = when if when > clock else clock
+        now = clock
         if kind == _ARRIVE:
             client, round_index = payload
             tenant = client_tenant[client]

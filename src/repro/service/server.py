@@ -23,7 +23,8 @@ API:
 * ``GET /queries/<id>/result`` — the answers (N3-serialized terms) plus
   execution stats; ``409`` while not finished, ``504`` after a timeout.
 * ``GET /queries/<id>/trace`` — per-request Chrome trace (observe mode).
-* ``GET /stats`` — admission metrics + shared cache counters.
+* ``GET /stats`` — admission metrics + shared cache counters (engine
+  caches and the cross-request result cache).
 * ``GET /healthz`` — liveness.
 
 Every request's execution carries its request ID into the PR-4 trace bus
@@ -41,7 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
@@ -159,6 +162,16 @@ class QueryService:
             subresult_cache_size=config.subresult_cache_size,
         )
         self.admission = AdmissionController(config)
+        self._lake = lake
+        # Cross-request result cache: (canonical query, catalog version,
+        # seed, runtime, exec) -> (serialized answers, stats).  The catalog
+        # version in the key invalidates every entry the moment the lake's
+        # data changes; LRU-bounded by ``config.result_cache_size``.
+        # Observed runs bypass it — a trace must measure a real execution.
+        self._result_cache: OrderedDict[tuple, tuple[list, dict]] = OrderedDict()
+        self._result_cache_lock = threading.Lock()
+        self._result_cache_hits = 0
+        self._result_cache_misses = 0
         self._requests: dict[str, _Request] = {}
         self._counter = 0
         self._executor = ThreadPoolExecutor(
@@ -298,11 +311,19 @@ class QueryService:
         caches = {
             name: stats.as_dict() for name, stats in self.pool.cache_stats().items()
         }
+        with self._result_cache_lock:
+            result_cache = {
+                "capacity": self.config.result_cache_size,
+                "entries": len(self._result_cache),
+                "hits": self._result_cache_hits,
+                "misses": self._result_cache_misses,
+            }
         return 200, {
             "admission": self.admission.snapshot(),
             "caches": caches,
             "pool": {"engines": len(self.pool)},
             "requests": len(self._requests),
+            "result_cache": result_cache,
         }
 
     async def drain(self) -> None:
@@ -367,12 +388,35 @@ class QueryService:
         record.finished.set()
         self._pump()
 
+    def _result_cache_key(self, query_text: str, record: _Request) -> tuple:
+        """Cache identity of one execution: canonical (whitespace-folded)
+        query text, the lake's catalog version, and every knob that can
+        change the answer stream (seed, runtime, exec mode)."""
+        return (
+            " ".join(query_text.split()),
+            self._lake.catalog_version(),
+            record.seed,
+            record.runtime or self.config.runtime,
+            record.exec or self.config.exec,
+        )
+
     def _run_query(self, record: _Request):
         """Executor-thread body: borrow an engine, run, serialize."""
         from ..datasets import BENCHMARK_QUERIES
 
         named = BENCHMARK_QUERIES.get(record.query)
         query_text = named.text if named is not None else record.query
+        use_cache = self.config.result_cache_size > 0 and not self.config.observe
+        key = self._result_cache_key(query_text, record) if use_cache else None
+        if use_cache:
+            with self._result_cache_lock:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    self._result_cache.move_to_end(key)
+                    self._result_cache_hits += 1
+                    answers, stats = cached
+                    return answers, dict(stats, result_cache="hit"), None
+                self._result_cache_misses += 1
         engine = self.pool.checkout()
         try:
             stream = engine.execute(
@@ -387,17 +431,22 @@ class QueryService:
             observation = stream.observation
             if observation is not None:
                 observation.request_id = record.ticket.request_id
-            return (
-                serialize_answers(answers),
-                {
-                    "answers": stats.answers,
-                    "execution_time": stats.execution_time,
-                    "time_to_first_answer": stats.time_to_first_answer,
-                    "messages": stats.messages,
-                    "cache": stats.cache_summary(),
-                },
-                observation,
-            )
+            serialized = serialize_answers(answers)
+            stats_doc = {
+                "answers": stats.answers,
+                "execution_time": stats.execution_time,
+                "time_to_first_answer": stats.time_to_first_answer,
+                "messages": stats.messages,
+                "cache": stats.cache_summary(),
+            }
+            if use_cache:
+                with self._result_cache_lock:
+                    self._result_cache[key] = (serialized, stats_doc)
+                    self._result_cache.move_to_end(key)
+                    while len(self._result_cache) > self.config.result_cache_size:
+                        self._result_cache.popitem(last=False)
+                return serialized, dict(stats_doc, result_cache="miss"), observation
+            return serialized, stats_doc, observation
         finally:
             self.pool.checkin(engine)
 

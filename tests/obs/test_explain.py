@@ -58,7 +58,16 @@ class TestExplain:
         assert payload["policy"] == report.policy
         assert len(payload["decisions"]) == len(report.decisions)
         assert all(
-            set(entry) == {"heuristic", "subject", "taken", "outcome", "reason"}
+            set(entry)
+            == {
+                "heuristic",
+                "subject",
+                "taken",
+                "outcome",
+                "reason",
+                "estimate",
+                "alternative_estimate",
+            }
             for entry in payload["decisions"]
         )
 

@@ -1,0 +1,86 @@
+"""The observe -> ingest -> replan feedback loop, deterministically."""
+
+from repro.benchmark.baseline import NETWORK_CHOICES
+from repro.core.engine import FederatedEngine
+from repro.core.policy import PlanPolicy
+from repro.datasets import BENCHMARK_QUERIES
+from repro.optimizer import DEFAULT_Q_ERROR_THRESHOLD, run_with_feedback
+
+QUERY = BENCHMARK_QUERIES["Q2"].text
+
+
+def make_engine(lake, network="gamma3"):
+    return FederatedEngine(
+        lake, policy=PlanPolicy.cost(), network=NETWORK_CHOICES[network]()
+    )
+
+
+def signatures_of(observation):
+    found = []
+
+    def visit(operator):
+        if operator.stats_signature is not None:
+            found.append(operator.stats_signature)
+        for child in operator.children():
+            visit(child)
+
+    visit(observation.plan.root)
+    return found
+
+
+def test_misestimate_triggers_ingest_and_replans_better(small_lslod_lake):
+    # Learn the query's signatures from a throwaway engine, then plant a
+    # grossly wrong cardinality for every one of them on a fresh engine.
+    scout = make_engine(small_lslod_lake)
+    __, __, observation = scout.observe(QUERY, seed=7)
+    signatures = signatures_of(observation)
+    assert signatures, "cost plans must stamp stats signatures"
+
+    engine = make_engine(small_lslod_lake)
+    for index, signature in enumerate(signatures):
+        engine.observed_stats.record(signature, 1.0 if index % 2 else 250_000.0)
+
+    first = run_with_feedback(engine, QUERY, seed=7)
+    assert first.max_q_error >= DEFAULT_Q_ERROR_THRESHOLD
+    assert first.ingested > 0
+    assert first.replanned
+    # The ingest overwrote the planted lies with observed actuals.
+    second = run_with_feedback(engine, QUERY, seed=7)
+    canon = lambda answers: sorted(
+        tuple(sorted((k, v.n3()) for k, v in a.items())) for a in answers
+    )
+    assert canon(second.answers) == canon(first.answers)
+    assert second.max_q_error < first.max_q_error
+    assert second.execution_time <= first.execution_time
+    # Well-estimated now: below the threshold, no further ingest.
+    assert second.max_q_error < DEFAULT_Q_ERROR_THRESHOLD
+    assert not second.replanned
+
+
+def test_feedback_loop_is_deterministic(small_lslod_lake):
+    outcomes = []
+    for __ in range(2):
+        engine = make_engine(small_lslod_lake)
+        first = run_with_feedback(engine, QUERY, seed=7)
+        second = run_with_feedback(engine, QUERY, seed=7)
+        outcomes.append(
+            (
+                first.describe(),
+                second.describe(),
+                first.answers,
+                second.answers,
+                engine.observed_stats.revision,
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_clean_run_does_not_ingest(small_lslod_lake):
+    engine = make_engine(small_lslod_lake)
+    # Seed the store from one observed run so estimates match actuals.
+    __, __, observation = engine.observe(QUERY, seed=7)
+    engine.ingest_observation(observation)
+    result = run_with_feedback(engine, QUERY, seed=7)
+    assert result.max_q_error < DEFAULT_Q_ERROR_THRESHOLD
+    assert result.ingested == 0
+    assert not result.replanned

@@ -1,0 +1,92 @@
+"""Cost-based planning: determinism, answer identity, and calibration."""
+
+import pytest
+
+from repro.benchmark.baseline import NETWORK_CHOICES
+from repro.core.engine import FederatedEngine
+from repro.core.policy import PlanPolicy
+from repro.datasets import BENCHMARK_QUERIES
+from repro.optimizer import analytic_constants, calibrate_constants
+
+QUERIES = ["Q1", "Q2", "Q3", "Q4", "Q5"]
+
+
+def make_engine(lake, policy, network="nodelay"):
+    return FederatedEngine(
+        lake, policy=policy, network=NETWORK_CHOICES[network]()
+    )
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_cost_plans_are_bit_reproducible(small_lslod_lake, name):
+    query = BENCHMARK_QUERIES[name].text
+    runs = []
+    for __ in range(2):
+        engine = make_engine(small_lslod_lake, PlanPolicy.cost())
+        answers, stats, observation = engine.observe(query, seed=42)
+        runs.append(
+            (
+                [tuple(sorted((k, v.n3()) for k, v in a.items())) for a in answers],
+                stats.execution_time,
+                observation.plan.root.explain(indent=1),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+@pytest.mark.parametrize("name", QUERIES)
+@pytest.mark.parametrize("network", ["nodelay", "gamma3"])
+def test_cost_policy_answers_match_heuristics(small_lslod_lake, name, network):
+    query = BENCHMARK_QUERIES[name].text
+    reference, __ = make_engine(
+        small_lslod_lake, PlanPolicy.physical_design_aware(), network
+    ).run(query, seed=42)
+    cost_answers, __ = make_engine(
+        small_lslod_lake, PlanPolicy.cost(), network
+    ).run(query, seed=42)
+    canon = lambda answers: sorted(
+        tuple(sorted((k, v.n3()) for k, v in a.items())) for a in answers
+    )
+    assert canon(cost_answers) == canon(reference)
+
+
+def test_observed_revision_invalidates_cost_plan_cache(small_lslod_lake):
+    engine = FederatedEngine(
+        small_lslod_lake,
+        policy=PlanPolicy.cost(),
+        network=NETWORK_CHOICES["nodelay"](),
+        enable_plan_cache=True,
+        enable_subresult_cache=False,
+    )
+    query = BENCHMARK_QUERIES["Q2"].text
+    __, __, observation = engine.observe(query, seed=7)
+    misses_before = engine.cache_stats()["plans"].misses
+    engine.observe(query, seed=7)  # warm: same plan-cache key
+    assert engine.cache_stats()["plans"].hits > 0
+    ingested = engine.ingest_observation(observation)
+    assert ingested > 0
+    engine.observe(query, seed=7)  # revision changed: key differs, replan
+    assert engine.cache_stats()["plans"].misses > misses_before
+
+
+def test_calibrated_constants_stay_positive():
+    import json
+    import pathlib
+
+    from repro.network.costmodel import CostModel
+
+    cost_model = CostModel()
+    network = NETWORK_CHOICES["gamma3"]()
+    constants = analytic_constants(cost_model, network)
+    assert constants.request > 0
+    assert constants.transfer_per_row > 0
+    assert constants.hash_work > 0
+    baseline_path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_plan_quality.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed plan-quality baseline in this checkout")
+    baseline = json.loads(baseline_path.read_text())
+    calibrated = calibrate_constants(baseline, cost_model, network)
+    assert calibrated.request > 0
+    assert calibrated.transfer_per_row > 0
+    # Calibration touches only the network-priced constants.
+    assert calibrated.hash_work == constants.hash_work

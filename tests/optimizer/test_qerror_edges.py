@@ -1,0 +1,138 @@
+"""q-error edge cases feeding the calibrator (ISSUE-8 satellite).
+
+Three ways an observed-stats ingest could silently diverge and corrupt
+the feedback loop: zero-row operators (the 1-row floor), plan-cache-warm
+re-runs, and batch-mode execution.  All must ingest the exact records a
+cold row-mode run does.
+"""
+
+import json
+
+from repro.benchmark.baseline import NETWORK_CHOICES
+from repro.core.engine import FederatedEngine
+from repro.core.policy import PlanPolicy
+from repro.datasets import BENCHMARK_QUERIES
+from repro.obs.profile import q_error
+from repro.optimizer import ObservedStatistics
+
+#: Q2 with an impossible constant: structurally identical, zero answers.
+ZERO_ROW_QUERY = BENCHMARK_QUERIES["Q2"].text.replace(
+    '"cancer"', '"no-such-disease-class"'
+)
+
+
+def observe(lake, query, *, policy=None, cache=False, exec="row", seed=7):
+    engine = FederatedEngine(
+        lake,
+        policy=policy or PlanPolicy.cost(),
+        network=NETWORK_CHOICES["nodelay"](),
+        enable_plan_cache=cache,
+        enable_subresult_cache=cache,
+    )
+    stream = engine.execute(query, seed=seed, observe=True, exec=exec)
+    answers = stream.collect()
+    return engine, answers, stream.observation
+
+
+def ingested_records(observation, catalog_version):
+    stats = ObservedStatistics()
+    count = stats.ingest_observation(observation)
+    payload = stats.to_payload(catalog_version)
+    return count, json.dumps(payload, sort_keys=True, default=list)
+
+
+def test_q_error_zero_row_floor():
+    assert q_error(0.0, 0.0) == 1.0  # 0-vs-0 is a perfect estimate
+    assert q_error(0.0, 5.0) == 5.0  # degrades like 1-vs-5
+    assert q_error(3.0, 0.0) == 3.0
+    assert q_error(0.5, 0.25) == 1.0  # sub-row values clamp, never blow up
+
+
+def test_zero_row_query_ingests_zero_cardinalities(small_lslod_lake):
+    engine, answers, observation = observe(small_lslod_lake, ZERO_ROW_QUERY)
+    assert answers == []
+    count = engine.ingest_observation(observation)
+    assert count > 0
+    # At least one signature recorded an actual of zero rows, and a
+    # subsequent lookup must return that 0.0 (not be mistaken for "absent").
+    recorded = [
+        engine.observed_stats.lookup(signature)
+        for signature in iter_signatures(observation)
+    ]
+    assert 0.0 in recorded
+    assert all(rows is not None for rows in recorded)
+    # q-errors stay finite on the replanned run.
+    from repro.optimizer import run_with_feedback
+
+    result = run_with_feedback(engine, ZERO_ROW_QUERY, seed=7)
+    assert result.max_q_error >= 1.0
+    assert result.answers == []
+
+
+def iter_signatures(observation):
+    found = []
+
+    def visit(operator):
+        if operator.stats_signature is not None:
+            found.append(operator.stats_signature)
+        for child in operator.children():
+            visit(child)
+
+    visit(observation.plan.root)
+    return found
+
+
+def test_plan_cache_warm_run_ingests_identically(small_lslod_lake):
+    version = small_lslod_lake.catalog_version()
+    query = BENCHMARK_QUERIES["Q2"].text
+    engine = FederatedEngine(
+        small_lslod_lake,
+        policy=PlanPolicy.cost(),
+        network=NETWORK_CHOICES["nodelay"](),
+        enable_plan_cache=True,
+        enable_subresult_cache=False,
+    )
+    cold = engine.execute(query, seed=7, observe=True)
+    cold.collect()
+    warm = engine.execute(query, seed=7, observe=True)
+    warm.collect()
+    assert engine.cache_stats()["plans"].hits > 0
+    cold_count, cold_payload = ingested_records(cold.observation, version)
+    warm_count, warm_payload = ingested_records(warm.observation, version)
+    assert cold_count == warm_count > 0
+    assert cold_payload == warm_payload
+
+
+def test_batch_exec_ingests_identically_to_row(small_lslod_lake):
+    version = small_lslod_lake.catalog_version()
+    query = BENCHMARK_QUERIES["Q2"].text
+    __, row_answers, row_obs = observe(small_lslod_lake, query, exec="row")
+    __, batch_answers, batch_obs = observe(small_lslod_lake, query, exec="batch")
+    assert len(row_answers) == len(batch_answers)
+    row_count, row_payload = ingested_records(row_obs, version)
+    batch_count, batch_payload = ingested_records(batch_obs, version)
+    assert row_count == batch_count > 0
+    assert row_payload == batch_payload
+
+
+def test_heuristic_policy_ingests_match_cost_policy(small_lslod_lake):
+    """Observed-stats signatures are placement-invariant: the same query
+    observed under a heuristic policy feeds the cost planner the same
+    star-level cardinalities (join trees may differ, so only the shared
+    signatures are compared)."""
+    version = small_lslod_lake.catalog_version()
+    query = BENCHMARK_QUERIES["Q2"].text
+    __, __, cost_obs = observe(small_lslod_lake, query)
+    __, __, aware_obs = observe(
+        small_lslod_lake, query, policy=PlanPolicy.physical_design_aware()
+    )
+    cost_stats = ObservedStatistics()
+    cost_stats.ingest_observation(cost_obs)
+    aware_stats = ObservedStatistics()
+    aware_stats.ingest_observation(aware_obs)
+    shared = set(map(tuple, (s for s in iter_signatures(cost_obs)))) & set(
+        map(tuple, (s for s in iter_signatures(aware_obs)))
+    )
+    assert shared
+    for signature in shared:
+        assert cost_stats.lookup(signature) == aware_stats.lookup(signature)

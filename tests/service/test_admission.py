@@ -330,3 +330,128 @@ def test_random_schedules_exercise_every_outcome():
 def test_controller_rejects_invalid_config():
     with pytest.raises(ServiceConfigError):
         AdmissionController(ServiceConfig(global_concurrency=0))
+
+
+# -- weighted fair share (stride scheduling) ----------------------------------
+
+
+def weighted_config() -> ServiceConfig:
+    return make_config(
+        global_concurrency=1,
+        tenants={
+            "a": TenantConfig(name="a", max_concurrency=1, queue_depth=32, weight=2.0),
+            "b": TenantConfig(name="b", max_concurrency=1, queue_depth=32, weight=1.0),
+        },
+    )
+
+
+def drain_one_at_a_time(ctl: AdmissionController, start: float = 1.0) -> list[str]:
+    """Start and immediately complete one ticket at a time; returns tenants
+    in start order (global_concurrency=1 makes each pump start exactly one)."""
+    order = []
+    now = start
+    while ctl.queued:
+        started = ctl.start_ready(now)
+        assert len(started) == 1
+        order.append(started[0].tenant)
+        ctl.complete(started[0], now + 0.5)
+        now += 1.0
+    return order
+
+
+def test_weight_2_tenant_gets_twice_the_starts():
+    ctl = AdmissionController(weighted_config())
+    for index in range(8):
+        ctl.submit(f"a{index}", "a", 0.0)
+    for index in range(4):
+        ctl.submit(f"b{index}", "b", 0.0)
+    order = drain_one_at_a_time(ctl)
+    # Stride with weights 2:1 — tenant a starts twice for every b start,
+    # and equal passes break ties by submission order.
+    assert order == ["a", "b", "a", "a", "b", "a", "a", "b", "a", "a", "b", "a"]
+
+
+def test_started_tickets_record_their_stride_pass():
+    ctl = AdmissionController(weighted_config())
+    ctl.submit("a0", "a", 0.0)
+    ctl.submit("b0", "b", 0.0)
+    first, = ctl.start_ready(1.0)
+    assert first.tenant == "a" and first.stride_pass == 0.0
+    assert first.to_dict()["stride_pass"] == 0.0
+    ctl.complete(first, 2.0)
+    second, = ctl.start_ready(2.0)
+    assert second.tenant == "b" and second.stride_pass == 0.0
+
+
+def test_idle_tenant_banks_no_credit():
+    config = make_config(
+        global_concurrency=1,
+        tenants={
+            "a": TenantConfig(name="a", max_concurrency=1, queue_depth=32),
+            "b": TenantConfig(name="b", max_concurrency=1, queue_depth=32),
+        },
+    )
+    ctl = AdmissionController(config)
+    # Tenant a alone works through a backlog (its pass climbs to 4)...
+    for index in range(4):
+        ctl.submit(f"a{index}", "a", 0.0)
+    assert drain_one_at_a_time(ctl) == ["a"] * 4
+    # ...the system drains, then both tenants return together.  A new busy
+    # period starts from even passes: strict alternation, not b twice first.
+    ctl.submit("b4", "b", 10.0)
+    ctl.submit("b5", "b", 10.0)
+    ctl.submit("a4", "a", 10.0)
+    ctl.submit("a5", "a", 10.0)
+    assert drain_one_at_a_time(ctl, start=10.0) == ["b", "a", "b", "a"]
+
+
+def test_audit_flags_weighted_unfairness():
+    config = make_config(
+        global_concurrency=2,
+        tenants={
+            "a": TenantConfig(name="a", max_concurrency=2, queue_depth=32),
+            "b": TenantConfig(name="b", max_concurrency=2, queue_depth=32),
+        },
+    )
+    # Tenant a started at pass 5.0 while tenant b's head (queued since 0.0,
+    # startable, pass 0.0 when it finally started) was skipped.
+    unfair = [
+        Ticket(
+            "r1", "a", 0.0, seq=1, state=DONE,
+            started_at=1.0, finished_at=3.0, stride_pass=5.0,
+        ),
+        Ticket(
+            "r2", "b", 0.0, seq=2, state=DONE,
+            started_at=2.0, finished_at=3.0, stride_pass=0.0,
+        ),
+    ]
+    violations = audit_schedule(unfair, config)
+    assert any("weighted fair-share violation" in v for v in violations)
+    # Same schedule with the passes the stride scheduler would actually
+    # have produced (a picked at the lower pass) is clean.
+    fair = [
+        Ticket(
+            "r1", "a", 0.0, seq=1, state=DONE,
+            started_at=1.0, finished_at=3.0, stride_pass=0.0,
+        ),
+        Ticket(
+            "r2", "b", 0.0, seq=2, state=DONE,
+            started_at=2.0, finished_at=3.0, stride_pass=0.0,
+        ),
+    ]
+    assert audit_schedule(fair, config) == []
+
+
+def test_weighted_schedule_passes_its_own_audit():
+    ctl = AdmissionController(weighted_config())
+    log = []
+    for index in range(6):
+        log.append(ctl.submit(f"a{index}", "a", 0.0))
+    for index in range(6):
+        log.append(ctl.submit(f"b{index}", "b", 0.0))
+    now = 1.0
+    while ctl.queued:
+        for ticket in ctl.start_ready(now):
+            ctl.complete(ticket, now + 0.5)
+        now += 1.0
+    assert audit_schedule(log, ctl.config) == []

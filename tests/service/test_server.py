@@ -414,3 +414,84 @@ def test_concurrent_http_submissions_all_answered(small_lslod_lake):
 
     for name, answers in run(scenario()):
         assert answers == expected[name], name
+
+
+# -- cross-request result cache -----------------------------------------------
+
+
+async def submit_and_fetch(port, payload):
+    status, __h, body = await http(port, "POST", "/queries", payload)
+    assert status == 202
+    await poll_until_terminal(port, body["request_id"])
+    status, __h, result = await http(
+        port, "GET", f"/queries/{body['request_id']}/result"
+    )
+    assert status == 200
+    return result
+
+
+def test_result_cache_hit_serves_identical_answers(small_lslod_lake):
+    config = ServiceConfig(port=0, workers=2, global_concurrency=2)
+
+    async def scenario():
+        async with ServiceHarness(small_lslod_lake, config) as harness:
+            payload = {"query": "Q1", "tenant": "acme", "seed": RUN_SEED}
+            first = await submit_and_fetch(harness.port, payload)
+            second = await submit_and_fetch(harness.port, payload)
+            __s, __h, stats = await http(harness.port, "GET", "/stats")
+            return first, second, stats
+
+    first, second, stats = run(scenario())
+    assert first["stats"]["result_cache"] == "miss"
+    assert second["stats"]["result_cache"] == "hit"
+    assert second["answers"] == first["answers"]
+    # The hit's stats are the measured execution's numbers, replayed.
+    assert second["stats"]["execution_time"] == first["stats"]["execution_time"]
+    assert stats["result_cache"]["hits"] == 1
+    assert stats["result_cache"]["misses"] == 1
+    assert stats["result_cache"]["entries"] == 1
+    assert stats["result_cache"]["capacity"] == config.result_cache_size
+
+
+def test_result_cache_keys_on_seed_and_canonical_text(small_lslod_lake):
+    config = ServiceConfig(port=0, workers=2, global_concurrency=2)
+    spaced = "  " + "\n".join(BENCHMARK_QUERIES["Q1"].text.split()) + "  "
+
+    async def scenario():
+        async with ServiceHarness(small_lslod_lake, config) as harness:
+            await submit_and_fetch(
+                harness.port, {"query": "Q1", "tenant": "acme", "seed": RUN_SEED}
+            )
+            # Same query modulo whitespace: a hit.
+            reformatted = await submit_and_fetch(
+                harness.port, {"query": spaced, "tenant": "acme", "seed": RUN_SEED}
+            )
+            # Different seed: its own entry.
+            reseeded = await submit_and_fetch(
+                harness.port, {"query": "Q1", "tenant": "acme", "seed": RUN_SEED + 1}
+            )
+            return reformatted, reseeded
+
+    reformatted, reseeded = run(scenario())
+    assert reformatted["stats"]["result_cache"] == "hit"
+    assert reseeded["stats"]["result_cache"] == "miss"
+
+
+def test_result_cache_disabled_by_size_zero_and_observe(small_lslod_lake):
+    async def scenario(config):
+        async with ServiceHarness(small_lslod_lake, config) as harness:
+            payload = {"query": "Q1", "tenant": "acme", "seed": RUN_SEED}
+            await submit_and_fetch(harness.port, payload)
+            second = await submit_and_fetch(harness.port, payload)
+            __s, __h, stats = await http(harness.port, "GET", "/stats")
+            return second, stats
+
+    second, stats = run(scenario(ServiceConfig(port=0, result_cache_size=0)))
+    assert "result_cache" not in second["stats"]
+    assert stats["result_cache"] == {
+        "capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+    }
+    # Observed runs always execute for real — every request needs a trace.
+    second, stats = run(scenario(ServiceConfig(port=0, observe=True)))
+    assert "result_cache" not in second["stats"]
+    assert stats["result_cache"]["hits"] == 0
