@@ -1,0 +1,142 @@
+"""Telemetry regression gate: the observability plane must not drift.
+
+Runs the pinned 1000-client load test (the exact workload of
+``bench_service_load``) with telemetry on, and asserts the telemetry
+plane's three contracts:
+
+* **zero-cost** — a telemetry-off run of the same seed produces a
+  bit-identical report fingerprint (the accountant and journal never
+  touch the schedule);
+* **determinism** — a second telemetry-on run reproduces the journal's
+  SHA-256 fingerprint exactly;
+* **no drift** — the journal fingerprint and the SLO snapshot match the
+  committed ``BENCH_telemetry.json`` bit-for-bit (the workload is
+  virtual-time, so the gate is machine-independent).
+
+On first run (no committed baseline) the file is written and the gate
+passes with a notice.  Artifacts: the full event journal as canonical
+JSONL plus the rendered SLO report under ``benchmarks/results/``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.datasets import build_lslod_lake
+from repro.obs import render_exposition, render_slo_report, validate_exposition
+from repro.service import ServiceConfig, TenantConfig, WorkloadSpec, run_load
+
+from .conftest import emit
+
+#: Pinned workload — identical to bench_service_load so the two committed
+#: baselines describe the same schedule.
+SCALE = 0.1
+DATA_SEED = 42
+LOAD_SEED = 42
+CLIENTS = 1000
+WALL_BUDGET_SECONDS = 240.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+CONFIG = ServiceConfig(
+    workers=4,
+    global_concurrency=8,
+    timeout=20.0,
+    network="gamma2",
+    default_tenant=TenantConfig(name="default", max_concurrency=3, queue_depth=24),
+)
+
+SPEC = WorkloadSpec(
+    clients=CLIENTS,
+    requests_per_client=1,
+    tenants=4,
+    tenant_skew=1.2,
+    hot_fraction=0.8,
+    cold_variants=20,
+    mean_interarrival=0.1,
+    mean_think=2.0,
+)
+
+
+def test_telemetry_gate_thousand_clients(results_dir):
+    wall_start = time.perf_counter()
+    lake = build_lslod_lake(scale=SCALE, seed=DATA_SEED)
+
+    report = run_load(lake, CONFIG, SPEC, seed=LOAD_SEED)
+    assert report.journal is not None and report.slo is not None
+    fingerprint = report.journal.fingerprint()
+    counts = report.journal.counts_by_kind()
+
+    # Zero-cost: telemetry off, same seed, same report fingerprint.
+    dark = run_load(lake, CONFIG, SPEC, seed=LOAD_SEED, telemetry=False)
+    assert dark.journal is None
+    assert dark.fingerprint() == report.fingerprint(), (
+        "telemetry perturbed the run"
+    )
+    assert dark.cache_stats == report.cache_stats
+
+    # Determinism: a second telemetry-on run reproduces the journal bit
+    # for bit.
+    again = run_load(lake, CONFIG, SPEC, seed=LOAD_SEED)
+    assert again.journal.fingerprint() == fingerprint, (
+        "same-seed journals diverged"
+    )
+    assert again.slo == report.slo
+
+    # The SLO snapshot renders to parser-clean Prometheus exposition.
+    exposition = render_exposition({"stats_version": 2, "slo": report.slo})
+    assert validate_exposition(exposition) > 10
+
+    document = {
+        "clients": CLIENTS,
+        "load_seed": LOAD_SEED,
+        "data_seed": DATA_SEED,
+        "scale": SCALE,
+        "journal_fingerprint": fingerprint,
+        "journal_events": counts,
+        "slo": report.slo,
+    }
+
+    # The gate: compare against the committed baseline (exact — the
+    # schedule is virtual-time, identical on every machine).
+    if BENCH_JSON.exists():
+        baseline = json.loads(BENCH_JSON.read_text())
+        assert baseline["journal_fingerprint"] == fingerprint, (
+            "journal fingerprint drifted from committed BENCH_telemetry.json "
+            f"({baseline['journal_fingerprint']} -> {fingerprint}); if the "
+            "change is intended, regenerate the baseline with "
+            "PYTHONPATH=src python -m pytest -q -s benchmarks/bench_telemetry.py"
+        )
+        assert baseline["journal_events"] == counts, "event mix drifted"
+        assert baseline["slo"] == report.slo, "SLO snapshot drifted"
+        gate_note = "gate: matched committed baseline"
+    else:
+        BENCH_JSON.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        gate_note = f"gate: no baseline found, wrote {BENCH_JSON.name}"
+
+    journal_path = results_dir / "telemetry_journal.jsonl"
+    report.journal.write_jsonl(str(journal_path))
+    slo_text = render_slo_report(report.slo)
+    emit(results_dir, "telemetry_slo_report.txt", slo_text)
+
+    global_slo = report.slo["global"]
+    lines = [
+        f"clients              {CLIENTS} (seed {LOAD_SEED})",
+        f"journal events       {sum(counts.values())} "
+        f"({', '.join(f'{k}={v}' for k, v in sorted(counts.items()))})",
+        f"journal fingerprint  {fingerprint}",
+        f"submitted/completed  {global_slo['submitted']}/{global_slo['completed']}",
+        f"shed/timeout/error   {global_slo['shed']}/{global_slo['timed_out']}"
+        f"/{global_slo['errors']}",
+        f"e2e p50/p90/p99      {global_slo['end_to_end']['p50']:.4f}/"
+        f"{global_slo['end_to_end']['p90']:.4f}/"
+        f"{global_slo['end_to_end']['p99']:.4f}s",
+        f"telemetry-off check  fingerprint-identical",
+        f"{gate_note}",
+        f"wrote                {journal_path.name}, telemetry_slo_report.txt",
+    ]
+    emit(results_dir, "telemetry_gate.txt", "\n".join(lines))
+
+    elapsed = time.perf_counter() - wall_start
+    assert elapsed < WALL_BUDGET_SECONDS, (
+        f"telemetry gate took {elapsed:.1f}s, budget {WALL_BUDGET_SECONDS:.0f}s"
+    )

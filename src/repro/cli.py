@@ -582,6 +582,7 @@ def _service_config_from_args(args: argparse.Namespace):
         runtime=args.runtime,
         exec=args.exec,
         batch_size=args.batch_size,
+        journal_path=getattr(args, "journal_path", None),
     )
     if args.tenants:
         with open(args.tenants, encoding="utf-8") as handle:
@@ -693,7 +694,12 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         return 2
     lake = _build_lake(args)
     report = run_load(
-        lake, config, spec, seed=args.load_seed, verify_answers=not args.no_verify
+        lake,
+        config,
+        spec,
+        seed=args.load_seed,
+        verify_answers=not args.no_verify,
+        telemetry=not args.no_telemetry,
     )
     document = report.to_dict(include_requests=args.include_requests)
     summary = document["summary"]
@@ -715,6 +721,20 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         f"sub-results {subresults['hits']}/{subresults['hits'] + subresults['misses']} hits"
     )
     print(f"fingerprint {document['fingerprint']}")
+    if report.journal is not None:
+        print(
+            f"journal {len(report.journal)} events, "
+            f"fingerprint {report.journal.fingerprint()}"
+        )
+    if args.journal:
+        if report.journal is None:
+            print(
+                "error: --journal requires telemetry (drop --no-telemetry)",
+                file=sys.stderr,
+            )
+            return 2
+        report.journal.write_jsonl(args.journal)
+        print(f"wrote event journal to {args.journal}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
@@ -730,6 +750,63 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         for failure in failures[:10]:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_slo_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import EventJournal, accountant_from_journal, render_slo_report
+
+    if bool(args.journal) == bool(args.url):
+        print(
+            "error: provide exactly one of --journal or --url", file=sys.stderr
+        )
+        return 2
+    source: dict
+    if args.journal:
+        try:
+            journal = EventJournal.read_jsonl(args.journal)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read journal: {error}", file=sys.stderr)
+            return 2
+        accountant, cache_stats = accountant_from_journal(journal.events)
+        snapshot = accountant.snapshot(cache_stats=cache_stats)
+        source = {
+            "journal": args.journal,
+            "events": len(journal),
+            "journal_fingerprint": journal.fingerprint(),
+        }
+    else:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/stats"
+        try:
+            with urlopen(url) as response:
+                stats = json.load(response)
+        except (URLError, OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot fetch {url}: {error}", file=sys.stderr)
+            return 2
+        version = stats.get("stats_version", 1)
+        if version < 2 or "slo" not in stats:
+            print(
+                f"error: {url} reports stats_version {version}; SLO "
+                "snapshots need stats_version >= 2 (upgrade the server)",
+                file=sys.stderr,
+            )
+            return 2
+        snapshot = stats["slo"]
+        source = {"url": url}
+    if args.format == "json":
+        print(
+            json.dumps({"source": source, "slo": snapshot}, indent=2, sort_keys=True)
+        )
+        return 0
+    for key in sorted(source):
+        print(f"{key}: {source[key]}")
+    print()
+    print(render_slo_report(snapshot))
     return 0
 
 
@@ -1013,6 +1090,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate the configuration and print it without binding",
     )
+    serve.add_argument(
+        "--journal",
+        dest="journal_path",
+        help="stream the structured event journal (canonical JSONL) to this path",
+    )
     serve.set_defaults(func=cmd_serve)
 
     loadtest = sub.add_parser(
@@ -1082,7 +1164,47 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--trace-output", help="also write a Chrome trace of the schedule"
     )
+    loadtest.add_argument(
+        "--journal",
+        help="write the run's event journal as canonical JSONL to this path",
+    )
+    loadtest.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help=(
+            "run without the SLO accountant and event journal (the report "
+            "fingerprint is bit-identical either way)"
+        ),
+    )
     loadtest.set_defaults(func=cmd_loadtest)
+
+    slo = sub.add_parser(
+        "slo",
+        help=(
+            "per-tenant SLO reporting (latency percentiles, shed/timeout/"
+            "error rates, fair-share utilization)"
+        ),
+    )
+    slo_sub = slo.add_subparsers(dest="slo_command", required=True)
+    slo_report = slo_sub.add_parser(
+        "report",
+        help=(
+            "render the SLO snapshot of an event journal (--journal) or a "
+            "live server (--url)"
+        ),
+    )
+    slo_report.add_argument(
+        "--journal",
+        help="event journal JSONL (from 'loadtest --journal' or 'serve --journal')",
+    )
+    slo_report.add_argument(
+        "--url",
+        help="base URL of a running service (e.g. http://127.0.0.1:8089)",
+    )
+    slo_report.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    slo_report.set_defaults(func=cmd_slo_report)
 
     return parser
 

@@ -41,14 +41,31 @@ from .analyze import (
 from .explain import DecisionRecord, EXPLAIN_SCHEMA, ExplainReport, explain_plan
 from .export import chrome_trace_json, observation_to_json, to_chrome_trace
 from .instrument import instrument_sequential, profile_plan
+from .journal import EventJournal, JOURNAL_VERSION, canonical_line
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observation import RunObservation
 from .profile import OperatorProfile, ProfileReport, q_error
+from .promexport import (
+    ExpositionError,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
 from .schema import CHROME_TRACE_SCHEMA, validate_chrome_trace, validate_json_schema
+from .slo import (
+    BUCKET_BOUNDS,
+    LogBucketHistogram,
+    SLOAccountant,
+    SLO_VERSION,
+    TenantSLO,
+    accountant_from_journal,
+    render_slo_report,
+)
 
 __all__ = [
     "ANALYZE_SCHEMA",
     "AnalyzeReport",
+    "BUCKET_BOUNDS",
     "CATEGORY_CACHE",
     "CATEGORY_OPERATOR",
     "CATEGORY_PLAN",
@@ -59,26 +76,39 @@ __all__ = [
     "DecisionRecord",
     "ENGINE_TRACK",
     "EXPLAIN_SCHEMA",
+    "EventJournal",
     "ExplainReport",
+    "ExpositionError",
     "Gauge",
     "Histogram",
     "Hotspot",
     "Instant",
+    "JOURNAL_VERSION",
+    "LogBucketHistogram",
     "MetricsRegistry",
     "OperatorAnalysis",
     "OperatorProfile",
     "ProfileReport",
     "RunObservation",
+    "SLOAccountant",
+    "SLO_VERSION",
     "Span",
+    "TenantSLO",
     "TraceBus",
+    "accountant_from_journal",
     "analyze_observation",
+    "canonical_line",
     "chrome_trace_json",
     "explain_plan",
     "instrument_sequential",
     "observation_to_json",
+    "parse_exposition",
     "profile_plan",
     "q_error",
+    "render_exposition",
+    "render_slo_report",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_exposition",
     "validate_json_schema",
 ]

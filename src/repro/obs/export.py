@@ -35,6 +35,15 @@ def to_chrome_trace(
         request_id = getattr(observation, "request_id", None)
         if request_id is not None:
             process_args["request_id"] = request_id
+
+        def _args(base: dict) -> dict:
+            # Service-originated runs carry the request ID on every event's
+            # args (not just the process metadata), so a merged multi-request
+            # export stays filterable by request in Perfetto.  Injected at
+            # export time: spans are frozen and the ID is assigned post-run.
+            if request_id is not None:
+                base.setdefault("request_id", request_id)
+            return base
         events.append(
             {
                 "ph": "M",
@@ -77,7 +86,7 @@ def to_chrome_trace(
                     "name": instant.name,
                     "cat": instant.category,
                     "ts": instant.timestamp * _MICRO,
-                    "args": instant.args_dict(),
+                    "args": _args(instant.args_dict()),
                 }
             )
         for span in observation.bus.spans():
@@ -90,7 +99,7 @@ def to_chrome_trace(
                     "cat": span.category,
                     "ts": span.start * _MICRO,
                     "dur": span.duration * _MICRO,
-                    "args": span.args_dict(),
+                    "args": _args(span.args_dict()),
                 }
             )
         for position, profile in enumerate(observation.profiles):
@@ -105,7 +114,7 @@ def to_chrome_trace(
                     "cat": CATEGORY_OPERATOR,
                     "ts": profile.first_output_at * _MICRO,
                     "dur": (profile.last_output_at - profile.first_output_at) * _MICRO,
-                    "args": {"rows_out": profile.rows_out},
+                    "args": _args({"rows_out": profile.rows_out}),
                 }
             )
     return {

@@ -1,0 +1,184 @@
+"""Structured event journal: an append-only, canonically-encoded record
+of service decisions.
+
+Where the trace bus captures *how one query executed*, the journal
+captures *what the service decided*: admissions, sheds, deadline
+outcomes, replans from the feedback loop, result-cache evictions, and
+end-of-run cache snapshots.  Events are dicts serialized as canonical
+JSONL (sorted keys, no whitespace), so the journal of a seeded
+``repro loadtest`` is **bit-deterministic**: the SHA-256
+:meth:`EventJournal.fingerprint` is identical across two same-seed runs,
+and the telemetry regression gate pins it.
+
+Clock discipline matches the trace bus: the journal never reads a clock.
+Every timestamp arrives from the caller — ticket fields stamped by the
+admission controller's driving clock (virtual in the loadtest driver,
+wall in the live server) or an explicit ``ts`` argument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import IO, TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.admission import Ticket
+
+#: Version stamp carried by every journal event.
+JOURNAL_VERSION = 1
+
+#: Event kinds the journal knows how to emit (admission transitions plus
+#: the service/feedback-layer events).  Readers should tolerate unknown
+#: kinds — the vocabulary is open for future PRs.
+EVENT_KINDS = (
+    "submit",
+    "shed",
+    "start",
+    "done",
+    "running-timeout",
+    "queued-timeout",
+    "tenant-idle",
+    "error",
+    "replan",
+    "result-cache-evict",
+    "cache-snapshot",
+)
+
+
+def canonical_line(event: dict) -> str:
+    """One event as canonical JSON: sorted keys, minimal separators."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+class EventJournal:
+    """Append-only event log with a canonical SHA-256 fingerprint.
+
+    Events accumulate in memory (ordered); an optional *sink* (any
+    text-mode file object) additionally receives each canonical line as
+    it is appended, flushed per event so a crashed run still leaves a
+    usable journal.  Appends are lock-protected — result-cache evictions
+    are journaled from executor threads while admission events come from
+    the loop thread.
+    """
+
+    def __init__(self, sink: IO[str] | None = None):
+        self._events: list[dict] = []
+        self._sink = sink
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(list(self._events))
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    def append(self, kind: str, ts: float, **fields) -> dict:
+        event = {"v": JOURNAL_VERSION, "kind": kind, "ts": ts}
+        event.update(fields)
+        with self._lock:
+            self._events.append(event)
+            if self._sink is not None:
+                self._sink.write(canonical_line(event) + "\n")
+                self._sink.flush()
+        return event
+
+    # -- the admission controller's observer protocol ------------------------
+
+    def admission_event(self, kind: str, ticket: "Ticket") -> None:
+        """Record one ticket transition with the quantities an audit needs."""
+        base = {"request_id": ticket.request_id, "tenant": ticket.tenant}
+        if kind == "submit":
+            self.append(
+                kind,
+                ticket.submitted_at,
+                deadline=ticket.deadline,
+                seq=ticket.seq,
+                **base,
+            )
+        elif kind == "shed":
+            self.append(kind, ticket.submitted_at, reason=ticket.reason, **base)
+        elif kind == "start":
+            self.append(
+                kind,
+                ticket.started_at,
+                queue_wait=ticket.started_at - ticket.submitted_at,
+                stride_pass=ticket.stride_pass,
+                **base,
+            )
+        elif kind == "done":
+            self.append(
+                kind,
+                ticket.finished_at,
+                execution=ticket.finished_at - ticket.started_at,
+                end_to_end=ticket.finished_at - ticket.submitted_at,
+                **base,
+            )
+        elif kind == "running-timeout":
+            # A running request past its deadline: the slot was freed
+            # *late* — `overrun` records by how much.
+            self.append(
+                kind,
+                ticket.finished_at,
+                execution=ticket.finished_at - ticket.started_at,
+                overrun=ticket.finished_at - ticket.deadline,
+                **base,
+            )
+        elif kind == "queued-timeout":
+            self.append(
+                kind,
+                ticket.finished_at,
+                waited=ticket.finished_at - ticket.submitted_at,
+                **base,
+            )
+        elif kind == "tenant-idle":
+            # Tenant queue drained to idle (no queued, no running).  The
+            # ticket is whichever transition emptied it; ts is its
+            # finish/expiry stamp.
+            self.append(kind, ticket.finished_at, tenant=ticket.tenant)
+
+    # -- fingerprinting / io --------------------------------------------------
+
+    def canonical_lines(self) -> list[str]:
+        return [canonical_line(event) for event in self._events]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSONL — the determinism pin."""
+        digest = hashlib.sha256()
+        for line in self.canonical_lines():
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self._events:
+            kind = event["kind"]
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in self.canonical_lines():
+                handle.write(line + "\n")
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "EventJournal":
+        journal = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    journal._events.append(json.loads(line))
+        return journal
+
+    @classmethod
+    def from_events(cls, events: Iterable[dict]) -> "EventJournal":
+        journal = cls()
+        journal._events.extend(events)
+        return journal

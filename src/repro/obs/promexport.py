@@ -1,0 +1,375 @@
+"""Prometheus text exposition: renderer + dependency-free validator.
+
+:func:`render_exposition` turns a versioned ``/stats`` document (the
+service's stats v2 shape, carrying an SLO snapshot from
+:mod:`repro.obs.slo`) into the Prometheus text exposition format
+(version 0.0.4): ``# HELP``/``# TYPE`` headers, counters, gauges, and
+cumulative ``_bucket{le=...}`` histograms with ``_sum``/``_count``.
+
+:func:`parse_exposition` is the matching validator — no client library
+dependency, just the format rules: metric-name and label grammar, escape
+sequences in label values, float-parsable sample values, per-histogram
+bucket monotonicity and the ``+Inf``-bucket/``_count`` agreement.  CI
+scrapes the live ``/metrics`` endpoint and asserts the output parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One sample line: name, optional {labels}, value, optional timestamp.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+PREFIX = "repro"
+
+
+class ExpositionError(ValueError):
+    """The text does not conform to the exposition format."""
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: dict[str, str], value: float) -> None:
+        if labels:
+            body = ",".join(
+                f'{key}="{_escape_label(str(val))}"'
+                for key, val in sorted(labels.items())
+            )
+            self.lines.append(f"{name}{{{body}}} {_format_value(value)}")
+        else:
+            self.lines.append(f"{name} {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _histogram_family(
+    writer: _Writer,
+    name: str,
+    help_text: str,
+    labelled: list[tuple[dict[str, str], dict]],
+) -> None:
+    """Emit one histogram family from SLO histogram snapshots.
+
+    *labelled* pairs a label set with a histogram snapshot dict (the
+    ``snapshot()`` shape from :class:`~repro.obs.slo.LogBucketHistogram`).
+    """
+    from .slo import LogBucketHistogram
+
+    writer.family(name, "histogram", help_text)
+    for labels, snap in labelled:
+        histogram = LogBucketHistogram.from_snapshot(snap)
+        for bound, cumulative in histogram.cumulative_buckets():
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_value(bound)
+            writer.sample(f"{name}_bucket", bucket_labels, cumulative)
+        writer.sample(f"{name}_sum", labels, snap.get("sum", 0.0))
+        writer.sample(f"{name}_count", labels, snap.get("count", 0))
+
+
+def render_exposition(stats: dict, prefix: str = PREFIX) -> str:
+    """Render a stats-v2 document (with its ``slo`` section) as exposition
+    text.  Raises ``ValueError`` when the document carries no SLO data."""
+    slo = stats.get("slo")
+    if not isinstance(slo, dict):
+        raise ValueError("stats document has no 'slo' section to export")
+    writer = _Writer()
+
+    tenants: dict[str, dict] = slo.get("tenants", {})
+
+    def counter(metric: str, help_text: str, field: str) -> None:
+        writer.family(f"{prefix}_{metric}", "counter", help_text)
+        for tenant in sorted(tenants):
+            writer.sample(
+                f"{prefix}_{metric}",
+                {"tenant": tenant},
+                tenants[tenant].get(field, 0),
+            )
+
+    counter("requests_submitted_total", "Requests submitted per tenant.", "submitted")
+    counter("requests_completed_total", "Requests completed per tenant.", "completed")
+    counter("requests_shed_total", "Requests shed at admission per tenant.", "shed")
+    counter(
+        "requests_timed_out_total",
+        "Requests past deadline (queued or running) per tenant.",
+        "timed_out",
+    )
+    counter("requests_errored_total", "Requests failed in execution per tenant.", "errors")
+
+    writer.family(
+        f"{prefix}_tenant_busy_seconds_total",
+        "counter",
+        "Seconds each tenant occupied a concurrency slot.",
+    )
+    for tenant in sorted(tenants):
+        writer.sample(
+            f"{prefix}_tenant_busy_seconds_total",
+            {"tenant": tenant},
+            tenants[tenant].get("busy_seconds", 0.0),
+        )
+
+    writer.family(
+        f"{prefix}_tenant_utilization_share",
+        "gauge",
+        "Observed share of total busy seconds per tenant.",
+    )
+    writer.family(
+        f"{prefix}_tenant_fair_share",
+        "gauge",
+        "Configured weight share among active tenants.",
+    )
+    for tenant in sorted(tenants):
+        writer.sample(
+            f"{prefix}_tenant_utilization_share",
+            {"tenant": tenant},
+            tenants[tenant].get("utilization_share", 0.0),
+        )
+        writer.sample(
+            f"{prefix}_tenant_fair_share",
+            {"tenant": tenant},
+            tenants[tenant].get("fair_share", 0.0),
+        )
+
+    for metric, field, help_text in (
+        ("queue_wait_seconds", "queue_wait", "Admission queue wait per tenant."),
+        ("execution_seconds", "execution", "Execution latency per tenant."),
+        ("end_to_end_seconds", "end_to_end", "Submit-to-finish latency per tenant."),
+    ):
+        labelled = [
+            ({"tenant": tenant}, tenants[tenant][field])
+            for tenant in sorted(tenants)
+        ]
+        labelled.append(({"tenant": "__all__"}, slo["global"][field]))
+        _histogram_family(writer, f"{prefix}_{metric}", help_text, labelled)
+
+    caches: dict[str, dict] = slo.get("cache", {})
+    if caches:
+        for metric, field, help_text in (
+            ("cache_hits_total", "hits", "Cache hits per cache."),
+            ("cache_misses_total", "misses", "Cache misses per cache."),
+            ("cache_evictions_total", "evictions", "Cache evictions per cache."),
+        ):
+            writer.family(f"{prefix}_{metric}", "counter", help_text)
+            for cache in sorted(caches):
+                writer.sample(
+                    f"{prefix}_{metric}",
+                    {"cache": cache},
+                    caches[cache].get(field, 0),
+                )
+        writer.family(
+            f"{prefix}_cache_hit_ratio", "gauge", "Hit ratio per cache."
+        )
+        for cache in sorted(caches):
+            writer.sample(
+                f"{prefix}_cache_hit_ratio",
+                {"cache": cache},
+                caches[cache].get("hit_rate", 0.0),
+            )
+
+    admission = stats.get("admission")
+    if isinstance(admission, dict):
+        writer.family(
+            f"{prefix}_admission_running", "gauge", "Requests currently running."
+        )
+        writer.sample(
+            f"{prefix}_admission_running", {}, admission.get("running", 0)
+        )
+        writer.family(
+            f"{prefix}_admission_queued", "gauge", "Requests currently queued."
+        )
+        writer.sample(f"{prefix}_admission_queued", {}, admission.get("queued", 0))
+
+    writer.family(
+        f"{prefix}_stats_version", "gauge", "Version of the /stats JSON shape."
+    )
+    writer.sample(f"{prefix}_stats_version", {}, stats.get("stats_version", 0))
+    return writer.text()
+
+
+def _parse_value(raw: str, line_number: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(
+            f"line {line_number}: sample value {raw!r} is not a float"
+        ) from None
+
+
+def _parse_labels(raw: str, line_number: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    rest = raw.strip()
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if not match:
+            raise ExpositionError(
+                f"line {line_number}: malformed label segment {rest!r}"
+            )
+        name = match.group("name")
+        if not _LABEL_NAME_RE.match(name):
+            raise ExpositionError(
+                f"line {line_number}: invalid label name {name!r}"
+            )
+        if name in labels:
+            raise ExpositionError(
+                f"line {line_number}: duplicate label {name!r}"
+            )
+        value = match.group("value")
+        labels[name] = (
+            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        rest = rest[match.end() :].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif rest:
+            raise ExpositionError(
+                f"line {line_number}: expected ',' between labels near {rest!r}"
+            )
+    return labels
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse (and strictly validate) exposition text.
+
+    Returns ``{family_name: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}``.  Raises :class:`ExpositionError`
+    on any format violation, including histogram-specific invariants:
+    cumulative buckets must be monotone and the ``+Inf`` bucket must
+    equal ``_count`` for every label set.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            name = parts[0]
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_number}: invalid metric name {name!r}"
+                )
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["help"] = parts[1] if len(parts) > 1 else ""
+            current = name
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ", 1)
+            name = parts[0]
+            kind = parts[1].strip() if len(parts) > 1 else ""
+            if not _NAME_RE.match(name):
+                raise ExpositionError(
+                    f"line {line_number}: invalid metric name {name!r}"
+                )
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ExpositionError(
+                    f"line {line_number}: unknown metric type {kind!r}"
+                )
+            families.setdefault(
+                name, {"type": "untyped", "help": "", "samples": []}
+            )["type"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        match = _SAMPLE_RE.match(line.strip())
+        if not match:
+            raise ExpositionError(f"line {line_number}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "", line_number)
+        value = _parse_value(match.group("value"), line_number)
+        family = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                family = sample_name[: -len(suffix)]
+                break
+        if family not in families:
+            families[family] = {"type": "untyped", "help": "", "samples": []}
+        if family != current and current is not None and family in families:
+            current = family
+        families[family]["samples"].append((sample_name, labels, value))
+
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict[str, dict]) -> None:
+    for name, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        by_labels: dict[tuple, dict] = {}
+        for sample_name, labels, value in family["samples"]:
+            key_labels = {k: v for k, v in labels.items() if k != "le"}
+            key = tuple(sorted(key_labels.items()))
+            entry = by_labels.setdefault(key, {"buckets": [], "count": None})
+            if sample_name == f"{name}_bucket":
+                if "le" not in labels:
+                    raise ExpositionError(
+                        f"histogram {name}: bucket sample missing 'le' label"
+                    )
+                bound = _parse_value(labels["le"], 0)
+                entry["buckets"].append((bound, value))
+            elif sample_name == f"{name}_count":
+                entry["count"] = value
+        for key, entry in by_labels.items():
+            buckets = sorted(entry["buckets"], key=lambda pair: pair[0])
+            if not buckets:
+                raise ExpositionError(f"histogram {name}: no buckets for {key}")
+            if buckets[-1][0] != math.inf:
+                raise ExpositionError(
+                    f"histogram {name}: missing +Inf bucket for {key}"
+                )
+            previous = -math.inf
+            for bound, cumulative in buckets:
+                if cumulative < previous:
+                    raise ExpositionError(
+                        f"histogram {name}: non-monotone buckets for {key}"
+                    )
+                previous = cumulative
+            if entry["count"] is not None and buckets[-1][1] != entry["count"]:
+                raise ExpositionError(
+                    f"histogram {name}: +Inf bucket != _count for {key}"
+                )
+
+
+def validate_exposition(text: str) -> int:
+    """Parse *text*, returning the number of metric families (raises
+    :class:`ExpositionError` when invalid)."""
+    return len(parse_exposition(text))

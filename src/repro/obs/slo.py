@@ -1,0 +1,455 @@
+"""Per-tenant SLO accounting: streaming latency histograms and rates.
+
+The service's *operational* lens.  Where a :class:`RunObservation` dissects
+one query, the SLO layer aggregates the whole request population — per
+tenant and globally — into the quantities an operator alarms on: latency
+percentiles (queue wait, execution, end-to-end), shed/timeout/error rates,
+cache hit ratios, and fair-share utilization.
+
+Determinism contract: percentiles come from **fixed log-bucketed
+histograms** (:data:`BUCKET_BOUNDS`, powers of two from ~1µs to ~68min),
+not from sampled reservoirs — so two same-seed load tests produce
+bit-identical SLO snapshots, and the telemetry regression gate can compare
+them exactly.  A percentile is the upper bound of the bucket holding the
+nearest-rank observation, capped at the exact observed maximum (which
+makes single-observation and boundary cases exact).
+
+Histogram merge is associative and commutative (bucket-wise addition), so
+per-tenant histograms compose into the global one — property-tested in
+``tests/obs/test_slo.py``.
+
+Everything here is fed through the :class:`~repro.service.admission.
+AdmissionController`'s observer hook (see ``admission_event``) and is
+clock-agnostic: timestamps arrive on the tickets, stamped by whichever
+clock (wall or virtual) drives the controller — the same discipline as the
+trace bus.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..service.admission import Ticket
+    from ..service.config import ServiceConfig
+
+#: Fixed histogram bucket upper bounds (seconds): powers of two spanning
+#: ~1µs (2^-20) to 4096s (2^12).  Powers of two are exact binary floats,
+#: so bucket assignment is machine- and platform-independent.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(2.0 ** exp for exp in range(-20, 13))
+
+#: Percentiles every SLO snapshot reports.
+SLO_PERCENTILES: tuple[float, ...] = (0.50, 0.90, 0.99)
+
+#: Version stamp of the SLO snapshot JSON shape.
+SLO_VERSION = 1
+
+
+class LogBucketHistogram:
+    """A streaming histogram over the fixed log-spaced bucket bounds.
+
+    Values at or below a bound fall in that bound's bucket (``le``
+    semantics, matching Prometheus exposition); values above the last
+    bound land in the overflow bucket.  Keeps exact count/sum/min/max
+    alongside the bucket counts, so means are exact and percentiles never
+    exceed the observed maximum.
+    """
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        # len(BUCKET_BOUNDS) finite buckets + 1 overflow bucket.
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, deterministic: the upper bound of the
+        bucket containing the rank-q observation, capped at the exact
+        maximum.  Empty histograms report 0.0."""
+        if not self.count:
+            return 0.0
+        rank = max(1, -(-int(q * self.count * 1_000_000) // 1_000_000))
+        rank = min(rank, self.count)
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(BUCKET_BOUNDS):
+                    return min(BUCKET_BOUNDS[index], self.maximum)
+                return self.maximum  # overflow bucket: exact max
+        return self.maximum  # pragma: no cover - unreachable (seen == count)
+
+    def merge(self, other: "LogBucketHistogram") -> "LogBucketHistogram":
+        """Fold *other* into this histogram (bucket-wise add; associative)."""
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = (
+                other.minimum
+                if self.minimum is None
+                else min(self.minimum, other.minimum)
+            )
+        if other.maximum is not None:
+            self.maximum = (
+                other.maximum
+                if self.maximum is None
+                else max(self.maximum, other.maximum)
+            )
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump: summary stats, percentiles, sparse buckets."""
+        body = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": [
+                [index, bucket_count]
+                for index, bucket_count in enumerate(self.counts)
+                if bucket_count
+            ],
+        }
+        for q in SLO_PERCENTILES:
+            body[f"p{int(q * 100)}"] = self.percentile(q)
+        return body
+
+    @classmethod
+    def from_snapshot(cls, payload: dict) -> "LogBucketHistogram":
+        histogram = cls()
+        for index, bucket_count in payload.get("buckets", []):
+            histogram.counts[index] = bucket_count
+        histogram.count = payload.get("count", 0)
+        histogram.total = payload.get("sum", 0.0)
+        histogram.minimum = payload.get("min")
+        histogram.maximum = payload.get("max")
+        return histogram
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs for exposition rendering;
+        the final pair's bound is ``inf`` (the ``+Inf`` bucket)."""
+        pairs: list[tuple[float, int]] = []
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            bound = (
+                BUCKET_BOUNDS[index] if index < len(BUCKET_BOUNDS) else float("inf")
+            )
+            pairs.append((bound, running))
+        return pairs
+
+
+class TenantSLO:
+    """One tenant's (or the global) rolling SLO accumulators."""
+
+    __slots__ = (
+        "tenant",
+        "weight",
+        "submitted",
+        "completed",
+        "shed",
+        "timed_out",
+        "errors",
+        "starts",
+        "busy_seconds",
+        "shed_by_reason",
+        "queue_wait",
+        "execution",
+        "end_to_end",
+    )
+
+    def __init__(self, tenant: str, weight: float = 1.0):
+        self.tenant = tenant
+        self.weight = weight
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.timed_out = 0
+        self.errors = 0
+        self.starts = 0
+        #: Total seconds the tenant occupied a concurrency slot (done and
+        #: running-timeout executions) — the fair-share utilization basis.
+        self.busy_seconds = 0.0
+        self.shed_by_reason: dict[str, int] = {}
+        self.queue_wait = LogBucketHistogram()
+        self.execution = LogBucketHistogram()
+        self.end_to_end = LogBucketHistogram()
+
+    def merge(self, other: "TenantSLO") -> "TenantSLO":
+        self.submitted += other.submitted
+        self.completed += other.completed
+        self.shed += other.shed
+        self.timed_out += other.timed_out
+        self.errors += other.errors
+        self.starts += other.starts
+        self.busy_seconds += other.busy_seconds
+        for reason, count in other.shed_by_reason.items():
+            self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + count
+        self.queue_wait.merge(other.queue_wait)
+        self.execution.merge(other.execution)
+        self.end_to_end.merge(other.end_to_end)
+        return self
+
+    def snapshot(self) -> dict:
+        total = self.submitted
+        return {
+            "weight": self.weight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "timed_out": self.timed_out,
+            "errors": self.errors,
+            "starts": self.starts,
+            "busy_seconds": self.busy_seconds,
+            "shed_rate": round(self.shed / total, 6) if total else 0.0,
+            "timeout_rate": round(self.timed_out / total, 6) if total else 0.0,
+            "error_rate": round(self.errors / total, 6) if total else 0.0,
+            "shed_by_reason": dict(sorted(self.shed_by_reason.items())),
+            "queue_wait": self.queue_wait.snapshot(),
+            "execution": self.execution.snapshot(),
+            "end_to_end": self.end_to_end.snapshot(),
+        }
+
+
+class SLOAccountant:
+    """The service-wide SLO ledger: one :class:`TenantSLO` per tenant.
+
+    Subscribes to the admission controller's observer hook (every ticket
+    transition lands in :meth:`admission_event`) and is additionally fed
+    errors by the service layer.  ``snapshot()`` renders the whole ledger
+    — per tenant, global (merged), and cache hit ratios when provided —
+    as one JSON-friendly document, version-stamped with
+    :data:`SLO_VERSION`.
+    """
+
+    def __init__(self, config: "ServiceConfig | None" = None):
+        self._config = config
+        self._tenants: dict[str, TenantSLO] = {}
+        self._lock = threading.Lock()
+
+    def _slo(self, tenant: str) -> TenantSLO:
+        slo = self._tenants.get(tenant)
+        if slo is None:
+            weight = 1.0
+            if self._config is not None:
+                try:
+                    weight = self._config.tenant(tenant).weight
+                except Exception:
+                    weight = 1.0
+            slo = self._tenants[tenant] = TenantSLO(tenant, weight=weight)
+        return slo
+
+    # -- low-level feeders (used live and by journal replay) -----------------
+
+    def note_submit(self, tenant: str) -> None:
+        with self._lock:
+            self._slo(tenant).submitted += 1
+
+    def note_shed(self, tenant: str, reason: str | None) -> None:
+        with self._lock:
+            slo = self._slo(tenant)
+            slo.shed += 1
+            key = reason or "unknown"
+            slo.shed_by_reason[key] = slo.shed_by_reason.get(key, 0) + 1
+
+    def note_start(self, tenant: str, queue_wait: float) -> None:
+        with self._lock:
+            slo = self._slo(tenant)
+            slo.starts += 1
+            slo.queue_wait.observe(queue_wait)
+
+    def note_done(self, tenant: str, execution: float, end_to_end: float) -> None:
+        with self._lock:
+            slo = self._slo(tenant)
+            slo.completed += 1
+            slo.busy_seconds += execution
+            slo.execution.observe(execution)
+            slo.end_to_end.observe(end_to_end)
+
+    def note_timeout(self, tenant: str, busy: float = 0.0) -> None:
+        with self._lock:
+            slo = self._slo(tenant)
+            slo.timed_out += 1
+            slo.busy_seconds += busy
+
+    def note_error(self, tenant: str) -> None:
+        with self._lock:
+            self._slo(tenant).errors += 1
+
+    # -- the admission controller's observer protocol ------------------------
+
+    def admission_event(self, kind: str, ticket: "Ticket") -> None:
+        """One ticket transition (see AdmissionController observer hook)."""
+        if kind == "submit":
+            self.note_submit(ticket.tenant)
+        elif kind == "shed":
+            self.note_shed(ticket.tenant, ticket.reason)
+        elif kind == "start":
+            self.note_start(
+                ticket.tenant, ticket.started_at - ticket.submitted_at
+            )
+        elif kind == "done":
+            self.note_done(
+                ticket.tenant,
+                ticket.finished_at - ticket.started_at,
+                ticket.finished_at - ticket.submitted_at,
+            )
+        elif kind == "running-timeout":
+            self.note_timeout(
+                ticket.tenant, busy=ticket.finished_at - ticket.started_at
+            )
+        elif kind == "queued-timeout":
+            self.note_timeout(ticket.tenant)
+        # tenant-idle is a journal-only marker: nothing to accumulate.
+
+    # -- reporting -----------------------------------------------------------
+
+    def global_slo(self) -> TenantSLO:
+        """All tenants merged into one ledger (histogram merge)."""
+        merged = TenantSLO("*")
+        with self._lock:
+            for name in sorted(self._tenants):
+                merged.merge(self._tenants[name])
+        return merged
+
+    def snapshot(self, cache_stats: dict | None = None) -> dict:
+        """The whole ledger as one version-stamped JSON document.
+
+        *cache_stats* (optional) is a mapping of cache name to counter
+        dicts with ``hits``/``misses`` keys — e.g. the engine pool's
+        registry stats plus the service's cross-request result cache —
+        folded in as hit ratios.
+        """
+        with self._lock:
+            tenants = {
+                name: self._tenants[name].snapshot()
+                for name in sorted(self._tenants)
+            }
+        body: dict = {
+            "slo_version": SLO_VERSION,
+            "tenants": tenants,
+            "global": self.global_slo().snapshot(),
+        }
+        total_busy = sum(entry["busy_seconds"] for entry in tenants.values())
+        active_weight = sum(
+            entry["weight"] for entry in tenants.values() if entry["submitted"]
+        )
+        for entry in tenants.values():
+            entry["utilization_share"] = (
+                round(entry["busy_seconds"] / total_busy, 6) if total_busy else 0.0
+            )
+            entry["fair_share"] = (
+                round(entry["weight"] / active_weight, 6)
+                if active_weight and entry["submitted"]
+                else 0.0
+            )
+        if cache_stats is not None:
+            caches: dict[str, dict] = {}
+            for name in sorted(cache_stats):
+                stats = cache_stats[name]
+                hits = stats.get("hits", 0)
+                misses = stats.get("misses", 0)
+                lookups = hits + misses
+                caches[name] = {
+                    "hits": hits,
+                    "misses": misses,
+                    "evictions": stats.get("evictions", 0),
+                    "hit_rate": round(hits / lookups, 6) if lookups else 0.0,
+                }
+            body["cache"] = caches
+        return body
+
+
+def accountant_from_journal(
+    events: Iterable[dict], config: "ServiceConfig | None" = None
+) -> tuple[SLOAccountant, dict | None]:
+    """Rebuild an :class:`SLOAccountant` from structured journal events.
+
+    Returns ``(accountant, cache_stats)`` where *cache_stats* is the last
+    ``cache-snapshot`` event's payload (None when the journal has none) —
+    so ``repro slo report --journal`` reproduces the live snapshot,
+    including cache hit ratios, from the JSONL alone.
+    """
+    accountant = SLOAccountant(config)
+    cache_stats: dict | None = None
+    for event in events:
+        kind = event.get("kind")
+        tenant = event.get("tenant", "?")
+        if kind == "submit":
+            accountant.note_submit(tenant)
+        elif kind == "shed":
+            accountant.note_shed(tenant, event.get("reason"))
+        elif kind == "start":
+            accountant.note_start(tenant, event.get("queue_wait", 0.0))
+        elif kind == "done":
+            accountant.note_done(
+                tenant, event.get("execution", 0.0), event.get("end_to_end", 0.0)
+            )
+        elif kind == "running-timeout":
+            accountant.note_timeout(tenant, busy=event.get("execution", 0.0))
+        elif kind == "queued-timeout":
+            accountant.note_timeout(tenant)
+        elif kind == "error":
+            accountant.note_error(tenant)
+        elif kind == "cache-snapshot":
+            cache_stats = event.get("caches")
+    return accountant, cache_stats
+
+
+def render_slo_report(snapshot: dict) -> str:
+    """Terminal rendering of one SLO snapshot (per tenant + global)."""
+    header = (
+        f"{'tenant':<10} {'req':>6} {'done':>6} {'shed':>5} {'tmo':>4} "
+        f"{'err':>4} {'shed%':>7} {'e2e p50':>9} {'e2e p90':>9} "
+        f"{'e2e p99':>9} {'queue p50':>10} {'util':>6} {'fair':>6}"
+    )
+    lines = [header, "-" * len(header)]
+
+    def row(name: str, entry: dict) -> str:
+        e2e = entry["end_to_end"]
+        queue = entry["queue_wait"]
+        util = entry.get("utilization_share")
+        fair = entry.get("fair_share")
+        return (
+            f"{name:<10} {entry['submitted']:>6} {entry['completed']:>6} "
+            f"{entry['shed']:>5} {entry['timed_out']:>4} {entry['errors']:>4} "
+            f"{entry['shed_rate'] * 100:>6.2f}% "
+            f"{e2e['p50']:>8.4f}s {e2e['p90']:>8.4f}s {e2e['p99']:>8.4f}s "
+            f"{queue['p50']:>9.4f}s "
+            f"{'-' if util is None else format(util, '.2f'):>6} "
+            f"{'-' if fair is None else format(fair, '.2f'):>6}"
+        )
+
+    for name in sorted(snapshot.get("tenants", {})):
+        lines.append(row(name, snapshot["tenants"][name]))
+    lines.append(row("GLOBAL", snapshot["global"]))
+    caches = snapshot.get("cache")
+    if caches:
+        lines.append("")
+        for name in sorted(caches):
+            entry = caches[name]
+            lines.append(
+                f"cache {name:<12} hits={entry['hits']} misses={entry['misses']} "
+                f"evictions={entry['evictions']} hit_rate={entry['hit_rate']:.2%}"
+            )
+    return "\n".join(lines)

@@ -59,6 +59,7 @@ def run_with_feedback(
     seed: int | None = None,
     runtime: str | None = None,
     q_error_threshold: float = DEFAULT_Q_ERROR_THRESHOLD,
+    journal=None,
 ) -> FeedbackResult:
     """Execute *query* observed; ingest actuals when estimates missed.
 
@@ -67,6 +68,11 @@ def run_with_feedback(
     units will re-enumerate against them (cost policies only — heuristic
     policies never consult the store, so this is a no-op for them beyond
     the recorded measurements).
+
+    *journal* (an :class:`~repro.obs.journal.EventJournal`) receives one
+    ``replan`` event per loop pass, stamped with the run's virtual
+    execution time — the service's operational record of the adaptive
+    loop's decisions.
     """
     answers, stats, observation = engine.observe(query, seed=seed, runtime=runtime)
     # q-error is measured over the operators an ingest can actually
@@ -88,4 +94,16 @@ def run_with_feedback(
         revision_before = engine.observed_stats.revision
         result.ingested = engine.ingest_observation(observation)
         result.replanned = engine.observed_stats.revision > revision_before
+    if journal is not None:
+        import hashlib
+
+        journal.append(
+            "replan",
+            stats.execution_time,
+            query=hashlib.sha256(query.encode("utf-8")).hexdigest()[:16],
+            max_q_error=round(max_q_error, 6),
+            ingested=result.ingested,
+            replanned=result.replanned,
+            revision=engine.observed_stats.revision,
+        )
     return result

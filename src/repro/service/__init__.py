@@ -30,6 +30,7 @@ from .driver import DriverReport, RequestResult, WorkloadSpec, run_load
 from .pool import EnginePool
 from .server import (
     QueryService,
+    STATS_VERSION,
     ServiceServer,
     serialize_answers,
     serialize_solution,
@@ -47,6 +48,7 @@ __all__ = [
     "RequestResult",
     "RUNNING",
     "SHED",
+    "STATS_VERSION",
     "ServiceConfig",
     "ServiceConfigError",
     "ServiceServer",

@@ -142,7 +142,18 @@ class AdmissionMetrics:
 
 
 class AdmissionController:
-    """The service's admission-control state machine (clock-agnostic)."""
+    """The service's admission-control state machine (clock-agnostic).
+
+    Telemetry taps in through *observers*: objects exposing
+    ``admission_event(kind, ticket)`` (the SLO accountant, the event
+    journal) registered via :meth:`add_observer`.  Observers only *read*
+    ticket fields — they never see a clock and never influence a
+    transition — so enabling telemetry cannot perturb scheduling, which
+    is what keeps telemetry-on and telemetry-off runs bit-identical.
+    Event kinds: ``submit`` (every submission, accepted or not), ``shed``,
+    ``start``, ``done``, ``running-timeout``, ``queued-timeout``, and
+    ``tenant-idle`` (a tenant's queued+running both drained to zero).
+    """
 
     def __init__(self, config: ServiceConfig):
         config.validate()
@@ -156,6 +167,21 @@ class AdmissionController:
         self._pass_by_tenant: dict[str, float] = {}
         self._seq = 0
         self.metrics = AdmissionMetrics()
+        self.observers: list = []
+
+    def add_observer(self, observer) -> None:
+        """Register a telemetry observer (``admission_event(kind, ticket)``)."""
+        self.observers.append(observer)
+
+    def _notify(self, kind: str, ticket: Ticket) -> None:
+        for observer in self.observers:
+            observer.admission_event(kind, ticket)
+
+    def _notify_if_idle(self, ticket: Ticket) -> None:
+        """Emit ``tenant-idle`` when *ticket*'s exit drained its tenant."""
+        tenant = ticket.tenant
+        if self.queued_for(tenant) == 0 and self.running_for(tenant) == 0:
+            self._notify("tenant-idle", ticket)
 
     # -- introspection -------------------------------------------------------
 
@@ -197,6 +223,8 @@ class AdmissionController:
             seq=self._seq,
             deadline=deadline,
         )
+        if self.observers:
+            self._notify("submit", ticket)
         try:
             limits = self.config.tenant(tenant)
         except Exception:
@@ -245,6 +273,8 @@ class AdmissionController:
         self.metrics.shed_by_reason[reason] = (
             self.metrics.shed_by_reason.get(reason, 0) + 1
         )
+        if self.observers:
+            self._notify("shed", ticket)
         return ticket
 
     def expire_queued(self, now: float) -> list[Ticket]:
@@ -264,6 +294,15 @@ class AdmissionController:
             else:
                 survivors.append(ticket)
         self._queue = survivors
+        if self.observers and expired:
+            for ticket in expired:
+                self._notify("queued-timeout", ticket)
+            # One idle check per affected tenant, after the sweep settled.
+            seen: set[str] = set()
+            for ticket in reversed(expired):
+                if ticket.tenant not in seen:
+                    seen.add(ticket.tenant)
+                    self._notify_if_idle(ticket)
         return expired
 
     def start_ready(self, now: float) -> list[Ticket]:
@@ -314,6 +353,8 @@ class AdmissionController:
                 best[0] + 1.0 / tenant_limits[best_tenant].weight
             )
             self.metrics.started += 1
+            if self.observers:
+                self._notify("start", ticket)
             started.append(ticket)
             for queued in self._queue:
                 if queued.tenant == best_tenant:
@@ -341,9 +382,15 @@ class AdmissionController:
             ticket.state = TIMED_OUT
             ticket.reason = "running-timeout"
             self.metrics.timed_out += 1
+            if self.observers:
+                self._notify("running-timeout", ticket)
         else:
             ticket.state = DONE
             self.metrics.completed += 1
+            if self.observers:
+                self._notify("done", ticket)
+        if self.observers:
+            self._notify_if_idle(ticket)
         return ticket
 
     # -- convenience ---------------------------------------------------------

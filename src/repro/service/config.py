@@ -126,6 +126,10 @@ class ServiceConfig:
     #: Cross-request result cache entries, keyed on (canonical query,
     #: catalog version, seed, runtime, exec); 0 disables the cache.
     result_cache_size: int = 256
+    #: Stream the structured event journal (canonical JSONL of admission
+    #: decisions, deadline outcomes, cache evictions) to this path; None
+    #: keeps the journal in memory only.
+    journal_path: str | None = None
 
     def validate(self) -> None:
         if not isinstance(self.port, int) or not (0 <= self.port <= 65535):
@@ -161,6 +165,13 @@ class ServiceConfig:
             raise ServiceConfigError(
                 "result_cache_size must be a non-negative integer "
                 f"(0 disables), got {self.result_cache_size!r}"
+            )
+        if self.journal_path is not None and (
+            not isinstance(self.journal_path, str) or not self.journal_path
+        ):
+            raise ServiceConfigError(
+                f"journal_path must be a non-empty string (or None), "
+                f"got {self.journal_path!r}"
             )
         self.default_tenant.validate()
         for name, tenant in self.tenants.items():
@@ -216,6 +227,7 @@ class ServiceConfig:
             f"queue={self.default_tenant.queue_depth}",
             f"result-cache  "
             f"{'off' if not self.result_cache_size else f'{self.result_cache_size} entries'}",
+            f"journal       {self.journal_path or 'in-memory'}",
         ]
         for name in sorted(self.tenants):
             tenant = self.tenants[name]

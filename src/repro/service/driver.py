@@ -47,6 +47,8 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from ..core.engine import FederatedEngine
+from ..obs.journal import EventJournal
+from ..obs.slo import SLOAccountant
 from .admission import AdmissionController, DONE, SHED, TIMED_OUT, Ticket, audit_schedule
 from .config import ServiceConfig, TenantConfig
 from .pool import EnginePool
@@ -156,6 +158,10 @@ class DriverReport:
     executions: int
     mismatches: list[str] = field(default_factory=list)
     audit_violations: list[str] = field(default_factory=list)
+    #: Structured event journal of the run (None when telemetry was off).
+    journal: EventJournal | None = None
+    #: Per-tenant SLO snapshot (None when telemetry was off).
+    slo: dict | None = None
 
     # -- derived metrics -----------------------------------------------------
 
@@ -233,6 +239,11 @@ class DriverReport:
             "admission": self.admission,
             "fingerprint": self.fingerprint(),
         }
+        if self.journal is not None:
+            body["journal_fingerprint"] = self.journal.fingerprint()
+            body["journal_events"] = self.journal.counts_by_kind()
+        if self.slo is not None:
+            body["slo"] = self.slo
         if self.mismatches:
             body["mismatches"] = self.mismatches[:20]
         if self.audit_violations:
@@ -373,8 +384,17 @@ def run_load(
     spec: WorkloadSpec | None = None,
     seed: int = 42,
     verify_answers: bool = True,
+    telemetry: bool = True,
 ) -> DriverReport:
-    """Run one seeded load test; see the module docstring for semantics."""
+    """Run one seeded load test; see the module docstring for semantics.
+
+    With *telemetry* on (the default) the run carries an SLO accountant
+    and an event journal as admission observers.  Observers only read
+    ticket fields, so the run is **bit-identical** to a telemetry-off run
+    with the same seed — answers, virtual times, cache totals and the
+    report fingerprint all match; the journal itself is deterministic per
+    seed (its SHA-256 is pinned by the telemetry regression gate).
+    """
     spec = spec or WorkloadSpec()
     config.validate()
     workload = _Workload(spec, seed)
@@ -409,6 +429,13 @@ def run_load(
         subresult_cache_size=config.subresult_cache_size,
     )
     controller = AdmissionController(config)
+    journal: EventJournal | None = None
+    accountant: SLOAccountant | None = None
+    if telemetry:
+        journal = EventJournal()
+        accountant = SLOAccountant(config)
+        controller.add_observer(accountant)
+        controller.add_observer(journal)
     # The pristine reference: same settings, caches off, its own engine —
     # every unique (query, seed) pair is executed once and memoized.
     reference = FederatedEngine(
@@ -567,6 +594,17 @@ def run_load(
     cache_stats = {
         name: stats.as_dict() for name, stats in pool.cache_stats().items()
     }
+    slo_snapshot: dict | None = None
+    if telemetry and journal is not None and accountant is not None:
+        # Closing marker: the shared-cache totals at end of run, stamped
+        # at the virtual makespan.  Journal replays reproduce hit ratios
+        # from this event alone.
+        makespan = max(
+            (result.finished_at or result.submitted_at for result in results),
+            default=0.0,
+        )
+        journal.append("cache-snapshot", makespan, caches=cache_stats)
+        slo_snapshot = accountant.snapshot(cache_stats=cache_stats)
     return DriverReport(
         seed=seed,
         spec=spec,
@@ -577,6 +615,8 @@ def run_load(
         executions=executions,
         mismatches=mismatches,
         audit_violations=audit,
+        journal=journal,
+        slo=slo_snapshot,
     )
 
 

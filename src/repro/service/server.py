@@ -23,8 +23,11 @@ API:
 * ``GET /queries/<id>/result`` — the answers (N3-serialized terms) plus
   execution stats; ``409`` while not finished, ``504`` after a timeout.
 * ``GET /queries/<id>/trace`` — per-request Chrome trace (observe mode).
-* ``GET /stats`` — admission metrics + shared cache counters (engine
-  caches and the cross-request result cache).
+* ``GET /stats`` — versioned (``stats_version``) document: admission
+  metrics, shared cache counters (engine caches and the cross-request
+  result cache, evictions included), and the per-tenant SLO snapshot.
+* ``GET /metrics`` — the same numbers in Prometheus text exposition
+  format (``text/plain; version=0.0.4``), scrape-ready.
 * ``GET /healthz`` — liveness.
 
 Every request's execution carries its request ID into the PR-4 trace bus
@@ -49,9 +52,17 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from ..federation.answers import EXEC_MODES, Solution
+from ..obs.journal import EventJournal
+from ..obs.promexport import render_exposition
+from ..obs.slo import SLOAccountant
 from .admission import AdmissionController, DONE, RUNNING, SHED, TIMED_OUT, Ticket
 from .config import ServiceConfig, ServiceConfigError
 from .pool import EnginePool
+
+#: Version stamp of the ``/stats`` JSON shape.  v1 (PR 7) was unversioned;
+#: v2 adds ``stats_version``, result-cache eviction counts, and the
+#: per-tenant SLO snapshot.
+STATS_VERSION = 2
 
 #: Largest accepted request body.
 MAX_BODY_BYTES = 1 << 20
@@ -172,6 +183,19 @@ class QueryService:
         self._result_cache_lock = threading.Lock()
         self._result_cache_hits = 0
         self._result_cache_misses = 0
+        self._result_cache_evictions = 0
+        # Telemetry plane: SLO accountant + event journal observe every
+        # admission transition; the journal optionally streams canonical
+        # JSONL to config.journal_path.
+        self.slo = SLOAccountant(config)
+        self._journal_sink = (
+            open(config.journal_path, "w", encoding="utf-8")
+            if config.journal_path
+            else None
+        )
+        self.journal = EventJournal(sink=self._journal_sink)
+        self.admission.add_observer(self.slo)
+        self.admission.add_observer(self.journal)
         self._requests: dict[str, _Request] = {}
         self._counter = 0
         self._executor = ThreadPoolExecutor(
@@ -317,14 +341,24 @@ class QueryService:
                 "entries": len(self._result_cache),
                 "hits": self._result_cache_hits,
                 "misses": self._result_cache_misses,
+                "evictions": self._result_cache_evictions,
             }
+        cache_stats = dict(caches)
+        cache_stats["result"] = result_cache
         return 200, {
+            "stats_version": STATS_VERSION,
             "admission": self.admission.snapshot(),
             "caches": caches,
             "pool": {"engines": len(self.pool)},
             "requests": len(self._requests),
             "result_cache": result_cache,
+            "slo": self.slo.snapshot(cache_stats=cache_stats),
         }
+
+    def metrics_text(self) -> str:
+        """The ``/stats`` document rendered as Prometheus exposition text."""
+        __, stats = self.stats()
+        return render_exposition(stats)
 
     async def drain(self) -> None:
         """Wait for every in-flight lifecycle to finish (tests/shutdown)."""
@@ -333,6 +367,9 @@ class QueryService:
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
+        if self._journal_sink is not None:
+            self._journal_sink.close()
+            self._journal_sink = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -385,6 +422,15 @@ class QueryService:
         if timed_out and ticket.deadline is not None:
             now = max(now, ticket.deadline)
         self.admission.complete(ticket, now)
+        if record.error is not None:
+            self.slo.note_error(ticket.tenant)
+            self.journal.append(
+                "error",
+                now,
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                detail=record.error,
+            )
         record.finished.set()
         self._pump()
 
@@ -440,11 +486,23 @@ class QueryService:
                 "cache": stats.cache_summary(),
             }
             if use_cache:
+                evicted = 0
                 with self._result_cache_lock:
                     self._result_cache[key] = (serialized, stats_doc)
                     self._result_cache.move_to_end(key)
                     while len(self._result_cache) > self.config.result_cache_size:
                         self._result_cache.popitem(last=False)
+                        self._result_cache_evictions += 1
+                        evicted += 1
+                if evicted:
+                    # Journaled from the executor thread (append is locked).
+                    self.journal.append(
+                        "result-cache-evict",
+                        self._now(),
+                        cache="result",
+                        evicted=evicted,
+                        request_id=record.ticket.request_id,
+                    )
                 return serialized, dict(stats_doc, result_cache="miss"), observation
             return serialized, stats_doc, observation
         finally:
@@ -497,11 +555,18 @@ class ServiceServer:
         except Exception as error:  # defensive: never kill the accept loop
             status, body = 500, {"error": "internal", "detail": str(error)}
         try:
-            payload = json.dumps(body, sort_keys=True).encode()
+            # A str body is pre-rendered plain text (the /metrics
+            # exposition); anything else is a JSON document.
+            if isinstance(body, str):
+                payload = body.encode("utf-8")
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            else:
+                payload = json.dumps(body, sort_keys=True).encode()
+                content_type = "application/json"
             reason = _REASONS.get(status, "Unknown")
             head = (
                 f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 + ("Retry-After: 1\r\n" if status == 429 else "")
                 + "Connection: close\r\n\r\n"
@@ -517,7 +582,9 @@ class ServiceServer:
             except (ConnectionError, BrokenPipeError):
                 pass
 
-    async def _handle_one(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    async def _handle_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict | str]:
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
@@ -545,7 +612,9 @@ class ServiceServer:
             body = await reader.readexactly(size)
         return await self._route(method, path, body)
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str]:
         service = self.service
         if path == "/healthz":
             if method != "GET":
@@ -555,6 +624,10 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "method-not-allowed"}
             return service.stats()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "method-not-allowed"}
+            return 200, service.metrics_text()
         if path == "/queries":
             if method != "POST":
                 return 405, {"error": "method-not-allowed"}

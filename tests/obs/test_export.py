@@ -111,3 +111,50 @@ class TestJsonDump:
         assert any(
             decision["heuristic"] == "H1" for decision in payload["explain"]["decisions"]
         )
+
+
+class TestRequestIdInArgs:
+    """Service-originated runs: the request ID must reach every event's
+    args, not just the process metadata, so merged exports stay
+    filterable by request."""
+
+    def test_request_id_round_trips_through_every_event(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake, query=TINY_CROSS_SOURCE_QUERY)
+        observation.request_id = "r-000042"  # as the service assigns post-run
+        trace = to_chrome_trace([("svc run", observation)])
+        timed = [
+            event for event in trace["traceEvents"] if event["ph"] in ("X", "i")
+        ]
+        assert timed, "expected spans/instants in an observed run"
+        for event in timed:
+            assert event["args"]["request_id"] == "r-000042"
+        # The process metadata keeps carrying it too.
+        process = next(
+            event
+            for event in trace["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "process_name"
+        )
+        assert process["args"]["request_id"] == "r-000042"
+        # And the export still validates against the trace-event schema.
+        assert validate_chrome_trace(trace) == []
+
+    def test_unattributed_runs_stay_clean(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake)
+        assert observation.request_id is None
+        trace = to_chrome_trace([("local run", observation)])
+        for event in trace["traceEvents"]:
+            if event["ph"] in ("X", "i"):
+                assert "request_id" not in event["args"]
+
+    def test_injection_does_not_clobber_existing_args(self, tiny_lake):
+        __, __, observation = _observe(tiny_lake)
+        observation.request_id = "r-000001"
+        trace = to_chrome_trace([("svc run", observation)])
+        op_rows = [
+            event
+            for event in trace["traceEvents"]
+            if event["ph"] == "X" and "rows_out" in event.get("args", {})
+        ]
+        assert op_rows, "operator profile rows expected"
+        for event in op_rows:
+            assert event["args"]["request_id"] == "r-000001"

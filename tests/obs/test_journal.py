@@ -1,0 +1,149 @@
+"""Tests for the structured event journal: canonical encoding, fingerprints,
+observer mapping, file round-trips."""
+
+import io
+import json
+import threading
+
+from repro.obs import EventJournal, JOURNAL_VERSION, canonical_line
+from repro.service import ServiceConfig
+from repro.service.admission import AdmissionController
+
+
+def test_canonical_line_is_sorted_and_compact():
+    line = canonical_line({"b": 2, "a": 1, "nested": {"z": 0, "y": [1, 2]}})
+    assert line == '{"a":1,"b":2,"nested":{"y":[1,2],"z":0}}'
+
+
+def test_append_and_fingerprint_are_order_sensitive():
+    first = EventJournal()
+    first.append("submit", 1.0, request_id="r-1", tenant="a")
+    first.append("done", 2.0, request_id="r-1", tenant="a")
+    second = EventJournal()
+    second.append("done", 2.0, request_id="r-1", tenant="a")
+    second.append("submit", 1.0, request_id="r-1", tenant="a")
+    assert first.fingerprint() != second.fingerprint()
+    third = EventJournal()
+    third.append("submit", 1.0, request_id="r-1", tenant="a")
+    third.append("done", 2.0, request_id="r-1", tenant="a")
+    assert first.fingerprint() == third.fingerprint()
+
+
+def test_every_event_carries_version_and_kind():
+    journal = EventJournal()
+    event = journal.append("submit", 0.5, request_id="r-1", tenant="a")
+    assert event["v"] == JOURNAL_VERSION
+    assert event["kind"] == "submit"
+    assert event["ts"] == 0.5
+
+
+def test_file_round_trip_preserves_fingerprint(tmp_path):
+    journal = EventJournal()
+    journal.append("submit", 0.0, request_id="r-1", tenant="a", deadline=30.0)
+    journal.append("start", 0.1, request_id="r-1", tenant="a", queue_wait=0.1)
+    journal.append("cache-snapshot", 5.0, caches={"plans": {"hits": 1}})
+    path = tmp_path / "journal.jsonl"
+    journal.write_jsonl(str(path))
+    loaded = EventJournal.read_jsonl(str(path))
+    assert loaded.events == journal.events
+    assert loaded.fingerprint() == journal.fingerprint()
+
+
+def test_streaming_sink_receives_canonical_lines():
+    sink = io.StringIO()
+    journal = EventJournal(sink=sink)
+    journal.append("submit", 0.0, request_id="r-1", tenant="a")
+    journal.append("shed", 0.0, request_id="r-2", tenant="a", reason="full")
+    lines = sink.getvalue().splitlines()
+    assert lines == journal.canonical_lines()
+    assert json.loads(lines[1])["reason"] == "full"
+
+
+def test_counts_by_kind():
+    journal = EventJournal()
+    for __ in range(3):
+        journal.append("submit", 0.0, tenant="a")
+    journal.append("done", 1.0, tenant="a")
+    assert journal.counts_by_kind() == {"done": 1, "submit": 3}
+
+
+def test_concurrent_appends_do_not_lose_events():
+    journal = EventJournal()
+
+    def worker(worker_id):
+        for index in range(50):
+            journal.append("result-cache-evict", 0.0, worker=worker_id, index=index)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(journal) == 200
+
+
+# -- the admission observer mapping -------------------------------------------
+
+
+def drive_schedule(journal):
+    """A tiny deterministic schedule: 2 accepted, 1 shed, 1 queued-timeout."""
+    from repro.service import TenantConfig
+
+    config = ServiceConfig(
+        global_concurrency=1,
+        timeout=10.0,
+        tenants={"a": TenantConfig(name="a", max_concurrency=1, queue_depth=2)},
+    )
+    controller = AdmissionController(config)
+    controller.add_observer(journal)
+    first = controller.submit("r-1", "a", 0.0)
+    second = controller.submit("r-2", "a", 0.1)
+    third = controller.submit("r-3", "a", 0.2)  # queue full (depth 2) -> shed
+    started = controller.start_ready(0.2)
+    assert [ticket.request_id for ticket in started] == ["r-1"]
+    controller.complete(first, 1.0)
+    controller.start_ready(1.0)
+    # r-2 started at 1.0; run it past its deadline -> running-timeout.
+    controller.complete(second, 12.0)
+    assert third.state == "shed"
+    return controller
+
+
+def test_admission_events_capture_the_whole_lifecycle():
+    journal = EventJournal()
+    drive_schedule(journal)
+    kinds = [event["kind"] for event in journal]
+    assert kinds == [
+        "submit",
+        "submit",
+        "submit",
+        "shed",
+        "start",
+        "done",
+        "start",
+        "running-timeout",
+        "tenant-idle",
+    ]
+    start = next(event for event in journal if event["kind"] == "start")
+    assert start["queue_wait"] == 0.2
+    assert "stride_pass" in start
+    done = next(event for event in journal if event["kind"] == "done")
+    assert done["execution"] == 0.8
+    assert done["end_to_end"] == 1.0
+    overrun = next(
+        event for event in journal if event["kind"] == "running-timeout"
+    )
+    assert overrun["execution"] == 11.0
+    assert overrun["overrun"] == 12.0 - 10.1  # finished - deadline
+    idle = [event for event in journal if event["kind"] == "tenant-idle"]
+    assert idle == [{"v": JOURNAL_VERSION, "kind": "tenant-idle", "ts": 12.0, "tenant": "a"}]
+
+
+def test_no_observers_means_no_overhead_paths():
+    # Without observers the controller must not keep any journal state.
+    config = ServiceConfig()
+    controller = AdmissionController(config)
+    ticket = controller.submit("r-1", "a", 0.0)
+    controller.start_ready(0.0)
+    controller.complete(ticket, 1.0)
+    assert controller.observers == []

@@ -1,0 +1,203 @@
+"""Tests for the Prometheus exposition renderer and its strict parser."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    LogBucketHistogram,
+    SLOAccountant,
+    parse_exposition,
+    render_exposition,
+    validate_exposition,
+)
+
+
+def sample_stats():
+    accountant = SLOAccountant()
+    for tenant, execution in (("acme", 0.5), ("globex", 2.0)):
+        accountant.note_submit(tenant)
+        accountant.note_start(tenant, 0.1)
+        accountant.note_done(tenant, execution, execution + 0.1)
+    accountant.note_submit("acme")
+    accountant.note_shed("acme", "tenant-queue-full")
+    return {
+        "stats_version": 2,
+        "admission": {"running": 1, "queued": 2},
+        "slo": accountant.snapshot(
+            cache_stats={
+                "plans": {"hits": 4, "misses": 2, "evictions": 1},
+                "result": {"hits": 0, "misses": 3, "evictions": 0},
+            }
+        ),
+    }
+
+
+class TestRenderer:
+    def test_output_parses_cleanly(self):
+        text = render_exposition(sample_stats())
+        assert validate_exposition(text) > 10
+
+    def test_counters_per_tenant(self):
+        families = parse_exposition(render_exposition(sample_stats()))
+        submitted = families["repro_requests_submitted_total"]
+        assert submitted["type"] == "counter"
+        values = {
+            labels["tenant"]: value for __, labels, value in submitted["samples"]
+        }
+        assert values == {"acme": 2, "globex": 1}
+
+    def test_histograms_are_cumulative_with_inf(self):
+        families = parse_exposition(render_exposition(sample_stats()))
+        family = families["repro_end_to_end_seconds"]
+        assert family["type"] == "histogram"
+        acme_buckets = [
+            (labels["le"], value)
+            for name, labels, value in family["samples"]
+            if name.endswith("_bucket") and labels.get("tenant") == "acme"
+        ]
+        assert acme_buckets[-1][0] == "+Inf"
+        counts = [value for __, value in acme_buckets]
+        assert counts == sorted(counts)
+        count = next(
+            value
+            for name, labels, value in family["samples"]
+            if name.endswith("_count") and labels.get("tenant") == "acme"
+        )
+        assert counts[-1] == count == 1
+
+    def test_global_histogram_uses_all_label(self):
+        families = parse_exposition(render_exposition(sample_stats()))
+        family = families["repro_execution_seconds"]
+        tenants = {
+            labels.get("tenant")
+            for __, labels, __v in family["samples"]
+        }
+        assert "__all__" in tenants
+
+    def test_cache_families(self):
+        families = parse_exposition(render_exposition(sample_stats()))
+        hits = {
+            labels["cache"]: value
+            for __, labels, value in families["repro_cache_hits_total"]["samples"]
+        }
+        assert hits == {"plans": 4, "result": 0}
+        ratios = {
+            labels["cache"]: value
+            for __, labels, value in families["repro_cache_hit_ratio"]["samples"]
+        }
+        assert ratios["plans"] == pytest.approx(4 / 6, abs=1e-6)
+
+    def test_rejects_stats_without_slo(self):
+        with pytest.raises(ValueError, match="no 'slo' section"):
+            render_exposition({"stats_version": 1})
+
+    def test_rendering_is_deterministic(self):
+        stats = sample_stats()
+        assert render_exposition(stats) == render_exposition(stats)
+
+
+class TestParserRejections:
+    def test_bad_metric_name(self):
+        with pytest.raises(ExpositionError, match="invalid metric name"):
+            parse_exposition("# TYPE 9bad counter\n9bad 1\n")
+
+    def test_bad_sample_line(self):
+        with pytest.raises(ExpositionError, match="malformed sample"):
+            parse_exposition("no value here!\n")
+
+    def test_non_float_value(self):
+        with pytest.raises(ExpositionError, match="not a float"):
+            parse_exposition("metric_a not-a-number\n")
+
+    def test_malformed_labels(self):
+        with pytest.raises(ExpositionError, match="malformed label"):
+            parse_exposition('metric_a{tenant=unquoted} 1\n')
+
+    def test_duplicate_labels(self):
+        with pytest.raises(ExpositionError, match="duplicate label"):
+            parse_exposition('metric_a{t="1",t="2"} 1\n')
+
+    def test_unknown_type(self):
+        with pytest.raises(ExpositionError, match="unknown metric type"):
+            parse_exposition("# TYPE metric_a flavor\nmetric_a 1\n")
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 1\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ExpositionError, match=r"missing \+Inf"):
+            parse_exposition(text)
+
+    def test_histogram_non_monotone_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="2"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ExpositionError, match="non-monotone"):
+            parse_exposition(text)
+
+    def test_histogram_count_disagrees_with_inf(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 7\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf bucket != _count"):
+            parse_exposition(text)
+
+
+class TestParserAcceptance:
+    def test_escaped_label_values_round_trip(self):
+        text = 'metric_a{path="a\\\\b\\"c\\nd"} 1\n'
+        families = parse_exposition(text)
+        __, labels, value = families["metric_a"]["samples"][0]
+        assert labels["path"] == 'a\\b"c\nd'
+        assert value == 1.0
+
+    def test_special_float_values(self):
+        families = parse_exposition("metric_a +Inf\nmetric_b -Inf\nmetric_c NaN\n")
+        assert families["metric_a"]["samples"][0][2] == math.inf
+        assert families["metric_b"]["samples"][0][2] == -math.inf
+        assert math.isnan(families["metric_c"]["samples"][0][2])
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# just a comment\n\nmetric_a 1\n\n"
+        assert validate_exposition(text) == 1
+
+    def test_empty_histograms_still_valid(self):
+        accountant = SLOAccountant()
+        accountant.note_submit("quiet")  # submitted but never completed
+        stats = {"stats_version": 2, "slo": accountant.snapshot()}
+        assert validate_exposition(render_exposition(stats)) > 0
+
+    def test_timestamped_samples_accepted(self):
+        families = parse_exposition("metric_a 1 1700000000\n")
+        assert families["metric_a"]["samples"][0][2] == 1.0
+
+
+def test_render_uses_histogram_bounds_exactly():
+    histogram = LogBucketHistogram()
+    histogram.observe(2.0)  # exactly a bound: le="2" bucket must contain it
+    accountant = SLOAccountant()
+    accountant.note_submit("t")
+    accountant.note_start("t", 0.0)
+    accountant.note_done("t", 2.0, 2.0)
+    text = render_exposition({"stats_version": 2, "slo": accountant.snapshot()})
+    families = parse_exposition(text)
+    buckets = {
+        labels["le"]: value
+        for name, labels, value in families["repro_execution_seconds"]["samples"]
+        if name.endswith("_bucket") and labels.get("tenant") == "t"
+    }
+    assert buckets["2"] == 1  # le-semantics: on-boundary value included
+    assert buckets["1"] == 0

@@ -1,0 +1,271 @@
+"""Tests for the SLO layer: log-bucketed histograms and the accountant."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs import (
+    BUCKET_BOUNDS,
+    LogBucketHistogram,
+    SLOAccountant,
+    TenantSLO,
+    accountant_from_journal,
+    render_slo_report,
+)
+from repro.service import ServiceConfig, TenantConfig
+
+
+# -- histogram edge cases (the determinism substrate) -------------------------
+
+
+class TestHistogramEdgeCases:
+    def test_empty_percentiles_are_zero(self):
+        histogram = LogBucketHistogram()
+        assert histogram.count == 0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.mean == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None and snapshot["max"] is None
+        assert snapshot["buckets"] == []
+
+    def test_single_observation_percentiles_are_exact(self):
+        histogram = LogBucketHistogram()
+        histogram.observe(0.37)
+        # Every percentile of one value is that value: the bucket upper
+        # bound (0.5) is capped at the tracked exact max.
+        for q in (0.01, 0.5, 0.9, 0.99, 1.0):
+            assert histogram.percentile(q) == 0.37
+        assert histogram.mean == 0.37
+        assert histogram.minimum == histogram.maximum == 0.37
+
+    def test_value_exactly_on_bucket_boundary_falls_in_that_bucket(self):
+        # le-semantics: a value equal to a bound belongs to that bound's
+        # bucket, same as Prometheus' cumulative `le` buckets.
+        for bound in (BUCKET_BOUNDS[0], 1.0, 2.0, BUCKET_BOUNDS[-1]):
+            histogram = LogBucketHistogram()
+            histogram.observe(bound)
+            index = BUCKET_BOUNDS.index(bound)
+            assert histogram.counts[index] == 1
+            assert histogram.percentile(0.5) == bound
+
+    def test_value_above_last_bound_lands_in_overflow(self):
+        histogram = LogBucketHistogram()
+        huge = BUCKET_BOUNDS[-1] * 3
+        histogram.observe(huge)
+        assert histogram.counts[-1] == 1
+        # Overflow percentile reports the exact max, not infinity.
+        assert histogram.percentile(0.99) == huge
+
+    def test_percentile_never_exceeds_observed_max(self):
+        histogram = LogBucketHistogram()
+        for value in (0.9, 1.1, 1.7):
+            histogram.observe(value)
+        # Rank-3 bucket bound is 2.0; the cap brings it to the true max.
+        assert histogram.percentile(0.99) == 1.7
+
+    def test_merge_associativity(self):
+        values_a, values_b, values_c = (
+            [0.001, 0.2, 5.0],
+            [1.0, 1.0, 900.0],
+            [0.00001, 3.3],
+        )
+
+        def build(values):
+            histogram = LogBucketHistogram()
+            for value in values:
+                histogram.observe(value)
+            return histogram
+
+        left = build(values_a).merge(build(values_b)).merge(build(values_c))
+        right = build(values_a).merge(build(values_b).merge(build(values_c)))
+        assert left.counts == right.counts
+        assert left.count == right.count
+        assert left.total == right.total
+        assert left.minimum == right.minimum
+        assert left.maximum == right.maximum
+        assert left.snapshot() == right.snapshot()
+
+    @given(
+        st.lists(st.floats(min_value=1e-7, max_value=1e4), max_size=30),
+        st.lists(st.floats(min_value=1e-7, max_value=1e4), max_size=30),
+    )
+    def test_merge_equals_combined_stream(self, values_a, values_b):
+        merged = LogBucketHistogram()
+        for value in values_a:
+            merged.observe(value)
+        other = LogBucketHistogram()
+        for value in values_b:
+            other.observe(value)
+        merged.merge(other)
+        combined = LogBucketHistogram()
+        for value in values_a + values_b:
+            combined.observe(value)
+        assert merged.counts == combined.counts
+        assert merged.count == combined.count
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+        assert merged.total == pytest.approx(combined.total)
+
+    def test_snapshot_round_trip(self):
+        histogram = LogBucketHistogram()
+        for value in (0.01, 0.5, 7.0, 7.0):
+            histogram.observe(value)
+        clone = LogBucketHistogram.from_snapshot(histogram.snapshot())
+        assert clone.counts == histogram.counts
+        assert clone.count == histogram.count
+        assert clone.percentile(0.9) == histogram.percentile(0.9)
+
+    def test_cumulative_buckets_end_with_inf_and_total(self):
+        histogram = LogBucketHistogram()
+        for value in (0.1, 10.0, 1e9):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        assert pairs[-1][0] == math.inf
+        assert pairs[-1][1] == 3
+        counts = [count for __, count in pairs]
+        assert counts == sorted(counts)  # cumulative => monotone
+
+
+# -- bucket bounds ------------------------------------------------------------
+
+
+def test_bounds_are_exact_powers_of_two():
+    assert BUCKET_BOUNDS[0] == 2.0 ** -20
+    assert BUCKET_BOUNDS[-1] == 2.0 ** 12
+    for earlier, later in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+        assert later == earlier * 2
+
+
+# -- the accountant -----------------------------------------------------------
+
+
+class TestAccountant:
+    def test_rates_and_counts(self):
+        accountant = SLOAccountant()
+        for __ in range(4):
+            accountant.note_submit("acme")
+        accountant.note_start("acme", 0.1)
+        accountant.note_done("acme", 1.0, 1.1)
+        accountant.note_shed("acme", "tenant-queue-full")
+        accountant.note_timeout("acme")
+        accountant.note_error("acme")
+        snapshot = accountant.snapshot()
+        entry = snapshot["tenants"]["acme"]
+        assert entry["submitted"] == 4
+        assert entry["completed"] == 1
+        assert entry["shed"] == 1
+        assert entry["timed_out"] == 1
+        assert entry["errors"] == 1
+        assert entry["shed_rate"] == 0.25
+        assert entry["timeout_rate"] == 0.25
+        assert entry["error_rate"] == 0.25
+        assert entry["shed_by_reason"] == {"tenant-queue-full": 1}
+
+    def test_global_is_merge_of_tenants(self):
+        accountant = SLOAccountant()
+        for tenant, execution in (("a", 1.0), ("b", 3.0)):
+            accountant.note_submit(tenant)
+            accountant.note_start(tenant, 0.5)
+            accountant.note_done(tenant, execution, execution + 0.5)
+        snapshot = accountant.snapshot()
+        assert snapshot["global"]["submitted"] == 2
+        assert snapshot["global"]["completed"] == 2
+        assert snapshot["global"]["busy_seconds"] == 4.0
+        assert snapshot["global"]["execution"]["count"] == 2
+
+    def test_weights_come_from_config(self):
+        config = ServiceConfig(
+            tenants={"vip": TenantConfig(name="vip", weight=3.0)}
+        )
+        accountant = SLOAccountant(config)
+        accountant.note_submit("vip")
+        accountant.note_submit("other")
+        snapshot = accountant.snapshot()
+        assert snapshot["tenants"]["vip"]["weight"] == 3.0
+        assert snapshot["tenants"]["other"]["weight"] == 1.0
+        # fair_share = weight / active weight sum.
+        assert snapshot["tenants"]["vip"]["fair_share"] == 0.75
+        assert snapshot["tenants"]["other"]["fair_share"] == 0.25
+
+    def test_utilization_shares_sum_to_one(self):
+        accountant = SLOAccountant()
+        for tenant, execution in (("a", 1.0), ("b", 1.0), ("c", 2.0)):
+            accountant.note_submit(tenant)
+            accountant.note_start(tenant, 0.0)
+            accountant.note_done(tenant, execution, execution)
+        snapshot = accountant.snapshot()
+        shares = [
+            entry["utilization_share"] for entry in snapshot["tenants"].values()
+        ]
+        assert sum(shares) == pytest.approx(1.0)
+        assert snapshot["tenants"]["c"]["utilization_share"] == 0.5
+
+    def test_cache_hit_ratios(self):
+        accountant = SLOAccountant()
+        snapshot = accountant.snapshot(
+            cache_stats={
+                "plans": {"hits": 3, "misses": 1, "evictions": 2},
+                "result": {"hits": 0, "misses": 0, "evictions": 0},
+            }
+        )
+        assert snapshot["cache"]["plans"]["hit_rate"] == 0.75
+        assert snapshot["cache"]["plans"]["evictions"] == 2
+        assert snapshot["cache"]["result"]["hit_rate"] == 0.0
+
+    def test_report_renders_all_tenants_and_global(self):
+        accountant = SLOAccountant()
+        accountant.note_submit("acme")
+        accountant.note_start("acme", 0.2)
+        accountant.note_done("acme", 0.8, 1.0)
+        text = render_slo_report(
+            accountant.snapshot(cache_stats={"plans": {"hits": 1, "misses": 1}})
+        )
+        assert "acme" in text
+        assert "GLOBAL" in text
+        assert "cache plans" in text
+
+
+# -- journal replay -----------------------------------------------------------
+
+
+def test_accountant_from_journal_matches_live_feed():
+    live = SLOAccountant()
+    events = []
+
+    def both(kind, tenant, **fields):
+        events.append({"kind": kind, "tenant": tenant, "ts": 0.0, **fields})
+
+    live.note_submit("a")
+    both("submit", "a")
+    live.note_start("a", 0.25)
+    both("start", "a", queue_wait=0.25)
+    live.note_done("a", 2.0, 2.25)
+    both("done", "a", execution=2.0, end_to_end=2.25)
+    live.note_submit("b")
+    both("submit", "b")
+    live.note_shed("b", "tenant-queue-full")
+    both("shed", "b", reason="tenant-queue-full")
+    live.note_error("a")
+    both("error", "a")
+    events.append(
+        {"kind": "cache-snapshot", "ts": 9.9, "caches": {"plans": {"hits": 1, "misses": 0}}}
+    )
+
+    replayed, cache_stats = accountant_from_journal(events)
+    assert cache_stats == {"plans": {"hits": 1, "misses": 0}}
+    assert replayed.snapshot(cache_stats=cache_stats) == live.snapshot(
+        cache_stats=cache_stats
+    )
+
+
+def test_tenant_slo_merge_accumulates_reasons():
+    left = TenantSLO("x")
+    right = TenantSLO("x")
+    left.shed_by_reason["a"] = 1
+    right.shed_by_reason["a"] = 2
+    right.shed_by_reason["b"] = 1
+    left.merge(right)
+    assert left.shed_by_reason == {"a": 3, "b": 1}

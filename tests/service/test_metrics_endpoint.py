@@ -1,0 +1,203 @@
+"""The telemetry surface of the live HTTP service: ``/metrics`` exposition,
+the versioned ``/stats`` document, journal streaming via ``serve --journal``'s
+config knob, and the ``repro slo report`` CLI over a journal file.
+"""
+
+import asyncio
+import json
+
+from repro.cli import main as cli_main
+from repro.obs import (
+    EventJournal,
+    accountant_from_journal,
+    parse_exposition,
+    validate_exposition,
+)
+from repro.service import STATS_VERSION, ServiceConfig
+from tests.service.test_server import (
+    ServiceHarness,
+    fake_run_query,
+    http,
+    poll_until_terminal,
+    run,
+)
+
+
+async def http_raw(port, method, path):
+    """One HTTP/1.1 exchange returning the body as raw text (no JSON)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    head = f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n\r\n"
+    writer.write(head.encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    header_blob, __, data = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ")[1])
+    return status, header_blob.decode("latin-1"), data.decode("utf-8")
+
+
+async def drive_some_traffic(harness, count=3):
+    for index in range(count):
+        status, __h, body = await http(
+            harness.port,
+            "POST",
+            "/queries",
+            {"query": "Q1", "tenant": "acme" if index % 2 else "globex", "seed": 7},
+        )
+        assert status == 202
+        terminal = await poll_until_terminal(harness.port, body["request_id"])
+        assert terminal["state"] == "done"
+
+
+def test_metrics_endpoint_serves_parseable_exposition(small_lslod_lake):
+    config = ServiceConfig(port=0, workers=1)
+
+    async def scenario():
+        async with ServiceHarness(
+            small_lslod_lake, config, run_query=fake_run_query()
+        ) as harness:
+            await drive_some_traffic(harness)
+            return await http_raw(harness.port, "GET", "/metrics")
+
+    status, headers, text = run(scenario())
+    assert status == 200
+    assert "text/plain; version=0.0.4" in headers
+    assert validate_exposition(text) > 10
+    families = parse_exposition(text)
+    submitted = families["repro_requests_submitted_total"]
+    by_tenant = {
+        labels["tenant"]: value for __, labels, value in submitted["samples"]
+    }
+    assert by_tenant == {"acme": 1, "globex": 2}
+    assert "repro_stats_version" in families
+    assert families["repro_stats_version"]["samples"][0][2] == STATS_VERSION
+
+
+def test_metrics_rejects_post(small_lslod_lake):
+    config = ServiceConfig(port=0, workers=1)
+
+    async def scenario():
+        async with ServiceHarness(
+            small_lslod_lake, config, run_query=fake_run_query()
+        ) as harness:
+            status, __h, body = await http(harness.port, "POST", "/metrics", {})
+            assert status == 405
+            assert body["error"] == "method-not-allowed"
+
+    run(scenario())
+
+
+def test_stats_is_versioned_and_carries_slo(small_lslod_lake):
+    config = ServiceConfig(port=0, workers=1)
+
+    async def scenario():
+        async with ServiceHarness(
+            small_lslod_lake, config, run_query=fake_run_query()
+        ) as harness:
+            await drive_some_traffic(harness, count=2)
+            __s, __h, stats = await http(harness.port, "GET", "/stats")
+            return stats
+
+    stats = run(scenario())
+    assert stats["stats_version"] == STATS_VERSION
+    assert "evictions" in stats["result_cache"]
+    slo = stats["slo"]
+    assert slo["slo_version"] == 1
+    assert slo["global"]["submitted"] == 2
+    assert slo["global"]["completed"] == 2
+    assert set(slo["tenants"]) == {"acme", "globex"}
+    # The SLO's cache section mirrors the service's cache counters.
+    assert slo["cache"]["result"]["evictions"] == stats["result_cache"]["evictions"]
+
+
+def test_journal_path_streams_canonical_jsonl(small_lslod_lake, tmp_path):
+    path = tmp_path / "service.jsonl"
+    config = ServiceConfig(port=0, workers=1, journal_path=str(path))
+
+    async def scenario():
+        async with ServiceHarness(
+            small_lslod_lake, config, run_query=fake_run_query()
+        ) as harness:
+            await drive_some_traffic(harness, count=2)
+
+    run(scenario())
+    # close() flushed the sink; the file is a loadable canonical journal.
+    loaded = EventJournal.read_jsonl(str(path))
+    counts = loaded.counts_by_kind()
+    assert counts["submit"] == 2
+    assert counts["done"] == 2
+    for line in path.read_text().splitlines():
+        event = json.loads(line)
+        assert event["v"] == 1
+        assert "kind" in event and "ts" in event
+    # Replaying the streamed journal reproduces the tenants seen live.
+    accountant, __ = accountant_from_journal(loaded.events)
+    assert set(accountant.snapshot()["tenants"]) == {"acme", "globex"}
+
+
+# -- the CLI report over a journal file ---------------------------------------
+
+
+def write_sample_journal(path):
+    journal = EventJournal()
+    journal.append("submit", 0.0, request_id="r-1", tenant="acme", deadline=30.0)
+    journal.append("start", 0.1, request_id="r-1", tenant="acme", queue_wait=0.1)
+    journal.append(
+        "done", 1.1, request_id="r-1", tenant="acme", execution=1.0, end_to_end=1.1
+    )
+    journal.append("submit", 0.2, request_id="r-2", tenant="bee")
+    journal.append("shed", 0.2, request_id="r-2", tenant="bee", reason="queue-full")
+    journal.append(
+        "cache-snapshot", 2.0, caches={"plans": {"hits": 3, "misses": 1}}
+    )
+    journal.write_jsonl(str(path))
+    return journal
+
+
+def test_slo_report_text_over_journal(tmp_path, capsys):
+    path = tmp_path / "journal.jsonl"
+    journal = write_sample_journal(path)
+    exit_code = cli_main(["slo", "report", "--journal", str(path)])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert journal.fingerprint() in out
+    assert "acme" in out and "bee" in out and "GLOBAL" in out
+    assert "cache plans" in out
+
+
+def test_slo_report_json_over_journal(tmp_path, capsys):
+    path = tmp_path / "journal.jsonl"
+    journal = write_sample_journal(path)
+    exit_code = cli_main(
+        ["slo", "report", "--journal", str(path), "--format", "json"]
+    )
+    assert exit_code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["source"]["journal_fingerprint"] == journal.fingerprint()
+    assert document["source"]["events"] == len(journal)
+    slo = document["slo"]
+    assert slo["tenants"]["acme"]["completed"] == 1
+    assert slo["tenants"]["bee"]["shed"] == 1
+    assert slo["cache"]["plans"]["hit_rate"] == 0.75
+
+
+def test_slo_report_requires_exactly_one_source(tmp_path, capsys):
+    assert cli_main(["slo", "report"]) == 2
+    assert (
+        cli_main(
+            ["slo", "report", "--journal", "x.jsonl", "--url", "http://localhost:1"]
+        )
+        == 2
+    )
+    capsys.readouterr()
+
+
+def test_slo_report_rejects_unreadable_journal(tmp_path, capsys):
+    missing = tmp_path / "nope.jsonl"
+    assert cli_main(["slo", "report", "--journal", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read journal" in err

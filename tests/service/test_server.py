@@ -489,7 +489,7 @@ def test_result_cache_disabled_by_size_zero_and_observe(small_lslod_lake):
     second, stats = run(scenario(ServiceConfig(port=0, result_cache_size=0)))
     assert "result_cache" not in second["stats"]
     assert stats["result_cache"] == {
-        "capacity": 0, "entries": 0, "hits": 0, "misses": 0,
+        "capacity": 0, "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
     }
     # Observed runs always execute for real — every request needs a trace.
     second, stats = run(scenario(ServiceConfig(port=0, observe=True)))

@@ -1,0 +1,238 @@
+"""The telemetry plane's contracts on the live service stack.
+
+The load-bearing guarantee (the PR-4 invariant extended to the service):
+enabling the SLO accountant and event journal must not change a single
+bit of a seeded load test — answers, virtual times, cache totals, report
+fingerprint.  On top of that, the journal itself must be deterministic
+(same seed → same SHA-256) and faithful (replaying it reproduces the live
+accountant's snapshot exactly).
+"""
+
+import json
+
+import pytest
+
+from repro.core.engine import FederatedEngine
+from repro.obs import EventJournal, accountant_from_journal
+from repro.optimizer import run_with_feedback
+from repro.service import (
+    ServiceConfig,
+    ServiceConfigError,
+    TenantConfig,
+    WorkloadSpec,
+    run_load,
+)
+from repro.service.admission import AdmissionController
+
+SPEC = WorkloadSpec(
+    clients=40,
+    requests_per_client=2,
+    tenants=3,
+    cold_variants=4,
+    mean_interarrival=0.2,
+    mean_think=1.0,
+)
+
+CONFIG = ServiceConfig(workers=2, global_concurrency=4, timeout=20.0)
+
+# Overloaded on purpose: sheds and both timeout kinds must appear.
+TIGHT_CONFIG = ServiceConfig(
+    workers=1,
+    global_concurrency=1,
+    timeout=0.004,
+    default_tenant=TenantConfig(name="default", max_concurrency=1, queue_depth=2),
+)
+TIGHT_SPEC = WorkloadSpec(
+    clients=60,
+    requests_per_client=2,
+    tenants=2,
+    cold_variants=2,
+    mean_interarrival=0.001,
+    mean_think=0.002,
+)
+
+
+# -- the bit-identity invariant -----------------------------------------------
+
+
+def test_telemetry_does_not_perturb_the_run(small_lslod_lake):
+    with_telemetry = run_load(small_lslod_lake, CONFIG, SPEC, seed=11)
+    without = run_load(small_lslod_lake, CONFIG, SPEC, seed=11, telemetry=False)
+    assert with_telemetry.fingerprint() == without.fingerprint()
+    assert with_telemetry.cache_stats == without.cache_stats
+    assert [r.key() for r in with_telemetry.results] == [
+        r.key() for r in without.results
+    ]
+    assert without.journal is None and without.slo is None
+    assert with_telemetry.journal is not None and with_telemetry.slo is not None
+
+
+def test_journal_fingerprint_is_deterministic_per_seed(small_lslod_lake):
+    first = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=5)
+    second = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=5)
+    assert first.journal.fingerprint() == second.journal.fingerprint()
+    assert first.journal.events == second.journal.events
+    assert first.slo == second.slo
+    third = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=6)
+    assert third.journal.fingerprint() != first.journal.fingerprint()
+
+
+def test_journal_covers_every_outcome_kind(small_lslod_lake):
+    report = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=5)
+    counts = report.journal.counts_by_kind()
+    summary = report.summary()
+    assert counts["submit"] == summary["requests"]
+    assert counts.get("shed", 0) == summary["shed"]
+    assert (
+        counts.get("queued-timeout", 0) + counts.get("running-timeout", 0)
+        == summary["timed_out"]
+    )
+    assert counts["done"] == summary["completed"]
+    assert counts["cache-snapshot"] == 1
+    assert counts.get("tenant-idle", 0) >= 1  # the load fully drains
+
+
+def test_replaying_the_journal_reproduces_the_live_slo(small_lslod_lake):
+    report = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=5)
+    # Replay through a config-less accountant: tenant weights default to
+    # 1.0, which matches this workload's roster.
+    replayed, cache_stats = accountant_from_journal(report.journal.events)
+    assert cache_stats == report.cache_stats
+    assert replayed.snapshot(cache_stats=cache_stats) == report.slo
+
+
+def test_slo_snapshot_matches_driver_summary(small_lslod_lake):
+    report = run_load(small_lslod_lake, CONFIG, SPEC, seed=11)
+    summary = report.summary()
+    slo = report.slo
+    assert slo["global"]["submitted"] == summary["requests"]
+    assert slo["global"]["completed"] == summary["completed"]
+    assert slo["global"]["shed"] == summary["shed"]
+    assert slo["global"]["timed_out"] == summary["timed_out"]
+    # The SLO p-quantiles bucket the same latencies the summary ranks
+    # exactly; the bucketed value bounds the exact one from above (both
+    # capped at the true max).
+    latencies = report.latencies()
+    if latencies:
+        assert slo["global"]["end_to_end"]["max"] == pytest.approx(latencies[-1])
+
+
+def test_report_json_carries_journal_fingerprint(small_lslod_lake):
+    report = run_load(small_lslod_lake, CONFIG, SPEC, seed=11)
+    document = report.to_dict()
+    assert document["journal_fingerprint"] == report.journal.fingerprint()
+    assert document["journal_events"] == report.journal.counts_by_kind()
+    assert document["slo"]["slo_version"] == 1
+    json.dumps(document)  # the whole report stays JSON-serializable
+
+
+def test_journal_jsonl_round_trip(small_lslod_lake, tmp_path):
+    report = run_load(small_lslod_lake, TIGHT_CONFIG, TIGHT_SPEC, seed=5)
+    path = tmp_path / "load.jsonl"
+    report.journal.write_jsonl(str(path))
+    loaded = EventJournal.read_jsonl(str(path))
+    assert loaded.fingerprint() == report.journal.fingerprint()
+    replayed, cache_stats = accountant_from_journal(loaded.events)
+    assert replayed.snapshot(cache_stats=cache_stats) == report.slo
+
+
+# -- admission edge cases the journal must capture faithfully ------------------
+
+
+def test_shed_then_tenant_drains_to_idle():
+    config = ServiceConfig(
+        global_concurrency=1,
+        timeout=None,
+        tenants={"a": TenantConfig(name="a", max_concurrency=1, queue_depth=1)},
+    )
+    controller = AdmissionController(config)
+    journal = EventJournal()
+    controller.add_observer(journal)
+    first = controller.submit("r-1", "a", 0.0)
+    controller.start_ready(0.0)
+    # Queue depth 1: r-2 queues, r-3 sheds.
+    controller.submit("r-2", "a", 0.1)
+    shed = controller.submit("r-3", "a", 0.2)
+    assert shed.state == "shed"
+    controller.complete(first, 1.0)
+    started = controller.start_ready(1.0)
+    controller.complete(started[0], 2.0)
+    kinds = [event["kind"] for event in journal]
+    # The shed is recorded, and the later drain emits exactly one idle
+    # marker — after the last completion, not after the shed.
+    assert kinds.count("shed") == 1
+    assert kinds.count("tenant-idle") == 1
+    assert kinds[-1] == "tenant-idle"
+    idle = journal.events[-1]
+    assert idle["tenant"] == "a"
+    assert idle["ts"] == 2.0
+
+
+def test_running_timeout_frees_slot_late_and_is_journaled():
+    config = ServiceConfig(
+        global_concurrency=1,
+        timeout=1.0,
+        tenants={"a": TenantConfig(name="a", max_concurrency=1, queue_depth=4)},
+    )
+    controller = AdmissionController(config)
+    journal = EventJournal()
+    controller.add_observer(journal)
+    slow = controller.submit("r-slow", "a", 0.0)
+    controller.start_ready(0.0)
+    next_up = controller.submit("r-next", "a", 0.5)
+    # Deadline for r-slow passes at 1.0; the slot is still held.
+    assert controller.start_ready(1.01) == []
+    assert controller.running == 1
+    # The execution finishes late: slot freed only now, overrun recorded.
+    controller.complete(slow, 2.5)
+    assert slow.state == "timeout"
+    started = controller.start_ready(2.5)
+    # r-next expired while queued (deadline 1.5) — both timeout flavours.
+    assert started == []
+    assert next_up.state == "timeout"
+    overrun = next(e for e in journal if e["kind"] == "running-timeout")
+    assert overrun["ts"] == 2.5
+    assert overrun["execution"] == 2.5
+    assert overrun["overrun"] == 1.5
+    queued = next(e for e in journal if e["kind"] == "queued-timeout")
+    assert queued["request_id"] == "r-next"
+    assert queued["ts"] == 1.5  # timed out *at* its deadline
+    assert queued["waited"] == 1.0
+
+
+def test_zero_weight_tenant_config_is_rejected():
+    with pytest.raises(ServiceConfigError, match="weight must be a positive"):
+        TenantConfig(name="freeloader", weight=0.0).validate()
+    with pytest.raises(ServiceConfigError, match="weight must be a positive"):
+        TenantConfig.from_dict("freeloader", {"weight": 0})
+    with pytest.raises(ServiceConfigError, match="weight must be a positive"):
+        ServiceConfig().with_tenants_json(json.dumps({"t": {"weight": -1.5}}))
+
+
+# -- the feedback loop's replan events ----------------------------------------
+
+
+def test_run_with_feedback_journals_replan_events(small_lslod_lake):
+    from repro.core.policy import PlanPolicy
+    from repro.datasets import BENCHMARK_QUERIES
+
+    engine = FederatedEngine(small_lslod_lake, policy=PlanPolicy.cost())
+    query = BENCHMARK_QUERIES["Q2"].text
+    journal = EventJournal()
+    result = run_with_feedback(
+        engine, query, seed=3, q_error_threshold=1.0, journal=journal
+    )
+    replans = [event for event in journal if event["kind"] == "replan"]
+    assert len(replans) == 1
+    event = replans[0]
+    assert event["ts"] == result.execution_time
+    assert event["max_q_error"] == pytest.approx(result.max_q_error, abs=1e-6)
+    assert event["ingested"] == result.ingested
+    assert event["replanned"] == result.replanned
+    assert event["revision"] == engine.observed_stats.revision
+    assert len(event["query"]) == 16  # sha-256 prefix, not raw query text
+
+    # A second pass of the same query appends a second event with the
+    # (possibly unchanged) store revision — the journal is the loop's log.
+    run_with_feedback(engine, query, seed=3, q_error_threshold=1.0, journal=journal)
+    assert len([e for e in journal if e["kind"] == "replan"]) == 2
