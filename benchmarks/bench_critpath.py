@@ -1,0 +1,173 @@
+"""Critical-path attribution regression gate.
+
+Measures the full attribution grid — Q1–Q5 x four networks x the three
+runtimes, aware policy — on the same pinned lake as the plan-quality gate
+(scale 0.1, data seed 42, run seed 7, so cell keys line up across the
+committed baselines) and asserts the attribution contracts:
+
+* **exactness** — every cell's per-blame-class durations, summed in
+  Fraction arithmetic, equal the cell's end-to-end virtual time
+  *identically*;
+* **structure** — the structural fingerprint (operator nodes + pull
+  edges, no times) agrees across the three runtimes of every
+  query x network pair;
+* **determinism** — a re-measured sample of cells is bit-identical;
+* **no drift** — every cell matches the committed ``BENCH_critpath.json``
+  at the exact-fraction level (event and thread are pinned as separate
+  cells: their float timelines differ at ulp scale by construction).
+
+On first run (no committed baseline) the file is written and the gate
+passes with a notice.  Artifacts: the grid aggregate and per-cell table
+under ``benchmarks/results/``.
+"""
+
+import json
+import time
+from fractions import Fraction
+from pathlib import Path
+
+from repro.benchmark.critpath import (
+    DEFAULT_CRITPATH_NETWORKS,
+    DEFAULT_CRITPATH_POLICY,
+    DEFAULT_CRITPATH_QUERIES,
+    DEFAULT_CRITPATH_RUNTIMES,
+    build_critpath_baseline,
+    compare_critpath_baselines,
+    measure_critpath_cell,
+)
+from repro.benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES, cell_key
+from repro.datasets import BENCHMARK_QUERIES, build_lslod_lake
+from repro.obs import BLAME_CLASSES
+
+from .conftest import emit
+
+#: Pinned like BENCH_plan_quality.json so cell keys cross-reference.
+SCALE = 0.1
+DATA_SEED = 42
+RUN_SEED = 7
+WALL_BUDGET_SECONDS = 240.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_critpath.json"
+
+
+def exact_class_sum(cell: dict) -> Fraction:
+    total = Fraction(0)
+    for name in BLAME_CLASSES:
+        numerator, denominator = cell["exact_classes"][name].split("/")
+        total += Fraction(int(numerator), int(denominator))
+    return total
+
+
+def test_critpath_gate_full_grid(results_dir):
+    wall_start = time.perf_counter()
+    lake = build_lslod_lake(scale=SCALE, seed=DATA_SEED)
+    query_texts = {
+        name: BENCHMARK_QUERIES[name].text for name in DEFAULT_CRITPATH_QUERIES
+    }
+
+    fresh = build_critpath_baseline(
+        lake, query_texts, scale=SCALE, data_seed=DATA_SEED, run_seed=RUN_SEED
+    )
+    cells = fresh["cells"]
+    assert len(cells) == (
+        len(DEFAULT_CRITPATH_QUERIES)
+        * len(DEFAULT_CRITPATH_NETWORKS)
+        * len(DEFAULT_CRITPATH_RUNTIMES)
+    )
+
+    # Exactness: Fraction-summed blame classes equal the virtual total in
+    # every single cell — no epsilon anywhere.
+    for key, cell in cells.items():
+        assert cell["exact"], f"{key}: attribution marked inexact"
+        assert exact_class_sum(cell) == Fraction(cell["total"]), (
+            f"{key}: blame classes do not sum to the end-to-end virtual time"
+        )
+
+    # Structure: the plan-shape fingerprint is runtime-invariant.
+    for query_name in DEFAULT_CRITPATH_QUERIES:
+        for network_name in DEFAULT_CRITPATH_NETWORKS:
+            fingerprints = {
+                cells[
+                    cell_key(
+                        query_name, DEFAULT_CRITPATH_POLICY, network_name, runtime
+                    )
+                ]["structural_fingerprint"]
+                for runtime in DEFAULT_CRITPATH_RUNTIMES
+            }
+            assert len(fingerprints) == 1, (
+                f"{query_name}/{network_name}: structural fingerprint differs "
+                "across runtimes"
+            )
+
+    # Determinism: re-measure one cell per runtime, bit-identical.
+    policy = POLICY_CHOICES[DEFAULT_CRITPATH_POLICY]()
+    for runtime in DEFAULT_CRITPATH_RUNTIMES:
+        key = cell_key("Q3", DEFAULT_CRITPATH_POLICY, "gamma3", runtime)
+        again = measure_critpath_cell(
+            lake,
+            query_texts["Q3"],
+            policy,
+            NETWORK_CHOICES["gamma3"](),
+            runtime,
+            RUN_SEED,
+        )
+        assert again == cells[key], f"{key}: re-measured cell diverged"
+
+    # The gate: exact-fraction comparison against the committed baseline.
+    if BENCH_JSON.exists():
+        baseline = json.loads(BENCH_JSON.read_text())
+        diffs = compare_critpath_baselines(baseline, fresh)
+        assert not diffs, (
+            "attribution drifted from committed BENCH_critpath.json; if the "
+            "change is intended, regenerate with PYTHONPATH=src python -m "
+            "pytest -q -s benchmarks/bench_critpath.py after deleting the "
+            "file:\n" + "\n".join(diffs[:20])
+        )
+        gate_note = "gate: matched committed baseline"
+    else:
+        BENCH_JSON.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        gate_note = f"gate: no baseline found, wrote {BENCH_JSON.name}"
+
+    # Artifacts: grid totals per class plus the per-cell table.
+    class_totals = {name: 0.0 for name in BLAME_CLASSES}
+    grand_total = 0.0
+    table = [
+        f"{'cell':<30} {'total':>12} {'engine':>10} {'network':>10} "
+        f"{'cache':>10} {'dominant':>20}"
+    ]
+    for key in sorted(cells):
+        cell = cells[key]
+        grand_total += cell["total"]
+        for name in BLAME_CLASSES:
+            class_totals[name] += cell["classes"][name]
+        dominant = max(cell["classes"], key=lambda n: (cell["classes"][n], n))
+        table.append(
+            f"{key:<30} {cell['total']:>12.6f} "
+            f"{cell['classes']['engine_work']:>10.6f} "
+            f"{cell['classes']['network_delay']:>10.6f} "
+            f"{cell['classes']['cache_miss_penalty']:>10.6f} {dominant:>20}"
+        )
+    emit(results_dir, "critpath_grid.txt", "\n".join(table))
+
+    shares = {
+        name: (class_totals[name] / grand_total if grand_total else 0.0)
+        for name in BLAME_CLASSES
+    }
+    lines = [
+        f"cells                {len(cells)} "
+        f"({len(DEFAULT_CRITPATH_QUERIES)} queries x "
+        f"{len(DEFAULT_CRITPATH_NETWORKS)} networks x "
+        f"{len(DEFAULT_CRITPATH_RUNTIMES)} runtimes, "
+        f"{DEFAULT_CRITPATH_POLICY} policy)",
+        f"grid virtual total   {grand_total:.6f}s",
+        "blame shares         "
+        + ", ".join(f"{name}={shares[name]:.1%}" for name in BLAME_CLASSES),
+        "exactness            every cell Fraction-exact",
+        f"{gate_note}",
+        "wrote                critpath_grid.txt",
+    ]
+    emit(results_dir, "critpath_gate.txt", "\n".join(lines))
+
+    elapsed = time.perf_counter() - wall_start
+    assert elapsed < WALL_BUDGET_SECONDS, (
+        f"critpath gate took {elapsed:.1f}s (budget {WALL_BUDGET_SECONDS:.0f}s)"
+    )

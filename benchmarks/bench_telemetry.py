@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.datasets import build_lslod_lake
 from repro.obs import render_exposition, render_slo_report, validate_exposition
-from repro.service import ServiceConfig, TenantConfig, WorkloadSpec, run_load
+from repro.service import STATS_VERSION, ServiceConfig, TenantConfig, WorkloadSpec, run_load
 
 from .conftest import emit
 
@@ -83,7 +83,7 @@ def test_telemetry_gate_thousand_clients(results_dir):
     assert again.slo == report.slo
 
     # The SLO snapshot renders to parser-clean Prometheus exposition.
-    exposition = render_exposition({"stats_version": 2, "slo": report.slo})
+    exposition = render_exposition({"stats_version": STATS_VERSION, "slo": report.slo})
     assert validate_exposition(exposition) > 10
 
     document = {
@@ -114,7 +114,7 @@ def test_telemetry_gate_thousand_clients(results_dir):
         gate_note = f"gate: no baseline found, wrote {BENCH_JSON.name}"
 
     journal_path = results_dir / "telemetry_journal.jsonl"
-    report.journal.write_jsonl(str(journal_path))
+    report.journal.write_jsonl(str(journal_path), seal=True)
     slo_text = render_slo_report(report.slo)
     emit(results_dir, "telemetry_slo_report.txt", slo_text)
 

@@ -1,0 +1,163 @@
+"""Critical-path attribution baseline store and regression gate.
+
+``repro critpath --snapshot`` runs the attribution grid — queries ×
+networks × runtimes under the aware policy — and writes one canonical
+JSON document (``BENCH_critpath.json``) holding every cell's full
+:class:`~repro.obs.critpath.CriticalPathReport` dict.  The file is
+committed; the CI ``critpath-gate`` job rebuilds the identical lake
+(scale and seeds are stored in the file), re-runs the grid and compares
+**exactly**: per-blame-class durations are matched as the report's
+``exact_classes`` fraction strings, not within an epsilon.  Attribution
+is a pure function of the deterministic virtual timeline, so any diff is
+a real behaviour change.
+
+Event and thread runtimes are pinned as separate cells: their schedules
+are equivalent but their float timelines differ at ulp scale (the pooled
+producer reconstitutes event times with a different addition order than
+the live producer), so only the *structural fingerprint* — operator
+nodes and pull edges, no times — is required to agree across runtimes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..core.engine import FederatedEngine
+from ..core.policy import PlanPolicy
+from ..datalake.lake import SemanticDataLake
+from ..network.delays import NetworkSetting
+from .baseline import NETWORK_CHOICES, POLICY_CHOICES, cell_key
+
+CRITPATH_BASELINE_KIND = "repro-critpath-baseline"
+CRITPATH_BASELINE_VERSION = 1
+
+#: The committed grid's axes (policy fixed to aware: attribution is about
+#: *where time goes*, not plan choice — the plan-quality gate covers that).
+DEFAULT_CRITPATH_QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5")
+DEFAULT_CRITPATH_NETWORKS = ("nodelay", "gamma1", "gamma2", "gamma3")
+DEFAULT_CRITPATH_RUNTIMES = ("sequential", "event", "thread")
+DEFAULT_CRITPATH_POLICY = "aware"
+
+
+def measure_critpath_cell(
+    lake: SemanticDataLake,
+    query_text: str,
+    policy: PlanPolicy,
+    network: NetworkSetting,
+    runtime: str,
+    seed: int,
+    delay_scale: float = 1.0,
+) -> dict:
+    """One observed run's full critical-path report dict.
+
+    *delay_scale* != 1 wraps the network in
+    :class:`~repro.network.delays.ScaledDelay` — the doctor's controlled
+    "this source got slower" counterfactual (same RNG draws, scaled
+    pauses).
+    """
+    if delay_scale != 1.0:
+        network = network.scaled(delay_scale)
+    engine = FederatedEngine(lake, policy=policy, network=network, runtime=runtime)
+    answers, stats, report = engine.critpath(query_text, seed=seed, runtime=runtime)
+    cell = report.to_dict(include_segments=False)
+    assert cell["answers"] == len(answers)
+    return cell
+
+
+def build_critpath_baseline(
+    lake: SemanticDataLake,
+    query_texts: dict[str, str],
+    scale: float,
+    data_seed: int,
+    run_seed: int = 7,
+    policy: str = DEFAULT_CRITPATH_POLICY,
+    networks: Sequence[str] = DEFAULT_CRITPATH_NETWORKS,
+    runtimes: Sequence[str] = DEFAULT_CRITPATH_RUNTIMES,
+    delay_scale: float = 1.0,
+) -> dict:
+    """Measure the attribution grid and assemble the canonical document."""
+    plan_policy = POLICY_CHOICES[policy]()
+    cells: dict[str, dict] = {}
+    for query_name, text in query_texts.items():
+        for network_name in networks:
+            network = NETWORK_CHOICES[network_name]()
+            for runtime in runtimes:
+                cells[cell_key(query_name, policy, network_name, runtime)] = (
+                    measure_critpath_cell(
+                        lake,
+                        text,
+                        plan_policy,
+                        network,
+                        runtime,
+                        run_seed,
+                        delay_scale=delay_scale,
+                    )
+                )
+    return {
+        "kind": CRITPATH_BASELINE_KIND,
+        "version": CRITPATH_BASELINE_VERSION,
+        "scale": scale,
+        "data_seed": data_seed,
+        "run_seed": run_seed,
+        "policy": policy,
+        "queries": sorted(query_texts),
+        "networks": list(networks),
+        "runtimes": list(runtimes),
+        "cells": cells,
+    }
+
+
+def load_critpath_baseline(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") != CRITPATH_BASELINE_KIND:
+        raise ValueError(
+            f"{path}: not a critpath baseline (kind={payload.get('kind')!r})"
+        )
+    if payload.get("version") != CRITPATH_BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: critpath baseline version {payload.get('version')!r} != "
+            f"supported {CRITPATH_BASELINE_VERSION}"
+        )
+    return payload
+
+
+def compare_critpath_cells(key: str, baseline: dict, fresh: dict) -> list[str]:
+    """Exact comparison of one cell; returns human-readable diffs."""
+    diffs: list[str] = []
+    for quantity in ("answers", "deliveries", "total", "runtime"):
+        if baseline.get(quantity) != fresh.get(quantity):
+            diffs.append(
+                f"{key} {quantity}: baseline {baseline.get(quantity)!r} -> "
+                f"fresh {fresh.get(quantity)!r}"
+            )
+    if not fresh.get("exact", False):
+        diffs.append(f"{key}: fresh attribution is not exact")
+    base_classes = baseline.get("exact_classes", {})
+    fresh_classes = fresh.get("exact_classes", {})
+    for name in sorted(base_classes.keys() | fresh_classes.keys()):
+        if base_classes.get(name) != fresh_classes.get(name):
+            diffs.append(
+                f"{key} {name}: baseline {base_classes.get(name)} -> "
+                f"fresh {fresh_classes.get(name)} (exact fraction mismatch)"
+            )
+    if baseline.get("structural_fingerprint") != fresh.get("structural_fingerprint"):
+        diffs.append(f"{key}: structural fingerprint changed")
+    return diffs
+
+
+def compare_critpath_baselines(baseline: dict, fresh: dict) -> list[str]:
+    """Cell-by-cell exact comparison; empty list means bit-for-bit match."""
+    diffs: list[str] = []
+    base_cells: dict[str, dict] = baseline["cells"]
+    fresh_cells: dict[str, dict] = fresh["cells"]
+    for key in sorted(base_cells.keys() | fresh_cells.keys()):
+        if key not in fresh_cells:
+            diffs.append(f"{key}: cell not re-run")
+            continue
+        if key not in base_cells:
+            diffs.append(f"{key}: cell absent from baseline")
+            continue
+        diffs.extend(compare_critpath_cells(key, base_cells[key], fresh_cells[key]))
+    return diffs

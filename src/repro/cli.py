@@ -733,8 +733,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        report.journal.write_jsonl(args.journal)
-        print(f"wrote event journal to {args.journal}")
+        report.journal.write_jsonl(args.journal, seal=True)
+        print(
+            f"wrote sealed event journal to {args.journal} "
+            "(verify with 'repro journal verify')"
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
@@ -751,6 +754,260 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Critical-path attribution: per-query reports, the grid aggregate,
+    and the ``BENCH_critpath.json`` snapshot/check regression gate."""
+    import json
+
+    from .benchmark.critpath import (
+        DEFAULT_CRITPATH_NETWORKS,
+        DEFAULT_CRITPATH_QUERIES,
+        DEFAULT_CRITPATH_RUNTIMES,
+        build_critpath_baseline,
+        compare_critpath_baselines,
+        load_critpath_baseline,
+        measure_critpath_cell,
+    )
+    from .benchmark.baseline import baseline_json
+    from .obs.critpath import (
+        CriticalPathReport,
+        aggregate_reports,
+        render_aggregate,
+        render_critpath,
+    )
+
+    if args.check:
+        baseline = load_critpath_baseline(args.check)
+        lake = build_lslod_lake(scale=baseline["scale"], seed=baseline["data_seed"])
+        fresh = build_critpath_baseline(
+            lake,
+            {name: BENCHMARK_QUERIES[name].text for name in baseline["queries"]},
+            scale=baseline["scale"],
+            data_seed=baseline["data_seed"],
+            run_seed=baseline["run_seed"],
+            policy=baseline["policy"],
+            networks=baseline["networks"],
+            runtimes=baseline["runtimes"],
+        )
+        diffs = compare_critpath_baselines(baseline, fresh)
+        if diffs:
+            print(f"critpath baseline DRIFT: {len(diffs)} differences")
+            for diff in diffs:
+                print(f"  {diff}")
+            return 1
+        print(
+            f"critpath baseline OK: {len(baseline['cells'])} cells match "
+            "exactly (fraction-level)"
+        )
+        return 0
+
+    names = args.queries.split(",") if args.queries else list(DEFAULT_CRITPATH_QUERIES)
+    unknown = [name for name in names if name not in BENCHMARK_QUERIES]
+    if unknown:
+        print(f"unknown queries: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    network_names = (
+        args.networks.split(",") if args.networks else list(DEFAULT_CRITPATH_NETWORKS)
+    )
+    unknown = [name for name in network_names if name not in NETWORKS]
+    if unknown:
+        print(f"unknown networks: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runtime_names = (
+        args.runtimes.split(",") if args.runtimes else list(DEFAULT_CRITPATH_RUNTIMES)
+    )
+    unknown = [name for name in runtime_names if name not in RUNTIMES]
+    if unknown:
+        print(f"unknown runtimes: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    lake = _build_lake(args)
+
+    if args.snapshot:
+        payload = build_critpath_baseline(
+            lake,
+            {name: BENCHMARK_QUERIES[name].text for name in names},
+            scale=args.scale,
+            data_seed=args.seed,
+            run_seed=args.run_seed,
+            policy=args.policy,
+            networks=network_names,
+            runtimes=runtime_names,
+            delay_scale=args.delay_scale,
+        )
+        with open(args.snapshot, "w", encoding="utf-8") as handle:
+            handle.write(baseline_json(payload))
+        print(f"wrote {len(payload['cells'])} attribution cells to {args.snapshot}")
+        return 0
+
+    policy = POLICIES[args.policy]()
+    cells: list[tuple[str, dict]] = []
+    for name in names:
+        text = BENCHMARK_QUERIES[name].text
+        for network_name in network_names:
+            network = NETWORKS[network_name]()
+            for runtime in runtime_names:
+                label = f"{name} {args.policy}/{network_name} [{runtime}]"
+                if args.format == "chrome":
+                    # The overlay needs the observation itself, not just the
+                    # report dict — re-run through the engine method.
+                    from .obs.critpath import attribute_run, chrome_overlay
+
+                    engine = FederatedEngine(
+                        lake,
+                        policy=policy,
+                        network=(
+                            network.scaled(args.delay_scale)
+                            if args.delay_scale != 1.0
+                            else network
+                        ),
+                        runtime=runtime,
+                    )
+                    stream = engine.execute(
+                        text, seed=args.run_seed, runtime=runtime, observe=True
+                    )
+                    stream.collect()
+                    report = attribute_run(stream.observation, stream.stats)
+                    document = chrome_overlay(stream.observation, report, label=label)
+                    rendered = json.dumps(document, indent=2)
+                    if args.output:
+                        with open(args.output, "w", encoding="utf-8") as handle:
+                            handle.write(rendered + "\n")
+                        print(f"wrote Chrome trace overlay to {args.output}")
+                    else:
+                        print(rendered)
+                    if len(names) * len(network_names) * len(runtime_names) > 1:
+                        print(
+                            "note: --format chrome renders only the first cell",
+                            file=sys.stderr,
+                        )
+                    return 0
+                cell = measure_critpath_cell(
+                    lake,
+                    text,
+                    policy,
+                    network,
+                    runtime,
+                    args.run_seed,
+                    delay_scale=args.delay_scale,
+                )
+                cells.append((label, cell))
+    if args.format == "json":
+        print(
+            json.dumps(
+                {label: cell for label, cell in cells}, indent=2, sort_keys=True
+            )
+        )
+        return 0
+    reports = []
+    for label, cell in cells:
+        report = CriticalPathReport(
+            runtime=cell["runtime"],
+            total=cell["total"],
+            exact=cell["exact"],
+            classes=cell["classes"],
+            exact_classes=cell["exact_classes"],
+            sources=cell["sources"],
+            slack=cell["slack"],
+            segments=[],
+            deliveries=cell["deliveries"],
+            answers=cell["answers"],
+            queue_wait=cell["queue_wait"],
+            structural_fingerprint=cell["structural_fingerprint"],
+        )
+        reports.append(report)
+        print(render_critpath(report, label=label))
+        print()
+    if len(reports) > 1:
+        print(render_aggregate(aggregate_reports(reports)))
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Evidence-linked regression attribution over the committed baselines."""
+    import json
+    import os
+
+    from .obs.doctor import SEVERITIES, diagnose
+    from .obs.journal import EventJournal
+
+    def _json(path: str | None) -> dict | None:
+        if not path or not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    from .benchmark.critpath import load_critpath_baseline
+
+    critpath_baseline = None
+    if args.critpath_baseline and os.path.exists(args.critpath_baseline):
+        critpath_baseline = load_critpath_baseline(args.critpath_baseline)
+    plan_quality = _json(args.plan_quality)
+    telemetry = _json(args.telemetry)
+    journal_events = None
+    if args.journal:
+        journal_events = EventJournal.read_jsonl(args.journal).events
+    lake = None
+    if critpath_baseline is not None:
+        lake = build_lslod_lake(
+            scale=critpath_baseline["scale"], seed=critpath_baseline["data_seed"]
+        )
+    if (
+        critpath_baseline is None
+        and plan_quality is None
+        and telemetry is None
+        and journal_events is None
+    ):
+        print(
+            "error: nothing to diagnose — provide at least one of "
+            "--critpath-baseline, --plan-quality, --telemetry, --journal",
+            file=sys.stderr,
+        )
+        return 2
+    report = diagnose(
+        lake=lake,
+        critpath_baseline=critpath_baseline,
+        plan_quality=plan_quality,
+        telemetry_baseline=telemetry,
+        journal_events=journal_events,
+        delay_scale=args.delay_scale,
+        queries=args.queries.split(",") if args.queries else None,
+        networks=args.networks.split(",") if args.networks else None,
+        runtimes=args.runtimes.split(",") if args.runtimes else None,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.fail_on not in SEVERITIES:
+        return 0
+    return report.exit_code(args.fail_on)
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Journal tooling: integrity verification of a JSONL file on disk."""
+    from .obs.journal import verify_journal_file
+
+    ok, problems, info = verify_journal_file(
+        args.journal_file, allow_unsealed=args.allow_unsealed
+    )
+    seal = info.get("seal")
+    print(
+        f"{args.journal_file}: {info['events']} events, "
+        f"fingerprint {info['fingerprint']}"
+    )
+    counts = info.get("counts_by_kind", {})
+    if counts:
+        print("  " + ", ".join(f"{kind}={count}" for kind, count in counts.items()))
+    if seal is not None:
+        print(f"  seal: declares {seal.get('events')} events")
+    if ok:
+        print("OK: journal verifies" + (" (unsealed)" if seal is None else ""))
+        return 0
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1
 
 
 def cmd_slo_report(args: argparse.Namespace) -> int:
@@ -806,7 +1063,7 @@ def cmd_slo_report(args: argparse.Namespace) -> int:
     for key in sorted(source):
         print(f"{key}: {source[key]}")
     print()
-    print(render_slo_report(snapshot))
+    print(render_slo_report(snapshot, tenant=args.tenant))
     return 0
 
 
@@ -1178,6 +1435,135 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.set_defaults(func=cmd_loadtest)
 
+    critpath = sub.add_parser(
+        "critpath",
+        help=(
+            "exact critical-path attribution: blame every virtual second on "
+            "engine work, cache-miss penalty or network delay — per query, "
+            "grid-aggregated, with snapshot/check as the regression gate"
+        ),
+    )
+    _add_common(critpath)
+    critpath.add_argument(
+        "--queries", help="comma-separated benchmark names (default Q1-Q5)"
+    )
+    critpath.add_argument(
+        "--networks", help="comma-separated network names (default all four)"
+    )
+    critpath.add_argument(
+        "--runtimes",
+        help="comma-separated runtimes (default sequential,event,thread)",
+    )
+    critpath.add_argument("--policy", choices=sorted(POLICIES), default="aware")
+    critpath.add_argument(
+        "--delay-scale",
+        type=float,
+        default=1.0,
+        help=(
+            "multiply every network-delay sample by this factor (the "
+            "doctor's regression-injection counterfactual)"
+        ),
+    )
+    critpath.add_argument(
+        "--format",
+        choices=("text", "json", "chrome"),
+        default="text",
+        help=(
+            "text tables, JSON report dicts, or a Chrome trace with the "
+            "blame tiling overlaid as an extra track (first cell only)"
+        ),
+    )
+    critpath.add_argument(
+        "--output", help="write the rendering to a file instead of stdout"
+    )
+    critpath.add_argument(
+        "--snapshot",
+        help="run the grid and write the canonical baseline JSON to this path",
+    )
+    critpath.add_argument(
+        "--check",
+        help=(
+            "re-run a committed baseline's grid (the file defines lake and "
+            "axes) and exit nonzero on any fraction-level mismatch"
+        ),
+    )
+    critpath.set_defaults(func=cmd_critpath)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help=(
+            "regression-attribution doctor: rank evidence-linked findings "
+            "from the committed baselines and a journal (SLO burn, cache "
+            "hit-ratio drops, q-error hotspots, heuristic misfires, "
+            "critical-path drift)"
+        ),
+    )
+    doctor.add_argument(
+        "--critpath-baseline",
+        default="BENCH_critpath.json",
+        help="committed attribution baseline (skipped when absent)",
+    )
+    doctor.add_argument(
+        "--plan-quality",
+        default="BENCH_plan_quality.json",
+        help="committed plan-quality baseline (skipped when absent)",
+    )
+    doctor.add_argument(
+        "--telemetry",
+        default="BENCH_telemetry.json",
+        help="committed telemetry baseline (skipped when absent)",
+    )
+    doctor.add_argument(
+        "--journal",
+        help="event journal JSONL to rebuild the live SLO snapshot from",
+    )
+    doctor.add_argument(
+        "--delay-scale",
+        type=float,
+        default=1.0,
+        help=(
+            "re-measure the critpath grid with delays scaled by this factor "
+            "— the doctor should attribute the injected drift to "
+            "network_delay on the affected source"
+        ),
+    )
+    doctor.add_argument(
+        "--queries", help="restrict the critpath re-measure to these queries"
+    )
+    doctor.add_argument(
+        "--networks", help="restrict the critpath re-measure to these networks"
+    )
+    doctor.add_argument(
+        "--runtimes", help="restrict the critpath re-measure to these runtimes"
+    )
+    doctor.add_argument("--format", choices=("text", "json"), default="text")
+    doctor.add_argument(
+        "--fail-on",
+        choices=("critical", "warning", "info", "never"),
+        default="critical",
+        help="exit nonzero when a finding at or above this severity exists",
+    )
+    doctor.set_defaults(func=cmd_doctor)
+
+    journal = sub.add_parser(
+        "journal", help="event-journal tooling (integrity verification)"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    journal_verify = journal_sub.add_parser(
+        "verify",
+        help=(
+            "re-check a journal file's SHA-256 seal fingerprint and per-line "
+            "schema; exits nonzero on tamper or truncation"
+        ),
+    )
+    journal_verify.add_argument("journal_file", help="journal JSONL path")
+    journal_verify.add_argument(
+        "--allow-unsealed",
+        action="store_true",
+        help="accept files without a seal line (schema checks still apply)",
+    )
+    journal_verify.set_defaults(func=cmd_journal)
+
     slo = sub.add_parser(
         "slo",
         help=(
@@ -1203,6 +1589,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     slo_report.add_argument(
         "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    slo_report.add_argument(
+        "--tenant",
+        help="show only this tenant's row (text mode; unknown tenants fail loudly)",
     )
     slo_report.set_defaults(func=cmd_slo_report)
 

@@ -480,6 +480,30 @@ class FederatedEngine:
         answers = stream.collect()
         return answers, stream.stats, stream.observation
 
+    def critpath(
+        self,
+        query: SelectQuery | str,
+        seed: int | None = None,
+        runtime: str | None = None,
+        exec: str | None = None,
+    ):
+        """Execute observed and attribute the virtual time exactly.
+
+        Returns (answers, stats, report) where *report* is a
+        :class:`~repro.obs.critpath.CriticalPathReport`: the run's
+        end-to-end virtual time tiled into blame-class segments that sum
+        to it exactly (checked in Fraction arithmetic), with per-source
+        attribution and what-if slack.  Works under every runtime.
+        """
+        from ..obs.critpath import attribute_run
+
+        stream = self.execute(
+            query, seed=seed, runtime=runtime, exec=exec, observe=True
+        )
+        answers = stream.collect()
+        report = attribute_run(stream.observation, stream.stats)
+        return answers, stream.stats, report
+
     def analyze(
         self,
         query: SelectQuery | str,

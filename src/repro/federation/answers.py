@@ -154,6 +154,36 @@ class ExecutionStats:
             mine.virtual_cost += stats.virtual_cost
             mine.network_delay += stats.network_delay
 
+    def blame_components(self) -> dict:
+        """Accumulator view of where this run's time went, by blame class.
+
+        Engine charges are ``engine_work``, source-side virtual cost is
+        ``cache_miss_penalty`` (the price of actually touching the source
+        instead of a cache) and transfer pauses are ``network_delay``.
+        Under the event/thread runtimes sibling sources overlap, so these
+        components can sum to *more* than ``execution_time`` — they feed
+        per-class histograms and accumulator-based attribution, not the
+        exact critical-path tiling (see :mod:`repro.obs.critpath`).
+        """
+        network = 0.0
+        cache = 0.0
+        per_source: dict[str, dict[str, float]] = {}
+        for source_id in sorted(self.source_stats):
+            source = self.source_stats[source_id]
+            network += source.network_delay
+            cache += source.virtual_cost
+            per_source[source_id] = {
+                "network_delay": source.network_delay,
+                "cache_miss_penalty": source.virtual_cost,
+            }
+        return {
+            "engine_work": self.engine_cost,
+            "network_delay": network,
+            "cache_miss_penalty": cache,
+            "sources": per_source,
+            "total": self.execution_time,
+        }
+
     @property
     def throughput(self) -> float:
         """Answers per (virtual) second over the whole execution."""

@@ -111,6 +111,33 @@ class GammaDelay(DelayModel):
 
 
 @dataclass(frozen=True)
+class ScaledDelay(DelayModel):
+    """An inner delay model with every sample multiplied by a factor.
+
+    The doctor's regression-injection harness: scaling consumes exactly
+    the same RNG draws as the inner model (one per message), so a scaled
+    run is the same schedule with proportionally slower transfers — the
+    controlled "network got slower" counterfactual.
+    """
+
+    inner: DelayModel
+    factor: float
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.inner.sample(rng) * self.factor
+
+    def sample_block(self, rng: np.random.Generator, n: int) -> list[float]:
+        return [value * self.factor for value in self.inner.sample_block(rng, n)]
+
+    @property
+    def mean_latency(self) -> float:
+        return self.inner.mean_latency * self.factor
+
+    def __str__(self) -> str:
+        return f"Scaled({self.inner} x{self.factor})"
+
+
+@dataclass(frozen=True)
 class NetworkSetting:
     """A named network condition of the experiment grid."""
 
@@ -156,6 +183,14 @@ class NetworkSetting:
     def all_settings(cls) -> list["NetworkSetting"]:
         """The experiment grid's four network conditions, fast to slow."""
         return [cls.no_delay(), cls.gamma1(), cls.gamma2(), cls.gamma3()]
+
+    def scaled(self, factor: float) -> "NetworkSetting":
+        """This setting with all delay samples multiplied by *factor*."""
+        return NetworkSetting(
+            name=f"{self.name} x{factor}",
+            delay=ScaledDelay(self.delay, factor),
+            slow_threshold=self.slow_threshold,
+        )
 
     @classmethod
     def by_name(cls, name: str) -> "NetworkSetting":

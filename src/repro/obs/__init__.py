@@ -38,10 +38,33 @@ from .analyze import (
     OperatorAnalysis,
     analyze_observation,
 )
+from .causal import (
+    CAUSAL_SCHEMA,
+    CausalGraph,
+    CausalRecorder,
+    build_causal_graph,
+)
+from .critpath import (
+    BLAME_CLASSES,
+    CRITPATH_SCHEMA,
+    CriticalPathReport,
+    aggregate_reports,
+    attribute_run,
+    chrome_overlay,
+    render_aggregate,
+    render_critpath,
+)
+from .doctor import DOCTOR_SCHEMA, DoctorReport, Finding, diagnose
 from .explain import DecisionRecord, EXPLAIN_SCHEMA, ExplainReport, explain_plan
 from .export import chrome_trace_json, observation_to_json, to_chrome_trace
 from .instrument import instrument_sequential, profile_plan
-from .journal import EventJournal, JOURNAL_VERSION, canonical_line
+from .journal import (
+    EventJournal,
+    JOURNAL_VERSION,
+    SEAL_KIND,
+    canonical_line,
+    verify_journal_file,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .observation import RunObservation
 from .profile import OperatorProfile, ProfileReport, q_error
@@ -65,18 +88,27 @@ from .slo import (
 __all__ = [
     "ANALYZE_SCHEMA",
     "AnalyzeReport",
+    "BLAME_CLASSES",
     "BUCKET_BOUNDS",
+    "CAUSAL_SCHEMA",
+    "CRITPATH_SCHEMA",
     "CATEGORY_CACHE",
     "CATEGORY_OPERATOR",
     "CATEGORY_PLAN",
     "CATEGORY_QUERY",
     "CATEGORY_WRAPPER",
     "CHROME_TRACE_SCHEMA",
+    "CausalGraph",
+    "CausalRecorder",
     "Counter",
+    "CriticalPathReport",
+    "DOCTOR_SCHEMA",
     "DecisionRecord",
+    "DoctorReport",
     "ENGINE_TRACK",
     "EXPLAIN_SCHEMA",
     "EventJournal",
+    "Finding",
     "ExplainReport",
     "ExpositionError",
     "Gauge",
@@ -90,25 +122,34 @@ __all__ = [
     "OperatorProfile",
     "ProfileReport",
     "RunObservation",
+    "SEAL_KIND",
     "SLOAccountant",
     "SLO_VERSION",
     "Span",
     "TenantSLO",
     "TraceBus",
     "accountant_from_journal",
+    "aggregate_reports",
     "analyze_observation",
+    "attribute_run",
+    "build_causal_graph",
     "canonical_line",
+    "chrome_overlay",
     "chrome_trace_json",
+    "diagnose",
     "explain_plan",
     "instrument_sequential",
     "observation_to_json",
     "parse_exposition",
     "profile_plan",
     "q_error",
+    "render_aggregate",
+    "render_critpath",
     "render_exposition",
     "render_slo_report",
     "to_chrome_trace",
     "validate_chrome_trace",
     "validate_exposition",
     "validate_json_schema",
+    "verify_journal_file",
 ]

@@ -1,0 +1,275 @@
+"""Causal span graphs: why each piece of virtual time happened.
+
+PR 4's trace bus records *spans* — flat intervals per track.  This module
+adds the causal structure between them, recorded by the event/thread
+schedulers at zero cost when observation is off:
+
+* **operator → child pulls** — the compiled plan's tree, walked pre-order
+  (the "structural" part of the graph; identical for all three runtimes,
+  so its fingerprint pins plan-shape drift);
+* **spawn / dependent-join gate edges** — which operator started each
+  producer task, and for dependent joins, which block sequence gated it;
+* **rendezvous deliveries** — every producer event the engine consumed,
+  with the engine clock *before* the delivery, the producer's segment
+  start (its last granted resume time) and the producer's cumulative
+  source/network charges at the yield.  These are the raw measurements
+  :mod:`repro.obs.critpath` turns into an exact blame tiling;
+* **queue-admission edges** — the service layer's queue wait, attached
+  when a request's journal events are available.
+
+Everything is stamped from virtual clocks only: the recorder stores the
+floats the schedulers already computed, so a fixed seed reproduces the
+graph bit for bit, and a plain (unobserved) run never touches it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .observation import RunObservation
+
+#: Bump when the graph dict shape changes.
+CAUSAL_VERSION = 1
+
+#: Minimal schema for :meth:`CausalGraph.to_dict` (validated in tests via
+#: :func:`repro.obs.schema.validate_json_schema`).
+CAUSAL_SCHEMA = {
+    "type": "object",
+    "required": ["causal_version", "runtime", "nodes", "edges", "structural_fingerprint"],
+    "properties": {
+        "causal_version": {"type": "integer"},
+        "runtime": {"type": "string"},
+        "request_id": {"type": ["string", "null"]},
+        "structural_fingerprint": {"type": "string"},
+        "nodes": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["id", "kind"],
+                "properties": {
+                    "id": {"type": "string"},
+                    "kind": {
+                        "type": "string",
+                        "enum": ["operator", "task", "engine", "admission"],
+                    },
+                },
+            },
+        },
+        "edges": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["src", "dst", "kind"],
+                "properties": {
+                    "src": {"type": "string"},
+                    "dst": {"type": "string"},
+                    "kind": {
+                        "type": "string",
+                        "enum": [
+                            "pull",
+                            "spawn",
+                            "gate",
+                            "rendezvous",
+                            "queue-admission",
+                        ],
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+class CausalRecorder:
+    """Append-only log of spawn and delivery facts from one scheduled run.
+
+    Sequential runs leave it empty (there are no producer tasks); the
+    event/thread schedulers append one spawn record per producer and one
+    delivery record per consumed event (answers *and* stream closes).
+    Records are plain tuples — the hot loop pays one append and two float
+    reads per *delivery*, never per tuple.
+    """
+
+    __slots__ = ("spawns", "deliveries")
+
+    def __init__(self) -> None:
+        #: ``(pid, key, source_id, label, start, op_ref)`` per producer, in
+        #: spawn (= pid) order.  *op_ref* is ``id()`` of the underlying
+        #: :class:`~repro.federation.operators.ServiceNode`, resolvable
+        #: against the registered plan's pre-order walk.
+        self.spawns: list[tuple] = []
+        #: ``(pid, kind, time, arrival, segment_start, cum_cache,
+        #: cum_network, runner_up)`` per delivered event, in delivery order:
+        #: *time* is the event time, *arrival* the engine clock before
+        #: ``advance_to``, *segment_start* the producer's last granted
+        #: resume, *cum_cache*/*cum_network* the producer's cumulative
+        #: source virtual cost / network delay at the yield, and
+        #: *runner_up* the second-best pending event time (None when the
+        #: producer ran unopposed).
+        self.deliveries: list[tuple] = []
+
+    def record_spawn(
+        self,
+        pid: int,
+        key: tuple[int, ...],
+        source_id: str | None,
+        label: str,
+        start: float,
+        op_ref: int,
+    ) -> None:
+        self.spawns.append((pid, key, source_id, label, start, op_ref))
+
+    def record_delivery(
+        self,
+        pid: int,
+        kind: str,
+        time: float,
+        arrival: float,
+        segment_start: float,
+        cum_cache: float,
+        cum_network: float,
+        runner_up: float | None,
+    ) -> None:
+        self.deliveries.append(
+            (pid, kind, time, arrival, segment_start, cum_cache, cum_network, runner_up)
+        )
+
+
+class CausalGraph:
+    """The assembled DAG: structural operator tree + runtime overlay."""
+
+    def __init__(
+        self,
+        nodes: list[dict],
+        edges: list[dict],
+        runtime: str,
+        request_id: str | None,
+    ) -> None:
+        self.nodes = nodes
+        self.edges = edges
+        self.runtime = runtime
+        self.request_id = request_id
+
+    def structural_fingerprint(self) -> str:
+        """SHA-256 over the structural (plan-shape) part of the graph.
+
+        Covers operator nodes and pull edges only — no times, no pids — so
+        it is bit-identical across sequential/event/thread runs of the
+        same plan and changes exactly when the plan shape does.
+        """
+        structural = {
+            "nodes": [
+                {"id": node["id"], "label": node["label"], "depth": node["depth"]}
+                for node in self.nodes
+                if node["kind"] == "operator"
+            ],
+            "edges": [
+                {"src": edge["src"], "dst": edge["dst"]}
+                for edge in self.edges
+                if edge["kind"] == "pull"
+            ],
+        }
+        payload = json.dumps(structural, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "causal_version": CAUSAL_VERSION,
+            "runtime": self.runtime,
+            "request_id": self.request_id,
+            "structural_fingerprint": self.structural_fingerprint(),
+            "nodes": self.nodes,
+            "edges": self.edges,
+        }
+
+
+def build_causal_graph(
+    observation: "RunObservation", queue_wait: float | None = None
+) -> CausalGraph:
+    """Assemble the causal DAG for one observed run.
+
+    The structural layer comes from the registered plan; the runtime layer
+    from the scheduler's :class:`CausalRecorder` (empty for sequential
+    runs).  *queue_wait*, when given, attaches the service-layer admission
+    edge so end-to-end causality includes time spent queued.
+    """
+    nodes: list[dict] = []
+    edges: list[dict] = []
+    index_by_op: dict[int, str] = {}
+
+    def walk(operator, depth: int, parent_id: str | None) -> None:
+        node_id = f"op:{len(index_by_op)}"
+        index_by_op[id(operator)] = node_id
+        nodes.append(
+            {
+                "id": node_id,
+                "kind": "operator",
+                "label": operator.label(),
+                "depth": depth,
+            }
+        )
+        if parent_id is not None:
+            edges.append({"src": parent_id, "dst": node_id, "kind": "pull"})
+        for child in operator.children():
+            walk(child, depth + 1, node_id)
+
+    if observation.plan is not None:
+        walk(observation.plan.root, 0, None)
+
+    engine_id = "engine"
+    nodes.append({"id": engine_id, "kind": "engine", "label": "engine loop"})
+
+    recorder = observation.causal
+    for pid, key, source_id, label, start, op_ref in recorder.spawns:
+        task_id = f"task:{pid}"
+        nodes.append(
+            {
+                "id": task_id,
+                "kind": "task",
+                "pid": pid,
+                "key": list(key),
+                "source": source_id,
+                "label": label,
+                "start": start,
+            }
+        )
+        operator_id = index_by_op.get(op_ref)
+        if operator_id is not None:
+            edges.append(
+                {
+                    "src": operator_id,
+                    "dst": task_id,
+                    # A multi-part key means a dependent-join inner block:
+                    # the spawn is gated on the outer block filling up.
+                    "kind": "gate" if len(key) > 1 else "spawn",
+                    "at": start,
+                }
+            )
+    for pid, kind, time, arrival, *_rest in recorder.deliveries:
+        wait = time - arrival
+        edges.append(
+            {
+                "src": f"task:{pid}",
+                "dst": engine_id,
+                "kind": "rendezvous",
+                "payload": kind,
+                "t": time,
+                "wait": wait if wait > 0.0 else 0.0,
+            }
+        )
+
+    if queue_wait is not None:
+        nodes.append({"id": "admission", "kind": "admission", "label": "admission queue"})
+        edges.append(
+            {
+                "src": "admission",
+                "dst": engine_id,
+                "kind": "queue-admission",
+                "wait": queue_wait,
+            }
+        )
+
+    return CausalGraph(nodes, edges, observation.runtime, observation.request_id)

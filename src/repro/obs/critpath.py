@@ -1,0 +1,473 @@
+"""Critical-path attribution: tile the run's virtual time into blame classes.
+
+The question the paper keeps asking — *where does federated query time
+go?* — gets an exact answer here.  Every observed run's end-to-end virtual
+time ``T`` is partitioned into non-overlapping segments, each blamed on
+one class:
+
+* ``engine_work`` — the engine loop's own charges (joins, filters,
+  projection, sort);
+* ``cache_miss_penalty`` — source-side virtual cost: the price of actually
+  evaluating a sub-query at a source instead of replaying a cache;
+* ``network_delay`` — request/answer transfer pauses (the paper's gamma
+  delays plus message overhead);
+* ``queue_wait`` — service-layer admission wait (zero at engine level;
+  reported separately so execution attribution still sums to ``T``);
+* ``planner_time`` — always zero today: planning never advances the
+  virtual clock (kept in the class set so the schema is stable when
+  planning is ever charged).
+
+**Exactness.**  Boundaries are computed in :class:`fractions.Fraction`
+arithmetic over the exact binary values of the recorded floats, so the
+per-class durations sum to ``Fraction(T)`` *identically*, not within an
+epsilon — the ``exact_classes`` strings in the report are those fractions
+verbatim, and ``exact`` records the (machine-checked) invariant.
+
+**Event/thread runs** are tiled from the scheduler's delivery records
+(:class:`~repro.obs.causal.CausalRecorder`): between the engine's arrival
+clock ``a`` and each delivery's event time ``t``, the engine was *waiting*
+on that producer — the producer's cumulative source-cost delta splits the
+wait into cache-miss work first, network delay second (the canonical
+order; a producer's real charge interleaving per answer is
+request→lookup→transfer, which this two-way split aggregates), and the
+stretches between deliveries are pure engine work.  The segment list is
+therefore the critical path itself: the unique chain of waits and
+cascades that determined ``T``.
+
+**Sequential runs** have no overlap, so the run's accumulators already
+partition ``[0, T]``; they are tiled in canonical order (engine, then per
+source cache cost, then per source network delay), with the final bucket
+absorbing the ulp-scale difference between the float accumulator sum and
+the clock's own float (the clock interleaved the same charges in a
+different addition order).
+
+The what-if **slack** analysis uses the scheduler's runner-up event
+times: per source, the minimum lead its deliveries had over the second
+best pending event — speed the source up by less than that and the
+delivery order (hence the whole timeline) provably cannot change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import TYPE_CHECKING
+
+from .schema import validate_json_schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..federation.answers import ExecutionStats
+    from .observation import RunObservation
+
+#: Bump when the report dict shape changes.
+CRITPATH_VERSION = 1
+
+#: Every second of a run is blamed on exactly one of these.
+BLAME_CLASSES = (
+    "engine_work",
+    "network_delay",
+    "queue_wait",
+    "cache_miss_penalty",
+    "planner_time",
+)
+
+CRITPATH_SCHEMA = {
+    "type": "object",
+    "required": [
+        "critpath_version",
+        "runtime",
+        "total",
+        "exact",
+        "classes",
+        "exact_classes",
+        "sources",
+        "slack",
+        "deliveries",
+        "answers",
+        "queue_wait",
+        "structural_fingerprint",
+    ],
+    "properties": {
+        "critpath_version": {"type": "integer"},
+        "runtime": {"type": "string", "enum": ["sequential", "event", "thread"]},
+        "total": {"type": "number"},
+        "exact": {"type": "boolean"},
+        "classes": {
+            "type": "object",
+            "required": list(BLAME_CLASSES),
+            "properties": {name: {"type": "number"} for name in BLAME_CLASSES},
+            "additionalProperties": False,
+        },
+        "exact_classes": {
+            "type": "object",
+            "required": list(BLAME_CLASSES),
+            "properties": {name: {"type": "string"} for name in BLAME_CLASSES},
+            "additionalProperties": False,
+        },
+        "sources": {"type": "object"},
+        "slack": {"type": "object"},
+        "deliveries": {"type": "integer"},
+        "answers": {"type": "integer"},
+        "queue_wait": {"type": "number"},
+        "structural_fingerprint": {"type": "string"},
+        "segments": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["start", "end", "class"],
+                "properties": {
+                    "start": {"type": "number"},
+                    "end": {"type": "number"},
+                    "class": {"type": "string", "enum": list(BLAME_CLASSES)},
+                    "source": {"type": ["string", "null"]},
+                },
+            },
+        },
+    },
+}
+
+
+def fraction_str(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+@dataclass
+class CriticalPathReport:
+    """Exact attribution of one run's virtual time."""
+
+    runtime: str
+    total: float
+    exact: bool
+    classes: dict[str, float]
+    exact_classes: dict[str, str]
+    #: Per source: {"cache_miss_penalty": seconds, "network_delay": seconds}.
+    sources: dict[str, dict[str, float]]
+    #: Per source: minimum lead over the runner-up event (None when the
+    #: source's producer only ever ran unopposed / sequential runtime).
+    slack: dict[str, float | None]
+    #: Chronological blame segments tiling [0, total].
+    segments: list[dict]
+    deliveries: int
+    answers: int
+    queue_wait: float
+    structural_fingerprint: str
+
+    def dominant_class(self) -> str:
+        return max(BLAME_CLASSES, key=lambda name: (self.classes[name], name))
+
+    def share(self, name: str) -> float:
+        return self.classes[name] / self.total if self.total > 0 else 0.0
+
+    def summary(self) -> dict:
+        """The compact dict the service's ``/status`` embeds."""
+        return {
+            "total": self.total,
+            "exact": self.exact,
+            "classes": dict(self.classes),
+            "dominant_class": self.dominant_class(),
+            "queue_wait": self.queue_wait,
+        }
+
+    def to_dict(self, include_segments: bool = False) -> dict:
+        document = {
+            "critpath_version": CRITPATH_VERSION,
+            "runtime": self.runtime,
+            "total": self.total,
+            "exact": self.exact,
+            "classes": dict(self.classes),
+            "exact_classes": dict(self.exact_classes),
+            "sources": {
+                source: dict(parts) for source, parts in self.sources.items()
+            },
+            "slack": dict(self.slack),
+            "deliveries": self.deliveries,
+            "answers": self.answers,
+            "queue_wait": self.queue_wait,
+            "structural_fingerprint": self.structural_fingerprint,
+        }
+        if include_segments:
+            document["segments"] = list(self.segments)
+        validate_json_schema(document, CRITPATH_SCHEMA)
+        return document
+
+
+class _Tiling:
+    """Accumulates exact segments and per-class / per-source totals."""
+
+    def __init__(self) -> None:
+        self.classes = {name: Fraction(0) for name in BLAME_CLASSES}
+        self.sources: dict[str, dict[str, Fraction]] = {}
+        self.segments: list[dict] = []
+
+    def add(
+        self, name: str, source: str | None, start: Fraction, end: Fraction
+    ) -> None:
+        if end <= start:
+            return
+        self.classes[name] += end - start
+        if source is not None:
+            parts = self.sources.setdefault(
+                source,
+                {"cache_miss_penalty": Fraction(0), "network_delay": Fraction(0)},
+            )
+            parts[name] += end - start
+        self.segments.append(
+            {
+                "start": float(start),
+                "end": float(end),
+                "class": name,
+                "source": source,
+            }
+        )
+
+
+def _tile_sequential(stats: "ExecutionStats", target: Fraction, tiling: _Tiling) -> None:
+    """Tile [0, T] from the run's accumulators in canonical order.
+
+    Sequential execution has no overlap: every clock advance was one
+    charge, so the accumulators partition the timeline up to float
+    summation order.  The last bucket's boundary is forced to ``T`` so the
+    ulp residual (clock float vs. re-summed floats) lands there instead of
+    breaking exactness.
+    """
+    buckets: list[tuple[str, str | None, float]] = [
+        ("engine_work", None, stats.engine_cost)
+    ]
+    for source_id in sorted(stats.source_stats):
+        buckets.append(
+            ("cache_miss_penalty", source_id, stats.source_stats[source_id].virtual_cost)
+        )
+    for source_id in sorted(stats.source_stats):
+        buckets.append(
+            ("network_delay", source_id, stats.source_stats[source_id].network_delay)
+        )
+    boundary = Fraction(0)
+    for position, (name, source_id, value) in enumerate(buckets):
+        if position == len(buckets) - 1:
+            end = target
+        else:
+            end = boundary + Fraction(value)
+            if end > target:
+                end = target
+        tiling.add(name, source_id, boundary, end)
+        boundary = end
+
+
+def _tile_deliveries(
+    deliveries: list[tuple],
+    source_of: dict[int, str | None],
+    target: Fraction,
+    tiling: _Tiling,
+) -> None:
+    """Tile [0, T] from the scheduler's delivery records.
+
+    For delivery *i* with engine arrival clock ``a_i`` and event time
+    ``t_i``, the post-advance clock is ``e_i = max(a_i, t_i)``; the engine
+    stretch ``[e_{i-1}, a_i]`` is pure cascade work and the wait
+    ``[a_i, e_i]`` belongs to the delivering producer — split at the
+    producer's cumulative source-cost delta (cache first, network delay
+    as the remainder; the split point is clamped into the wait, so a
+    producer that overlapped its source work with earlier engine time
+    never over-claims).  The segment ends telescope — ``a_i`` *is* the
+    previous cascade's end — so the sum is exactly ``T``.
+    """
+    prev_end = Fraction(0)
+    last_cache: dict[int, Fraction] = {}
+    for pid, _kind, time, arrival, _segment_start, cum_cache, _cum_network, _ru in deliveries:
+        a = Fraction(arrival)
+        e = Fraction(time)
+        if e < a:
+            e = a
+        tiling.add("engine_work", None, prev_end, a)
+        cache_total = Fraction(cum_cache)
+        if e > a:
+            source_id = source_of.get(pid)
+            mid = a + (cache_total - last_cache.get(pid, Fraction(0)))
+            if mid > e:
+                mid = e
+            elif mid < a:  # pragma: no cover - cumulative charges never shrink
+                mid = a
+            tiling.add("cache_miss_penalty", source_id, a, mid)
+            tiling.add("network_delay", source_id, mid, e)
+        last_cache[pid] = cache_total
+        prev_end = e
+    tiling.add("engine_work", None, prev_end, target)
+
+
+def _slack_by_source(
+    deliveries: list[tuple], source_of: dict[int, str | None]
+) -> dict[str, float | None]:
+    slack: dict[str, float | None] = {}
+    for pid, _kind, time, *_rest, runner_up in deliveries:
+        source_id = source_of.get(pid)
+        if source_id is None:
+            continue
+        if runner_up is None:
+            slack.setdefault(source_id, None)
+            continue
+        lead = runner_up - time
+        current = slack.get(source_id)
+        if current is None or lead < current:
+            slack[source_id] = lead
+    return slack
+
+
+def attribute_run(
+    observation: "RunObservation",
+    stats: "ExecutionStats",
+    queue_wait: float = 0.0,
+) -> CriticalPathReport:
+    """Compute the exact blame tiling of one observed run."""
+    from .causal import build_causal_graph
+
+    target = Fraction(stats.execution_time)
+    tiling = _Tiling()
+    recorder = observation.causal
+    source_of = {spawn[0]: spawn[2] for spawn in recorder.spawns}
+    if recorder.deliveries:
+        _tile_deliveries(recorder.deliveries, source_of, target, tiling)
+        slack = _slack_by_source(recorder.deliveries, source_of)
+    else:
+        _tile_sequential(stats, target, tiling)
+        slack = {}
+
+    exact = sum(tiling.classes.values(), Fraction(0)) == target
+    graph = build_causal_graph(observation, queue_wait if queue_wait else None)
+    return CriticalPathReport(
+        runtime=observation.runtime,
+        total=stats.execution_time,
+        exact=exact,
+        classes={name: float(value) for name, value in tiling.classes.items()},
+        exact_classes={
+            name: fraction_str(value) for name, value in tiling.classes.items()
+        },
+        sources={
+            source: {name: float(value) for name, value in parts.items()}
+            for source, parts in sorted(tiling.sources.items())
+        },
+        slack=dict(sorted(slack.items())),
+        segments=tiling.segments,
+        deliveries=len(recorder.deliveries),
+        answers=stats.answers,
+        queue_wait=queue_wait,
+        structural_fingerprint=graph.structural_fingerprint(),
+    )
+
+
+# -- renderers ----------------------------------------------------------------
+
+
+def render_critpath(report: CriticalPathReport, label: str | None = None) -> str:
+    """Human-readable attribution table for one run."""
+    lines = []
+    title = "critical-path attribution"
+    if label:
+        title += f" — {label}"
+    lines.append(title)
+    exactness = "exact" if report.exact else "INEXACT"
+    lines.append(
+        f"total {report.total:.9f}s  runtime={report.runtime}  "
+        f"attribution={exactness}"
+    )
+    lines.append(f"{'class':<20} {'seconds':>14} {'share':>8}")
+    for name in BLAME_CLASSES:
+        lines.append(
+            f"{name:<20} {report.classes[name]:>14.9f} {report.share(name):>7.1%}"
+        )
+    if report.sources:
+        lines.append("")
+        lines.append(
+            f"{'source':<28} {'cache_miss':>12} {'network':>12} {'min slack':>12}"
+        )
+        for source, parts in report.sources.items():
+            slack = report.slack.get(source)
+            slack_text = f"{slack:.6f}" if slack is not None else "-"
+            lines.append(
+                f"{source:<28} {parts['cache_miss_penalty']:>12.6f} "
+                f"{parts['network_delay']:>12.6f} {slack_text:>12}"
+            )
+    lines.append("")
+    lines.append(
+        f"deliveries={report.deliveries} answers={report.answers} "
+        f"queue_wait={report.queue_wait:.6f} dominant={report.dominant_class()}"
+    )
+    return "\n".join(lines)
+
+
+def aggregate_reports(reports: list[CriticalPathReport]) -> dict:
+    """Grid-level attribution: summed per-class seconds and shares."""
+    classes = {name: 0.0 for name in BLAME_CLASSES}
+    total = 0.0
+    for report in reports:
+        total += report.total
+        for name in BLAME_CLASSES:
+            classes[name] += report.classes[name]
+    shares = {
+        name: (classes[name] / total if total > 0 else 0.0) for name in BLAME_CLASSES
+    }
+    return {
+        "cells": len(reports),
+        "total": total,
+        "classes": classes,
+        "shares": shares,
+        "all_exact": all(report.exact for report in reports),
+    }
+
+
+def render_aggregate(aggregate: dict) -> str:
+    lines = [
+        f"grid attribution over {aggregate['cells']} cells "
+        f"(total {aggregate['total']:.6f}s, "
+        f"{'all exact' if aggregate['all_exact'] else 'INEXACT CELLS'})",
+        f"{'class':<20} {'seconds':>14} {'share':>8}",
+    ]
+    for name in BLAME_CLASSES:
+        lines.append(
+            f"{name:<20} {aggregate['classes'][name]:>14.6f} "
+            f"{aggregate['shares'][name]:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def chrome_overlay(
+    observation: "RunObservation",
+    report: CriticalPathReport,
+    label: str = "repro",
+) -> dict:
+    """The run's Chrome trace with the blame tiling as an extra thread row.
+
+    Loads in Perfetto next to the engine/source tracks: one colored slice
+    per blame segment, so the critical path is visible as a gap-free band
+    under the spans that caused it.
+    """
+    from .export import to_chrome_trace
+
+    document = to_chrome_trace([(label, observation)])
+    events = document["traceEvents"]
+    tid = 10_000  # far above the bus-track/operator rows
+    events.append(
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": "critical path"},
+        }
+    )
+    for segment in report.segments:
+        args = {"blame": segment["class"]}
+        if segment["source"] is not None:
+            args["source"] = segment["source"]
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid,
+                "name": segment["class"],
+                "cat": "critpath",
+                "ts": segment["start"] * 1e6,
+                "dur": (segment["end"] - segment["start"]) * 1e6,
+                "args": args,
+            }
+        )
+    return document

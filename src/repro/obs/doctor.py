@@ -1,0 +1,480 @@
+"""The regression-attribution doctor: ranked, evidence-linked findings.
+
+``repro doctor`` reads what the repo already commits — the critical-path
+baseline (``BENCH_critpath.json``), the plan-quality baseline
+(``BENCH_plan_quality.json``), the telemetry baseline
+(``BENCH_telemetry.json``) and/or a journal JSONL — re-measures what it
+can, and answers the operator's question directly: *what regressed, and
+whose fault is it?*
+
+Checks (each optional, gated on the inputs it needs):
+
+* **critpath** — re-run the attribution grid against the committed
+  baseline.  At ``delay_scale == 1`` any exact-fraction mismatch is a
+  critical finding (the virtual timeline is deterministic; drift is a
+  real change).  With an injected scale the doctor attributes the drift:
+  the dominant blame class is the one with the largest per-class delta,
+  and the affected source is the one with the largest network-delay
+  delta — so a doubled gamma3 delay comes back as ``network_delay`` on
+  the right source, with the numbers attached as evidence.
+* **slo-burn** — per tenant, is latency admission-bound (queue wait
+  dominating execution) rather than engine-bound?
+* **cache** — hit-ratio drops against the telemetry baseline
+  (>5 percentage points warns, >20 is critical).
+* **q-error** — estimation hotspots from the plan-quality baseline,
+  elevated when the same cell's critical path is engine-dominated (a bad
+  estimate on the critical path is worth fixing first).
+* **heuristics** — cells where the physical-design-aware policy is
+  *slower* than unaware (H1/H2 misfiring for that cell).
+
+The report dict is machine-validated against :data:`DOCTOR_SCHEMA`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .schema import validate_json_schema
+
+DOCTOR_VERSION = 1
+
+#: Finding severities, most severe first (the ranking order).
+SEVERITIES = ("critical", "warning", "info")
+
+DOCTOR_SCHEMA = {
+    "type": "object",
+    "required": ["doctor_version", "checks", "findings", "counts"],
+    "properties": {
+        "doctor_version": {"type": "integer"},
+        "checks": {"type": "array", "items": {"type": "string"}},
+        "counts": {
+            "type": "object",
+            "required": list(SEVERITIES),
+            "properties": {name: {"type": "integer"} for name in SEVERITIES},
+            "additionalProperties": False,
+        },
+        "findings": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["severity", "check", "code", "title", "evidence"],
+                "properties": {
+                    "severity": {"type": "string", "enum": list(SEVERITIES)},
+                    "check": {"type": "string"},
+                    "code": {"type": "string"},
+                    "title": {"type": "string"},
+                    "evidence": {"type": "object"},
+                },
+            },
+        },
+    },
+}
+
+#: Cache hit-ratio drop thresholds (absolute, vs the telemetry baseline).
+CACHE_DROP_WARNING = 0.05
+CACHE_DROP_CRITICAL = 0.20
+
+#: q-error above this is an estimation hotspot.
+Q_ERROR_THRESHOLD = 4.0
+
+#: Aware slower than unaware by more than this factor = heuristic misfire.
+HEURISTIC_MISFIRE_FACTOR = 1.05
+
+#: Relative total-time drift that upgrades a critpath finding to critical.
+CRITPATH_DRIFT_CRITICAL = 0.10
+
+
+@dataclass
+class Finding:
+    """One diagnosed problem, with the numbers that prove it."""
+
+    severity: str
+    check: str
+    code: str
+    title: str
+    evidence: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "check": self.check,
+            "code": self.code,
+            "title": self.title,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass
+class DoctorReport:
+    """Every finding of one diagnosis run, ranked most severe first."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checks: list[str] = field(default_factory=list)
+
+    def rank(self) -> None:
+        order = {name: index for index, name in enumerate(SEVERITIES)}
+        self.findings.sort(
+            key=lambda finding: (order[finding.severity], finding.check, finding.code, finding.title)
+        )
+
+    def counts(self) -> dict[str, int]:
+        counts = {name: 0 for name in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def worst_severity(self) -> str | None:
+        for name in SEVERITIES:
+            if any(finding.severity == name for finding in self.findings):
+                return name
+        return None
+
+    def exit_code(self, fail_on: str = "critical") -> int:
+        """0 when no finding at or above *fail_on* severity exists."""
+        threshold = SEVERITIES.index(fail_on)
+        worst = self.worst_severity()
+        if worst is None:
+            return 0
+        return 1 if SEVERITIES.index(worst) <= threshold else 0
+
+    def to_dict(self) -> dict:
+        self.rank()
+        document = {
+            "doctor_version": DOCTOR_VERSION,
+            "checks": list(self.checks),
+            "counts": self.counts(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+        validate_json_schema(document, DOCTOR_SCHEMA)
+        return document
+
+    def render(self) -> str:
+        self.rank()
+        counts = self.counts()
+        lines = [
+            f"doctor: {len(self.findings)} finding(s) over checks "
+            f"[{', '.join(self.checks)}] — "
+            + ", ".join(f"{counts[name]} {name}" for name in SEVERITIES)
+        ]
+        if not self.findings:
+            lines.append("  all clear: no findings")
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.severity.upper():<8}] {finding.check}/{finding.code}: "
+                f"{finding.title}"
+            )
+            for key in sorted(finding.evidence):
+                lines.append(f"      {key} = {finding.evidence[key]!r}")
+        return "\n".join(lines)
+
+
+# -- individual checks --------------------------------------------------------
+
+
+def check_critpath(
+    report: DoctorReport,
+    lake,
+    baseline: dict,
+    delay_scale: float = 1.0,
+    queries: list[str] | None = None,
+    networks: list[str] | None = None,
+    runtimes: list[str] | None = None,
+) -> None:
+    """Re-measure the attribution grid and attribute any drift."""
+    from ..benchmark.baseline import NETWORK_CHOICES, POLICY_CHOICES, cell_key
+    from ..benchmark.critpath import measure_critpath_cell
+    from ..datasets import BENCHMARK_QUERIES
+
+    report.checks.append("critpath")
+    policy = POLICY_CHOICES[baseline["policy"]]()
+    run_seed = baseline["run_seed"]
+    for query_name in queries or baseline["queries"]:
+        text = BENCHMARK_QUERIES[query_name].text
+        for network_name in networks or baseline["networks"]:
+            network = NETWORK_CHOICES[network_name]()
+            for runtime in runtimes or baseline["runtimes"]:
+                key = cell_key(query_name, baseline["policy"], network_name, runtime)
+                base = baseline["cells"].get(key)
+                if base is None:
+                    continue
+                fresh = measure_critpath_cell(
+                    lake, text, policy, network, runtime, run_seed,
+                    delay_scale=delay_scale,
+                )
+                _attribute_cell_drift(report, key, base, fresh, delay_scale)
+
+
+def _attribute_cell_drift(
+    report: DoctorReport, key: str, base: dict, fresh: dict, delay_scale: float
+) -> None:
+    base_total = base["total"]
+    fresh_total = fresh["total"]
+    drift = (fresh_total - base_total) / base_total if base_total else 0.0
+    deltas = {
+        name: fresh["classes"][name] - base["classes"][name]
+        for name in base["classes"]
+    }
+    exact_match = base.get("exact_classes") == fresh.get("exact_classes")
+    if delay_scale == 1.0:
+        # Deterministic ground: the fresh run must reproduce the committed
+        # attribution bit for bit.
+        if not exact_match or base_total != fresh_total:
+            report.findings.append(
+                Finding(
+                    severity="critical",
+                    check="critpath",
+                    code="attribution-drift",
+                    title=f"{key}: attribution no longer matches the committed baseline",
+                    evidence={
+                        "cell": key,
+                        "baseline_total": base_total,
+                        "fresh_total": fresh_total,
+                        "relative_drift": drift,
+                        "class_deltas": deltas,
+                    },
+                )
+            )
+        return
+    # Injected-counterfactual mode: attribute the (expected) drift.
+    if abs(drift) < 1e-12 and exact_match:
+        return
+    dominant = max(deltas, key=lambda name: (abs(deltas[name]), name))
+    source_deltas = {
+        source: fresh.get("sources", {}).get(source, {}).get("network_delay", 0.0)
+        - parts.get("network_delay", 0.0)
+        for source, parts in base.get("sources", {}).items()
+    }
+    for source, parts in fresh.get("sources", {}).items():
+        if source not in source_deltas:
+            source_deltas[source] = parts.get("network_delay", 0.0)
+    affected = (
+        max(source_deltas, key=lambda name: (source_deltas[name], name))
+        if source_deltas
+        else None
+    )
+    severity = "critical" if abs(drift) >= CRITPATH_DRIFT_CRITICAL else "warning"
+    title = f"{key}: total virtual time {'grew' if drift > 0 else 'shrank'} {abs(drift):.1%}"
+    if dominant == "network_delay" and affected is not None:
+        title += f" — network delay on source {affected!r}"
+    else:
+        title += f" — dominant blame class {dominant}"
+    report.findings.append(
+        Finding(
+            severity=severity,
+            check="critpath",
+            code=f"{dominant.replace('_', '-')}-regression",
+            title=title,
+            evidence={
+                "cell": key,
+                "baseline_total": base_total,
+                "fresh_total": fresh_total,
+                "relative_drift": drift,
+                "delay_scale": delay_scale,
+                "dominant_class": dominant,
+                "class_deltas": deltas,
+                "affected_source": affected,
+                "source_network_delay_deltas": source_deltas,
+            },
+        )
+    )
+
+
+def check_slo_burn(report: DoctorReport, slo: dict) -> None:
+    """Flag tenants whose latency is queue-dominated, not engine-bound."""
+    report.checks.append("slo-burn")
+    for tenant in sorted(slo.get("tenants", {})):
+        entry = slo["tenants"][tenant]
+        queue = entry.get("queue_wait", {})
+        execution = entry.get("execution", {})
+        queue_p90 = queue.get("p90", 0.0)
+        exec_p90 = execution.get("p90", 0.0)
+        if queue.get("count", 0) and queue_p90 > exec_p90:
+            report.findings.append(
+                Finding(
+                    severity="warning",
+                    check="slo-burn",
+                    code="queue-dominated",
+                    title=(
+                        f"tenant {tenant!r}: p90 queue wait {queue_p90:.4f}s exceeds "
+                        f"p90 execution {exec_p90:.4f}s — latency is admission-bound"
+                    ),
+                    evidence={
+                        "tenant": tenant,
+                        "queue_wait_p90": queue_p90,
+                        "execution_p90": exec_p90,
+                        "queue_wait_p50": queue.get("p50", 0.0),
+                        "execution_p50": execution.get("p50", 0.0),
+                        "starts": entry.get("starts", 0),
+                    },
+                )
+            )
+
+
+def check_cache(report: DoctorReport, slo: dict, telemetry_baseline: dict) -> None:
+    """Hit-ratio drops against the committed telemetry baseline."""
+    report.checks.append("cache")
+    baseline_caches = telemetry_baseline.get("slo", {}).get("cache", {})
+    current_caches = slo.get("cache", {})
+    for name in sorted(baseline_caches):
+        base_rate = baseline_caches[name].get("hit_rate", 0.0)
+        current = current_caches.get(name)
+        if current is None:
+            continue
+        rate = current.get("hit_rate", 0.0)
+        drop = base_rate - rate
+        if drop <= CACHE_DROP_WARNING:
+            continue
+        severity = "critical" if drop > CACHE_DROP_CRITICAL else "warning"
+        report.findings.append(
+            Finding(
+                severity=severity,
+                check="cache",
+                code="hit-ratio-drop",
+                title=(
+                    f"cache {name!r}: hit rate dropped {drop:.1%} "
+                    f"({base_rate:.1%} -> {rate:.1%})"
+                ),
+                evidence={
+                    "cache": name,
+                    "baseline_hit_rate": base_rate,
+                    "hit_rate": rate,
+                    "drop": drop,
+                    "hits": current.get("hits", 0),
+                    "misses": current.get("misses", 0),
+                },
+            )
+        )
+
+
+def check_q_error(
+    report: DoctorReport,
+    plan_quality: dict,
+    critpath_baseline: dict | None = None,
+    threshold: float = Q_ERROR_THRESHOLD,
+) -> None:
+    """Estimation hotspots, elevated when on an engine-dominated path."""
+    report.checks.append("q-error")
+    critpath_cells = (critpath_baseline or {}).get("cells", {})
+    for key in sorted(plan_quality.get("cells", {})):
+        cell = plan_quality["cells"][key]
+        q_max = cell.get("q_error_max")
+        if q_max is None or q_max < threshold:
+            continue
+        crit = critpath_cells.get(key)
+        engine_share = None
+        severity = "info"
+        if crit is not None and crit.get("total"):
+            engine_share = crit["classes"]["engine_work"] / crit["total"]
+            if engine_share >= 0.5:
+                severity = "warning"
+        report.findings.append(
+            Finding(
+                severity=severity,
+                check="q-error",
+                code="estimation-hotspot",
+                title=(
+                    f"{key}: max q-error {q_max:.2f}"
+                    + (
+                        f" on an engine-dominated critical path "
+                        f"({engine_share:.0%} engine work)"
+                        if severity == "warning"
+                        else ""
+                    )
+                ),
+                evidence={
+                    "cell": key,
+                    "q_error_max": q_max,
+                    "q_error_mean": cell.get("q_error_mean"),
+                    "engine_work_share": engine_share,
+                },
+            )
+        )
+
+
+def check_heuristics(
+    report: DoctorReport,
+    plan_quality: dict,
+    factor: float = HEURISTIC_MISFIRE_FACTOR,
+) -> None:
+    """Cells where the aware policy is slower than unaware (H1/H2 misfire)."""
+    report.checks.append("heuristics")
+    cells = plan_quality.get("cells", {})
+    for key in sorted(cells):
+        query, policy, network, runtime = key.split("|")
+        if policy != "aware":
+            continue
+        unaware = cells.get(f"{query}|unaware|{network}|{runtime}")
+        if unaware is None:
+            continue
+        aware_time = cells[key].get("execution_time")
+        unaware_time = unaware.get("execution_time")
+        if aware_time is None or unaware_time is None or not unaware_time:
+            continue
+        if aware_time > unaware_time * factor:
+            report.findings.append(
+                Finding(
+                    severity="warning",
+                    check="heuristics",
+                    code="aware-slower-than-unaware",
+                    title=(
+                        f"{query} {network} {runtime}: aware plan is "
+                        f"{aware_time / unaware_time:.2f}x unaware — H1/H2 "
+                        f"misfire for this cell"
+                    ),
+                    evidence={
+                        "cell": key,
+                        "aware_execution_time": aware_time,
+                        "unaware_execution_time": unaware_time,
+                        "ratio": aware_time / unaware_time,
+                    },
+                )
+            )
+
+
+def diagnose(
+    lake=None,
+    critpath_baseline: dict | None = None,
+    plan_quality: dict | None = None,
+    telemetry_baseline: dict | None = None,
+    journal_events: list | None = None,
+    slo: dict | None = None,
+    delay_scale: float = 1.0,
+    queries: list[str] | None = None,
+    networks: list[str] | None = None,
+    runtimes: list[str] | None = None,
+) -> DoctorReport:
+    """Run every check whose inputs are available; returns a ranked report.
+
+    *slo* is a ready SLO snapshot; when absent but *journal_events* is
+    given, the snapshot is rebuilt by journal replay (the same replay
+    ``repro slo report`` uses).  The telemetry baseline's own snapshot is
+    the fallback — then the doctor is checking the committed baseline's
+    internal consistency.
+    """
+    report = DoctorReport()
+    if slo is None and journal_events is not None:
+        from .slo import accountant_from_journal
+
+        accountant, cache_stats = accountant_from_journal(journal_events)
+        slo = accountant.snapshot(cache_stats=cache_stats)
+    if slo is None and telemetry_baseline is not None:
+        slo = telemetry_baseline.get("slo")
+    if lake is not None and critpath_baseline is not None:
+        check_critpath(
+            report,
+            lake,
+            critpath_baseline,
+            delay_scale=delay_scale,
+            queries=queries,
+            networks=networks,
+            runtimes=runtimes,
+        )
+    if slo is not None:
+        check_slo_burn(report, slo)
+        if telemetry_baseline is not None:
+            check_cache(report, slo, telemetry_baseline)
+    if plan_quality is not None:
+        check_q_error(report, plan_quality, critpath_baseline)
+        check_heuristics(report, plan_quality)
+    report.rank()
+    return report

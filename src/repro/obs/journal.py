@@ -44,7 +44,14 @@ EVENT_KINDS = (
     "replan",
     "result-cache-evict",
     "cache-snapshot",
+    "exec-profile",
 )
+
+#: Kind of the optional integrity trailer ``write_jsonl(..., seal=True)``
+#: appends: it carries the SHA-256 fingerprint and count of the event
+#: lines before it, so ``verify_journal_file`` can prove a file on disk
+#: was neither tampered with nor truncated.
+SEAL_KIND = "journal-seal"
 
 
 def canonical_line(event: dict) -> str:
@@ -67,6 +74,8 @@ class EventJournal:
         self._events: list[dict] = []
         self._sink = sink
         self._lock = threading.Lock()
+        #: The seal line found by :meth:`read_jsonl` (never an event).
+        self.seal: dict | None = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -162,10 +171,24 @@ class EventJournal:
             counts[kind] = counts.get(kind, 0) + 1
         return dict(sorted(counts.items()))
 
-    def write_jsonl(self, path: str) -> None:
+    def seal_line(self) -> str:
+        """The integrity trailer for the current events, as one canonical
+        JSONL line: fingerprint + event count of everything before it."""
+        return canonical_line(
+            {
+                "v": JOURNAL_VERSION,
+                "kind": SEAL_KIND,
+                "fingerprint": self.fingerprint(),
+                "events": len(self._events),
+            }
+        )
+
+    def write_jsonl(self, path: str, seal: bool = False) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             for line in self.canonical_lines():
                 handle.write(line + "\n")
+            if seal:
+                handle.write(self.seal_line() + "\n")
 
     @classmethod
     def read_jsonl(cls, path: str) -> "EventJournal":
@@ -173,8 +196,15 @@ class EventJournal:
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    journal._events.append(json.loads(line))
+                if not line:
+                    continue
+                event = json.loads(line)
+                if isinstance(event, dict) and event.get("kind") == SEAL_KIND:
+                    # The trailer is integrity metadata, not an event: keep
+                    # it aside so replay/fingerprinting see the events only.
+                    journal.seal = event
+                    continue
+                journal._events.append(event)
         return journal
 
     @classmethod
@@ -182,3 +212,93 @@ class EventJournal:
         journal = cls()
         journal._events.extend(events)
         return journal
+
+
+def verify_journal_file(
+    path: str, allow_unsealed: bool = False
+) -> tuple[bool, list[str], dict]:
+    """Integrity-check a journal file on disk.
+
+    Re-parses every line, checks the per-line schema (``v`` int, ``kind``
+    str, numeric ``ts`` on events), locates the seal trailer and re-derives
+    the SHA-256 fingerprint of the event lines before it.  Returns
+    ``(ok, problems, info)`` where *info* carries what a report wants:
+    event count, counts by kind, the recomputed fingerprint and the seal
+    (if any).  Tampered, truncated, reordered or seal-less files (unless
+    *allow_unsealed*) all come back ``ok=False`` with a problem per cause.
+    """
+    problems: list[str] = []
+    events: list[dict] = []
+    seal: dict | None = None
+    digest = hashlib.sha256()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                problems.append(f"line {lineno}: not valid JSON")
+                continue
+            if not isinstance(event, dict):
+                problems.append(f"line {lineno}: not a JSON object")
+                continue
+            if seal is not None:
+                problems.append(
+                    f"line {lineno}: content after the seal line "
+                    "(appended or reordered journal)"
+                )
+                continue
+            if not isinstance(event.get("v"), int):
+                problems.append(f"line {lineno}: missing/non-integer 'v'")
+            kind = event.get("kind")
+            if not isinstance(kind, str):
+                problems.append(f"line {lineno}: missing/non-string 'kind'")
+                continue
+            if kind == SEAL_KIND:
+                seal = event
+                continue
+            if not isinstance(event.get("ts"), (int, float)) or isinstance(
+                event.get("ts"), bool
+            ):
+                problems.append(f"line {lineno}: missing/non-numeric 'ts'")
+            events.append(event)
+            # Fingerprint the canonical re-encoding: byte-level edits that
+            # do not change the parsed value (whitespace) are forgiven,
+            # anything that changes an event is caught.
+            digest.update(canonical_line(event).encode("utf-8"))
+            digest.update(b"\n")
+    fingerprint = digest.hexdigest()
+    if seal is None:
+        if not allow_unsealed:
+            problems.append("no seal line: journal is unsealed or truncated")
+    else:
+        expected = seal.get("fingerprint")
+        if not isinstance(expected, str):
+            problems.append("seal line: missing/non-string 'fingerprint'")
+        elif expected != fingerprint:
+            problems.append(
+                "fingerprint mismatch: journal content was tampered with "
+                f"(seal {expected[:12]}…, recomputed {fingerprint[:12]}…)"
+            )
+        declared = seal.get("events")
+        if not isinstance(declared, int):
+            problems.append("seal line: missing/non-integer 'events'")
+        elif declared != len(events):
+            problems.append(
+                f"event count mismatch: seal declares {declared}, "
+                f"file has {len(events)} (truncated or padded journal)"
+            )
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind")
+        if isinstance(kind, str):
+            counts[kind] = counts.get(kind, 0) + 1
+    info = {
+        "events": len(events),
+        "counts_by_kind": dict(sorted(counts.items())),
+        "fingerprint": fingerprint,
+        "seal": seal,
+    }
+    return (not problems), problems, info

@@ -24,6 +24,7 @@ from .bus import (
     ENGINE_TRACK,
     TraceBus,
 )
+from .causal import CausalRecorder
 from .metrics import MetricsRegistry
 from .profile import OperatorProfile, ProfileReport
 
@@ -39,6 +40,10 @@ class RunObservation:
     def __init__(self) -> None:
         self.bus = TraceBus()
         self.metrics = MetricsRegistry()
+        #: Spawn/delivery facts from the event/thread schedulers (empty for
+        #: sequential runs); consumed by :mod:`repro.obs.causal` and
+        #: :mod:`repro.obs.critpath`.
+        self.causal = CausalRecorder()
         #: Operator profiles in plan pre-order (the report's order).
         self.profiles: list[OperatorProfile] = []
         self._profile_by_op: dict[int, OperatorProfile] = {}

@@ -173,6 +173,26 @@ def render_exposition(stats: dict, prefix: str = PREFIX) -> str:
         labelled.append(({"tenant": "__all__"}, slo["global"][field]))
         _histogram_family(writer, f"{prefix}_{metric}", help_text, labelled)
 
+    blame: dict[str, dict] = slo.get("blame", {})
+    if blame:
+        _histogram_family(
+            writer,
+            f"{prefix}_blame_seconds",
+            "Virtual seconds per request by blame class.",
+            [({"class": name}, blame[name]) for name in sorted(blame)],
+        )
+    source_delay: dict[str, dict] = slo.get("source_network_delay", {})
+    if source_delay:
+        _histogram_family(
+            writer,
+            f"{prefix}_source_network_delay_seconds",
+            "Network delay charged per request, by source.",
+            [
+                ({"source": name}, source_delay[name])
+                for name in sorted(source_delay)
+            ],
+        )
+
     caches: dict[str, dict] = slo.get("cache", {})
     if caches:
         for metric, field, help_text in (
@@ -232,6 +252,33 @@ def _parse_value(raw: str, line_number: int) -> float:
         ) from None
 
 
+def _unescape_label_value(raw: str) -> str:
+    """Decode ``\\\\``, ``\\"`` and ``\\n`` left to right.
+
+    A chained ``str.replace`` is wrong here: in ``a\\\\nb`` (a literal
+    backslash followed by ``n``) a global ``\\n``-first pass would eat the
+    second backslash and fabricate a newline.  Each escape must consume
+    its backslash exactly once, which needs a scan.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\" and index + 1 < len(raw):
+            nxt = raw[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
 def _parse_labels(raw: str, line_number: int) -> dict[str, str]:
     labels: dict[str, str] = {}
     rest = raw.strip()
@@ -250,10 +297,7 @@ def _parse_labels(raw: str, line_number: int) -> dict[str, str]:
             raise ExpositionError(
                 f"line {line_number}: duplicate label {name!r}"
             )
-        value = match.group("value")
-        labels[name] = (
-            value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-        )
+        labels[name] = _unescape_label_value(match.group("value"))
         rest = rest[match.end() :].lstrip()
         if rest.startswith(","):
             rest = rest[1:].lstrip()

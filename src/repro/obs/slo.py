@@ -43,8 +43,21 @@ BUCKET_BOUNDS: tuple[float, ...] = tuple(2.0 ** exp for exp in range(-20, 13))
 #: Percentiles every SLO snapshot reports.
 SLO_PERCENTILES: tuple[float, ...] = (0.50, 0.90, 0.99)
 
-#: Version stamp of the SLO snapshot JSON shape.
-SLO_VERSION = 1
+#: Version stamp of the SLO snapshot JSON shape.  v2 added the service-wide
+#: per-blame-class and per-source network-delay histograms.
+SLO_VERSION = 2
+
+#: Blame classes the service-level histograms track.  ``queue_wait`` is
+#: fed from admission (note_start); the other three from each request's
+#: :meth:`~repro.federation.answers.ExecutionStats.blame_components`.
+#: ``planner_time`` is deliberately absent — planning never advances the
+#: virtual clock, so its histogram would be identically zero.
+SLO_BLAME_CLASSES = (
+    "engine_work",
+    "network_delay",
+    "cache_miss_penalty",
+    "queue_wait",
+)
 
 
 class LogBucketHistogram:
@@ -246,6 +259,15 @@ class SLOAccountant:
         self._config = config
         self._tenants: dict[str, TenantSLO] = {}
         self._lock = threading.Lock()
+        #: Service-wide per-blame-class time histograms (seconds per
+        #: request), fed by :meth:`note_execution_profile` and, for
+        #: ``queue_wait``, by :meth:`note_start`.
+        self._blame: dict[str, LogBucketHistogram] = {
+            name: LogBucketHistogram() for name in SLO_BLAME_CLASSES
+        }
+        #: Per-source network-delay histograms (seconds charged to each
+        #: source per request), keyed by source id.
+        self._source_delay: dict[str, LogBucketHistogram] = {}
 
     def _slo(self, tenant: str) -> TenantSLO:
         slo = self._tenants.get(tenant)
@@ -277,6 +299,34 @@ class SLOAccountant:
             slo = self._slo(tenant)
             slo.starts += 1
             slo.queue_wait.observe(queue_wait)
+            self._blame["queue_wait"].observe(queue_wait)
+
+    def note_execution_profile(
+        self,
+        tenant: str,
+        engine: float,
+        network: float,
+        cache: float,
+        per_source: dict[str, float] | None = None,
+    ) -> None:
+        """One finished request's blame components (accumulator view).
+
+        *engine*/*network*/*cache* are the request's ``engine_work``,
+        ``network_delay`` and ``cache_miss_penalty`` totals in virtual
+        seconds; *per_source* maps source id to its network-delay share.
+        The tenant is accepted for symmetry with the journal event but the
+        histograms are service-wide (per-tenant latency SLOs already live
+        on the :class:`TenantSLO` ledger).
+        """
+        with self._lock:
+            self._blame["engine_work"].observe(engine)
+            self._blame["network_delay"].observe(network)
+            self._blame["cache_miss_penalty"].observe(cache)
+            for source_id in sorted(per_source or {}):
+                histogram = self._source_delay.get(source_id)
+                if histogram is None:
+                    histogram = self._source_delay[source_id] = LogBucketHistogram()
+                histogram.observe(per_source[source_id])
 
     def note_done(self, tenant: str, execution: float, end_to_end: float) -> None:
         with self._lock:
@@ -345,10 +395,20 @@ class SLOAccountant:
                 name: self._tenants[name].snapshot()
                 for name in sorted(self._tenants)
             }
+        with self._lock:
+            blame = {
+                name: self._blame[name].snapshot() for name in SLO_BLAME_CLASSES
+            }
+            source_delay = {
+                name: self._source_delay[name].snapshot()
+                for name in sorted(self._source_delay)
+            }
         body: dict = {
             "slo_version": SLO_VERSION,
             "tenants": tenants,
             "global": self.global_slo().snapshot(),
+            "blame": blame,
+            "source_network_delay": source_delay,
         }
         total_busy = sum(entry["busy_seconds"] for entry in tenants.values())
         active_weight = sum(
@@ -411,40 +471,107 @@ def accountant_from_journal(
             accountant.note_timeout(tenant)
         elif kind == "error":
             accountant.note_error(tenant)
+        elif kind == "exec-profile":
+            accountant.note_execution_profile(
+                tenant,
+                event.get("engine", 0.0),
+                event.get("network", 0.0),
+                event.get("cache", 0.0),
+                event.get("sources"),
+            )
         elif kind == "cache-snapshot":
             cache_stats = event.get("caches")
     return accountant, cache_stats
 
 
-def render_slo_report(snapshot: dict) -> str:
-    """Terminal rendering of one SLO snapshot (per tenant + global)."""
-    header = (
-        f"{'tenant':<10} {'req':>6} {'done':>6} {'shed':>5} {'tmo':>4} "
-        f"{'err':>4} {'shed%':>7} {'e2e p50':>9} {'e2e p90':>9} "
-        f"{'e2e p99':>9} {'queue p50':>10} {'util':>6} {'fair':>6}"
+#: The text report's column specification: (title, width, value function).
+#: One flat tuple so the column *order is stable by construction* — the
+#: renderer iterates this spec for the header and every row, making it
+#: impossible for header and cells to drift apart or reorder between
+#: releases (tooling that parses the text report can rely on it).
+SLO_REPORT_COLUMNS: tuple[tuple[str, int, "object"], ...] = (
+    ("tenant", 10, lambda name, entry: format(name, "<10")),
+    ("req", 6, lambda name, entry: format(entry["submitted"], ">6")),
+    ("done", 6, lambda name, entry: format(entry["completed"], ">6")),
+    ("shed", 5, lambda name, entry: format(entry["shed"], ">5")),
+    ("tmo", 4, lambda name, entry: format(entry["timed_out"], ">4")),
+    ("err", 4, lambda name, entry: format(entry["errors"], ">4")),
+    (
+        "shed%",
+        7,
+        lambda name, entry: f"{entry['shed_rate'] * 100:>6.2f}%",
+    ),
+    (
+        "e2e p50",
+        9,
+        lambda name, entry: f"{entry['end_to_end']['p50']:>8.4f}s",
+    ),
+    (
+        "e2e p90",
+        9,
+        lambda name, entry: f"{entry['end_to_end']['p90']:>8.4f}s",
+    ),
+    (
+        "e2e p99",
+        9,
+        lambda name, entry: f"{entry['end_to_end']['p99']:>8.4f}s",
+    ),
+    (
+        "queue p50",
+        10,
+        lambda name, entry: f"{entry['queue_wait']['p50']:>9.4f}s",
+    ),
+    (
+        "util",
+        6,
+        lambda name, entry: format(
+            "-"
+            if entry.get("utilization_share") is None
+            else format(entry["utilization_share"], ".2f"),
+            ">6",
+        ),
+    ),
+    (
+        "fair",
+        6,
+        lambda name, entry: format(
+            "-"
+            if entry.get("fair_share") is None
+            else format(entry["fair_share"], ".2f"),
+            ">6",
+        ),
+    ),
+)
+
+
+def render_slo_report(snapshot: dict, tenant: str | None = None) -> str:
+    """Terminal rendering of one SLO snapshot.
+
+    With *tenant* set, only that tenant's row is shown (no GLOBAL row —
+    the global ledger mixes in everyone else's traffic, which is exactly
+    what a per-tenant view filters out); unknown tenants yield a one-line
+    notice so scripted use fails loudly rather than printing nothing.
+    """
+    tenants = snapshot.get("tenants", {})
+    if tenant is not None and tenant not in tenants:
+        return f"no such tenant: {tenant} (known: {', '.join(sorted(tenants)) or '-'})"
+    header = " ".join(
+        format(title, "<" + str(width)) if index == 0 else format(title, ">" + str(width))
+        for index, (title, width, __) in enumerate(SLO_REPORT_COLUMNS)
     )
     lines = [header, "-" * len(header)]
 
     def row(name: str, entry: dict) -> str:
-        e2e = entry["end_to_end"]
-        queue = entry["queue_wait"]
-        util = entry.get("utilization_share")
-        fair = entry.get("fair_share")
-        return (
-            f"{name:<10} {entry['submitted']:>6} {entry['completed']:>6} "
-            f"{entry['shed']:>5} {entry['timed_out']:>4} {entry['errors']:>4} "
-            f"{entry['shed_rate'] * 100:>6.2f}% "
-            f"{e2e['p50']:>8.4f}s {e2e['p90']:>8.4f}s {e2e['p99']:>8.4f}s "
-            f"{queue['p50']:>9.4f}s "
-            f"{'-' if util is None else format(util, '.2f'):>6} "
-            f"{'-' if fair is None else format(fair, '.2f'):>6}"
-        )
+        return " ".join(render(name, entry) for __, __, render in SLO_REPORT_COLUMNS)
 
-    for name in sorted(snapshot.get("tenants", {})):
-        lines.append(row(name, snapshot["tenants"][name]))
-    lines.append(row("GLOBAL", snapshot["global"]))
+    if tenant is not None:
+        lines.append(row(tenant, tenants[tenant]))
+    else:
+        for name in sorted(tenants):
+            lines.append(row(name, tenants[name]))
+        lines.append(row("GLOBAL", snapshot["global"]))
     caches = snapshot.get("cache")
-    if caches:
+    if caches and tenant is None:
         lines.append("")
         for name in sorted(caches):
             entry = caches[name]

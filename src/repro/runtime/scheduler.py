@@ -116,6 +116,12 @@ class _ProducerBase:
         self.awaiting_resume = False
         #: True when the producer may compute its next pending event.
         self.needs_fetch = True
+        #: Observed runs only: the granted resume time the pending event's
+        #: local segment started from, and the producer's cumulative
+        #: (source virtual cost, network delay) at the yield.  Stale
+        #: when observation is off — never read then.
+        self._segment_start = 0.0
+        self._mark = (0.0, 0.0)
 
     def fetch(self) -> None:
         raise NotImplementedError
@@ -151,12 +157,20 @@ class LiveProducer(_ProducerBase):
         self._gen = runner(ctx)
 
     def fetch(self) -> None:
+        ctx = self.ctx
+        observed = ctx.obs is not None
+        if observed:
+            # The generator is suspended at its rendezvous; its clock sits
+            # exactly at the last granted resume (or the spawn start).
+            self._segment_start = ctx.now()
         try:
             solution = next(self._gen)
         except StopIteration:
-            self.pending = (self.ctx.now(), _CLOSE)
+            self.pending = (ctx.now(), _CLOSE)
         else:
-            self.pending = (self.ctx.now(), solution)
+            self.pending = (ctx.now(), solution)
+        if observed:
+            self._mark = _transfer_mark(ctx.stats)
 
     def resume_at(self, time: float) -> None:
         self.ctx.clock.advance_to(time)
@@ -180,6 +194,40 @@ def _materialize(
     return rows, ctx.now(), ctx.stats
 
 
+def _transfer_mark(stats: ExecutionStats) -> tuple[float, float]:
+    """Cumulative (source virtual cost, network delay) of one task's stats.
+
+    A producer task serves exactly one wrapper sub-query, so the dict has
+    a single entry; summing in insertion order keeps the (degenerate)
+    multi-entry case deterministic too.
+    """
+    cache = 0.0
+    network = 0.0
+    for source in stats.source_stats.values():
+        cache += source.virtual_cost
+        network += source.network_delay
+    return cache, network
+
+
+def _materialize_observed(
+    runner: Callable[[RunContext], Iterator[Solution]], ctx: TaskContext
+) -> tuple[list[tuple[float, Solution]], float, ExecutionStats, list[tuple[float, float]]]:
+    """Observed twin of :func:`_materialize`: also records, per yield, the
+    task's cumulative (source cost, network delay) — plus one final mark
+    for the close event — so :class:`PooledProducer` can replay the same
+    per-delivery charge marks a :class:`LiveProducer` reads incrementally.
+    The extra floats ride outside the row list; times, RNG draws and stats
+    are untouched, keeping thread mode bit-identical to event mode.
+    """
+    rows = []
+    marks = []
+    for solution in runner(ctx):
+        rows.append((ctx.now(), solution))
+        marks.append(_transfer_mark(ctx.stats))
+    marks.append(_transfer_mark(ctx.stats))
+    return rows, ctx.now(), ctx.stats, marks
+
+
 class PooledProducer(_ProducerBase):
     """Thread-pool producer: replays a worker's recorded stream as events.
 
@@ -198,20 +246,32 @@ class PooledProducer(_ProducerBase):
         self._rows: list[tuple[float, Solution]] | None = None
         self._end_local = 0.0
         self._stats: ExecutionStats | None = None
+        self._marks: list[tuple[float, float]] | None = None
 
     def _ensure(self) -> None:
         if self._rows is None:
-            self._rows, self._end_local, self._stats = self._future.result()
+            result = self._future.result()
+            if len(result) == 4:
+                self._rows, self._end_local, self._stats, self._marks = result
+            else:
+                self._rows, self._end_local, self._stats = result
 
     def fetch(self) -> None:
         self._ensure()
+        marks = self._marks
+        if marks is not None:
+            self._segment_start = self._resume
         if self._cursor < len(self._rows):
             t_local, solution = self._rows[self._cursor]
+            if marks is not None:
+                self._mark = marks[self._cursor]
             self._cursor += 1
             payload: object = solution
         else:
             t_local = self._end_local
             payload = _CLOSE
+            if marks is not None:
+                self._mark = marks[-1]
         ready = self._resume + (t_local - self._last_local)
         self._last_local = t_local
         self._resume = ready
@@ -266,6 +326,7 @@ class EventScheduler:
         self._leaf_ids = itertools.count()
         self._outbox: deque[tuple[float, Solution]] = deque()
         self._stopped = False
+        self._runner_up: float | None = None
         self._pool = ThreadPoolExecutor(max_workers=pool_workers) if pool_workers else None
         self._sink = SinkNode(self)
         self._root_node = compile_plan(self, root, self._sink, 0, Gate())
@@ -292,14 +353,23 @@ class EventScheduler:
     ) -> None:
         pid = self._next_pid
         self._next_pid += 1
+        obs = self.context.obs
         if self._pool is None:
             ctx = TaskContext(self.context, self.entropy, key, start=start)
             producer: _ProducerBase = LiveProducer(pid, node, slot, runner, ctx)
         else:
             ctx = TaskContext(self.context, self.entropy, key, start=0.0)
+            worker = _materialize if obs is None else _materialize_observed
             producer = PooledProducer(
-                pid, node, slot, start, self._pool.submit(_materialize, runner, ctx)
+                pid, node, slot, start, self._pool.submit(worker, runner, ctx)
             )
+        if obs is not None:
+            # The spawning node is a SourceNode (its `service` operator) or
+            # a DependentJoinNode launching an inner block (`inner`).
+            op = getattr(node, "service", None)
+            if op is None:
+                op = node.inner
+            obs.causal.record_spawn(pid, key, op.source_id, op.label(), start, id(op))
         # A producer spawned inside a paused scope (e.g. an inner block of
         # a nested, currently-paused dependent join) inherits the scope's
         # current pause depth.
@@ -318,6 +388,8 @@ class EventScheduler:
     # -- the event loop ------------------------------------------------------
 
     def run(self) -> Iterator[tuple[float, Solution]]:
+        obs = self.context.obs
+        recorder = obs.causal if obs is not None else None
         try:
             self._root_node.start(self.context.now())
             clock = self.context.clock
@@ -327,6 +399,18 @@ class EventScheduler:
                     raise RuntimeError("event scheduler stalled: no deliverable event")
                 time, payload = producer.pending
                 producer.pending = None
+                if recorder is not None:
+                    mark = producer._mark
+                    recorder.record_delivery(
+                        producer.pid,
+                        "close" if payload is _CLOSE else "answer",
+                        time,
+                        self.context.now(),
+                        producer._segment_start,
+                        mark[0],
+                        mark[1],
+                        self._runner_up,
+                    )
                 clock.advance_to(time)
                 if payload is _CLOSE:
                     producer.done = True
@@ -353,6 +437,8 @@ class EventScheduler:
     def _next_deliverable(self) -> _ProducerBase | None:
         best: _ProducerBase | None = None
         best_key: tuple[float, int] | None = None
+        runner_up: tuple[float, int] | None = None
+        track = self.context.obs is not None
         for producer in self._producers:
             if producer.done or producer.pause_depth:
                 continue
@@ -363,7 +449,16 @@ class EventScheduler:
                 continue
             key = (producer.pending[0], producer.pid)
             if best_key is None or key < best_key:
+                if track:
+                    runner_up = best_key
                 best, best_key = producer, key
+            elif track and (runner_up is None or key < runner_up):
+                runner_up = key
+        if track:
+            # Second-best pending time: the critical-path slack analysis
+            # reads how much earlier the winner could have been without
+            # changing which event was delivered next.
+            self._runner_up = runner_up[0] if runner_up is not None else None
         return best
 
     def _shutdown(self) -> None:

@@ -476,8 +476,9 @@ def run_load(
     mismatches: list[str] = []
     wall_start = time.perf_counter()
 
-    def execute(planned: _PlannedRequest) -> tuple[float, int]:
-        """Run the request on the pool; returns (virtual duration, answers)."""
+    def execute(planned: _PlannedRequest) -> tuple[float, int, dict]:
+        """Run the request on the pool; returns (virtual duration, answers,
+        blame components)."""
         nonlocal executions
         engine = pool.engine_for(executions)
         executions += 1
@@ -504,7 +505,7 @@ def run_load(
                     f"{planned.query_name} seed={planned.run_seed}: virtual "
                     f"time {stats.execution_time!r} != reference {expected[1]!r}"
                 )
-        return stats.execution_time, len(serialized)
+        return stats.execution_time, len(serialized), stats.blame_components()
 
     def log_result(
         ticket: Ticket, planned: _PlannedRequest, answers: int | None
@@ -538,7 +539,8 @@ def run_load(
                 now + workload.think(), _ARRIVE, (planned.client, planned.round + 1)
             )
 
-    finish_info: dict[str, tuple[float, int]] = {}  # request_id -> (duration, answers)
+    # request_id -> (duration, answers, blame components)
+    finish_info: dict[str, tuple[float, int, dict]] = {}
 
     def pump(now: float) -> None:
         # Queued tickets past their deadline become timeouts *before*
@@ -550,8 +552,8 @@ def run_load(
             next_round(planned, ticket.finished_at or now)
         for ticket in controller.start_ready(now):
             __, planned = tickets[ticket.request_id]
-            duration, answer_count = execute(planned)
-            finish_info[ticket.request_id] = (duration, answer_count)
+            duration, answer_count, components = execute(planned)
+            finish_info[ticket.request_id] = (duration, answer_count, components)
             schedule(now + duration, _FINISH, ticket.request_id)
 
     clock = 0.0
@@ -582,10 +584,36 @@ def run_load(
             request_id = payload
             ticket, planned = tickets[request_id]
             controller.complete(ticket, now)
-            __, answer_count = finish_info.pop(request_id)
+            __, answer_count, components = finish_info.pop(request_id)
             log_result(
                 ticket, planned, answer_count if ticket.state == DONE else None
             )
+            if accountant is not None and journal is not None and ticket.state == DONE:
+                # Emitted right after the observer's "done" event, at the
+                # same virtual finish time — journal order stays ticket
+                # order, so the fingerprint is deterministic per seed.
+                per_source = {
+                    source: parts["network_delay"]
+                    for source, parts in components["sources"].items()
+                }
+                accountant.note_execution_profile(
+                    ticket.tenant,
+                    components["engine_work"],
+                    components["network_delay"],
+                    components["cache_miss_penalty"],
+                    per_source,
+                )
+                journal.append(
+                    "exec-profile",
+                    now,
+                    request_id=request_id,
+                    tenant=ticket.tenant,
+                    engine=components["engine_work"],
+                    network=components["network_delay"],
+                    cache=components["cache_miss_penalty"],
+                    total=components["total"],
+                    sources=per_source,
+                )
             next_round(planned, now)
             pump(now)
 

@@ -61,8 +61,10 @@ from .pool import EnginePool
 
 #: Version stamp of the ``/stats`` JSON shape.  v1 (PR 7) was unversioned;
 #: v2 adds ``stats_version``, result-cache eviction counts, and the
-#: per-tenant SLO snapshot.
-STATS_VERSION = 2
+#: per-tenant SLO snapshot; v3 adds the per-blame-class and per-source
+#: network-delay histograms inside the SLO snapshot (slo_version 2) and
+#: the per-request ``critical_path`` attribution on observed executions.
+STATS_VERSION = 3
 
 #: Largest accepted request body.
 MAX_BODY_BYTES = 1 << 20
@@ -280,6 +282,8 @@ class QueryService:
             body["answers"] = len(record.answers or [])
             if ticket.finished_at is not None:
                 body["latency"] = ticket.finished_at - ticket.submitted_at
+            if record.stats and "critical_path" in record.stats:
+                body["critical_path"] = record.stats["critical_path"]
         return 200, body
 
     def result(self, request_id: str) -> tuple[int, dict]:
@@ -485,6 +489,42 @@ class QueryService:
                 "messages": stats.messages,
                 "cache": stats.cache_summary(),
             }
+            # Fresh executions (never cache replays) feed the service-wide
+            # blame histograms and leave an audit event in the journal.
+            components = stats.blame_components()
+            ticket = record.ticket
+            self.slo.note_execution_profile(
+                ticket.tenant,
+                components["engine_work"],
+                components["network_delay"],
+                components["cache_miss_penalty"],
+                {
+                    source: parts["network_delay"]
+                    for source, parts in components["sources"].items()
+                },
+            )
+            self.journal.append(
+                "exec-profile",
+                self._now(),
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                engine=components["engine_work"],
+                network=components["network_delay"],
+                cache=components["cache_miss_penalty"],
+                total=components["total"],
+                sources={
+                    source: parts["network_delay"]
+                    for source, parts in components["sources"].items()
+                },
+            )
+            if observation is not None:
+                from ..obs.critpath import attribute_run
+
+                queue_wait = 0.0
+                if ticket.started_at is not None:
+                    queue_wait = max(0.0, ticket.started_at - ticket.submitted_at)
+                report = attribute_run(observation, stats, queue_wait=queue_wait)
+                stats_doc["critical_path"] = report.summary()
             if use_cache:
                 evicted = 0
                 with self._result_cache_lock:

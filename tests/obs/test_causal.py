@@ -1,0 +1,93 @@
+"""Causal span graphs: structure, determinism, and zero cost when off."""
+
+from repro import FederatedEngine, NetworkSetting
+from repro.obs import CAUSAL_SCHEMA, build_causal_graph
+from repro.obs.schema import validate_json_schema
+from repro.runtime import RUNTIMES
+
+from ..conftest import TINY_QUERY
+
+
+def observe(lake, runtime, seed=5, network=NetworkSetting.gamma2):
+    engine = FederatedEngine(lake, network=network())
+    answers, stats, observation = engine.observe(TINY_QUERY, seed=seed, runtime=runtime)
+    return answers, stats, observation
+
+
+class TestGraphShape:
+    def test_graph_validates_against_schema(self, tiny_lake):
+        for runtime in RUNTIMES:
+            __, __, observation = observe(tiny_lake, runtime)
+            document = build_causal_graph(observation).to_dict()
+            assert validate_json_schema(document, CAUSAL_SCHEMA) == []
+
+    def test_operator_tree_is_the_pull_edge_skeleton(self, tiny_lake):
+        __, __, observation = observe(tiny_lake, "sequential")
+        graph = build_causal_graph(observation)
+        operators = [n for n in graph.nodes if n["kind"] == "operator"]
+        pulls = [e for e in graph.edges if e["kind"] == "pull"]
+        # A tree: every operator except the root has exactly one pull edge in.
+        assert len(pulls) == len(operators) - 1
+        roots = {n["id"] for n in operators} - {e["dst"] for e in pulls}
+        assert len(roots) == 1
+        assert next(n for n in operators if n["id"] in roots)["depth"] == 0
+
+    def test_sequential_runs_have_no_tasks_or_rendezvous(self, tiny_lake):
+        __, __, observation = observe(tiny_lake, "sequential")
+        graph = build_causal_graph(observation)
+        assert not [n for n in graph.nodes if n["kind"] == "task"]
+        kinds = {e["kind"] for e in graph.edges}
+        assert kinds == {"pull"}
+
+    def test_scheduled_runs_record_spawns_and_rendezvous(self, tiny_lake):
+        for runtime in ("event", "thread"):
+            __, __, observation = observe(tiny_lake, runtime)
+            graph = build_causal_graph(observation)
+            tasks = [n for n in graph.nodes if n["kind"] == "task"]
+            assert tasks, runtime
+            spawn_like = [e for e in graph.edges if e["kind"] in ("spawn", "gate")]
+            # Every producer task hangs off the operator that started it.
+            assert {e["dst"] for e in spawn_like} == {n["id"] for n in tasks}
+            rendezvous = [e for e in graph.edges if e["kind"] == "rendezvous"]
+            assert rendezvous
+            assert all(e["dst"] == "engine" for e in rendezvous)
+            assert all(e["wait"] >= 0.0 for e in rendezvous)
+
+    def test_queue_admission_edge_attached_on_request(self, tiny_lake):
+        __, __, observation = observe(tiny_lake, "event")
+        graph = build_causal_graph(observation, queue_wait=0.25)
+        admission = [e for e in graph.edges if e["kind"] == "queue-admission"]
+        assert len(admission) == 1
+        assert admission[0]["wait"] == 0.25
+        assert "admission" in {n["id"] for n in graph.nodes}
+        bare = build_causal_graph(observation)
+        assert not [e for e in bare.edges if e["kind"] == "queue-admission"]
+
+
+class TestDeterminismContract:
+    def test_structural_fingerprint_identical_across_runtimes(self, tiny_lake):
+        fingerprints = set()
+        for runtime in RUNTIMES:
+            __, __, observation = observe(tiny_lake, runtime)
+            fingerprints.add(build_causal_graph(observation).structural_fingerprint())
+        assert len(fingerprints) == 1
+
+    def test_graph_reproduces_bit_for_bit_per_seed(self, tiny_lake):
+        for runtime in RUNTIMES:
+            first = build_causal_graph(observe(tiny_lake, runtime)[2]).to_dict()
+            second = build_causal_graph(observe(tiny_lake, runtime)[2]).to_dict()
+            assert first == second, runtime
+
+    def test_plain_runs_never_touch_the_recorder(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+        stream = engine.execute(TINY_QUERY, seed=5, runtime="event")
+        stream.collect()
+        assert stream.observation is None
+
+    def test_recorder_populated_only_under_schedulers(self, tiny_lake):
+        __, __, sequential = observe(tiny_lake, "sequential")
+        assert not sequential.causal.spawns
+        assert not sequential.causal.deliveries
+        __, __, event = observe(tiny_lake, "event")
+        assert event.causal.spawns
+        assert event.causal.deliveries

@@ -1,0 +1,198 @@
+"""Critical-path attribution: exactness, determinism, zero perturbation.
+
+The acceptance bar from the issue: per-blame-class attribution sums to
+the end-to-end virtual time *exactly* (Fraction-checked, not approx) for
+every benchmark query under every network, the attribution is
+deterministic for a fixed seed, and running it does not change the
+answers or the virtual timeline.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import FederatedEngine, NetworkSetting
+from repro.datasets import BENCHMARK_QUERIES
+from repro.obs import (
+    BLAME_CLASSES,
+    CRITPATH_SCHEMA,
+    aggregate_reports,
+    chrome_overlay,
+    render_aggregate,
+    render_critpath,
+)
+from repro.obs.schema import validate_json_schema
+from repro.runtime import RUNTIMES
+
+from ..conftest import TINY_QUERY
+
+NETWORKS = (
+    NetworkSetting.no_delay,
+    NetworkSetting.gamma1,
+    NetworkSetting.gamma2,
+    NetworkSetting.gamma3,
+)
+
+
+def exact_sum(report):
+    return sum(
+        (Fraction(*map(int, report.exact_classes[name].split("/"))) for name in BLAME_CLASSES),
+        Fraction(0),
+    )
+
+
+class TestExactness:
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    @pytest.mark.parametrize("network", NETWORKS, ids=lambda n: n.__name__)
+    def test_blame_sums_to_total_exactly(self, tiny_lake, runtime, network):
+        engine = FederatedEngine(tiny_lake, network=network())
+        __, stats, report = engine.critpath(TINY_QUERY, seed=11, runtime=runtime)
+        assert report.exact
+        assert exact_sum(report) == Fraction(stats.execution_time)
+
+    @pytest.mark.parametrize("query_name", ["Q1", "Q2", "Q3", "Q4", "Q5"])
+    @pytest.mark.parametrize("network", NETWORKS, ids=lambda n: n.__name__)
+    def test_benchmark_grid_is_exact_under_every_runtime(
+        self, small_lslod_lake, query_name, network
+    ):
+        text = BENCHMARK_QUERIES[query_name].text
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(small_lslod_lake, network=network())
+            __, stats, report = engine.critpath(text, seed=3, runtime=runtime)
+            assert report.exact, (query_name, network.__name__, runtime)
+            assert exact_sum(report) == Fraction(stats.execution_time)
+
+    def test_segments_tile_the_timeline_without_gaps(self, tiny_lake):
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+            __, stats, report = engine.critpath(TINY_QUERY, seed=11, runtime=runtime)
+            cursor = 0.0
+            for segment in report.segments:
+                assert segment["start"] == pytest.approx(cursor, abs=1e-15)
+                assert segment["end"] >= segment["start"]
+                assert segment["class"] in BLAME_CLASSES
+                cursor = segment["end"]
+            assert cursor == pytest.approx(stats.execution_time, rel=1e-12)
+
+    def test_planner_and_queue_classes_are_zero_at_engine_level(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+        __, __, report = engine.critpath(TINY_QUERY, seed=2, runtime="event")
+        assert report.classes["planner_time"] == 0.0
+        assert report.classes["queue_wait"] == 0.0
+
+    def test_nodelay_runs_blame_no_network_beyond_overhead(self, tiny_lake):
+        # Under no_delay the only network charges are the constant
+        # per-message overheads — far below the source evaluation cost.
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.no_delay())
+        __, __, report = engine.critpath(TINY_QUERY, seed=2, runtime="sequential")
+        assert report.classes["network_delay"] < report.total
+
+
+class TestDeterminism:
+    def test_ten_seeded_runs_bit_identical_per_runtime(self, tiny_lake):
+        for runtime in RUNTIMES:
+            reference = None
+            for __ in range(10):
+                engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+                __a, __s, report = engine.critpath(TINY_QUERY, seed=17, runtime=runtime)
+                document = report.to_dict(include_segments=True)
+                if reference is None:
+                    reference = document
+                else:
+                    assert document == reference, runtime
+
+    def test_structural_fingerprint_agrees_across_runtimes(self, tiny_lake):
+        fingerprints = set()
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+            __, __, report = engine.critpath(TINY_QUERY, seed=5, runtime=runtime)
+            fingerprints.add(report.structural_fingerprint)
+        assert len(fingerprints) == 1
+
+    def test_attribution_does_not_perturb_the_run(self, tiny_lake):
+        """engine.critpath is observe+attribute: answers and the virtual
+        timeline must be bit-identical to a plain run of the same seed."""
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+            plain, plain_stats = engine.run(TINY_QUERY, seed=9, runtime=runtime)
+            attributed, stats, __ = engine.critpath(TINY_QUERY, seed=9, runtime=runtime)
+            assert attributed == plain
+            assert stats.execution_time == plain_stats.execution_time
+            assert stats.trace == plain_stats.trace
+
+
+class TestReportSurface:
+    def test_report_dict_validates_against_schema(self, tiny_lake):
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+            __, __, report = engine.critpath(TINY_QUERY, seed=4, runtime=runtime)
+            document = report.to_dict(include_segments=True)
+            assert validate_json_schema(document, CRITPATH_SCHEMA) == []
+            assert "segments" not in report.to_dict()
+
+    def test_summary_is_the_status_embed_shape(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+        __, __, report = engine.critpath(TINY_QUERY, seed=4, runtime="event")
+        summary = report.summary()
+        assert set(summary) == {
+            "total",
+            "exact",
+            "classes",
+            "dominant_class",
+            "queue_wait",
+        }
+        assert summary["dominant_class"] == report.dominant_class()
+
+    def test_gamma3_is_network_dominated(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+        __, __, report = engine.critpath(TINY_QUERY, seed=4, runtime="event")
+        assert report.dominant_class() == "network_delay"
+        assert report.share("network_delay") > 0.5
+
+    def test_render_mentions_every_class_and_exactness(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+        __, __, report = engine.critpath(TINY_QUERY, seed=4, runtime="thread")
+        text = render_critpath(report, label="tiny")
+        assert "tiny" in text
+        assert "attribution=exact" in text
+        for name in BLAME_CLASSES:
+            assert name in text
+
+    def test_aggregate_sums_cells(self, tiny_lake):
+        reports = []
+        for runtime in RUNTIMES:
+            engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma1())
+            __, __, report = engine.critpath(TINY_QUERY, seed=4, runtime=runtime)
+            reports.append(report)
+        aggregate = aggregate_reports(reports)
+        assert aggregate["cells"] == len(reports)
+        assert aggregate["all_exact"]
+        assert aggregate["total"] == pytest.approx(
+            sum(r.total for r in reports), rel=1e-12
+        )
+        assert sum(aggregate["shares"].values()) == pytest.approx(1.0, rel=1e-9)
+        assert "grid attribution" in render_aggregate(aggregate)
+
+    def test_chrome_overlay_adds_a_gap_free_blame_track(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma2())
+        stream = engine.execute(TINY_QUERY, seed=4, runtime="event", observe=True)
+        stream.collect()
+        from repro.obs.critpath import attribute_run
+
+        report = attribute_run(stream.observation, stream.stats)
+        document = chrome_overlay(stream.observation, report)
+        band = [
+            event
+            for event in document["traceEvents"]
+            if event.get("cat") == "critpath" and event.get("ph") == "X"
+        ]
+        assert len(band) == len(report.segments)
+        covered = sum(event["dur"] for event in band)
+        assert covered == pytest.approx(report.total * 1e6, rel=1e-9)
+
+    def test_slack_never_negative_for_scheduled_runs(self, tiny_lake):
+        engine = FederatedEngine(tiny_lake, network=NetworkSetting.gamma3())
+        __, __, report = engine.critpath(TINY_QUERY, seed=6, runtime="event")
+        for lead in report.slack.values():
+            if lead is not None:
+                assert lead >= 0.0

@@ -1,0 +1,233 @@
+"""The regression-attribution doctor: clean baselines, injected faults."""
+
+import pytest
+
+from repro.datasets import BENCHMARK_QUERIES
+from repro.benchmark.critpath import build_critpath_baseline
+from repro.obs import DOCTOR_SCHEMA, DoctorReport, Finding, diagnose
+from repro.obs.doctor import (
+    check_cache,
+    check_heuristics,
+    check_q_error,
+    check_slo_burn,
+)
+from repro.obs.schema import validate_json_schema
+
+
+@pytest.fixture(scope="module")
+def small_baseline(small_lslod_lake):
+    """A one-query attribution baseline over the module-scoped lake."""
+    return build_critpath_baseline(
+        small_lslod_lake,
+        {"Q1": BENCHMARK_QUERIES["Q1"].text},
+        scale=0.1,
+        data_seed=42,
+        run_seed=7,
+        networks=("gamma3",),
+        runtimes=("sequential", "event"),
+    )
+
+
+class TestCritpathCheck:
+    def test_clean_on_its_own_baseline(self, small_lslod_lake, small_baseline):
+        report = diagnose(lake=small_lslod_lake, critpath_baseline=small_baseline)
+        assert report.checks == ["critpath"]
+        assert report.findings == []
+        assert report.exit_code("critical") == 0
+        assert report.exit_code("info") == 0
+
+    def test_injected_delay_doubling_is_attributed_to_network(
+        self, small_lslod_lake, small_baseline
+    ):
+        """The acceptance scenario: double every gamma3 delay sample and
+        the doctor must blame network_delay on the affected source."""
+        report = diagnose(
+            lake=small_lslod_lake,
+            critpath_baseline=small_baseline,
+            delay_scale=2.0,
+        )
+        assert report.findings, "doubled delays must surface findings"
+        for finding in report.findings:
+            assert finding.check == "critpath"
+            assert finding.code == "network-delay-regression"
+            assert finding.severity == "critical"
+            evidence = finding.evidence
+            assert evidence["dominant_class"] == "network_delay"
+            assert evidence["affected_source"] is not None
+            # The blamed source is the one whose delay delta is largest.
+            deltas = evidence["source_network_delay_deltas"]
+            assert evidence["affected_source"] == max(deltas, key=deltas.get)
+            assert evidence["relative_drift"] > 0.10
+            assert evidence["affected_source"] in finding.title
+        assert report.exit_code("critical") == 1
+
+    def test_tampered_baseline_is_critical_attribution_drift(
+        self, small_lslod_lake, small_baseline
+    ):
+        import copy
+
+        tampered = copy.deepcopy(small_baseline)
+        key = next(iter(tampered["cells"]))
+        tampered["cells"][key]["exact_classes"]["engine_work"] = "1/3"
+        report = diagnose(lake=small_lslod_lake, critpath_baseline=tampered)
+        codes = {finding.code for finding in report.findings}
+        assert codes == {"attribution-drift"}
+        assert all(f.severity == "critical" for f in report.findings)
+
+    def test_axis_filters_narrow_the_grid(self, small_lslod_lake, small_baseline):
+        report = diagnose(
+            lake=small_lslod_lake,
+            critpath_baseline=small_baseline,
+            delay_scale=2.0,
+            runtimes=["event"],
+        )
+        cells = {finding.evidence["cell"] for finding in report.findings}
+        assert cells == {"Q1|aware|gamma3|event"}
+
+
+class TestSnapshotChecks:
+    def queue_dominated_slo(self):
+        return {
+            "tenants": {
+                "acme": {
+                    "queue_wait": {"count": 5, "p50": 0.4, "p90": 0.9},
+                    "execution": {"count": 5, "p50": 0.1, "p90": 0.2},
+                    "starts": 5,
+                }
+            }
+        }
+
+    def test_slo_burn_flags_queue_dominated_tenants(self):
+        report = DoctorReport()
+        check_slo_burn(report, self.queue_dominated_slo())
+        assert [f.code for f in report.findings] == ["queue-dominated"]
+        assert report.findings[0].severity == "warning"
+        assert report.findings[0].evidence["tenant"] == "acme"
+
+    def test_slo_burn_quiet_when_execution_bound(self):
+        report = DoctorReport()
+        slo = self.queue_dominated_slo()
+        slo["tenants"]["acme"]["queue_wait"]["p90"] = 0.01
+        check_slo_burn(report, slo)
+        assert report.findings == []
+
+    def test_cache_drop_severities(self):
+        baseline = {"slo": {"cache": {"plans": {"hit_rate": 0.9}}}}
+        for rate, expected in ((0.88, None), (0.8, "warning"), (0.5, "critical")):
+            report = DoctorReport()
+            slo = {"cache": {"plans": {"hit_rate": rate, "hits": 1, "misses": 1}}}
+            check_cache(report, slo, baseline)
+            if expected is None:
+                assert report.findings == []
+            else:
+                assert [f.severity for f in report.findings] == [expected]
+                assert report.findings[0].code == "hit-ratio-drop"
+
+    def test_q_error_elevated_on_engine_dominated_path(self):
+        plan_quality = {
+            "cells": {
+                "Q9|aware|nodelay|event": {"q_error_max": 8.0, "q_error_mean": 2.0}
+            }
+        }
+        critpath = {
+            "cells": {
+                "Q9|aware|nodelay|event": {
+                    "total": 1.0,
+                    "classes": {"engine_work": 0.7},
+                }
+            }
+        }
+        report = DoctorReport()
+        check_q_error(report, plan_quality, critpath)
+        assert [f.severity for f in report.findings] == ["warning"]
+        # Without the critpath overlay the same hotspot is informational.
+        report = DoctorReport()
+        check_q_error(report, plan_quality, None)
+        assert [f.severity for f in report.findings] == ["info"]
+
+    def test_heuristic_misfire_needs_both_policies(self):
+        plan_quality = {
+            "cells": {
+                "Q1|aware|gamma1|event": {"execution_time": 2.2},
+                "Q1|unaware|gamma1|event": {"execution_time": 1.0},
+                "Q2|aware|gamma1|event": {"execution_time": 0.9},
+                "Q2|unaware|gamma1|event": {"execution_time": 1.0},
+            }
+        }
+        report = DoctorReport()
+        check_heuristics(report, plan_quality)
+        assert [f.code for f in report.findings] == ["aware-slower-than-unaware"]
+        assert report.findings[0].evidence["cell"] == "Q1|aware|gamma1|event"
+
+
+class TestReportSurface:
+    def test_report_dict_validates_and_ranks(self):
+        report = DoctorReport(
+            findings=[
+                Finding("info", "q-error", "estimation-hotspot", "c"),
+                Finding("critical", "critpath", "attribution-drift", "a"),
+                Finding("warning", "cache", "hit-ratio-drop", "b"),
+            ],
+            checks=["critpath", "cache", "q-error"],
+        )
+        document = report.to_dict()
+        assert validate_json_schema(document, DOCTOR_SCHEMA) == []
+        assert [f["severity"] for f in document["findings"]] == [
+            "critical",
+            "warning",
+            "info",
+        ]
+        assert document["counts"] == {"critical": 1, "warning": 1, "info": 1}
+
+    def test_exit_code_thresholds(self):
+        report = DoctorReport(
+            findings=[Finding("warning", "cache", "hit-ratio-drop", "t")]
+        )
+        assert report.exit_code("critical") == 0
+        assert report.exit_code("warning") == 1
+        assert report.exit_code("info") == 1
+        assert DoctorReport().exit_code("info") == 0
+
+    def test_render_lists_evidence(self):
+        report = DoctorReport(
+            findings=[
+                Finding(
+                    "critical",
+                    "critpath",
+                    "network-delay-regression",
+                    "Q1: slower",
+                    {"affected_source": "drugbank"},
+                )
+            ],
+            checks=["critpath"],
+        )
+        text = report.render()
+        assert "[CRITICAL" in text
+        assert "critpath/network-delay-regression" in text
+        assert "affected_source = 'drugbank'" in text
+        assert "all clear" in DoctorReport(checks=["critpath"]).render()
+
+    def test_diagnose_uses_journal_replay_for_slo(self):
+        events = [
+            {"v": 1, "kind": "submit", "ts": 0.0, "tenant": "acme", "request_id": "r1"},
+            {
+                "v": 1,
+                "kind": "start",
+                "ts": 2.0,
+                "tenant": "acme",
+                "request_id": "r1",
+                "queue_wait": 2.0,
+            },
+            {
+                "v": 1,
+                "kind": "done",
+                "ts": 2.1,
+                "tenant": "acme",
+                "request_id": "r1",
+                "execution": 0.1,
+                "end_to_end": 2.1,
+            },
+        ]
+        report = diagnose(journal_events=events)
+        assert "slo-burn" in report.checks
+        assert [f.code for f in report.findings] == ["queue-dominated"]

@@ -1,0 +1,132 @@
+"""Journal sealing and on-disk integrity verification."""
+
+import json
+
+from repro.obs import EventJournal, SEAL_KIND, verify_journal_file
+from repro.obs.journal import canonical_line
+
+
+def sample_journal():
+    journal = EventJournal()
+    journal.append("submit", 0.0, request_id="r1", tenant="acme", seq=1, deadline=30.0)
+    journal.append("start", 0.5, request_id="r1", tenant="acme", queue_wait=0.5)
+    journal.append(
+        "exec-profile",
+        1.2,
+        request_id="r1",
+        tenant="acme",
+        engine=0.1,
+        network=0.5,
+        cache=0.1,
+        total=0.7,
+        sources={"drugbank": 0.5},
+    )
+    journal.append("done", 1.2, request_id="r1", tenant="acme", execution=0.7)
+    return journal
+
+
+class TestSeal:
+    def test_seal_line_declares_fingerprint_and_count(self):
+        journal = sample_journal()
+        seal = json.loads(journal.seal_line())
+        assert seal["kind"] == SEAL_KIND
+        assert seal["fingerprint"] == journal.fingerprint()
+        assert seal["events"] == len(journal)
+
+    def test_read_jsonl_keeps_the_seal_out_of_the_events(self, tmp_path):
+        journal = sample_journal()
+        path = str(tmp_path / "sealed.jsonl")
+        journal.write_jsonl(path, seal=True)
+        loaded = EventJournal.read_jsonl(path)
+        assert loaded.events == journal.events
+        assert loaded.seal is not None
+        assert loaded.seal["fingerprint"] == journal.fingerprint()
+        # Replay fingerprint excludes the seal, so round-trips are stable.
+        assert loaded.fingerprint() == journal.fingerprint()
+
+
+class TestVerify:
+    def write(self, tmp_path, seal=True):
+        path = str(tmp_path / "journal.jsonl")
+        sample_journal().write_jsonl(path, seal=seal)
+        return path
+
+    def test_sealed_file_verifies(self, tmp_path):
+        path = self.write(tmp_path)
+        ok, problems, info = verify_journal_file(path)
+        assert ok, problems
+        assert problems == []
+        assert info["events"] == 4
+        assert info["counts_by_kind"]["exec-profile"] == 1
+        assert info["seal"]["fingerprint"] == info["fingerprint"]
+
+    def test_whitespace_reformat_is_forgiven(self, tmp_path):
+        # The fingerprint is over canonical re-encodings: pretty-printing
+        # an event does not change its parsed value, so it still verifies.
+        path = self.write(tmp_path)
+        lines = open(path).read().splitlines()
+        reordered_keys = json.dumps(json.loads(lines[0]), indent=None, sort_keys=False)
+        lines[0] = reordered_keys
+        open(path, "w").write("\n".join(lines) + "\n")
+        ok, problems, __ = verify_journal_file(path)
+        assert ok, problems
+
+    def test_tampered_value_fails(self, tmp_path):
+        path = self.write(tmp_path)
+        lines = open(path).read().splitlines()
+        event = json.loads(lines[2])
+        event["network"] = 99.0
+        lines[2] = canonical_line(event)
+        open(path, "w").write("\n".join(lines) + "\n")
+        ok, problems, __ = verify_journal_file(path)
+        assert not ok
+        assert any("fingerprint mismatch" in p for p in problems)
+
+    def test_truncated_file_fails_with_count_mismatch(self, tmp_path):
+        path = self.write(tmp_path)
+        lines = open(path).read().splitlines()
+        del lines[1]  # drop an event, keep the seal
+        open(path, "w").write("\n".join(lines) + "\n")
+        ok, problems, info = verify_journal_file(path)
+        assert not ok
+        assert any("event count mismatch" in p for p in problems)
+        assert info["events"] == 3
+
+    def test_content_after_the_seal_fails(self, tmp_path):
+        path = self.write(tmp_path)
+        with open(path, "a") as handle:
+            handle.write(
+                canonical_line({"v": 1, "kind": "done", "ts": 9.0}) + "\n"
+            )
+        ok, problems, __ = verify_journal_file(path)
+        assert not ok
+        assert any("content after the seal" in p for p in problems)
+
+    def test_unsealed_fails_unless_allowed(self, tmp_path):
+        path = self.write(tmp_path, seal=False)
+        ok, problems, __ = verify_journal_file(path)
+        assert not ok
+        assert any("unsealed" in p for p in problems)
+        ok, problems, info = verify_journal_file(path, allow_unsealed=True)
+        assert ok, problems
+        assert info["seal"] is None
+
+    def test_non_json_and_schema_problems_are_reported_per_line(self, tmp_path):
+        path = str(tmp_path / "broken.jsonl")
+        with open(path, "w") as handle:
+            handle.write("not json at all\n")
+            handle.write('["a","list"]\n')
+            handle.write('{"kind":"done"}\n')  # no v, no ts
+        ok, problems, __ = verify_journal_file(path, allow_unsealed=True)
+        assert not ok
+        assert any("not valid JSON" in p for p in problems)
+        assert any("not a JSON object" in p for p in problems)
+        assert any("non-integer 'v'" in p for p in problems)
+        assert any("non-numeric 'ts'" in p for p in problems)
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = self.write(tmp_path)
+        content = open(path).read().replace("\n", "\n\n", 1)
+        open(path, "w").write(content)
+        ok, problems, __ = verify_journal_file(path)
+        assert ok, problems

@@ -1,0 +1,150 @@
+"""Exposition-format edge cases the round-trip tests don't reach."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    LogBucketHistogram,
+    SLOAccountant,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.promexport import _escape_label, _unescape_label_value
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'line one\nline two',
+            'backslash \\ alone',
+            'a\\nb',  # literal backslash then n — NOT a newline
+            'quote " inside',
+            '\\\\n',  # two backslashes then n
+            'trailing backslash \\',
+            '\\n',  # literal backslash-n, escapes to \\n
+            'mixed \\ and \n and "',
+        ],
+    )
+    def test_escape_unescape_round_trip(self, value):
+        assert _unescape_label_value(_escape_label(value)) == value
+
+    def test_escaped_values_survive_a_full_parse(self):
+        value = 'path\\to\nthing "quoted" a\\nb'
+        line = f'metric{{label="{_escape_label(value)}"}} 1\n'
+        families = parse_exposition(line)
+        __, labels, __v = families["metric"]["samples"][0]
+        assert labels["label"] == value
+
+    def test_literal_backslash_n_is_not_a_newline(self):
+        # The regression the scanner fixes: a\\nb is backslash-escape of
+        # backslash followed by a literal n, not an escaped newline.
+        assert _unescape_label_value("a\\\\nb") == "a\\nb"
+        assert _unescape_label_value("a\\nb") == "a\nb"
+
+    def test_unknown_escape_is_kept_verbatim(self):
+        assert _unescape_label_value("a\\tb") == "a\\tb"
+
+    def test_malformed_label_segment_raises(self):
+        with pytest.raises(ExpositionError, match="malformed label"):
+            parse_exposition('metric{label=unquoted} 1\n')
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(ExpositionError, match="duplicate label"):
+            parse_exposition('metric{a="1",a="2"} 1\n')
+
+
+class TestHistogramEdges:
+    def test_exemplar_free_inf_bucket_parses(self):
+        text = (
+            "# HELP h x\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 2.5\n"
+            "h_count 3\n"
+        )
+        families = parse_exposition(text)
+        bounds = {
+            labels["le"]: value
+            for name, labels, value in families["h"]["samples"]
+            if name == "h_bucket"
+        }
+        assert bounds["+Inf"] == 3
+
+    def test_inf_bucket_count_disagreement_raises(self):
+        text = (
+            "# HELP h x\n"
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 4\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf bucket != _count"):
+            parse_exposition(text)
+
+    def test_missing_inf_bucket_raises(self):
+        text = "# HELP h x\n# TYPE h histogram\n" 'h_bucket{le="1"} 2\n'
+        with pytest.raises(ExpositionError, match=r"missing \+Inf"):
+            parse_exposition(text)
+
+    def test_empty_histogram_renders_inf_bucket_without_samples(self):
+        # A never-observed histogram still exposes the +Inf bucket so the
+        # family is scrapeable (and the parser's invariants hold).
+        histogram = LogBucketHistogram()
+        buckets = histogram.cumulative_buckets()
+        assert buckets[-1][0] == math.inf
+        assert buckets[-1][1] == 0
+
+
+class TestEmptyRegistry:
+    def test_empty_accountant_renders_and_parses(self):
+        stats = {"stats_version": 3, "slo": SLOAccountant().snapshot()}
+        text = render_exposition(stats)
+        families = parse_exposition(text)
+        # No tenants, no observations: the families still render (with
+        # zero-count histograms) and the strict parser accepts them all.
+        assert "repro_stats_version" in families
+        blame_counts = [
+            value
+            for name, __, value in families["repro_blame_seconds"]["samples"]
+            if name == "repro_blame_seconds_count"
+        ]
+        assert blame_counts and all(count == 0 for count in blame_counts)
+        for family in families.values():
+            assert isinstance(family["samples"], list)
+
+    def test_blame_families_appear_once_observed(self):
+        accountant = SLOAccountant()
+        accountant.note_submit("acme")
+        accountant.note_start("acme", 0.0)
+        accountant.note_execution_profile(
+            "acme", 0.2, 0.7, 0.1, {"drugbank": 0.7}
+        )
+        accountant.note_done("acme", 1.0, 1.0)
+        text = render_exposition({"stats_version": 3, "slo": accountant.snapshot()})
+        families = parse_exposition(text)
+        blame_labels = {
+            labels["class"]
+            for name, labels, __ in families["repro_blame_seconds"]["samples"]
+            if name == "repro_blame_seconds_count"
+        }
+        assert blame_labels == {
+            "engine_work",
+            "network_delay",
+            "cache_miss_penalty",
+            "queue_wait",
+        }
+        source_labels = {
+            labels["source"]
+            for name, labels, __ in families[
+                "repro_source_network_delay_seconds"
+            ]["samples"]
+            if name == "repro_source_network_delay_seconds_count"
+        }
+        assert source_labels == {"drugbank"}
+
+    def test_rejects_document_without_slo(self):
+        with pytest.raises(ValueError, match="no 'slo' section"):
+            render_exposition({"stats_version": 3})

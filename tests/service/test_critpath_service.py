@@ -1,0 +1,182 @@
+"""Critical-path attribution on the live service: ``/status`` embeds,
+exec-profile journal events, blame histograms in ``/stats`` and the
+tenant-filtered ``repro slo report``."""
+
+import math
+
+from repro.cli import main as cli_main
+from repro.obs import EventJournal, accountant_from_journal, render_slo_report
+from repro.obs.slo import SLO_BLAME_CLASSES, SLO_REPORT_COLUMNS
+from repro.service import ServiceConfig
+from tests.service.test_server import (
+    ServiceHarness,
+    http,
+    poll_until_terminal,
+    run,
+)
+
+RUN_SEED = 7
+
+
+async def submit_and_finish(harness, query="Q1", tenant=None):
+    body = {"query": query, "seed": RUN_SEED}
+    if tenant is not None:
+        body["tenant"] = tenant
+    __s, __h, posted = await http(harness.port, "POST", "/queries", body)
+    return await poll_until_terminal(harness.port, posted["request_id"])
+
+
+class TestStatusCriticalPath:
+    def test_observed_requests_embed_exact_attribution(self, small_lslod_lake):
+        config = ServiceConfig(port=0, workers=1, observe=True)
+
+        async def scenario():
+            async with ServiceHarness(small_lslod_lake, config) as harness:
+                body = await submit_and_finish(harness)
+                __s, __h, result = await http(
+                    harness.port, "GET", f"/queries/{body['request_id']}/result"
+                )
+                return body, result
+
+        body, result = run(scenario())
+        assert body["state"] == "done"
+        critical_path = body["critical_path"]
+        assert critical_path["exact"] is True
+        assert critical_path["total"] == result["stats"]["execution_time"]
+        charged = sum(critical_path["classes"].values())
+        assert math.isclose(charged, critical_path["total"], rel_tol=1e-9)
+        assert critical_path["dominant_class"] in critical_path["classes"]
+        assert critical_path["queue_wait"] >= 0.0
+
+    def test_unobserved_requests_carry_no_critical_path(self, small_lslod_lake):
+        config = ServiceConfig(port=0, workers=1)
+
+        async def scenario():
+            async with ServiceHarness(small_lslod_lake, config) as harness:
+                return await submit_and_finish(harness)
+
+        body = run(scenario())
+        assert body["state"] == "done"
+        assert "critical_path" not in body
+
+
+class TestExecProfileTelemetry:
+    def scenario_stats_and_journal(self, lake, tmp_path, repeat_query=False):
+        path = tmp_path / "service.jsonl"
+        config = ServiceConfig(
+            port=0, workers=1, journal_path=str(path), result_cache_size=8
+        )
+
+        async def scenario():
+            async with ServiceHarness(lake, config) as harness:
+                await submit_and_finish(harness)
+                if repeat_query:
+                    await submit_and_finish(harness)
+                __s, __h, stats = await http(harness.port, "GET", "/stats")
+                return stats
+
+        stats = run(scenario())
+        return stats, EventJournal.read_jsonl(str(path))
+
+    def test_fresh_executions_journal_an_exec_profile(
+        self, small_lslod_lake, tmp_path
+    ):
+        stats, journal = self.scenario_stats_and_journal(small_lslod_lake, tmp_path)
+        profiles = [e for e in journal.events if e["kind"] == "exec-profile"]
+        assert len(profiles) == 1
+        event = profiles[0]
+        assert set(event) >= {
+            "request_id",
+            "tenant",
+            "engine",
+            "network",
+            "cache",
+            "total",
+            "sources",
+        }
+        assert event["sources"], "per-source delays must be recorded"
+        # /stats v3: the blame and per-source histograms fed by the event.
+        blame = stats["slo"]["blame"]
+        assert set(blame) == set(SLO_BLAME_CLASSES)
+        assert blame["engine_work"]["count"] == 1
+        assert set(stats["slo"]["source_network_delay"]) == set(event["sources"])
+
+    def test_result_cache_replays_do_not_double_count(
+        self, small_lslod_lake, tmp_path
+    ):
+        stats, journal = self.scenario_stats_and_journal(
+            small_lslod_lake, tmp_path, repeat_query=True
+        )
+        profiles = [e for e in journal.events if e["kind"] == "exec-profile"]
+        assert len(profiles) == 1, "cache hits must not re-profile"
+        assert stats["slo"]["blame"]["engine_work"]["count"] == 1
+
+    def test_journal_replay_reproduces_the_blame_histograms(
+        self, small_lslod_lake, tmp_path
+    ):
+        stats, journal = self.scenario_stats_and_journal(small_lslod_lake, tmp_path)
+        accountant, cache_stats = accountant_from_journal(journal.events)
+        replayed = accountant.snapshot(cache_stats=cache_stats)
+        assert replayed["blame"] == stats["slo"]["blame"]
+        assert (
+            replayed["source_network_delay"] == stats["slo"]["source_network_delay"]
+        )
+
+
+class TestTenantFilteredReport:
+    def snapshot(self):
+        from repro.obs import SLOAccountant
+
+        accountant = SLOAccountant()
+        for tenant, execution in (("acme", 0.5), ("globex", 2.0)):
+            accountant.note_submit(tenant)
+            accountant.note_start(tenant, 0.1)
+            accountant.note_done(tenant, execution, execution + 0.1)
+        return accountant.snapshot(
+            cache_stats={"plans": {"hits": 1, "misses": 1, "evictions": 0}}
+        )
+
+    def test_tenant_filter_shows_only_that_row(self):
+        text = render_slo_report(self.snapshot(), tenant="acme")
+        assert "acme" in text
+        assert "globex" not in text
+        assert "GLOBAL" not in text
+        assert "cache plans" not in text
+
+    def test_unknown_tenant_fails_loudly(self):
+        text = render_slo_report(self.snapshot(), tenant="nope")
+        assert text == "no such tenant: nope (known: acme, globex)"
+
+    def test_column_order_is_stable(self):
+        # The text format is a contract for scripted consumers: the header
+        # must list exactly the declared columns, in declaration order.
+        text = render_slo_report(self.snapshot())
+        header = text.splitlines()[0]
+        titles = [title for title, __, __ in SLO_REPORT_COLUMNS]
+        positions = [header.index(title) for title in titles]
+        assert positions == sorted(positions)
+        assert header.split()[0] == "tenant"
+        filtered = render_slo_report(self.snapshot(), tenant="acme")
+        assert filtered.splitlines()[0] == header
+
+    def test_cli_passes_tenant_through(self, tmp_path, capsys):
+        journal = EventJournal()
+        journal.append("submit", 0.0, request_id="r-1", tenant="acme")
+        journal.append("start", 0.1, request_id="r-1", tenant="acme", queue_wait=0.1)
+        journal.append(
+            "done", 1.1, request_id="r-1", tenant="acme", execution=1.0, end_to_end=1.1
+        )
+        journal.append("submit", 0.2, request_id="r-2", tenant="bee")
+        journal.append(
+            "done", 0.9, request_id="r-2", tenant="bee", execution=0.7, end_to_end=0.7
+        )
+        path = tmp_path / "journal.jsonl"
+        journal.write_jsonl(str(path))
+        exit_code = cli_main(
+            ["slo", "report", "--journal", str(path), "--tenant", "bee"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "bee" in out
+        assert "acme" not in out
+        assert "GLOBAL" not in out

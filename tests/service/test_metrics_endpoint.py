@@ -13,6 +13,7 @@ from repro.obs import (
     parse_exposition,
     validate_exposition,
 )
+from repro.obs import SLO_VERSION
 from repro.service import STATS_VERSION, ServiceConfig
 from tests.service.test_server import (
     ServiceHarness,
@@ -106,7 +107,7 @@ def test_stats_is_versioned_and_carries_slo(small_lslod_lake):
     assert stats["stats_version"] == STATS_VERSION
     assert "evictions" in stats["result_cache"]
     slo = stats["slo"]
-    assert slo["slo_version"] == 1
+    assert slo["slo_version"] == SLO_VERSION
     assert slo["global"]["submitted"] == 2
     assert slo["global"]["completed"] == 2
     assert set(slo["tenants"]) == {"acme", "globex"}

@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.core.engine import FederatedEngine
-from repro.obs import EventJournal, accountant_from_journal
+from repro.obs import SLO_VERSION, EventJournal, accountant_from_journal
 from repro.optimizer import run_with_feedback
 from repro.service import (
     ServiceConfig,
@@ -122,7 +122,7 @@ def test_report_json_carries_journal_fingerprint(small_lslod_lake):
     document = report.to_dict()
     assert document["journal_fingerprint"] == report.journal.fingerprint()
     assert document["journal_events"] == report.journal.counts_by_kind()
-    assert document["slo"]["slo_version"] == 1
+    assert document["slo"]["slo_version"] == SLO_VERSION
     json.dumps(document)  # the whole report stays JSON-serializable
 
 
